@@ -1,0 +1,89 @@
+// Design-choice ablations (not figures from the paper):
+//   * buffer size — how the I/O metric depends on the LRU buffer; the
+//     paper fixes 4 MiB, DESIGN.md scales it with the dataset.
+//   * node capacity — the paper fixes 100 entries/node; smaller nodes mean
+//     deeper trees but finer-grained pruning for the KcR bounds.
+// Each configuration builds its own private engine.
+#include "bench_common.h"
+
+#include "data/generator.h"
+
+namespace {
+
+using namespace wsk;
+using namespace wsk::bench;
+
+struct AblationEngine {
+  Dataset dataset;
+  std::unique_ptr<WhyNotEngine> engine;
+};
+
+AblationEngine* BuildAblationEngine(size_t buffer_bytes,
+                                    uint32_t node_capacity) {
+  auto* bundle = new AblationEngine();
+  GeneratorConfig config;
+  config.num_objects = EnvObjects() / 2;
+  config.vocab_size = std::max<uint32_t>(100, config.num_objects / 5);
+  config.seed = 31337;
+  bundle->dataset = GenerateDataset(config);
+  WhyNotEngine::Config engine_config;
+  engine_config.buffer_bytes = buffer_bytes;
+  engine_config.node_capacity = node_capacity;
+  bundle->engine =
+      WhyNotEngine::Build(&bundle->dataset, engine_config).value();
+  return bundle;
+}
+
+void RegisterConfig(const std::string& label, size_t buffer_bytes,
+                    uint32_t node_capacity) {
+  for (WhyNotAlgorithm algorithm :
+       {WhyNotAlgorithm::kAdvanced, WhyNotAlgorithm::kKcrBased}) {
+    const std::string name =
+        std::string(WhyNotAlgorithmName(algorithm)) + "/" + label;
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [buffer_bytes, node_capacity, algorithm](benchmark::State& state) {
+          // One engine per configuration, cached across the two algorithms.
+          static auto* engines =
+              new std::map<std::pair<size_t, uint32_t>, AblationEngine*>();
+          const auto key = std::make_pair(buffer_bytes, node_capacity);
+          auto it = engines->find(key);
+          if (it == engines->end()) {
+            it = engines
+                     ->emplace(key, BuildAblationEngine(buffer_bytes,
+                                                        node_capacity))
+                     .first;
+          }
+          WorkloadSpec spec;
+          spec.seed = 14000;
+          WhyNotOptions options;
+          RunWhyNot(state, *it->second->engine, algorithm, spec, options);
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (size_t kib : {64u, 256u, 1024u, 4096u}) {
+    RegisterConfig("buffer_kib=" + std::to_string(kib), kib * 1024, 100);
+  }
+  for (uint32_t capacity : {25u, 50u, 100u, 200u}) {
+    RegisterConfig("capacity=" + std::to_string(capacity), 512 * 1024,
+                   capacity);
+  }
+  // Section V-D strategy: edit-distance batches (Algorithm 4) vs feeding
+  // every candidate to one Algorithm 3 traversal.
+  for (bool single : {false, true}) {
+    WorkloadSpec spec;
+    spec.seed = 14500;
+    WhyNotOptions options;
+    options.kcr_single_batch = single;
+    RegisterOne(std::string("strategy=") + (single ? "single_batch"
+                                                   : "ed_batches"),
+                WhyNotAlgorithm::kKcrBased, spec, options);
+  }
+  return RunRegisteredBenchmarks(argc, argv);
+}

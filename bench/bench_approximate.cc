@@ -1,0 +1,25 @@
+// Fig. 12 — the approximate algorithm (Section VI-B): a top-10 query with
+// 8 keywords, sampling the T highest-particularity candidate sets for
+// T ∈ {100, 200, 400, 800}, against the exact algorithms. The interesting
+// outputs are avg_ms (time saved) and avg_penalty (quality given up).
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using wsk::WhyNotOptions;
+  using namespace wsk::bench;
+
+  WorkloadSpec spec;
+  spec.k0 = 10;
+  spec.num_keywords = 8;
+  spec.max_universe = 15;
+  spec.seed = 12000;
+
+  for (uint32_t sample : {100u, 200u, 400u, 800u}) {
+    WhyNotOptions options;
+    options.sample_size = sample;
+    RegisterAllAlgorithms("sample=" + std::to_string(sample), spec, options);
+  }
+  WhyNotOptions exact;
+  RegisterAllAlgorithms("sample=exact", spec, exact);
+  return RunRegisteredBenchmarks(argc, argv);
+}

@@ -1,0 +1,133 @@
+// Substrate micro-benchmark (not a paper figure): raw spatial keyword
+// top-k latency and I/O on the SetR-tree vs the KcR-tree, for several k.
+// Useful to sanity-check that the shared substrate behaves before reading
+// the why-not figures.
+#include "bench_common.h"
+
+#include <unistd.h>
+
+#include "common/rng.h"
+#include "index/inverted_grid_index.h"
+#include "index/topk.h"
+
+namespace {
+
+void RunTopK(benchmark::State& state, const wsk::TopKSource& tree,
+             wsk::IoStats& io, uint32_t k) {
+  using namespace wsk;
+  WhyNotEngine& engine = wsk::bench::SharedEngine();
+  const Dataset& dataset = engine.dataset();
+  Rng rng(k * 31 + 7);
+  std::vector<SpatialKeywordQuery> queries;
+  for (int i = 0; i < 20; ++i) {
+    SpatialKeywordQuery q;
+    q.loc = Point{rng.NextDouble(), rng.NextDouble()};
+    q.doc = dataset
+                .object(static_cast<ObjectId>(rng.NextUint64(dataset.size())))
+                .doc;
+    q.k = k;
+    q.alpha = 0.5;
+    queries.push_back(q);
+  }
+  double total_io = 0;
+  uint64_t runs = 0;
+  for (auto _ : state) {
+    for (const SpatialKeywordQuery& q : queries) {
+      const uint64_t before = io.physical_reads();
+      benchmark::DoNotOptimize(IndexTopK(tree, q).value());
+      total_io += static_cast<double>(io.physical_reads() - before);
+      ++runs;
+    }
+  }
+  state.counters["avg_io"] = runs == 0 ? 0.0 : total_io / runs;
+  state.counters["queries"] = static_cast<double>(runs);
+}
+
+// The inverted-file + grid baseline (related-work architecture) against
+// the same workload.
+struct InvertedBundle {
+  std::string path;
+  std::unique_ptr<wsk::Pager> pager;
+  std::unique_ptr<wsk::BufferPool> pool;
+  std::unique_ptr<wsk::InvertedGridIndex> index;
+};
+
+InvertedBundle& SharedInverted() {
+  using namespace wsk;
+  static auto* bundle = [] {
+    auto* b = new InvertedBundle();
+    b->path = "/tmp/wsk_bench_invgrid_" + std::to_string(getpid()) + ".idx";
+    b->pager = Pager::Create(b->path).value();
+    b->pool = std::make_unique<BufferPool>(b->pager.get(), 512 * 1024);
+    InvertedGridIndex::Options options;
+    b->index = InvertedGridIndex::Build(wsk::bench::SharedEngine().dataset(),
+                                        b->pool.get(), options)
+                   .value();
+    b->pager->io_stats().Reset();
+    return b;
+  }();
+  return *bundle;
+}
+
+void RunInvertedTopK(benchmark::State& state, uint32_t k) {
+  using namespace wsk;
+  InvertedBundle& bundle = SharedInverted();
+  const Dataset& dataset = wsk::bench::SharedEngine().dataset();
+  Rng rng(k * 31 + 7);  // identical workload to the tree benchmarks
+  std::vector<SpatialKeywordQuery> queries;
+  for (int i = 0; i < 20; ++i) {
+    SpatialKeywordQuery q;
+    q.loc = Point{rng.NextDouble(), rng.NextDouble()};
+    q.doc = dataset
+                .object(static_cast<ObjectId>(rng.NextUint64(dataset.size())))
+                .doc;
+    q.k = k;
+    q.alpha = 0.5;
+    queries.push_back(q);
+  }
+  double total_io = 0;
+  uint64_t runs = 0;
+  for (auto _ : state) {
+    for (const SpatialKeywordQuery& q : queries) {
+      const uint64_t before = bundle.pager->io_stats().physical_reads();
+      benchmark::DoNotOptimize(bundle.index->TopK(q).value());
+      total_io += static_cast<double>(
+          bundle.pager->io_stats().physical_reads() - before);
+      ++runs;
+    }
+  }
+  state.counters["avg_io"] = runs == 0 ? 0.0 : total_io / runs;
+  state.counters["queries"] = static_cast<double>(runs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wsk::bench;
+  for (uint32_t k : {1u, 10u, 100u}) {
+    benchmark::RegisterBenchmark(
+        ("topk/SetR/k=" + std::to_string(k)).c_str(),
+        [k](benchmark::State& state) {
+          auto& engine = SharedEngine();
+          RunTopK(state, engine.setr_tree(), engine.setr_io(), k);
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("topk/KcR/k=" + std::to_string(k)).c_str(),
+        [k](benchmark::State& state) {
+          auto& engine = SharedEngine();
+          RunTopK(state, engine.kcr_tree(), engine.kcr_io(), k);
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("topk/InvertedGrid/k=" + std::to_string(k)).c_str(),
+        [k](benchmark::State& state) { RunInvertedTopK(state, k); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  const int rc = RunRegisteredBenchmarks(argc, argv);
+  std::remove(SharedInverted().path.c_str());
+  return rc;
+}

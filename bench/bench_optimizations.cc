@@ -1,0 +1,39 @@
+// Fig. 11 — pruning ability of the Section IV-C optimizations. Runs the
+// basic-algorithm family with each optimization enabled alone and all
+// together, over 4- and 6-keyword workloads:
+//   Opt1 = early stop (Eqn 6 rank bound)
+//   Opt2 = enumeration order + order-based termination
+//   Opt3 = keyword-set filtering via the dominator cache
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using wsk::WhyNotAlgorithm;
+  using wsk::WhyNotOptions;
+  using namespace wsk::bench;
+
+  struct Variant {
+    const char* name;
+    bool opt1, opt2, opt3;
+  };
+  const Variant variants[] = {
+      {"none", false, false, false}, {"opt1", true, false, false},
+      {"opt2", false, true, false},  {"opt3", false, false, true},
+      {"all", true, true, true},
+  };
+
+  for (uint32_t kw : {4u, 6u}) {
+    for (const Variant& v : variants) {
+      WorkloadSpec spec;
+      spec.num_keywords = kw;
+      spec.max_universe = kw + 7;
+      spec.seed = 11000 + kw;
+      WhyNotOptions options;
+      options.opt_early_stop = v.opt1;
+      options.opt_enumeration_order = v.opt2;
+      options.opt_keyword_filtering = v.opt3;
+      RegisterOne("kw=" + std::to_string(kw) + "/" + v.name,
+                  WhyNotAlgorithm::kAdvanced, spec, options);
+    }
+  }
+  return RunRegisteredBenchmarks(argc, argv);
+}

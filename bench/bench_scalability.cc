@@ -1,0 +1,35 @@
+// Fig. 13 — scalability: top-10 why-not queries over GN-like datasets of
+// growing cardinality. Each size gets its own disk-resident index pair;
+// index construction happens outside the measured region. Sizes scale from
+// WSK_BENCH_OBJECTS (n/4, n/2, n, 2n).
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using wsk::WhyNotAlgorithm;
+  using wsk::WhyNotOptions;
+  using namespace wsk::bench;
+
+  const uint32_t base = EnvObjects();
+  for (uint32_t objects : {base / 4, base / 2, base, base * 2}) {
+    DatasetSpec dataset;
+    dataset.objects = objects;
+    dataset.seed = 19900101;  // the GN-like family
+    WorkloadSpec spec;
+    spec.seed = 13000 + objects;
+    WhyNotOptions options;
+    for (WhyNotAlgorithm algorithm :
+         {WhyNotAlgorithm::kBasic, WhyNotAlgorithm::kAdvanced,
+          WhyNotAlgorithm::kKcrBased}) {
+      const std::string name = std::string(WhyNotAlgorithmName(algorithm)) +
+                               "/objects=" + std::to_string(objects);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [algorithm, dataset, spec, options](benchmark::State& state) {
+            RunWhyNot(state, EngineFor(dataset), algorithm, spec, options);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  return RunRegisteredBenchmarks(argc, argv);
+}

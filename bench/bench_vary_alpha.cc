@@ -1,0 +1,20 @@
+// Fig. 6 — varying alpha ∈ {0.1, 0.3, 0.5, 0.7, 0.9}: the relative weight
+// of spatial distance vs textual similarity in the ranking function.
+#include "bench_common.h"
+
+#include <cstdio>
+
+int main(int argc, char** argv) {
+  using wsk::WhyNotOptions;
+  using namespace wsk::bench;
+  for (double alpha : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    WorkloadSpec spec;
+    spec.alpha = alpha;
+    spec.seed = 6000 + static_cast<uint64_t>(alpha * 10);
+    WhyNotOptions options;
+    char label[32];
+    std::snprintf(label, sizeof(label), "alpha=%.1f", alpha);
+    RegisterAllAlgorithms(label, spec, options);
+  }
+  return RunRegisteredBenchmarks(argc, argv);
+}

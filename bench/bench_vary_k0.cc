@@ -1,0 +1,17 @@
+// Fig. 4 — varying k0 ∈ {3, 10, 30, 100} with the missing object at rank
+// 5*k0 + 1. Reports avg query time and I/O for BS / AdvancedBS / KcRBased.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using wsk::WhyNotOptions;
+  using namespace wsk::bench;
+  for (uint32_t k0 : {3u, 10u, 30u, 100u}) {
+    WorkloadSpec spec;
+    spec.k0 = k0;
+    spec.missing_position = 5 * k0 + 1;
+    spec.seed = 4000 + k0;
+    WhyNotOptions options;
+    RegisterAllAlgorithms("k0=" + std::to_string(k0), spec, options);
+  }
+  return RunRegisteredBenchmarks(argc, argv);
+}

@@ -1,0 +1,17 @@
+// Fig. 5 — varying the number of initial query keywords ∈ {2, 4, 6, 8}.
+// The candidate set grows exponentially, which dominates BS's cost.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using wsk::WhyNotOptions;
+  using namespace wsk::bench;
+  for (uint32_t kw : {2u, 4u, 6u, 8u}) {
+    WorkloadSpec spec;
+    spec.num_keywords = kw;
+    spec.max_universe = kw + 7;  // keyword growth is the sweep variable
+    spec.seed = 5000 + kw;
+    WhyNotOptions options;
+    RegisterAllAlgorithms("keywords=" + std::to_string(kw), spec, options);
+  }
+  return RunRegisteredBenchmarks(argc, argv);
+}

@@ -1,0 +1,22 @@
+// Fig. 7 — varying lambda ∈ {0.1, 0.3, 0.5, 0.7, 0.9}: the penalty weight
+// between enlarging k and editing the keywords. BS ignores lambda; the
+// optimized algorithms prune better for small lambda because the basic
+// refined query seeds p_c = lambda.
+#include "bench_common.h"
+
+#include <cstdio>
+
+int main(int argc, char** argv) {
+  using wsk::WhyNotOptions;
+  using namespace wsk::bench;
+  for (double lambda : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    WorkloadSpec spec;
+    spec.seed = 7000 + static_cast<uint64_t>(lambda * 10);
+    WhyNotOptions options;
+    options.lambda = lambda;
+    char label[32];
+    std::snprintf(label, sizeof(label), "lambda=%.1f", lambda);
+    RegisterAllAlgorithms(label, spec, options);
+  }
+  return RunRegisteredBenchmarks(argc, argv);
+}

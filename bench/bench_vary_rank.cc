@@ -1,0 +1,17 @@
+// Fig. 8 — varying the missing object's initial rank ∈ {31, 51, 101, 151,
+// 201} for a top-10 initial query.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using wsk::WhyNotOptions;
+  using namespace wsk::bench;
+  for (uint32_t rank : {31u, 51u, 101u, 151u, 201u}) {
+    WorkloadSpec spec;
+    spec.k0 = 10;
+    spec.missing_position = rank;
+    spec.seed = 8000 + rank;
+    WhyNotOptions options;
+    RegisterAllAlgorithms("rank=" + std::to_string(rank), spec, options);
+  }
+  return RunRegisteredBenchmarks(argc, argv);
+}

@@ -1,0 +1,23 @@
+// Fig. 10 — varying the number of worker threads ∈ {1, 2, 4, 8} for the
+// parallelized AdvancedBS and KcRBased (Section IV-C4 / VII-B7).
+//
+// Note: wall-clock speedup tops out at the machine's core count; on a
+// single-core container the series is expected to stay flat (EXPERIMENTS.md
+// discusses this hardware substitution).
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using wsk::WhyNotAlgorithm;
+  using wsk::WhyNotOptions;
+  using namespace wsk::bench;
+  for (int threads : {1, 2, 4, 8}) {
+    WorkloadSpec spec;
+    spec.seed = 10000;  // identical workload across thread counts
+    WhyNotOptions options;
+    options.num_threads = threads;
+    const std::string label = "threads=" + std::to_string(threads);
+    RegisterOne(label, WhyNotAlgorithm::kAdvanced, spec, options);
+    RegisterOne(label, WhyNotAlgorithm::kKcrBased, spec, options);
+  }
+  return RunRegisteredBenchmarks(argc, argv);
+}

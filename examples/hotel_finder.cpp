@@ -1,0 +1,95 @@
+// Example 1 from the paper: a conference attendee searches for the top-3
+// hotels near the venue described as "clean" and "comfortable", is
+// surprised that a well-known international hotel is missing, and asks a
+// why-not question. The engine adapts the keywords (and, if needed, k) so
+// the expected hotel enters the result with minimal change.
+//
+//   $ ./hotel_finder
+#include <cstdio>
+
+#include "core/engine.h"
+
+namespace {
+
+using namespace wsk;
+
+struct Hotel {
+  const char* name;
+  Point loc;
+  std::vector<std::string> keywords;
+};
+
+int Run() {
+  // A downtown of hotels around the conference venue at (0.5, 0.5).
+  const std::vector<Hotel> hotels = {
+      {"Budget Inn", {0.50, 0.52}, {"clean", "comfortable", "cheap"}},
+      {"Hostel 17", {0.49, 0.49}, {"clean", "comfortable", "shared"}},
+      {"City Rooms", {0.52, 0.50}, {"clean", "comfortable", "basic"}},
+      {"Grand International", {0.55, 0.55},
+       {"luxury", "international", "comfortable", "pool", "conference"}},
+      {"Airport Lodge", {0.90, 0.10}, {"clean", "comfortable", "shuttle"}},
+      {"Sea View", {0.10, 0.90}, {"luxury", "view", "spa"}},
+      {"Old Town B&B", {0.45, 0.56}, {"breakfast", "family", "quiet"}},
+      {"Biz Express", {0.53, 0.47}, {"business", "wifi", "clean"}},
+      {"Hilltop Suites", {0.60, 0.60}, {"luxury", "suites", "pool"}},
+      {"Station Hotel", {0.40, 0.40}, {"clean", "basic", "station"}},
+  };
+
+  Dataset dataset;
+  for (const Hotel& h : hotels) dataset.Add(h.loc, h.keywords);
+
+  WhyNotEngine::Config config;
+  config.node_capacity = 4;
+  auto engine = WhyNotEngine::Build(&dataset, config).value();
+
+  const Vocabulary& vocab = dataset.vocabulary();
+  SpatialKeywordQuery query;
+  query.loc = Point{0.5, 0.5};  // the conference venue
+  query.doc = KeywordSet{vocab.Find("clean"), vocab.Find("comfortable")};
+  query.k = 3;
+  query.alpha = 0.5;
+
+  std::printf("top-%u hotels near the venue for {clean, comfortable}:\n",
+              query.k);
+  const std::vector<ScoredObject> hits = engine->TopK(query).value();
+  for (const ScoredObject& hit : hits) {
+    std::printf("  %-20s score %.3f\n", hotels[hit.id].name, hit.score);
+  }
+
+  // The attendee expected the Grand International (object 3).
+  const ObjectId grand = 3;
+  std::printf("\nwhy is \"%s\" missing? (its rank: %u)\n", hotels[grand].name,
+              engine->Rank(query, grand).value());
+
+  WhyNotOptions options;
+  options.lambda = 0.5;
+  const WhyNotResult answer =
+      engine->Answer(WhyNotAlgorithm::kKcrBased, query, {grand}, options)
+          .value();
+
+  std::printf("suggested refinement (penalty %.3f):\n",
+              answer.refined.penalty);
+  std::printf("  keywords: {");
+  bool first = true;
+  for (TermId t : answer.refined.doc) {
+    std::printf("%s%s", first ? "" : ", ", vocab.TermString(t).c_str());
+    first = false;
+  }
+  std::printf("}\n  k: %u (was %u)\n\n", answer.refined.k, query.k);
+
+  SpatialKeywordQuery refined = query;
+  refined.doc = answer.refined.doc;
+  refined.k = answer.refined.k;
+  std::printf("refined top-%u:\n", refined.k);
+  const std::vector<ScoredObject> refined_hits =
+      engine->TopK(refined).value();
+  for (const ScoredObject& hit : refined_hits) {
+    std::printf("  %-20s score %.3f%s\n", hotels[hit.id].name, hit.score,
+                hit.id == grand ? "   <-- the expected hotel" : "");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

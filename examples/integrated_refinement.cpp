@@ -1,0 +1,79 @@
+// The integrated framework sketched in the paper's conclusion: when an
+// expected object is missing, compare three refinement models —
+//   1. keyword adaption (this paper),
+//   2. preference (alpha) adaption (the authors' ICDE'15 companion work),
+//   3. query-location adaption (future work, approximate)
+// — explain *why* the object missed, and report the cheapest fix.
+//
+//   $ ./integrated_refinement
+#include <cstdio>
+
+#include "core/alpha_refinement.h"
+#include "core/explain.h"
+#include "core/integrated.h"
+#include "core/location_refinement.h"
+#include "data/generator.h"
+
+namespace {
+
+using namespace wsk;
+
+int Run() {
+  GeneratorConfig config;
+  config.num_objects = 6000;
+  config.vocab_size = 1200;
+  config.seed = 314;
+  Dataset dataset = GenerateDataset(config);
+
+  WhyNotEngine::Config engine_config;
+  auto engine = WhyNotEngine::Build(&dataset, engine_config).value();
+
+  SpatialKeywordQuery query;
+  query.loc = Point{0.35, 0.65};
+  query.doc = dataset.object(77).doc;
+  query.k = 10;
+  query.alpha = 0.5;
+  const ObjectId missing = engine->ObjectAtPosition(query, 33).value();
+
+  std::printf("diagnosis:\n  %s\n\n",
+              ExplainMiss(*engine, query, missing).value().ToString().c_str());
+
+  const double lambda = 0.5;
+  WhyNotOptions options;
+  options.lambda = lambda;
+
+  // 1 + 2 via the integrated entry point.
+  const IntegratedResult integrated =
+      AnswerWhyNotIntegrated(*engine, WhyNotAlgorithm::kKcrBased, query,
+                             {missing}, options)
+          .value();
+  std::printf("keyword adaption:   doc' = %s, k' = %u  -> penalty %.4f\n",
+              integrated.keywords.refined.doc.ToString().c_str(),
+              integrated.keywords.refined.k,
+              integrated.keywords.refined.penalty);
+  std::printf("alpha adaption:     alpha' = %.3f (was %.3f), k' = %u  "
+              "-> penalty %.4f\n",
+              integrated.preference.alpha, query.alpha,
+              integrated.preference.k, integrated.preference.penalty);
+
+  // 3. Location adaption.
+  const LocationRefineResult location =
+      RefineLocationApproximate(dataset, query, {missing}, lambda).value();
+  std::printf("location adaption:  loc' = (%.3f, %.3f), moved %.4f, "
+              "k' = %u -> penalty %.4f\n",
+              location.loc.x, location.loc.y, location.moved, location.k,
+              location.penalty);
+
+  const char* winner = RefinementKindName(integrated.kind);
+  double best = integrated.best_penalty;
+  if (location.penalty < best) {
+    winner = "location";
+    best = location.penalty;
+  }
+  std::printf("\ncheapest refinement: %s (penalty %.4f)\n", winner, best);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,98 @@
+// Quickstart: build an index over a tiny dataset, run a spatial keyword
+// top-k query, then ask a why-not question — reproducing the paper's
+// running example (Fig. 1 / Example 3).
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/engine.h"
+
+namespace {
+
+using namespace wsk;
+
+int Run() {
+  // The database of Fig. 1: objects on the x-axis, distances normalized so
+  // SDist matches the paper's table (a far dummy pins the diagonal at 1).
+  Dataset dataset;
+  Vocabulary& vocab = dataset.vocabulary();
+  const TermId t1 = vocab.Intern("t1");
+  const TermId t2 = vocab.Intern("t2");
+  const TermId t3 = vocab.Intern("t3");
+  const ObjectId o1 = dataset.Add(Point{0.8, 0.0}, KeywordSet{t1});
+  const ObjectId o2 = dataset.Add(Point{0.1, 0.0}, KeywordSet{t1, t3});
+  const ObjectId m = dataset.Add(Point{0.5, 0.0}, KeywordSet{t1, t2, t3});
+  const ObjectId o3 = dataset.Add(Point{0.6, 0.0}, KeywordSet{t1, t2});
+  dataset.Add(Point{1.1, 0.0}, {std::vector<std::string>{"faraway"}});
+  (void)o1;
+  (void)o2;
+
+  // Build the disk-resident indexes (SetR-tree + KcR-tree).
+  WhyNotEngine::Config config;
+  config.node_capacity = 4;
+  auto engine_or = WhyNotEngine::Build(&dataset, config);
+  if (!engine_or.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 engine_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<WhyNotEngine> engine = std::move(engine_or).value();
+
+  // The initial query: top-1 around the origin for {t1, t2}.
+  SpatialKeywordQuery query;
+  query.loc = Point{0.0, 0.0};
+  query.doc = KeywordSet{t1, t2};
+  query.k = 1;
+  query.alpha = 0.5;
+
+  std::printf("initial top-%u for %s:\n", query.k,
+              query.doc.ToString().c_str());
+  const std::vector<ScoredObject> hits = engine->TopK(query).value();
+  for (const ScoredObject& hit : hits) {
+    std::printf("  object %u  score %.3f\n", hit.id, hit.score);
+  }
+  std::printf("rank of the expected object m (id %u): %u\n", m,
+              engine->Rank(query, m).value());
+  std::printf("rank of o3 (id %u): %u\n\n", o3,
+              engine->Rank(query, o3).value());
+
+  // Why is m missing? Ask each algorithm for the best refined query.
+  WhyNotOptions options;
+  options.lambda = 0.5;
+  for (WhyNotAlgorithm algorithm :
+       {WhyNotAlgorithm::kBasic, WhyNotAlgorithm::kAdvanced,
+        WhyNotAlgorithm::kKcrBased}) {
+    auto result_or = engine->Answer(algorithm, query, {m}, options);
+    if (!result_or.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", WhyNotAlgorithmName(algorithm),
+                   result_or.status().ToString().c_str());
+      return 1;
+    }
+    const WhyNotResult& result = result_or.value();
+    std::printf(
+        "%-10s refined doc' = %-14s k' = %u  penalty = %.3f  "
+        "(R(m,q) was %u)\n",
+        WhyNotAlgorithmName(algorithm), result.refined.doc.ToString().c_str(),
+        result.refined.k, result.refined.penalty, result.stats.initial_rank);
+  }
+
+  // Show the refined result: m now appears.
+  const auto best =
+      engine->Answer(WhyNotAlgorithm::kKcrBased, query, {m}, options).value();
+  SpatialKeywordQuery refined = query;
+  refined.doc = best.refined.doc;
+  refined.k = best.refined.k;
+  std::printf("\nrefined top-%u for %s:\n", refined.k,
+              refined.doc.ToString().c_str());
+  const std::vector<ScoredObject> refined_hits =
+      engine->TopK(refined).value();
+  for (const ScoredObject& hit : refined_hits) {
+    std::printf("  object %u  score %.3f%s\n", hit.id, hit.score,
+                hit.id == m ? "   <-- the missing object" : "");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

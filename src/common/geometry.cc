@@ -1,0 +1,55 @@
+#include "common/geometry.h"
+
+#include <cstdio>
+
+namespace wsk {
+
+double Distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+void Rect::Extend(const Point& p) {
+  min_x = std::min(min_x, p.x);
+  min_y = std::min(min_y, p.y);
+  max_x = std::max(max_x, p.x);
+  max_y = std::max(max_y, p.y);
+}
+
+void Rect::Extend(const Rect& r) {
+  if (r.Empty()) return;
+  min_x = std::min(min_x, r.min_x);
+  min_y = std::min(min_y, r.min_y);
+  max_x = std::max(max_x, r.max_x);
+  max_y = std::max(max_y, r.max_y);
+}
+
+double Rect::Enlargement(const Rect& r) const {
+  Rect u = *this;
+  u.Extend(r);
+  return u.Area() - Area();
+}
+
+std::string Rect::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%g,%g]x[%g,%g]", min_x, max_x, min_y,
+                max_y);
+  return buf;
+}
+
+double MinDist(const Point& p, const Rect& r) {
+  if (r.Empty()) return std::numeric_limits<double>::infinity();
+  const double dx = std::max({r.min_x - p.x, 0.0, p.x - r.max_x});
+  const double dy = std::max({r.min_y - p.y, 0.0, p.y - r.max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double MaxDist(const Point& p, const Rect& r) {
+  if (r.Empty()) return std::numeric_limits<double>::infinity();
+  const double dx = std::max(std::abs(p.x - r.min_x), std::abs(p.x - r.max_x));
+  const double dy = std::max(std::abs(p.y - r.min_y), std::abs(p.y - r.max_y));
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace wsk

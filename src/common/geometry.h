@@ -1,0 +1,94 @@
+// 2-D geometry primitives used by the spatial indexes.
+//
+// All object locations live in an arbitrary coordinate space; queries
+// normalize Euclidean distances by the space diagonal so that SDist in the
+// paper's ranking function (Eqn 1) falls in [0, 1].
+#ifndef WSK_COMMON_GEOMETRY_H_
+#define WSK_COMMON_GEOMETRY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace wsk {
+
+// A point in the plane.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+// Euclidean distance between two points.
+double Distance(const Point& a, const Point& b);
+
+// An axis-aligned rectangle. Empty() rectangles act as the identity for
+// Extend()/Union and return +inf MinDist.
+struct Rect {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  static Rect FromPoint(const Point& p) { return Rect{p.x, p.y, p.x, p.y}; }
+
+  bool Empty() const { return min_x > max_x || min_y > max_y; }
+
+  double Area() const {
+    if (Empty()) return 0.0;
+    return (max_x - min_x) * (max_y - min_y);
+  }
+
+  // Half-perimeter; the classic R-tree "margin" metric.
+  double Margin() const {
+    if (Empty()) return 0.0;
+    return (max_x - min_x) + (max_y - min_y);
+  }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  bool ContainsRect(const Rect& r) const {
+    if (r.Empty()) return true;
+    return r.min_x >= min_x && r.max_x <= max_x && r.min_y >= min_y &&
+           r.max_y <= max_y;
+  }
+
+  bool Intersects(const Rect& r) const {
+    if (Empty() || r.Empty()) return false;
+    return !(r.min_x > max_x || r.max_x < min_x || r.min_y > max_y ||
+             r.max_y < min_y);
+  }
+
+  // Grows this rectangle to cover `p` / `r`.
+  void Extend(const Point& p);
+  void Extend(const Rect& r);
+
+  // Area of the union with `r` minus this rectangle's area (the classic
+  // R-tree enlargement heuristic).
+  double Enlargement(const Rect& r) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.min_x == b.min_x && a.min_y == b.min_y && a.max_x == b.max_x &&
+           a.max_y == b.max_y;
+  }
+};
+
+// Minimum Euclidean distance from `p` to any point of `r`; 0 if `p` is
+// inside. +inf for an empty rectangle.
+double MinDist(const Point& p, const Rect& r);
+
+// Maximum Euclidean distance from `p` to any point of `r` (attained at a
+// corner). +inf for an empty rectangle — a conservative upper bound.
+double MaxDist(const Point& p, const Rect& r);
+
+}  // namespace wsk
+
+#endif  // WSK_COMMON_GEOMETRY_H_

@@ -1,0 +1,36 @@
+// Low-level assertion and utility macros shared across the wsk library.
+//
+// The library does not use C++ exceptions (fallible operations return
+// wsk::Status); WSK_CHECK guards against programmer errors and aborts with a
+// diagnostic when violated.
+#ifndef WSK_COMMON_MACROS_H_
+#define WSK_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts the process with a source location when `condition` is false.
+// Used for invariants that indicate a bug in the caller or in the library,
+// never for recoverable runtime conditions.
+#define WSK_CHECK(condition)                                                  \
+  do {                                                                        \
+    if (!(condition)) {                                                       \
+      std::fprintf(stderr, "WSK_CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #condition);                                     \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+// Like WSK_CHECK but with a printf-style message appended.
+#define WSK_CHECK_MSG(condition, ...)                                         \
+  do {                                                                        \
+    if (!(condition)) {                                                       \
+      std::fprintf(stderr, "WSK_CHECK failed at %s:%d: %s: ", __FILE__,       \
+                   __LINE__, #condition);                                     \
+      std::fprintf(stderr, __VA_ARGS__);                                      \
+      std::fprintf(stderr, "\n");                                             \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#endif  // WSK_COMMON_MACROS_H_

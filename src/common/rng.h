@@ -1,0 +1,80 @@
+// Deterministic random number generation for data synthesis and tests.
+//
+// Rng wraps the SplitMix64 generator: tiny state, excellent statistical
+// quality for simulation purposes, and fully reproducible across platforms
+// (unlike std::default_random_engine distributions, whose outputs are not
+// specified). ZipfSampler draws ranks from a Zipf(s) distribution over
+// {0, ..., n-1}, matching the skewed keyword frequencies of real POI
+// datasets (EURO / GN).
+#ifndef WSK_COMMON_RNG_H_
+#define WSK_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace wsk {
+
+// SplitMix64 pseudo-random generator. Not cryptographically secure.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  // Next raw 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  // Standard normal via Box-Muller.
+  double NextGaussian();
+
+  // Bernoulli trial.
+  bool NextBool(double p_true);
+
+  // Poisson-distributed count with the given mean (Knuth's method; fine for
+  // small means as used by the document-length model).
+  int NextPoisson(double mean);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(NextUint64(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Draws ranks 0..n-1 with P(rank = i) proportional to 1/(i+1)^s using a
+// precomputed inverse CDF (binary search per draw).
+class ZipfSampler {
+ public:
+  // n: universe size (> 0); s: skew (>= 0; 0 = uniform).
+  ZipfSampler(uint32_t n, double s);
+
+  uint32_t Sample(Rng& rng) const;
+
+  uint32_t universe_size() const { return n_; }
+
+ private:
+  uint32_t n_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i), cdf_.back() == 1.
+};
+
+}  // namespace wsk
+
+#endif  // WSK_COMMON_RNG_H_

@@ -1,0 +1,112 @@
+// Error-handling vocabulary for the wsk library.
+//
+// The library is exception-free: operations that can fail at runtime (file
+// I/O, malformed input) return wsk::Status, or wsk::StatusOr<T> when they
+// also produce a value. Programmer errors are guarded by WSK_CHECK instead.
+#ifndef WSK_COMMON_STATUS_H_
+#define WSK_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace wsk {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kCorruption,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+// Returns a stable human-readable name for `code` ("OK", "IO_ERROR", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A lightweight success-or-error result. Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Holds either a value of type T or an error Status. Access to the value
+// when !ok() is a checked programmer error.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    WSK_CHECK(!status_.ok());
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    WSK_CHECK_MSG(ok(), "%s", status_.ToString().c_str());
+    return value_;
+  }
+  T& value() & {
+    WSK_CHECK_MSG(ok(), "%s", status_.ToString().c_str());
+    return value_;
+  }
+  T&& value() && {
+    WSK_CHECK_MSG(ok(), "%s", status_.ToString().c_str());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace wsk
+
+// Propagates a non-OK Status to the caller.
+#define WSK_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::wsk::Status wsk_status__ = (expr);       \
+    if (!wsk_status__.ok()) return wsk_status__; \
+  } while (0)
+
+#endif  // WSK_COMMON_STATUS_H_

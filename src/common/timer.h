@@ -1,0 +1,38 @@
+// Wall-clock stopwatch used by the benchmark harness and examples.
+#ifndef WSK_COMMON_TIMER_H_
+#define WSK_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace wsk {
+
+// Starts running on construction; ElapsedMillis()/ElapsedMicros() read the
+// wall clock since the last Reset() (or construction).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace wsk
+
+#endif  // WSK_COMMON_TIMER_H_

@@ -1,0 +1,50 @@
+// Why-not answering via preference (alpha) adaption — the refinement model
+// of the authors' companion paper [8] (Chen et al., "Answering why-not
+// questions on spatial keyword top-k queries", ICDE 2015), which this
+// paper's conclusion proposes integrating with keyword adaption.
+//
+// Instead of editing the keywords, the user's preference alpha between
+// spatial proximity and textual similarity is adjusted: the refined query
+// is q' = (loc, doc0, k', alpha') minimizing
+//
+//   Penalty(q') = lambda * max(0, R(M,q') - k0) / (R(M,q) - k0)
+//               + (1-lambda) * |alpha' - alpha0| / max(alpha0, 1 - alpha0)
+//
+// subject to every missing object ranking within k'. Because each object's
+// score ST_alpha(o) = alpha (1 - SDist) + (1-alpha) TSim is linear in
+// alpha, an object's rank only changes where score lines cross; the exact
+// optimum is found by sweeping the O(|D| * |M|) crossing points.
+#ifndef WSK_CORE_ALPHA_REFINEMENT_H_
+#define WSK_CORE_ALPHA_REFINEMENT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/query.h"
+
+namespace wsk {
+
+struct AlphaRefineResult {
+  bool already_in_result = false;
+  double alpha = 0.5;      // alpha'
+  uint32_t k = 0;          // k'
+  uint32_t rank = 0;       // R(M, q') at alpha'
+  double penalty = 0.0;
+  uint32_t initial_rank = 0;  // R(M, q) at the original alpha
+};
+
+// Exact preference refinement over the in-memory dataset. `lambda` weighs
+// enlarging k against moving alpha. The search space is the open interval
+// (alpha_min, alpha_max) ⊂ (0, 1); the defaults keep a safety margin so
+// the ranking function stays a genuine mix of both components.
+StatusOr<AlphaRefineResult> RefineAlpha(const Dataset& dataset,
+                                        const SpatialKeywordQuery& original,
+                                        const std::vector<ObjectId>& missing,
+                                        double lambda,
+                                        double alpha_min = 0.01,
+                                        double alpha_max = 0.99);
+
+}  // namespace wsk
+
+#endif  // WSK_CORE_ALPHA_REFINEMENT_H_

@@ -1,0 +1,96 @@
+#include "core/candidates.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace wsk {
+
+CandidateEnumerator::CandidateEnumerator(
+    const KeywordSet& doc0, const std::vector<const KeywordSet*>& missing_docs,
+    const Vocabulary& vocabulary) {
+  KeywordSet m_union;
+  for (const KeywordSet* doc : missing_docs) m_union = m_union.Union(*doc);
+  universe_ = doc0.Union(m_union);
+  const uint32_t n = static_cast<uint32_t>(universe_.size());
+  WSK_CHECK_MSG(n <= 24, "candidate universe too large: %u terms", n);
+  if (n == 0) return;
+
+  // Per-term data: membership in doc0 and total particularity over the
+  // missing objects. Parti(M, t) = Σ_i Parti(m_i, t).
+  const std::vector<TermId>& terms = universe_.terms();
+  std::vector<bool> in_doc0(n);
+  std::vector<double> particularity(n, 0.0);
+  for (uint32_t i = 0; i < n; ++i) {
+    in_doc0[i] = doc0.Contains(terms[i]);
+    for (const KeywordSet* doc : missing_docs) {
+      particularity[i] += vocabulary.Particularity(*doc, terms[i]);
+    }
+  }
+
+  const uint32_t total = (1u << n) - 1;  // skip the empty set (mask 0)
+  ordered_.reserve(total);
+  for (uint32_t mask = 1; mask <= total; ++mask) {
+    KeywordSet doc;
+    {
+      std::vector<TermId> picked;
+      for (uint32_t i = 0; i < n; ++i) {
+        if (mask & (1u << i)) picked.push_back(terms[i]);
+      }
+      doc = KeywordSet::FromSorted(std::move(picked));
+    }
+    uint32_t ed = 0;
+    double benefit = 0.0;
+    for (uint32_t i = 0; i < n; ++i) {
+      const bool in_candidate = (mask & (1u << i)) != 0;
+      if (in_candidate == in_doc0[i]) continue;
+      ++ed;
+      // Insertions of particular terms help; deletions of particular terms
+      // hurt (and deleting a term irrelevant to M, whose particularity is
+      // negative, helps).
+      benefit += in_candidate ? particularity[i] : -particularity[i];
+    }
+    if (ed == 0) continue;  // the candidate equals doc0
+    ordered_.push_back(Candidate{std::move(doc), ed, benefit});
+  }
+
+  std::sort(ordered_.begin(), ordered_.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.edit_distance != b.edit_distance)
+                return a.edit_distance < b.edit_distance;
+              if (a.benefit != b.benefit) return a.benefit > b.benefit;
+              return a.doc < b.doc;
+            });
+}
+
+std::vector<Candidate> CandidateEnumerator::UnorderedCopy() const {
+  std::vector<Candidate> copy = ordered_;
+  // Deterministic but order-agnostic: sort purely by keyword set.
+  std::sort(copy.begin(), copy.end(),
+            [](const Candidate& a, const Candidate& b) { return a.doc < b.doc; });
+  return copy;
+}
+
+std::vector<Candidate> CandidateEnumerator::SampleByBenefit(
+    uint32_t sample_size) const {
+  if (sample_size >= ordered_.size()) return ordered_;
+  std::vector<Candidate> by_benefit = ordered_;
+  std::sort(by_benefit.begin(), by_benefit.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.benefit != b.benefit) return a.benefit > b.benefit;
+              if (a.edit_distance != b.edit_distance)
+                return a.edit_distance < b.edit_distance;
+              return a.doc < b.doc;
+            });
+  by_benefit.resize(sample_size);
+  std::sort(by_benefit.begin(), by_benefit.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.edit_distance != b.edit_distance)
+                return a.edit_distance < b.edit_distance;
+              if (a.benefit != b.benefit) return a.benefit > b.benefit;
+              return a.doc < b.doc;
+            });
+  return by_benefit;
+}
+
+}  // namespace wsk

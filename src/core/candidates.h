@@ -1,0 +1,62 @@
+// Candidate keyword-set enumeration (Sections IV-B, IV-C2, VI-B).
+//
+// Candidates are the non-empty subsets of doc0 ∪ M.doc other than doc0
+// itself (doc0 with an enlarged k is the "basic refined query" that seeds
+// the search). Each candidate carries its edit distance to doc0 and an
+// ordering benefit derived from the Eqn 7 particularity: inserting terms
+// that are particular to the missing objects (rare terms they contain)
+// ranks earlier; deleting such terms ranks later.
+#ifndef WSK_CORE_CANDIDATES_H_
+#define WSK_CORE_CANDIDATES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/keyword_set.h"
+#include "text/vocabulary.h"
+
+namespace wsk {
+
+struct Candidate {
+  KeywordSet doc;          // doc'
+  uint32_t edit_distance;  // ED(doc0, doc')
+  double benefit;          // higher = expected closer to the best refinement
+};
+
+class CandidateEnumerator {
+ public:
+  // `missing_docs` are the keyword sets of the missing objects (their union
+  // with doc0 spans the candidate universe). The vocabulary supplies the
+  // particularity weights. The universe size |doc0 ∪ M.doc| is capped at
+  // 24 terms (2^24 subsets) as a safety bound.
+  CandidateEnumerator(const KeywordSet& doc0,
+                      const std::vector<const KeywordSet*>& missing_docs,
+                      const Vocabulary& vocabulary);
+
+  // All candidates sorted by (edit distance asc, benefit desc, doc asc) —
+  // the Section IV-C2 enumeration order.
+  const std::vector<Candidate>& ordered() const { return ordered_; }
+
+  // Candidates in raw subset-mask order: the unoptimized basic algorithm's
+  // enumeration.
+  std::vector<Candidate> UnorderedCopy() const;
+
+  // The Section VI-B approximate sample: the `sample_size` candidates with
+  // the highest benefit, returned in enumeration order. Returns everything
+  // when sample_size >= total.
+  std::vector<Candidate> SampleByBenefit(uint32_t sample_size) const;
+
+  // |doc0 ∪ M.doc| — the penalty's keyword normalizer.
+  uint32_t universe_size() const {
+    return static_cast<uint32_t>(universe_.size());
+  }
+  const KeywordSet& universe() const { return universe_; }
+
+ private:
+  KeywordSet universe_;
+  std::vector<Candidate> ordered_;
+};
+
+}  // namespace wsk
+
+#endif  // WSK_CORE_CANDIDATES_H_

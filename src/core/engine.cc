@@ -1,0 +1,177 @@
+#include "core/engine.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include <unistd.h>
+
+#include "core/whynot_bs.h"
+#include "core/whynot_kcr.h"
+#include "index/topk.h"
+
+namespace wsk {
+
+namespace {
+
+std::string UniqueIndexPath(const std::string& work_dir, const char* kind) {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t id = counter.fetch_add(1);
+  return work_dir + "/wsk_" + std::to_string(getpid()) + "_" +
+         std::to_string(id) + "_" + kind + ".idx";
+}
+
+}  // namespace
+
+const char* WhyNotAlgorithmName(WhyNotAlgorithm algorithm) {
+  switch (algorithm) {
+    case WhyNotAlgorithm::kBasic:
+      return "BS";
+    case WhyNotAlgorithm::kAdvanced:
+      return "AdvancedBS";
+    case WhyNotAlgorithm::kKcrBased:
+      return "KcRBased";
+  }
+  return "unknown";
+}
+
+StatusOr<std::unique_ptr<WhyNotEngine>> WhyNotEngine::Build(
+    const Dataset* dataset, const Config& config) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("dataset is null");
+  }
+  std::unique_ptr<WhyNotEngine> engine(new WhyNotEngine());
+  engine->dataset_ = dataset;
+  engine->config_ = config;
+  engine->setr_path_ = UniqueIndexPath(config.work_dir, "setr");
+  engine->kcr_path_ = UniqueIndexPath(config.work_dir, "kcr");
+
+  StatusOr<std::unique_ptr<Pager>> setr_pager =
+      Pager::Create(engine->setr_path_, config.page_size);
+  if (!setr_pager.ok()) return setr_pager.status();
+  engine->setr_pager_ = std::move(setr_pager).value();
+  engine->setr_pool_ = std::make_unique<BufferPool>(engine->setr_pager_.get(),
+                                                    config.buffer_bytes);
+
+  StatusOr<std::unique_ptr<Pager>> kcr_pager =
+      Pager::Create(engine->kcr_path_, config.page_size);
+  if (!kcr_pager.ok()) return kcr_pager.status();
+  engine->kcr_pager_ = std::move(kcr_pager).value();
+  engine->kcr_pool_ = std::make_unique<BufferPool>(engine->kcr_pager_.get(),
+                                                   config.buffer_bytes);
+
+  SetRTree::Options setr_options;
+  setr_options.capacity = config.node_capacity;
+  setr_options.model = config.model;
+  StatusOr<std::unique_ptr<SetRTree>> setr =
+      SetRTree::BulkLoad(*dataset, engine->setr_pool_.get(), setr_options);
+  if (!setr.ok()) return setr.status();
+  engine->setr_tree_ = std::move(setr).value();
+
+  KcrTree::Options kcr_options;
+  kcr_options.capacity = config.node_capacity;
+  kcr_options.model = config.model;
+  StatusOr<std::unique_ptr<KcrTree>> kcr =
+      KcrTree::BulkLoad(*dataset, engine->kcr_pool_.get(), kcr_options);
+  if (!kcr.ok()) return kcr.status();
+  engine->kcr_tree_ = std::move(kcr).value();
+
+  engine->ResetIoStats();
+  return engine;
+}
+
+WhyNotEngine::~WhyNotEngine() {
+  // Trees and pools must close before the backing files are removed.
+  setr_tree_.reset();
+  kcr_tree_.reset();
+  setr_pool_.reset();
+  kcr_pool_.reset();
+  setr_pager_.reset();
+  kcr_pager_.reset();
+  if (!setr_path_.empty()) std::remove(setr_path_.c_str());
+  if (!kcr_path_.empty()) std::remove(kcr_path_.c_str());
+}
+
+StatusOr<WhyNotResult> WhyNotEngine::Answer(
+    WhyNotAlgorithm algorithm, const SpatialKeywordQuery& query,
+    const std::vector<ObjectId>& missing, const WhyNotOptions& options) const {
+  const IoStats& io = algorithm == WhyNotAlgorithm::kKcrBased
+                          ? kcr_pager_->io_stats()
+                          : setr_pager_->io_stats();
+  const uint64_t reads_before = io.physical_reads();
+
+  StatusOr<WhyNotResult> result = Status::Internal("unreachable");
+  switch (algorithm) {
+    case WhyNotAlgorithm::kBasic: {
+      WhyNotOptions plain = options;
+      plain.opt_early_stop = false;
+      plain.opt_enumeration_order = false;
+      plain.opt_keyword_filtering = false;
+      result = AnswerWhyNotBasic(*dataset_, *setr_tree_, query, missing,
+                                 plain);
+      break;
+    }
+    case WhyNotAlgorithm::kAdvanced:
+      result = AnswerWhyNotBasic(*dataset_, *setr_tree_, query, missing,
+                                 options);
+      break;
+    case WhyNotAlgorithm::kKcrBased:
+      result = AnswerWhyNotKcr(*dataset_, *kcr_tree_, query, missing,
+                               options);
+      break;
+  }
+  if (result.ok()) {
+    result.value().stats.io_reads = io.physical_reads() - reads_before;
+  }
+  return result;
+}
+
+StatusOr<std::vector<ScoredObject>> WhyNotEngine::TopK(
+    const SpatialKeywordQuery& query) const {
+  return IndexTopK(*setr_tree_, query);
+}
+
+StatusOr<uint32_t> WhyNotEngine::Rank(const SpatialKeywordQuery& query,
+                                      ObjectId object) const {
+  if (object >= dataset_->size()) {
+    return Status::InvalidArgument("object id out of range");
+  }
+  const double score =
+      Score(dataset_->object(object), query, setr_tree_->diagonal());
+  TopKIterator it(setr_tree_.get(), query);
+  uint32_t strictly_better = 0;
+  std::optional<ScoredObject> next;
+  for (;;) {
+    WSK_RETURN_IF_ERROR(it.Next(&next));
+    if (!next || next->score <= score) break;
+    ++strictly_better;
+  }
+  return strictly_better + 1;
+}
+
+StatusOr<ObjectId> WhyNotEngine::ObjectAtPosition(
+    const SpatialKeywordQuery& query, uint32_t position) const {
+  if (position == 0) {
+    return Status::InvalidArgument("positions are 1-based");
+  }
+  TopKIterator it(setr_tree_.get(), query);
+  std::optional<ScoredObject> next;
+  for (uint32_t i = 0; i < position; ++i) {
+    WSK_RETURN_IF_ERROR(it.Next(&next));
+    if (!next) {
+      return Status::NotFound("dataset has fewer objects than the position");
+    }
+  }
+  return next->id;
+}
+
+Status WhyNotEngine::DropCaches() const {
+  WSK_RETURN_IF_ERROR(setr_pool_->InvalidateAll());
+  return kcr_pool_->InvalidateAll();
+}
+
+void WhyNotEngine::ResetIoStats() const {
+  setr_pager_->io_stats().Reset();
+  kcr_pager_->io_stats().Reset();
+}
+
+}  // namespace wsk

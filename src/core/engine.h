@@ -1,0 +1,107 @@
+// WhyNotEngine: the library facade.
+//
+// Owns the disk-resident SetR-tree and KcR-tree built over a dataset (each
+// in its own paged file with its own 4 MiB LRU buffer, as in the paper's
+// setup), answers spatial keyword top-k queries, and dispatches why-not
+// queries to the three algorithms:
+//   kBasic      — BS        (Section IV-B; no optimizations, SetR-tree)
+//   kAdvanced   — AdvancedBS (Section IV-C optimizations, SetR-tree)
+//   kKcrBased   — KcRBased  (Section V bound-and-prune, KcR-tree)
+#ifndef WSK_CORE_ENGINE_H_
+#define WSK_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/whynot.h"
+#include "data/dataset.h"
+#include "data/query.h"
+#include "index/kcr_tree.h"
+#include "index/setr_tree.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+
+namespace wsk {
+
+enum class WhyNotAlgorithm {
+  kBasic,     // BS
+  kAdvanced,  // AdvancedBS
+  kKcrBased,  // KcRBased
+};
+
+const char* WhyNotAlgorithmName(WhyNotAlgorithm algorithm);
+
+class WhyNotEngine {
+ public:
+  struct Config {
+    std::string work_dir = "/tmp";        // index files land here
+    uint32_t page_size = kDefaultPageSize;  // 4 KiB (Section VII-A1)
+    size_t buffer_bytes = 4u << 20;         // 4 MiB per index
+    uint32_t node_capacity = 100;
+    SimilarityModel model = SimilarityModel::kJaccard;
+  };
+
+  // Bulk-loads both indexes over `dataset`. The dataset must outlive the
+  // engine (it is the authoritative object table; the missing objects'
+  // keyword sets are read from it).
+  static StatusOr<std::unique_ptr<WhyNotEngine>> Build(const Dataset* dataset,
+                                                       const Config& config);
+
+  ~WhyNotEngine();
+  WhyNotEngine(const WhyNotEngine&) = delete;
+  WhyNotEngine& operator=(const WhyNotEngine&) = delete;
+
+  // Answers the keyword-adapted why-not query (Definition 2) with the given
+  // algorithm. When options.num_threads is 0 and the algorithm is kBasic,
+  // this reproduces the paper's unoptimized BS exactly (the optimization
+  // switches in `options` are ignored for kBasic — they are forced off).
+  StatusOr<WhyNotResult> Answer(WhyNotAlgorithm algorithm,
+                                const SpatialKeywordQuery& query,
+                                const std::vector<ObjectId>& missing,
+                                const WhyNotOptions& options) const;
+
+  // Spatial keyword top-k over the SetR-tree.
+  StatusOr<std::vector<ScoredObject>> TopK(
+      const SpatialKeywordQuery& query) const;
+
+  // R(object, query) per Eqn 3.
+  StatusOr<uint32_t> Rank(const SpatialKeywordQuery& query,
+                          ObjectId object) const;
+
+  // The object at the given 1-based position of the ranked stream (used by
+  // the experiments to pick "the object ranked 5*k0+1").
+  StatusOr<ObjectId> ObjectAtPosition(const SpatialKeywordQuery& query,
+                                      uint32_t position) const;
+
+  // Drops both buffer pools (cold-cache experiments).
+  Status DropCaches() const;
+
+  const Dataset& dataset() const { return *dataset_; }
+  const SetRTree& setr_tree() const { return *setr_tree_; }
+  const KcrTree& kcr_tree() const { return *kcr_tree_; }
+  const Config& config() const { return config_; }
+
+  // I/O counters of the two index files.
+  IoStats& setr_io() const { return setr_pager_->io_stats(); }
+  IoStats& kcr_io() const { return kcr_pager_->io_stats(); }
+  void ResetIoStats() const;
+
+ private:
+  WhyNotEngine() = default;
+
+  const Dataset* dataset_ = nullptr;
+  Config config_;
+  std::string setr_path_;
+  std::string kcr_path_;
+  std::unique_ptr<Pager> setr_pager_;
+  std::unique_ptr<Pager> kcr_pager_;
+  std::unique_ptr<BufferPool> setr_pool_;
+  std::unique_ptr<BufferPool> kcr_pool_;
+  std::unique_ptr<SetRTree> setr_tree_;
+  std::unique_ptr<KcrTree> kcr_tree_;
+};
+
+}  // namespace wsk
+
+#endif  // WSK_CORE_ENGINE_H_

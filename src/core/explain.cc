@@ -1,0 +1,64 @@
+#include "core/explain.h"
+
+#include <cstdio>
+
+namespace wsk {
+
+std::string MissExplanation::ToString() const {
+  char buf[512];
+  if (in_result) {
+    std::snprintf(buf, sizeof(buf),
+                  "object ranks %u and is inside the top-%u result", rank, k);
+    return buf;
+  }
+  const char* dominant_cause =
+      textual_term < spatial_term ? "textual similarity" : "spatial distance";
+  std::snprintf(
+      buf, sizeof(buf),
+      "object ranks %u (top-%u requested); score %.4f = %.4f spatial + "
+      "%.4f textual vs %.4f needed (deficit %.4f); matches %zu/%zu query "
+      "keywords; the weaker component is %s",
+      rank, k, missing_score, spatial_term, textual_term, kth_score, deficit,
+      matched_keywords, query_keywords, dominant_cause);
+  return buf;
+}
+
+StatusOr<MissExplanation> ExplainMiss(const WhyNotEngine& engine,
+                                      const SpatialKeywordQuery& query,
+                                      ObjectId object) {
+  if (object >= engine.dataset().size()) {
+    return Status::InvalidArgument("object id out of range");
+  }
+  if (query.k == 0) {
+    return Status::InvalidArgument("k must be at least 1");
+  }
+  MissExplanation out;
+  out.k = query.k;
+
+  const Dataset& dataset = engine.dataset();
+  const SpatialObject& o = dataset.object(object);
+  const double diagonal = engine.setr_tree().diagonal();
+  const double sdist = Distance(o.loc, query.loc) / diagonal;
+  const double tsim = TextualSimilarity(o.doc, query.doc, query.model);
+  out.spatial_term = query.alpha * (1.0 - sdist);
+  out.textual_term = (1.0 - query.alpha) * tsim;
+  out.missing_score = out.spatial_term + out.textual_term;
+  out.matched_keywords = o.doc.IntersectionSize(query.doc);
+  out.query_keywords = query.doc.size();
+
+  StatusOr<uint32_t> rank = engine.Rank(query, object);
+  if (!rank.ok()) return rank.status();
+  out.rank = rank.value();
+  out.in_result = out.rank <= query.k;
+
+  StatusOr<std::vector<ScoredObject>> top = engine.TopK(query);
+  if (!top.ok()) return top.status();
+  if (!top.value().empty()) {
+    const std::vector<ScoredObject>& hits = top.value();
+    out.kth_score = hits.back().score;
+    out.deficit = out.in_result ? 0.0 : out.kth_score - out.missing_score;
+  }
+  return out;
+}
+
+}  // namespace wsk

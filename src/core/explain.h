@@ -1,0 +1,46 @@
+// Diagnostic decomposition of a why-not situation: *why* is the object
+// missing — too far, or textually too dissimilar? Useful for surfacing the
+// refined query's rationale to end users (the examples print it) and for
+// deciding between keyword and preference refinement.
+#ifndef WSK_CORE_EXPLAIN_H_
+#define WSK_CORE_EXPLAIN_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "data/query.h"
+
+namespace wsk {
+
+struct MissExplanation {
+  bool in_result = false;  // the object is not actually missing
+  uint32_t rank = 0;
+  uint32_t k = 0;
+
+  // Score decomposition of the missing object: ST = spatial + textual.
+  double missing_score = 0.0;
+  double spatial_term = 0.0;  // alpha * (1 - SDist)
+  double textual_term = 0.0;  // (1-alpha) * TSim
+
+  // The k-th result object's score: what the missing object must beat.
+  double kth_score = 0.0;
+  double deficit = 0.0;  // kth_score - missing_score (>= 0 when missing)
+
+  // Keyword overlap between the query and the object.
+  size_t matched_keywords = 0;
+  size_t query_keywords = 0;
+
+  // Human-readable one-paragraph summary.
+  std::string ToString() const;
+};
+
+// Explains the standing of `object` under `query` using the engine's
+// indexes for the ranking.
+StatusOr<MissExplanation> ExplainMiss(const WhyNotEngine& engine,
+                                      const SpatialKeywordQuery& query,
+                                      ObjectId object);
+
+}  // namespace wsk
+
+#endif  // WSK_CORE_EXPLAIN_H_

@@ -1,0 +1,48 @@
+#include "core/integrated.h"
+
+namespace wsk {
+
+const char* RefinementKindName(RefinementKind kind) {
+  switch (kind) {
+    case RefinementKind::kNone:
+      return "none";
+    case RefinementKind::kKeywords:
+      return "keywords";
+    case RefinementKind::kPreference:
+      return "preference";
+  }
+  return "unknown";
+}
+
+StatusOr<IntegratedResult> AnswerWhyNotIntegrated(
+    const WhyNotEngine& engine, WhyNotAlgorithm algorithm,
+    const SpatialKeywordQuery& query, const std::vector<ObjectId>& missing,
+    const WhyNotOptions& options) {
+  IntegratedResult result;
+
+  StatusOr<WhyNotResult> keywords =
+      engine.Answer(algorithm, query, missing, options);
+  if (!keywords.ok()) return keywords.status();
+  result.keywords = std::move(keywords).value();
+
+  StatusOr<AlphaRefineResult> preference =
+      RefineAlpha(engine.dataset(), query, missing, options.lambda);
+  if (!preference.ok()) return preference.status();
+  result.preference = std::move(preference).value();
+
+  if (result.keywords.already_in_result) {
+    result.kind = RefinementKind::kNone;
+    result.best_penalty = 0.0;
+    return result;
+  }
+  if (result.keywords.refined.penalty <= result.preference.penalty) {
+    result.kind = RefinementKind::kKeywords;
+    result.best_penalty = result.keywords.refined.penalty;
+  } else {
+    result.kind = RefinementKind::kPreference;
+    result.best_penalty = result.preference.penalty;
+  }
+  return result;
+}
+
+}  // namespace wsk

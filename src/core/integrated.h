@@ -1,0 +1,42 @@
+// Integrated why-not answering: keyword adaption (this paper) and
+// preference adaption ([8]) side by side, returning whichever refinement is
+// cheaper. This is the direction the paper's conclusion sketches — "an
+// integrated framework that supports ... the refinement of parameter
+// alpha, the query keyword set ... in a concerted fashion".
+#ifndef WSK_CORE_INTEGRATED_H_
+#define WSK_CORE_INTEGRATED_H_
+
+#include <vector>
+
+#include "core/alpha_refinement.h"
+#include "core/engine.h"
+#include "core/whynot.h"
+
+namespace wsk {
+
+enum class RefinementKind {
+  kNone,        // the missing objects were already in the result
+  kKeywords,    // adapting doc (and possibly k) won
+  kPreference,  // adapting alpha (and possibly k) won
+};
+
+const char* RefinementKindName(RefinementKind kind);
+
+struct IntegratedResult {
+  RefinementKind kind = RefinementKind::kNone;
+  double best_penalty = 0.0;
+  WhyNotResult keywords;      // the keyword-adaption answer
+  AlphaRefineResult preference;  // the alpha-adaption answer
+};
+
+// Runs both refinement models (keyword adaption with `algorithm`,
+// preference adaption exactly) under the same lambda and reports the
+// cheaper one. Ties prefer keyword adaption, the paper's subject.
+StatusOr<IntegratedResult> AnswerWhyNotIntegrated(
+    const WhyNotEngine& engine, WhyNotAlgorithm algorithm,
+    const SpatialKeywordQuery& query, const std::vector<ObjectId>& missing,
+    const WhyNotOptions& options);
+
+}  // namespace wsk
+
+#endif  // WSK_CORE_INTEGRATED_H_

@@ -1,0 +1,50 @@
+// Why-not answering via query-location refinement — the other future-work
+// direction named in the paper's conclusion ("the refinement of query
+// location in spatial keyword top-k queries").
+//
+// The refined query q' = (loc', doc0, k', alpha) moves the query point the
+// minimum (penalized) distance so that the missing objects enter the
+// result:
+//
+//   Penalty(q') = lambda * max(0, R(M,q') - k0) / (R(M,q) - k0)
+//               + (1-lambda) * |loc' - loc| / diagonal
+//
+// Unlike alpha, rank is not piecewise constant along a simple parameter, so
+// this module searches the segment from the original location toward the
+// missing objects' centroid — the direction that monotonically improves the
+// missing objects' spatial score — with an exact rank evaluation at each
+// candidate point, then locally refines around the best sample. The result
+// is exact over the sampled line, not over the whole plane; that contract
+// is part of the API name (Approximate).
+#ifndef WSK_CORE_LOCATION_REFINEMENT_H_
+#define WSK_CORE_LOCATION_REFINEMENT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/query.h"
+
+namespace wsk {
+
+struct LocationRefineResult {
+  bool already_in_result = false;
+  Point loc;            // loc'
+  uint32_t k = 0;       // k'
+  uint32_t rank = 0;    // R(M, q') at loc'
+  double penalty = 0.0;
+  double moved = 0.0;   // |loc' - loc| (unnormalized)
+  uint32_t initial_rank = 0;
+};
+
+// Approximate location refinement along the centroid direction; `samples`
+// controls the line discretization (the local refinement adds a golden-
+// section-style shrink around the best sample).
+StatusOr<LocationRefineResult> RefineLocationApproximate(
+    const Dataset& dataset, const SpatialKeywordQuery& original,
+    const std::vector<ObjectId>& missing, double lambda,
+    uint32_t samples = 64);
+
+}  // namespace wsk
+
+#endif  // WSK_CORE_LOCATION_REFINEMENT_H_

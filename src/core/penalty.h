@@ -1,0 +1,77 @@
+// The penalty model of Eqn 4 and the Eqn 6 rank bound used for early
+// stopping.
+//
+// For a why-not query with original rank R = R(M, q) (> k0) and keyword
+// normalizer |doc0 ∪ M.doc|:
+//   Penalty(q') = lambda * max(0, R(M,q') - k0) / (R - k0)
+//               + (1-lambda) * ED(doc0, doc') / |doc0 ∪ M.doc|
+#ifndef WSK_CORE_PENALTY_H_
+#define WSK_CORE_PENALTY_H_
+
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace wsk {
+
+class PenaltyModel {
+ public:
+  // Requires initial_rank > k0 (otherwise nothing is missing) and
+  // doc_normalizer >= 1. lambda in [0, 1].
+  PenaltyModel(double lambda, uint32_t k0, uint32_t initial_rank,
+               uint32_t doc_normalizer)
+      : lambda_(lambda),
+        k0_(k0),
+        initial_rank_(initial_rank),
+        k_normalizer_(initial_rank - k0),
+        doc_normalizer_(doc_normalizer) {
+    WSK_CHECK(lambda >= 0.0 && lambda <= 1.0);
+    WSK_CHECK(initial_rank > k0);
+    WSK_CHECK(doc_normalizer >= 1);
+  }
+
+  double lambda() const { return lambda_; }
+  uint32_t k0() const { return k0_; }
+  uint32_t initial_rank() const { return initial_rank_; }
+
+  // (1-lambda) * ed / |doc0 ∪ M.doc| — the textual half of the penalty.
+  double DocPenalty(uint64_t edit_distance) const {
+    return (1.0 - lambda_) * static_cast<double>(edit_distance) /
+           doc_normalizer_;
+  }
+
+  // lambda * max(0, rank - k0) / (R - k0) — the cardinality half.
+  double KPenalty(uint64_t rank) const {
+    const double dk = rank > k0_ ? static_cast<double>(rank - k0_) : 0.0;
+    return lambda_ * dk / k_normalizer_;
+  }
+
+  double Penalty(uint64_t rank, uint64_t edit_distance) const {
+    return KPenalty(rank) + DocPenalty(edit_distance);
+  }
+
+  // Eqn 6: the largest rank R(M, q') a candidate with the given edit
+  // distance may have while its penalty stays <= best_penalty. Returns a
+  // value < 1 when the candidate cannot win regardless of rank, and
+  // INT64_MAX when lambda == 0 (rank does not contribute to the penalty).
+  int64_t RankUpperBound(double best_penalty, uint64_t edit_distance) const {
+    const double headroom = best_penalty - DocPenalty(edit_distance);
+    if (headroom < 0.0) return 0;
+    if (lambda_ == 0.0) return INT64_MAX;
+    const double bound =
+        static_cast<double>(k0_) + headroom / lambda_ * k_normalizer_;
+    if (bound >= 9e18) return INT64_MAX;
+    return static_cast<int64_t>(bound);  // floor for non-negative values
+  }
+
+ private:
+  double lambda_;
+  uint32_t k0_;
+  uint32_t initial_rank_;
+  double k_normalizer_;
+  double doc_normalizer_;
+};
+
+}  // namespace wsk
+
+#endif  // WSK_CORE_PENALTY_H_

@@ -1,0 +1,82 @@
+// Public types of the keyword-adapted why-not query (Definition 2).
+#ifndef WSK_CORE_WHYNOT_H_
+#define WSK_CORE_WHYNOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/query.h"
+#include "text/keyword_set.h"
+
+namespace wsk {
+
+// Tuning knobs for the why-not algorithms. The three opt_* switches map to
+// the Section IV-C optimizations (Fig. 11's Opt1/Opt2/Opt3); all of them
+// only affect the basic/advanced algorithm family.
+struct WhyNotOptions {
+  // User preference between modifying k and modifying the keywords (Eqn 4).
+  double lambda = 0.5;
+
+  // Opt1 — early stop: abort a candidate's spatial keyword query once the
+  // Eqn 6 rank bound is exceeded.
+  bool opt_early_stop = true;
+
+  // Opt2 — enumeration order: consider candidates by (edit distance,
+  // particularity benefit) and stop when the next candidate's keyword
+  // penalty alone reaches the best penalty.
+  bool opt_enumeration_order = true;
+
+  // Opt3 — keyword-set filtering: cache dominators of the missing objects
+  // and skip candidates whose cached dominators already exceed the rank
+  // bound.
+  bool opt_keyword_filtering = true;
+
+  // Worker threads for candidate evaluation (Section IV-C4); 0 runs inline.
+  int num_threads = 0;
+
+  // KcRBased only — Section V-D strategy switch. The default (false)
+  // processes candidates in batches of equal edit distance with the early
+  // stop between batches (Algorithm 4); true feeds every candidate to a
+  // single Algorithm 3 traversal, the "straightforward way" the paper
+  // describes and argues against for large candidate sets.
+  bool kcr_single_batch = false;
+
+  // Section VI-B approximate mode: evaluate only the `sample_size`
+  // candidates with the highest particularity benefit. 0 = exact.
+  uint32_t sample_size = 0;
+};
+
+// The answer: the refined query q' = (loc, doc', k', alpha). loc and alpha
+// are unchanged from the original query.
+struct RefinedQuery {
+  KeywordSet doc;           // doc'
+  uint32_t k = 0;           // k'
+  uint32_t rank = 0;        // R(M, q') under the refined keywords
+  uint32_t edit_distance = 0;
+  double penalty = 0.0;     // Eqn 4
+};
+
+struct WhyNotStats {
+  uint32_t initial_rank = 0;  // R(M, q)
+  uint64_t candidates_total = 0;
+  uint64_t candidates_evaluated = 0;      // spatial keyword queries run
+  uint64_t candidates_filtered = 0;       // pruned by the dominator cache
+  uint64_t candidates_skipped_order = 0;  // unvisited after the order stop
+  uint64_t candidates_pruned_bounds = 0;  // pruned by KcR penalty bounds
+  uint64_t nodes_expanded = 0;            // KcR traversal node unfoldings
+  double elapsed_ms = 0.0;
+  uint64_t io_reads = 0;  // physical page reads during the query
+};
+
+struct WhyNotResult {
+  // True when every missing object already ranks within the original top-k;
+  // `refined` then equals the original query with penalty 0.
+  bool already_in_result = false;
+  RefinedQuery refined;
+  WhyNotStats stats;
+};
+
+}  // namespace wsk
+
+#endif  // WSK_CORE_WHYNOT_H_

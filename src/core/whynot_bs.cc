@@ -1,0 +1,235 @@
+#include "core/whynot_bs.h"
+
+#include <atomic>
+#include <mutex>
+#include <unordered_set>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/candidates.h"
+#include "core/penalty.h"
+#include "core/whynot_common.h"
+
+namespace wsk {
+
+namespace {
+
+using internal::MissingSet;
+using internal::RankFromIndex;
+
+// Search state shared between candidate-evaluation workers (Section IV-C4:
+// p_c and the rank bounds must be synchronized across threads).
+struct SharedState {
+  std::mutex mu;
+
+  double best_penalty;           // p_c
+  RefinedQuery best;
+  uint64_t best_order = UINT64_MAX;  // enumeration index, for stable ties
+
+  bool stop = false;  // set by the enumeration-order early termination
+
+  // Opt3: objects seen to dominate the missing set under some candidate.
+  std::unordered_set<ObjectId> dominator_cache;
+  std::vector<ObjectId> dominator_list;  // stable snapshot source
+
+  // Counters (guarded by mu).
+  uint64_t evaluated = 0;
+  uint64_t filtered = 0;
+};
+
+// Evaluates candidate `cand` (enumeration position `order`) and updates the
+// shared state. Returns non-OK only on I/O failure.
+Status EvaluateCandidate(const Dataset& dataset, const SetRTree& tree,
+                         const SpatialKeywordQuery& original,
+                         const MissingSet& missing, const PenaltyModel& pm,
+                         const WhyNotOptions& options, const Candidate& cand,
+                         uint64_t order, SharedState* state) {
+  double p_c;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->stop) return Status::Ok();
+    p_c = state->best_penalty;
+  }
+
+  const double doc_pen = pm.DocPenalty(cand.edit_distance);
+  if (options.opt_enumeration_order && doc_pen >= p_c) {
+    // Candidates are ordered by edit distance, so no later candidate can
+    // beat p_c on the keyword penalty alone: stop the whole enumeration.
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->stop = true;
+    return Status::Ok();
+  }
+
+  // Eqn 6 rank bound: shared by Opt1 (query early stop) and Opt3 (cache
+  // filtering); the two optimizations consume it independently.
+  const int64_t rank_bound = pm.RankUpperBound(p_c, cand.edit_distance);
+
+  // Opt1: abort hopeless candidates outright and cap query processing.
+  int64_t rank_limit = 0;  // 0 = run the query to completion (plain BS)
+  if (options.opt_early_stop) {
+    if (rank_bound < 1) return Status::Ok();  // cannot win at any rank
+    rank_limit = rank_bound;
+  }
+
+  SpatialKeywordQuery refined = original;
+  refined.doc = cand.doc;
+  const double min_score = missing.MinScore(refined, tree.diagonal());
+
+  // Opt3: prune the candidate before running its query — immediately when
+  // no rank can beat p_c, otherwise by counting cached dominators that
+  // still dominate under the new keywords against the rank bound.
+  if (options.opt_keyword_filtering && rank_bound < 1) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    ++state->filtered;
+    return Status::Ok();
+  }
+  if (options.opt_keyword_filtering) {
+    std::vector<ObjectId> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      snapshot = state->dominator_list;
+    }
+    int64_t still_dominating = 0;
+    for (ObjectId id : snapshot) {
+      if (Score(dataset.object(id), refined, tree.diagonal()) > min_score) {
+        ++still_dominating;
+      }
+      if (still_dominating >= rank_bound) break;
+    }
+    if (still_dominating >= rank_bound) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      ++state->filtered;
+      return Status::Ok();
+    }
+  }
+
+  bool exceeded = false;
+  std::vector<ObjectId> dominators;
+  StatusOr<uint32_t> rank = RankFromIndex(
+      tree, refined, min_score, rank_limit, &exceeded,
+      options.opt_keyword_filtering ? &dominators : nullptr);
+  if (!rank.ok()) return rank.status();
+
+  std::lock_guard<std::mutex> lock(state->mu);
+  ++state->evaluated;
+  if (options.opt_keyword_filtering) {
+    for (ObjectId id : dominators) {
+      if (state->dominator_cache.insert(id).second) {
+        state->dominator_list.push_back(id);
+      }
+    }
+  }
+  if (exceeded) return Status::Ok();
+
+  const double penalty = pm.Penalty(rank.value(), cand.edit_distance);
+  if (penalty < state->best_penalty ||
+      (penalty == state->best_penalty && order < state->best_order)) {
+    state->best_penalty = penalty;
+    state->best_order = order;
+    state->best.doc = cand.doc;
+    state->best.rank = rank.value();
+    state->best.k = std::max(original.k, rank.value());
+    state->best.edit_distance = cand.edit_distance;
+    state->best.penalty = penalty;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<WhyNotResult> AnswerWhyNotBasic(const Dataset& dataset,
+                                         const SetRTree& tree,
+                                         const SpatialKeywordQuery& original,
+                                         const std::vector<ObjectId>& missing,
+                                         const WhyNotOptions& options) {
+  Timer timer;
+  WSK_RETURN_IF_ERROR(internal::ValidateWhyNotInput(original, missing, options,
+                                                    dataset.size()));
+  StatusOr<MissingSet> built = MissingSet::Build(dataset, missing);
+  if (!built.ok()) return built.status();
+  const MissingSet missing_set = std::move(built).value();
+
+  WhyNotResult result;
+
+  // Step 1: R(M, q) under the original query.
+  const double initial_min_score =
+      missing_set.MinScore(original, tree.diagonal());
+  bool exceeded = false;
+  StatusOr<uint32_t> initial_rank = RankFromIndex(
+      tree, original, initial_min_score, /*limit=*/0, &exceeded, nullptr);
+  if (!initial_rank.ok()) return initial_rank.status();
+  result.stats.initial_rank = initial_rank.value();
+
+  if (initial_rank.value() <= original.k) {
+    result.already_in_result = true;
+    result.refined.doc = original.doc;
+    result.refined.k = original.k;
+    result.refined.rank = initial_rank.value();
+    result.stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+
+  // Step 2: enumerate candidates and seed the best refined query with the
+  // "basic" refinement (keep doc0, enlarge k to R), whose penalty is lambda.
+  CandidateEnumerator enumerator(original.doc, missing_set.docs,
+                                 dataset.vocabulary());
+  const PenaltyModel pm(options.lambda, original.k, initial_rank.value(),
+                        enumerator.universe_size());
+
+  SharedState state;
+  state.best_penalty = options.lambda;
+  state.best.doc = original.doc;
+  state.best.k = initial_rank.value();
+  state.best.rank = initial_rank.value();
+  state.best.edit_distance = 0;
+  state.best.penalty = options.lambda;
+
+  std::vector<Candidate> candidates =
+      options.sample_size > 0
+          ? enumerator.SampleByBenefit(options.sample_size)
+          : (options.opt_enumeration_order ? enumerator.ordered()
+                                           : enumerator.UnorderedCopy());
+  result.stats.candidates_total = candidates.size();
+
+  Status worker_status;  // first error, guarded by status_mu
+  std::mutex status_mu;
+  std::atomic<size_t> next_index{0};
+
+  auto worker = [&]() {
+    for (;;) {
+      const size_t i = next_index.fetch_add(1);
+      if (i >= candidates.size()) return;
+      {
+        std::lock_guard<std::mutex> lock(state.mu);
+        if (state.stop) return;
+      }
+      Status s = EvaluateCandidate(dataset, tree, original, missing_set, pm,
+                                   options, candidates[i], i, &state);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(status_mu);
+        if (worker_status.ok()) worker_status = s;
+        return;
+      }
+    }
+  };
+
+  if (options.num_threads > 0) {
+    ThreadPool pool(options.num_threads);
+    for (int t = 0; t < options.num_threads; ++t) pool.Submit(worker);
+    pool.Wait();
+  } else {
+    worker();
+  }
+  WSK_RETURN_IF_ERROR(worker_status);
+
+  result.refined = state.best;
+  result.stats.candidates_evaluated = state.evaluated;
+  result.stats.candidates_filtered = state.filtered;
+  result.stats.candidates_skipped_order =
+      candidates.size() -
+      std::min<uint64_t>(next_index.load(), candidates.size());
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace wsk

@@ -1,0 +1,91 @@
+#include "core/whynot_common.h"
+
+#include <algorithm>
+
+namespace wsk::internal {
+
+StatusOr<MissingSet> MissingSet::Build(const Dataset& dataset,
+                                       const std::vector<ObjectId>& missing) {
+  MissingSet set;
+  for (ObjectId id : missing) {
+    if (id >= dataset.size()) {
+      return Status::InvalidArgument("missing object id out of range");
+    }
+    if (std::find(set.ids.begin(), set.ids.end(), id) != set.ids.end()) {
+      continue;  // ignore duplicates
+    }
+    const SpatialObject& o = dataset.object(id);
+    set.ids.push_back(id);
+    set.locs.push_back(o.loc);
+    set.docs.push_back(&o.doc);
+    set.union_doc = set.union_doc.Union(o.doc);
+  }
+  if (set.ids.empty()) {
+    return Status::InvalidArgument("missing object set is empty");
+  }
+  return set;
+}
+
+double MissingSet::MinScore(const SpatialKeywordQuery& query,
+                            double diagonal) const {
+  double min_score = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const double sdist = Distance(locs[i], query.loc) / diagonal;
+    const double tsim = TextualSimilarity(*docs[i], query.doc, query.model);
+    const double score =
+        query.alpha * (1.0 - sdist) + (1.0 - query.alpha) * tsim;
+    min_score = std::min(min_score, score);
+  }
+  return min_score;
+}
+
+Status ValidateWhyNotInput(const SpatialKeywordQuery& original,
+                           const std::vector<ObjectId>& missing,
+                           const WhyNotOptions& options, size_t dataset_size) {
+  if (original.alpha <= 0.0 || original.alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must lie strictly inside (0, 1)");
+  }
+  if (original.doc.empty()) {
+    return Status::InvalidArgument("original query has no keywords");
+  }
+  if (original.k == 0) {
+    return Status::InvalidArgument("k must be at least 1");
+  }
+  if (missing.empty()) {
+    return Status::InvalidArgument("no missing objects given");
+  }
+  if (missing.size() >= dataset_size) {
+    return Status::InvalidArgument("more missing objects than data objects");
+  }
+  if (options.lambda < 0.0 || options.lambda > 1.0) {
+    return Status::InvalidArgument("lambda must lie in [0, 1]");
+  }
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be non-negative");
+  }
+  return Status::Ok();
+}
+
+StatusOr<uint32_t> RankFromIndex(const TopKSource& tree,
+                                 const SpatialKeywordQuery& query,
+                                 double min_score, int64_t limit,
+                                 bool* exceeded,
+                                 std::vector<ObjectId>* dominators) {
+  *exceeded = false;
+  TopKIterator it(&tree, query);
+  uint32_t strictly_better = 0;
+  std::optional<ScoredObject> next;
+  for (;;) {
+    WSK_RETURN_IF_ERROR(it.Next(&next));
+    if (!next || next->score <= min_score) break;
+    ++strictly_better;
+    if (dominators != nullptr) dominators->push_back(next->id);
+    if (limit > 0 && static_cast<int64_t>(strictly_better) + 1 > limit) {
+      *exceeded = true;
+      break;
+    }
+  }
+  return strictly_better + 1;
+}
+
+}  // namespace wsk::internal

@@ -1,0 +1,50 @@
+// Internal helpers shared by the why-not algorithm implementations.
+#ifndef WSK_CORE_WHYNOT_COMMON_H_
+#define WSK_CORE_WHYNOT_COMMON_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/whynot.h"
+#include "data/dataset.h"
+#include "data/query.h"
+#include "index/topk.h"
+
+namespace wsk::internal {
+
+// Materialized view of the missing-object set M.
+struct MissingSet {
+  std::vector<ObjectId> ids;
+  std::vector<Point> locs;
+  std::vector<const KeywordSet*> docs;  // borrowed from the dataset
+  KeywordSet union_doc;                 // M.doc
+
+  static StatusOr<MissingSet> Build(const Dataset& dataset,
+                                    const std::vector<ObjectId>& missing);
+
+  size_t size() const { return ids.size(); }
+
+  // min_i ST(m_i, query): the score threshold above which an object counts
+  // toward R(M, query).
+  double MinScore(const SpatialKeywordQuery& query, double diagonal) const;
+};
+
+// Validates the original query + options; returns a non-OK status for
+// out-of-domain arguments.
+Status ValidateWhyNotInput(const SpatialKeywordQuery& original,
+                           const std::vector<ObjectId>& missing,
+                           const WhyNotOptions& options, size_t dataset_size);
+
+// R(M, query) = 1 + #objects scoring strictly above `min_score`, streamed
+// from the index. With `limit` > 0, gives up once the count proves the rank
+// exceeds `limit` (sets *exceeded). Dominator ids are appended to
+// *dominators when it is non-null.
+StatusOr<uint32_t> RankFromIndex(const TopKSource& tree,
+                                 const SpatialKeywordQuery& query,
+                                 double min_score, int64_t limit,
+                                 bool* exceeded,
+                                 std::vector<ObjectId>* dominators);
+
+}  // namespace wsk::internal
+
+#endif  // WSK_CORE_WHYNOT_COMMON_H_

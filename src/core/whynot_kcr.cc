@@ -1,0 +1,464 @@
+#include "core/whynot_kcr.h"
+
+#include <algorithm>
+#include <mutex>
+#include <queue>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/candidates.h"
+#include "core/penalty.h"
+#include "core/whynot_common.h"
+#include "index/dom_bounds.h"
+
+namespace wsk {
+
+namespace {
+
+using internal::MissingSet;
+using internal::RankFromIndex;
+
+// Per-candidate search state during one Algorithm 3 batch. The frontier
+// dominator sums are kept per missing object; the rank bound of the set M
+// is the max over the per-object bounds (Section VI-A).
+struct CandState {
+  const Candidate* cand = nullptr;
+  uint64_t order = 0;                 // global enumeration index
+  std::vector<double> tsim;           // TSim(m_i, S)
+  std::vector<double> missing_score;  // ST(m_i, q_S)
+  std::vector<int64_t> sum_hi;        // Σ_frontier MaxDom per missing
+  std::vector<int64_t> sum_lo;        // Σ_frontier MinDom per missing
+  bool alive = true;
+
+  int64_t RankHi() const {
+    int64_t r = 0;
+    for (int64_t v : sum_hi) r = std::max(r, v);
+    return r + 1;
+  }
+  int64_t RankLo() const {
+    int64_t r = 0;
+    for (int64_t v : sum_lo) r = std::max(r, v);
+    return r + 1;
+  }
+  bool Converged() const { return sum_hi == sum_lo; }
+};
+
+// A frontier node awaiting expansion, with the dominator bounds it
+// currently contributes to every candidate (flattened [cand][missing]).
+struct QueueNode {
+  PageId page = kInvalidPageId;
+  double priority = 0.0;  // total hi-lo gap at enqueue time
+  std::vector<int64_t> hi;
+  std::vector<int64_t> lo;
+};
+
+struct QueueNodeLess {
+  bool operator()(const QueueNode& a, const QueueNode& b) const {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.page > b.page;  // deterministic
+  }
+};
+
+// The currently best refined query and pruning threshold p_c, shared (and
+// synchronized) across parallel batch workers as in Section VII-B7.
+class BestTracker {
+ public:
+  double Threshold() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pruning_threshold_;
+  }
+
+  // Records a penalty *upper bound* seen for some candidate.
+  void Tighten(double pen_hi) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pruning_threshold_ = std::min(pruning_threshold_, pen_hi);
+  }
+
+  // Accepts an exactly-known candidate penalty.
+  void OfferExact(const Candidate& cand, uint64_t order, uint32_t rank,
+                  uint32_t k0, double penalty) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (penalty < best_.penalty ||
+        (penalty == best_.penalty && order < best_order_)) {
+      best_.doc = cand.doc;
+      best_.rank = rank;
+      best_.k = std::max(k0, rank);
+      best_.edit_distance = cand.edit_distance;
+      best_.penalty = penalty;
+      best_order_ = order;
+    }
+    pruning_threshold_ = std::min(pruning_threshold_, penalty);
+  }
+
+  void SeedBasic(const KeywordSet& doc0, uint32_t initial_rank,
+                 double lambda) {
+    best_.doc = doc0;
+    best_.k = initial_rank;
+    best_.rank = initial_rank;
+    best_.edit_distance = 0;
+    best_.penalty = lambda;
+    pruning_threshold_ = lambda;
+  }
+
+  RefinedQuery best() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return best_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  double pruning_threshold_ = 1.0;
+  RefinedQuery best_;
+  uint64_t best_order_ = UINT64_MAX;
+};
+
+class KcrBatchRunner {
+ public:
+  KcrBatchRunner(const Dataset& dataset, const KcrTree& tree,
+                 const SpatialKeywordQuery& original,
+                 const MissingSet& missing, const PenaltyModel& pm,
+                 WhyNotStats* stats)
+      : dataset_(dataset),
+        tree_(tree),
+        original_(original),
+        missing_(missing),
+        pm_(pm),
+        stats_(stats) {
+    const double diagonal = tree.diagonal();
+    dom_ctx_.reserve(missing.size());
+    for (size_t i = 0; i < missing.size(); ++i) {
+      DomContext ctx;
+      ctx.query_loc = original.loc;
+      ctx.alpha = original.alpha;
+      ctx.diagonal = diagonal;
+      ctx.missing_sdist = Distance(missing.locs[i], original.loc) / diagonal;
+      dom_ctx_.push_back(ctx);
+    }
+  }
+
+  // Runs Algorithm 3 on the candidate batch [begin, end) of the ordered
+  // candidate list (`base_order` = global index of `begin`).
+  Status RunBatch(const Candidate* begin, const Candidate* end,
+                  uint64_t base_order, BestTracker* tracker);
+
+ private:
+  // Evaluates the node-level bounds for one candidate, one missing object.
+  void NodeBounds(const NodeDomStats& stats, const CandState& cand, size_t i,
+                  int64_t* hi, int64_t* lo) const {
+    *hi = MaxDom(stats, cand.cand->doc, cand.tsim[i], dom_ctx_[i]);
+    *lo = MinDom(stats, cand.cand->doc, cand.tsim[i], dom_ctx_[i]);
+  }
+
+  // Re-derives penalty bounds for `cand` and applies pruning / threshold
+  // tightening. Returns false when the candidate was pruned.
+  bool Reassess(CandState* cand, BestTracker* tracker) {
+    if (!cand->alive) return false;
+    const double pen_hi =
+        pm_.Penalty(static_cast<uint64_t>(cand->RankHi()),
+                    cand->cand->edit_distance);
+    const double pen_lo =
+        pm_.Penalty(static_cast<uint64_t>(cand->RankLo()),
+                    cand->cand->edit_distance);
+    tracker->Tighten(pen_hi);
+    if (pen_lo > tracker->Threshold()) {
+      cand->alive = false;
+      ++stats_->candidates_pruned_bounds;
+      return false;
+    }
+    return true;
+  }
+
+  const Dataset& dataset_;
+  const KcrTree& tree_;
+  const SpatialKeywordQuery& original_;
+  const MissingSet& missing_;
+  const PenaltyModel& pm_;
+  WhyNotStats* stats_;
+  std::vector<DomContext> dom_ctx_;
+};
+
+Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
+                                uint64_t base_order, BestTracker* tracker) {
+  const size_t num_cands = static_cast<size_t>(end - begin);
+  const size_t num_missing = missing_.size();
+  if (num_cands == 0) return Status::Ok();
+
+  // Per-candidate precomputation: textual similarity and exact score of
+  // each missing object under the candidate keywords.
+  std::vector<CandState> cands(num_cands);
+  for (size_t c = 0; c < num_cands; ++c) {
+    CandState& state = cands[c];
+    state.cand = begin + c;
+    state.order = base_order + c;
+    state.tsim.resize(num_missing);
+    state.missing_score.resize(num_missing);
+    state.sum_hi.assign(num_missing, 0);
+    state.sum_lo.assign(num_missing, 0);
+    for (size_t i = 0; i < num_missing; ++i) {
+      state.tsim[i] = TextualSimilarity(*missing_.docs[i], state.cand->doc,
+                                        original_.model);
+      state.missing_score[i] =
+          original_.alpha * (1.0 - dom_ctx_[i].missing_sdist) +
+          (1.0 - original_.alpha) * state.tsim[i];
+    }
+  }
+
+  // Algorithm 3 lines 2-6: bound every candidate using the root summary.
+  StatusOr<KeywordCountMap> root_kcm = tree_.ReadRootKcm();
+  if (!root_kcm.ok()) return root_kcm.status();
+  const NodeDomStats root_stats(&root_kcm.value(), tree_.root_cnt(),
+                                tree_.root_mbr());
+  QueueNode root_entry;
+  root_entry.page = tree_.SearchRoot();
+  root_entry.hi.assign(num_cands * num_missing, 0);
+  root_entry.lo.assign(num_cands * num_missing, 0);
+  size_t num_alive = 0;
+  for (size_t c = 0; c < num_cands; ++c) {
+    for (size_t i = 0; i < num_missing; ++i) {
+      int64_t hi, lo;
+      NodeBounds(root_stats, cands[c], i, &hi, &lo);
+      root_entry.hi[c * num_missing + i] = hi;
+      root_entry.lo[c * num_missing + i] = lo;
+      cands[c].sum_hi[i] = hi;
+      cands[c].sum_lo[i] = lo;
+      root_entry.priority += static_cast<double>(hi - lo);
+    }
+    if (Reassess(&cands[c], tracker)) ++num_alive;
+  }
+
+  std::priority_queue<QueueNode, std::vector<QueueNode>, QueueNodeLess> queue;
+  if (num_alive > 0 && root_entry.priority > 0.0) {
+    queue.push(std::move(root_entry));
+  }
+
+  while (!queue.empty() && num_alive > 0) {
+    const QueueNode entry = queue.top();
+    queue.pop();
+    StatusOr<KcrTree::Node> read = tree_.ReadNode(entry.page);
+    if (!read.ok()) return read.status();
+    const KcrTree::Node node = std::move(read).value();
+    ++stats_->nodes_expanded;
+
+    // Child bound matrices (flattened like QueueNode::hi/lo).
+    const size_t num_children = node.size();
+    std::vector<std::vector<int64_t>> child_hi(num_children);
+    std::vector<std::vector<int64_t>> child_lo(num_children);
+
+    if (node.is_leaf) {
+      // Children are objects: evaluate domination exactly.
+      for (size_t j = 0; j < num_children; ++j) {
+        const KcrTree::LeafEntry& e = node.leaf_entries[j];
+        StatusOr<KeywordSet> doc = tree_.ReadKeywordSet(e.keywords);
+        if (!doc.ok()) return doc.status();
+        const double sdist =
+            Distance(e.loc, original_.loc) / tree_.diagonal();
+        child_hi[j].assign(num_cands * num_missing, 0);
+        child_lo[j].assign(num_cands * num_missing, 0);
+        for (size_t c = 0; c < num_cands; ++c) {
+          if (!cands[c].alive) continue;
+          const double tsim = TextualSimilarity(doc.value(),
+                                                cands[c].cand->doc,
+                                                original_.model);
+          const double score = original_.alpha * (1.0 - sdist) +
+                               (1.0 - original_.alpha) * tsim;
+          for (size_t i = 0; i < num_missing; ++i) {
+            const int64_t dominates =
+                score > cands[c].missing_score[i] ? 1 : 0;
+            child_hi[j][c * num_missing + i] = dominates;
+            child_lo[j][c * num_missing + i] = dominates;
+          }
+        }
+      }
+    } else {
+      std::vector<KeywordCountMap> kcms(num_children);
+      for (size_t j = 0; j < num_children; ++j) {
+        const KcrTree::InnerEntry& e = node.inner_entries[j];
+        StatusOr<KeywordCountMap> kcm = tree_.ReadKcm(e.kcm);
+        if (!kcm.ok()) return kcm.status();
+        kcms[j] = std::move(kcm).value();
+        const NodeDomStats child_stats(&kcms[j], e.cnt, e.mbr);
+        child_hi[j].assign(num_cands * num_missing, 0);
+        child_lo[j].assign(num_cands * num_missing, 0);
+        for (size_t c = 0; c < num_cands; ++c) {
+          if (!cands[c].alive) continue;
+          for (size_t i = 0; i < num_missing; ++i) {
+            int64_t hi, lo;
+            NodeBounds(child_stats, cands[c], i, &hi, &lo);
+            child_hi[j][c * num_missing + i] = hi;
+            child_lo[j][c * num_missing + i] = lo;
+          }
+        }
+      }
+    }
+
+    // Replace the node's contribution by its children's (Alg. 3 lines
+    // 16-19), then reassess every alive candidate.
+    num_alive = 0;
+    for (size_t c = 0; c < num_cands; ++c) {
+      if (!cands[c].alive) continue;
+      for (size_t i = 0; i < num_missing; ++i) {
+        int64_t total_hi = 0;
+        int64_t total_lo = 0;
+        for (size_t j = 0; j < num_children; ++j) {
+          total_hi += child_hi[j][c * num_missing + i];
+          total_lo += child_lo[j][c * num_missing + i];
+        }
+        cands[c].sum_hi[i] += total_hi - entry.hi[c * num_missing + i];
+        cands[c].sum_lo[i] += total_lo - entry.lo[c * num_missing + i];
+      }
+      if (Reassess(&cands[c], tracker)) ++num_alive;
+    }
+
+    // Enqueue children that can still tighten some alive candidate
+    // (Alg. 3 lines 29-32); objects are final and never enqueued.
+    if (!node.is_leaf) {
+      for (size_t j = 0; j < num_children; ++j) {
+        double gap = 0.0;
+        for (size_t c = 0; c < num_cands; ++c) {
+          if (!cands[c].alive) continue;
+          for (size_t i = 0; i < num_missing; ++i) {
+            gap += static_cast<double>(child_hi[j][c * num_missing + i] -
+                                       child_lo[j][c * num_missing + i]);
+          }
+        }
+        if (gap > 0.0) {
+          QueueNode child_entry;
+          child_entry.page = node.inner_entries[j].child;
+          child_entry.priority = gap;
+          child_entry.hi = std::move(child_hi[j]);
+          child_entry.lo = std::move(child_lo[j]);
+          queue.push(std::move(child_entry));
+        }
+      }
+    }
+  }
+
+  // Every surviving candidate has converged bounds: offer exact penalties.
+  for (CandState& cand : cands) {
+    if (!cand.alive) continue;
+    WSK_CHECK_MSG(cand.Converged(),
+                  "KcR batch ended with unconverged candidate bounds");
+    const uint32_t rank = static_cast<uint32_t>(cand.RankHi());
+    const double penalty = pm_.Penalty(rank, cand.cand->edit_distance);
+    tracker->OfferExact(*cand.cand, cand.order, rank, original_.k, penalty);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<WhyNotResult> AnswerWhyNotKcr(const Dataset& dataset,
+                                       const KcrTree& tree,
+                                       const SpatialKeywordQuery& original,
+                                       const std::vector<ObjectId>& missing,
+                                       const WhyNotOptions& options) {
+  Timer timer;
+  WSK_RETURN_IF_ERROR(internal::ValidateWhyNotInput(original, missing, options,
+                                                    dataset.size()));
+  if (original.model != SimilarityModel::kJaccard) {
+    return Status::InvalidArgument(
+        "the KcR-based algorithm requires the Jaccard similarity model");
+  }
+  StatusOr<MissingSet> built = MissingSet::Build(dataset, missing);
+  if (!built.ok()) return built.status();
+  const MissingSet missing_set = std::move(built).value();
+
+  WhyNotResult result;
+
+  // Algorithm 4 line 1: R(M, q).
+  const double initial_min_score =
+      missing_set.MinScore(original, tree.diagonal());
+  bool exceeded = false;
+  StatusOr<uint32_t> initial_rank = RankFromIndex(
+      tree, original, initial_min_score, /*limit=*/0, &exceeded, nullptr);
+  if (!initial_rank.ok()) return initial_rank.status();
+  result.stats.initial_rank = initial_rank.value();
+
+  if (initial_rank.value() <= original.k) {
+    result.already_in_result = true;
+    result.refined.doc = original.doc;
+    result.refined.k = original.k;
+    result.refined.rank = initial_rank.value();
+    result.stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+
+  CandidateEnumerator enumerator(original.doc, missing_set.docs,
+                                 dataset.vocabulary());
+  const PenaltyModel pm(options.lambda, original.k, initial_rank.value(),
+                        enumerator.universe_size());
+
+  BestTracker tracker;
+  tracker.SeedBasic(original.doc, initial_rank.value(), options.lambda);
+
+  const std::vector<Candidate> candidates =
+      options.sample_size > 0 ? enumerator.SampleByBenefit(options.sample_size)
+                              : enumerator.ordered();
+  result.stats.candidates_total = candidates.size();
+
+  // Algorithm 4 lines 3-7: batches in ascending edit distance, stopping
+  // when the keyword penalty alone reaches the best penalty. With
+  // num_threads > 0 each batch is divided among workers that share the
+  // tracker (Section VII-B7). With kcr_single_batch the whole candidate
+  // set goes through one traversal (the Section V-D strawman).
+  size_t start = 0;
+  while (start < candidates.size()) {
+    size_t end = start + 1;
+    if (options.kcr_single_batch) {
+      end = candidates.size();
+    } else {
+      while (end < candidates.size() &&
+             candidates[end].edit_distance ==
+                 candidates[start].edit_distance) {
+        ++end;
+      }
+      if (pm.DocPenalty(candidates[start].edit_distance) >=
+          tracker.Threshold()) {
+        result.stats.candidates_skipped_order += candidates.size() - start;
+        break;
+      }
+    }
+    const size_t batch_size = end - start;
+    const size_t num_chunks =
+        options.num_threads > 0
+            ? std::min<size_t>(options.num_threads, batch_size)
+            : 1;
+    std::vector<WhyNotStats> chunk_stats(num_chunks);
+    std::vector<Status> chunk_status(num_chunks);
+    auto run_chunk = [&](size_t chunk) {
+      const size_t chunk_begin =
+          start + chunk * batch_size / num_chunks;
+      const size_t chunk_end =
+          start + (chunk + 1) * batch_size / num_chunks;
+      if (chunk_begin >= chunk_end) return;
+      KcrBatchRunner runner(dataset, tree, original, missing_set, pm,
+                            &chunk_stats[chunk]);
+      chunk_status[chunk] = runner.RunBatch(candidates.data() + chunk_begin,
+                                            candidates.data() + chunk_end,
+                                            chunk_begin, &tracker);
+    };
+    if (num_chunks > 1) {
+      ThreadPool pool(options.num_threads);
+      for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+        pool.Submit([&run_chunk, chunk] { run_chunk(chunk); });
+      }
+      pool.Wait();
+    } else {
+      run_chunk(0);
+    }
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      WSK_RETURN_IF_ERROR(chunk_status[chunk]);
+      result.stats.nodes_expanded += chunk_stats[chunk].nodes_expanded;
+      result.stats.candidates_pruned_bounds +=
+          chunk_stats[chunk].candidates_pruned_bounds;
+    }
+    result.stats.candidates_evaluated += batch_size;
+    start = end;
+  }
+
+  result.refined = tracker.best();
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace wsk

@@ -1,0 +1,34 @@
+// The KcR-tree-based bound-and-prune why-not algorithm (Section V).
+//
+// Candidates are processed in batches of equal edit distance (Algorithm 4);
+// each batch is resolved in a single traversal of the KcR-tree
+// (Algorithm 3): every frontier node contributes MaxDom/MinDom dominator
+// bounds per candidate, expanding a node replaces its contribution with its
+// children's tighter bounds, and candidates are pruned as soon as their
+// penalty lower bound exceeds the best known penalty.
+#ifndef WSK_CORE_WHYNOT_KCR_H_
+#define WSK_CORE_WHYNOT_KCR_H_
+
+#include <vector>
+
+#include "core/whynot.h"
+#include "data/dataset.h"
+#include "data/query.h"
+#include "index/kcr_tree.h"
+
+namespace wsk {
+
+// Answers the keyword-adapted why-not query over the KcR-tree. Requires the
+// Jaccard similarity model (Theorem 3's pseudo-similarity algebra); other
+// models are rejected with InvalidArgument. Multiple missing objects are
+// supported per Section VI-A: a node's bounds w.r.t. M aggregate the
+// per-object bounds.
+StatusOr<WhyNotResult> AnswerWhyNotKcr(const Dataset& dataset,
+                                       const KcrTree& tree,
+                                       const SpatialKeywordQuery& original,
+                                       const std::vector<ObjectId>& missing,
+                                       const WhyNotOptions& options);
+
+}  // namespace wsk
+
+#endif  // WSK_CORE_WHYNOT_KCR_H_

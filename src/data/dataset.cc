@@ -1,0 +1,37 @@
+#include "data/dataset.h"
+
+#include "common/macros.h"
+
+namespace wsk {
+
+ObjectId Dataset::Add(Point loc, KeywordSet doc) {
+  const ObjectId id = static_cast<ObjectId>(objects_.size());
+  vocabulary_.RecordDocument(doc);
+  bounds_.Extend(loc);
+  objects_.push_back(SpatialObject{id, loc, std::move(doc)});
+  return id;
+}
+
+ObjectId Dataset::Add(Point loc, const std::vector<std::string>& keywords) {
+  return Add(loc, vocabulary_.InternAll(keywords));
+}
+
+const SpatialObject& Dataset::object(ObjectId id) const {
+  WSK_CHECK(id < objects_.size());
+  return objects_[id];
+}
+
+double Dataset::diagonal() const {
+  if (bounds_.Empty()) return 1.0;
+  const double d = Distance(Point{bounds_.min_x, bounds_.min_y},
+                            Point{bounds_.max_x, bounds_.max_y});
+  return d > 0.0 ? d : 1.0;
+}
+
+KeywordSet Dataset::UnionDocs(const std::vector<ObjectId>& ids) const {
+  KeywordSet out;
+  for (ObjectId id : ids) out = out.Union(object(id).doc);
+  return out;
+}
+
+}  // namespace wsk

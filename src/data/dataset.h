@@ -1,0 +1,72 @@
+// In-memory object table: the database D of spatial web objects.
+//
+// Each object is a (location, keyword set) pair (Section III-A). The
+// dataset also owns the vocabulary (term dictionary + document frequencies
+// for the Eqn 7 particularity weights) and the normalization diagonal used
+// to map Euclidean distances into [0, 1].
+#ifndef WSK_DATA_DATASET_H_
+#define WSK_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "text/keyword_set.h"
+#include "text/vocabulary.h"
+
+namespace wsk {
+
+using ObjectId = uint32_t;
+
+inline constexpr ObjectId kInvalidObjectId = 0xffffffffu;
+
+struct SpatialObject {
+  ObjectId id = kInvalidObjectId;
+  Point loc;
+  KeywordSet doc;
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  // Move-only: the vocabulary and object table can be large.
+  Dataset(Dataset&&) = default;
+  Dataset& operator=(Dataset&&) = default;
+  Dataset(const Dataset&) = delete;
+  Dataset& operator=(const Dataset&) = delete;
+
+  // Appends an object whose keywords are already interned and returns its
+  // id. Updates document frequencies and the bounding rectangle.
+  ObjectId Add(Point loc, KeywordSet doc);
+
+  // Convenience: interns keyword strings through the vocabulary.
+  ObjectId Add(Point loc, const std::vector<std::string>& keywords);
+
+  const SpatialObject& object(ObjectId id) const;
+  size_t size() const { return objects_.size(); }
+  const std::vector<SpatialObject>& objects() const { return objects_; }
+
+  Vocabulary& vocabulary() { return vocabulary_; }
+  const Vocabulary& vocabulary() const { return vocabulary_; }
+
+  const Rect& bounding_rect() const { return bounds_; }
+
+  // Maximum possible distance between two points of D (the SDist
+  // normalizer of Eqn 1): the diagonal of the bounding rectangle. Returns 1
+  // for datasets with fewer than two distinct points so division is safe.
+  double diagonal() const;
+
+  // Union of the keyword sets of the given objects (the paper's M.doc).
+  KeywordSet UnionDocs(const std::vector<ObjectId>& ids) const;
+
+ private:
+  std::vector<SpatialObject> objects_;
+  Vocabulary vocabulary_;
+  Rect bounds_;
+};
+
+}  // namespace wsk
+
+#endif  // WSK_DATA_DATASET_H_

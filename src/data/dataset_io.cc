@@ -1,0 +1,79 @@
+#include "data/dataset_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace wsk {
+
+StatusOr<Dataset> LoadDatasetCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  Dataset dataset;
+  std::string line;
+  size_t row = 0;
+  while (std::getline(in, line)) {
+    ++row;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t comma1 = line.find(',');
+    const size_t comma2 =
+        comma1 == std::string::npos ? std::string::npos
+                                    : line.find(',', comma1 + 1);
+    if (comma2 == std::string::npos) {
+      return Status::InvalidArgument(path + " row " + std::to_string(row) +
+                                     ": expected `x,y,keywords`");
+    }
+    char* end = nullptr;
+    const std::string xs = line.substr(0, comma1);
+    const std::string ys = line.substr(comma1 + 1, comma2 - comma1 - 1);
+    const double x = std::strtod(xs.c_str(), &end);
+    if (end == xs.c_str()) {
+      return Status::InvalidArgument(path + " row " + std::to_string(row) +
+                                     ": bad x coordinate");
+    }
+    const double y = std::strtod(ys.c_str(), &end);
+    if (end == ys.c_str()) {
+      return Status::InvalidArgument(path + " row " + std::to_string(row) +
+                                     ": bad y coordinate");
+    }
+    std::vector<std::string> keywords;
+    std::istringstream words(line.substr(comma2 + 1));
+    std::string word;
+    while (words >> word) keywords.push_back(word);
+    if (keywords.empty()) {
+      return Status::InvalidArgument(path + " row " + std::to_string(row) +
+                                     ": object has no keywords");
+    }
+    dataset.Add(Point{x, y}, keywords);
+  }
+  return dataset;
+}
+
+Status SaveDatasetCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot create " + path + ": " +
+                           std::strerror(errno));
+  }
+  const Vocabulary& vocab = dataset.vocabulary();
+  for (const SpatialObject& o : dataset.objects()) {
+    out << o.loc.x << ',' << o.loc.y << ',';
+    bool first = true;
+    for (TermId t : o.doc) {
+      if (!first) out << ' ';
+      out << vocab.TermString(t);
+      first = false;
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace wsk

@@ -1,0 +1,26 @@
+// CSV import/export for datasets.
+//
+// Line format: `x,y,keyword keyword keyword`. This is the interchange
+// format a user would export real POI data (EURO / GN style dumps) into;
+// the examples and tests use it for small fixtures.
+#ifndef WSK_DATA_DATASET_IO_H_
+#define WSK_DATA_DATASET_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace wsk {
+
+// Parses `path` into a dataset. Empty lines and lines starting with '#' are
+// skipped. Fails with InvalidArgument on malformed rows (row number in the
+// message).
+StatusOr<Dataset> LoadDatasetCsv(const std::string& path);
+
+// Writes `dataset` to `path` in the same format.
+Status SaveDatasetCsv(const Dataset& dataset, const std::string& path);
+
+}  // namespace wsk
+
+#endif  // WSK_DATA_DATASET_IO_H_

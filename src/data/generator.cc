@@ -1,0 +1,94 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace wsk {
+
+GeneratorConfig EuroLikeConfig(double scale) {
+  WSK_CHECK(scale > 0.0);
+  GeneratorConfig config;
+  config.num_objects = static_cast<uint32_t>(162033 * scale);
+  config.vocab_size = static_cast<uint32_t>(35315 * scale);
+  config.num_clusters = 48;
+  config.seed = 20160516;  // ICDE 2016
+  return config;
+}
+
+GeneratorConfig GnLikeConfig(double scale) {
+  WSK_CHECK(scale > 0.0);
+  GeneratorConfig config;
+  config.num_objects = static_cast<uint32_t>(1868821 * scale);
+  config.vocab_size = static_cast<uint32_t>(222407 * scale);
+  config.num_clusters = 128;
+  config.uniform_fraction = 0.35;  // GN covers wilderness features too
+  config.seed = 19900101;
+  return config;
+}
+
+Dataset GenerateDataset(const GeneratorConfig& config) {
+  WSK_CHECK(config.num_objects > 0);
+  WSK_CHECK(config.vocab_size > 0);
+  WSK_CHECK(config.doc_size_min >= 1);
+  Dataset dataset;
+  Rng rng(config.seed);
+
+  // Pre-intern the vocabulary so term ids are dense and deterministic.
+  // Zipf rank r maps to term id r: low ids are the frequent terms.
+  for (uint32_t i = 0; i < config.vocab_size; ++i) {
+    dataset.vocabulary().Intern("term" + std::to_string(i));
+  }
+
+  // Spatial mixture components.
+  struct Cluster {
+    Point center;
+    double stddev;
+  };
+  std::vector<Cluster> clusters(std::max<uint32_t>(1, config.num_clusters));
+  for (Cluster& c : clusters) {
+    c.center = Point{rng.NextDouble(), rng.NextDouble()};
+    // Vary cluster tightness: cities of different sizes.
+    c.stddev = config.cluster_stddev * rng.NextDouble(0.5, 2.0);
+  }
+
+  ZipfSampler zipf(config.vocab_size, config.zipf_skew);
+
+  const double extra_mean =
+      std::max(0.0, config.doc_size_mean - config.doc_size_min);
+  for (uint32_t i = 0; i < config.num_objects; ++i) {
+    Point loc;
+    if (rng.NextBool(config.uniform_fraction)) {
+      loc = Point{rng.NextDouble(), rng.NextDouble()};
+    } else {
+      const Cluster& c =
+          clusters[rng.NextUint64(clusters.size())];
+      // Clamp into the unit square so the normalization diagonal is stable.
+      loc.x = std::clamp(c.center.x + rng.NextGaussian() * c.stddev, 0.0, 1.0);
+      loc.y = std::clamp(c.center.y + rng.NextGaussian() * c.stddev, 0.0, 1.0);
+    }
+
+    const uint32_t doc_size = config.doc_size_min +
+                              static_cast<uint32_t>(
+                                  rng.NextPoisson(extra_mean));
+    std::vector<TermId> terms;
+    terms.reserve(doc_size);
+    // Rejection-sample distinct terms; the universe is much larger than a
+    // document, so this terminates fast.
+    int attempts = 0;
+    while (terms.size() < doc_size && attempts < 1000) {
+      const TermId t = zipf.Sample(rng);
+      if (std::find(terms.begin(), terms.end(), t) == terms.end()) {
+        terms.push_back(t);
+      }
+      ++attempts;
+    }
+    dataset.Add(loc, KeywordSet(std::move(terms)));
+  }
+  return dataset;
+}
+
+}  // namespace wsk

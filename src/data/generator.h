@@ -1,0 +1,50 @@
+// Synthetic dataset generators standing in for the paper's EURO and GN
+// datasets (Section VII-A2).
+//
+// The originals are proprietary/third-party POI collections; what drives
+// the algorithms is their *statistics*, which the generators reproduce:
+//   * clustered spatial distribution (POIs concentrate in cities) — a
+//     Gaussian-mixture over the unit square plus a uniform background;
+//   * skewed keyword usage — term ids drawn from a Zipf distribution, so a
+//     few terms ("restaurant", "hotel") are extremely common and the long
+//     tail is rare, matching the IDF spread that the particularity ordering
+//     (Eqn 7) relies on;
+//   * short documents — per-object keyword-set sizes follow a shifted
+//     Poisson, averaging around 6 terms.
+// EuroLikeConfig() and GnLikeConfig() mirror the cardinalities of Table II;
+// both accept a scale factor so the benches can run at container-friendly
+// sizes while preserving shape (see DESIGN.md, Substitutions).
+#ifndef WSK_DATA_GENERATOR_H_
+#define WSK_DATA_GENERATOR_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace wsk {
+
+struct GeneratorConfig {
+  uint32_t num_objects = 10000;
+  uint32_t vocab_size = 2000;
+  double zipf_skew = 1.0;         // term-frequency skew
+  double doc_size_mean = 6.0;     // mean keywords per object
+  uint32_t doc_size_min = 1;
+  uint32_t num_clusters = 32;     // spatial Gaussian mixture components
+  double cluster_stddev = 0.02;   // per-cluster spread (unit square)
+  double uniform_fraction = 0.2;  // objects placed uniformly at random
+  uint64_t seed = 42;
+};
+
+// EURO: 162,033 points of interest, 35,315 distinct words (Table II).
+// scale = 1.0 reproduces those cardinalities.
+GeneratorConfig EuroLikeConfig(double scale = 1.0);
+
+// GN: 1,868,821 geographic objects, 222,407 distinct words (Table II).
+GeneratorConfig GnLikeConfig(double scale = 1.0);
+
+// Builds a dataset from `config`. Deterministic in `config.seed`.
+Dataset GenerateDataset(const GeneratorConfig& config);
+
+}  // namespace wsk
+
+#endif  // WSK_DATA_GENERATOR_H_

@@ -1,0 +1,69 @@
+#include "data/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace wsk {
+
+DatasetStats ComputeStats(const Dataset& dataset) {
+  DatasetStats stats;
+  stats.num_objects = dataset.size();
+  stats.bounding_rect = dataset.bounding_rect();
+  stats.diagonal = dataset.diagonal();
+
+  stats.min_doc_length = stats.num_objects == 0 ? 0 : SIZE_MAX;
+  for (const SpatialObject& o : dataset.objects()) {
+    stats.total_term_occurrences += o.doc.size();
+    stats.min_doc_length = std::min(stats.min_doc_length, o.doc.size());
+    stats.max_doc_length = std::max(stats.max_doc_length, o.doc.size());
+  }
+  if (stats.num_objects > 0) {
+    stats.avg_doc_length = static_cast<double>(stats.total_term_occurrences) /
+                           stats.num_objects;
+  }
+
+  const Vocabulary& vocab = dataset.vocabulary();
+  std::vector<uint32_t> frequencies;
+  for (TermId t = 0; t < vocab.num_terms(); ++t) {
+    const uint32_t df = vocab.DocumentFrequency(t);
+    if (df > 0) {
+      ++stats.num_distinct_terms;
+      frequencies.push_back(df);
+    }
+  }
+  if (!frequencies.empty()) {
+    std::sort(frequencies.begin(), frequencies.end(),
+              std::greater<uint32_t>());
+    stats.max_document_frequency = frequencies.front();
+    uint64_t top10 = 0;
+    for (size_t i = 0; i < std::min<size_t>(10, frequencies.size()); ++i) {
+      top10 += frequencies[i];
+    }
+    if (stats.total_term_occurrences > 0) {
+      stats.top10_frequency_share =
+          static_cast<double>(top10) / stats.total_term_occurrences;
+    }
+  }
+  return stats;
+}
+
+std::string DatasetStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "Total # of objects        %zu\n"
+      "Total # of distinct words %zu\n"
+      "Total word occurrences    %zu\n"
+      "Words per object          avg %.2f (min %zu, max %zu)\n"
+      "Most frequent word df     %u\n"
+      "Top-10 words' share       %.1f%%\n"
+      "Bounding box              %s (diagonal %.4f)",
+      num_objects, num_distinct_terms, total_term_occurrences, avg_doc_length,
+      min_doc_length, max_doc_length, max_document_frequency,
+      top10_frequency_share * 100.0, bounding_rect.ToString().c_str(),
+      diagonal);
+  return buf;
+}
+
+}  // namespace wsk

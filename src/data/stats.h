@@ -1,0 +1,33 @@
+// Dataset statistics — the numbers behind Table II and the generator's
+// calibration: cardinalities, document-length moments, and the shape of the
+// term-frequency distribution.
+#ifndef WSK_DATA_STATS_H_
+#define WSK_DATA_STATS_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace wsk {
+
+struct DatasetStats {
+  size_t num_objects = 0;
+  size_t num_distinct_terms = 0;  // terms with document frequency > 0
+  size_t total_term_occurrences = 0;
+  double avg_doc_length = 0.0;
+  size_t min_doc_length = 0;
+  size_t max_doc_length = 0;
+  uint32_t max_document_frequency = 0;   // the most popular term's df
+  double top10_frequency_share = 0.0;    // occurrence share of top-10 terms
+  Rect bounding_rect;
+  double diagonal = 1.0;
+
+  // A Table II-style two-column summary.
+  std::string ToString() const;
+};
+
+DatasetStats ComputeStats(const Dataset& dataset);
+
+}  // namespace wsk
+
+#endif  // WSK_DATA_STATS_H_

@@ -1,0 +1,150 @@
+#include "index/dom_bounds.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace wsk {
+
+namespace {
+
+// Counts of the candidate's terms that occur in the node, i.e. the counts
+// of S ∩ N.doc.
+std::vector<uint32_t> RelevantCounts(const NodeDomStats& stats,
+                                     const KeywordSet& candidate) {
+  std::vector<uint32_t> rel;
+  rel.reserve(candidate.size());
+  for (TermId t : candidate) {
+    const uint32_t c = stats.CountOf(t);
+    if (c > 0) rel.push_back(c);
+  }
+  return rel;
+}
+
+uint32_t CountGe(const std::vector<uint32_t>& values, uint32_t threshold) {
+  uint32_t n = 0;
+  for (uint32_t v : values) {
+    if (v >= threshold) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+NodeDomStats::NodeDomStats(const KeywordCountMap* kcm, uint32_t cnt,
+                           const Rect& mbr)
+    : kcm_(kcm), cnt_(cnt), mbr_(mbr) {
+  uint32_t max_count = 0;
+  for (const auto& [term, count] : kcm->pairs()) {
+    total_ += count;
+    max_count = std::max(max_count, count);
+  }
+  // Histogram, then suffix-accumulate: ge_[c] = #terms with count >= c.
+  ge_.assign(max_count + 1, 0);
+  for (const auto& [term, count] : kcm->pairs()) ++ge_[count];
+  for (uint32_t c = max_count; c >= 1; --c) ge_[c - 1] += ge_[c];
+}
+
+double DominatorThresholdLow(const Rect& node_mbr, const DomContext& ctx,
+                             double tsim_missing) {
+  WSK_CHECK(ctx.alpha > 0.0 && ctx.alpha < 1.0);
+  const double min_sdist = MinDist(ctx.query_loc, node_mbr) / ctx.diagonal;
+  return ctx.alpha / (1.0 - ctx.alpha) * (min_sdist - ctx.missing_sdist) +
+         tsim_missing;
+}
+
+double DominatorThresholdHigh(const Rect& node_mbr, const DomContext& ctx,
+                              double tsim_missing) {
+  WSK_CHECK(ctx.alpha > 0.0 && ctx.alpha < 1.0);
+  const double max_sdist = MaxDist(ctx.query_loc, node_mbr) / ctx.diagonal;
+  return ctx.alpha / (1.0 - ctx.alpha) * (max_sdist - ctx.missing_sdist) +
+         tsim_missing;
+}
+
+uint32_t MaxDom(const NodeDomStats& stats, const KeywordSet& candidate,
+                double tsim_missing, const DomContext& ctx) {
+  const uint32_t cnt = stats.cnt();
+  if (cnt == 0) return 0;
+  const double threshold = DominatorThresholdLow(stats.mbr(), ctx,
+                                                 tsim_missing);
+  // A dominator needs TSim > threshold; TSim ranges over [0, 1].
+  if (threshold < 0.0) return cnt;  // every object clears the bar
+  if (threshold >= 1.0) return 0;   // nothing can
+  if (candidate.empty()) return 0;  // TSim == 0 for every object
+
+  const std::vector<uint32_t> rel = RelevantCounts(stats, candidate);
+  uint64_t rel_total = 0;
+  for (uint32_t c : rel) rel_total += c;
+  const double query_size = static_cast<double>(candidate.size());
+
+  // Walk ans from cnt downward, maintaining
+  //   c_rel  = Σ_{t ∈ S∩N} min(count(t), ans)        (max relevant mass on
+  //                                                    the remaining objects)
+  //   c_irr  = Σ_{t ∈ N−S} max(0, count(t) − pruned) (min irrelevant mass
+  //                                                    left on them)
+  // and return the first ans whose pseudo similarity clears the threshold
+  // (Theorem 3 necessary condition).
+  double c_rel = static_cast<double>(rel_total);
+  double c_irr = static_cast<double>(stats.total_count() - rel_total);
+  for (uint32_t ans = cnt; ans >= 1; --ans) {
+    const uint32_t pruned = cnt - ans;
+    if (pruned > 0) {
+      // Stepping from ans+1 to ans: relevant terms with count > ans lose
+      // one forced occurrence; every irrelevant term with a remaining
+      // occurrence parks one on the newly pruned object.
+      c_rel -= CountGe(rel, ans + 1);
+      const uint32_t all_ge = stats.NumTermsGe(pruned);
+      const uint32_t rel_ge = CountGe(rel, pruned);
+      c_irr -= (all_ge - rel_ge);
+    }
+    const double pseudo_denom = query_size * ans + c_irr;
+    if (c_rel >= threshold * pseudo_denom) return ans;
+  }
+  return 0;
+}
+
+uint32_t MinDom(const NodeDomStats& stats, const KeywordSet& candidate,
+                double tsim_missing, const DomContext& ctx) {
+  const uint32_t cnt = stats.cnt();
+  if (cnt == 0) return 0;
+  const double threshold = DominatorThresholdHigh(stats.mbr(), ctx,
+                                                  tsim_missing);
+  if (threshold < 0.0) return cnt;  // TSim >= 0 > U: all surely dominate
+  if (threshold >= 1.0) return 0;
+  if (candidate.empty()) return 0;
+
+  const std::vector<uint32_t> rel = RelevantCounts(stats, candidate);
+  uint64_t rel_total = 0;
+  for (uint32_t c : rel) rel_total += c;
+  const double query_size = static_cast<double>(candidate.size());
+
+  // Walk ans upward, maintaining
+  //   lhs     = Σ_{t ∈ S∩N} max(0, count(t) − ans)   (relevant mass that
+  //              cannot be packed onto ans dominators)
+  //   irr_max = Σ_{t ∈ N−S} min(count(t), cnt − ans) (max irrelevant mass
+  //              available to dilute the non-dominators)
+  // and return the first ans for which the non-dominators can plausibly
+  // all sit at or below the threshold:
+  //   lhs <= threshold * (|S| (cnt − ans) + irr_max).
+  double lhs = static_cast<double>(rel_total);
+  double irr_max = static_cast<double>(stats.total_count() - rel_total);
+  for (uint32_t ans = 0; ans <= cnt; ++ans) {
+    if (ans > 0) {
+      // ans-1 -> ans: relevant terms with count >= ans park one more
+      // occurrence on a dominator; the non-dominator pool shrinks by one,
+      // costing every term with count >= (cnt - ans + 1) one unit of
+      // dilution capacity.
+      lhs -= CountGe(rel, ans);
+      const uint32_t b_old = cnt - ans + 1;
+      const uint32_t all_ge = stats.NumTermsGe(b_old);
+      const uint32_t rel_ge = CountGe(rel, b_old);
+      irr_max -= (all_ge - rel_ge);
+    }
+    const double rhs =
+        threshold * (query_size * (cnt - ans) + irr_max);
+    if (lhs <= rhs) return ans;
+  }
+  return cnt;
+}
+
+}  // namespace wsk

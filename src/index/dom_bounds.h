@@ -1,0 +1,87 @@
+// MaxDom / MinDom: bounds on the number of objects under a KcR-tree node
+// that dominate (rank strictly above) the missing object for a candidate
+// keyword set S (Section V-B).
+//
+// Theorem 2 gives a textual-similarity threshold L: an object o in node N
+// can dominate the missing object m only if
+//   TSim(o, S) > L = alpha/(1-alpha) * (MinDist(N,q) - SDist(m,q)) + TSim(m,S)
+// (distances normalized). Algorithm 2 then uses the node's keyword-count
+// map to find the largest number `ans` of objects that could all satisfy
+// the pseudo-similarity necessary condition of Theorem 3 — that is MaxDom.
+//
+// MinDom is the dual, which the paper omits "as it is done similarly": with
+// U defined like L but using MaxDist, any object with TSim(o,S) > U surely
+// dominates; MinDom is the smallest `ans` such that the keyword counts can
+// be arranged with only `ans` objects above U (see DESIGN.md).
+//
+// Both bounds are implemented for the Jaccard model, the model the paper's
+// Theorem 3 algebra assumes.
+#ifndef WSK_INDEX_DOM_BOUNDS_H_
+#define WSK_INDEX_DOM_BOUNDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "index/keyword_count_map.h"
+#include "text/keyword_set.h"
+
+namespace wsk {
+
+// Query- and missing-object-dependent constants shared by every bound
+// computation of one why-not query.
+struct DomContext {
+  Point query_loc;
+  double alpha = 0.5;
+  double diagonal = 1.0;
+  double missing_sdist = 0.0;  // SDist(m, q), normalized
+};
+
+// Per-node statistics derived from a keyword-count map once and reused for
+// every candidate keyword set: suffix counts over the count histogram give
+// O(1) access to |{t : count(t) >= c}|.
+class NodeDomStats {
+ public:
+  NodeDomStats(const KeywordCountMap* kcm, uint32_t cnt, const Rect& mbr);
+
+  uint32_t cnt() const { return cnt_; }
+  const Rect& mbr() const { return mbr_; }
+  uint64_t total_count() const { return total_; }
+  uint32_t CountOf(TermId t) const { return kcm_->CountOf(t); }
+
+  // Number of terms (over the whole map) with count >= c; 0 for c > max.
+  uint32_t NumTermsGe(uint32_t c) const {
+    if (c == 0) return static_cast<uint32_t>(kcm_->num_terms());
+    if (c >= ge_.size()) return 0;
+    return ge_[c];
+  }
+
+ private:
+  const KeywordCountMap* kcm_;
+  uint32_t cnt_;
+  Rect mbr_;
+  uint64_t total_ = 0;
+  std::vector<uint32_t> ge_;  // ge_[c] = #terms with count >= c
+};
+
+// Theorem 2 threshold with MinDist (objects can dominate only if above it).
+double DominatorThresholdLow(const Rect& node_mbr, const DomContext& ctx,
+                             double tsim_missing);
+
+// Dual threshold with MaxDist (objects above it surely dominate).
+double DominatorThresholdHigh(const Rect& node_mbr, const DomContext& ctx,
+                              double tsim_missing);
+
+// Upper bound on the number of dominators of the missing object inside the
+// node, for candidate keyword set S with TSim(m, S) = tsim_missing.
+// Algorithm 2 with O(1) incremental updates per iteration.
+uint32_t MaxDom(const NodeDomStats& stats, const KeywordSet& candidate,
+                double tsim_missing, const DomContext& ctx);
+
+// Lower bound (guaranteed dominators).
+uint32_t MinDom(const NodeDomStats& stats, const KeywordSet& candidate,
+                double tsim_missing, const DomContext& ctx);
+
+}  // namespace wsk
+
+#endif  // WSK_INDEX_DOM_BOUNDS_H_

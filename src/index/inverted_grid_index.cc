@@ -1,0 +1,365 @@
+#include "index/inverted_grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "index/node_codec.h"
+
+namespace wsk {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x47494b57;  // "WKIG"
+constexpr uint32_t kVersion = 1;
+constexpr size_t kObjectEntryBytes = 16 + BlobRef::kSerializedSize;  // 28
+
+std::vector<uint8_t> EncodeIds(const std::vector<ObjectId>& ids) {
+  std::vector<uint8_t> bytes;
+  ByteWriter writer(&bytes);
+  writer.PutU32(static_cast<uint32_t>(ids.size()));
+  for (ObjectId id : ids) writer.PutU32(id);
+  return bytes;
+}
+
+std::vector<ObjectId> DecodeIds(const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes.data(), bytes.size());
+  const uint32_t count = reader.GetU32();
+  std::vector<ObjectId> ids(count);
+  for (uint32_t i = 0; i < count; ++i) ids[i] = reader.GetU32();
+  return ids;
+}
+
+}  // namespace
+
+InvertedGridIndex::InvertedGridIndex(BufferPool* pool)
+    : pool_(pool), blobs_(pool) {}
+
+StatusOr<std::unique_ptr<InvertedGridIndex>> InvertedGridIndex::Build(
+    const Dataset& dataset, BufferPool* pool, const Options& options) {
+  if (pool->pager()->num_pages() != 0) {
+    return Status::FailedPrecondition(
+        "InvertedGridIndex::Build requires a fresh pager file");
+  }
+  std::unique_ptr<InvertedGridIndex> index(new InvertedGridIndex(pool));
+  index->options_ = options;
+  index->meta_page_ = pool->pager()->AllocatePages(1);
+  index->num_objects_ = dataset.size();
+  // The term universe spans the vocabulary *and* any raw term ids used
+  // directly in keyword sets without interning.
+  uint32_t max_term_plus_one = dataset.vocabulary().num_terms();
+  for (const SpatialObject& o : dataset.objects()) {
+    if (!o.doc.empty()) {
+      max_term_plus_one =
+          std::max(max_term_plus_one, o.doc.terms().back() + 1);
+    }
+  }
+  index->num_terms_ = max_term_plus_one;
+  index->bounds_ = dataset.bounding_rect();
+  index->diagonal_ = dataset.diagonal();
+  index->grid_ = options.grid_resolution != 0
+                     ? options.grid_resolution
+                     : std::max<uint32_t>(
+                           1, static_cast<uint32_t>(std::ceil(
+                                  std::sqrt(dataset.size() / 64.0))));
+
+  // 1. Per-object keyword blobs + the object table.
+  std::vector<uint8_t> table;
+  table.reserve(dataset.size() * kObjectEntryBytes);
+  {
+    ByteWriter writer(&table);
+    for (const SpatialObject& o : dataset.objects()) {
+      std::vector<uint8_t> doc_bytes;
+      o.doc.Serialize(&doc_bytes);
+      StatusOr<BlobRef> doc_ref = index->blobs_.Append(doc_bytes);
+      if (!doc_ref.ok()) return doc_ref.status();
+      writer.PutDouble(o.loc.x);
+      writer.PutDouble(o.loc.y);
+      uint8_t ref[BlobRef::kSerializedSize];
+      doc_ref.value().Serialize(ref);
+      writer.PutBytes(ref, sizeof(ref));
+    }
+  }
+  StatusOr<BlobRef> table_ref = index->blobs_.Append(table);
+  if (!table_ref.ok()) return table_ref.status();
+  index->object_table_ = table_ref.value();
+
+  // 2. Term postings + directory.
+  std::vector<std::vector<ObjectId>> postings(index->num_terms_);
+  for (const SpatialObject& o : dataset.objects()) {
+    for (TermId t : o.doc) postings[t].push_back(o.id);
+  }
+  std::vector<uint8_t> term_dir;
+  {
+    ByteWriter writer(&term_dir);
+    for (const std::vector<ObjectId>& posting : postings) {
+      StatusOr<BlobRef> ref = index->blobs_.Append(EncodeIds(posting));
+      if (!ref.ok()) return ref.status();
+      uint8_t buf[BlobRef::kSerializedSize];
+      ref.value().Serialize(buf);
+      writer.PutBytes(buf, sizeof(buf));
+    }
+  }
+  StatusOr<BlobRef> term_dir_ref = index->blobs_.Append(term_dir);
+  if (!term_dir_ref.ok()) return term_dir_ref.status();
+  index->term_directory_ = term_dir_ref.value();
+
+  // 3. Grid cell postings + directory.
+  const uint32_t g = index->grid_;
+  std::vector<std::vector<ObjectId>> cells(static_cast<size_t>(g) * g);
+  const double width = std::max(index->bounds_.max_x - index->bounds_.min_x,
+                                1e-12);
+  const double height = std::max(index->bounds_.max_y - index->bounds_.min_y,
+                                 1e-12);
+  for (const SpatialObject& o : dataset.objects()) {
+    const uint32_t cx = std::min<uint32_t>(
+        g - 1, static_cast<uint32_t>((o.loc.x - index->bounds_.min_x) /
+                                     width * g));
+    const uint32_t cy = std::min<uint32_t>(
+        g - 1, static_cast<uint32_t>((o.loc.y - index->bounds_.min_y) /
+                                     height * g));
+    cells[static_cast<size_t>(cy) * g + cx].push_back(o.id);
+  }
+  std::vector<uint8_t> cell_dir;
+  {
+    ByteWriter writer(&cell_dir);
+    for (const std::vector<ObjectId>& cell : cells) {
+      StatusOr<BlobRef> ref = index->blobs_.Append(EncodeIds(cell));
+      if (!ref.ok()) return ref.status();
+      uint8_t buf[BlobRef::kSerializedSize];
+      ref.value().Serialize(buf);
+      writer.PutBytes(buf, sizeof(buf));
+    }
+  }
+  StatusOr<BlobRef> cell_dir_ref = index->blobs_.Append(cell_dir);
+  if (!cell_dir_ref.ok()) return cell_dir_ref.status();
+  index->cell_directory_ = cell_dir_ref.value();
+
+  WSK_RETURN_IF_ERROR(index->blobs_.Flush());
+  WSK_RETURN_IF_ERROR(index->WriteMeta());
+  WSK_RETURN_IF_ERROR(pool->FlushAll());
+  return index;
+}
+
+StatusOr<std::unique_ptr<InvertedGridIndex>> InvertedGridIndex::Open(
+    BufferPool* pool) {
+  std::unique_ptr<InvertedGridIndex> index(new InvertedGridIndex(pool));
+  index->meta_page_ = 0;
+  WSK_RETURN_IF_ERROR(index->ReadMeta());
+  return index;
+}
+
+Status InvertedGridIndex::WriteMeta() {
+  std::vector<uint8_t> bytes;
+  ByteWriter writer(&bytes);
+  writer.PutU32(kMagic);
+  writer.PutU32(kVersion);
+  writer.PutU64(num_objects_);
+  writer.PutU32(num_terms_);
+  writer.PutU32(grid_);
+  writer.PutRect(bounds_);
+  writer.PutDouble(diagonal_);
+  writer.PutU8(static_cast<uint8_t>(options_.model));
+  uint8_t ref[BlobRef::kSerializedSize];
+  object_table_.Serialize(ref);
+  writer.PutBytes(ref, sizeof(ref));
+  term_directory_.Serialize(ref);
+  writer.PutBytes(ref, sizeof(ref));
+  cell_directory_.Serialize(ref);
+  writer.PutBytes(ref, sizeof(ref));
+  bytes.resize(pool_->pager()->page_size(), 0);
+  return WriteNodeBytes(pool_, meta_page_, 1, bytes.data());
+}
+
+Status InvertedGridIndex::ReadMeta() {
+  std::vector<uint8_t> bytes;
+  WSK_RETURN_IF_ERROR(ReadNodeBytes(pool_, meta_page_, 1, &bytes));
+  ByteReader reader(bytes.data(), bytes.size());
+  if (reader.GetU32() != kMagic) {
+    return Status::Corruption("not an inverted-grid index file");
+  }
+  if (reader.GetU32() != kVersion) {
+    return Status::Corruption("unsupported inverted-grid index version");
+  }
+  num_objects_ = reader.GetU64();
+  num_terms_ = reader.GetU32();
+  grid_ = reader.GetU32();
+  bounds_ = reader.GetRect();
+  diagonal_ = reader.GetDouble();
+  options_.model = static_cast<SimilarityModel>(reader.GetU8());
+  object_table_ =
+      BlobRef::Deserialize(reader.GetBytes(BlobRef::kSerializedSize));
+  term_directory_ =
+      BlobRef::Deserialize(reader.GetBytes(BlobRef::kSerializedSize));
+  cell_directory_ =
+      BlobRef::Deserialize(reader.GetBytes(BlobRef::kSerializedSize));
+  return Status::Ok();
+}
+
+StatusOr<InvertedGridIndex::ObjectEntry> InvertedGridIndex::ReadObjectEntry(
+    ObjectId id) const {
+  std::vector<uint8_t> bytes;
+  WSK_RETURN_IF_ERROR(blobs_.ReadRange(
+      object_table_, static_cast<uint32_t>(id * kObjectEntryBytes),
+      kObjectEntryBytes, &bytes));
+  ByteReader reader(bytes.data(), bytes.size());
+  ObjectEntry entry;
+  entry.loc.x = reader.GetDouble();
+  entry.loc.y = reader.GetDouble();
+  entry.doc = BlobRef::Deserialize(reader.GetBytes(BlobRef::kSerializedSize));
+  return entry;
+}
+
+StatusOr<std::vector<ObjectId>> InvertedGridIndex::ReadPosting(
+    const BlobRef& directory, uint32_t slot) const {
+  std::vector<uint8_t> ref_bytes;
+  WSK_RETURN_IF_ERROR(blobs_.ReadRange(directory,
+                                       slot * BlobRef::kSerializedSize,
+                                       BlobRef::kSerializedSize, &ref_bytes));
+  const BlobRef ref = BlobRef::Deserialize(ref_bytes.data());
+  std::vector<uint8_t> bytes;
+  WSK_RETURN_IF_ERROR(blobs_.Read(ref, &bytes));
+  return DecodeIds(bytes);
+}
+
+Rect InvertedGridIndex::CellRect(uint32_t cx, uint32_t cy) const {
+  const double width = std::max(bounds_.max_x - bounds_.min_x, 1e-12);
+  const double height = std::max(bounds_.max_y - bounds_.min_y, 1e-12);
+  Rect rect;
+  rect.min_x = bounds_.min_x + width * cx / grid_;
+  rect.max_x = bounds_.min_x + width * (cx + 1) / grid_;
+  rect.min_y = bounds_.min_y + height * cy / grid_;
+  rect.max_y = bounds_.min_y + height * (cy + 1) / grid_;
+  return rect;
+}
+
+Status InvertedGridIndex::ScoreTextualCandidates(
+    const SpatialKeywordQuery& query, std::vector<ScoredObject>* scored,
+    std::vector<bool>* seen) const {
+  seen->assign(num_objects_, false);
+  for (TermId t : query.doc) {
+    if (t >= num_terms_) continue;  // unknown term: empty posting
+    StatusOr<std::vector<ObjectId>> posting = ReadPosting(term_directory_, t);
+    if (!posting.ok()) return posting.status();
+    for (ObjectId id : posting.value()) {
+      if ((*seen)[id]) continue;
+      (*seen)[id] = true;
+      StatusOr<ObjectEntry> entry = ReadObjectEntry(id);
+      if (!entry.ok()) return entry.status();
+      std::vector<uint8_t> doc_bytes;
+      WSK_RETURN_IF_ERROR(blobs_.Read(entry.value().doc, &doc_bytes));
+      const KeywordSet doc =
+          KeywordSet::Deserialize(doc_bytes.data(), doc_bytes.size());
+      const double sdist =
+          Distance(entry.value().loc, query.loc) / diagonal_;
+      const double tsim = TextualSimilarity(doc, query.doc, options_.model);
+      scored->push_back(ScoredObject{
+          id, query.alpha * (1.0 - sdist) + (1.0 - query.alpha) * tsim});
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<ScoredObject>> InvertedGridIndex::TopK(
+    const SpatialKeywordQuery& query) const {
+  if (query.alpha <= 0.0 || query.alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must lie strictly inside (0, 1)");
+  }
+  std::vector<ScoredObject> scored;
+  std::vector<bool> seen;
+  if (num_objects_ == 0) return scored;
+  WSK_RETURN_IF_ERROR(ScoreTextualCandidates(query, &scored, &seen));
+
+  // Spatial phase: every object not sharing a term has TSim = 0, so its
+  // score is alpha (1 - SDist). Visit grid cells in MinDist order while
+  // they could still contribute to the top-k.
+  struct CellDist {
+    double min_dist;
+    uint32_t slot;
+  };
+  std::vector<CellDist> order;
+  order.reserve(static_cast<size_t>(grid_) * grid_);
+  for (uint32_t cy = 0; cy < grid_; ++cy) {
+    for (uint32_t cx = 0; cx < grid_; ++cx) {
+      order.push_back(
+          CellDist{MinDist(query.loc, CellRect(cx, cy)), cy * grid_ + cx});
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [](const CellDist& a, const CellDist& b) {
+              if (a.min_dist != b.min_dist) return a.min_dist < b.min_dist;
+              return a.slot < b.slot;
+            });
+
+  // The k-th best textual score so far gates the sweep.
+  auto kth_score = [&]() {
+    if (scored.size() < query.k) {
+      return -std::numeric_limits<double>::infinity();
+    }
+    std::vector<double> scores;
+    scores.reserve(scored.size());
+    for (const ScoredObject& s : scored) scores.push_back(s.score);
+    std::nth_element(scores.begin(), scores.begin() + (query.k - 1),
+                     scores.end(), std::greater<double>());
+    return scores[query.k - 1];
+  };
+
+  double gate = kth_score();
+  for (const CellDist& cell : order) {
+    const double bound = query.alpha * (1.0 - cell.min_dist / diagonal_);
+    if (bound <= gate) break;
+    StatusOr<std::vector<ObjectId>> posting =
+        ReadPosting(cell_directory_, cell.slot);
+    if (!posting.ok()) return posting.status();
+    bool added = false;
+    for (ObjectId id : posting.value()) {
+      if (seen[id]) continue;
+      seen[id] = true;
+      StatusOr<ObjectEntry> entry = ReadObjectEntry(id);
+      if (!entry.ok()) return entry.status();
+      const double sdist = Distance(entry.value().loc, query.loc) / diagonal_;
+      scored.push_back(ScoredObject{id, query.alpha * (1.0 - sdist)});
+      added = true;
+    }
+    if (added) gate = kth_score();
+  }
+
+  std::sort(scored.begin(), scored.end(), ScoreGreater());
+  if (scored.size() > query.k) scored.resize(query.k);
+  return scored;
+}
+
+StatusOr<uint32_t> InvertedGridIndex::RankOfScore(
+    const SpatialKeywordQuery& query, double target_score) const {
+  std::vector<ScoredObject> scored;
+  std::vector<bool> seen;
+  if (num_objects_ == 0) return 1;
+  WSK_RETURN_IF_ERROR(ScoreTextualCandidates(query, &scored, &seen));
+  uint32_t better = 0;
+  for (const ScoredObject& s : scored) {
+    if (s.score > target_score) ++better;
+  }
+  // Spatial-only objects beat the target exactly when
+  // alpha (1 - SDist) > target, i.e. inside a disk around the query.
+  for (uint32_t cy = 0; cy < grid_; ++cy) {
+    for (uint32_t cx = 0; cx < grid_; ++cx) {
+      const double bound =
+          query.alpha *
+          (1.0 - MinDist(query.loc, CellRect(cx, cy)) / diagonal_);
+      if (bound <= target_score) continue;
+      StatusOr<std::vector<ObjectId>> posting =
+          ReadPosting(cell_directory_, cy * grid_ + cx);
+      if (!posting.ok()) return posting.status();
+      for (ObjectId id : posting.value()) {
+        if (seen[id]) continue;
+        StatusOr<ObjectEntry> entry = ReadObjectEntry(id);
+        if (!entry.ok()) return entry.status();
+        const double sdist =
+            Distance(entry.value().loc, query.loc) / diagonal_;
+        if (query.alpha * (1.0 - sdist) > target_score) ++better;
+      }
+    }
+  }
+  return better + 1;
+}
+
+}  // namespace wsk

@@ -1,0 +1,96 @@
+// Inverted-file + grid baseline index — the pre-IR-tree architecture of
+// the related work (Zhou et al. [34], Martins et al. [25]): textual
+// retrieval through per-term posting lists, spatial retrieval through a
+// uniform grid, combined at query time.
+//
+// Serves as a comparison substrate for the SetR-/KcR-trees: it answers the
+// same spatial keyword top-k queries (exactly) with very different I/O
+// behaviour — cheap for keyword-selective queries, expensive when the
+// spatial component dominates, since grid cells carry no textual summary.
+//
+// Disk layout (all payloads in a BlobStore; refs in the metadata page):
+//   object table   n   × (x f64, y f64, doc BlobRef)    random access
+//   term directory T   × posting BlobRef                random access
+//   postings       one blob per term: sorted object ids
+//   cell directory G*G × posting BlobRef                random access
+//   cell postings  one blob per grid cell: object ids
+#ifndef WSK_INDEX_INVERTED_GRID_INDEX_H_
+#define WSK_INDEX_INVERTED_GRID_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/query.h"
+#include "storage/blob_store.h"
+#include "storage/buffer_pool.h"
+#include "text/similarity.h"
+
+namespace wsk {
+
+class InvertedGridIndex {
+ public:
+  struct Options {
+    SimilarityModel model = SimilarityModel::kJaccard;
+    // Grid cells per axis; 0 chooses ceil(sqrt(n / 64)) so cells hold ~64
+    // objects on average.
+    uint32_t grid_resolution = 0;
+  };
+
+  static StatusOr<std::unique_ptr<InvertedGridIndex>> Build(
+      const Dataset& dataset, BufferPool* pool, const Options& options);
+  static StatusOr<std::unique_ptr<InvertedGridIndex>> Open(BufferPool* pool);
+
+  // Exact spatial keyword top-k, ordered (score desc, id asc).
+  StatusOr<std::vector<ScoredObject>> TopK(
+      const SpatialKeywordQuery& query) const;
+
+  // 1 + number of objects scoring strictly above `target_score`.
+  StatusOr<uint32_t> RankOfScore(const SpatialKeywordQuery& query,
+                                 double target_score) const;
+
+  double diagonal() const { return diagonal_; }
+  uint64_t num_objects() const { return num_objects_; }
+  uint32_t grid_resolution() const { return grid_; }
+
+ private:
+  explicit InvertedGridIndex(BufferPool* pool);
+
+  struct ObjectEntry {
+    Point loc;
+    BlobRef doc;
+  };
+
+  Status WriteMeta();
+  Status ReadMeta();
+
+  StatusOr<ObjectEntry> ReadObjectEntry(ObjectId id) const;
+  StatusOr<std::vector<ObjectId>> ReadPosting(const BlobRef& directory,
+                                              uint32_t slot) const;
+  Rect CellRect(uint32_t cx, uint32_t cy) const;
+
+  // Scores every object that shares a term with the query (exact) and
+  // returns them; `seen` marks their ids for the spatial phase.
+  Status ScoreTextualCandidates(const SpatialKeywordQuery& query,
+                                std::vector<ScoredObject>* scored,
+                                std::vector<bool>* seen) const;
+
+  BufferPool* const pool_;
+  mutable BlobStore blobs_;
+  Options options_;
+  PageId meta_page_ = kInvalidPageId;
+  uint64_t num_objects_ = 0;
+  uint32_t num_terms_ = 0;
+  uint32_t grid_ = 1;
+  Rect bounds_;
+  double diagonal_ = 1.0;
+  BlobRef object_table_;
+  BlobRef term_directory_;
+  BlobRef cell_directory_;
+};
+
+}  // namespace wsk
+
+#endif  // WSK_INDEX_INVERTED_GRID_INDEX_H_

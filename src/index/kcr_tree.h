@@ -1,0 +1,150 @@
+// KcR-tree: the Keyword-count R-tree of Section V-A.
+//
+// An R-tree whose non-leaf entries carry, besides the child MBR, the number
+// of objects in the child's subtree (cnt) and a pointer to its keyword-count
+// map (pcm). Those summaries let the bound-and-prune algorithm estimate,
+// for a candidate keyword set, how many objects under a node dominate the
+// missing object (MaxDom / MinDom, see dom_bounds.h) without unfolding it.
+//
+// The storage scheme mirrors the SetR-tree: fixed node slots plus a blob
+// store for the maps; the metadata page additionally records the root's own
+// cnt / MBR / kcm so a traversal can bound the whole tree before the first
+// node access (Algorithm 3, lines 2-6).
+#ifndef WSK_INDEX_KCR_TREE_H_
+#define WSK_INDEX_KCR_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/query.h"
+#include "index/keyword_count_map.h"
+#include "index/topk.h"
+#include "storage/blob_store.h"
+#include "storage/buffer_pool.h"
+#include "text/similarity.h"
+
+namespace wsk {
+
+class KcrTree : public TopKSource {
+ public:
+  struct Options {
+    uint32_t capacity = 100;
+    SimilarityModel model = SimilarityModel::kJaccard;
+  };
+
+  struct LeafEntry {
+    ObjectId object = kInvalidObjectId;
+    Point loc;
+    BlobRef keywords;  // pks
+  };
+
+  struct InnerEntry {
+    PageId child = kInvalidPageId;
+    Rect mbr;
+    uint32_t cnt = 0;  // objects in the child's subtree
+    BlobRef kcm;       // pcm
+  };
+
+  struct Node {
+    bool is_leaf = true;
+    std::vector<LeafEntry> leaf_entries;
+    std::vector<InnerEntry> inner_entries;
+
+    size_t size() const {
+      return is_leaf ? leaf_entries.size() : inner_entries.size();
+    }
+    Rect ComputeMbr() const;
+  };
+
+  static StatusOr<std::unique_ptr<KcrTree>> BulkLoad(
+      const Dataset& dataset, BufferPool* pool, const Options& options);
+  static StatusOr<std::unique_ptr<KcrTree>> CreateEmpty(
+      BufferPool* pool, double diagonal, const Options& options);
+  static StatusOr<std::unique_ptr<KcrTree>> Open(BufferPool* pool);
+
+  Status Insert(const SpatialObject& object);
+
+  // Removes the object (matched by id; `loc` guides the descent). Ancestor
+  // counts and keyword-count maps are recomputed; emptied nodes are
+  // unlinked (lazy deletion, no min-fill enforcement). Returns NotFound if
+  // the object is absent.
+  Status Remove(ObjectId object, Point loc);
+
+  Status Finalize();
+
+  // TopKSource (used to determine R(m, q), Algorithm 4 line 1):
+  PageId SearchRoot() const override;
+  Status ExpandNode(PageId node, const SpatialKeywordQuery& query,
+                    std::vector<SearchEntry>* out) const override;
+
+  double diagonal() const { return diagonal_; }
+  uint32_t height() const { return height_; }
+  uint64_t num_objects() const { return num_objects_; }
+  uint32_t pages_per_node() const { return pages_per_node_; }
+  const Options& options() const { return options_; }
+
+  // Root summary for Algorithm 3's initial bounds.
+  const Rect& root_mbr() const { return root_mbr_; }
+  uint32_t root_cnt() const { return root_cnt_; }
+  StatusOr<KeywordCountMap> ReadRootKcm() const;
+
+  StatusOr<Node> ReadNode(PageId page) const;
+  StatusOr<KeywordSet> ReadKeywordSet(const BlobRef& ref) const;
+  StatusOr<KeywordCountMap> ReadKcm(const BlobRef& ref) const;
+
+ private:
+  KcrTree(BufferPool* pool, const Options& options, double diagonal);
+
+  struct Summary {
+    Rect mbr;
+    KeywordCountMap kcm;
+    uint32_t cnt = 0;
+  };
+
+  struct ChildUpdate {
+    Summary updated;
+    bool split = false;
+    PageId new_child = kInvalidPageId;
+    Summary sibling;
+  };
+
+  PageId AllocateNodeSlot();
+  Status WriteNode(PageId page, const Node& node);
+  StatusOr<BlobRef> WriteKeywordSet(const KeywordSet& set);
+  StatusOr<BlobRef> WriteKcm(const KeywordCountMap& map);
+  Status WriteMeta();
+  Status ReadMeta();
+
+  StatusOr<Summary> ComputeSummary(const Node& node) const;
+  Status InsertInto(PageId page, uint32_t level, const SpatialObject& object,
+                    BlobRef keywords_ref, ChildUpdate* out);
+
+  struct RemoveUpdate {
+    bool found = false;
+    bool now_empty = false;
+    Summary updated;
+  };
+  Status RemoveFrom(PageId page, uint32_t level, ObjectId object, Point loc,
+                    RemoveUpdate* out);
+  void QuadraticSplit(Node* node, Node* sibling) const;
+
+  BufferPool* const pool_;
+  mutable BlobStore blobs_;
+  Options options_;
+  uint32_t pages_per_node_ = 0;
+  PageId meta_page_ = kInvalidPageId;
+  PageId root_ = kInvalidPageId;
+  uint32_t height_ = 0;
+  uint64_t num_objects_ = 0;
+  double diagonal_ = 1.0;
+  Rect root_mbr_;
+  uint32_t root_cnt_ = 0;
+  BlobRef root_kcm_;
+};
+
+}  // namespace wsk
+
+#endif  // WSK_INDEX_KCR_TREE_H_

@@ -1,0 +1,88 @@
+#include "index/keyword_count_map.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace wsk {
+
+KeywordCountMap KeywordCountMap::FromDoc(const KeywordSet& doc) {
+  KeywordCountMap map;
+  map.pairs_.reserve(doc.size());
+  for (TermId t : doc) map.pairs_.emplace_back(t, 1);
+  return map;
+}
+
+void KeywordCountMap::AddDoc(const KeywordSet& doc) {
+  Merge(FromDoc(doc));
+}
+
+void KeywordCountMap::Merge(const KeywordCountMap& other) {
+  std::vector<std::pair<TermId, uint32_t>> merged;
+  merged.reserve(pairs_.size() + other.pairs_.size());
+  auto a = pairs_.begin();
+  auto b = other.pairs_.begin();
+  while (a != pairs_.end() && b != other.pairs_.end()) {
+    if (a->first < b->first) {
+      merged.push_back(*a++);
+    } else if (b->first < a->first) {
+      merged.push_back(*b++);
+    } else {
+      merged.emplace_back(a->first, a->second + b->second);
+      ++a;
+      ++b;
+    }
+  }
+  merged.insert(merged.end(), a, pairs_.end());
+  merged.insert(merged.end(), b, other.pairs_.end());
+  pairs_ = std::move(merged);
+}
+
+uint32_t KeywordCountMap::CountOf(TermId t) const {
+  const auto it = std::lower_bound(
+      pairs_.begin(), pairs_.end(), t,
+      [](const std::pair<TermId, uint32_t>& p, TermId v) {
+        return p.first < v;
+      });
+  if (it == pairs_.end() || it->first != t) return 0;
+  return it->second;
+}
+
+uint64_t KeywordCountMap::TotalCount() const {
+  uint64_t total = 0;
+  for (const auto& [term, count] : pairs_) total += count;
+  return total;
+}
+
+void KeywordCountMap::Serialize(std::vector<uint8_t>* out) const {
+  const size_t base = out->size();
+  out->resize(base + SerializedSize());
+  const uint32_t n = static_cast<uint32_t>(pairs_.size());
+  std::memcpy(out->data() + base, &n, 4);
+  uint8_t* p = out->data() + base + 4;
+  for (const auto& [term, count] : pairs_) {
+    std::memcpy(p, &term, 4);
+    std::memcpy(p + 4, &count, 4);
+    p += 8;
+  }
+}
+
+KeywordCountMap KeywordCountMap::Deserialize(const uint8_t* data,
+                                             size_t size) {
+  WSK_CHECK(size >= 4);
+  uint32_t n;
+  std::memcpy(&n, data, 4);
+  WSK_CHECK(size >= 4 + 8ull * n);
+  KeywordCountMap map;
+  map.pairs_.resize(n);
+  const uint8_t* p = data + 4;
+  for (uint32_t i = 0; i < n; ++i) {
+    std::memcpy(&map.pairs_[i].first, p, 4);
+    std::memcpy(&map.pairs_[i].second, p + 4, 4);
+    p += 8;
+  }
+  return map;
+}
+
+}  // namespace wsk

@@ -1,0 +1,31 @@
+#include "index/node_codec.h"
+
+namespace wsk {
+
+Status ReadNodeBytes(BufferPool* pool, PageId first, uint32_t num_pages,
+                     std::vector<uint8_t>* out) {
+  const uint32_t page_size = pool->pager()->page_size();
+  out->resize(static_cast<size_t>(num_pages) * page_size);
+  for (uint32_t i = 0; i < num_pages; ++i) {
+    StatusOr<PageHandle> handle = pool->Fetch(first + i);
+    if (!handle.ok()) return handle.status();
+    std::memcpy(out->data() + static_cast<size_t>(i) * page_size,
+                handle.value().data(), page_size);
+  }
+  return Status::Ok();
+}
+
+Status WriteNodeBytes(BufferPool* pool, PageId first, uint32_t num_pages,
+                      const uint8_t* data) {
+  const uint32_t page_size = pool->pager()->page_size();
+  for (uint32_t i = 0; i < num_pages; ++i) {
+    StatusOr<PageHandle> handle = pool->Fetch(first + i);
+    if (!handle.ok()) return handle.status();
+    std::memcpy(handle.value().data(),
+                data + static_cast<size_t>(i) * page_size, page_size);
+    handle.value().MarkDirty();
+  }
+  return Status::Ok();
+}
+
+}  // namespace wsk

@@ -1,0 +1,102 @@
+// Byte-level encode/decode helpers for tree node and metadata pages, plus
+// multi-page node I/O through the buffer pool.
+//
+// A tree node occupies a fixed number of physically consecutive pages (its
+// "slot"); reading a node costs one buffered fetch per page, which is how
+// the experiments account I/O for node accesses.
+#ifndef WSK_INDEX_NODE_CODEC_H_
+#define WSK_INDEX_NODE_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace wsk {
+
+// Sequential little-endian writer over a caller-owned buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(v); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+  void PutRect(const Rect& r) {
+    PutDouble(r.min_x);
+    PutDouble(r.min_y);
+    PutDouble(r.max_x);
+    PutDouble(r.max_y);
+  }
+  void PutBytes(const uint8_t* data, size_t n) { PutRaw(data, n); }
+
+  size_t size() const { return out_->size(); }
+
+ private:
+  void PutRaw(const void* data, size_t n) {
+    const size_t base = out_->size();
+    out_->resize(base + n);
+    std::memcpy(out_->data() + base, data, n);
+  }
+
+  std::vector<uint8_t>* out_;
+};
+
+// Sequential reader; bounds-checked via WSK_CHECK (format errors inside the
+// library's own pages indicate corruption bugs, not user input).
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint8_t GetU8() { return data_[Advance(1)]; }
+  uint32_t GetU32() { return Get<uint32_t>(); }
+  uint64_t GetU64() { return Get<uint64_t>(); }
+  double GetDouble() { return Get<double>(); }
+  Rect GetRect() {
+    Rect r;
+    r.min_x = GetDouble();
+    r.min_y = GetDouble();
+    r.max_x = GetDouble();
+    r.max_y = GetDouble();
+    return r;
+  }
+  const uint8_t* GetBytes(size_t n) { return data_ + Advance(n); }
+
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  template <typename T>
+  T Get() {
+    T v;
+    std::memcpy(&v, data_ + Advance(sizeof(T)), sizeof(T));
+    return v;
+  }
+  size_t Advance(size_t n) {
+    WSK_CHECK_MSG(pos_ + n <= size_, "decode overrun (%zu + %zu > %zu)", pos_,
+                  n, size_);
+    const size_t p = pos_;
+    pos_ += n;
+    return p;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// Reads the `num_pages` consecutive pages starting at `first` into `out`
+// (resized to num_pages * page_size).
+Status ReadNodeBytes(BufferPool* pool, PageId first, uint32_t num_pages,
+                     std::vector<uint8_t>* out);
+
+// Writes `data` (num_pages * page_size bytes) over the slot at `first`.
+Status WriteNodeBytes(BufferPool* pool, PageId first, uint32_t num_pages,
+                      const uint8_t* data);
+
+}  // namespace wsk
+
+#endif  // WSK_INDEX_NODE_CODEC_H_

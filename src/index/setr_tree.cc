@@ -1,0 +1,649 @@
+#include "index/setr_tree.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "index/node_codec.h"
+#include "index/str_pack.h"
+
+namespace wsk {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x53524b57;  // "WKRS"
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderBytes = 8;       // kind u8 + pad[3] + count u32
+constexpr size_t kLeafEntryBytes = 4 + 16 + BlobRef::kSerializedSize;   // 32
+constexpr size_t kInnerEntryBytes = 4 + 32 + 2 * BlobRef::kSerializedSize;
+
+size_t NodeBytes(uint32_t capacity) {
+  return kHeaderBytes +
+         static_cast<size_t>(capacity) *
+             std::max(kLeafEntryBytes, kInnerEntryBytes);
+}
+
+void SerializeNode(const SetRTree::Node& node, std::vector<uint8_t>* out) {
+  out->clear();
+  ByteWriter writer(out);
+  writer.PutU8(node.is_leaf ? 0 : 1);
+  writer.PutU8(0);
+  writer.PutU8(0);
+  writer.PutU8(0);
+  writer.PutU32(static_cast<uint32_t>(node.size()));
+  if (node.is_leaf) {
+    for (const SetRTree::LeafEntry& e : node.leaf_entries) {
+      writer.PutU32(e.object);
+      writer.PutDouble(e.loc.x);
+      writer.PutDouble(e.loc.y);
+      uint8_t ref[BlobRef::kSerializedSize];
+      e.keywords.Serialize(ref);
+      writer.PutBytes(ref, sizeof(ref));
+    }
+  } else {
+    for (const SetRTree::InnerEntry& e : node.inner_entries) {
+      writer.PutU32(e.child);
+      writer.PutRect(e.mbr);
+      uint8_t ref[BlobRef::kSerializedSize];
+      e.union_set.Serialize(ref);
+      writer.PutBytes(ref, sizeof(ref));
+      e.inter_set.Serialize(ref);
+      writer.PutBytes(ref, sizeof(ref));
+    }
+  }
+}
+
+SetRTree::Node DeserializeNode(const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes.data(), bytes.size());
+  SetRTree::Node node;
+  node.is_leaf = reader.GetU8() == 0;
+  reader.GetU8();
+  reader.GetU8();
+  reader.GetU8();
+  const uint32_t count = reader.GetU32();
+  if (node.is_leaf) {
+    node.leaf_entries.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      SetRTree::LeafEntry e;
+      e.object = reader.GetU32();
+      e.loc.x = reader.GetDouble();
+      e.loc.y = reader.GetDouble();
+      e.keywords =
+          BlobRef::Deserialize(reader.GetBytes(BlobRef::kSerializedSize));
+      node.leaf_entries.push_back(e);
+    }
+  } else {
+    node.inner_entries.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      SetRTree::InnerEntry e;
+      e.child = reader.GetU32();
+      e.mbr = reader.GetRect();
+      e.union_set =
+          BlobRef::Deserialize(reader.GetBytes(BlobRef::kSerializedSize));
+      e.inter_set =
+          BlobRef::Deserialize(reader.GetBytes(BlobRef::kSerializedSize));
+      node.inner_entries.push_back(e);
+    }
+  }
+  return node;
+}
+
+}  // namespace
+
+Rect SetRTree::Node::ComputeMbr() const {
+  Rect mbr;
+  if (is_leaf) {
+    for (const LeafEntry& e : leaf_entries) mbr.Extend(e.loc);
+  } else {
+    for (const InnerEntry& e : inner_entries) mbr.Extend(e.mbr);
+  }
+  return mbr;
+}
+
+SetRTree::SetRTree(BufferPool* pool, const Options& options, double diagonal)
+    : pool_(pool), blobs_(pool), options_(options), diagonal_(diagonal) {
+  const uint32_t page_size = pool->pager()->page_size();
+  pages_per_node_ = static_cast<uint32_t>(
+      (NodeBytes(options.capacity) + page_size - 1) / page_size);
+}
+
+StatusOr<std::unique_ptr<SetRTree>> SetRTree::CreateEmpty(
+    BufferPool* pool, double diagonal, const Options& options) {
+  if (options.capacity < 2) {
+    return Status::InvalidArgument("node capacity must be at least 2");
+  }
+  if (pool->pager()->num_pages() != 0) {
+    return Status::FailedPrecondition(
+        "SetRTree::CreateEmpty requires a fresh pager file");
+  }
+  if (diagonal <= 0.0) {
+    return Status::InvalidArgument("diagonal must be positive");
+  }
+  std::unique_ptr<SetRTree> tree(new SetRTree(pool, options, diagonal));
+  tree->meta_page_ = pool->pager()->AllocatePages(1);
+  WSK_RETURN_IF_ERROR(tree->WriteMeta());
+  return tree;
+}
+
+StatusOr<std::unique_ptr<SetRTree>> SetRTree::BulkLoad(const Dataset& dataset,
+                                                       BufferPool* pool,
+                                                       const Options& options) {
+  StatusOr<std::unique_ptr<SetRTree>> created =
+      CreateEmpty(pool, dataset.diagonal(), options);
+  if (!created.ok()) return created.status();
+  std::unique_ptr<SetRTree> tree = std::move(created).value();
+  if (dataset.size() == 0) {
+    WSK_RETURN_IF_ERROR(tree->Finalize());
+    return tree;
+  }
+
+  // Level summaries carried up between rounds of STR packing.
+  struct Pending {
+    PageId page;
+    Summary summary;
+    Point center;
+  };
+
+  // --- Leaf level ---
+  std::vector<Point> centers;
+  centers.reserve(dataset.size());
+  for (const SpatialObject& o : dataset.objects()) centers.push_back(o.loc);
+  std::vector<std::vector<uint32_t>> groups =
+      StrPack(centers, options.capacity);
+
+  std::vector<Pending> level;
+  level.reserve(groups.size());
+  for (const std::vector<uint32_t>& group : groups) {
+    Node node;
+    node.is_leaf = true;
+    Summary summary;
+    bool first = true;
+    for (uint32_t idx : group) {
+      const SpatialObject& o = dataset.object(idx);
+      StatusOr<BlobRef> ref = tree->WriteKeywordSet(o.doc);
+      if (!ref.ok()) return ref.status();
+      node.leaf_entries.push_back(LeafEntry{o.id, o.loc, ref.value()});
+      summary.mbr.Extend(o.loc);
+      summary.uni = summary.uni.Union(o.doc);
+      summary.inter = first ? o.doc : summary.inter.Intersect(o.doc);
+      first = false;
+    }
+    const PageId page = tree->AllocateNodeSlot();
+    WSK_RETURN_IF_ERROR(tree->WriteNode(page, node));
+    const Point center{(summary.mbr.min_x + summary.mbr.max_x) / 2,
+                       (summary.mbr.min_y + summary.mbr.max_y) / 2};
+    level.push_back(Pending{page, std::move(summary), center});
+  }
+  tree->height_ = 1;
+  tree->num_objects_ = dataset.size();
+
+  // --- Upper levels ---
+  while (level.size() > 1) {
+    centers.clear();
+    for (const Pending& p : level) centers.push_back(p.center);
+    groups = StrPack(centers, options.capacity);
+    std::vector<Pending> next;
+    next.reserve(groups.size());
+    for (const std::vector<uint32_t>& group : groups) {
+      Node node;
+      node.is_leaf = false;
+      Summary summary;
+      bool first = true;
+      for (uint32_t idx : group) {
+        const Pending& child = level[idx];
+        StatusOr<BlobRef> uni = tree->WriteKeywordSet(child.summary.uni);
+        if (!uni.ok()) return uni.status();
+        StatusOr<BlobRef> inter = tree->WriteKeywordSet(child.summary.inter);
+        if (!inter.ok()) return inter.status();
+        node.inner_entries.push_back(InnerEntry{child.page, child.summary.mbr,
+                                                uni.value(), inter.value()});
+        summary.mbr.Extend(child.summary.mbr);
+        summary.uni = summary.uni.Union(child.summary.uni);
+        summary.inter =
+            first ? child.summary.inter
+                  : summary.inter.Intersect(child.summary.inter);
+        first = false;
+      }
+      const PageId page = tree->AllocateNodeSlot();
+      WSK_RETURN_IF_ERROR(tree->WriteNode(page, node));
+      const Point center{(summary.mbr.min_x + summary.mbr.max_x) / 2,
+                         (summary.mbr.min_y + summary.mbr.max_y) / 2};
+      next.push_back(Pending{page, std::move(summary), center});
+    }
+    level = std::move(next);
+    ++tree->height_;
+  }
+  tree->root_ = level.front().page;
+  WSK_RETURN_IF_ERROR(tree->Finalize());
+  return tree;
+}
+
+StatusOr<std::unique_ptr<SetRTree>> SetRTree::Open(BufferPool* pool) {
+  std::unique_ptr<SetRTree> tree(new SetRTree(pool, Options{}, 1.0));
+  tree->meta_page_ = 0;
+  WSK_RETURN_IF_ERROR(tree->ReadMeta());
+  return tree;
+}
+
+PageId SetRTree::AllocateNodeSlot() {
+  return pool_->pager()->AllocatePages(pages_per_node_);
+}
+
+Status SetRTree::WriteNode(PageId page, const Node& node) {
+  WSK_CHECK_MSG(node.size() <= options_.capacity, "node overflow: %zu",
+                node.size());
+  std::vector<uint8_t> bytes;
+  SerializeNode(node, &bytes);
+  bytes.resize(static_cast<size_t>(pages_per_node_) *
+                   pool_->pager()->page_size(),
+               0);
+  return WriteNodeBytes(pool_, page, pages_per_node_, bytes.data());
+}
+
+StatusOr<SetRTree::Node> SetRTree::ReadNode(PageId page) const {
+  std::vector<uint8_t> bytes;
+  WSK_RETURN_IF_ERROR(ReadNodeBytes(pool_, page, pages_per_node_, &bytes));
+  return DeserializeNode(bytes);
+}
+
+StatusOr<BlobRef> SetRTree::WriteKeywordSet(const KeywordSet& set) {
+  std::vector<uint8_t> bytes;
+  set.Serialize(&bytes);
+  return blobs_.Append(bytes);
+}
+
+StatusOr<KeywordSet> SetRTree::ReadKeywordSet(const BlobRef& ref) const {
+  std::vector<uint8_t> bytes;
+  WSK_RETURN_IF_ERROR(blobs_.Read(ref, &bytes));
+  return KeywordSet::Deserialize(bytes.data(), bytes.size());
+}
+
+Status SetRTree::WriteMeta() {
+  std::vector<uint8_t> bytes;
+  ByteWriter writer(&bytes);
+  writer.PutU32(kMagic);
+  writer.PutU32(kVersion);
+  writer.PutU32(options_.capacity);
+  writer.PutU32(pages_per_node_);
+  writer.PutU32(root_);
+  writer.PutU32(height_);
+  writer.PutU64(num_objects_);
+  writer.PutDouble(diagonal_);
+  writer.PutU8(static_cast<uint8_t>(options_.model));
+  bytes.resize(pool_->pager()->page_size(), 0);
+  return WriteNodeBytes(pool_, meta_page_, 1, bytes.data());
+}
+
+Status SetRTree::ReadMeta() {
+  std::vector<uint8_t> bytes;
+  WSK_RETURN_IF_ERROR(ReadNodeBytes(pool_, meta_page_, 1, &bytes));
+  ByteReader reader(bytes.data(), bytes.size());
+  if (reader.GetU32() != kMagic) {
+    return Status::Corruption("not a SetR-tree file");
+  }
+  if (reader.GetU32() != kVersion) {
+    return Status::Corruption("unsupported SetR-tree version");
+  }
+  options_.capacity = reader.GetU32();
+  pages_per_node_ = reader.GetU32();
+  root_ = reader.GetU32();
+  height_ = reader.GetU32();
+  num_objects_ = reader.GetU64();
+  diagonal_ = reader.GetDouble();
+  options_.model = static_cast<SimilarityModel>(reader.GetU8());
+  return Status::Ok();
+}
+
+Status SetRTree::Finalize() {
+  WSK_RETURN_IF_ERROR(blobs_.Flush());
+  WSK_RETURN_IF_ERROR(WriteMeta());
+  return pool_->FlushAll();
+}
+
+PageId SetRTree::SearchRoot() const {
+  return height_ == 0 ? kInvalidPageId : root_;
+}
+
+Status SetRTree::ExpandNode(PageId page, const SpatialKeywordQuery& query,
+                            std::vector<SearchEntry>* out) const {
+  StatusOr<Node> read = ReadNode(page);
+  if (!read.ok()) return read.status();
+  const Node node = std::move(read).value();
+  const double alpha = query.alpha;
+  if (node.is_leaf) {
+    for (const LeafEntry& e : node.leaf_entries) {
+      StatusOr<KeywordSet> doc = ReadKeywordSet(e.keywords);
+      if (!doc.ok()) return doc.status();
+      const double sdist = Distance(e.loc, query.loc) / diagonal_;
+      const double tsim =
+          TextualSimilarity(doc.value(), query.doc, query.model);
+      SearchEntry entry;
+      entry.bound = alpha * (1.0 - sdist) + (1.0 - alpha) * tsim;
+      entry.is_object = true;
+      entry.object = e.object;
+      out->push_back(entry);
+    }
+  } else {
+    for (const InnerEntry& e : node.inner_entries) {
+      StatusOr<KeywordSet> uni = ReadKeywordSet(e.union_set);
+      if (!uni.ok()) return uni.status();
+      StatusOr<KeywordSet> inter = ReadKeywordSet(e.inter_set);
+      if (!inter.ok()) return inter.status();
+      // Theorem 1: ST(o, q) <= alpha (1 - MinDist(q, N.mbr)) +
+      //            (1 - alpha) |N_u ∩ q| / |N_i ∪ q| for every o under N.
+      const double min_sdist = MinDist(query.loc, e.mbr) / diagonal_;
+      const double tsim_bound = NodeSimilarityUpperBound(
+          uni.value().IntersectionSize(query.doc),
+          inter.value().UnionSize(query.doc), inter.value().size(),
+          query.doc.size(), query.model);
+      SearchEntry entry;
+      entry.bound = alpha * (1.0 - min_sdist) + (1.0 - alpha) * tsim_bound;
+      entry.node = e.child;
+      out->push_back(entry);
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<SetRTree::Summary> SetRTree::ComputeSummary(const Node& node) const {
+  Summary summary;
+  bool first = true;
+  if (node.is_leaf) {
+    for (const LeafEntry& e : node.leaf_entries) {
+      StatusOr<KeywordSet> doc = ReadKeywordSet(e.keywords);
+      if (!doc.ok()) return doc.status();
+      summary.mbr.Extend(e.loc);
+      summary.uni = summary.uni.Union(doc.value());
+      summary.inter = first ? doc.value() : summary.inter.Intersect(doc.value());
+      first = false;
+    }
+  } else {
+    for (const InnerEntry& e : node.inner_entries) {
+      StatusOr<KeywordSet> uni = ReadKeywordSet(e.union_set);
+      if (!uni.ok()) return uni.status();
+      StatusOr<KeywordSet> inter = ReadKeywordSet(e.inter_set);
+      if (!inter.ok()) return inter.status();
+      summary.mbr.Extend(e.mbr);
+      summary.uni = summary.uni.Union(uni.value());
+      summary.inter = first ? inter.value() : summary.inter.Intersect(inter.value());
+      first = false;
+    }
+  }
+  return summary;
+}
+
+void SetRTree::QuadraticSplit(Node* node, Node* sibling) const {
+  sibling->is_leaf = node->is_leaf;
+  const size_t total = node->size();
+  const size_t min_fill = std::max<size_t>(1, options_.capacity * 2 / 5);
+
+  auto rect_of = [&](size_t i) -> Rect {
+    if (node->is_leaf) return Rect::FromPoint(node->leaf_entries[i].loc);
+    return node->inner_entries[i].mbr;
+  };
+
+  // Pick the pair of entries that wastes the most area together.
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -1.0;
+  for (size_t i = 0; i < total; ++i) {
+    for (size_t j = i + 1; j < total; ++j) {
+      Rect u = rect_of(i);
+      u.Extend(rect_of(j));
+      const double waste = u.Area() - rect_of(i).Area() - rect_of(j).Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  std::vector<bool> to_sibling(total, false);
+  std::vector<bool> assigned(total, false);
+  Rect mbr_a = rect_of(seed_a);
+  Rect mbr_b = rect_of(seed_b);
+  size_t count_a = 1, count_b = 1;
+  assigned[seed_a] = assigned[seed_b] = true;
+  to_sibling[seed_b] = true;
+
+  for (size_t remaining = total - 2; remaining > 0; --remaining) {
+    // Force assignment when one side must take everything left to reach
+    // the minimum fill.
+    size_t pick = total;
+    bool pick_b = false;
+    if (count_a + remaining == min_fill) {
+      for (size_t i = 0; i < total; ++i)
+        if (!assigned[i]) {
+          pick = i;
+          pick_b = false;
+          break;
+        }
+    } else if (count_b + remaining == min_fill) {
+      for (size_t i = 0; i < total; ++i)
+        if (!assigned[i]) {
+          pick = i;
+          pick_b = true;
+          break;
+        }
+    } else {
+      // Choose the unassigned entry with the greatest preference.
+      double best_diff = -1.0;
+      for (size_t i = 0; i < total; ++i) {
+        if (assigned[i]) continue;
+        const double da = mbr_a.Enlargement(rect_of(i));
+        const double db = mbr_b.Enlargement(rect_of(i));
+        const double diff = std::abs(da - db);
+        if (diff > best_diff) {
+          best_diff = diff;
+          pick = i;
+          pick_b = db < da ||
+                   (da == db &&
+                    (mbr_b.Area() < mbr_a.Area() ||
+                     (mbr_a.Area() == mbr_b.Area() && count_b < count_a)));
+        }
+      }
+    }
+    WSK_CHECK(pick < total);
+    assigned[pick] = true;
+    if (pick_b) {
+      to_sibling[pick] = true;
+      mbr_b.Extend(rect_of(pick));
+      ++count_b;
+    } else {
+      mbr_a.Extend(rect_of(pick));
+      ++count_a;
+    }
+  }
+
+  // Materialize the partition.
+  if (node->is_leaf) {
+    std::vector<LeafEntry> keep;
+    for (size_t i = 0; i < total; ++i) {
+      (to_sibling[i] ? sibling->leaf_entries : keep)
+          .push_back(node->leaf_entries[i]);
+    }
+    node->leaf_entries = std::move(keep);
+  } else {
+    std::vector<InnerEntry> keep;
+    for (size_t i = 0; i < total; ++i) {
+      (to_sibling[i] ? sibling->inner_entries : keep)
+          .push_back(node->inner_entries[i]);
+    }
+    node->inner_entries = std::move(keep);
+  }
+}
+
+Status SetRTree::InsertInto(PageId page, uint32_t level,
+                            const SpatialObject& object, BlobRef keywords_ref,
+                            ChildUpdate* out) {
+  StatusOr<Node> read = ReadNode(page);
+  if (!read.ok()) return read.status();
+  Node node = std::move(read).value();
+
+  if (level == 1) {
+    WSK_CHECK(node.is_leaf);
+    node.leaf_entries.push_back(LeafEntry{object.id, object.loc, keywords_ref});
+  } else {
+    WSK_CHECK(!node.is_leaf);
+    // Guttman descent: least enlargement, then least area, then lowest id.
+    size_t best = 0;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    const Rect point_rect = Rect::FromPoint(object.loc);
+    for (size_t i = 0; i < node.inner_entries.size(); ++i) {
+      const Rect& mbr = node.inner_entries[i].mbr;
+      const double enlargement = mbr.Enlargement(point_rect);
+      const double area = mbr.Area();
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && area < best_area)) {
+        best = i;
+        best_enlargement = enlargement;
+        best_area = area;
+      }
+    }
+    ChildUpdate child_update;
+    WSK_RETURN_IF_ERROR(InsertInto(node.inner_entries[best].child, level - 1,
+                                   object, keywords_ref, &child_update));
+    InnerEntry& entry = node.inner_entries[best];
+    entry.mbr = child_update.updated.mbr;
+    StatusOr<BlobRef> uni = WriteKeywordSet(child_update.updated.uni);
+    if (!uni.ok()) return uni.status();
+    StatusOr<BlobRef> inter = WriteKeywordSet(child_update.updated.inter);
+    if (!inter.ok()) return inter.status();
+    entry.union_set = uni.value();
+    entry.inter_set = inter.value();
+    if (child_update.split) {
+      StatusOr<BlobRef> uni2 = WriteKeywordSet(child_update.sibling.uni);
+      if (!uni2.ok()) return uni2.status();
+      StatusOr<BlobRef> inter2 = WriteKeywordSet(child_update.sibling.inter);
+      if (!inter2.ok()) return inter2.status();
+      node.inner_entries.push_back(
+          InnerEntry{child_update.new_child, child_update.sibling.mbr,
+                     uni2.value(), inter2.value()});
+    }
+  }
+
+  out->split = node.size() > options_.capacity;
+  if (out->split) {
+    Node sibling;
+    QuadraticSplit(&node, &sibling);
+    StatusOr<Summary> sib_summary = ComputeSummary(sibling);
+    if (!sib_summary.ok()) return sib_summary.status();
+    out->sibling = std::move(sib_summary).value();
+    out->new_child = AllocateNodeSlot();
+    WSK_RETURN_IF_ERROR(WriteNode(out->new_child, sibling));
+  }
+  StatusOr<Summary> summary = ComputeSummary(node);
+  if (!summary.ok()) return summary.status();
+  out->updated = std::move(summary).value();
+  WSK_RETURN_IF_ERROR(WriteNode(page, node));
+  return Status::Ok();
+}
+
+Status SetRTree::RemoveFrom(PageId page, uint32_t level, ObjectId object,
+                            Point loc, RemoveUpdate* out) {
+  StatusOr<Node> read = ReadNode(page);
+  if (!read.ok()) return read.status();
+  Node node = std::move(read).value();
+  out->found = false;
+
+  if (level == 1) {
+    for (size_t i = 0; i < node.leaf_entries.size(); ++i) {
+      if (node.leaf_entries[i].object == object) {
+        node.leaf_entries.erase(node.leaf_entries.begin() + i);
+        out->found = true;
+        break;
+      }
+    }
+  } else {
+    for (size_t i = 0; i < node.inner_entries.size(); ++i) {
+      InnerEntry& entry = node.inner_entries[i];
+      if (!entry.mbr.Contains(loc)) continue;
+      RemoveUpdate child_update;
+      WSK_RETURN_IF_ERROR(RemoveFrom(entry.child, level - 1, object, loc,
+                                     &child_update));
+      if (!child_update.found) continue;
+      out->found = true;
+      if (child_update.now_empty) {
+        node.inner_entries.erase(node.inner_entries.begin() + i);
+      } else {
+        entry.mbr = child_update.updated.mbr;
+        StatusOr<BlobRef> uni = WriteKeywordSet(child_update.updated.uni);
+        if (!uni.ok()) return uni.status();
+        StatusOr<BlobRef> inter = WriteKeywordSet(child_update.updated.inter);
+        if (!inter.ok()) return inter.status();
+        entry.union_set = uni.value();
+        entry.inter_set = inter.value();
+      }
+      break;
+    }
+  }
+  if (!out->found) return Status::Ok();
+
+  out->now_empty = node.size() == 0;
+  if (!out->now_empty) {
+    StatusOr<Summary> summary = ComputeSummary(node);
+    if (!summary.ok()) return summary.status();
+    out->updated = std::move(summary).value();
+  }
+  return WriteNode(page, node);
+}
+
+Status SetRTree::Remove(ObjectId object, Point loc) {
+  if (height_ == 0) return Status::NotFound("tree is empty");
+  RemoveUpdate update;
+  WSK_RETURN_IF_ERROR(RemoveFrom(root_, height_, object, loc, &update));
+  if (!update.found) return Status::NotFound("object not in the tree");
+  --num_objects_;
+  if (update.now_empty) {
+    root_ = kInvalidPageId;
+    height_ = 0;
+    WSK_CHECK(num_objects_ == 0);
+  }
+  return Status::Ok();
+}
+
+Status SetRTree::Insert(const SpatialObject& object) {
+  StatusOr<BlobRef> keywords = WriteKeywordSet(object.doc);
+  if (!keywords.ok()) return keywords.status();
+
+  if (height_ == 0) {
+    Node root;
+    root.is_leaf = true;
+    root.leaf_entries.push_back(
+        LeafEntry{object.id, object.loc, keywords.value()});
+    root_ = AllocateNodeSlot();
+    WSK_RETURN_IF_ERROR(WriteNode(root_, root));
+    height_ = 1;
+    num_objects_ = 1;
+    return Status::Ok();
+  }
+
+  ChildUpdate update;
+  WSK_RETURN_IF_ERROR(
+      InsertInto(root_, height_, object, keywords.value(), &update));
+  if (update.split) {
+    // Grow the tree: a new root over the old root and its sibling.
+    Node new_root;
+    new_root.is_leaf = false;
+    StatusOr<BlobRef> uni = WriteKeywordSet(update.updated.uni);
+    if (!uni.ok()) return uni.status();
+    StatusOr<BlobRef> inter = WriteKeywordSet(update.updated.inter);
+    if (!inter.ok()) return inter.status();
+    new_root.inner_entries.push_back(
+        InnerEntry{root_, update.updated.mbr, uni.value(), inter.value()});
+    StatusOr<BlobRef> uni2 = WriteKeywordSet(update.sibling.uni);
+    if (!uni2.ok()) return uni2.status();
+    StatusOr<BlobRef> inter2 = WriteKeywordSet(update.sibling.inter);
+    if (!inter2.ok()) return inter2.status();
+    new_root.inner_entries.push_back(InnerEntry{update.new_child,
+                                                update.sibling.mbr,
+                                                uni2.value(), inter2.value()});
+    root_ = AllocateNodeSlot();
+    WSK_RETURN_IF_ERROR(WriteNode(root_, new_root));
+    ++height_;
+  }
+  ++num_objects_;
+  return Status::Ok();
+}
+
+}  // namespace wsk

@@ -1,0 +1,164 @@
+// SetR-tree: the disk-resident hybrid index of Section IV-B.
+//
+// A variant of the IR-tree. Leaf entries are (object, point, pks) where
+// pks points at the object's keyword set; non-leaf entries are
+// (child, mbr, pku, pki) where pku/pki point at the union / intersection of
+// all keyword sets in the child's subtree. Theorem 1 turns those two sets
+// into an upper bound on the ranking score of any object below a node,
+// which drives best-first top-k search (TopKSource).
+//
+// Storage layout: node slots of `pages_per_node` consecutive 4 KiB pages;
+// keyword payloads live in a BlobStore and are written adjacent to the node
+// that references them ("stored sequentially on disk", Section IV-B). A
+// metadata page (page 0) persists the tree header so an index file can be
+// reopened.
+#ifndef WSK_INDEX_SETR_TREE_H_
+#define WSK_INDEX_SETR_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/query.h"
+#include "index/topk.h"
+#include "storage/blob_store.h"
+#include "storage/buffer_pool.h"
+#include "text/keyword_set.h"
+#include "text/similarity.h"
+
+namespace wsk {
+
+class SetRTree : public TopKSource {
+ public:
+  struct Options {
+    uint32_t capacity = 100;  // max entries per node (Section VII-A1)
+    SimilarityModel model = SimilarityModel::kJaccard;
+  };
+
+  struct LeafEntry {
+    ObjectId object = kInvalidObjectId;
+    Point loc;
+    BlobRef keywords;  // pks
+  };
+
+  struct InnerEntry {
+    PageId child = kInvalidPageId;
+    Rect mbr;
+    BlobRef union_set;  // pku
+    BlobRef inter_set;  // pki
+  };
+
+  struct Node {
+    bool is_leaf = true;
+    std::vector<LeafEntry> leaf_entries;
+    std::vector<InnerEntry> inner_entries;
+
+    size_t size() const {
+      return is_leaf ? leaf_entries.size() : inner_entries.size();
+    }
+    Rect ComputeMbr() const;
+  };
+
+  // Builds the tree bottom-up with Sort-Tile-Recursive packing; the normal
+  // path for the (static) experiment datasets. The buffer pool's pager must
+  // be fresh (no pages allocated yet).
+  static StatusOr<std::unique_ptr<SetRTree>> BulkLoad(
+      const Dataset& dataset, BufferPool* pool, const Options& options);
+
+  // An empty tree ready for Insert(); `diagonal` is the SDist normalizer.
+  static StatusOr<std::unique_ptr<SetRTree>> CreateEmpty(
+      BufferPool* pool, double diagonal, const Options& options);
+
+  // Reopens a finalized index file.
+  static StatusOr<std::unique_ptr<SetRTree>> Open(BufferPool* pool);
+
+  // Dynamic insertion with Guttman quadratic splits; union/intersection
+  // summaries along the root path are updated incrementally.
+  Status Insert(const SpatialObject& object);
+
+  // Removes the object (matched by id; `loc` guides the descent and must
+  // equal the stored location). Ancestor summaries are recomputed; nodes
+  // that empty out are unlinked (no re-insertion/min-fill enforcement —
+  // lazy deletion, as is common for mostly-static workloads). Returns
+  // NotFound if the object is not in the tree.
+  Status Remove(ObjectId object, Point loc);
+
+  // Flushes blobs, the metadata page, and all dirty buffers. Must be called
+  // after building/inserting and before reading (or reopening).
+  Status Finalize();
+
+  // TopKSource:
+  PageId SearchRoot() const override;
+  Status ExpandNode(PageId node, const SpatialKeywordQuery& query,
+                    std::vector<SearchEntry>* out) const override;
+
+  double diagonal() const { return diagonal_; }
+  uint32_t height() const { return height_; }  // 0 = empty, 1 = leaf root
+  uint64_t num_objects() const { return num_objects_; }
+  uint32_t pages_per_node() const { return pages_per_node_; }
+  const Options& options() const { return options_; }
+
+  // Introspection (tests and the why-not algorithms).
+  StatusOr<Node> ReadNode(PageId page) const;
+  StatusOr<KeywordSet> ReadKeywordSet(const BlobRef& ref) const;
+
+ private:
+  SetRTree(BufferPool* pool, const Options& options, double diagonal);
+
+  // Summary of a subtree as seen from its parent entry.
+  struct Summary {
+    Rect mbr;
+    KeywordSet uni;
+    KeywordSet inter;
+  };
+
+  // Result of inserting into a child subtree.
+  struct ChildUpdate {
+    Summary updated;  // new summary of the original child
+    bool split = false;
+    PageId new_child = kInvalidPageId;
+    Summary sibling;  // summary of the split-off sibling
+  };
+
+  PageId AllocateNodeSlot();
+  Status WriteNode(PageId page, const Node& node);
+  StatusOr<BlobRef> WriteKeywordSet(const KeywordSet& set);
+  Status WriteMeta();
+  Status ReadMeta();
+
+  // Recomputes a node's summary by reading its entry payloads.
+  StatusOr<Summary> ComputeSummary(const Node& node) const;
+
+  Status InsertInto(PageId page, uint32_t level, const SpatialObject& object,
+                    BlobRef keywords_ref, ChildUpdate* out);
+
+  // Result of removing from a subtree: whether the object was found there
+  // and the subtree's new state.
+  struct RemoveUpdate {
+    bool found = false;
+    bool now_empty = false;
+    Summary updated;  // valid when found && !now_empty
+  };
+  Status RemoveFrom(PageId page, uint32_t level, ObjectId object, Point loc,
+                    RemoveUpdate* out);
+
+  // Splits `node` (which has exactly capacity+1 entries) in place, moving
+  // part of the entries into `*sibling` (Guttman quadratic split).
+  void QuadraticSplit(Node* node, Node* sibling) const;
+
+  BufferPool* const pool_;
+  mutable BlobStore blobs_;
+  Options options_;
+  uint32_t pages_per_node_ = 0;
+  PageId meta_page_ = kInvalidPageId;
+  PageId root_ = kInvalidPageId;
+  uint32_t height_ = 0;
+  uint64_t num_objects_ = 0;
+  double diagonal_ = 1.0;
+};
+
+}  // namespace wsk
+
+#endif  // WSK_INDEX_SETR_TREE_H_

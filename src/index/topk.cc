@@ -1,0 +1,70 @@
+#include "index/topk.h"
+
+namespace wsk {
+
+TopKIterator::TopKIterator(const TopKSource* source, SpatialKeywordQuery query)
+    : source_(source), query_(std::move(query)) {
+  const PageId root = source_->SearchRoot();
+  if (root != kInvalidPageId) {
+    // The root has no parent entry to bound it; expand it unconditionally.
+    SearchEntry entry;
+    entry.bound = std::numeric_limits<double>::infinity();
+    entry.node = root;
+    heap_.push(entry);
+  }
+}
+
+Status TopKIterator::Next(std::optional<ScoredObject>* out) {
+  out->reset();
+  while (!heap_.empty()) {
+    const SearchEntry top = heap_.top();
+    heap_.pop();
+    if (top.is_object) {
+      ++num_emitted_;
+      *out = ScoredObject{top.object, top.bound};
+      return Status::Ok();
+    }
+    scratch_.clear();
+    WSK_RETURN_IF_ERROR(source_->ExpandNode(top.node, query_, &scratch_));
+    for (const SearchEntry& child : scratch_) heap_.push(child);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<ScoredObject>> IndexTopK(
+    const TopKSource& source, const SpatialKeywordQuery& query) {
+  TopKIterator it(&source, query);
+  std::vector<ScoredObject> result;
+  result.reserve(query.k);
+  std::optional<ScoredObject> next;
+  while (result.size() < query.k) {
+    WSK_RETURN_IF_ERROR(it.Next(&next));
+    if (!next) break;
+    result.push_back(*next);
+  }
+  return result;
+}
+
+StatusOr<uint32_t> IndexRankOfScore(const TopKSource& source,
+                                    const SpatialKeywordQuery& query,
+                                    double target_score,
+                                    int64_t give_up_after_rank,
+                                    bool* exceeded) {
+  *exceeded = false;
+  TopKIterator it(&source, query);
+  uint32_t strictly_better = 0;
+  std::optional<ScoredObject> next;
+  for (;;) {
+    WSK_RETURN_IF_ERROR(it.Next(&next));
+    if (!next || next->score <= target_score) break;
+    ++strictly_better;
+    if (give_up_after_rank > 0 &&
+        static_cast<int64_t>(strictly_better) + 1 > give_up_after_rank) {
+      *exceeded = true;
+      break;
+    }
+  }
+  return strictly_better + 1;
+}
+
+}  // namespace wsk

@@ -1,0 +1,97 @@
+// Incremental best-first spatial keyword top-k search.
+//
+// Both the SetR-tree (Section IV-B) and the KcR-tree (Section V-A) expose
+// the TopKSource interface: given a node, produce child search entries
+// whose `bound` is an upper bound on the ranking score ST (Eqn 1) of any
+// object below the child (exact for object entries). TopKIterator then
+// emits objects one at a time in non-increasing score order — exactly what
+// the why-not algorithms need to "process the query until the missing
+// object appears" or until the Eqn 6 rank bound is exceeded.
+#ifndef WSK_INDEX_TOPK_H_
+#define WSK_INDEX_TOPK_H_
+
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/status.h"
+#include "data/query.h"
+#include "storage/pager.h"
+
+namespace wsk {
+
+struct SearchEntry {
+  double bound = 0.0;      // score upper bound (exact for objects)
+  bool is_object = false;
+  PageId node = kInvalidPageId;        // when !is_object
+  ObjectId object = kInvalidObjectId;  // when is_object
+};
+
+// Max-heap order: higher bound first; at equal bound objects before nodes
+// and lower ids first, so the emission order is fully deterministic.
+struct SearchEntryLess {
+  bool operator()(const SearchEntry& a, const SearchEntry& b) const {
+    if (a.bound != b.bound) return a.bound < b.bound;
+    if (a.is_object != b.is_object) return !a.is_object;
+    if (a.is_object) return a.object > b.object;
+    return a.node > b.node;
+  }
+};
+
+// An index capable of best-first spatial keyword search.
+class TopKSource {
+ public:
+  virtual ~TopKSource() = default;
+
+  // Root node slot, or kInvalidPageId for an empty index.
+  virtual PageId SearchRoot() const = 0;
+
+  // Appends one SearchEntry per child of `node` to `out`.
+  virtual Status ExpandNode(PageId node, const SpatialKeywordQuery& query,
+                            std::vector<SearchEntry>* out) const = 0;
+};
+
+// Streams objects in (score desc, id asc) order. Typical use:
+//
+//   TopKIterator it(tree, query);
+//   std::optional<ScoredObject> next;
+//   while (it.Next(&next).ok() && next) { ... }
+class TopKIterator {
+ public:
+  TopKIterator(const TopKSource* source, SpatialKeywordQuery query);
+
+  // Sets *out to the next object, or nullopt when the index is exhausted.
+  Status Next(std::optional<ScoredObject>* out);
+
+  // Objects emitted so far.
+  size_t num_emitted() const { return num_emitted_; }
+
+ private:
+  const TopKSource* source_;
+  SpatialKeywordQuery query_;
+  std::priority_queue<SearchEntry, std::vector<SearchEntry>, SearchEntryLess>
+      heap_;
+  std::vector<SearchEntry> scratch_;
+  size_t num_emitted_ = 0;
+};
+
+// Convenience wrappers over the iterator.
+
+// The k best objects.
+StatusOr<std::vector<ScoredObject>> IndexTopK(const TopKSource& source,
+                                              const SpatialKeywordQuery& query);
+
+// Rank (Eqn 3) of an object whose exact score is `target_score`: emits
+// objects until the stream drops to or below `target_score` and counts the
+// strictly-better ones. If `give_up_after_rank` > 0 and more than that many
+// strictly-better objects are seen, stops early and reports the count so
+// far + 1 with `*exceeded = true` (the Section IV-C1 early stop).
+StatusOr<uint32_t> IndexRankOfScore(const TopKSource& source,
+                                    const SpatialKeywordQuery& query,
+                                    double target_score,
+                                    int64_t give_up_after_rank,
+                                    bool* exceeded);
+
+}  // namespace wsk
+
+#endif  // WSK_INDEX_TOPK_H_

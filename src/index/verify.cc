@@ -1,0 +1,184 @@
+#include "index/verify.h"
+
+#include <string>
+
+namespace wsk {
+
+namespace {
+
+Status CorruptionAt(PageId page, const std::string& what) {
+  return Status::Corruption("node " + std::to_string(page) + ": " + what);
+}
+
+struct SetRFacts {
+  Rect mbr;
+  KeywordSet uni;
+  KeywordSet inter;
+  uint64_t objects = 0;
+};
+
+Status WalkSetR(const SetRTree& tree, PageId page, uint32_t level,
+                VerifyStats* stats, SetRFacts* out) {
+  StatusOr<SetRTree::Node> read = tree.ReadNode(page);
+  if (!read.ok()) return read.status();
+  const SetRTree::Node node = std::move(read).value();
+  ++stats->nodes_visited;
+
+  if (node.size() == 0) return CorruptionAt(page, "empty node");
+  if (node.size() > tree.options().capacity) {
+    return CorruptionAt(page, "fan-out exceeds capacity");
+  }
+  if (node.is_leaf != (level == 1)) {
+    return CorruptionAt(page, "leaf flag inconsistent with depth");
+  }
+
+  SetRFacts facts;
+  bool first = true;
+  if (node.is_leaf) {
+    for (const SetRTree::LeafEntry& e : node.leaf_entries) {
+      StatusOr<KeywordSet> doc = tree.ReadKeywordSet(e.keywords);
+      if (!doc.ok()) return doc.status();
+      ++stats->blobs_read;
+      ++stats->objects_seen;
+      facts.mbr.Extend(e.loc);
+      facts.uni = facts.uni.Union(doc.value());
+      facts.inter = first ? doc.value() : facts.inter.Intersect(doc.value());
+      facts.objects += 1;
+      first = false;
+    }
+  } else {
+    for (const SetRTree::InnerEntry& e : node.inner_entries) {
+      SetRFacts child;
+      WSK_RETURN_IF_ERROR(WalkSetR(tree, e.child, level - 1, stats, &child));
+      if (!e.mbr.ContainsRect(child.mbr)) {
+        return CorruptionAt(page, "entry MBR does not contain its subtree");
+      }
+      StatusOr<KeywordSet> uni = tree.ReadKeywordSet(e.union_set);
+      if (!uni.ok()) return uni.status();
+      StatusOr<KeywordSet> inter = tree.ReadKeywordSet(e.inter_set);
+      if (!inter.ok()) return inter.status();
+      stats->blobs_read += 2;
+      if (!(uni.value() == child.uni)) {
+        return CorruptionAt(page, "entry union set differs from subtree");
+      }
+      if (!(inter.value() == child.inter)) {
+        return CorruptionAt(page,
+                            "entry intersection set differs from subtree");
+      }
+      facts.mbr.Extend(child.mbr);
+      facts.uni = facts.uni.Union(child.uni);
+      facts.inter = first ? child.inter : facts.inter.Intersect(child.inter);
+      facts.objects += child.objects;
+      first = false;
+    }
+  }
+  *out = std::move(facts);
+  return Status::Ok();
+}
+
+struct KcrFacts {
+  Rect mbr;
+  KeywordCountMap kcm;
+  uint64_t objects = 0;
+};
+
+Status WalkKcr(const KcrTree& tree, PageId page, uint32_t level,
+               VerifyStats* stats, KcrFacts* out) {
+  StatusOr<KcrTree::Node> read = tree.ReadNode(page);
+  if (!read.ok()) return read.status();
+  const KcrTree::Node node = std::move(read).value();
+  ++stats->nodes_visited;
+
+  if (node.size() == 0) return CorruptionAt(page, "empty node");
+  if (node.size() > tree.options().capacity) {
+    return CorruptionAt(page, "fan-out exceeds capacity");
+  }
+  if (node.is_leaf != (level == 1)) {
+    return CorruptionAt(page, "leaf flag inconsistent with depth");
+  }
+
+  KcrFacts facts;
+  if (node.is_leaf) {
+    for (const KcrTree::LeafEntry& e : node.leaf_entries) {
+      StatusOr<KeywordSet> doc = tree.ReadKeywordSet(e.keywords);
+      if (!doc.ok()) return doc.status();
+      ++stats->blobs_read;
+      ++stats->objects_seen;
+      facts.mbr.Extend(e.loc);
+      facts.kcm.AddDoc(doc.value());
+      facts.objects += 1;
+    }
+  } else {
+    for (const KcrTree::InnerEntry& e : node.inner_entries) {
+      KcrFacts child;
+      WSK_RETURN_IF_ERROR(WalkKcr(tree, e.child, level - 1, stats, &child));
+      if (!e.mbr.ContainsRect(child.mbr)) {
+        return CorruptionAt(page, "entry MBR does not contain its subtree");
+      }
+      if (e.cnt != child.objects) {
+        return CorruptionAt(page, "entry cnt differs from subtree");
+      }
+      StatusOr<KeywordCountMap> kcm = tree.ReadKcm(e.kcm);
+      if (!kcm.ok()) return kcm.status();
+      ++stats->blobs_read;
+      if (!(kcm.value() == child.kcm)) {
+        return CorruptionAt(page, "entry keyword-count map differs");
+      }
+      facts.mbr.Extend(child.mbr);
+      facts.kcm.Merge(child.kcm);
+      facts.objects += child.objects;
+    }
+  }
+  *out = std::move(facts);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status VerifySetRTree(const SetRTree& tree, VerifyStats* stats) {
+  VerifyStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = VerifyStats{};
+  if (tree.height() == 0) {
+    if (tree.num_objects() != 0) {
+      return Status::Corruption("empty tree claims objects");
+    }
+    return Status::Ok();
+  }
+  SetRFacts facts;
+  WSK_RETURN_IF_ERROR(
+      WalkSetR(tree, tree.SearchRoot(), tree.height(), stats, &facts));
+  if (facts.objects != tree.num_objects()) {
+    return Status::Corruption("reachable objects differ from num_objects");
+  }
+  return Status::Ok();
+}
+
+Status VerifyKcrTree(const KcrTree& tree, VerifyStats* stats) {
+  VerifyStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = VerifyStats{};
+  if (tree.height() == 0) {
+    if (tree.num_objects() != 0) {
+      return Status::Corruption("empty tree claims objects");
+    }
+    return Status::Ok();
+  }
+  KcrFacts facts;
+  WSK_RETURN_IF_ERROR(
+      WalkKcr(tree, tree.SearchRoot(), tree.height(), stats, &facts));
+  if (facts.objects != tree.num_objects()) {
+    return Status::Corruption("reachable objects differ from num_objects");
+  }
+  if (facts.objects != tree.root_cnt()) {
+    return Status::Corruption("root cnt differs from reachable objects");
+  }
+  StatusOr<KeywordCountMap> root_kcm = tree.ReadRootKcm();
+  if (!root_kcm.ok()) return root_kcm.status();
+  if (!(root_kcm.value() == facts.kcm)) {
+    return Status::Corruption("root keyword-count map differs from subtree");
+  }
+  return Status::Ok();
+}
+
+}  // namespace wsk

@@ -1,0 +1,174 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+namespace wsk {
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    page_id_ = other.page_id_;
+    data_ = other.data_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+PageHandle::~PageHandle() { Release(); }
+
+void PageHandle::MarkDirty() {
+  WSK_CHECK(valid());
+  pool_->MarkFrameDirty(frame_);
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    data_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(Pager* pager, size_t capacity_bytes) : pager_(pager) {
+  WSK_CHECK(pager != nullptr);
+  size_t n = capacity_bytes / pager->page_size();
+  if (n == 0) n = 1;
+  frames_.resize(n);
+  free_frames_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    frames_[i].data.resize(pager->page_size());
+    free_frames_.push_back(n - 1 - i);  // hand out low indexes first
+  }
+}
+
+StatusOr<size_t> BufferPool::GrabFrameLocked() {
+  if (!free_frames_.empty()) {
+    const size_t f = free_frames_.back();
+    free_frames_.pop_back();
+    return f;
+  }
+  if (lru_.empty()) {
+    return Status::FailedPrecondition("buffer pool exhausted: all pinned");
+  }
+  const size_t f = lru_.front();
+  lru_.pop_front();
+  Frame& frame = frames_[f];
+  frame.in_lru = false;
+  if (frame.dirty) {
+    WSK_RETURN_IF_ERROR(pager_->WritePage(frame.page_id, frame.data.data()));
+    frame.dirty = false;
+  }
+  page_to_frame_.erase(frame.page_id);
+  frame.valid = false;
+  return f;
+}
+
+StatusOr<PageHandle> BufferPool::Fetch(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pager_->io_stats().RecordLogicalRead();
+  auto it = page_to_frame_.find(id);
+  if (it != page_to_frame_.end()) {
+    ++hits_;
+    Frame& frame = frames_[it->second];
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_it);
+      frame.in_lru = false;
+    }
+    ++frame.pin_count;
+    return PageHandle(this, it->second, id, frame.data.data());
+  }
+  ++misses_;
+  StatusOr<size_t> grabbed = GrabFrameLocked();
+  if (!grabbed.ok()) return grabbed.status();
+  const size_t f = grabbed.value();
+  Frame& frame = frames_[f];
+  Status read = pager_->ReadPage(id, frame.data.data());
+  if (!read.ok()) {
+    free_frames_.push_back(f);
+    return read;
+  }
+  frame.page_id = id;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  frame.valid = true;
+  page_to_frame_[id] = f;
+  return PageHandle(this, f, id, frame.data.data());
+}
+
+StatusOr<PageHandle> BufferPool::NewPage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  StatusOr<size_t> grabbed = GrabFrameLocked();
+  if (!grabbed.ok()) return grabbed.status();
+  const size_t f = grabbed.value();
+  const PageId id = pager_->AllocatePages(1);
+  Frame& frame = frames_[f];
+  std::memset(frame.data.data(), 0, frame.data.size());
+  frame.page_id = id;
+  frame.pin_count = 1;
+  frame.dirty = true;
+  frame.valid = true;
+  page_to_frame_[id] = f;
+  return PageHandle(this, f, id, frame.data.data());
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Frame& frame : frames_) {
+    if (frame.valid && frame.dirty) {
+      WSK_RETURN_IF_ERROR(pager_->WritePage(frame.page_id, frame.data.data()));
+      frame.dirty = false;
+    }
+  }
+  return Status::Ok();
+}
+
+Status BufferPool::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t f = 0; f < frames_.size(); ++f) {
+    Frame& frame = frames_[f];
+    if (!frame.valid || frame.pin_count > 0) continue;
+    if (frame.dirty) {
+      WSK_RETURN_IF_ERROR(pager_->WritePage(frame.page_id, frame.data.data()));
+      frame.dirty = false;
+    }
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_it);
+      frame.in_lru = false;
+    }
+    page_to_frame_.erase(frame.page_id);
+    frame.valid = false;
+    free_frames_.push_back(f);
+  }
+  return Status::Ok();
+}
+
+uint64_t BufferPool::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t BufferPool::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+void BufferPool::Unpin(size_t frame_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame& frame = frames_[frame_index];
+  WSK_CHECK(frame.pin_count > 0);
+  if (--frame.pin_count == 0) {
+    lru_.push_back(frame_index);
+    frame.lru_it = std::prev(lru_.end());
+    frame.in_lru = true;
+  }
+}
+
+void BufferPool::MarkFrameDirty(size_t frame_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  frames_[frame_index].dirty = true;
+}
+
+}  // namespace wsk

@@ -1,0 +1,124 @@
+// LRU buffer pool over a Pager.
+//
+// Every index traversal goes through Fetch(); a hit costs nothing, a miss
+// issues one physical page read (the unit of the paper's I/O metric). The
+// default capacity used by the experiments is 4 MiB, as in Section VII-A1.
+//
+// Thread safety: all operations are internally synchronized; a pinned page's
+// bytes may be read without holding the pool lock because pinned frames are
+// never evicted or recycled.
+#ifndef WSK_STORAGE_BUFFER_POOL_H_
+#define WSK_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/pager.h"
+
+namespace wsk {
+
+class BufferPool;
+
+// RAII pin on a buffered page. Move-only; unpins on destruction. A
+// default-constructed handle is invalid.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  ~PageHandle();
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId page_id() const { return page_id_; }
+
+  // Raw page bytes; stable while the handle is alive.
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+
+  // Marks the page dirty so eviction/FlushAll writes it back.
+  void MarkDirty();
+
+  // Explicit early unpin (also happens on destruction).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, size_t frame, PageId page_id, uint8_t* data)
+      : pool_(pool), frame_(frame), page_id_(page_id), data_(data) {}
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  PageId page_id_ = kInvalidPageId;
+  uint8_t* data_ = nullptr;
+};
+
+class BufferPool {
+ public:
+  // `capacity_bytes` is rounded down to whole frames; at least one frame is
+  // always available. Does not take ownership of `pager`.
+  BufferPool(Pager* pager, size_t capacity_bytes);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Pins the page, reading it from disk on a miss. Fails if every frame is
+  // pinned or the read fails.
+  StatusOr<PageHandle> Fetch(PageId id);
+
+  // Allocates a fresh page from the pager and pins a zeroed, dirty frame
+  // for it (no physical read). Fails only if every frame is pinned.
+  StatusOr<PageHandle> NewPage();
+
+  // Writes back all dirty frames.
+  Status FlushAll();
+
+  // Drops every unpinned frame (writing back dirty ones); useful to make
+  // experiment I/O counts independent of index-build history.
+  Status InvalidateAll();
+
+  size_t num_frames() const { return frames_.size(); }
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+  Pager* pager() { return pager_; }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    bool valid = false;
+    bool in_lru = false;
+    std::list<size_t>::iterator lru_it;
+    std::vector<uint8_t> data;
+  };
+
+  void Unpin(size_t frame);
+  void MarkFrameDirty(size_t frame);
+
+  // Returns a usable frame index (from the free list or by evicting the
+  // coldest unpinned frame), or an error if all frames are pinned.
+  // Requires mu_ held.
+  StatusOr<size_t> GrabFrameLocked();
+
+  Pager* const pager_;
+  mutable std::mutex mu_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::list<size_t> lru_;  // front = coldest
+  std::unordered_map<PageId, size_t> page_to_frame_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace wsk
+
+#endif  // WSK_STORAGE_BUFFER_POOL_H_

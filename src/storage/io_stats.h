@@ -1,0 +1,49 @@
+// I/O accounting. The paper evaluates every algorithm by "number of I/Os";
+// here that is the number of physical page reads issued by the pager, i.e.
+// buffer-pool misses, under the experiment's buffer configuration (4 MiB by
+// default, as in Section VII-A1).
+#ifndef WSK_STORAGE_IO_STATS_H_
+#define WSK_STORAGE_IO_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace wsk {
+
+// Thread-safe counters. Snapshot() gives a consistent-enough view for
+// experiment reporting (counters are monotone between Reset() calls).
+class IoStats {
+ public:
+  struct Snapshot {
+    uint64_t physical_reads = 0;
+    uint64_t physical_writes = 0;
+    uint64_t logical_reads = 0;
+  };
+
+  void RecordPhysicalRead() { physical_reads_.fetch_add(1); }
+  void RecordPhysicalWrite() { physical_writes_.fetch_add(1); }
+  void RecordLogicalRead() { logical_reads_.fetch_add(1); }
+
+  uint64_t physical_reads() const { return physical_reads_.load(); }
+  uint64_t physical_writes() const { return physical_writes_.load(); }
+  uint64_t logical_reads() const { return logical_reads_.load(); }
+
+  Snapshot TakeSnapshot() const {
+    return Snapshot{physical_reads(), physical_writes(), logical_reads()};
+  }
+
+  void Reset() {
+    physical_reads_.store(0);
+    physical_writes_.store(0);
+    logical_reads_.store(0);
+  }
+
+ private:
+  std::atomic<uint64_t> physical_reads_{0};
+  std::atomic<uint64_t> physical_writes_{0};
+  std::atomic<uint64_t> logical_reads_{0};
+};
+
+}  // namespace wsk
+
+#endif  // WSK_STORAGE_IO_STATS_H_

@@ -1,0 +1,107 @@
+#include "storage/pager.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace wsk {
+
+Pager::Pager(std::FILE* file, uint32_t page_size, PageId num_pages)
+    : file_(file), page_size_(page_size), num_pages_(num_pages) {}
+
+Pager::~Pager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+StatusOr<std::unique_ptr<Pager>> Pager::Create(const std::string& path,
+                                               uint32_t page_size) {
+  if (page_size < 64) {
+    return Status::InvalidArgument("page size too small");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb+");
+  if (f == nullptr) {
+    return Status::IoError("cannot create " + path + ": " +
+                           std::strerror(errno));
+  }
+  return std::unique_ptr<Pager>(new Pager(f, page_size, 0));
+}
+
+StatusOr<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
+                                             uint32_t page_size) {
+  if (page_size < 64) {
+    return Status::InvalidArgument("page size too small");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IoError("cannot seek " + path);
+  }
+  const long size = std::ftell(f);
+  if (size < 0 || static_cast<uint64_t>(size) % page_size != 0) {
+    std::fclose(f);
+    return Status::Corruption(path + ": size is not a multiple of page size");
+  }
+  const PageId pages = static_cast<PageId>(
+      static_cast<uint64_t>(size) / page_size);
+  return std::unique_ptr<Pager>(new Pager(f, page_size, pages));
+}
+
+PageId Pager::AllocatePages(uint32_t count) {
+  WSK_CHECK(count > 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  const PageId first = num_pages_;
+  num_pages_ += count;
+  return first;
+}
+
+PageId Pager::num_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_pages_;
+}
+
+Status Pager::ReadPage(PageId id, uint8_t* buffer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= num_pages_) {
+    return Status::OutOfRange("read past end of pager file");
+  }
+  if (read_fault_hook_) {
+    WSK_RETURN_IF_ERROR(read_fault_hook_(id));
+  }
+  io_stats_.RecordPhysicalRead();
+  const uint64_t offset = static_cast<uint64_t>(id) * page_size_;
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::IoError("seek failed");
+  }
+  const size_t got = std::fread(buffer, 1, page_size_, file_);
+  if (got < page_size_) {
+    // Pages allocated but never written read back as zeros.
+    if (std::feof(file_)) {
+      std::memset(buffer + got, 0, page_size_ - got);
+      std::clearerr(file_);
+      return Status::Ok();
+    }
+    return Status::IoError("short read");
+  }
+  return Status::Ok();
+}
+
+Status Pager::WritePage(PageId id, const uint8_t* buffer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= num_pages_) {
+    return Status::OutOfRange("write past end of pager file");
+  }
+  io_stats_.RecordPhysicalWrite();
+  const uint64_t offset = static_cast<uint64_t>(id) * page_size_;
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::IoError("seek failed");
+  }
+  if (std::fwrite(buffer, 1, page_size_, file_) != page_size_) {
+    return Status::IoError("short write");
+  }
+  return Status::Ok();
+}
+
+}  // namespace wsk

@@ -1,0 +1,117 @@
+#include "text/keyword_set.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace wsk {
+
+KeywordSet::KeywordSet(std::vector<TermId> terms) : terms_(std::move(terms)) {
+  std::sort(terms_.begin(), terms_.end());
+  terms_.erase(std::unique(terms_.begin(), terms_.end()), terms_.end());
+}
+
+KeywordSet KeywordSet::FromSorted(std::vector<TermId> terms) {
+  KeywordSet set;
+#ifndef NDEBUG
+  for (size_t i = 1; i < terms.size(); ++i) WSK_CHECK(terms[i - 1] < terms[i]);
+#endif
+  set.terms_ = std::move(terms);
+  return set;
+}
+
+bool KeywordSet::Contains(TermId t) const {
+  return std::binary_search(terms_.begin(), terms_.end(), t);
+}
+
+size_t KeywordSet::IntersectionSize(const KeywordSet& other) const {
+  size_t count = 0;
+  auto a = terms_.begin();
+  auto b = other.terms_.begin();
+  while (a != terms_.end() && b != other.terms_.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      ++count;
+      ++a;
+      ++b;
+    }
+  }
+  return count;
+}
+
+KeywordSet KeywordSet::Union(const KeywordSet& other) const {
+  std::vector<TermId> out;
+  out.reserve(size() + other.size());
+  std::set_union(terms_.begin(), terms_.end(), other.terms_.begin(),
+                 other.terms_.end(), std::back_inserter(out));
+  return FromSorted(std::move(out));
+}
+
+KeywordSet KeywordSet::Intersect(const KeywordSet& other) const {
+  std::vector<TermId> out;
+  std::set_intersection(terms_.begin(), terms_.end(), other.terms_.begin(),
+                        other.terms_.end(), std::back_inserter(out));
+  return FromSorted(std::move(out));
+}
+
+KeywordSet KeywordSet::Subtract(const KeywordSet& other) const {
+  std::vector<TermId> out;
+  std::set_difference(terms_.begin(), terms_.end(), other.terms_.begin(),
+                      other.terms_.end(), std::back_inserter(out));
+  return FromSorted(std::move(out));
+}
+
+KeywordSet KeywordSet::With(TermId t) const {
+  if (Contains(t)) return *this;
+  std::vector<TermId> out = terms_;
+  out.insert(std::upper_bound(out.begin(), out.end(), t), t);
+  return FromSorted(std::move(out));
+}
+
+KeywordSet KeywordSet::Without(TermId t) const {
+  std::vector<TermId> out = terms_;
+  auto it = std::lower_bound(out.begin(), out.end(), t);
+  if (it != out.end() && *it == t) out.erase(it);
+  return FromSorted(std::move(out));
+}
+
+void KeywordSet::Serialize(std::vector<uint8_t>* out) const {
+  const size_t base = out->size();
+  out->resize(base + SerializedSize());
+  const uint32_t count = static_cast<uint32_t>(terms_.size());
+  std::memcpy(out->data() + base, &count, 4);
+  if (count > 0) {
+    std::memcpy(out->data() + base + 4, terms_.data(), 4 * terms_.size());
+  }
+}
+
+KeywordSet KeywordSet::Deserialize(const uint8_t* data, size_t size) {
+  WSK_CHECK(size >= 4);
+  uint32_t count;
+  std::memcpy(&count, data, 4);
+  WSK_CHECK(size >= 4 + 4ull * count);
+  std::vector<TermId> terms(count);
+  if (count > 0) std::memcpy(terms.data(), data + 4, 4ull * count);
+  return FromSorted(std::move(terms));
+}
+
+std::string KeywordSet::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(terms_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+size_t EditDistance(const KeywordSet& from, const KeywordSet& to) {
+  const size_t common = from.IntersectionSize(to);
+  return (from.size() - common) + (to.size() - common);
+}
+
+}  // namespace wsk

@@ -1,0 +1,60 @@
+#include "text/vocabulary.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace wsk {
+
+TermId Vocabulary::Intern(const std::string& term) {
+  auto it = index_.find(term);
+  if (it != index_.end()) return it->second;
+  const TermId id = static_cast<TermId>(terms_.size());
+  index_.emplace(term, id);
+  terms_.push_back(term);
+  doc_frequency_.push_back(0);
+  return id;
+}
+
+TermId Vocabulary::Find(const std::string& term) const {
+  auto it = index_.find(term);
+  return it == index_.end() ? kInvalidTermId : it->second;
+}
+
+KeywordSet Vocabulary::InternAll(const std::vector<std::string>& terms) {
+  std::vector<TermId> ids;
+  ids.reserve(terms.size());
+  for (const std::string& t : terms) ids.push_back(Intern(t));
+  return KeywordSet(std::move(ids));
+}
+
+const std::string& Vocabulary::TermString(TermId id) const {
+  WSK_CHECK(id < terms_.size());
+  return terms_[id];
+}
+
+void Vocabulary::RecordDocument(const KeywordSet& doc) {
+  ++num_documents_;
+  for (TermId t : doc) {
+    if (t >= doc_frequency_.size()) doc_frequency_.resize(t + 1, 0);
+    ++doc_frequency_[t];
+  }
+}
+
+uint32_t Vocabulary::DocumentFrequency(TermId id) const {
+  if (id >= doc_frequency_.size()) return 0;
+  return doc_frequency_[id];
+}
+
+double Vocabulary::Idf(TermId t) const {
+  const double n_t = DocumentFrequency(t);
+  const double d = num_documents_;
+  return std::log((d - n_t + 0.5) / (n_t + 0.5));
+}
+
+double Vocabulary::Particularity(const KeywordSet& doc, TermId t) const {
+  const double idf = Idf(t);
+  return doc.Contains(t) ? idf : -idf;
+}
+
+}  // namespace wsk

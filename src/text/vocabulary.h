@@ -1,0 +1,58 @@
+// Term dictionary and corpus statistics.
+//
+// Maps keyword strings to dense TermIds, tracks per-term document
+// frequencies n_t, and computes the IDF-style "particularity" weight of
+// Eqn 7, which drives the candidate enumeration order (Section IV-C2) and
+// the approximate algorithm's greedy sampling (Section VI-B).
+#ifndef WSK_TEXT_VOCABULARY_H_
+#define WSK_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "text/keyword_set.h"
+
+namespace wsk {
+
+class Vocabulary {
+ public:
+  // Returns the id of `term`, creating it on first sight.
+  TermId Intern(const std::string& term);
+
+  // Returns the id of `term` or kInvalidTermId when unknown.
+  static constexpr TermId kInvalidTermId = 0xffffffffu;
+  TermId Find(const std::string& term) const;
+
+  // Interns every string and returns the resulting set.
+  KeywordSet InternAll(const std::vector<std::string>& terms);
+
+  const std::string& TermString(TermId id) const;
+
+  // Corpus statistics: call once per object document at load time.
+  void RecordDocument(const KeywordSet& doc);
+
+  uint32_t DocumentFrequency(TermId id) const;
+  uint32_t num_documents() const { return num_documents_; }
+  uint32_t num_terms() const { return static_cast<uint32_t>(terms_.size()); }
+
+  // The particularity of term `t` to an object with keyword set `doc`
+  // (Eqn 7): +idf(t) when t ∈ doc, -idf(t) otherwise, where
+  // idf(t) = log((|D| - n_t + 0.5) / (n_t + 0.5)).
+  double Particularity(const KeywordSet& doc, TermId t) const;
+
+  // idf(t) as above; negative for terms appearing in more than half of the
+  // corpus, matching the BM25-style weight the paper adopts.
+  double Idf(TermId t) const;
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<std::string> terms_;
+  std::vector<uint32_t> doc_frequency_;
+  uint32_t num_documents_ = 0;
+};
+
+}  // namespace wsk
+
+#endif  // WSK_TEXT_VOCABULARY_H_

@@ -1,0 +1,138 @@
+#include "core/candidates.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wsk {
+namespace {
+
+// Fixture: doc0 = {a, b}; missing object doc = {b, c, d} where c is rare
+// (particular to m) and a, d are common.
+class CandidatesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = vocab_.Intern("a");
+    b_ = vocab_.Intern("b");
+    c_ = vocab_.Intern("c");
+    d_ = vocab_.Intern("d");
+    // Document frequencies: a and d very common, c rare, b medium.
+    for (int i = 0; i < 100; ++i) {
+      std::vector<TermId> doc{a_, d_};
+      if (i < 2) doc.push_back(c_);
+      if (i < 40) doc.push_back(b_);
+      vocab_.RecordDocument(KeywordSet(std::move(doc)));
+    }
+    doc0_ = KeywordSet{a_, b_};
+    missing_doc_ = KeywordSet{b_, c_, d_};
+  }
+
+  Vocabulary vocab_;
+  TermId a_, b_, c_, d_;
+  KeywordSet doc0_;
+  KeywordSet missing_doc_;
+};
+
+TEST_F(CandidatesTest, UniverseIsUnion) {
+  CandidateEnumerator e(doc0_, {&missing_doc_}, vocab_);
+  EXPECT_EQ(e.universe_size(), 4u);
+  EXPECT_EQ(e.universe(), (KeywordSet{a_, b_, c_, d_}));
+}
+
+TEST_F(CandidatesTest, EnumeratesAllNonEmptySubsetsExceptDoc0) {
+  CandidateEnumerator e(doc0_, {&missing_doc_}, vocab_);
+  // 2^4 - 1 subsets minus doc0 itself.
+  EXPECT_EQ(e.ordered().size(), 14u);
+  std::set<KeywordSet> seen;
+  for (const Candidate& c : e.ordered()) {
+    EXPECT_FALSE(c.doc.empty());
+    EXPECT_NE(c.doc, doc0_);
+    EXPECT_TRUE(seen.insert(c.doc).second);
+  }
+}
+
+TEST_F(CandidatesTest, EditDistancesAreCorrect) {
+  CandidateEnumerator e(doc0_, {&missing_doc_}, vocab_);
+  for (const Candidate& c : e.ordered()) {
+    EXPECT_EQ(c.edit_distance, EditDistance(doc0_, c.doc));
+    EXPECT_GE(c.edit_distance, 1u);
+  }
+}
+
+TEST_F(CandidatesTest, OrderedByEditDistanceThenBenefit) {
+  CandidateEnumerator e(doc0_, {&missing_doc_}, vocab_);
+  const auto& ordered = e.ordered();
+  for (size_t i = 1; i < ordered.size(); ++i) {
+    if (ordered[i - 1].edit_distance == ordered[i].edit_distance) {
+      EXPECT_GE(ordered[i - 1].benefit, ordered[i].benefit);
+    } else {
+      EXPECT_LT(ordered[i - 1].edit_distance, ordered[i].edit_distance);
+    }
+  }
+}
+
+TEST_F(CandidatesTest, InsertingRareMissingTermRanksFirst) {
+  CandidateEnumerator e(doc0_, {&missing_doc_}, vocab_);
+  // Among edit-distance-1 candidates, {a,b,c} (insert rare c ∈ m.doc)
+  // should come before {a,b,d} (insert common d) and before {a} / {b}
+  // (delete).
+  const auto& ordered = e.ordered();
+  ASSERT_GE(ordered.size(), 1u);
+  EXPECT_EQ(ordered[0].doc, (KeywordSet{a_, b_, c_}));
+}
+
+TEST_F(CandidatesTest, UnorderedCopyHasSameContent) {
+  CandidateEnumerator e(doc0_, {&missing_doc_}, vocab_);
+  const auto unordered = e.UnorderedCopy();
+  EXPECT_EQ(unordered.size(), e.ordered().size());
+  std::set<KeywordSet> a, b;
+  for (const Candidate& c : unordered) a.insert(c.doc);
+  for (const Candidate& c : e.ordered()) b.insert(c.doc);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(CandidatesTest, SampleByBenefitTakesTopT) {
+  CandidateEnumerator e(doc0_, {&missing_doc_}, vocab_);
+  const auto sample = e.SampleByBenefit(5);
+  ASSERT_EQ(sample.size(), 5u);
+  // The sample contains the globally highest-benefit candidates.
+  double min_sampled = std::numeric_limits<double>::infinity();
+  for (const Candidate& c : sample) {
+    min_sampled = std::min(min_sampled, c.benefit);
+  }
+  size_t better_than_min = 0;
+  for (const Candidate& c : e.ordered()) {
+    if (c.benefit > min_sampled) ++better_than_min;
+  }
+  EXPECT_LE(better_than_min, 5u);
+  // And stays sorted by edit distance for batch processing.
+  for (size_t i = 1; i < sample.size(); ++i) {
+    EXPECT_LE(sample[i - 1].edit_distance, sample[i].edit_distance);
+  }
+}
+
+TEST_F(CandidatesTest, SampleLargerThanTotalReturnsAll) {
+  CandidateEnumerator e(doc0_, {&missing_doc_}, vocab_);
+  EXPECT_EQ(e.SampleByBenefit(1000).size(), e.ordered().size());
+}
+
+TEST_F(CandidatesTest, MultipleMissingObjectsExpandUniverse) {
+  const KeywordSet other{vocab_.Intern("e")};
+  CandidateEnumerator e(doc0_, {&missing_doc_, &other}, vocab_);
+  EXPECT_EQ(e.universe_size(), 5u);
+  EXPECT_EQ(e.ordered().size(), 30u);  // 2^5 - 1 - doc0
+}
+
+TEST(CandidatesEdgeTest, DisjointDocsStillEnumerate) {
+  Vocabulary vocab;
+  const KeywordSet doc0{vocab.Intern("x")};
+  const KeywordSet m{vocab.Intern("y")};
+  vocab.RecordDocument(doc0);
+  vocab.RecordDocument(m);
+  CandidateEnumerator e(doc0, {&m}, vocab);
+  EXPECT_EQ(e.universe_size(), 2u);
+  EXPECT_EQ(e.ordered().size(), 2u);  // {y}, {x,y}
+}
+
+}  // namespace
+}  // namespace wsk

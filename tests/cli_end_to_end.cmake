@@ -1,0 +1,27 @@
+# Drives wsk_cli through generate -> topk -> whynot -> explain.
+set(csv "${WORK_DIR}/cli_e2e.csv")
+execute_process(COMMAND ${CLI} generate --out ${csv} --objects 2000
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "generate failed: ${out}")
+endif()
+execute_process(COMMAND ${CLI} topk --data ${csv} --x 0.5 --y 0.5
+                        --keywords "term1 term3" --k 5
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "top-5")
+  message(FATAL_ERROR "topk failed: ${out}")
+endif()
+execute_process(COMMAND ${CLI} whynot --data ${csv} --x 0.5 --y 0.5
+                        --keywords "term1 term3" --k 3 --missing 42
+                        --algorithm advanced
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "whynot failed: ${out}")
+endif()
+execute_process(COMMAND ${CLI} explain --data ${csv} --x 0.5 --y 0.5
+                        --keywords "term1 term3" --k 3 --missing 42
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "explain failed: ${out}")
+endif()
+file(REMOVE ${csv})

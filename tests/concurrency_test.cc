@@ -1,0 +1,171 @@
+// Concurrency stress tests: the buffer pool and the disk indexes must be
+// safe under parallel readers (the Section IV-C4 / VII-B7 parallel
+// algorithms rely on it).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "data/generator.h"
+#include "index/topk.h"
+#include "test_util.h"
+
+namespace wsk {
+namespace {
+
+using testing::TempFile;
+
+TEST(ConcurrencyTest, BufferPoolParallelFetches) {
+  TempFile file("conc_pool");
+  auto pager = Pager::Create(file.path(), 256).value();
+  const int kPages = 64;
+  for (int i = 0; i < kPages; ++i) {
+    const PageId id = pager->AllocatePages(1);
+    std::vector<uint8_t> page(pager->page_size(),
+                              static_cast<uint8_t>(id & 0xff));
+    ASSERT_TRUE(pager->WritePage(id, page.data()).ok());
+  }
+  BufferPool pool(pager.get(), 256 * 8);  // far fewer frames than pages
+
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(t + 1);
+      for (int i = 0; i < 2000; ++i) {
+        const PageId id = static_cast<PageId>(rng.NextUint64(kPages));
+        auto handle = pool.Fetch(id);
+        if (!handle.ok() ||
+            handle.value().data()[0] != static_cast<uint8_t>(id & 0xff)) {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(pool.hits() + pool.misses(), 4u * 2000u);
+}
+
+TEST(ConcurrencyTest, ParallelTopKQueriesAgree) {
+  GeneratorConfig config;
+  config.num_objects = 400;
+  config.vocab_size = 40;
+  config.seed = 11;
+  const Dataset dataset = GenerateDataset(config);
+  TempFile file("conc_tree");
+  auto pager = Pager::Create(file.path()).value();
+  // Tiny buffer: forces eviction churn under the concurrent queries.
+  BufferPool pool(pager.get(), 64 * 1024);
+  SetRTree::Options options;
+  options.capacity = 8;
+  auto tree = SetRTree::BulkLoad(dataset, &pool, options).value();
+
+  SpatialKeywordQuery q;
+  q.loc = Point{0.4, 0.6};
+  q.doc = dataset.object(9).doc;
+  q.k = 20;
+  q.alpha = 0.5;
+  const auto expected = IndexTopK(*tree, q).value();
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) {
+        const auto got = IndexTopK(*tree, q);
+        if (!got.ok() || got.value().size() != expected.size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t j = 0; j < expected.size(); ++j) {
+          if (got.value()[j].id != expected[j].id) {
+            mismatches.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ConcurrencyTest, ParallelWhyNotMatchesSequential) {
+  GeneratorConfig config;
+  config.num_objects = 220;
+  config.vocab_size = 30;
+  config.seed = 21;
+  const Dataset dataset = GenerateDataset(config);
+  WhyNotEngine::Config engine_config;
+  engine_config.node_capacity = 8;
+  auto engine = WhyNotEngine::Build(&dataset, engine_config).value();
+
+  SpatialKeywordQuery q;
+  q.loc = Point{0.3, 0.3};
+  q.doc = dataset.object(17).doc;
+  q.k = 5;
+  q.alpha = 0.5;
+  const ObjectId missing = engine->ObjectAtPosition(q, 18).value();
+
+  WhyNotOptions sequential;
+  const double expected =
+      engine->Answer(WhyNotAlgorithm::kAdvanced, q, {missing}, sequential)
+          .value()
+          .refined.penalty;
+
+  // Repeat multi-threaded runs: any race would eventually yield a
+  // different penalty or crash.
+  for (int threads : {2, 4}) {
+    for (int repeat = 0; repeat < 5; ++repeat) {
+      WhyNotOptions parallel;
+      parallel.num_threads = threads;
+      const double got =
+          engine->Answer(WhyNotAlgorithm::kAdvanced, q, {missing}, parallel)
+              .value()
+              .refined.penalty;
+      EXPECT_NEAR(got, expected, 1e-12) << "threads=" << threads;
+      const double kcr =
+          engine->Answer(WhyNotAlgorithm::kKcrBased, q, {missing}, parallel)
+              .value()
+              .refined.penalty;
+      EXPECT_NEAR(kcr, expected, 1e-12) << "kcr threads=" << threads;
+    }
+  }
+}
+
+TEST(ConcurrencyTest, SingleBatchKcrMatchesBatched) {
+  GeneratorConfig config;
+  config.num_objects = 220;
+  config.vocab_size = 30;
+  config.seed = 31;
+  const Dataset dataset = GenerateDataset(config);
+  WhyNotEngine::Config engine_config;
+  engine_config.node_capacity = 8;
+  auto engine = WhyNotEngine::Build(&dataset, engine_config).value();
+
+  SpatialKeywordQuery q;
+  q.loc = Point{0.7, 0.2};
+  q.doc = dataset.object(5).doc;
+  q.k = 5;
+  q.alpha = 0.5;
+  const ObjectId missing = engine->ObjectAtPosition(q, 21).value();
+
+  WhyNotOptions batched;
+  WhyNotOptions single;
+  single.kcr_single_batch = true;
+  const auto a =
+      engine->Answer(WhyNotAlgorithm::kKcrBased, q, {missing}, batched)
+          .value();
+  const auto b =
+      engine->Answer(WhyNotAlgorithm::kKcrBased, q, {missing}, single)
+          .value();
+  EXPECT_NEAR(a.refined.penalty, b.refined.penalty, 1e-12);
+  // The single traversal must evaluate every candidate (no order stop).
+  EXPECT_GE(b.stats.candidates_evaluated, a.stats.candidates_evaluated);
+}
+
+}  // namespace
+}  // namespace wsk

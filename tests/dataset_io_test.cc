@@ -1,0 +1,87 @@
+#include "data/dataset_io.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "test_util.h"
+
+namespace wsk {
+namespace {
+
+using testing::TempFile;
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(DatasetIoTest, LoadBasicCsv) {
+  TempFile file("csv_basic");
+  WriteFile(file.path(),
+            "# comment line\n"
+            "0.5,0.25,hotel clean\n"
+            "\n"
+            "1.0,2.0,cafe\n");
+  auto loaded = LoadDatasetCsv(file.path());
+  ASSERT_TRUE(loaded.ok());
+  const Dataset& d = loaded.value();
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.object(0).loc.x, 0.5);
+  EXPECT_DOUBLE_EQ(d.object(0).loc.y, 0.25);
+  EXPECT_EQ(d.object(0).doc.size(), 2u);
+  EXPECT_EQ(d.object(1).doc.size(), 1u);
+  EXPECT_NE(d.vocabulary().Find("hotel"), Vocabulary::kInvalidTermId);
+}
+
+TEST(DatasetIoTest, RoundTrip) {
+  Dataset d;
+  d.Add(Point{0.1, 0.9}, {"alpha", "beta"});
+  d.Add(Point{0.5, 0.5}, {"beta", "gamma", "delta"});
+  TempFile file("csv_roundtrip");
+  ASSERT_TRUE(SaveDatasetCsv(d, file.path()).ok());
+  auto loaded = LoadDatasetCsv(file.path());
+  ASSERT_TRUE(loaded.ok());
+  const Dataset& back = loaded.value();
+  ASSERT_EQ(back.size(), d.size());
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(back.object(i).loc, d.object(i).loc);
+    EXPECT_EQ(back.object(i).doc.size(), d.object(i).doc.size());
+  }
+  // Vocabulary strings survive (ids may be permuted).
+  EXPECT_NE(back.vocabulary().Find("gamma"), Vocabulary::kInvalidTermId);
+}
+
+TEST(DatasetIoTest, MissingFileFails) {
+  auto loaded = LoadDatasetCsv("/tmp/wsk_no_such_dataset.csv");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(DatasetIoTest, MalformedRowReportsRowNumber) {
+  TempFile file("csv_bad");
+  WriteFile(file.path(), "0.5,0.25,ok keywords\nnot-a-row\n");
+  auto loaded = LoadDatasetCsv(file.path());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("row 2"), std::string::npos);
+}
+
+TEST(DatasetIoTest, BadCoordinateFails) {
+  TempFile file("csv_badnum");
+  WriteFile(file.path(), "zero,0.25,word\n");
+  auto loaded = LoadDatasetCsv(file.path());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("bad x"), std::string::npos);
+}
+
+TEST(DatasetIoTest, EmptyKeywordsFails) {
+  TempFile file("csv_nokw");
+  WriteFile(file.path(), "0.1,0.2,   \n");
+  auto loaded = LoadDatasetCsv(file.path());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("no keywords"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsk

@@ -1,0 +1,111 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "data/query.h"
+#include "test_util.h"
+
+namespace wsk {
+namespace {
+
+TEST(DatasetTest, AddAssignsSequentialIds) {
+  Dataset d;
+  EXPECT_EQ(d.Add(Point{0, 0}, KeywordSet{1}), 0u);
+  EXPECT_EQ(d.Add(Point{1, 1}, KeywordSet{2}), 1u);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.object(1).loc, (Point{1, 1}));
+}
+
+TEST(DatasetTest, AddByStringsInternsKeywords) {
+  Dataset d;
+  d.Add(Point{0, 0}, {"pizza", "wifi"});
+  d.Add(Point{1, 0}, {"pizza"});
+  EXPECT_EQ(d.vocabulary().num_terms(), 2u);
+  EXPECT_EQ(d.vocabulary().DocumentFrequency(d.vocabulary().Find("pizza")),
+            2u);
+}
+
+TEST(DatasetTest, BoundsAndDiagonal) {
+  Dataset d;
+  d.Add(Point{0, 0}, KeywordSet{1});
+  d.Add(Point{3, 4}, KeywordSet{1});
+  EXPECT_DOUBLE_EQ(d.diagonal(), 5.0);
+  EXPECT_EQ(d.bounding_rect(), (Rect{0, 0, 3, 4}));
+}
+
+TEST(DatasetTest, DegenerateDiagonalIsOne) {
+  Dataset d;
+  EXPECT_DOUBLE_EQ(d.diagonal(), 1.0);
+  d.Add(Point{2, 2}, KeywordSet{1});
+  EXPECT_DOUBLE_EQ(d.diagonal(), 1.0);  // single point
+}
+
+TEST(DatasetTest, UnionDocs) {
+  Dataset d;
+  d.Add(Point{0, 0}, KeywordSet{1, 2});
+  d.Add(Point{1, 0}, KeywordSet{2, 3});
+  EXPECT_EQ(d.UnionDocs({0, 1}), (KeywordSet{1, 2, 3}));
+  EXPECT_EQ(d.UnionDocs({}), KeywordSet());
+}
+
+TEST(QueryTest, ScoreMatchesPaperExample) {
+  TermId t1, t2, t3;
+  Dataset d = testing::Figure1Dataset(&t1, &t2, &t3);
+  const SpatialKeywordQuery q = testing::Figure1Query(t1, t2);
+  ASSERT_DOUBLE_EQ(d.diagonal(), 1.0);
+  EXPECT_NEAR(Score(d.object(2), q, d.diagonal()), 0.58, 0.01);   // m
+  EXPECT_NEAR(Score(d.object(0), q, d.diagonal()), 0.35, 0.001);  // o1
+  EXPECT_NEAR(Score(d.object(1), q, d.diagonal()), 0.615, 0.005); // o2
+  EXPECT_NEAR(Score(d.object(3), q, d.diagonal()), 0.70, 0.001);  // o3
+}
+
+TEST(QueryTest, BruteForceTopKOrdering) {
+  TermId t1, t2, t3;
+  Dataset d = testing::Figure1Dataset(&t1, &t2, &t3);
+  SpatialKeywordQuery q = testing::Figure1Query(t1, t2);
+  q.k = 3;
+  const auto top = BruteForceTopK(d, q);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].id, 3u);  // o3
+  EXPECT_EQ(top[1].id, 1u);  // o2
+  EXPECT_EQ(top[2].id, 2u);  // m
+  EXPECT_GE(top[0].score, top[1].score);
+  EXPECT_GE(top[1].score, top[2].score);
+}
+
+TEST(QueryTest, BruteForceRankMatchesExample) {
+  TermId t1, t2, t3;
+  Dataset d = testing::Figure1Dataset(&t1, &t2, &t3);
+  const SpatialKeywordQuery q = testing::Figure1Query(t1, t2);
+  EXPECT_EQ(BruteForceRank(d, q, 2), 3u);  // m has rank 3
+  EXPECT_EQ(BruteForceRank(d, q, 3), 1u);  // o3 is top
+}
+
+TEST(QueryTest, RankCountsStrictDominanceOnly) {
+  Dataset d;
+  // Two objects with identical score; both must have rank 1.
+  d.Add(Point{0, 0}, KeywordSet{1});
+  d.Add(Point{0, 0}, KeywordSet{1});
+  d.Add(Point{5, 5}, KeywordSet{2});
+  SpatialKeywordQuery q;
+  q.loc = Point{0, 0};
+  q.doc = KeywordSet{1};
+  q.alpha = 0.5;
+  EXPECT_EQ(BruteForceRank(d, q, 0), 1u);
+  EXPECT_EQ(BruteForceRank(d, q, 1), 1u);
+  EXPECT_EQ(BruteForceRank(d, q, 2), 3u);
+}
+
+TEST(QueryTest, TopKSmallerThanKReturnsAll) {
+  Dataset d;
+  d.Add(Point{0, 0}, KeywordSet{1});
+  SpatialKeywordQuery q;
+  q.loc = Point{0, 0};
+  q.doc = KeywordSet{1};
+  q.k = 10;
+  q.alpha = 0.3;
+  EXPECT_EQ(BruteForceTopK(d, q).size(), 1u);
+}
+
+}  // namespace
+}  // namespace wsk

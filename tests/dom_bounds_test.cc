@@ -1,0 +1,215 @@
+#include "index/dom_bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "text/similarity.h"
+
+namespace wsk {
+namespace {
+
+// A synthetic "node": concrete objects with locations inside an MBR, from
+// which the kcm is derived. The exact dominator count is computed from the
+// concrete objects; MaxDom/MinDom only ever see the aggregate summary.
+struct SyntheticNode {
+  Rect mbr;
+  std::vector<Point> locs;
+  std::vector<KeywordSet> docs;
+  KeywordCountMap kcm;
+};
+
+SyntheticNode MakeNode(Rng& rng, uint32_t num_objects, uint32_t vocab) {
+  SyntheticNode node;
+  node.mbr = Rect{0.3, 0.3, 0.7, 0.7};
+  for (uint32_t i = 0; i < num_objects; ++i) {
+    node.locs.push_back(Point{rng.NextDouble(0.3, 0.7),
+                              rng.NextDouble(0.3, 0.7)});
+    std::vector<TermId> terms;
+    for (TermId t = 0; t < vocab; ++t) {
+      if (rng.NextBool(0.3)) terms.push_back(t);
+    }
+    node.docs.emplace_back(std::move(terms));
+    node.kcm.AddDoc(node.docs.back());
+    node.mbr.Extend(node.locs.back());
+  }
+  return node;
+}
+
+// Number of node objects whose score strictly exceeds the missing object's.
+uint32_t ExactDominators(const SyntheticNode& node, const KeywordSet& s,
+                         const DomContext& ctx, double tsim_missing) {
+  const double missing_score = ctx.alpha * (1.0 - ctx.missing_sdist) +
+                               (1.0 - ctx.alpha) * tsim_missing;
+  uint32_t count = 0;
+  for (size_t i = 0; i < node.locs.size(); ++i) {
+    const double sdist =
+        Distance(node.locs[i], ctx.query_loc) / ctx.diagonal;
+    const double tsim = TextualSimilarity(node.docs[i], s);
+    const double score =
+        ctx.alpha * (1.0 - sdist) + (1.0 - ctx.alpha) * tsim;
+    if (score > missing_score) ++count;
+  }
+  return count;
+}
+
+TEST(DomBoundsTest, ThresholdsOrdered) {
+  const Rect mbr{0.2, 0.2, 0.8, 0.8};
+  DomContext ctx;
+  ctx.query_loc = Point{0.0, 0.0};
+  ctx.alpha = 0.5;
+  ctx.diagonal = 1.5;
+  ctx.missing_sdist = 0.4;
+  // MinDist <= MaxDist, so the low threshold never exceeds the high one.
+  EXPECT_LE(DominatorThresholdLow(mbr, ctx, 0.3),
+            DominatorThresholdHigh(mbr, ctx, 0.3));
+}
+
+TEST(DomBoundsTest, AllDominateWhenNodeStrictlyCloserAndMoreSimilar) {
+  // Node hugging the query; missing object far with zero similarity.
+  KeywordCountMap kcm;
+  kcm.AddDoc(KeywordSet{0, 1});
+  kcm.AddDoc(KeywordSet{0, 1});
+  const Rect mbr{0.0, 0.0, 0.05, 0.05};
+  const NodeDomStats stats(&kcm, 2, mbr);
+  DomContext ctx;
+  ctx.query_loc = Point{0.0, 0.0};
+  ctx.alpha = 0.5;
+  ctx.diagonal = 1.0;
+  ctx.missing_sdist = 0.9;
+  const KeywordSet s{0, 1};
+  EXPECT_EQ(MaxDom(stats, s, 0.0, ctx), 2u);
+  EXPECT_EQ(MinDom(stats, s, 0.0, ctx), 2u);
+}
+
+TEST(DomBoundsTest, NoneDominateWhenNodeHopeless) {
+  // Node far away with disjoint keywords; missing object adjacent to the
+  // query with perfect similarity.
+  KeywordCountMap kcm;
+  kcm.AddDoc(KeywordSet{5});
+  const Rect mbr{0.9, 0.9, 1.0, 1.0};
+  const NodeDomStats stats(&kcm, 1, mbr);
+  DomContext ctx;
+  ctx.query_loc = Point{0.0, 0.0};
+  ctx.alpha = 0.5;
+  ctx.diagonal = std::sqrt(2.0);
+  ctx.missing_sdist = 0.0;
+  const KeywordSet s{0, 1};
+  EXPECT_EQ(MaxDom(stats, s, 1.0, ctx), 0u);
+  EXPECT_EQ(MinDom(stats, s, 1.0, ctx), 0u);
+}
+
+TEST(DomBoundsTest, EmptyCandidateDominanceIsPurelySpatial) {
+  KeywordCountMap kcm;
+  kcm.AddDoc(KeywordSet{1});
+  const NodeDomStats stats(&kcm, 1, Rect{0, 0, 1, 1});
+  DomContext ctx;
+  ctx.query_loc = Point{0.5, 0.5};
+  ctx.alpha = 0.5;
+  ctx.diagonal = 1.0;
+  // Missing object far away: the node's object could still be closer, so
+  // with TSim == 0 for everyone the upper bound must stay at cnt.
+  ctx.missing_sdist = 0.5;
+  EXPECT_EQ(MaxDom(stats, KeywordSet(), 0.0, ctx), 1u);
+  // Missing object *at* the query location: nothing can be strictly closer
+  // and textual similarity is 0 under an empty keyword set, so no object
+  // can dominate.
+  ctx.missing_sdist = 0.0;
+  EXPECT_EQ(MaxDom(stats, KeywordSet(), 0.0, ctx), 0u);
+}
+
+TEST(DomBoundsTest, PaperExample5) {
+  // Example 5: kcm {(t1,8),(t2,3),(t3,7),(t4,2),(t5,1)}, cnt=8, S={t3,t4},
+  // threshold 0.395 -> MaxDom = 6. We reconstruct the setting by inverting
+  // the threshold equation: with alpha=0.5, diagonal=1, MinDist=0 the
+  // threshold reduces to tsim_m - sdist_m = 0.395.
+  KeywordCountMap kcm;
+  for (int i = 0; i < 8; ++i) {
+    std::vector<TermId> terms;
+    if (i < 8) terms.push_back(1);  // t1 count 8
+    if (i < 3) terms.push_back(2);  // t2 count 3
+    if (i < 7) terms.push_back(3);  // t3 count 7
+    if (i < 2) terms.push_back(4);  // t4 count 2
+    if (i < 1) terms.push_back(5);  // t5 count 1
+    kcm.AddDoc(KeywordSet(std::move(terms)));
+  }
+  ASSERT_EQ(kcm.CountOf(1), 8u);
+  ASSERT_EQ(kcm.CountOf(5), 1u);
+  ASSERT_EQ(kcm.TotalCount(), 21u);
+  const Rect mbr{0.0, 0.0, 1.0, 1.0};
+  const NodeDomStats stats(&kcm, 8, mbr);
+  DomContext ctx;
+  ctx.query_loc = Point{0.5, 0.5};  // inside: MinDist = 0
+  ctx.alpha = 0.5;
+  ctx.diagonal = 1.0;
+  ctx.missing_sdist = 0.0;
+  const KeywordSet s{3, 4};
+  // threshold L = 1*(0 - 0) + tsim_m; choose tsim_m = 0.395.
+  EXPECT_EQ(MaxDom(stats, s, 0.395, ctx), 6u);
+}
+
+// The core soundness property: MinDom <= exact dominators <= MaxDom for
+// random nodes, candidates, and missing objects.
+class DomBoundsProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(DomBoundsProperty, Soundness) {
+  const double alpha = GetParam();
+  Rng rng(static_cast<uint64_t>(alpha * 1000) + 3);
+  for (int iter = 0; iter < 150; ++iter) {
+    const uint32_t n = 1 + static_cast<uint32_t>(rng.NextUint64(30));
+    SyntheticNode node = MakeNode(rng, n, 10);
+    const NodeDomStats stats(&node.kcm, n, node.mbr);
+
+    DomContext ctx;
+    ctx.query_loc = Point{rng.NextDouble(), rng.NextDouble()};
+    ctx.alpha = alpha;
+    ctx.diagonal = 1.5;
+    ctx.missing_sdist = rng.NextDouble();
+
+    // Random candidate keyword set and missing-object similarity.
+    std::vector<TermId> cand_terms;
+    for (TermId t = 0; t < 12; ++t) {
+      if (rng.NextBool(0.35)) cand_terms.push_back(t);
+    }
+    if (cand_terms.empty()) cand_terms.push_back(0);
+    const KeywordSet s(std::move(cand_terms));
+    // A plausible missing doc: random subset of the candidate + extras.
+    std::vector<TermId> m_terms;
+    for (TermId t = 0; t < 12; ++t) {
+      if (rng.NextBool(0.4)) m_terms.push_back(t);
+    }
+    const KeywordSet m_doc(std::move(m_terms));
+    const double tsim_m = TextualSimilarity(m_doc, s);
+
+    const uint32_t exact = ExactDominators(node, s, ctx, tsim_m);
+    const uint32_t max_dom = MaxDom(stats, s, tsim_m, ctx);
+    const uint32_t min_dom = MinDom(stats, s, tsim_m, ctx);
+    EXPECT_LE(min_dom, exact)
+        << "iter " << iter << " n=" << n << " S=" << s.ToString();
+    EXPECT_GE(max_dom, exact)
+        << "iter " << iter << " n=" << n << " S=" << s.ToString();
+    EXPECT_LE(min_dom, max_dom);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, DomBoundsProperty,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+TEST(DomBoundsTest, NodeDomStatsSuffixCounts) {
+  KeywordCountMap kcm;
+  kcm.AddDoc(KeywordSet{1, 2, 3});
+  kcm.AddDoc(KeywordSet{1, 2});
+  kcm.AddDoc(KeywordSet{1});
+  const NodeDomStats stats(&kcm, 3, Rect{0, 0, 1, 1});
+  EXPECT_EQ(stats.total_count(), 6u);
+  EXPECT_EQ(stats.NumTermsGe(0), 3u);
+  EXPECT_EQ(stats.NumTermsGe(1), 3u);
+  EXPECT_EQ(stats.NumTermsGe(2), 2u);
+  EXPECT_EQ(stats.NumTermsGe(3), 1u);
+  EXPECT_EQ(stats.NumTermsGe(4), 0u);
+  EXPECT_EQ(stats.CountOf(2), 2u);
+}
+
+}  // namespace
+}  // namespace wsk

@@ -1,0 +1,118 @@
+#include "data/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace wsk {
+namespace {
+
+TEST(GeneratorTest, ProducesRequestedCardinality) {
+  GeneratorConfig config;
+  config.num_objects = 500;
+  config.vocab_size = 100;
+  const Dataset d = GenerateDataset(config);
+  EXPECT_EQ(d.size(), 500u);
+  EXPECT_EQ(d.vocabulary().num_terms(), 100u);
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  GeneratorConfig config;
+  config.num_objects = 200;
+  config.vocab_size = 50;
+  const Dataset a = GenerateDataset(config);
+  const Dataset b = GenerateDataset(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.object(i).loc, b.object(i).loc);
+    EXPECT_EQ(a.object(i).doc, b.object(i).doc);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorConfig config;
+  config.num_objects = 200;
+  config.vocab_size = 50;
+  const Dataset a = GenerateDataset(config);
+  config.seed = 777;
+  const Dataset b = GenerateDataset(config);
+  int same = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.object(i).loc == b.object(i).loc) ++same;
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(GeneratorTest, LocationsInsideUnitSquare) {
+  GeneratorConfig config;
+  config.num_objects = 1000;
+  config.vocab_size = 100;
+  const Dataset d = GenerateDataset(config);
+  for (const SpatialObject& o : d.objects()) {
+    EXPECT_GE(o.loc.x, 0.0);
+    EXPECT_LE(o.loc.x, 1.0);
+    EXPECT_GE(o.loc.y, 0.0);
+    EXPECT_LE(o.loc.y, 1.0);
+  }
+}
+
+TEST(GeneratorTest, DocSizesRespectMinAndMean) {
+  GeneratorConfig config;
+  config.num_objects = 2000;
+  config.vocab_size = 500;
+  config.doc_size_min = 2;
+  config.doc_size_mean = 6.0;
+  const Dataset d = GenerateDataset(config);
+  double total = 0;
+  for (const SpatialObject& o : d.objects()) {
+    EXPECT_GE(o.doc.size(), 2u);
+    total += o.doc.size();
+  }
+  EXPECT_NEAR(total / d.size(), 6.0, 0.5);
+}
+
+TEST(GeneratorTest, KeywordFrequenciesAreSkewed) {
+  GeneratorConfig config;
+  config.num_objects = 3000;
+  config.vocab_size = 300;
+  config.zipf_skew = 1.0;
+  const Dataset d = GenerateDataset(config);
+  const Vocabulary& v = d.vocabulary();
+  // Term ids follow Zipf rank: id 0 should be far more frequent than a
+  // mid-tail term.
+  EXPECT_GT(v.DocumentFrequency(0), 10 * std::max(1u, v.DocumentFrequency(150)));
+}
+
+TEST(GeneratorTest, PaperScaleConfigs) {
+  const GeneratorConfig euro = EuroLikeConfig(1.0);
+  EXPECT_EQ(euro.num_objects, 162033u);
+  EXPECT_EQ(euro.vocab_size, 35315u);
+  const GeneratorConfig gn = GnLikeConfig(1.0);
+  EXPECT_EQ(gn.num_objects, 1868821u);
+  EXPECT_EQ(gn.vocab_size, 222407u);
+  const GeneratorConfig small = EuroLikeConfig(0.01);
+  EXPECT_EQ(small.num_objects, 1620u);
+}
+
+TEST(GeneratorTest, ClusteringBeatsUniformSpread) {
+  // With tight clusters, many objects should share small neighbourhoods:
+  // compare the average nearest-distance against a uniform layout.
+  GeneratorConfig clustered;
+  clustered.num_objects = 400;
+  clustered.vocab_size = 50;
+  clustered.num_clusters = 4;
+  clustered.cluster_stddev = 0.005;
+  clustered.uniform_fraction = 0.0;
+  const Dataset d = GenerateDataset(clustered);
+  // Count pairs closer than 0.02 — should be plentiful under clustering.
+  int close_pairs = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    for (size_t j = i + 1; j < 100; ++j) {
+      if (Distance(d.object(i).loc, d.object(j).loc) < 0.02) ++close_pairs;
+    }
+  }
+  EXPECT_GT(close_pairs, 100);
+}
+
+}  // namespace
+}  // namespace wsk

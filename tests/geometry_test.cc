@@ -1,0 +1,120 @@
+#include "common/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace wsk {
+namespace {
+
+TEST(PointTest, Distance) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(Distance({-1, 0}, {1, 0}), 2.0);
+}
+
+TEST(RectTest, EmptyRect) {
+  Rect r;
+  EXPECT_TRUE(r.Empty());
+  EXPECT_DOUBLE_EQ(r.Area(), 0.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 0.0);
+  EXPECT_FALSE(r.Contains(Point{0, 0}));
+}
+
+TEST(RectTest, ExtendFromEmpty) {
+  Rect r;
+  r.Extend(Point{2, 3});
+  EXPECT_FALSE(r.Empty());
+  EXPECT_EQ(r, Rect::FromPoint(Point{2, 3}));
+  EXPECT_DOUBLE_EQ(r.Area(), 0.0);
+  EXPECT_TRUE(r.Contains(Point{2, 3}));
+}
+
+TEST(RectTest, ExtendGrows) {
+  Rect r = Rect::FromPoint(Point{0, 0});
+  r.Extend(Point{2, 1});
+  EXPECT_DOUBLE_EQ(r.Area(), 2.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 3.0);
+  EXPECT_TRUE(r.Contains(Point{1, 0.5}));
+  EXPECT_FALSE(r.Contains(Point{3, 0.5}));
+}
+
+TEST(RectTest, ExtendRectIgnoresEmpty) {
+  Rect r = Rect::FromPoint(Point{1, 1});
+  Rect empty;
+  r.Extend(empty);
+  EXPECT_EQ(r, Rect::FromPoint(Point{1, 1}));
+  empty.Extend(r);
+  EXPECT_EQ(empty, r);
+}
+
+TEST(RectTest, ContainsRect) {
+  const Rect outer{0, 0, 10, 10};
+  EXPECT_TRUE(outer.ContainsRect(Rect{1, 1, 2, 2}));
+  EXPECT_TRUE(outer.ContainsRect(outer));
+  EXPECT_FALSE(outer.ContainsRect(Rect{5, 5, 11, 6}));
+  EXPECT_TRUE(outer.ContainsRect(Rect{}));  // empty is everywhere
+}
+
+TEST(RectTest, Intersects) {
+  const Rect a{0, 0, 2, 2};
+  EXPECT_TRUE(a.Intersects(Rect{1, 1, 3, 3}));
+  EXPECT_TRUE(a.Intersects(Rect{2, 2, 3, 3}));  // touching counts
+  EXPECT_FALSE(a.Intersects(Rect{2.1, 0, 3, 1}));
+  EXPECT_FALSE(a.Intersects(Rect{}));
+}
+
+TEST(RectTest, Enlargement) {
+  const Rect a{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(a.Enlargement(Rect{0.2, 0.2, 0.8, 0.8}), 0.0);
+  EXPECT_DOUBLE_EQ(a.Enlargement(Rect{0, 0, 2, 1}), 1.0);
+}
+
+TEST(MinMaxDistTest, PointInside) {
+  const Rect r{0, 0, 2, 2};
+  EXPECT_DOUBLE_EQ(MinDist(Point{1, 1}, r), 0.0);
+  EXPECT_DOUBLE_EQ(MaxDist(Point{1, 1}, r), Distance({1, 1}, {0, 0}));
+}
+
+TEST(MinMaxDistTest, PointOutside) {
+  const Rect r{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(MinDist(Point{3, 0.5}, r), 2.0);
+  EXPECT_DOUBLE_EQ(MaxDist(Point{3, 0.5}, r), Distance({3, 0.5}, {0, 0}));
+  EXPECT_DOUBLE_EQ(MinDist(Point{2, 2}, r), Distance({2, 2}, {1, 1}));
+}
+
+TEST(MinMaxDistTest, EmptyRectIsInfinite) {
+  const Rect r;
+  EXPECT_TRUE(std::isinf(MinDist(Point{0, 0}, r)));
+  EXPECT_TRUE(std::isinf(MaxDist(Point{0, 0}, r)));
+}
+
+// Property: for random rectangles and points, MinDist <= distance to any
+// contained point <= MaxDist.
+TEST(MinMaxDistTest, BoundsEveryContainedPoint) {
+  Rng rng(7);
+  for (int iter = 0; iter < 200; ++iter) {
+    Rect r;
+    r.Extend(Point{rng.NextDouble(), rng.NextDouble()});
+    r.Extend(Point{rng.NextDouble(), rng.NextDouble()});
+    const Point q{rng.NextDouble(-1, 2), rng.NextDouble(-1, 2)};
+    const double lo = MinDist(q, r);
+    const double hi = MaxDist(q, r);
+    EXPECT_LE(lo, hi);
+    for (int s = 0; s < 20; ++s) {
+      const Point p{rng.NextDouble(r.min_x, r.max_x),
+                    rng.NextDouble(r.min_y, r.max_y)};
+      const double d = Distance(q, p);
+      EXPECT_LE(lo, d + 1e-12);
+      EXPECT_GE(hi, d - 1e-12);
+    }
+  }
+}
+
+TEST(RectTest, ToStringIsReadable) {
+  const Rect r{0, 1, 2, 3};
+  EXPECT_EQ(r.ToString(), "[0,2]x[1,3]");
+}
+
+}  // namespace
+}  // namespace wsk

@@ -1,0 +1,105 @@
+#include "core/integrated.h"
+
+#include <gtest/gtest.h>
+
+#include "core/explain.h"
+#include "data/generator.h"
+#include "test_util.h"
+
+namespace wsk {
+namespace {
+
+class IntegratedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneratorConfig config;
+    config.num_objects = 250;
+    config.vocab_size = 40;
+    config.seed = 777;
+    dataset_ = GenerateDataset(config);
+    WhyNotEngine::Config engine_config;
+    engine_config.node_capacity = 8;
+    engine_ = WhyNotEngine::Build(&dataset_, engine_config).value();
+  }
+
+  SpatialKeywordQuery Query() const {
+    SpatialKeywordQuery q;
+    q.loc = Point{0.45, 0.55};
+    q.doc = dataset_.object(21).doc;
+    q.k = 5;
+    q.alpha = 0.5;
+    return q;
+  }
+
+  Dataset dataset_;
+  std::unique_ptr<WhyNotEngine> engine_;
+};
+
+TEST_F(IntegratedTest, PicksTheCheaperRefinement) {
+  const ObjectId missing = engine_->ObjectAtPosition(Query(), 18).value();
+  WhyNotOptions options;
+  const IntegratedResult result =
+      AnswerWhyNotIntegrated(*engine_, WhyNotAlgorithm::kKcrBased, Query(),
+                             {missing}, options)
+          .value();
+  ASSERT_NE(result.kind, RefinementKind::kNone);
+  EXPECT_DOUBLE_EQ(result.best_penalty,
+                   std::min(result.keywords.refined.penalty,
+                            result.preference.penalty));
+  if (result.kind == RefinementKind::kKeywords) {
+    EXPECT_LE(result.keywords.refined.penalty, result.preference.penalty);
+  } else {
+    EXPECT_LT(result.preference.penalty, result.keywords.refined.penalty);
+  }
+}
+
+TEST_F(IntegratedTest, NoneWhenObjectPresent) {
+  const ObjectId top = engine_->ObjectAtPosition(Query(), 1).value();
+  WhyNotOptions options;
+  const IntegratedResult result =
+      AnswerWhyNotIntegrated(*engine_, WhyNotAlgorithm::kAdvanced, Query(),
+                             {top}, options)
+          .value();
+  EXPECT_EQ(result.kind, RefinementKind::kNone);
+  EXPECT_DOUBLE_EQ(result.best_penalty, 0.0);
+}
+
+TEST_F(IntegratedTest, KindNames) {
+  EXPECT_STREQ(RefinementKindName(RefinementKind::kNone), "none");
+  EXPECT_STREQ(RefinementKindName(RefinementKind::kKeywords), "keywords");
+  EXPECT_STREQ(RefinementKindName(RefinementKind::kPreference), "preference");
+}
+
+TEST_F(IntegratedTest, ExplainMissingObject) {
+  const ObjectId missing = engine_->ObjectAtPosition(Query(), 18).value();
+  const MissExplanation explanation =
+      ExplainMiss(*engine_, Query(), missing).value();
+  EXPECT_FALSE(explanation.in_result);
+  EXPECT_EQ(explanation.rank, engine_->Rank(Query(), missing).value());
+  EXPECT_NEAR(explanation.missing_score,
+              explanation.spatial_term + explanation.textual_term, 1e-12);
+  EXPECT_GE(explanation.deficit, 0.0);
+  EXPECT_GT(explanation.kth_score, explanation.missing_score);
+  EXPECT_LE(explanation.matched_keywords, explanation.query_keywords);
+  EXPECT_NE(explanation.ToString().find("deficit"), std::string::npos);
+}
+
+TEST_F(IntegratedTest, ExplainPresentObject) {
+  const ObjectId top = engine_->ObjectAtPosition(Query(), 1).value();
+  const MissExplanation explanation =
+      ExplainMiss(*engine_, Query(), top).value();
+  EXPECT_TRUE(explanation.in_result);
+  EXPECT_EQ(explanation.rank, 1u);
+  EXPECT_NE(explanation.ToString().find("inside the top-"),
+            std::string::npos);
+}
+
+TEST_F(IntegratedTest, ExplainRejectsBadInput) {
+  EXPECT_FALSE(ExplainMiss(*engine_, Query(), 999999).ok());
+  SpatialKeywordQuery bad = Query();
+  bad.k = 0;
+  EXPECT_FALSE(ExplainMiss(*engine_, bad, 1).ok());
+}
+
+}  // namespace
+}  // namespace wsk

@@ -1,0 +1,200 @@
+#include "index/inverted_grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "test_util.h"
+
+namespace wsk {
+namespace {
+
+using testing::TempFile;
+
+struct IndexBundle {
+  std::unique_ptr<TempFile> file;
+  std::unique_ptr<Pager> pager;
+  std::unique_ptr<BufferPool> pool;
+  std::unique_ptr<InvertedGridIndex> index;
+};
+
+IndexBundle BuildIndex(const Dataset& dataset, uint32_t grid = 0) {
+  IndexBundle bundle;
+  bundle.file = std::make_unique<TempFile>("invgrid");
+  bundle.pager = Pager::Create(bundle.file->path()).value();
+  bundle.pool = std::make_unique<BufferPool>(bundle.pager.get(), 4u << 20);
+  InvertedGridIndex::Options options;
+  options.grid_resolution = grid;
+  bundle.index =
+      InvertedGridIndex::Build(dataset, bundle.pool.get(), options).value();
+  return bundle;
+}
+
+Dataset SmallDataset(uint32_t n, uint64_t seed) {
+  GeneratorConfig config;
+  config.num_objects = n;
+  config.vocab_size = 40;
+  config.seed = seed;
+  return GenerateDataset(config);
+}
+
+TEST(InvertedGridIndexTest, EmptyDataset) {
+  Dataset dataset;
+  IndexBundle bundle = BuildIndex(dataset);
+  SpatialKeywordQuery q;
+  q.doc = KeywordSet{1};
+  q.alpha = 0.5;
+  EXPECT_TRUE(bundle.index->TopK(q).value().empty());
+  EXPECT_EQ(bundle.index->RankOfScore(q, 0.0).value(), 1u);
+}
+
+TEST(InvertedGridIndexTest, UnknownQueryTermsAreHarmless) {
+  Dataset dataset;
+  dataset.Add(Point{0.5, 0.5}, KeywordSet{0});
+  dataset.Add(Point{0.1, 0.1}, KeywordSet{1});
+  IndexBundle bundle = BuildIndex(dataset);
+  SpatialKeywordQuery q;
+  q.loc = Point{0.5, 0.5};
+  q.doc = KeywordSet{0, 999999};  // the second term never existed
+  q.k = 2;
+  q.alpha = 0.5;
+  const auto top = bundle.index->TopK(q).value();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 0u);
+}
+
+class InvertedGridSweep
+    : public ::testing::TestWithParam<std::tuple<uint32_t, double, uint32_t>> {
+};
+
+TEST_P(InvertedGridSweep, TopKMatchesBruteForce) {
+  const auto [k, alpha, grid] = GetParam();
+  const Dataset dataset = SmallDataset(350, 97);
+  IndexBundle bundle = BuildIndex(dataset, grid);
+  Rng rng(500 + k + grid);
+  for (int q_iter = 0; q_iter < 5; ++q_iter) {
+    SpatialKeywordQuery q;
+    q.loc = Point{rng.NextDouble(), rng.NextDouble()};
+    q.doc = dataset
+                .object(static_cast<ObjectId>(rng.NextUint64(dataset.size())))
+                .doc;
+    q.k = k;
+    q.alpha = alpha;
+    const auto expected = BruteForceTopK(dataset, q);
+    const auto actual = bundle.index->TopK(q).value();
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].id, expected[i].id) << "position " << i;
+      EXPECT_NEAR(actual[i].score, expected[i].score, 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InvertedGridSweep,
+    ::testing::Combine(::testing::Values(1u, 5u, 25u, 400u),
+                       ::testing::Values(0.1, 0.5, 0.9),
+                       ::testing::Values(0u, 1u, 7u)));
+
+TEST(InvertedGridIndexTest, RankOfScoreMatchesBruteForce) {
+  const Dataset dataset = SmallDataset(300, 98);
+  IndexBundle bundle = BuildIndex(dataset);
+  SpatialKeywordQuery q;
+  q.loc = Point{0.3, 0.6};
+  q.doc = dataset.object(13).doc;
+  q.alpha = 0.5;
+  for (ObjectId id : std::vector<ObjectId>{0, 77, 150, 299}) {
+    const double score = Score(dataset.object(id), q, dataset.diagonal());
+    EXPECT_EQ(bundle.index->RankOfScore(q, score).value(),
+              BruteForceRank(dataset, q, id));
+  }
+}
+
+TEST(InvertedGridIndexTest, ReopenFinalizedIndex) {
+  const Dataset dataset = SmallDataset(120, 99);
+  TempFile file("invgrid_reopen");
+  {
+    auto pager = Pager::Create(file.path()).value();
+    BufferPool pool(pager.get(), 4u << 20);
+    InvertedGridIndex::Options options;
+    auto index = InvertedGridIndex::Build(dataset, &pool, options).value();
+  }
+  auto pager = Pager::Open(file.path()).value();
+  BufferPool pool(pager.get(), 4u << 20);
+  auto index = InvertedGridIndex::Open(&pool).value();
+  EXPECT_EQ(index->num_objects(), dataset.size());
+  SpatialKeywordQuery q;
+  q.loc = Point{0.5, 0.5};
+  q.doc = dataset.object(3).doc;
+  q.k = 10;
+  q.alpha = 0.5;
+  const auto expected = BruteForceTopK(dataset, q);
+  const auto actual = index->TopK(q).value();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].id, expected[i].id);
+  }
+}
+
+TEST(InvertedGridIndexTest, OpenRejectsWrongMagic) {
+  TempFile file("invgrid_magic");
+  {
+    auto pager = Pager::Create(file.path()).value();
+    const PageId id = pager->AllocatePages(1);
+    std::vector<uint8_t> junk(pager->page_size(), 0x11);
+    WSK_CHECK(pager->WritePage(id, junk.data()).ok());
+  }
+  auto pager = Pager::Open(file.path()).value();
+  BufferPool pool(pager.get(), 1u << 20);
+  EXPECT_FALSE(InvertedGridIndex::Open(&pool).ok());
+}
+
+TEST(InvertedGridIndexTest, BuildRequiresFreshFile) {
+  TempFile file("invgrid_fresh");
+  auto pager = Pager::Create(file.path()).value();
+  pager->AllocatePages(1);
+  BufferPool pool(pager.get(), 1u << 20);
+  Dataset dataset;
+  dataset.Add(Point{0, 0}, KeywordSet{1});
+  InvertedGridIndex::Options options;
+  EXPECT_EQ(InvertedGridIndex::Build(dataset, &pool, options).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(InvertedGridIndexTest, KeywordSelectiveQueriesReadFewPages) {
+  // A rare term should touch far fewer pages than a common one.
+  Dataset dataset;
+  Rng rng(3);
+  const TermId common = 0;
+  const TermId rare = 1;
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<TermId> terms{common};
+    if (i == 500) terms.push_back(rare);
+    dataset.Add(Point{rng.NextDouble(), rng.NextDouble()},
+                KeywordSet(std::move(terms)));
+  }
+  IndexBundle bundle = BuildIndex(dataset);
+  SpatialKeywordQuery q;
+  q.loc = Point{0.5, 0.5};
+  q.k = 1;
+  q.alpha = 0.2;  // textual-dominated
+
+  ASSERT_TRUE(bundle.pool->InvalidateAll().ok());
+  bundle.pager->io_stats().Reset();
+  q.doc = KeywordSet{rare};
+  (void)bundle.index->TopK(q).value();
+  const uint64_t rare_io = bundle.pager->io_stats().physical_reads();
+
+  ASSERT_TRUE(bundle.pool->InvalidateAll().ok());
+  bundle.pager->io_stats().Reset();
+  q.doc = KeywordSet{common};
+  (void)bundle.index->TopK(q).value();
+  const uint64_t common_io = bundle.pager->io_stats().physical_reads();
+
+  EXPECT_LT(rare_io, common_io / 2);
+}
+
+}  // namespace
+}  // namespace wsk

@@ -1,0 +1,101 @@
+#include "text/keyword_set.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace wsk {
+namespace {
+
+TEST(KeywordSetTest, ConstructionSortsAndDedupes) {
+  const KeywordSet set(std::vector<TermId>{5, 1, 3, 1, 5});
+  EXPECT_EQ(set.terms(), (std::vector<TermId>{1, 3, 5}));
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(KeywordSetTest, Contains) {
+  const KeywordSet set{2, 4, 6};
+  EXPECT_TRUE(set.Contains(4));
+  EXPECT_FALSE(set.Contains(5));
+  EXPECT_FALSE(KeywordSet().Contains(0));
+}
+
+TEST(KeywordSetTest, IntersectionAndUnionSizes) {
+  const KeywordSet a{1, 2, 3, 4};
+  const KeywordSet b{3, 4, 5};
+  EXPECT_EQ(a.IntersectionSize(b), 2u);
+  EXPECT_EQ(a.UnionSize(b), 5u);
+  EXPECT_EQ(a.IntersectionSize(KeywordSet()), 0u);
+  EXPECT_EQ(a.UnionSize(KeywordSet()), 4u);
+}
+
+TEST(KeywordSetTest, SetAlgebra) {
+  const KeywordSet a{1, 2, 3};
+  const KeywordSet b{2, 3, 4};
+  EXPECT_EQ(a.Union(b), (KeywordSet{1, 2, 3, 4}));
+  EXPECT_EQ(a.Intersect(b), (KeywordSet{2, 3}));
+  EXPECT_EQ(a.Subtract(b), (KeywordSet{1}));
+  EXPECT_EQ(b.Subtract(a), (KeywordSet{4}));
+}
+
+TEST(KeywordSetTest, WithWithout) {
+  const KeywordSet a{1, 3};
+  EXPECT_EQ(a.With(2), (KeywordSet{1, 2, 3}));
+  EXPECT_EQ(a.With(3), a);
+  EXPECT_EQ(a.Without(1), (KeywordSet{3}));
+  EXPECT_EQ(a.Without(2), a);
+}
+
+TEST(KeywordSetTest, SerializationRoundTrip) {
+  const KeywordSet a{10, 20, 4000000000u};
+  std::vector<uint8_t> bytes;
+  a.Serialize(&bytes);
+  EXPECT_EQ(bytes.size(), a.SerializedSize());
+  EXPECT_EQ(KeywordSet::Deserialize(bytes.data(), bytes.size()), a);
+
+  const KeywordSet empty;
+  bytes.clear();
+  empty.Serialize(&bytes);
+  EXPECT_EQ(KeywordSet::Deserialize(bytes.data(), bytes.size()), empty);
+}
+
+TEST(KeywordSetTest, EditDistance) {
+  const KeywordSet doc0{1, 2};
+  EXPECT_EQ(EditDistance(doc0, doc0), 0u);
+  EXPECT_EQ(EditDistance(doc0, KeywordSet{1, 2, 3}), 1u);  // one insert
+  EXPECT_EQ(EditDistance(doc0, KeywordSet{1}), 1u);        // one delete
+  EXPECT_EQ(EditDistance(doc0, KeywordSet{3, 4}), 4u);     // replace both
+  EXPECT_EQ(EditDistance(KeywordSet(), doc0), 2u);
+}
+
+TEST(KeywordSetTest, OrderingIsLexicographic) {
+  EXPECT_LT(KeywordSet({1, 2}), KeywordSet({1, 3}));
+  EXPECT_LT(KeywordSet({1}), KeywordSet({1, 2}));
+}
+
+TEST(KeywordSetTest, ToString) {
+  EXPECT_EQ((KeywordSet{3, 1}).ToString(), "{1, 3}");
+  EXPECT_EQ(KeywordSet().ToString(), "{}");
+}
+
+// Property sweep: algebra identities on random sets.
+TEST(KeywordSetTest, AlgebraPropertiesRandom) {
+  Rng rng(77);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<TermId> va, vb;
+    for (int i = 0; i < 12; ++i) {
+      if (rng.NextBool(0.5)) va.push_back(static_cast<TermId>(i));
+      if (rng.NextBool(0.5)) vb.push_back(static_cast<TermId>(i));
+    }
+    const KeywordSet a(std::move(va)), b(std::move(vb));
+    EXPECT_EQ(a.Union(b), b.Union(a));
+    EXPECT_EQ(a.Intersect(b), b.Intersect(a));
+    EXPECT_EQ(a.Union(b).size(), a.UnionSize(b));
+    EXPECT_EQ(a.Intersect(b).size(), a.IntersectionSize(b));
+    EXPECT_EQ(a.Subtract(b).size() + a.IntersectionSize(b), a.size());
+    EXPECT_EQ(EditDistance(a, b), a.Subtract(b).size() + b.Subtract(a).size());
+  }
+}
+
+}  // namespace
+}  // namespace wsk

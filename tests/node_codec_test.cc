@@ -1,0 +1,95 @@
+#include "index/node_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace wsk {
+namespace {
+
+using testing::TempFile;
+
+TEST(ByteCodecTest, WriterReaderRoundTrip) {
+  std::vector<uint8_t> buf;
+  ByteWriter writer(&buf);
+  writer.PutU8(0xab);
+  writer.PutU32(0xdeadbeef);
+  writer.PutU64(0x0123456789abcdefULL);
+  writer.PutDouble(3.25);
+  writer.PutRect(Rect{1, 2, 3, 4});
+  const uint8_t blob[3] = {9, 8, 7};
+  writer.PutBytes(blob, sizeof(blob));
+  EXPECT_EQ(writer.size(), 1u + 4 + 8 + 8 + 32 + 3);
+
+  ByteReader reader(buf.data(), buf.size());
+  EXPECT_EQ(reader.GetU8(), 0xab);
+  EXPECT_EQ(reader.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.GetU64(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(reader.GetDouble(), 3.25);
+  EXPECT_EQ(reader.GetRect(), (Rect{1, 2, 3, 4}));
+  const uint8_t* read_blob = reader.GetBytes(3);
+  EXPECT_EQ(read_blob[0], 9);
+  EXPECT_EQ(read_blob[2], 7);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(ByteCodecTest, WriterAppendsToExistingBuffer) {
+  std::vector<uint8_t> buf{1, 2, 3};
+  ByteWriter writer(&buf);
+  writer.PutU8(4);
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[3], 4);
+}
+
+TEST(NodeBytesTest, MultiPageRoundTrip) {
+  TempFile file("node_codec");
+  auto pager = Pager::Create(file.path(), 128).value();
+  BufferPool pool(pager.get(), 128 * 8);
+
+  const uint32_t pages = 3;
+  const PageId first = pager->AllocatePages(pages);
+  std::vector<uint8_t> data(128 * pages);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 7);
+  }
+  ASSERT_TRUE(WriteNodeBytes(&pool, first, pages, data.data()).ok());
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE(pool.InvalidateAll().ok());
+
+  std::vector<uint8_t> back;
+  ASSERT_TRUE(ReadNodeBytes(&pool, first, pages, &back).ok());
+  EXPECT_EQ(back, data);
+}
+
+TEST(NodeBytesTest, ReadCostsOneFetchPerPage) {
+  TempFile file("node_codec_io");
+  auto pager = Pager::Create(file.path(), 128).value();
+  BufferPool pool(pager.get(), 128 * 8);
+  const PageId first = pager->AllocatePages(4);
+  std::vector<uint8_t> data(128 * 4, 0x5c);
+  ASSERT_TRUE(WriteNodeBytes(&pool, first, 4, data.data()).ok());
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE(pool.InvalidateAll().ok());
+  pager->io_stats().Reset();
+  std::vector<uint8_t> back;
+  ASSERT_TRUE(ReadNodeBytes(&pool, first, 4, &back).ok());
+  EXPECT_EQ(pager->io_stats().physical_reads(), 4u);
+  // Cached second read: no physical I/O.
+  ASSERT_TRUE(ReadNodeBytes(&pool, first, 4, &back).ok());
+  EXPECT_EQ(pager->io_stats().physical_reads(), 4u);
+}
+
+TEST(NodeBytesTest, ReadErrorPropagates) {
+  TempFile file("node_codec_err");
+  auto pager = Pager::Create(file.path(), 128).value();
+  BufferPool pool(pager.get(), 128 * 8);
+  const PageId first = pager->AllocatePages(2);
+  pager->set_read_fault_hook(
+      [](PageId) { return Status::IoError("injected"); });
+  std::vector<uint8_t> back;
+  EXPECT_EQ(ReadNodeBytes(&pool, first, 2, &back).code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace wsk

@@ -1,0 +1,152 @@
+#include "storage/pager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "test_util.h"
+
+namespace wsk {
+namespace {
+
+using testing::TempFile;
+
+std::vector<uint8_t> PatternPage(uint32_t page_size, uint8_t seed) {
+  std::vector<uint8_t> page(page_size);
+  for (uint32_t i = 0; i < page_size; ++i) {
+    page[i] = static_cast<uint8_t>(seed + i);
+  }
+  return page;
+}
+
+TEST(PagerTest, CreateRejectsTinyPageSize) {
+  TempFile file("pager_tiny");
+  auto pager = Pager::Create(file.path(), 16);
+  EXPECT_FALSE(pager.ok());
+  EXPECT_EQ(pager.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PagerTest, AllocateIsConsecutive) {
+  TempFile file("pager_alloc");
+  auto pager = Pager::Create(file.path()).value();
+  EXPECT_EQ(pager->AllocatePages(1), 0u);
+  EXPECT_EQ(pager->AllocatePages(3), 1u);
+  EXPECT_EQ(pager->AllocatePages(2), 4u);
+  EXPECT_EQ(pager->num_pages(), 6u);
+}
+
+TEST(PagerTest, WriteReadRoundTrip) {
+  TempFile file("pager_rw");
+  auto pager = Pager::Create(file.path()).value();
+  const PageId id = pager->AllocatePages(2);
+  const auto page0 = PatternPage(pager->page_size(), 3);
+  const auto page1 = PatternPage(pager->page_size(), 99);
+  ASSERT_TRUE(pager->WritePage(id, page0.data()).ok());
+  ASSERT_TRUE(pager->WritePage(id + 1, page1.data()).ok());
+
+  std::vector<uint8_t> buf(pager->page_size());
+  ASSERT_TRUE(pager->ReadPage(id, buf.data()).ok());
+  EXPECT_EQ(buf, page0);
+  ASSERT_TRUE(pager->ReadPage(id + 1, buf.data()).ok());
+  EXPECT_EQ(buf, page1);
+}
+
+TEST(PagerTest, UnwrittenPageReadsAsZeros) {
+  TempFile file("pager_zero");
+  auto pager = Pager::Create(file.path()).value();
+  const PageId id = pager->AllocatePages(1);
+  std::vector<uint8_t> buf(pager->page_size(), 0xab);
+  ASSERT_TRUE(pager->ReadPage(id, buf.data()).ok());
+  for (uint8_t b : buf) EXPECT_EQ(b, 0);
+}
+
+TEST(PagerTest, OutOfRangeAccessFails) {
+  TempFile file("pager_oor");
+  auto pager = Pager::Create(file.path()).value();
+  std::vector<uint8_t> buf(pager->page_size());
+  EXPECT_EQ(pager->ReadPage(0, buf.data()).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(pager->WritePage(5, buf.data()).code(), StatusCode::kOutOfRange);
+}
+
+TEST(PagerTest, CountsPhysicalIo) {
+  TempFile file("pager_io");
+  auto pager = Pager::Create(file.path()).value();
+  const PageId id = pager->AllocatePages(1);
+  std::vector<uint8_t> buf(pager->page_size(), 1);
+  ASSERT_TRUE(pager->WritePage(id, buf.data()).ok());
+  ASSERT_TRUE(pager->ReadPage(id, buf.data()).ok());
+  ASSERT_TRUE(pager->ReadPage(id, buf.data()).ok());
+  EXPECT_EQ(pager->io_stats().physical_writes(), 1u);
+  EXPECT_EQ(pager->io_stats().physical_reads(), 2u);
+  pager->io_stats().Reset();
+  EXPECT_EQ(pager->io_stats().physical_reads(), 0u);
+}
+
+TEST(PagerTest, ReopenSeesData) {
+  TempFile file("pager_reopen");
+  const auto page = PatternPage(kDefaultPageSize, 42);
+  {
+    auto pager = Pager::Create(file.path()).value();
+    const PageId id = pager->AllocatePages(1);
+    ASSERT_TRUE(pager->WritePage(id, page.data()).ok());
+  }
+  auto pager = Pager::Open(file.path()).value();
+  EXPECT_EQ(pager->num_pages(), 1u);
+  std::vector<uint8_t> buf(pager->page_size());
+  ASSERT_TRUE(pager->ReadPage(0, buf.data()).ok());
+  EXPECT_EQ(buf, page);
+}
+
+TEST(PagerTest, OpenMissingFileFails) {
+  auto pager = Pager::Open("/tmp/wsk_definitely_missing_file.idx");
+  EXPECT_FALSE(pager.ok());
+  EXPECT_EQ(pager.status().code(), StatusCode::kIoError);
+}
+
+// Page-size sweep: the stack must work for any reasonable page size.
+class PagerPageSizeSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PagerPageSizeSweep, RoundTripsAtEverySize) {
+  const uint32_t page_size = GetParam();
+  TempFile file("pager_size_" + std::to_string(page_size));
+  auto pager = Pager::Create(file.path(), page_size).value();
+  EXPECT_EQ(pager->page_size(), page_size);
+  const PageId id = pager->AllocatePages(3);
+  for (uint32_t i = 0; i < 3; ++i) {
+    const auto page = PatternPage(page_size, static_cast<uint8_t>(i * 11));
+    ASSERT_TRUE(pager->WritePage(id + i, page.data()).ok());
+  }
+  std::vector<uint8_t> buf(page_size);
+  for (uint32_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(pager->ReadPage(id + i, buf.data()).ok());
+    EXPECT_EQ(buf, PatternPage(page_size, static_cast<uint8_t>(i * 11)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PagerPageSizeSweep,
+                         ::testing::Values(64u, 128u, 512u, 4096u, 16384u));
+
+TEST(PagerTest, FaultInjectionHookFiresOnRead) {
+  TempFile file("pager_fault");
+  auto pager = Pager::Create(file.path()).value();
+  const PageId id = pager->AllocatePages(2);
+  std::vector<uint8_t> buf(pager->page_size(), 7);
+  ASSERT_TRUE(pager->WritePage(id, buf.data()).ok());
+  ASSERT_TRUE(pager->WritePage(id + 1, buf.data()).ok());
+
+  pager->set_read_fault_hook([](PageId page) {
+    if (page == 1) return Status::IoError("injected");
+    return Status::Ok();
+  });
+  EXPECT_TRUE(pager->ReadPage(0, buf.data()).ok());
+  const Status failed = pager->ReadPage(1, buf.data());
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  EXPECT_EQ(failed.message(), "injected");
+
+  pager->set_read_fault_hook(nullptr);
+  EXPECT_TRUE(pager->ReadPage(1, buf.data()).ok());
+}
+
+}  // namespace
+}  // namespace wsk

@@ -1,0 +1,106 @@
+// Tests at the paper's index configuration: node capacity 100 over 4 KiB
+// pages, which makes every tree node span TWO consecutive pages. Most unit
+// tests use small capacities (single-page nodes); this file pins down the
+// multi-page node slot path end to end.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "data/generator.h"
+#include "index/verify.h"
+#include "test_util.h"
+
+namespace wsk {
+namespace {
+
+class PaperScaleConfigTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneratorConfig config;
+    config.num_objects = 2500;  // several levels at fan-out 100
+    config.vocab_size = 300;
+    config.seed = 777;
+    dataset_ = GenerateDataset(config);
+    WhyNotEngine::Config engine_config;  // defaults = the paper's setup
+    engine_ = WhyNotEngine::Build(&dataset_, engine_config).value();
+  }
+
+  Dataset dataset_;
+  std::unique_ptr<WhyNotEngine> engine_;
+};
+
+TEST_F(PaperScaleConfigTest, NodesSpanTwoPages) {
+  EXPECT_EQ(engine_->setr_tree().pages_per_node(), 2u);
+  EXPECT_EQ(engine_->kcr_tree().pages_per_node(), 2u);
+  EXPECT_GE(engine_->setr_tree().height(), 2u);
+}
+
+TEST_F(PaperScaleConfigTest, BothTreesVerifyClean) {
+  VerifyStats stats;
+  EXPECT_TRUE(VerifySetRTree(engine_->setr_tree(), &stats).ok());
+  EXPECT_EQ(stats.objects_seen, dataset_.size());
+  EXPECT_TRUE(VerifyKcrTree(engine_->kcr_tree(), &stats).ok());
+  EXPECT_EQ(stats.objects_seen, dataset_.size());
+}
+
+TEST_F(PaperScaleConfigTest, TopKMatchesBruteForce) {
+  Rng rng(1);
+  for (int iter = 0; iter < 3; ++iter) {
+    SpatialKeywordQuery q;
+    q.loc = Point{rng.NextDouble(), rng.NextDouble()};
+    q.doc = dataset_
+                .object(static_cast<ObjectId>(rng.NextUint64(dataset_.size())))
+                .doc;
+    q.k = 25;
+    q.alpha = 0.5;
+    const auto expected = BruteForceTopK(dataset_, q);
+    const auto actual = engine_->TopK(q).value();
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].id, expected[i].id);
+    }
+  }
+}
+
+TEST_F(PaperScaleConfigTest, WhyNotAlgorithmsAgreeWithBruteForce) {
+  Rng rng(2);
+  SpatialKeywordQuery q;
+  q.loc = Point{rng.NextDouble(), rng.NextDouble()};
+  q.doc = dataset_.object(42).doc;
+  q.k = 10;
+  q.alpha = 0.5;
+  const ObjectId missing = engine_->ObjectAtPosition(q, 51).value();
+  const auto reference =
+      testing::SolveWhyNotBruteForce(dataset_, q, {missing}, 0.5);
+  if (reference.already_in_result) GTEST_SKIP();
+  WhyNotOptions options;
+  for (WhyNotAlgorithm algorithm :
+       {WhyNotAlgorithm::kAdvanced, WhyNotAlgorithm::kKcrBased}) {
+    const WhyNotResult result =
+        engine_->Answer(algorithm, q, {missing}, options).value();
+    EXPECT_NEAR(result.refined.penalty, reference.refined.penalty, 1e-9)
+        << WhyNotAlgorithmName(algorithm);
+  }
+}
+
+TEST_F(PaperScaleConfigTest, TinyBufferStillCorrect) {
+  // A buffer of only 16 frames forces constant eviction of two-page nodes;
+  // results must not change.
+  WhyNotEngine::Config config;
+  config.buffer_bytes = 16 * 4096;
+  auto tiny = WhyNotEngine::Build(&dataset_, config).value();
+  SpatialKeywordQuery q;
+  q.loc = Point{0.4, 0.4};
+  q.doc = dataset_.object(7).doc;
+  q.k = 20;
+  q.alpha = 0.5;
+  const auto expected = BruteForceTopK(dataset_, q);
+  const auto actual = tiny->TopK(q).value();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].id, expected[i].id);
+  }
+}
+
+}  // namespace
+}  // namespace wsk

@@ -1,0 +1,102 @@
+#include "core/penalty.h"
+
+#include <gtest/gtest.h>
+
+namespace wsk {
+namespace {
+
+// Table I of the paper: k0 = 1, R(m, q) = 3, |doc0 ∪ m.doc| = 3,
+// lambda = 0.5.
+class TableOnePenalty : public ::testing::Test {
+ protected:
+  PenaltyModel pm_{0.5, 1, 3, 3};
+};
+
+TEST_F(TableOnePenalty, BasicRefinedQueryQ1) {
+  // q1 = (3, {t1,t2}): dk = 2 (normalized 1), ddoc = 0 -> penalty 0.5.
+  EXPECT_DOUBLE_EQ(pm_.Penalty(3, 0), 0.5);
+}
+
+TEST_F(TableOnePenalty, KeywordOnlyRefinementQ2) {
+  // q2 = (1, {t2,t3}): dk = 0, ddoc = 2/3 -> penalty 0.33.
+  EXPECT_NEAR(pm_.Penalty(1, 2), 0.3333, 0.0005);
+}
+
+TEST_F(TableOnePenalty, MixedRefinementQ3) {
+  // q3 = (2, {t1,t3}): dk = 1 (0.5 normalized), ddoc = 2/3 -> 0.5833.
+  // (Table I prints the rounded 0.58.)
+  EXPECT_NEAR(pm_.Penalty(2, 2), 0.5833, 0.0005);
+}
+
+TEST_F(TableOnePenalty, InsertOnlyRefinementQ4) {
+  // q4 = (2, {t1,t2,t3}): dk = 1 (0.5), ddoc = 1/3 -> 0.41666 (~0.415).
+  EXPECT_NEAR(pm_.Penalty(2, 1), 0.4167, 0.0005);
+}
+
+TEST(PenaltyModelTest, RankBelowK0CostsNothing) {
+  const PenaltyModel pm(0.5, 10, 51, 5);
+  EXPECT_DOUBLE_EQ(pm.KPenalty(1), 0.0);
+  EXPECT_DOUBLE_EQ(pm.KPenalty(10), 0.0);
+  EXPECT_GT(pm.KPenalty(11), 0.0);
+}
+
+TEST(PenaltyModelTest, BasicRefinementAlwaysCostsLambda) {
+  for (double lambda : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const PenaltyModel pm(lambda, 10, 51, 7);
+    EXPECT_DOUBLE_EQ(pm.Penalty(51, 0), lambda);
+  }
+}
+
+TEST(PenaltyModelTest, Example4RankBound) {
+  // Example 4: top-5 query, R(m,q) = 10, lambda = 0.5, p_c = 0.5,
+  // (1-lambda) * ddoc/|doc0 ∪ m.doc| = 0.4 * 0.5 = 0.2 => R_L = 8.
+  // The paper states ddoc/|doc0 ∪ m.doc| = 0.4 directly; use normalizer 5
+  // and ddoc 2 to realize it.
+  const PenaltyModel pm(0.5, 5, 10, 5);
+  EXPECT_DOUBLE_EQ(pm.DocPenalty(2), 0.2);
+  EXPECT_EQ(pm.RankUpperBound(0.5, 2), 8);
+}
+
+TEST(PenaltyModelTest, RankBoundZeroWhenDocPenaltyExceedsBest) {
+  const PenaltyModel pm(0.5, 5, 10, 4);
+  // DocPenalty(4) = 0.5; with best penalty 0.3 the candidate cannot win.
+  EXPECT_LT(pm.RankUpperBound(0.3, 4), 1);
+}
+
+TEST(PenaltyModelTest, RankBoundUnlimitedWhenLambdaZero) {
+  const PenaltyModel pm(0.0, 5, 10, 4);
+  EXPECT_EQ(pm.RankUpperBound(0.5, 1), INT64_MAX);
+}
+
+TEST(PenaltyModelTest, PenaltyMonotoneInRankAndEdits) {
+  const PenaltyModel pm(0.4, 10, 60, 8);
+  EXPECT_LE(pm.Penalty(20, 2), pm.Penalty(30, 2));
+  EXPECT_LE(pm.Penalty(20, 2), pm.Penalty(20, 3));
+}
+
+TEST(PenaltyModelTest, RankBoundConsistentWithPenalty) {
+  // For every rank <= R_L the penalty is <= p_c; for rank R_L + 1 it
+  // exceeds p_c.
+  const PenaltyModel pm(0.6, 10, 51, 6);
+  const double p_c = 0.45;
+  for (uint64_t ed = 0; ed <= 4; ++ed) {
+    const int64_t bound = pm.RankUpperBound(p_c, ed);
+    if (bound < 1) {
+      EXPECT_GT(pm.Penalty(11, ed), p_c);
+      continue;
+    }
+    EXPECT_LE(pm.Penalty(static_cast<uint64_t>(bound), ed), p_c + 1e-12);
+    EXPECT_GT(pm.Penalty(static_cast<uint64_t>(bound) + 1, ed), p_c);
+  }
+}
+
+TEST(PenaltyModelTest, LambdaExtremes) {
+  const PenaltyModel all_k(1.0, 5, 10, 4);
+  EXPECT_DOUBLE_EQ(all_k.Penalty(10, 3), 1.0);  // only k matters
+  EXPECT_DOUBLE_EQ(all_k.DocPenalty(4), 0.0);
+  const PenaltyModel all_doc(0.0, 5, 10, 4);
+  EXPECT_DOUBLE_EQ(all_doc.Penalty(10, 2), 0.5);  // only keywords matter
+}
+
+}  // namespace
+}  // namespace wsk

@@ -1,0 +1,112 @@
+// End-to-end checks of the non-default similarity models (footnote 1):
+// the indexes and the basic-family why-not algorithms must stay exact
+// under Dice and Overlap, not just Jaccard.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "data/generator.h"
+#include "test_util.h"
+
+namespace wsk {
+namespace {
+
+struct ModelInstance {
+  Dataset dataset;
+  std::unique_ptr<WhyNotEngine> engine;
+};
+
+ModelInstance MakeInstance(SimilarityModel model, uint64_t seed) {
+  GeneratorConfig config;
+  config.num_objects = 260;
+  config.vocab_size = 35;
+  config.seed = seed;
+  ModelInstance instance;
+  instance.dataset = GenerateDataset(config);
+  WhyNotEngine::Config engine_config;
+  engine_config.node_capacity = 8;
+  engine_config.model = model;
+  instance.engine =
+      WhyNotEngine::Build(&instance.dataset, engine_config).value();
+  return instance;
+}
+
+class ModelSweep
+    : public ::testing::TestWithParam<std::tuple<SimilarityModel, double>> {};
+
+TEST_P(ModelSweep, IndexTopKMatchesBruteForce) {
+  const auto [model, alpha] = GetParam();
+  ModelInstance instance = MakeInstance(model, 42);
+  Rng rng(7);
+  for (int iter = 0; iter < 4; ++iter) {
+    SpatialKeywordQuery q;
+    q.loc = Point{rng.NextDouble(), rng.NextDouble()};
+    q.doc = instance.dataset
+                .object(static_cast<ObjectId>(
+                    rng.NextUint64(instance.dataset.size())))
+                .doc;
+    q.k = 15;
+    q.alpha = alpha;
+    q.model = model;
+    const auto expected = BruteForceTopK(instance.dataset, q);
+    const auto actual = instance.engine->TopK(q).value();
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].id, expected[i].id)
+          << SimilarityModelName(model) << " alpha=" << alpha << " pos " << i;
+    }
+  }
+}
+
+TEST_P(ModelSweep, AdvancedWhyNotMatchesBruteForce) {
+  const auto [model, alpha] = GetParam();
+  ModelInstance instance = MakeInstance(model, 43);
+  Rng rng(9);
+  SpatialKeywordQuery q;
+  q.loc = Point{rng.NextDouble(), rng.NextDouble()};
+  q.doc = instance.dataset.object(3).doc;
+  q.k = 5;
+  q.alpha = alpha;
+  q.model = model;
+  auto missing_or = instance.engine->ObjectAtPosition(q, 17);
+  if (!missing_or.ok()) GTEST_SKIP();
+  const ObjectId missing = missing_or.value();
+  const auto reference = testing::SolveWhyNotBruteForce(
+      instance.dataset, q, {missing}, 0.5);
+  if (reference.already_in_result) GTEST_SKIP();
+  WhyNotOptions options;
+  const WhyNotResult result =
+      instance.engine->Answer(WhyNotAlgorithm::kAdvanced, q, {missing},
+                              options)
+          .value();
+  EXPECT_NEAR(result.refined.penalty, reference.refined.penalty, 1e-9)
+      << SimilarityModelName(model) << " alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, ModelSweep,
+    ::testing::Combine(::testing::Values(SimilarityModel::kDice,
+                                         SimilarityModel::kOverlap),
+                       ::testing::Values(0.3, 0.5, 0.7)));
+
+TEST(ModelEdgeTest, KcrRejectsNonJaccardButBasicFamilyAccepts) {
+  ModelInstance instance = MakeInstance(SimilarityModel::kDice, 44);
+  SpatialKeywordQuery q;
+  q.loc = Point{0.5, 0.5};
+  q.doc = instance.dataset.object(0).doc;
+  q.k = 5;
+  q.alpha = 0.5;
+  q.model = SimilarityModel::kDice;
+  WhyNotOptions options;
+  EXPECT_FALSE(
+      instance.engine->Answer(WhyNotAlgorithm::kKcrBased, q, {9}, options)
+          .ok());
+  EXPECT_TRUE(
+      instance.engine->Answer(WhyNotAlgorithm::kAdvanced, q, {9}, options)
+          .ok());
+}
+
+}  // namespace
+}  // namespace wsk

@@ -1,0 +1,97 @@
+#include "text/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace wsk {
+namespace {
+
+TEST(SimilarityTest, JaccardBasics) {
+  const KeywordSet a{1, 2, 3};
+  const KeywordSet b{2, 3, 4};
+  EXPECT_DOUBLE_EQ(TextualSimilarity(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(TextualSimilarity(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(TextualSimilarity(a, KeywordSet{9}), 0.0);
+  EXPECT_DOUBLE_EQ(TextualSimilarity(KeywordSet(), KeywordSet()), 0.0);
+}
+
+TEST(SimilarityTest, PaperExampleValues) {
+  // Fig. 1(b): TSim against doc0 = {t1, t2}.
+  const KeywordSet doc0{1, 2};
+  EXPECT_NEAR(TextualSimilarity(KeywordSet{1, 2, 3}, doc0), 0.66, 0.01);
+  EXPECT_DOUBLE_EQ(TextualSimilarity(KeywordSet{1}, doc0), 0.5);
+  EXPECT_NEAR(TextualSimilarity(KeywordSet{1, 3}, doc0), 0.33, 0.01);
+  EXPECT_DOUBLE_EQ(TextualSimilarity(KeywordSet{1, 2}, doc0), 1.0);
+}
+
+TEST(SimilarityTest, DiceBasics) {
+  const KeywordSet a{1, 2, 3};
+  const KeywordSet b{2, 3, 4};
+  EXPECT_DOUBLE_EQ(TextualSimilarity(a, b, SimilarityModel::kDice), 4.0 / 6);
+  EXPECT_DOUBLE_EQ(TextualSimilarity(a, a, SimilarityModel::kDice), 1.0);
+}
+
+TEST(SimilarityTest, OverlapBasics) {
+  const KeywordSet a{1, 2, 3};
+  const KeywordSet b{2, 3};
+  EXPECT_DOUBLE_EQ(TextualSimilarity(a, b, SimilarityModel::kOverlap), 1.0);
+  EXPECT_DOUBLE_EQ(TextualSimilarity(a, KeywordSet{3, 9},
+                                     SimilarityModel::kOverlap),
+                   0.5);
+}
+
+TEST(SimilarityTest, ModelNames) {
+  EXPECT_STREQ(SimilarityModelName(SimilarityModel::kJaccard), "jaccard");
+  EXPECT_STREQ(SimilarityModelName(SimilarityModel::kDice), "dice");
+  EXPECT_STREQ(SimilarityModelName(SimilarityModel::kOverlap), "overlap");
+}
+
+// Property: the Theorem 1 node bound dominates the exact similarity of any
+// "object" set sandwiched between a random intersection and union set.
+class NodeBoundProperty
+    : public ::testing::TestWithParam<SimilarityModel> {};
+
+TEST_P(NodeBoundProperty, BoundsSandwichedObjects) {
+  const SimilarityModel model = GetParam();
+  Rng rng(123);
+  for (int iter = 0; iter < 300; ++iter) {
+    // Build inter ⊆ object ⊆ union over a small universe.
+    std::vector<TermId> inter_v, object_v, union_v, query_v;
+    for (TermId t = 0; t < 14; ++t) {
+      const double roll = rng.NextDouble();
+      if (roll < 0.2) {
+        inter_v.push_back(t);
+        object_v.push_back(t);
+        union_v.push_back(t);
+      } else if (roll < 0.45) {
+        object_v.push_back(t);
+        union_v.push_back(t);
+      } else if (roll < 0.7) {
+        union_v.push_back(t);
+      }
+      if (rng.NextBool(0.4)) query_v.push_back(t);
+    }
+    if (object_v.empty() || query_v.empty()) continue;
+    const KeywordSet inter(std::move(inter_v));
+    const KeywordSet object(std::move(object_v));
+    const KeywordSet uni(std::move(union_v));
+    const KeywordSet query(std::move(query_v));
+
+    const double exact = TextualSimilarity(object, query, model);
+    const double bound = NodeSimilarityUpperBound(
+        uni.IntersectionSize(query), inter.UnionSize(query), inter.size(),
+        query.size(), model);
+    EXPECT_GE(bound + 1e-12, exact)
+        << "model=" << SimilarityModelName(model)
+        << " object=" << object.ToString() << " query=" << query.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, NodeBoundProperty,
+                         ::testing::Values(SimilarityModel::kJaccard,
+                                           SimilarityModel::kDice,
+                                           SimilarityModel::kOverlap));
+
+}  // namespace
+}  // namespace wsk

@@ -1,0 +1,68 @@
+#include "data/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace wsk {
+namespace {
+
+TEST(StatsTest, EmptyDataset) {
+  Dataset d;
+  const DatasetStats stats = ComputeStats(d);
+  EXPECT_EQ(stats.num_objects, 0u);
+  EXPECT_EQ(stats.num_distinct_terms, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_doc_length, 0.0);
+}
+
+TEST(StatsTest, HandComputedExample) {
+  Dataset d;
+  d.Add(Point{0, 0}, KeywordSet{0, 1});
+  d.Add(Point{3, 4}, KeywordSet{1});
+  d.Add(Point{1, 1}, KeywordSet{1, 2, 3});
+  const DatasetStats stats = ComputeStats(d);
+  EXPECT_EQ(stats.num_objects, 3u);
+  EXPECT_EQ(stats.num_distinct_terms, 0u);  // no vocabulary records: the
+  // keyword sets were added directly without interning, so df stays 0.
+  EXPECT_EQ(stats.total_term_occurrences, 6u);
+  EXPECT_DOUBLE_EQ(stats.avg_doc_length, 2.0);
+  EXPECT_EQ(stats.min_doc_length, 1u);
+  EXPECT_EQ(stats.max_doc_length, 3u);
+  EXPECT_DOUBLE_EQ(stats.diagonal, 5.0);
+}
+
+TEST(StatsTest, DistinctTermsTrackDocumentFrequencies) {
+  Dataset d;
+  d.Add(Point{0, 0}, {"pizza", "wifi"});
+  d.Add(Point{1, 0}, {"pizza"});
+  d.Add(Point{0, 1}, {"sushi"});
+  const DatasetStats stats = ComputeStats(d);
+  EXPECT_EQ(stats.num_distinct_terms, 3u);
+  EXPECT_EQ(stats.max_document_frequency, 2u);  // "pizza"
+  EXPECT_EQ(stats.total_term_occurrences, 4u);
+}
+
+TEST(StatsTest, GeneratorMatchesItsConfig) {
+  GeneratorConfig config;
+  config.num_objects = 1000;
+  config.vocab_size = 200;
+  config.doc_size_mean = 5.0;
+  const Dataset d = GenerateDataset(config);
+  const DatasetStats stats = ComputeStats(d);
+  EXPECT_EQ(stats.num_objects, 1000u);
+  EXPECT_LE(stats.num_distinct_terms, 200u);
+  EXPECT_NEAR(stats.avg_doc_length, 5.0, 0.5);
+  // Zipf skew: the top-10 terms carry a large share of all occurrences.
+  EXPECT_GT(stats.top10_frequency_share, 0.2);
+}
+
+TEST(StatsTest, ToStringMentionsTheKeyNumbers) {
+  Dataset d;
+  d.Add(Point{0, 0}, {"alpha"});
+  const std::string text = ComputeStats(d).ToString();
+  EXPECT_NE(text.find("Total # of objects        1"), std::string::npos);
+  EXPECT_NE(text.find("distinct words 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsk

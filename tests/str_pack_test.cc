@@ -1,0 +1,90 @@
+#include "index/str_pack.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/rng.h"
+
+namespace wsk {
+namespace {
+
+std::vector<Point> RandomPoints(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> points(n);
+  for (Point& p : points) p = Point{rng.NextDouble(), rng.NextDouble()};
+  return points;
+}
+
+TEST(StrPackTest, CoversEveryItemExactlyOnce) {
+  const auto points = RandomPoints(537, 1);
+  const auto groups = StrPack(points, 10);
+  std::set<uint32_t> seen;
+  for (const auto& group : groups) {
+    for (uint32_t idx : group) {
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+      EXPECT_LT(idx, points.size());
+    }
+  }
+  EXPECT_EQ(seen.size(), points.size());
+}
+
+TEST(StrPackTest, GroupSizesBounded) {
+  const auto points = RandomPoints(537, 2);
+  const auto groups = StrPack(points, 10);
+  // At least ceil(n/C) groups; each slab can add one partial tail group, so
+  // at most ceil(n/C) + num_slabs (= ceil(sqrt(54)) = 8) groups in total.
+  EXPECT_GE(groups.size(), (537 + 9) / 10u);
+  EXPECT_LE(groups.size(), (537 + 9) / 10u + 8u);
+  for (const auto& group : groups) {
+    EXPECT_GE(group.size(), 1u);
+    EXPECT_LE(group.size(), 10u);
+  }
+}
+
+TEST(StrPackTest, SingleGroupWhenFewItems) {
+  const auto points = RandomPoints(5, 3);
+  const auto groups = StrPack(points, 10);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 5u);
+}
+
+TEST(StrPackTest, Deterministic) {
+  const auto points = RandomPoints(200, 4);
+  EXPECT_EQ(StrPack(points, 7), StrPack(points, 7));
+}
+
+TEST(StrPackTest, SpatialLocality) {
+  // Packed groups should have much smaller total MBR area than random
+  // grouping of the same sizes.
+  const auto points = RandomPoints(1000, 5);
+  const auto groups = StrPack(points, 25);
+  double str_area = 0;
+  for (const auto& group : groups) {
+    Rect r;
+    for (uint32_t idx : group) r.Extend(points[idx]);
+    str_area += r.Area();
+  }
+  // Random contiguous grouping baseline.
+  double random_area = 0;
+  for (size_t start = 0; start < points.size(); start += 25) {
+    Rect r;
+    for (size_t i = start; i < std::min(points.size(), start + 25); ++i) {
+      r.Extend(points[i]);
+    }
+    random_area += r.Area();
+  }
+  EXPECT_LT(str_area, random_area * 0.5);
+}
+
+TEST(StrPackTest, HandlesDuplicatePoints) {
+  std::vector<Point> points(50, Point{0.5, 0.5});
+  const auto groups = StrPack(points, 8);
+  size_t total = 0;
+  for (const auto& group : groups) total += group.size();
+  EXPECT_EQ(total, 50u);
+}
+
+}  // namespace
+}  // namespace wsk

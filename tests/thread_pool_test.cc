@@ -1,0 +1,80 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+namespace wsk {
+namespace {
+
+TEST(ThreadPoolTest, InlineModeRunsImmediately) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0);
+  int counter = 0;
+  pool.Submit([&] { ++counter; });
+  EXPECT_EQ(counter, 1);  // no Wait needed in inline mode
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilDone) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      done.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 10);
+}
+
+TEST(ThreadPoolTest, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, TasksRunOnWorkerThreads) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  for (int i = 0; i < 60; ++i) {
+    pool.Submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      std::lock_guard<std::mutex> lock(mu);
+      ids.insert(std::this_thread::get_id());
+    });
+  }
+  pool.Wait();
+  EXPECT_GE(ids.size(), 1u);
+  EXPECT_LE(ids.size(), 3u);
+  EXPECT_EQ(ids.count(std::this_thread::get_id()), 0u);
+}
+
+TEST(ThreadPoolTest, DestructionJoinsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) pool.Submit([&] { counter.fetch_add(1); });
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+}  // namespace
+}  // namespace wsk

@@ -1,0 +1,177 @@
+// Deletion tests for both trees: remove objects, check NotFound behaviour,
+// structural invariants (via the verifier), and that queries over the
+// survivors match brute force on the reduced dataset.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "index/topk.h"
+#include "index/verify.h"
+#include "test_util.h"
+
+namespace wsk {
+namespace {
+
+using testing::TempFile;
+
+Dataset SmallDataset(uint32_t n, uint64_t seed) {
+  GeneratorConfig config;
+  config.num_objects = n;
+  config.vocab_size = 30;
+  config.seed = seed;
+  return GenerateDataset(config);
+}
+
+// Brute-force reference over a subset of surviving object ids.
+std::vector<ScoredObject> SurvivorTopK(const Dataset& dataset,
+                                       const std::vector<bool>& removed,
+                                       const SpatialKeywordQuery& query) {
+  std::vector<ScoredObject> scored;
+  for (const SpatialObject& o : dataset.objects()) {
+    if (removed[o.id]) continue;
+    scored.push_back(
+        ScoredObject{o.id, Score(o, query, dataset.diagonal())});
+  }
+  std::sort(scored.begin(), scored.end(), ScoreGreater());
+  if (scored.size() > query.k) scored.resize(query.k);
+  return scored;
+}
+
+TEST(SetRTreeRemoveTest, RemoveHalfThenQuery) {
+  const Dataset dataset = SmallDataset(200, 1);
+  TempFile file("rm_setr");
+  auto pager = Pager::Create(file.path()).value();
+  BufferPool pool(pager.get(), 4u << 20);
+  SetRTree::Options options;
+  options.capacity = 8;
+  auto tree = SetRTree::BulkLoad(dataset, &pool, options).value();
+
+  Rng rng(7);
+  std::vector<bool> removed(dataset.size(), false);
+  for (int i = 0; i < 100; ++i) {
+    ObjectId victim;
+    do {
+      victim = static_cast<ObjectId>(rng.NextUint64(dataset.size()));
+    } while (removed[victim]);
+    ASSERT_TRUE(tree->Remove(victim, dataset.object(victim).loc).ok());
+    removed[victim] = true;
+  }
+  EXPECT_EQ(tree->num_objects(), dataset.size() - 100);
+  EXPECT_TRUE(VerifySetRTree(*tree).ok());
+
+  SpatialKeywordQuery q;
+  q.loc = Point{0.4, 0.6};
+  q.doc = dataset.object(3).doc;
+  q.k = 20;
+  q.alpha = 0.5;
+  const auto expected = SurvivorTopK(dataset, removed, q);
+  const auto actual = IndexTopK(*tree, q).value();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].id, expected[i].id) << "position " << i;
+  }
+}
+
+TEST(SetRTreeRemoveTest, RemoveMissingObjectIsNotFound) {
+  const Dataset dataset = SmallDataset(50, 2);
+  TempFile file("rm_setr_nf");
+  auto pager = Pager::Create(file.path()).value();
+  BufferPool pool(pager.get(), 4u << 20);
+  SetRTree::Options options;
+  options.capacity = 8;
+  auto tree = SetRTree::BulkLoad(dataset, &pool, options).value();
+  // Unknown id at a real location.
+  EXPECT_EQ(tree->Remove(9999, dataset.object(0).loc).code(),
+            StatusCode::kNotFound);
+  // Known id at the wrong location (descent cannot reach it).
+  const Point far{dataset.object(0).loc.x + 10.0, 0.0};
+  EXPECT_EQ(tree->Remove(0, far).code(), StatusCode::kNotFound);
+  // Double delete.
+  ASSERT_TRUE(tree->Remove(0, dataset.object(0).loc).ok());
+  EXPECT_EQ(tree->Remove(0, dataset.object(0).loc).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SetRTreeRemoveTest, RemoveEverythingEmptiesTheTree) {
+  const Dataset dataset = SmallDataset(60, 3);
+  TempFile file("rm_setr_all");
+  auto pager = Pager::Create(file.path()).value();
+  BufferPool pool(pager.get(), 4u << 20);
+  SetRTree::Options options;
+  options.capacity = 4;
+  auto tree = SetRTree::BulkLoad(dataset, &pool, options).value();
+  for (const SpatialObject& o : dataset.objects()) {
+    ASSERT_TRUE(tree->Remove(o.id, o.loc).ok());
+  }
+  EXPECT_EQ(tree->num_objects(), 0u);
+  EXPECT_EQ(tree->SearchRoot(), kInvalidPageId);
+  EXPECT_EQ(tree->Remove(1, Point{0, 0}).code(), StatusCode::kNotFound);
+  // Insert works again after emptying.
+  ASSERT_TRUE(tree->Insert(dataset.object(5)).ok());
+  EXPECT_EQ(tree->num_objects(), 1u);
+  EXPECT_TRUE(VerifySetRTree(*tree).ok());
+}
+
+TEST(KcrTreeRemoveTest, RemoveHalfKeepsInvariantsAndQueries) {
+  const Dataset dataset = SmallDataset(200, 4);
+  TempFile file("rm_kcr");
+  auto pager = Pager::Create(file.path()).value();
+  BufferPool pool(pager.get(), 4u << 20);
+  KcrTree::Options options;
+  options.capacity = 8;
+  auto tree = KcrTree::BulkLoad(dataset, &pool, options).value();
+
+  Rng rng(9);
+  std::vector<bool> removed(dataset.size(), false);
+  for (int i = 0; i < 100; ++i) {
+    ObjectId victim;
+    do {
+      victim = static_cast<ObjectId>(rng.NextUint64(dataset.size()));
+    } while (removed[victim]);
+    ASSERT_TRUE(tree->Remove(victim, dataset.object(victim).loc).ok());
+    removed[victim] = true;
+  }
+  EXPECT_EQ(tree->num_objects(), dataset.size() - 100);
+  EXPECT_EQ(tree->root_cnt(), dataset.size() - 100);
+  EXPECT_TRUE(VerifyKcrTree(*tree).ok());
+
+  SpatialKeywordQuery q;
+  q.loc = Point{0.2, 0.8};
+  q.doc = dataset.object(11).doc;
+  q.k = 15;
+  q.alpha = 0.5;
+  const auto expected = SurvivorTopK(dataset, removed, q);
+  const auto actual = IndexTopK(*tree, q).value();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].id, expected[i].id) << "position " << i;
+  }
+}
+
+TEST(KcrTreeRemoveTest, InterleavedInsertAndRemove) {
+  const Dataset dataset = SmallDataset(120, 5);
+  TempFile file("rm_kcr_mix");
+  auto pager = Pager::Create(file.path()).value();
+  BufferPool pool(pager.get(), 4u << 20);
+  KcrTree::Options options;
+  options.capacity = 6;
+  auto tree =
+      KcrTree::CreateEmpty(&pool, dataset.diagonal(), options).value();
+
+  // Insert everything, remove the odd ids, re-insert a few.
+  for (const SpatialObject& o : dataset.objects()) {
+    ASSERT_TRUE(tree->Insert(o).ok());
+  }
+  for (ObjectId id = 1; id < dataset.size(); id += 2) {
+    ASSERT_TRUE(tree->Remove(id, dataset.object(id).loc).ok());
+  }
+  for (ObjectId id : std::vector<ObjectId>{1, 3, 5}) {
+    ASSERT_TRUE(tree->Insert(dataset.object(id)).ok());
+  }
+  ASSERT_TRUE(tree->Finalize().ok());
+  EXPECT_EQ(tree->num_objects(), dataset.size() / 2 + 3);
+  EXPECT_TRUE(VerifyKcrTree(*tree).ok());
+}
+
+}  // namespace
+}  // namespace wsk

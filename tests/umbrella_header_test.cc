@@ -1,0 +1,46 @@
+// Compilation test for the umbrella header: including wsk.h alone must
+// expose the whole public API.
+#include "wsk.h"
+
+#include <gtest/gtest.h>
+
+namespace wsk {
+namespace {
+
+TEST(UmbrellaHeaderTest, PublicApiIsReachable) {
+  Dataset dataset;
+  dataset.Add(Point{0.2, 0.2}, {"alpha", "beta"});
+  dataset.Add(Point{0.8, 0.8}, {"beta", "gamma"});
+  dataset.Add(Point{0.5, 0.1}, {"alpha"});
+
+  const DatasetStats stats = ComputeStats(dataset);
+  EXPECT_EQ(stats.num_objects, 3u);
+
+  WhyNotEngine::Config config;
+  config.node_capacity = 4;
+  auto engine = WhyNotEngine::Build(&dataset, config).value();
+
+  SpatialKeywordQuery query;
+  query.loc = Point{0.2, 0.2};
+  query.doc = dataset.vocabulary().InternAll({"alpha"});
+  query.k = 1;
+  query.alpha = 0.5;
+  const auto top = engine->TopK(query).value();
+  ASSERT_EQ(top.size(), 1u);
+  // Object 2 matches the query keywords perfectly (TSim = 1), which beats
+  // object 0's co-location: 0.5*0.657 + 0.5*1 > 0.5*1 + 0.5*0.5.
+  EXPECT_EQ(top[0].id, 2u);
+
+  // Why-not + the extensions are all visible through the umbrella.
+  WhyNotOptions options;
+  EXPECT_TRUE(engine->Answer(WhyNotAlgorithm::kAdvanced, query, {1}, options)
+                  .ok());
+  EXPECT_TRUE(RefineAlpha(dataset, query, {1}, 0.5).ok());
+  EXPECT_TRUE(RefineLocationApproximate(dataset, query, {1}, 0.5).ok());
+  EXPECT_TRUE(ExplainMiss(*engine, query, 1).ok());
+  EXPECT_TRUE(VerifySetRTree(engine->setr_tree()).ok());
+  EXPECT_TRUE(VerifyKcrTree(engine->kcr_tree()).ok());
+}
+
+}  // namespace
+}  // namespace wsk

@@ -1,0 +1,159 @@
+#include "index/verify.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "test_util.h"
+
+namespace wsk {
+namespace {
+
+using testing::TempFile;
+
+Dataset SmallDataset(uint32_t n, uint64_t seed) {
+  GeneratorConfig config;
+  config.num_objects = n;
+  config.vocab_size = 30;
+  config.seed = seed;
+  return GenerateDataset(config);
+}
+
+TEST(VerifyTest, BulkLoadedSetRTreePasses) {
+  const Dataset dataset = SmallDataset(300, 1);
+  TempFile file("verify_setr");
+  auto pager = Pager::Create(file.path()).value();
+  BufferPool pool(pager.get(), 4u << 20);
+  SetRTree::Options options;
+  options.capacity = 8;
+  auto tree = SetRTree::BulkLoad(dataset, &pool, options).value();
+  VerifyStats stats;
+  EXPECT_TRUE(VerifySetRTree(*tree, &stats).ok());
+  EXPECT_EQ(stats.objects_seen, dataset.size());
+  EXPECT_GT(stats.nodes_visited, 1u);
+}
+
+TEST(VerifyTest, InsertBuiltSetRTreePasses) {
+  const Dataset dataset = SmallDataset(120, 2);
+  TempFile file("verify_setr_ins");
+  auto pager = Pager::Create(file.path()).value();
+  BufferPool pool(pager.get(), 4u << 20);
+  SetRTree::Options options;
+  options.capacity = 6;
+  auto tree =
+      SetRTree::CreateEmpty(&pool, dataset.diagonal(), options).value();
+  for (const SpatialObject& o : dataset.objects()) {
+    ASSERT_TRUE(tree->Insert(o).ok());
+  }
+  ASSERT_TRUE(tree->Finalize().ok());
+  EXPECT_TRUE(VerifySetRTree(*tree).ok());
+}
+
+TEST(VerifyTest, BulkLoadedKcrTreePasses) {
+  const Dataset dataset = SmallDataset(300, 3);
+  TempFile file("verify_kcr");
+  auto pager = Pager::Create(file.path()).value();
+  BufferPool pool(pager.get(), 4u << 20);
+  KcrTree::Options options;
+  options.capacity = 8;
+  auto tree = KcrTree::BulkLoad(dataset, &pool, options).value();
+  VerifyStats stats;
+  EXPECT_TRUE(VerifyKcrTree(*tree, &stats).ok());
+  EXPECT_EQ(stats.objects_seen, dataset.size());
+}
+
+TEST(VerifyTest, InsertBuiltKcrTreePasses) {
+  const Dataset dataset = SmallDataset(120, 4);
+  TempFile file("verify_kcr_ins");
+  auto pager = Pager::Create(file.path()).value();
+  BufferPool pool(pager.get(), 4u << 20);
+  KcrTree::Options options;
+  options.capacity = 6;
+  auto tree =
+      KcrTree::CreateEmpty(&pool, dataset.diagonal(), options).value();
+  for (const SpatialObject& o : dataset.objects()) {
+    ASSERT_TRUE(tree->Insert(o).ok());
+  }
+  ASSERT_TRUE(tree->Finalize().ok());
+  EXPECT_TRUE(VerifyKcrTree(*tree).ok());
+}
+
+TEST(VerifyTest, EmptyTreesPass) {
+  Dataset dataset;
+  TempFile file("verify_empty");
+  auto pager = Pager::Create(file.path()).value();
+  BufferPool pool(pager.get(), 4u << 20);
+  SetRTree::Options options;
+  auto tree = SetRTree::BulkLoad(dataset, &pool, options).value();
+  EXPECT_TRUE(VerifySetRTree(*tree).ok());
+}
+
+TEST(VerifyTest, DetectsCorruptedNodePage) {
+  const Dataset dataset = SmallDataset(300, 5);
+  TempFile file("verify_corrupt");
+  PageId victim;
+  {
+    auto pager = Pager::Create(file.path()).value();
+    BufferPool pool(pager.get(), 4u << 20);
+    SetRTree::Options options;
+    options.capacity = 8;
+    auto tree = SetRTree::BulkLoad(dataset, &pool, options).value();
+    ASSERT_TRUE(tree->Finalize().ok());
+    // The root is an inner node; smash the count field of its first child.
+    const SetRTree::Node root = tree->ReadNode(tree->SearchRoot()).value();
+    ASSERT_FALSE(root.is_leaf);
+    victim = root.inner_entries[0].child;
+  }
+  {
+    // Shrink the child's entry count to 1: the remaining entries vanish,
+    // so the parent's recorded union/intersection sets (and the object
+    // count) no longer match the reachable subtree.
+    auto pager = Pager::Open(file.path()).value();
+    std::vector<uint8_t> page(pager->page_size());
+    ASSERT_TRUE(pager->ReadPage(victim, page.data()).ok());
+    page[4] = 1;
+    page[5] = page[6] = page[7] = 0;
+    ASSERT_TRUE(pager->WritePage(victim, page.data()).ok());
+  }
+  auto pager = Pager::Open(file.path()).value();
+  BufferPool pool(pager.get(), 4u << 20);
+  auto tree = SetRTree::Open(&pool).value();
+  const Status status = VerifySetRTree(*tree);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST(VerifyTest, DetectsCountMismatchInKcrEntry) {
+  const Dataset dataset = SmallDataset(200, 6);
+  TempFile file("verify_kcr_cnt");
+  PageId root_page;
+  uint32_t pages_per_node;
+  {
+    auto pager = Pager::Create(file.path()).value();
+    BufferPool pool(pager.get(), 4u << 20);
+    KcrTree::Options options;
+    options.capacity = 8;
+    auto tree = KcrTree::BulkLoad(dataset, &pool, options).value();
+    ASSERT_TRUE(tree->Finalize().ok());
+    root_page = tree->SearchRoot();
+    pages_per_node = tree->pages_per_node();
+  }
+  {
+    // Flip a byte in the middle of the root node's entry area: with high
+    // probability this lands in an entry's cnt or MBR.
+    auto pager = Pager::Open(file.path()).value();
+    std::vector<uint8_t> page(pager->page_size());
+    ASSERT_TRUE(pager->ReadPage(root_page, page.data()).ok());
+    page[8 + 36] ^= 0x5a;  // first entry's cnt field (child 4 + rect 32)
+    ASSERT_TRUE(pager->WritePage(root_page, page.data()).ok());
+    (void)pages_per_node;
+  }
+  auto pager = Pager::Open(file.path()).value();
+  BufferPool pool(pager.get(), 4u << 20);
+  auto tree = KcrTree::Open(&pool).value();
+  const Status status = VerifyKcrTree(*tree);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace wsk

@@ -1,0 +1,87 @@
+#include "text/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace wsk {
+namespace {
+
+TEST(VocabularyTest, InternIsIdempotent) {
+  Vocabulary v;
+  const TermId a = v.Intern("hotel");
+  const TermId b = v.Intern("café");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(v.Intern("hotel"), a);
+  EXPECT_EQ(v.num_terms(), 2u);
+  EXPECT_EQ(v.TermString(a), "hotel");
+  EXPECT_EQ(v.TermString(b), "café");
+}
+
+TEST(VocabularyTest, FindUnknownReturnsInvalid) {
+  Vocabulary v;
+  v.Intern("known");
+  EXPECT_EQ(v.Find("known"), 0u);
+  EXPECT_EQ(v.Find("unknown"), Vocabulary::kInvalidTermId);
+}
+
+TEST(VocabularyTest, InternAllBuildsSet) {
+  Vocabulary v;
+  const KeywordSet set = v.InternAll({"b", "a", "b"});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.Contains(v.Find("a")));
+  EXPECT_TRUE(set.Contains(v.Find("b")));
+}
+
+TEST(VocabularyTest, DocumentFrequencies) {
+  Vocabulary v;
+  const TermId common = v.Intern("restaurant");
+  const TermId rare = v.Intern("sichuan");
+  v.RecordDocument(KeywordSet{common});
+  v.RecordDocument(KeywordSet{common});
+  v.RecordDocument(KeywordSet{common, rare});
+  EXPECT_EQ(v.num_documents(), 3u);
+  EXPECT_EQ(v.DocumentFrequency(common), 3u);
+  EXPECT_EQ(v.DocumentFrequency(rare), 1u);
+  EXPECT_EQ(v.DocumentFrequency(12345), 0u);
+}
+
+TEST(VocabularyTest, IdfOrdersRareAboveCommon) {
+  Vocabulary v;
+  const TermId common = v.Intern("restaurant");
+  const TermId rare = v.Intern("sichuan");
+  for (int i = 0; i < 99; ++i) {
+    v.RecordDocument(i == 0 ? KeywordSet{common, rare}
+                            : KeywordSet{common});
+  }
+  EXPECT_GT(v.Idf(rare), v.Idf(common));
+  // A term in nearly every document has negative idf (BM25 behaviour).
+  EXPECT_LT(v.Idf(common), 0.0);
+  EXPECT_GT(v.Idf(rare), 0.0);
+}
+
+TEST(VocabularyTest, ParticularitySigns) {
+  // Eqn 7 for *rare* terms: positive when the object has the term, negative
+  // when it does not. (For terms in more than half the corpus the idf — and
+  // with it both signs — flips, the standard BM25 behaviour.)
+  Vocabulary v;
+  const TermId rare_in = v.Intern("sichuan");
+  const TermId rare_out = v.Intern("korean");
+  const TermId common = v.Intern("restaurant");
+  for (int i = 0; i < 50; ++i) {
+    std::vector<TermId> doc{common};
+    if (i < 2) doc.push_back(rare_in);
+    if (i < 3) doc.push_back(rare_out);
+    v.RecordDocument(KeywordSet(std::move(doc)));
+  }
+  const KeywordSet doc{rare_in, common};
+  EXPECT_GT(v.Particularity(doc, rare_in), 0.0);
+  EXPECT_LT(v.Particularity(doc, rare_out), 0.0);
+  // A ubiquitous term carried by the object scores negative: it does not
+  // make the query more particular to the object.
+  EXPECT_LT(v.Particularity(doc, common), 0.0);
+  // Antisymmetric between an object that has the term and one that lacks it.
+  EXPECT_DOUBLE_EQ(v.Particularity(doc, rare_in),
+                   -v.Particularity(KeywordSet{rare_out}, rare_in));
+}
+
+}  // namespace
+}  // namespace wsk

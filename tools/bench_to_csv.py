@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Converts the benchmark suite's console output into per-figure CSV tables.
+
+Usage:
+    for b in build/bench/*; do $b; done 2>&1 | tee bench_output.txt
+    tools/bench_to_csv.py bench_output.txt out_dir/
+
+Each bench binary prints rows named `<Algorithm>/<param>=<value>/...` with
+counters avg_ms / avg_io / avg_penalty; this script groups rows by the swept
+parameter and emits one CSV per parameter with one line per value and one
+column group per algorithm — the exact series of the paper's figures.
+"""
+
+import collections
+import csv
+import os
+import re
+import sys
+
+ROW = re.compile(
+    r"^(?P<name>\S+)/iterations:1\s.*?"
+    r"avg_io=(?P<io>[\d.]+[kMG]?)\s+"
+    r"avg_ms=(?P<ms>[\d.]+[kMG]?)\s+"
+    r"avg_penalty=(?P<penalty>[\d.]+[kMG]?)")
+
+SUFFIX = {"k": 1e3, "M": 1e6, "G": 1e9}
+
+
+def parse_number(text: str) -> float:
+    if text and text[-1] in SUFFIX:
+        return float(text[:-1]) * SUFFIX[text[-1]]
+    return float(text)
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    source, out_dir = sys.argv[1], sys.argv[2]
+    os.makedirs(out_dir, exist_ok=True)
+
+    # tables[param][value][algorithm] = (ms, io, penalty)
+    tables = collections.defaultdict(dict)
+    with open(source) as lines:
+        for line in lines:
+            match = ROW.match(line.strip())
+            if not match:
+                continue
+            parts = match.group("name").split("/")
+            if len(parts) < 2 or "=" not in parts[-1]:
+                continue
+            algorithm = "/".join(parts[:-1])
+            param, _, value = parts[-1].partition("=")
+            cell = (parse_number(match.group("ms")),
+                    parse_number(match.group("io")),
+                    parse_number(match.group("penalty")))
+            tables[param].setdefault(value, {})[algorithm] = cell
+
+    for param, values in tables.items():
+        algorithms = sorted({a for row in values.values() for a in row})
+        path = os.path.join(out_dir, f"{param}.csv")
+        with open(path, "w", newline="") as out:
+            writer = csv.writer(out)
+            header = [param]
+            for algorithm in algorithms:
+                safe = algorithm.replace("/", "_")
+                header += [f"{safe}_ms", f"{safe}_io", f"{safe}_penalty"]
+            writer.writerow(header)
+            for value, row in values.items():
+                line = [value]
+                for algorithm in algorithms:
+                    cell = row.get(algorithm)
+                    line += list(cell) if cell else ["", "", ""]
+                writer.writerow(line)
+        print(f"wrote {path} ({len(values)} rows x {len(algorithms)} series)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

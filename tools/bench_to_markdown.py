@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Renders benchmark suite output as the markdown tables EXPERIMENTS.md uses.
+
+Usage: tools/bench_to_markdown.py bench_output.txt
+"""
+
+import collections
+import re
+import sys
+
+ROW = re.compile(
+    r"^(?P<name>\S+)/iterations:1\s.*?"
+    r"avg_io=(?P<io>[\d.]+[kMG]?)\s+"
+    r"avg_ms=(?P<ms>[\d.]+[kMG]?)\s+"
+    r"avg_penalty=(?P<penalty>[\d.]+[kMG]?)")
+MICRO = re.compile(
+    r"^(?P<name>topk/\S+)/iterations:1\s+(?P<ms>[\d.]+) ms\s.*?"
+    r"avg_io=(?P<io>[\d.]+[kMG]?)")
+
+SUFFIX = {"k": 1e3, "M": 1e6, "G": 1e9}
+
+
+def num(text):
+    if text and text[-1] in SUFFIX:
+        return float(text[:-1]) * SUFFIX[text[-1]]
+    return float(text)
+
+
+def fmt(value, digits=1):
+    if value >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.{digits}f}"
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    # tables[param] -> ordered {value: {algorithm: (ms, io, penalty)}}
+    tables = collections.defaultdict(lambda: collections.OrderedDict())
+    micro = collections.OrderedDict()
+    with open(path) as lines:
+        for line in lines:
+            line = line.strip()
+            m = MICRO.match(line)
+            if m and "avg_penalty" not in line:
+                micro[m.group("name")] = (float(m.group("ms")) / 20.0,
+                                          num(m.group("io")))
+                continue
+            m = ROW.match(line)
+            if not m:
+                continue
+            parts = m.group("name").split("/")
+            if "=" not in parts[-1]:
+                continue
+            algorithm = "/".join(parts[:-1])
+            param, _, value = parts[-1].partition("=")
+            cell = (num(m.group("ms")), num(m.group("io")),
+                    num(m.group("penalty")))
+            tables[param].setdefault(value, collections.OrderedDict())
+            tables[param][value][algorithm] = cell
+
+    for param, values in tables.items():
+        algorithms = []
+        for row in values.values():
+            for a in row:
+                if a not in algorithms:
+                    algorithms.append(a)
+        print(f"### sweep: {param}\n")
+        header = f"| {param} |"
+        divider = "|---|"
+        for a in algorithms:
+            header += f" {a} ms | {a} I/O |"
+            divider += "---|---|"
+        header += " penalty |"
+        divider += "---|"
+        print(header)
+        print(divider)
+        for value, row in values.items():
+            line = f"| {value} |"
+            penalty = ""
+            for a in algorithms:
+                cell = row.get(a)
+                if cell:
+                    line += f" {fmt(cell[0])} | {fmt(cell[1], 0)} |"
+                    penalty = f"{cell[2]:.3f}"
+                else:
+                    line += " — | — |"
+            line += f" {penalty} |"
+            print(line)
+        print()
+
+    if micro:
+        print("### substrate micro-benchmark (per-query)\n")
+        print("| source | ms/query | pages/query |")
+        print("|---|---|---|")
+        for name, (ms, io) in micro.items():
+            print(f"| {name} | {ms:.2f} | {fmt(io, 1)} |")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,300 @@
+// wsk_cli — command-line front end for the library.
+//
+// Subcommands:
+//   generate  --out FILE [--objects N] [--vocab V] [--seed S] [--gn]
+//       Write a synthetic EURO-like (or GN-like) dataset as CSV.
+//   topk      --data FILE --x X --y Y --keywords "a b c" [--k K] [--alpha A]
+//       Run a spatial keyword top-k query.
+//   whynot    --data FILE --x X --y Y --keywords "a b c" --missing ID
+//             [--missing ID ...] [--k K] [--alpha A] [--lambda L]
+//             [--algorithm bs|advanced|kcr] [--threads T] [--sample T]
+//       Answer a keyword-adaption why-not query.
+//   explain   --data FILE --x X --y Y --keywords "a b c" --missing ID
+//             [--k K] [--alpha A]
+//       Explain why an object is (not) in the result.
+//
+// Example:
+//   wsk_cli generate --out /tmp/pois.csv --objects 5000
+//   wsk_cli topk --data /tmp/pois.csv --x 0.5 --y 0.5 --keywords "term1 term7"
+//   wsk_cli whynot --data /tmp/pois.csv --x 0.5 --y 0.5 \
+//       --keywords "term1 term7" --missing 1234 --algorithm kcr
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/explain.h"
+#include "data/dataset_io.h"
+#include "data/generator.h"
+
+namespace {
+
+using namespace wsk;
+
+// Minimal flag parsing: --name value pairs; repeated flags accumulate.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 0; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc) {
+        values_[argv[i] + 2].push_back(argv[i + 1]);
+        ++i;
+      } else if (std::strncmp(argv[i], "--", 2) == 0) {
+        values_[argv[i] + 2].push_back("");
+      } else {
+        std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+        ok_ = false;
+      }
+    }
+  }
+
+  bool ok() const { return ok_; }
+
+  const char* Get(const std::string& name,
+                  const char* fallback = nullptr) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return it->second.back().c_str();
+  }
+
+  std::vector<std::string> GetAll(const std::string& name) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? std::vector<std::string>{} : it->second;
+  }
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    const char* v = Get(name);
+    return v == nullptr ? fallback : std::strtod(v, nullptr);
+  }
+
+  long GetLong(const std::string& name, long fallback) const {
+    const char* v = Get(name);
+    return v == nullptr ? fallback : std::strtol(v, nullptr, 10);
+  }
+
+ private:
+  std::map<std::string, std::vector<std::string>> values_;
+  bool ok_ = true;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: wsk_cli <generate|topk|whynot|explain> [--flags]\n"
+               "see the header of tools/wsk_cli.cc for details\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Generate(const Args& args) {
+  const char* out = args.Get("out");
+  if (out == nullptr) {
+    std::fprintf(stderr, "generate requires --out FILE\n");
+    return 2;
+  }
+  GeneratorConfig config = args.Has("gn")
+                               ? GnLikeConfig(0.01)
+                               : EuroLikeConfig(0.05);
+  config.num_objects =
+      static_cast<uint32_t>(args.GetLong("objects", config.num_objects));
+  config.vocab_size =
+      static_cast<uint32_t>(args.GetLong("vocab", config.vocab_size));
+  config.seed = static_cast<uint64_t>(args.GetLong("seed", 42));
+  const Dataset dataset = GenerateDataset(config);
+  const Status saved = SaveDatasetCsv(dataset, out);
+  if (!saved.ok()) return Fail(saved);
+  std::printf("wrote %zu objects (%u distinct terms) to %s\n", dataset.size(),
+              dataset.vocabulary().num_terms(), out);
+  return 0;
+}
+
+// Loads the dataset and parses the query flags shared by topk / whynot /
+// explain. Returns nullptr on error (after printing it).
+std::unique_ptr<Dataset> LoadData(const Args& args) {
+  const char* path = args.Get("data");
+  if (path == nullptr) {
+    std::fprintf(stderr, "missing --data FILE\n");
+    return nullptr;
+  }
+  auto loaded = LoadDatasetCsv(path);
+  if (!loaded.ok()) {
+    Fail(loaded.status());
+    return nullptr;
+  }
+  return std::make_unique<Dataset>(std::move(loaded).value());
+}
+
+bool ParseQuery(const Args& args, const Dataset& dataset,
+                SpatialKeywordQuery* query) {
+  query->loc = Point{args.GetDouble("x", 0.5), args.GetDouble("y", 0.5)};
+  query->k = static_cast<uint32_t>(args.GetLong("k", 10));
+  query->alpha = args.GetDouble("alpha", 0.5);
+  const char* keywords = args.Get("keywords");
+  if (keywords == nullptr) {
+    std::fprintf(stderr, "missing --keywords \"a b c\"\n");
+    return false;
+  }
+  std::istringstream words(keywords);
+  std::string word;
+  std::vector<TermId> terms;
+  while (words >> word) {
+    const TermId t = dataset.vocabulary().Find(word);
+    if (t == Vocabulary::kInvalidTermId) {
+      std::fprintf(stderr, "warning: keyword \"%s\" not in the dataset\n",
+                   word.c_str());
+      continue;
+    }
+    terms.push_back(t);
+  }
+  if (terms.empty()) {
+    std::fprintf(stderr, "no usable query keywords\n");
+    return false;
+  }
+  query->doc = KeywordSet(std::move(terms));
+  return true;
+}
+
+std::string FormatDoc(const Dataset& dataset, const KeywordSet& doc) {
+  std::string out = "{";
+  bool first = true;
+  for (TermId t : doc) {
+    if (!first) out += ", ";
+    out += dataset.vocabulary().TermString(t);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+int TopK(const Args& args) {
+  std::unique_ptr<Dataset> dataset = LoadData(args);
+  if (dataset == nullptr) return 1;
+  SpatialKeywordQuery query;
+  if (!ParseQuery(args, *dataset, &query)) return 2;
+
+  auto engine_or = WhyNotEngine::Build(dataset.get(), {});
+  if (!engine_or.ok()) return Fail(engine_or.status());
+  auto engine = std::move(engine_or).value();
+
+  auto top_or = engine->TopK(query);
+  if (!top_or.ok()) return Fail(top_or.status());
+  const std::vector<ScoredObject> top = std::move(top_or).value();
+  std::printf("top-%u for %s at (%g, %g):\n", query.k,
+              FormatDoc(*dataset, query.doc).c_str(), query.loc.x,
+              query.loc.y);
+  for (size_t i = 0; i < top.size(); ++i) {
+    const SpatialObject& o = dataset->object(top[i].id);
+    std::printf("%3zu. object %-8u score %.4f  at (%.4f, %.4f)  %s\n", i + 1,
+                top[i].id, top[i].score, o.loc.x, o.loc.y,
+                FormatDoc(*dataset, o.doc).c_str());
+  }
+  return 0;
+}
+
+int WhyNot(const Args& args) {
+  std::unique_ptr<Dataset> dataset = LoadData(args);
+  if (dataset == nullptr) return 1;
+  SpatialKeywordQuery query;
+  if (!ParseQuery(args, *dataset, &query)) return 2;
+
+  std::vector<ObjectId> missing;
+  for (const std::string& v : args.GetAll("missing")) {
+    missing.push_back(
+        static_cast<ObjectId>(std::strtoul(v.c_str(), nullptr, 10)));
+  }
+  if (missing.empty()) {
+    std::fprintf(stderr, "whynot requires at least one --missing ID\n");
+    return 2;
+  }
+
+  WhyNotAlgorithm algorithm = WhyNotAlgorithm::kKcrBased;
+  const std::string algo_name = args.Get("algorithm", "kcr");
+  if (algo_name == "bs") {
+    algorithm = WhyNotAlgorithm::kBasic;
+  } else if (algo_name == "advanced") {
+    algorithm = WhyNotAlgorithm::kAdvanced;
+  } else if (algo_name != "kcr") {
+    std::fprintf(stderr, "unknown --algorithm %s (bs|advanced|kcr)\n",
+                 algo_name.c_str());
+    return 2;
+  }
+
+  WhyNotOptions options;
+  options.lambda = args.GetDouble("lambda", 0.5);
+  options.num_threads = static_cast<int>(args.GetLong("threads", 0));
+  options.sample_size = static_cast<uint32_t>(args.GetLong("sample", 0));
+
+  auto engine_or = WhyNotEngine::Build(dataset.get(), {});
+  if (!engine_or.ok()) return Fail(engine_or.status());
+  auto engine = std::move(engine_or).value();
+
+  auto result_or = engine->Answer(algorithm, query, missing, options);
+  if (!result_or.ok()) return Fail(result_or.status());
+  const WhyNotResult& result = result_or.value();
+
+  if (result.already_in_result) {
+    std::printf("every \"missing\" object already ranks within the top-%u\n",
+                query.k);
+    return 0;
+  }
+  std::printf("algorithm:      %s\n", WhyNotAlgorithmName(algorithm));
+  std::printf("initial R(M,q): %u (k0 = %u)\n", result.stats.initial_rank,
+              query.k);
+  std::printf("refined doc':   %s\n",
+              FormatDoc(*dataset, result.refined.doc).c_str());
+  std::printf("refined k':     %u\n", result.refined.k);
+  std::printf("penalty:        %.4f (lambda %.2f)\n", result.refined.penalty,
+              options.lambda);
+  std::printf("cost:           %.2f ms, %llu page reads, %llu of %llu "
+              "candidates evaluated\n",
+              result.stats.elapsed_ms,
+              static_cast<unsigned long long>(result.stats.io_reads),
+              static_cast<unsigned long long>(
+                  result.stats.candidates_evaluated),
+              static_cast<unsigned long long>(result.stats.candidates_total));
+  return 0;
+}
+
+int Explain(const Args& args) {
+  std::unique_ptr<Dataset> dataset = LoadData(args);
+  if (dataset == nullptr) return 1;
+  SpatialKeywordQuery query;
+  if (!ParseQuery(args, *dataset, &query)) return 2;
+  const char* missing = args.Get("missing");
+  if (missing == nullptr) {
+    std::fprintf(stderr, "explain requires --missing ID\n");
+    return 2;
+  }
+  auto engine_or = WhyNotEngine::Build(dataset.get(), {});
+  if (!engine_or.ok()) return Fail(engine_or.status());
+  auto engine = std::move(engine_or).value();
+  auto explanation = ExplainMiss(
+      *engine, query,
+      static_cast<ObjectId>(std::strtoul(missing, nullptr, 10)));
+  if (!explanation.ok()) return Fail(explanation.status());
+  std::printf("%s\n", explanation.value().ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args(argc - 2, argv + 2);
+  if (!args.ok()) return Usage();
+  if (command == "generate") return Generate(args);
+  if (command == "topk") return TopK(args);
+  if (command == "whynot") return WhyNot(args);
+  if (command == "explain") return Explain(args);
+  return Usage();
+}
