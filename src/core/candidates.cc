@@ -6,6 +6,13 @@
 
 namespace wsk {
 
+bool CanonicalOrderLess(const Candidate& a, const Candidate& b) {
+  if (a.edit_distance != b.edit_distance)
+    return a.edit_distance < b.edit_distance;
+  if (a.benefit != b.benefit) return a.benefit > b.benefit;
+  return a.doc < b.doc;
+}
+
 CandidateEnumerator::CandidateEnumerator(
     const KeywordSet& doc0, const std::vector<const KeywordSet*>& missing_docs,
     const Vocabulary& vocabulary) {
@@ -54,13 +61,7 @@ CandidateEnumerator::CandidateEnumerator(
     ordered_.push_back(Candidate{std::move(doc), ed, benefit});
   }
 
-  std::sort(ordered_.begin(), ordered_.end(),
-            [](const Candidate& a, const Candidate& b) {
-              if (a.edit_distance != b.edit_distance)
-                return a.edit_distance < b.edit_distance;
-              if (a.benefit != b.benefit) return a.benefit > b.benefit;
-              return a.doc < b.doc;
-            });
+  std::sort(ordered_.begin(), ordered_.end(), CanonicalOrderLess);
 }
 
 std::vector<Candidate> CandidateEnumerator::UnorderedCopy() const {
@@ -83,13 +84,7 @@ std::vector<Candidate> CandidateEnumerator::SampleByBenefit(
               return a.doc < b.doc;
             });
   by_benefit.resize(sample_size);
-  std::sort(by_benefit.begin(), by_benefit.end(),
-            [](const Candidate& a, const Candidate& b) {
-              if (a.edit_distance != b.edit_distance)
-                return a.edit_distance < b.edit_distance;
-              if (a.benefit != b.benefit) return a.benefit > b.benefit;
-              return a.doc < b.doc;
-            });
+  std::sort(by_benefit.begin(), by_benefit.end(), CanonicalOrderLess);
   return by_benefit;
 }
 

@@ -23,6 +23,15 @@ struct Candidate {
   double benefit;          // higher = expected closer to the best refinement
 };
 
+// The canonical candidate order: edit distance ascending, benefit
+// descending, keyword set ascending. It is both the Section IV-C2
+// enumeration order and the documented tie-break among co-optimal
+// refinements: every algorithm returns the canonically-first candidate
+// achieving the minimum penalty (the basic refinement — doc0 with an
+// enlarged k — wins ties against all candidates). A strict total order:
+// the keyword set is unique per candidate.
+bool CanonicalOrderLess(const Candidate& a, const Candidate& b);
+
 class CandidateEnumerator {
  public:
   // `missing_docs` are the keyword sets of the missing objects (their union

@@ -22,11 +22,16 @@ using internal::RankFromIndex;
 struct SharedState {
   std::mutex mu;
 
-  double best_penalty;           // p_c
+  double best_penalty;      // p_c
   RefinedQuery best;
-  uint64_t best_order = UINT64_MAX;  // enumeration index, for stable ties
+  bool best_is_seed = true;  // the basic refinement wins ties outright
+  Candidate best_cand;       // tie-break key, valid once !best_is_seed
 
-  bool stop = false;  // set by the enumeration-order early termination
+  // Candidates at enumeration index >= stop_order are skipped (the
+  // enumeration-order early termination). An index rather than a flag so
+  // that a worker still holding an earlier candidate finishes it —
+  // otherwise the thread schedule could decide which candidate wins.
+  uint64_t stop_order = UINT64_MAX;
 
   // Opt3: objects seen to dominate the missing set under some candidate.
   std::unordered_set<ObjectId> dominator_cache;
@@ -47,17 +52,28 @@ Status EvaluateCandidate(const Dataset& dataset, const SetRTree& tree,
   double p_c;
   {
     std::lock_guard<std::mutex> lock(state->mu);
-    if (state->stop) return Status::Ok();
+    if (order >= state->stop_order) return Status::Ok();
     p_c = state->best_penalty;
   }
 
   const double doc_pen = pm.DocPenalty(cand.edit_distance);
   if (options.opt_enumeration_order && doc_pen >= p_c) {
-    // Candidates are ordered by edit distance, so no later candidate can
-    // beat p_c on the keyword penalty alone: stop the whole enumeration.
+    // Candidates are ordered canonically, so neither this candidate nor any
+    // later one can beat p_c on the keyword penalty alone: stop the
+    // enumeration here. Exception: at doc_pen == p_c this candidate can
+    // still tie, and it wins the tie when it precedes the incumbent in
+    // canonical order — then it must be evaluated, not stopped on. (Every
+    // later candidate is canonically after this one, so the stop itself
+    // never needs to move past `order`.)
     std::lock_guard<std::mutex> lock(state->mu);
-    state->stop = true;
-    return Status::Ok();
+    // best_penalty only decreases, so doc_pen >= best_penalty still holds.
+    const bool wins_tie = doc_pen == state->best_penalty &&
+                          !state->best_is_seed &&
+                          CanonicalOrderLess(cand, state->best_cand);
+    if (!wins_tie) {
+      state->stop_order = std::min(state->stop_order, order);
+      return Status::Ok();
+    }
   }
 
   // Eqn 6 rank bound: shared by Opt1 (query early stop) and Opt3 (cache
@@ -123,9 +139,11 @@ Status EvaluateCandidate(const Dataset& dataset, const SetRTree& tree,
 
   const double penalty = pm.Penalty(rank.value(), cand.edit_distance);
   if (penalty < state->best_penalty ||
-      (penalty == state->best_penalty && order < state->best_order)) {
+      (penalty == state->best_penalty && !state->best_is_seed &&
+       CanonicalOrderLess(cand, state->best_cand))) {
     state->best_penalty = penalty;
-    state->best_order = order;
+    state->best_is_seed = false;
+    state->best_cand = cand;
     state->best.doc = cand.doc;
     state->best.rank = rank.value();
     state->best.k = std::max(original.k, rank.value());
@@ -201,7 +219,7 @@ StatusOr<WhyNotResult> AnswerWhyNotBasic(const Dataset& dataset,
       if (i >= candidates.size()) return;
       {
         std::lock_guard<std::mutex> lock(state.mu);
-        if (state.stop) return;
+        if (i >= state.stop_order) return;
       }
       Status s = EvaluateCandidate(dataset, tree, original, missing_set, pm,
                                    options, candidates[i], i, &state);

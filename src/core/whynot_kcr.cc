@@ -23,7 +23,6 @@ using internal::RankFromIndex;
 // is the max over the per-object bounds (Section VI-A).
 struct CandState {
   const Candidate* cand = nullptr;
-  uint64_t order = 0;                 // global enumeration index
   std::vector<double> tsim;           // TSim(m_i, S)
   std::vector<double> missing_score;  // ST(m_i, q_S)
   std::vector<int64_t> sum_hi;        // Σ_frontier MaxDom per missing
@@ -74,18 +73,22 @@ class BestTracker {
     pruning_threshold_ = std::min(pruning_threshold_, pen_hi);
   }
 
-  // Accepts an exactly-known candidate penalty.
-  void OfferExact(const Candidate& cand, uint64_t order, uint32_t rank,
-                  uint32_t k0, double penalty) {
+  // Accepts an exactly-known candidate penalty. Ties go to the basic
+  // refinement (the seed), then to the canonically-first candidate, so the
+  // winner is independent of batch chunking and thread schedule.
+  void OfferExact(const Candidate& cand, uint32_t rank, uint32_t k0,
+                  double penalty) {
     std::lock_guard<std::mutex> lock(mu_);
     if (penalty < best_.penalty ||
-        (penalty == best_.penalty && order < best_order_)) {
+        (penalty == best_.penalty && !best_is_seed_ &&
+         CanonicalOrderLess(cand, best_cand_))) {
       best_.doc = cand.doc;
       best_.rank = rank;
       best_.k = std::max(k0, rank);
       best_.edit_distance = cand.edit_distance;
       best_.penalty = penalty;
-      best_order_ = order;
+      best_is_seed_ = false;
+      best_cand_ = cand;
     }
     pruning_threshold_ = std::min(pruning_threshold_, penalty);
   }
@@ -109,7 +112,8 @@ class BestTracker {
   mutable std::mutex mu_;
   double pruning_threshold_ = 1.0;
   RefinedQuery best_;
-  uint64_t best_order_ = UINT64_MAX;
+  bool best_is_seed_ = true;
+  Candidate best_cand_;  // tie-break key, valid once !best_is_seed_
 };
 
 class KcrBatchRunner {
@@ -137,9 +141,9 @@ class KcrBatchRunner {
   }
 
   // Runs Algorithm 3 on the candidate batch [begin, end) of the ordered
-  // candidate list (`base_order` = global index of `begin`).
+  // candidate list.
   Status RunBatch(const Candidate* begin, const Candidate* end,
-                  uint64_t base_order, BestTracker* tracker);
+                  BestTracker* tracker);
 
  private:
   // Evaluates the node-level bounds for one candidate, one missing object.
@@ -178,7 +182,7 @@ class KcrBatchRunner {
 };
 
 Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
-                                uint64_t base_order, BestTracker* tracker) {
+                                BestTracker* tracker) {
   const size_t num_cands = static_cast<size_t>(end - begin);
   const size_t num_missing = missing_.size();
   if (num_cands == 0) return Status::Ok();
@@ -189,7 +193,6 @@ Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
   for (size_t c = 0; c < num_cands; ++c) {
     CandState& state = cands[c];
     state.cand = begin + c;
-    state.order = base_order + c;
     state.tsim.resize(num_missing);
     state.missing_score.resize(num_missing);
     state.sum_hi.assign(num_missing, 0);
@@ -340,7 +343,7 @@ Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
                   "KcR batch ended with unconverged candidate bounds");
     const uint32_t rank = static_cast<uint32_t>(cand.RankHi());
     const double penalty = pm_.Penalty(rank, cand.cand->edit_distance);
-    tracker->OfferExact(*cand.cand, cand.order, rank, original_.k, penalty);
+    tracker->OfferExact(*cand.cand, rank, original_.k, penalty);
   }
   return Status::Ok();
 }
@@ -435,7 +438,7 @@ StatusOr<WhyNotResult> AnswerWhyNotKcr(const Dataset& dataset,
                             &chunk_stats[chunk]);
       chunk_status[chunk] = runner.RunBatch(candidates.data() + chunk_begin,
                                             candidates.data() + chunk_end,
-                                            chunk_begin, &tracker);
+                                            &tracker);
     };
     if (num_chunks > 1) {
       ThreadPool pool(options.num_threads);

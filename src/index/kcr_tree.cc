@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
 #include "index/node_codec.h"
 #include "index/str_pack.h"
@@ -51,14 +52,28 @@ void SerializeNode(const KcrTree::Node& node, std::vector<uint8_t>* out) {
   }
 }
 
-KcrTree::Node DeserializeNode(const std::vector<uint8_t>& bytes) {
+// Validates the header before decoding: a corrupted kind byte or entry
+// count must surface as Corruption, not as a decode overrun.
+StatusOr<KcrTree::Node> DeserializeNode(PageId page,
+                                        const std::vector<uint8_t>& bytes) {
   ByteReader reader(bytes.data(), bytes.size());
   KcrTree::Node node;
-  node.is_leaf = reader.GetU8() == 0;
+  const uint8_t kind = reader.GetU8();
+  if (kind > 1) {
+    return Status::Corruption("node " + std::to_string(page) +
+                              ": unknown node kind");
+  }
+  node.is_leaf = kind == 0;
   reader.GetU8();
   reader.GetU8();
   reader.GetU8();
   const uint32_t count = reader.GetU32();
+  const size_t entry_bytes =
+      node.is_leaf ? kLeafEntryBytes : kInnerEntryBytes;
+  if (count > (bytes.size() - kHeaderBytes) / entry_bytes) {
+    return Status::Corruption("node " + std::to_string(page) +
+                              ": entry count overflows the node");
+  }
   if (node.is_leaf) {
     node.leaf_entries.reserve(count);
     for (uint32_t i = 0; i < count; ++i) {
@@ -233,7 +248,7 @@ Status KcrTree::WriteNode(PageId page, const Node& node) {
 StatusOr<KcrTree::Node> KcrTree::ReadNode(PageId page) const {
   std::vector<uint8_t> bytes;
   WSK_RETURN_IF_ERROR(ReadNodeBytes(pool_, page, pages_per_node_, &bytes));
-  return DeserializeNode(bytes);
+  return DeserializeNode(page, bytes);
 }
 
 StatusOr<BlobRef> KcrTree::WriteKeywordSet(const KeywordSet& set) {

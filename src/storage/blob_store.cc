@@ -64,7 +64,11 @@ StatusOr<BlobRef> BlobStore::Append(const uint8_t* data, uint32_t length) {
     current_offset_ = 0;
     std::memset(current_.data(), 0, page_size_);
   }
-  std::memcpy(current_.data() + current_offset_, data, length);
+  if (length != 0) {
+    // memcpy with a null source is UB even at length 0, and empty blobs
+    // legitimately pass data == nullptr.
+    std::memcpy(current_.data() + current_offset_, data, length);
+  }
   const BlobRef ref{current_page_, current_offset_, length};
   current_offset_ += length;
   return ref;
@@ -92,19 +96,40 @@ Status BlobStore::ReadRange(const BlobRef& ref, uint32_t offset,
 }
 
 Status BlobStore::Read(const BlobRef& ref, std::vector<uint8_t>* out) const {
-  out->resize(ref.length);
-  if (ref.length == 0) return Status::Ok();
+  if (ref.length == 0) {
+    out->clear();
+    return Status::Ok();
+  }
   if (ref.page == kInvalidPageId) {
     return Status::InvalidArgument("invalid blob reference");
+  }
+  if (ref.offset >= page_size_) {
+    // A reference decoded from a corrupted page: honoring the offset would
+    // read beyond the fetched page's buffer.
+    return Status::Corruption("blob reference offset past the page end");
   }
   if (ref.page == current_page_) {
     // The blob lives on the still-open page, which exists only in memory;
     // serving it from the buffer also keeps the buffer pool from caching a
     // stale on-disk image of this page. Small blobs never straddle pages,
     // so the whole blob is in current_.
+    if (static_cast<uint64_t>(ref.offset) + ref.length > page_size_) {
+      return Status::Corruption("blob reference overruns the open page");
+    }
+    out->resize(ref.length);
     std::memcpy(out->data(), current_.data() + ref.offset, ref.length);
     return Status::Ok();
   }
+  const uint64_t span_pages =
+      (static_cast<uint64_t>(ref.offset) + ref.length + page_size_ - 1) /
+      page_size_;
+  if (static_cast<uint64_t>(ref.page) + span_pages >
+      pool_->pager()->num_pages()) {
+    // Bounds the allocation below by the file size before any page is
+    // fetched; a corrupted length field can otherwise demand gigabytes.
+    return Status::Corruption("blob reference extends past the file");
+  }
+  out->resize(ref.length);
   uint32_t copied = 0;
   uint32_t offset = ref.offset;
   PageId page = ref.page;

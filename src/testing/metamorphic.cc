@@ -1,0 +1,240 @@
+#include "testing/metamorphic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "common/rng.h"
+#include "testing/oracle.h"
+
+namespace wsk::testing {
+
+namespace {
+
+InvariantOutcome Skip(std::string why) {
+  InvariantOutcome out;
+  out.applicable = false;
+  out.message = std::move(why);
+  return out;
+}
+
+InvariantOutcome Fail(std::string why) {
+  InvariantOutcome out;
+  out.passed = false;
+  out.message = std::move(why);
+  return out;
+}
+
+std::string FormatPenalties(double a, double b) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "penalty %.17g vs %.17g", a, b);
+  return buf;
+}
+
+// Rebuilds a dataset applying a point transform and a keyword-set
+// transform to every object. Vocabulary strings are not carried over (the
+// algorithms only consume document frequencies, which Dataset::Add
+// re-records).
+template <typename PointFn, typename DocFn>
+Dataset RebuildDataset(const Dataset& dataset, PointFn&& point_fn,
+                       DocFn&& doc_fn) {
+  Dataset out;
+  for (const SpatialObject& o : dataset.objects()) {
+    out.Add(point_fn(o.loc), doc_fn(o.doc));
+  }
+  return out;
+}
+
+}  // namespace
+
+InvariantOutcome CheckDominatedInsertion(const Dataset& dataset,
+                                         const SpatialKeywordQuery& query,
+                                         const std::vector<ObjectId>& missing,
+                                         const WhyNotOptions& options,
+                                         const WhyNotSolver& solver) {
+  // Premise: some bounding-box corner lies strictly farther from the query
+  // than every missing object. An object there with a keyword no candidate
+  // can contain scores strictly below min_i ST(m_i, q') for every candidate
+  // q' (the textual term is 0 and the spatial term is smaller), so it can
+  // never enter any rank R(M, q') and the refined query must not move.
+  const Rect& bounds = dataset.bounding_rect();
+  if (bounds.Empty()) return Skip("empty dataset");
+  double max_missing_dist = 0.0;
+  for (ObjectId id : missing) {
+    max_missing_dist = std::max(
+        max_missing_dist, Distance(dataset.object(id).loc, query.loc));
+  }
+  const Point corners[4] = {Point{bounds.min_x, bounds.min_y},
+                            Point{bounds.min_x, bounds.max_y},
+                            Point{bounds.max_x, bounds.min_y},
+                            Point{bounds.max_x, bounds.max_y}};
+  const Point* decoy_loc = nullptr;
+  double best_dist = max_missing_dist;
+  for (const Point& corner : corners) {
+    const double d = Distance(corner, query.loc);
+    if (d > best_dist) {
+      best_dist = d;
+      decoy_loc = &corner;
+    }
+  }
+  if (decoy_loc == nullptr) {
+    return Skip("no bounding-box corner farther than the missing objects");
+  }
+
+  StatusOr<WhyNotResult> baseline =
+      solver(dataset, query, missing, options);
+  if (!baseline.ok()) return Fail("baseline: " + baseline.status().ToString());
+
+  Dataset modified = RebuildDataset(
+      dataset, [](const Point& p) { return p; },
+      [](const KeywordSet& doc) { return doc; });
+  // A term id one past the vocabulary: disjoint from every candidate
+  // (candidates are subsets of doc0 ∪ M.doc), so TextualSimilarity is 0.
+  const TermId fresh = dataset.vocabulary().num_terms();
+  modified.Add(*decoy_loc, KeywordSet{fresh});
+
+  StatusOr<WhyNotResult> with_decoy =
+      solver(modified, query, missing, options);
+  if (!with_decoy.ok()) return Fail("decoy: " + with_decoy.status().ToString());
+
+  const RefinedQuery& a = baseline.value().refined;
+  const RefinedQuery& b = with_decoy.value().refined;
+  if (a.penalty != b.penalty) {
+    return Fail("dominated insertion changed the penalty: " +
+                FormatPenalties(a.penalty, b.penalty));
+  }
+  if (a.rank != b.rank || a.k != b.k || a.edit_distance != b.edit_distance ||
+      !(a.doc == b.doc)) {
+    return Fail("dominated insertion changed the refined query: " +
+                a.doc.ToString() + " k=" + std::to_string(a.k) + " vs " +
+                b.doc.ToString() + " k=" + std::to_string(b.k));
+  }
+  return InvariantOutcome{};
+}
+
+InvariantOutcome CheckGeometryInvariance(const Dataset& dataset,
+                                         const SpatialKeywordQuery& query,
+                                         const std::vector<ObjectId>& missing,
+                                         const WhyNotOptions& options,
+                                         const WhyNotSolver& solver,
+                                         double scale, double dx, double dy) {
+  if (!(scale > 0.0)) return Skip("non-positive scale");
+  StatusOr<WhyNotResult> baseline = solver(dataset, query, missing, options);
+  if (!baseline.ok()) return Fail("baseline: " + baseline.status().ToString());
+
+  auto transform = [scale, dx, dy](const Point& p) {
+    return Point{p.x * scale + dx, p.y * scale + dy};
+  };
+  Dataset moved = RebuildDataset(
+      dataset, transform, [](const KeywordSet& doc) { return doc; });
+  SpatialKeywordQuery moved_query = query;
+  moved_query.loc = transform(query.loc);
+
+  StatusOr<WhyNotResult> transformed =
+      solver(moved, moved_query, missing, options);
+  if (!transformed.ok()) {
+    return Fail("transformed: " + transformed.status().ToString());
+  }
+
+  const RefinedQuery& a = baseline.value().refined;
+  const RefinedQuery& b = transformed.value().refined;
+  if (std::fabs(a.penalty - b.penalty) > 1e-9) {
+    return Fail("geometry transform changed the penalty: " +
+                FormatPenalties(a.penalty, b.penalty));
+  }
+  if (!(a.doc == b.doc) || a.k != b.k) {
+    return Fail("geometry transform changed the refinement: " +
+                a.doc.ToString() + " k=" + std::to_string(a.k) + " vs " +
+                b.doc.ToString() + " k=" + std::to_string(b.k));
+  }
+  return InvariantOutcome{};
+}
+
+InvariantOutcome CheckVocabularyPermutation(
+    const Dataset& dataset, const SpatialKeywordQuery& query,
+    const std::vector<ObjectId>& missing, const WhyNotOptions& options,
+    const WhyNotSolver& solver, uint64_t perm_seed) {
+  StatusOr<WhyNotResult> baseline = solver(dataset, query, missing, options);
+  if (!baseline.ok()) return Fail("baseline: " + baseline.status().ToString());
+
+  const uint32_t num_terms = dataset.vocabulary().num_terms();
+  if (num_terms < 2) return Skip("vocabulary too small to permute");
+  std::vector<TermId> perm(num_terms);
+  std::iota(perm.begin(), perm.end(), 0u);
+  Rng rng(perm_seed * 0x2545f4914f6cdd1dull + 7);
+  rng.Shuffle(perm);
+
+  auto map_doc = [&perm](const KeywordSet& doc) {
+    std::vector<TermId> mapped;
+    mapped.reserve(doc.size());
+    for (TermId t : doc) mapped.push_back(perm[t]);
+    return KeywordSet(std::move(mapped));
+  };
+  Dataset renamed = RebuildDataset(
+      dataset, [](const Point& p) { return p; }, map_doc);
+  SpatialKeywordQuery renamed_query = query;
+  renamed_query.doc = map_doc(query.doc);
+
+  StatusOr<WhyNotResult> permuted =
+      solver(renamed, renamed_query, missing, options);
+  if (!permuted.ok()) return Fail("permuted: " + permuted.status().ToString());
+
+  const RefinedQuery& a = baseline.value().refined;
+  const RefinedQuery& b = permuted.value().refined;
+  if (a.penalty != b.penalty) {
+    return Fail("vocabulary permutation changed the penalty: " +
+                FormatPenalties(a.penalty, b.penalty));
+  }
+  if (baseline.value().already_in_result !=
+      permuted.value().already_in_result) {
+    return Fail("vocabulary permutation flipped already_in_result");
+  }
+  // The permuted winner must still revive the missing objects.
+  if (!permuted.value().already_in_result) {
+    SpatialKeywordQuery refined = renamed_query;
+    refined.doc = b.doc;
+    const uint32_t rank = OracleRank(renamed, refined, missing);
+    if (rank > std::max(b.k, renamed_query.k)) {
+      return Fail("permuted refinement does not revive the missing set: "
+                  "rank " +
+                  std::to_string(rank) + " > k' " + std::to_string(b.k));
+    }
+  }
+  return InvariantOutcome{};
+}
+
+InvariantOutcome CheckZeroPenaltyIff(const Dataset& dataset,
+                                     const SpatialKeywordQuery& query,
+                                     const std::vector<ObjectId>& missing,
+                                     const WhyNotOptions& options,
+                                     const WhyNotSolver& solver) {
+  if (options.lambda <= 0.0 || options.lambda >= 1.0) {
+    return Skip("zero-penalty iff only holds for lambda in (0, 1)");
+  }
+  const uint32_t rank = OracleRank(dataset, query, missing);
+  const bool in_topk = rank <= query.k;
+
+  StatusOr<WhyNotResult> result = solver(dataset, query, missing, options);
+  if (!result.ok()) return Fail("solver: " + result.status().ToString());
+  const WhyNotResult& r = result.value();
+
+  if (r.already_in_result != in_topk) {
+    return Fail("already_in_result=" + std::to_string(r.already_in_result) +
+                " but reference rank " + std::to_string(rank) + " vs k0 " +
+                std::to_string(query.k));
+  }
+  if (in_topk) {
+    if (r.refined.penalty != 0.0 || !(r.refined.doc == query.doc)) {
+      return Fail("in-top-k instance must refine to the original query with "
+                  "penalty 0, got " +
+                  std::to_string(r.refined.penalty));
+    }
+  } else if (!(r.refined.penalty > 0.0)) {
+    return Fail("missing objects outside the top-k but penalty is " +
+                std::to_string(r.refined.penalty));
+  }
+  return InvariantOutcome{};
+}
+
+}  // namespace wsk::testing

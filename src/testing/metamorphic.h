@@ -1,0 +1,89 @@
+// Metamorphic invariants over why-not solvers.
+//
+// Each check derives a transformed instance whose correct answer is known
+// from the original instance's answer — no oracle enumeration needed — and
+// verifies that the solver's outputs relate as the theory demands:
+//   * DominatedInsertion — adding an object that scores strictly below
+//     every missing object under every candidate query cannot change the
+//     refined query (its penalty, rank, or keywords);
+//   * GeometryInvariance — uniformly scaling and translating all
+//     coordinates (and the query location) preserves the refinement, since
+//     SDist is normalized by the dataset diagonal;
+//   * VocabularyPermutation — renaming term ids by any permutation
+//     preserves the minimum penalty (set algebra and document frequencies
+//     are carried along by the renaming);
+//   * ZeroPenaltyIff — for lambda in (0, 1), Penalty(q, q') == 0 holds iff
+//     the missing objects already rank within the original top-k.
+//
+// Checks are solver-agnostic: pass a callback that runs BS, AdvancedBS,
+// KcRBased, or any future algorithm against the dataset it is handed.
+#ifndef WSK_TESTING_METAMORPHIC_H_
+#define WSK_TESTING_METAMORPHIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/whynot.h"
+#include "data/dataset.h"
+#include "data/query.h"
+
+namespace wsk::testing {
+
+// Runs one why-not algorithm against the given (possibly transformed)
+// instance. The dataset reference is only valid for the duration of the
+// call.
+using WhyNotSolver = std::function<StatusOr<WhyNotResult>(
+    const Dataset& dataset, const SpatialKeywordQuery& query,
+    const std::vector<ObjectId>& missing, const WhyNotOptions& options)>;
+
+struct InvariantOutcome {
+  bool applicable = true;  // the check's premise held for this instance
+  bool passed = true;
+  std::string message;  // diagnostics when !passed (or why skipped)
+};
+
+// Adds a decoy object (fresh keyword, placed at the bounding-box corner
+// farthest from the query) and asserts the refined query is unchanged.
+// Inapplicable when no corner lies strictly farther than every missing
+// object — then no provably dominated placement exists.
+InvariantOutcome CheckDominatedInsertion(const Dataset& dataset,
+                                         const SpatialKeywordQuery& query,
+                                         const std::vector<ObjectId>& missing,
+                                         const WhyNotOptions& options,
+                                         const WhyNotSolver& solver);
+
+// Rebuilds the instance under p -> scale * p + (dx, dy) (scale > 0) and
+// asserts penalty (tolerance 1e-9 for float re-association), keywords, and
+// k' are preserved. Powers of two for `scale` minimize rounding noise.
+InvariantOutcome CheckGeometryInvariance(const Dataset& dataset,
+                                         const SpatialKeywordQuery& query,
+                                         const std::vector<ObjectId>& missing,
+                                         const WhyNotOptions& options,
+                                         const WhyNotSolver& solver,
+                                         double scale, double dx, double dy);
+
+// Rebuilds the instance under a random permutation of term ids (seeded by
+// perm_seed) and asserts the minimum penalty is bit-identical and that the
+// returned refinement still revives the missing objects. The winning
+// keyword set may legitimately differ: the canonical tie-break order
+// depends on term-id order.
+InvariantOutcome CheckVocabularyPermutation(
+    const Dataset& dataset, const SpatialKeywordQuery& query,
+    const std::vector<ObjectId>& missing, const WhyNotOptions& options,
+    const WhyNotSolver& solver, uint64_t perm_seed);
+
+// Asserts already_in_result/zero-penalty agree with the reference rank.
+// Inapplicable at lambda == 0 or lambda == 1, where a zero penalty does not
+// imply membership in the original top-k.
+InvariantOutcome CheckZeroPenaltyIff(const Dataset& dataset,
+                                     const SpatialKeywordQuery& query,
+                                     const std::vector<ObjectId>& missing,
+                                     const WhyNotOptions& options,
+                                     const WhyNotSolver& solver);
+
+}  // namespace wsk::testing
+
+#endif  // WSK_TESTING_METAMORPHIC_H_

@@ -1,0 +1,171 @@
+#include "testing/oracle.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/macros.h"
+#include "core/penalty.h"
+#include "text/similarity.h"
+
+namespace wsk::testing {
+
+namespace {
+
+// Canonical order over refinements: edit distance ascending, benefit
+// descending, keyword set ascending. The basic refinement (edit distance 0)
+// sorts before every candidate, which encodes the seed-wins-ties rule.
+bool CanonicalRefinementLess(const OracleRefinement& a,
+                             const OracleRefinement& b) {
+  if (a.edit_distance != b.edit_distance)
+    return a.edit_distance < b.edit_distance;
+  if (a.benefit != b.benefit) return a.benefit > b.benefit;
+  return a.doc < b.doc;
+}
+
+}  // namespace
+
+uint32_t OracleRank(const Dataset& dataset, const SpatialKeywordQuery& query,
+                    const std::vector<ObjectId>& missing) {
+  WSK_CHECK(!missing.empty());
+  const double diagonal = dataset.diagonal();
+  double min_score = std::numeric_limits<double>::infinity();
+  for (ObjectId id : missing) {
+    min_score =
+        std::min(min_score, Score(dataset.object(id), query, diagonal));
+  }
+  uint32_t better = 0;
+  for (const SpatialObject& o : dataset.objects()) {
+    if (Score(o, query, diagonal) > min_score) ++better;
+  }
+  return better + 1;
+}
+
+OracleResult SolveWhyNotOracle(const Dataset& dataset,
+                               const SpatialKeywordQuery& original,
+                               const std::vector<ObjectId>& missing,
+                               double lambda) {
+  WSK_CHECK(!original.doc.empty());
+  WSK_CHECK(!missing.empty());
+  WSK_CHECK(lambda >= 0.0 && lambda <= 1.0);
+  for (ObjectId id : missing) WSK_CHECK(id < dataset.size());
+
+  OracleResult out;
+  out.initial_rank = OracleRank(dataset, original, missing);
+  if (out.initial_rank <= original.k) {
+    out.already_in_result = true;
+    out.best.doc = original.doc;
+    out.best.rank = out.initial_rank;
+    out.best.k = original.k;
+    out.best.penalty = 0.0;
+    return out;
+  }
+
+  // The candidate universe doc0 ∪ M.doc, with per-term doc0 membership and
+  // the aggregate particularity Parti(M, t) = Σ_i Parti(m_i, t).
+  const KeywordSet universe = original.doc.Union(dataset.UnionDocs(missing));
+  const uint32_t n = static_cast<uint32_t>(universe.size());
+  WSK_CHECK_MSG(n >= 1 && n <= 20, "oracle universe has %u terms", n);
+  const std::vector<TermId>& terms = universe.terms();
+  std::vector<bool> in_doc0(n);
+  std::vector<double> particularity(n, 0.0);
+  for (uint32_t i = 0; i < n; ++i) {
+    in_doc0[i] = original.doc.Contains(terms[i]);
+    for (ObjectId id : missing) {
+      particularity[i] +=
+          dataset.vocabulary().Particularity(dataset.object(id).doc, terms[i]);
+    }
+  }
+
+  const PenaltyModel pm(lambda, original.k, out.initial_rank, n);
+
+  // Per-object spatial part of Eqn 1, precomputed once; the per-candidate
+  // score reproduces Score()'s arithmetic exactly.
+  const double diagonal = dataset.diagonal();
+  std::vector<double> sdist(dataset.size());
+  for (const SpatialObject& o : dataset.objects()) {
+    sdist[o.id] = Distance(o.loc, original.loc) / diagonal;
+  }
+
+  double min_penalty = std::numeric_limits<double>::infinity();
+  std::vector<OracleRefinement> co_optimal;
+  auto offer = [&](OracleRefinement refinement) {
+    if (refinement.penalty < min_penalty) {
+      min_penalty = refinement.penalty;
+      co_optimal.clear();
+    }
+    if (refinement.penalty == min_penalty) {
+      co_optimal.push_back(std::move(refinement));
+    }
+  };
+
+  // The basic refinement: keep doc0, enlarge k' to R. Penalty = lambda.
+  {
+    OracleRefinement seed;
+    seed.doc = original.doc;
+    seed.edit_distance = 0;
+    seed.rank = out.initial_rank;
+    seed.k = std::max(original.k, out.initial_rank);
+    seed.benefit = 0.0;
+    // Eqn 4 gives exactly lambda for the basic refinement (the rank ratio
+    // is R-k0 over itself); the literal avoids the (lambda * dk) / dk
+    // rounding that pm.Penalty would introduce and matches the value the
+    // algorithms seed their search with.
+    seed.penalty = lambda;
+    offer(std::move(seed));
+    ++out.refinements_enumerated;
+  }
+
+  const uint32_t total = (1u << n) - 1;
+  for (uint32_t mask = 1; mask <= total; ++mask) {
+    uint32_t ed = 0;
+    double benefit = 0.0;
+    for (uint32_t i = 0; i < n; ++i) {
+      const bool in_candidate = (mask & (1u << i)) != 0;
+      if (in_candidate == in_doc0[i]) continue;
+      ++ed;
+      benefit += in_candidate ? particularity[i] : -particularity[i];
+    }
+    if (ed == 0) continue;  // doc0 itself, covered by the basic refinement
+    ++out.refinements_enumerated;
+
+    std::vector<TermId> picked;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) picked.push_back(terms[i]);
+    }
+    const KeywordSet doc = KeywordSet::FromSorted(std::move(picked));
+
+    // R(M, q') by linear scan, mirroring Score (Eqn 1) exactly.
+    double min_score = std::numeric_limits<double>::infinity();
+    for (ObjectId id : missing) {
+      const double tsim =
+          TextualSimilarity(dataset.object(id).doc, doc, original.model);
+      const double score = original.alpha * (1.0 - sdist[id]) +
+                           (1.0 - original.alpha) * tsim;
+      min_score = std::min(min_score, score);
+    }
+    uint32_t better = 0;
+    for (const SpatialObject& o : dataset.objects()) {
+      const double tsim = TextualSimilarity(o.doc, doc, original.model);
+      const double score = original.alpha * (1.0 - sdist[o.id]) +
+                           (1.0 - original.alpha) * tsim;
+      if (score > min_score) ++better;
+    }
+    const uint32_t rank = better + 1;
+
+    OracleRefinement refinement;
+    refinement.doc = doc;
+    refinement.edit_distance = ed;
+    refinement.rank = rank;
+    refinement.k = std::max(original.k, rank);
+    refinement.benefit = benefit;
+    refinement.penalty = pm.Penalty(rank, ed);
+    offer(std::move(refinement));
+  }
+
+  std::sort(co_optimal.begin(), co_optimal.end(), CanonicalRefinementLess);
+  out.best = co_optimal.front();
+  out.co_optimal = std::move(co_optimal);
+  return out;
+}
+
+}  // namespace wsk::testing

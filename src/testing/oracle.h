@@ -1,0 +1,70 @@
+// Brute-force reference oracle for the keyword-adapted why-not query.
+//
+// The oracle is deliberately independent of the production code paths it
+// checks: candidates are enumerated from raw subset masks (not through
+// CandidateEnumerator's ordering machinery), ranks are computed by a linear
+// scan over the object table (never through the SetR-/KcR-tree), and the
+// full co-optimal set is materialized instead of a single winner. A bug in
+// the enumeration order, the Eqn 6 rank bound, the dominator bounds, or the
+// index traversal therefore cannot hide in the reference. The only shared
+// arithmetic is Score (Eqn 1, the reference ranking semantics) and
+// PenaltyModel (Eqn 4), so penalties compare bit-exactly against the
+// algorithms' output.
+#ifndef WSK_TESTING_ORACLE_H_
+#define WSK_TESTING_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/query.h"
+#include "text/keyword_set.h"
+
+namespace wsk::testing {
+
+// One refined query considered by the oracle. `benefit` is the Eqn 7
+// particularity sum that the canonical tie-break order uses.
+struct OracleRefinement {
+  KeywordSet doc;              // doc'
+  uint32_t edit_distance = 0;  // ED(doc0, doc'); 0 only for doc0 itself
+  uint32_t rank = 0;           // R(M, q') by linear scan
+  uint32_t k = 0;              // k' = max(k0, rank)
+  double benefit = 0.0;
+  double penalty = 0.0;        // Eqn 4
+};
+
+struct OracleResult {
+  uint32_t initial_rank = 0;       // R(M, q)
+  bool already_in_result = false;  // initial_rank <= k0
+
+  // The canonical winner every algorithm must return: the basic refinement
+  // (doc0 with k' = R) when it ties the optimum, otherwise the co-optimal
+  // candidate earliest in the canonical enumeration order (edit distance
+  // ascending, benefit descending, keyword set ascending).
+  OracleRefinement best;
+
+  // Every refinement achieving the exact minimum penalty, in canonical
+  // order; best == co_optimal.front(). Empty iff already_in_result.
+  std::vector<OracleRefinement> co_optimal;
+
+  uint64_t refinements_enumerated = 0;  // subsets tried (incl. doc0)
+};
+
+// R(M, query) = 1 + number of objects scoring strictly above the worst
+// missing object, computed by a linear scan over the dataset.
+uint32_t OracleRank(const Dataset& dataset, const SpatialKeywordQuery& query,
+                    const std::vector<ObjectId>& missing);
+
+// Exact solution by exhaustive enumeration: every non-empty subset of
+// doc0 ∪ M.doc is ranked by linear scan (doc0 itself contributes the basic
+// refinement with k' = R). Preconditions: doc0 non-empty, missing non-empty
+// and in range, alpha in (0, 1), lambda in [0, 1], and |doc0 ∪ M.doc| <= 20
+// (2^20 subsets is the cost ceiling a test should ever pay).
+OracleResult SolveWhyNotOracle(const Dataset& dataset,
+                               const SpatialKeywordQuery& original,
+                               const std::vector<ObjectId>& missing,
+                               double lambda);
+
+}  // namespace wsk::testing
+
+#endif  // WSK_TESTING_ORACLE_H_

@@ -1,0 +1,156 @@
+#include "testing/scenario_gen.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace wsk::testing {
+
+namespace {
+
+// The object at 1-based `position` of the reference ranking (score
+// descending, id ascending), by full sort — the generator never consults an
+// index, so a broken index cannot bias instance selection.
+ObjectId ObjectAtReferencePosition(const std::vector<ScoredObject>& ranking,
+                                   uint32_t position) {
+  return ranking[position - 1].id;
+}
+
+std::vector<ScoredObject> ReferenceRanking(const Dataset& dataset,
+                                           const SpatialKeywordQuery& query) {
+  const double diagonal = dataset.diagonal();
+  std::vector<ScoredObject> scored;
+  scored.reserve(dataset.size());
+  for (const SpatialObject& o : dataset.objects()) {
+    scored.push_back(ScoredObject{o.id, Score(o, query, diagonal)});
+  }
+  std::sort(scored.begin(), scored.end(), ScoreGreater());
+  return scored;
+}
+
+}  // namespace
+
+std::string WhyNotScenario::Describe() const {
+  char buf[512];
+  std::string missing_str;
+  for (ObjectId id : missing) {
+    if (!missing_str.empty()) missing_str += ",";
+    missing_str += std::to_string(id);
+  }
+  std::snprintf(buf, sizeof(buf),
+                "seed=%llu objects=%u vocab=%u zipf=%.3f clusters=%u "
+                "uniform=%.3f dseed=%llu k0=%u alpha=%.17g lambda=%.17g "
+                "threads=%d doc0=%s missing=[%s]",
+                static_cast<unsigned long long>(seed),
+                dataset_config.num_objects, dataset_config.vocab_size,
+                dataset_config.zipf_skew, dataset_config.num_clusters,
+                dataset_config.uniform_fraction,
+                static_cast<unsigned long long>(dataset_config.seed), query.k,
+                query.alpha, options.lambda, options.num_threads,
+                query.doc.ToString().c_str(), missing_str.c_str());
+  return std::string(buf) +
+         "  (rebuild with wsk::testing::MakeScenario(seed))";
+}
+
+std::optional<WhyNotScenario> MakeScenario(uint64_t seed,
+                                           const ScenarioOptions& opts) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x51ed270b0ull);
+
+  WhyNotScenario scenario;
+  scenario.seed = seed;
+
+  GeneratorConfig config;
+  config.num_objects =
+      opts.min_objects + static_cast<uint32_t>(rng.NextUint64(
+                             opts.max_objects - opts.min_objects + 1));
+  config.vocab_size = 24 + static_cast<uint32_t>(rng.NextUint64(40));
+  config.zipf_skew = rng.NextDouble(0.0, 1.4);
+  config.doc_size_mean = rng.NextDouble(2.5, 5.5);
+  config.doc_size_min = 1;
+  switch (rng.NextUint64(3)) {
+    case 0:  // pure uniform layout
+      config.num_clusters = 1;
+      config.uniform_fraction = 1.0;
+      break;
+    case 1:  // pure clustered layout
+      config.num_clusters = 1 + static_cast<uint32_t>(rng.NextUint64(12));
+      config.uniform_fraction = 0.0;
+      break;
+    default:  // mixed
+      config.num_clusters = 1 + static_cast<uint32_t>(rng.NextUint64(12));
+      config.uniform_fraction = rng.NextDouble();
+      break;
+  }
+  config.cluster_stddev = rng.NextDouble(0.01, 0.06);
+  config.seed = seed * 977 + 13;
+  scenario.dataset_config = config;
+  scenario.dataset = GenerateDataset(config);
+  const Dataset& dataset = scenario.dataset;
+
+  // Query shape, with deliberate boundary mass on k0 = 1 and extreme alpha.
+  scenario.query.k =
+      rng.NextBool(0.15) ? 1 : 2 + static_cast<uint32_t>(rng.NextUint64(8));
+  if (rng.NextBool(0.1)) {
+    scenario.query.alpha = 0.05;
+  } else if (rng.NextBool(0.1)) {
+    scenario.query.alpha = 0.95;
+  } else {
+    scenario.query.alpha = rng.NextDouble(0.1, 0.9);
+  }
+  if (opts.boundary_lambda && rng.NextBool(0.07)) {
+    scenario.options.lambda = 0.0;
+  } else if (opts.boundary_lambda && rng.NextBool(0.07)) {
+    scenario.options.lambda = 1.0;
+  } else {
+    scenario.options.lambda = rng.NextDouble(0.05, 0.95);
+  }
+  if (opts.vary_threads && rng.NextBool(0.3)) {
+    scenario.options.num_threads =
+        2 + static_cast<int>(rng.NextUint64(2));
+  }
+  scenario.query.loc = Point{rng.NextDouble(), rng.NextDouble()};
+
+  // doc0 and the missing set, retried within the seed's deterministic
+  // stream until the candidate universe fits the oracle budget.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const KeywordSet& pivot =
+        dataset.object(static_cast<ObjectId>(rng.NextUint64(dataset.size())))
+            .doc;
+    std::vector<TermId> doc0_terms(pivot.begin(), pivot.end());
+    rng.Shuffle(doc0_terms);
+    const size_t doc0_size =
+        std::min<size_t>(doc0_terms.size(),
+                         1 + static_cast<size_t>(rng.NextUint64(4)));
+    doc0_terms.resize(doc0_size);
+    if (doc0_terms.empty()) continue;
+    scenario.query.doc = KeywordSet(std::move(doc0_terms));
+
+    const std::vector<ScoredObject> ranking =
+        ReferenceRanking(dataset, scenario.query);
+    const uint32_t num_missing =
+        1 + static_cast<uint32_t>(rng.NextUint64(opts.max_missing));
+    std::vector<ObjectId> missing;
+    KeywordSet universe = scenario.query.doc;
+    for (uint32_t m = 0; m < num_missing; ++m) {
+      const uint32_t position =
+          scenario.query.k + 1 +
+          static_cast<uint32_t>(rng.NextUint64(3 * scenario.query.k + 2));
+      if (position > dataset.size()) continue;
+      const ObjectId id = ObjectAtReferencePosition(ranking, position);
+      if (std::find(missing.begin(), missing.end(), id) != missing.end()) {
+        continue;
+      }
+      const KeywordSet grown = universe.Union(dataset.object(id).doc);
+      if (grown.size() > opts.max_universe) continue;  // would blow budget
+      universe = grown;
+      missing.push_back(id);
+    }
+    if (missing.empty()) continue;
+    scenario.missing = std::move(missing);
+    return scenario;
+  }
+  return std::nullopt;
+}
+
+}  // namespace wsk::testing

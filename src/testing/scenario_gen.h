@@ -1,0 +1,68 @@
+// Seeded generation of randomized why-not instances for differential
+// testing.
+//
+// Every instance is a pure function of a single uint64 seed: the dataset
+// (clustered, uniform, or mixed layout; zipfian keyword skew), the query
+// (including boundary k0 / alpha values), the missing-object set (1..3
+// objects drawn from beyond the top-k by reference ranking), and the
+// algorithm options (boundary lambda values, occasional multi-threaded
+// evaluation). A failing test therefore reproduces from one line: feed the
+// printed seed back into MakeScenario with the same ScenarioOptions.
+#ifndef WSK_TESTING_SCENARIO_GEN_H_
+#define WSK_TESTING_SCENARIO_GEN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/whynot.h"
+#include "data/dataset.h"
+#include "data/generator.h"
+#include "data/query.h"
+
+namespace wsk::testing {
+
+struct ScenarioOptions {
+  uint32_t min_objects = 80;
+  uint32_t max_objects = 200;
+
+  // Cap on |doc0 ∪ M.doc|: the oracle enumerates 2^universe subsets and
+  // ranks each by linear scan, so this bounds the per-instance cost.
+  uint32_t max_universe = 11;
+
+  uint32_t max_missing = 3;
+
+  // Occasionally emit the exact boundary values lambda = 0 and lambda = 1.
+  bool boundary_lambda = true;
+
+  // Occasionally set WhyNotOptions::num_threads to 2..3 so the parallel
+  // candidate path runs under the harness (and under TSan in CI).
+  bool vary_threads = false;
+};
+
+struct WhyNotScenario {
+  uint64_t seed = 0;
+  GeneratorConfig dataset_config;
+  Dataset dataset;
+  SpatialKeywordQuery query;
+  std::vector<ObjectId> missing;
+  WhyNotOptions options;  // lambda (and sometimes num_threads) filled in
+
+  // One-line repro: every derived parameter plus the seed that regenerates
+  // the instance deterministically.
+  std::string Describe() const;
+};
+
+// Builds the instance for `seed`. Returns nullopt when the seed yields no
+// usable instance (e.g., the candidate universe cannot be kept within
+// opts.max_universe); callers should simply skip such seeds. Instances
+// where the missing objects already rank within the top-k are returned
+// (already_in_result is a contract worth testing), but the generator aims
+// beyond the top-k so they are rare.
+std::optional<WhyNotScenario> MakeScenario(uint64_t seed,
+                                           const ScenarioOptions& opts = {});
+
+}  // namespace wsk::testing
+
+#endif  // WSK_TESTING_SCENARIO_GEN_H_

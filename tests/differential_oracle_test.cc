@@ -1,0 +1,159 @@
+// Differential harness (ROADMAP: correctness tooling): every why-not
+// algorithm runs against the brute-force oracle over randomized seeded
+// instances, plus metamorphic invariants on a rotating subset of seeds.
+//
+// Failures print the scenario's one-line description — paste the seed into
+// wsk::testing::MakeScenario (with ScenarioOptions{.vary_threads = true})
+// to reproduce the exact instance locally.
+//
+// The suite is sharded into 4 ctest entries via GTEST_TOTAL_SHARDS /
+// GTEST_SHARD_INDEX (see tests/CMakeLists.txt), so the 260 seeds run in
+// parallel and stay within the per-test timeout under sanitizers.
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/whynot.h"
+#include "testing/metamorphic.h"
+#include "testing/oracle.h"
+#include "testing/scenario_gen.h"
+
+namespace wsk {
+namespace {
+
+constexpr uint64_t kFirstSeed = 1;
+constexpr uint64_t kLastSeed = 260;  // inclusive; acceptance floor is 200
+
+constexpr WhyNotAlgorithm kAlgorithms[] = {
+    WhyNotAlgorithm::kBasic,
+    WhyNotAlgorithm::kAdvanced,
+    WhyNotAlgorithm::kKcrBased,
+};
+
+testing::ScenarioOptions DifferentialOptions() {
+  testing::ScenarioOptions opts;
+  opts.vary_threads = true;  // exercise the parallel paths (TSan in CI)
+  return opts;
+}
+
+// A solver callback over a freshly built engine: metamorphic checks hand
+// transformed datasets in, so the indexes must be rebuilt per call.
+testing::WhyNotSolver EngineSolver(WhyNotAlgorithm algorithm) {
+  return [algorithm](const Dataset& dataset, const SpatialKeywordQuery& query,
+                     const std::vector<ObjectId>& missing,
+                     const WhyNotOptions& options) -> StatusOr<WhyNotResult> {
+    WhyNotEngine::Config config;
+    config.node_capacity = 16;
+    StatusOr<std::unique_ptr<WhyNotEngine>> engine =
+        WhyNotEngine::Build(&dataset, config);
+    if (!engine.ok()) return engine.status();
+    return engine.value()->Answer(algorithm, query, missing, options);
+  };
+}
+
+class DifferentialOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialOracleTest, AlgorithmsMatchOracle) {
+  const uint64_t seed = GetParam();
+  std::optional<testing::WhyNotScenario> scenario =
+      testing::MakeScenario(seed, DifferentialOptions());
+  if (!scenario.has_value()) {
+    GTEST_SKIP() << "seed " << seed << " yields no usable instance";
+  }
+  SCOPED_TRACE(scenario->Describe());
+
+  const testing::OracleResult oracle = testing::SolveWhyNotOracle(
+      scenario->dataset, scenario->query, scenario->missing,
+      scenario->options.lambda);
+
+  WhyNotEngine::Config config;
+  config.node_capacity = 16;
+  StatusOr<std::unique_ptr<WhyNotEngine>> built =
+      WhyNotEngine::Build(&scenario->dataset, config);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const std::unique_ptr<WhyNotEngine>& engine = built.value();
+
+  for (WhyNotAlgorithm algorithm : kAlgorithms) {
+    SCOPED_TRACE(WhyNotAlgorithmName(algorithm));
+    StatusOr<WhyNotResult> got = engine->Answer(
+        algorithm, scenario->query, scenario->missing, scenario->options);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    const WhyNotResult& result = got.value();
+
+    EXPECT_EQ(result.already_in_result, oracle.already_in_result);
+    EXPECT_EQ(result.stats.initial_rank, oracle.initial_rank);
+    if (oracle.already_in_result) {
+      EXPECT_TRUE(result.refined.doc == scenario->query.doc)
+          << "got " << result.refined.doc.ToString();
+      EXPECT_EQ(result.refined.k, scenario->query.k);
+      continue;
+    }
+
+    // The headline check: the minimum penalty must match the oracle
+    // bit-exactly (both sides share PenaltyModel and Score arithmetic).
+    EXPECT_EQ(result.refined.penalty, oracle.best.penalty);
+
+    // The returned refinement must be the canonical co-optimal winner.
+    EXPECT_TRUE(result.refined.doc == oracle.best.doc)
+        << "got " << result.refined.doc.ToString() << " want "
+        << oracle.best.doc.ToString() << " among "
+        << oracle.co_optimal.size() << " co-optimal refinements";
+    EXPECT_EQ(result.refined.edit_distance, oracle.best.edit_distance);
+    EXPECT_EQ(result.refined.rank, oracle.best.rank);
+    EXPECT_EQ(result.refined.k, oracle.best.k);
+  }
+}
+
+// Metamorphic invariants are several times the cost of a plain comparison
+// (each check re-solves a transformed instance, rebuilding both indexes),
+// so each seed runs one invariant, rotated by seed, for every algorithm.
+TEST_P(DifferentialOracleTest, MetamorphicInvariants) {
+  const uint64_t seed = GetParam();
+  std::optional<testing::WhyNotScenario> scenario =
+      testing::MakeScenario(seed, DifferentialOptions());
+  if (!scenario.has_value()) {
+    GTEST_SKIP() << "seed " << seed << " yields no usable instance";
+  }
+  SCOPED_TRACE(scenario->Describe());
+
+  for (WhyNotAlgorithm algorithm : kAlgorithms) {
+    SCOPED_TRACE(WhyNotAlgorithmName(algorithm));
+    const testing::WhyNotSolver solver = EngineSolver(algorithm);
+    testing::InvariantOutcome outcome;
+    switch (seed % 4) {
+      case 0:
+        outcome = testing::CheckDominatedInsertion(
+            scenario->dataset, scenario->query, scenario->missing,
+            scenario->options, solver);
+        break;
+      case 1:
+        outcome = testing::CheckGeometryInvariance(
+            scenario->dataset, scenario->query, scenario->missing,
+            scenario->options, solver, /*scale=*/4.0, /*dx=*/-3.5,
+            /*dy=*/7.25);
+        break;
+      case 2:
+        outcome = testing::CheckVocabularyPermutation(
+            scenario->dataset, scenario->query, scenario->missing,
+            scenario->options, solver, /*perm_seed=*/seed);
+        break;
+      default:
+        outcome = testing::CheckZeroPenaltyIff(scenario->dataset,
+                                               scenario->query,
+                                               scenario->missing,
+                                               scenario->options, solver);
+        break;
+    }
+    if (!outcome.applicable) continue;  // premise did not hold for this seed
+    EXPECT_TRUE(outcome.passed) << outcome.message;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialOracleTest,
+                         ::testing::Range<uint64_t>(kFirstSeed, kLastSeed + 1));
+
+}  // namespace
+}  // namespace wsk

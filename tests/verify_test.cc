@@ -120,6 +120,11 @@ TEST(VerifyTest, DetectsCorruptedNodePage) {
   const Status status = VerifySetRTree(*tree);
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  // The diagnostic names the first violated invariant: the parent entry's
+  // recorded union set no longer covers the (shrunken) subtree.
+  EXPECT_NE(status.message().find("entry union set differs from subtree"),
+            std::string::npos)
+      << status.ToString();
 }
 
 TEST(VerifyTest, DetectsCountMismatchInKcrEntry) {
@@ -153,6 +158,138 @@ TEST(VerifyTest, DetectsCountMismatchInKcrEntry) {
   const Status status = VerifyKcrTree(*tree);
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_NE(status.message().find("entry cnt differs from subtree"),
+            std::string::npos)
+      << status.ToString();
+}
+
+// Byte-level corruption injected through the pager must always surface as
+// a Corruption status whose message names the violated invariant (and the
+// offending page where the walk can attribute one) — never as a crash or a
+// silent pass.
+
+// Zeroing a child's entry-count field empties the node.
+TEST(VerifyTest, DetectsEmptyNode) {
+  const Dataset dataset = SmallDataset(300, 7);
+  TempFile file("verify_empty_node");
+  PageId victim;
+  {
+    auto pager = Pager::Create(file.path()).value();
+    BufferPool pool(pager.get(), 4u << 20);
+    SetRTree::Options options;
+    options.capacity = 8;
+    auto tree = SetRTree::BulkLoad(dataset, &pool, options).value();
+    ASSERT_TRUE(tree->Finalize().ok());
+    const SetRTree::Node root = tree->ReadNode(tree->SearchRoot()).value();
+    ASSERT_FALSE(root.is_leaf);
+    victim = root.inner_entries[0].child;
+  }
+  {
+    auto pager = Pager::Open(file.path()).value();
+    std::vector<uint8_t> page(pager->page_size());
+    ASSERT_TRUE(pager->ReadPage(victim, page.data()).ok());
+    page[4] = page[5] = page[6] = page[7] = 0;  // count u32 at offset 4
+    ASSERT_TRUE(pager->WritePage(victim, page.data()).ok());
+  }
+  auto pager = Pager::Open(file.path()).value();
+  BufferPool pool(pager.get(), 4u << 20);
+  auto tree = SetRTree::Open(&pool).value();
+  const Status status = VerifySetRTree(*tree);
+  ASSERT_EQ(status.code(), StatusCode::kCorruption) << status.ToString();
+  const std::string want =
+      "node " + std::to_string(victim) + ": empty node";
+  EXPECT_NE(status.message().find(want), std::string::npos)
+      << status.ToString();
+}
+
+// Flipping a leaf's kind byte turns it into an inner node at depth 1.
+TEST(VerifyTest, DetectsLeafFlagFlip) {
+  const Dataset dataset = SmallDataset(300, 8);
+  TempFile file("verify_leaf_flag");
+  PageId victim;
+  {
+    auto pager = Pager::Create(file.path()).value();
+    BufferPool pool(pager.get(), 4u << 20);
+    SetRTree::Options options;
+    options.capacity = 8;
+    auto tree = SetRTree::BulkLoad(dataset, &pool, options).value();
+    ASSERT_TRUE(tree->Finalize().ok());
+    // Descend the leftmost path to a leaf.
+    PageId page = tree->SearchRoot();
+    SetRTree::Node node = tree->ReadNode(page).value();
+    while (!node.is_leaf) {
+      page = node.inner_entries[0].child;
+      node = tree->ReadNode(page).value();
+    }
+    victim = page;
+  }
+  {
+    auto pager = Pager::Open(file.path()).value();
+    std::vector<uint8_t> page(pager->page_size());
+    ASSERT_TRUE(pager->ReadPage(victim, page.data()).ok());
+    ASSERT_EQ(page[0], 0);  // leaf kind
+    page[0] = 1;            // now claims to be inner
+    ASSERT_TRUE(pager->WritePage(victim, page.data()).ok());
+  }
+  auto pager = Pager::Open(file.path()).value();
+  BufferPool pool(pager.get(), 4u << 20);
+  auto tree = SetRTree::Open(&pool).value();
+  const Status status = VerifySetRTree(*tree);
+  ASSERT_EQ(status.code(), StatusCode::kCorruption) << status.ToString();
+  const std::string want =
+      "node " + std::to_string(victim) + ": leaf flag inconsistent with depth";
+  EXPECT_NE(status.message().find(want), std::string::npos)
+      << status.ToString();
+}
+
+// An entry count larger than the node can physically hold must be rejected
+// at decode time (it would otherwise read past the node buffer).
+TEST(VerifyTest, DetectsEntryCountOverflow) {
+  const Dataset dataset = SmallDataset(200, 9);
+  TempFile file("verify_count_overflow");
+  PageId victim;
+  for (const bool kcr : {false, true}) {
+    SCOPED_TRACE(kcr ? "KcrTree" : "SetRTree");
+    {
+      auto pager = Pager::Create(file.path()).value();
+      BufferPool pool(pager.get(), 4u << 20);
+      if (kcr) {
+        KcrTree::Options options;
+        options.capacity = 8;
+        auto tree = KcrTree::BulkLoad(dataset, &pool, options).value();
+        ASSERT_TRUE(tree->Finalize().ok());
+        victim = tree->SearchRoot();
+      } else {
+        SetRTree::Options options;
+        options.capacity = 8;
+        auto tree = SetRTree::BulkLoad(dataset, &pool, options).value();
+        ASSERT_TRUE(tree->Finalize().ok());
+        victim = tree->SearchRoot();
+      }
+    }
+    {
+      auto pager = Pager::Open(file.path()).value();
+      std::vector<uint8_t> page(pager->page_size());
+      ASSERT_TRUE(pager->ReadPage(victim, page.data()).ok());
+      page[4] = page[5] = 0xff;  // count ~= 65535, far beyond any node
+      ASSERT_TRUE(pager->WritePage(victim, page.data()).ok());
+    }
+    auto pager = Pager::Open(file.path()).value();
+    BufferPool pool(pager.get(), 4u << 20);
+    Status status;
+    if (kcr) {
+      auto tree = KcrTree::Open(&pool).value();
+      status = VerifyKcrTree(*tree);
+    } else {
+      auto tree = SetRTree::Open(&pool).value();
+      status = VerifySetRTree(*tree);
+    }
+    ASSERT_EQ(status.code(), StatusCode::kCorruption) << status.ToString();
+    const std::string want = "node " + std::to_string(victim) +
+                             ": entry count overflows the node";
+    EXPECT_NE(status.message().find(want), std::string::npos)
+        << status.ToString();
+  }
 }
 
 }  // namespace

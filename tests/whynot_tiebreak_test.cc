@@ -1,0 +1,145 @@
+// Tie-breaking contract: when several refinements achieve the exact
+// minimum penalty, every algorithm returns the same documented winner —
+// the basic refinement (doc0 with an enlarged k') if it ties the optimum,
+// otherwise the co-optimal candidate earliest in the canonical enumeration
+// order (edit distance ascending, benefit descending, keyword set
+// ascending) — independent of optimization switches and thread count.
+//
+// Tie instances are mined from the seeded scenario stream using the
+// oracle's co-optimal set, so the suite keeps covering real ties as the
+// generator evolves instead of depending on one hand-built coincidence.
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/whynot.h"
+#include "testing/oracle.h"
+#include "testing/scenario_gen.h"
+
+namespace wsk {
+namespace {
+
+constexpr WhyNotAlgorithm kAlgorithms[] = {
+    WhyNotAlgorithm::kBasic,
+    WhyNotAlgorithm::kAdvanced,
+    WhyNotAlgorithm::kKcrBased,
+};
+
+struct TieInstance {
+  testing::WhyNotScenario scenario;
+  testing::OracleResult oracle;
+};
+
+// Scans the seed stream for instances whose minimum penalty is achieved by
+// at least two refinements. Mined once and shared across the tests below.
+class WhyNotTieBreakTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    instances_ = new std::vector<TieInstance>();
+    constexpr uint64_t kMaxSeed = 400;
+    constexpr size_t kWanted = 10;
+    for (uint64_t seed = 1; seed <= kMaxSeed && instances_->size() < kWanted;
+         ++seed) {
+      std::optional<testing::WhyNotScenario> scenario =
+          testing::MakeScenario(seed);
+      if (!scenario.has_value()) continue;
+      testing::OracleResult oracle = testing::SolveWhyNotOracle(
+          scenario->dataset, scenario->query, scenario->missing,
+          scenario->options.lambda);
+      if (oracle.already_in_result || oracle.co_optimal.size() < 2) continue;
+      instances_->push_back(
+          TieInstance{*std::move(scenario), std::move(oracle)});
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete instances_;
+    instances_ = nullptr;
+  }
+
+  static std::vector<TieInstance>* instances_;
+};
+
+std::vector<TieInstance>* WhyNotTieBreakTest::instances_ = nullptr;
+
+StatusOr<WhyNotResult> Solve(const TieInstance& instance,
+                             WhyNotAlgorithm algorithm, int num_threads) {
+  WhyNotEngine::Config config;
+  config.node_capacity = 16;
+  StatusOr<std::unique_ptr<WhyNotEngine>> engine =
+      WhyNotEngine::Build(&instance.scenario.dataset, config);
+  if (!engine.ok()) return engine.status();
+  WhyNotOptions options = instance.scenario.options;
+  options.num_threads = num_threads;
+  return engine.value()->Answer(algorithm, instance.scenario.query,
+                                instance.scenario.missing, options);
+}
+
+TEST_F(WhyNotTieBreakTest, GeneratorYieldsTies) {
+  // The contract below is vacuous without real tie instances; if the
+  // generator drifts and stops producing them, this fails loudly instead.
+  ASSERT_GE(instances_->size(), 5u);
+}
+
+TEST_F(WhyNotTieBreakTest, SeedWinsWhenBasicRefinementTies) {
+  // Sanity on the oracle's own rule: whenever the canonical winner has
+  // edit distance 0 it must literally be doc0.
+  for (const TieInstance& instance : *instances_) {
+    SCOPED_TRACE(instance.scenario.Describe());
+    if (instance.oracle.best.edit_distance == 0) {
+      EXPECT_TRUE(instance.oracle.best.doc == instance.scenario.query.doc);
+    }
+  }
+}
+
+TEST_F(WhyNotTieBreakTest, AllAlgorithmsReturnCanonicalWinner) {
+  for (const TieInstance& instance : *instances_) {
+    SCOPED_TRACE(instance.scenario.Describe());
+    const testing::OracleRefinement& want = instance.oracle.best;
+    for (WhyNotAlgorithm algorithm : kAlgorithms) {
+      SCOPED_TRACE(WhyNotAlgorithmName(algorithm));
+      StatusOr<WhyNotResult> got = Solve(instance, algorithm,
+                                         /*num_threads=*/0);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(got.value().refined.penalty, want.penalty);
+      EXPECT_TRUE(got.value().refined.doc == want.doc)
+          << "got " << got.value().refined.doc.ToString() << " want "
+          << want.doc.ToString() << " among "
+          << instance.oracle.co_optimal.size() << " co-optimal refinements";
+      EXPECT_EQ(got.value().refined.k, want.k);
+      EXPECT_EQ(got.value().refined.edit_distance, want.edit_distance);
+    }
+  }
+}
+
+TEST_F(WhyNotTieBreakTest, WinnerIsStableAcrossThreadCounts) {
+  // The race this pins down: a stop flag (instead of a stop index) lets
+  // the thread schedule decide whether an earlier co-optimal candidate is
+  // evaluated at all.
+  const size_t limit = std::min<size_t>(instances_->size(), 4);
+  for (size_t i = 0; i < limit; ++i) {
+    const TieInstance& instance = (*instances_)[i];
+    SCOPED_TRACE(instance.scenario.Describe());
+    for (WhyNotAlgorithm algorithm :
+         {WhyNotAlgorithm::kAdvanced, WhyNotAlgorithm::kKcrBased}) {
+      SCOPED_TRACE(WhyNotAlgorithmName(algorithm));
+      for (int num_threads : {0, 2, 4}) {
+        for (int repeat = 0; repeat < 2; ++repeat) {
+          StatusOr<WhyNotResult> got = Solve(instance, algorithm, num_threads);
+          ASSERT_TRUE(got.ok()) << got.status().ToString();
+          EXPECT_TRUE(got.value().refined.doc == instance.oracle.best.doc)
+              << "threads=" << num_threads << " repeat=" << repeat << " got "
+              << got.value().refined.doc.ToString() << " want "
+              << instance.oracle.best.doc.ToString();
+          EXPECT_EQ(got.value().refined.penalty,
+                    instance.oracle.best.penalty);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wsk
