@@ -1,0 +1,127 @@
+// Service-layer benchmark — aggregate throughput and tail latency of the
+// concurrent QueryService under a mixed top-k / why-not workload, swept
+// over the worker-thread count ∈ {1, 2, 4, 8}.
+//
+// Unlike the figure benchmarks (which measure one algorithm invocation at
+// a time), this drives the whole service path — admission, result cache,
+// deadline token, metrics — with every request submitted up front so the
+// workers stay saturated. Counters:
+//   qps             completed requests / wall second
+//   p50_ms, p99_ms  service-side latency percentiles (histogram buckets)
+//   cache_hit_rate  fraction of requests answered from the result cache
+//
+// Wall-clock scaling beyond the machine's core count is not expected; on a
+// single-core container the series stays flat (EXPERIMENTS.md discusses
+// this hardware substitution).
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "service/query_service.h"
+
+namespace {
+
+using namespace wsk;
+using namespace wsk::bench;
+
+struct MixedWorkload {
+  std::vector<SpatialKeywordQuery> topk;
+  std::vector<WhyNotCase> whynot;
+};
+
+// One fixed workload reused across all thread counts. It needs enough
+// *distinct* cache keys to keep 8 workers busy (a tiny workload collapses
+// into concurrent duplicate misses and measures redundancy, not scaling),
+// so each why-not case is fanned out into several top-k variants with
+// different k — distinct keys over the same locality.
+const MixedWorkload& SharedWorkload() {
+  static const MixedWorkload* workload = [] {
+    WorkloadSpec spec;
+    spec.seed = 77007;
+    auto* w = new MixedWorkload();
+    w->whynot = MakeCases(SharedEngine(), spec, 8 * EnvQueriesPerPoint());
+    for (const WhyNotCase& c : w->whynot) {
+      SpatialKeywordQuery q = c.query;
+      for (uint32_t dk = 0; dk < 4; ++dk) {
+        q.k = c.query.k + dk;
+        w->topk.push_back(q);
+      }
+    }
+    return w;
+  }();
+  return *workload;
+}
+
+void RunService(benchmark::State& state, int workers) {
+  WhyNotEngine& engine = SharedEngine();
+  const MixedWorkload& workload = SharedWorkload();
+
+  QueryServiceConfig config;
+  config.num_workers = workers;
+  config.max_queue = 0;      // unbounded: measure execution, not shedding
+  config.max_inflight = 0;   // (0 disables each admission limit)
+  config.cache_capacity = 1024;
+  // Round 0 is all misses (real engine work, where scaling shows); round 1
+  // re-submits the same keys so the hit path and its accounting are
+  // exercised under concurrency too.
+  constexpr int kRounds = 2;
+
+  for (auto _ : state) {
+    QueryService service(&engine, config);
+    std::vector<std::future<StatusOr<QueryService::TopKResponse>>> tf;
+    std::vector<std::future<StatusOr<QueryService::WhyNotResponse>>> wf;
+    Timer wall;
+    for (int round = 0; round < kRounds; ++round) {
+      for (const SpatialKeywordQuery& q : workload.topk) {
+        tf.push_back(service.SubmitTopK(q));
+      }
+      for (const WhyNotCase& c : workload.whynot) {
+        wf.push_back(service.SubmitWhyNot(WhyNotAlgorithm::kKcrBased, c.query,
+                                          c.missing, WhyNotOptions{}));
+      }
+    }
+    uint64_t ok = 0, hits = 0;
+    for (auto& f : tf) {
+      const auto r = f.get();
+      WSK_CHECK_MSG(r.ok(), "%s", r.status().ToString().c_str());
+      ++ok;
+      if (r.value().cache_hit) ++hits;
+    }
+    for (auto& f : wf) {
+      const auto r = f.get();
+      WSK_CHECK_MSG(r.ok(), "%s", r.status().ToString().c_str());
+      ++ok;
+      if (r.value().cache_hit) ++hits;
+    }
+    const double wall_s = wall.ElapsedSeconds();
+
+    // Merge the two latency histograms' percentiles by taking the worse
+    // (they share bucket boundaries, so max is a sound upper bound).
+    const LatencyHistogram::Snapshot st =
+        service.metrics().histogram("latency.topk.ms").TakeSnapshot();
+    const LatencyHistogram::Snapshot sw =
+        service.metrics().histogram("latency.whynot.ms").TakeSnapshot();
+    state.counters["qps"] =
+        static_cast<double>(ok) / (wall_s > 0.0 ? wall_s : 1e-9);
+    state.counters["p50_ms"] = std::max(st.p50_ms, sw.p50_ms);
+    state.counters["p99_ms"] = std::max(st.p99_ms, sw.p99_ms);
+    state.counters["cache_hit_rate"] =
+        ok > 0 ? static_cast<double>(hits) / static_cast<double>(ok) : 0.0;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int workers : {1, 2, 4, 8}) {
+    const std::string name = "service/mixed/workers:" + std::to_string(workers);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [workers](benchmark::State& state) { RunService(state, workers); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  return RunRegisteredBenchmarks(argc, argv);
+}

@@ -1,0 +1,49 @@
+#include "common/cancel.h"
+
+namespace wsk {
+
+CancelToken CancelToken::Create() {
+  return CancelToken(std::make_shared<State>());
+}
+
+CancelToken CancelToken::WithTimeout(double timeout_ms) {
+  auto state = std::make_shared<State>();
+  state->has_deadline = true;
+  state->deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(timeout_ms));
+  return CancelToken(std::move(state));
+}
+
+CancelToken CancelToken::DeriveWithTimeout(double timeout_ms) const {
+  CancelToken derived = WithTimeout(timeout_ms);
+  derived.state_->parent = state_;
+  return derived;
+}
+
+void CancelToken::Cancel() {
+  if (state_ != nullptr) {
+    state_->cancelled.store(true, std::memory_order_relaxed);
+  }
+}
+
+bool CancelToken::cancelled() const {
+  for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    if (s->cancelled.load(std::memory_order_relaxed)) return true;
+  }
+  return false;
+}
+
+Status CancelToken::Check() const {
+  if (state_ == nullptr) return Status::Ok();
+  if (cancelled()) return Status::Cancelled("query cancelled by caller");
+  const Clock::time_point now = Clock::now();
+  for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    if (s->has_deadline && now >= s->deadline) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace wsk

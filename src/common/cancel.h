@@ -1,0 +1,76 @@
+// Cooperative cancellation and deadlines for long-running queries.
+//
+// The why-not algorithms (BS / AdvancedBS / KcRBased) can run for seconds
+// on large candidate sets; a CancelToken lets a caller — typically the
+// service layer — abandon such a query mid-flight. Cancellation is
+// cooperative: the algorithms call Check() at node-visit / candidate
+// granularity and unwind with kCancelled or kDeadlineExceeded. All
+// intermediate state is per-query and RAII-managed (buffer-pool pins are
+// PageHandles), so an unwound query leaves the engine consistent.
+//
+// A default-constructed token is null: it never cancels and costs nothing
+// to check, so `const CancelToken*` parameters can default to nullptr and
+// cold paths stay branch-predictable.
+#ifndef WSK_COMMON_CANCEL_H_
+#define WSK_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "common/status.h"
+
+namespace wsk {
+
+// Copyable handle over shared cancellation state. Thread-safe: any thread
+// may call Cancel() while others Check().
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // Null token: cancelled() is always false, Check() always OK.
+  CancelToken() = default;
+
+  // A live token with no deadline (cancel-only).
+  static CancelToken Create();
+
+  // A live token whose Check() starts returning kDeadlineExceeded once
+  // `timeout_ms` elapses (measured from this call).
+  static CancelToken WithTimeout(double timeout_ms);
+
+  // A token observing this token's cancellation *and* an additional
+  // deadline `timeout_ms` from now; the effective deadline is the earlier
+  // of the two. Deriving from a null token is equivalent to WithTimeout().
+  // Cancelling the derived token does not cancel this one.
+  CancelToken DeriveWithTimeout(double timeout_ms) const;
+
+  // Requests cancellation. Visible to every copy of this token and to
+  // tokens derived from it. No-op on a null token.
+  void Cancel();
+
+  bool valid() const { return state_ != nullptr; }
+
+  // True once Cancel() was called (deadlines do not set this flag).
+  bool cancelled() const;
+
+  // OK, or kCancelled / kDeadlineExceeded. kCancelled wins when both
+  // conditions hold (the explicit request is the stronger signal).
+  Status Check() const;
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    bool has_deadline = false;
+    Clock::time_point deadline{};
+    std::shared_ptr<const State> parent;  // chained cancellation scope
+  };
+
+  explicit CancelToken(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace wsk
+
+#endif  // WSK_COMMON_CANCEL_H_

@@ -22,6 +22,9 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kInternal,
+  kCancelled,          // the caller abandoned the operation (CancelToken)
+  kDeadlineExceeded,   // the operation's deadline passed (CancelToken)
+  kResourceExhausted,  // admission control rejected the request (overload)
 };
 
 // Returns a stable human-readable name for `code` ("OK", "IO_ERROR", ...).
@@ -55,6 +58,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,10 +1,13 @@
 #include "common/thread_pool.h"
 
+#include <cstdio>
+
 #include "common/macros.h"
 
 namespace wsk {
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads, size_t queue_limit)
+    : queue_limit_(queue_limit) {
   WSK_CHECK(num_threads >= 0);
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
@@ -21,9 +24,21 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
+void ThreadPool::RunTask(std::function<void()>& task) {
+  try {
+    task();
+  } catch (const std::exception& e) {
+    task_exceptions_.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr, "[wsk] thread pool task threw: %s\n", e.what());
+  } catch (...) {
+    task_exceptions_.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr, "[wsk] thread pool task threw a non-std exception\n");
+  }
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
   if (workers_.empty()) {
-    task();  // inline mode
+    RunTask(task);  // inline mode
     return;
   }
   {
@@ -31,6 +46,25 @@ void ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
+}
+
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  if (workers_.empty()) {
+    RunTask(task);  // inline mode: nothing ever queues
+    return true;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_limit_ > 0 && queue_.size() >= queue_limit_) return false;
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return queue_.size();
 }
 
 void ThreadPool::Wait() {
@@ -50,7 +84,7 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    RunTask(task);
     {
       std::unique_lock<std::mutex> lock(mu_);
       --active_;

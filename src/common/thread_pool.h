@@ -1,9 +1,12 @@
 // A fixed-size worker pool used to process candidate keyword sets in
-// parallel (the paper's Section IV-C4 optimization and Fig. 10 experiment).
+// parallel (the paper's Section IV-C4 optimization and Fig. 10 experiment)
+// and, through the service layer, to execute concurrent client queries.
 #ifndef WSK_COMMON_THREAD_POOL_H_
 #define WSK_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -19,9 +22,22 @@ namespace wsk {
 // With num_threads == 0 the pool degenerates to inline execution (Submit()
 // runs the task on the calling thread), which keeps single-threaded
 // configurations free of synchronization noise in benchmarks.
+//
+// Exception safety: the library is exception-free by contract, but a task
+// that throws anyway (std::bad_alloc, a bug) must not take the process
+// down via an escape from a worker thread. Tasks are run under a
+// catch-all; the escape is counted (num_task_exceptions()) so a service
+// layer can surface it through its error accounting.
+//
+// Backpressure: `queue_limit` bounds the number of *pending* tasks.
+// TrySubmit() refuses (returns false) once the bound is reached — the
+// admission-control primitive for the service layer. Submit() always
+// enqueues regardless of the bound (the algorithm-internal fan-out paths
+// submit exactly num_threads tasks and must never be refused).
 class ThreadPool {
  public:
-  explicit ThreadPool(int num_threads);
+  // `queue_limit` == 0 means unbounded.
+  explicit ThreadPool(int num_threads, size_t queue_limit = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -29,20 +45,37 @@ class ThreadPool {
 
   void Submit(std::function<void()> task);
 
+  // Enqueues unless the pending queue is at `queue_limit`; returns whether
+  // the task was accepted. Inline pools (0 workers) always accept.
+  bool TrySubmit(std::function<void()> task);
+
   // Blocks until every submitted task has finished.
   void Wait();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
+  size_t queue_limit() const { return queue_limit_; }
+
+  // Tasks currently waiting for a worker (diagnostics; racy by nature).
+  size_t queue_depth() const;
+
+  // Tasks whose exceptions were caught and swallowed by the pool.
+  uint64_t num_task_exceptions() const {
+    return task_exceptions_.load(std::memory_order_relaxed);
+  }
 
  private:
   void WorkerLoop();
+  // Runs `task` under a catch-all, counting escapes.
+  void RunTask(std::function<void()>& task);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;   // signalled when tasks arrive / stop
   std::condition_variable idle_cv_;   // signalled when the pool drains
   std::deque<std::function<void()>> queue_;
+  const size_t queue_limit_;
   int active_ = 0;
   bool stop_ = false;
+  std::atomic<uint64_t> task_exceptions_{0};
   std::vector<std::thread> workers_;
 };
 

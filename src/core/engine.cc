@@ -94,6 +94,10 @@ WhyNotEngine::~WhyNotEngine() {
 StatusOr<WhyNotResult> WhyNotEngine::Answer(
     WhyNotAlgorithm algorithm, const SpatialKeywordQuery& query,
     const std::vector<ObjectId>& missing, const WhyNotOptions& options) const {
+  QueryScope scope(this);
+  if (options.cancel != nullptr) {
+    WSK_RETURN_IF_ERROR(options.cancel->Check());
+  }
   const IoStats& io = algorithm == WhyNotAlgorithm::kKcrBased
                           ? kcr_pager_->io_stats()
                           : setr_pager_->io_stats();
@@ -126,12 +130,14 @@ StatusOr<WhyNotResult> WhyNotEngine::Answer(
 }
 
 StatusOr<std::vector<ScoredObject>> WhyNotEngine::TopK(
-    const SpatialKeywordQuery& query) const {
-  return IndexTopK(*setr_tree_, query);
+    const SpatialKeywordQuery& query, const CancelToken* cancel) const {
+  QueryScope scope(this);
+  return IndexTopK(*setr_tree_, query, cancel);
 }
 
 StatusOr<uint32_t> WhyNotEngine::Rank(const SpatialKeywordQuery& query,
                                       ObjectId object) const {
+  QueryScope scope(this);
   if (object >= dataset_->size()) {
     return Status::InvalidArgument("object id out of range");
   }
@@ -150,6 +156,7 @@ StatusOr<uint32_t> WhyNotEngine::Rank(const SpatialKeywordQuery& query,
 
 StatusOr<ObjectId> WhyNotEngine::ObjectAtPosition(
     const SpatialKeywordQuery& query, uint32_t position) const {
+  QueryScope scope(this);
   if (position == 0) {
     return Status::InvalidArgument("positions are 1-based");
   }
@@ -165,11 +172,17 @@ StatusOr<ObjectId> WhyNotEngine::ObjectAtPosition(
 }
 
 Status WhyNotEngine::DropCaches() const {
+  WSK_CHECK_MSG(inflight_queries() == 0,
+                "DropCaches requires exclusive access (%d queries in flight)",
+                inflight_queries());
   WSK_RETURN_IF_ERROR(setr_pool_->InvalidateAll());
   return kcr_pool_->InvalidateAll();
 }
 
 void WhyNotEngine::ResetIoStats() const {
+  WSK_CHECK_MSG(inflight_queries() == 0,
+                "ResetIoStats requires exclusive access (%d queries in flight)",
+                inflight_queries());
   setr_pager_->io_stats().Reset();
   kcr_pager_->io_stats().Reset();
 }

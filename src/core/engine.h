@@ -10,10 +10,12 @@
 #ifndef WSK_CORE_ENGINE_H_
 #define WSK_CORE_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "core/whynot.h"
 #include "data/dataset.h"
 #include "data/query.h"
@@ -52,18 +54,39 @@ class WhyNotEngine {
   WhyNotEngine(const WhyNotEngine&) = delete;
   WhyNotEngine& operator=(const WhyNotEngine&) = delete;
 
+  // Thread-safety contract
+  // ----------------------
+  // The const query methods — Answer(), TopK(), Rank(), ObjectAtPosition()
+  // — are safe to call concurrently from any number of threads over one
+  // engine: the shared buffer pools are internally synchronized, the
+  // per-pager IoStats counters are relaxed atomics, and all per-query
+  // state is local. The service layer (src/service/) relies on this.
+  //
+  // DropCaches() and ResetIoStats() mutate shared state and require
+  // exclusive access: they must not run while any query is in flight.
+  // That contract is enforced — both WSK_CHECK that no query is active
+  // (tracked by an inflight counter the query methods maintain).
+  //
+  // Note: WhyNotResult.stats.io_reads is a before/after delta of the
+  // shared physical-read counter, so under concurrent queries it
+  // attributes overlapping I/O to every query that was in flight; treat it
+  // as exact only for sequential use (aggregate counters stay exact).
+
   // Answers the keyword-adapted why-not query (Definition 2) with the given
   // algorithm. When options.num_threads is 0 and the algorithm is kBasic,
   // this reproduces the paper's unoptimized BS exactly (the optimization
   // switches in `options` are ignored for kBasic — they are forced off).
+  // options.cancel aborts the query with kCancelled / kDeadlineExceeded.
   StatusOr<WhyNotResult> Answer(WhyNotAlgorithm algorithm,
                                 const SpatialKeywordQuery& query,
                                 const std::vector<ObjectId>& missing,
                                 const WhyNotOptions& options) const;
 
-  // Spatial keyword top-k over the SetR-tree.
+  // Spatial keyword top-k over the SetR-tree. `cancel` (optional,
+  // borrowed) aborts the traversal at node-visit granularity.
   StatusOr<std::vector<ScoredObject>> TopK(
-      const SpatialKeywordQuery& query) const;
+      const SpatialKeywordQuery& query,
+      const CancelToken* cancel = nullptr) const;
 
   // R(object, query) per Eqn 3.
   StatusOr<uint32_t> Rank(const SpatialKeywordQuery& query,
@@ -74,7 +97,13 @@ class WhyNotEngine {
   StatusOr<ObjectId> ObjectAtPosition(const SpatialKeywordQuery& query,
                                       uint32_t position) const;
 
-  // Drops both buffer pools (cold-cache experiments).
+  // Queries currently executing inside this engine (diagnostics / tests).
+  int inflight_queries() const {
+    return inflight_queries_.load(std::memory_order_relaxed);
+  }
+
+  // Drops both buffer pools (cold-cache experiments). Requires no query in
+  // flight (see the thread-safety contract above).
   Status DropCaches() const;
 
   const Dataset& dataset() const { return *dataset_; }
@@ -85,10 +114,28 @@ class WhyNotEngine {
   // I/O counters of the two index files.
   IoStats& setr_io() const { return setr_pager_->io_stats(); }
   IoStats& kcr_io() const { return kcr_pager_->io_stats(); }
+
+  // Requires no query in flight (see the thread-safety contract above).
   void ResetIoStats() const;
 
  private:
   WhyNotEngine() = default;
+
+  // RAII inflight-query marker backing the thread-safety contract.
+  class QueryScope {
+   public:
+    explicit QueryScope(const WhyNotEngine* engine) : engine_(engine) {
+      engine_->inflight_queries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~QueryScope() {
+      engine_->inflight_queries_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    QueryScope(const QueryScope&) = delete;
+    QueryScope& operator=(const QueryScope&) = delete;
+
+   private:
+    const WhyNotEngine* engine_;
+  };
 
   const Dataset* dataset_ = nullptr;
   Config config_;
@@ -100,6 +147,7 @@ class WhyNotEngine {
   std::unique_ptr<BufferPool> kcr_pool_;
   std::unique_ptr<SetRTree> setr_tree_;
   std::unique_ptr<KcrTree> kcr_tree_;
+  mutable std::atomic<int> inflight_queries_{0};
 };
 
 }  // namespace wsk

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancel.h"
 #include "data/dataset.h"
 #include "data/query.h"
 #include "text/keyword_set.h"
@@ -45,6 +46,12 @@ struct WhyNotOptions {
   // Section VI-B approximate mode: evaluate only the `sample_size`
   // candidates with the highest particularity benefit. 0 = exact.
   uint32_t sample_size = 0;
+
+  // Optional cooperative cancellation (borrowed; must outlive the query).
+  // All three algorithms check it at candidate / node-visit granularity and
+  // return kCancelled or kDeadlineExceeded instead of running to
+  // completion. nullptr = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 // The answer: the refined query q' = (loc, doc', k', alpha). loc and alpha

@@ -49,6 +49,11 @@ Status EvaluateCandidate(const Dataset& dataset, const SetRTree& tree,
                          const MissingSet& missing, const PenaltyModel& pm,
                          const WhyNotOptions& options, const Candidate& cand,
                          uint64_t order, SharedState* state) {
+  // Cancellation check per candidate; the rank query below re-checks at
+  // every node visit through the token passed to RankFromIndex.
+  if (options.cancel != nullptr) {
+    WSK_RETURN_IF_ERROR(options.cancel->Check());
+  }
   double p_c;
   {
     std::lock_guard<std::mutex> lock(state->mu);
@@ -123,7 +128,7 @@ Status EvaluateCandidate(const Dataset& dataset, const SetRTree& tree,
   std::vector<ObjectId> dominators;
   StatusOr<uint32_t> rank = RankFromIndex(
       tree, refined, min_score, rank_limit, &exceeded,
-      options.opt_keyword_filtering ? &dominators : nullptr);
+      options.opt_keyword_filtering ? &dominators : nullptr, options.cancel);
   if (!rank.ok()) return rank.status();
 
   std::lock_guard<std::mutex> lock(state->mu);
@@ -173,8 +178,9 @@ StatusOr<WhyNotResult> AnswerWhyNotBasic(const Dataset& dataset,
   const double initial_min_score =
       missing_set.MinScore(original, tree.diagonal());
   bool exceeded = false;
-  StatusOr<uint32_t> initial_rank = RankFromIndex(
-      tree, original, initial_min_score, /*limit=*/0, &exceeded, nullptr);
+  StatusOr<uint32_t> initial_rank =
+      RankFromIndex(tree, original, initial_min_score, /*limit=*/0, &exceeded,
+                    nullptr, options.cancel);
   if (!initial_rank.ok()) return initial_rank.status();
   result.stats.initial_rank = initial_rank.value();
 

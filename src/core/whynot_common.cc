@@ -70,9 +70,10 @@ StatusOr<uint32_t> RankFromIndex(const TopKSource& tree,
                                  const SpatialKeywordQuery& query,
                                  double min_score, int64_t limit,
                                  bool* exceeded,
-                                 std::vector<ObjectId>* dominators) {
+                                 std::vector<ObjectId>* dominators,
+                                 const CancelToken* cancel) {
   *exceeded = false;
-  TopKIterator it(&tree, query);
+  TopKIterator it(&tree, query, cancel);
   uint32_t strictly_better = 0;
   std::optional<ScoredObject> next;
   for (;;) {

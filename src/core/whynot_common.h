@@ -38,12 +38,14 @@ Status ValidateWhyNotInput(const SpatialKeywordQuery& original,
 // R(M, query) = 1 + #objects scoring strictly above `min_score`, streamed
 // from the index. With `limit` > 0, gives up once the count proves the rank
 // exceeds `limit` (sets *exceeded). Dominator ids are appended to
-// *dominators when it is non-null.
+// *dominators when it is non-null. `cancel` aborts the underlying
+// traversal at node-visit granularity.
 StatusOr<uint32_t> RankFromIndex(const TopKSource& tree,
                                  const SpatialKeywordQuery& query,
                                  double min_score, int64_t limit,
                                  bool* exceeded,
-                                 std::vector<ObjectId>* dominators);
+                                 std::vector<ObjectId>* dominators,
+                                 const CancelToken* cancel = nullptr);
 
 }  // namespace wsk::internal
 

@@ -121,13 +121,14 @@ class KcrBatchRunner {
   KcrBatchRunner(const Dataset& dataset, const KcrTree& tree,
                  const SpatialKeywordQuery& original,
                  const MissingSet& missing, const PenaltyModel& pm,
-                 WhyNotStats* stats)
+                 WhyNotStats* stats, const CancelToken* cancel)
       : dataset_(dataset),
         tree_(tree),
         original_(original),
         missing_(missing),
         pm_(pm),
-        stats_(stats) {
+        stats_(stats),
+        cancel_(cancel) {
     const double diagonal = tree.diagonal();
     dom_ctx_.reserve(missing.size());
     for (size_t i = 0; i < missing.size(); ++i) {
@@ -178,6 +179,7 @@ class KcrBatchRunner {
   const MissingSet& missing_;
   const PenaltyModel& pm_;
   WhyNotStats* stats_;
+  const CancelToken* cancel_;
   std::vector<DomContext> dom_ctx_;
 };
 
@@ -235,6 +237,8 @@ Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
   }
 
   while (!queue.empty() && num_alive > 0) {
+    // Node-visit granularity cancellation (Algorithm 3's unit of work).
+    if (cancel_ != nullptr) WSK_RETURN_IF_ERROR(cancel_->Check());
     const QueueNode entry = queue.top();
     queue.pop();
     StatusOr<KcrTree::Node> read = tree_.ReadNode(entry.page);
@@ -372,8 +376,9 @@ StatusOr<WhyNotResult> AnswerWhyNotKcr(const Dataset& dataset,
   const double initial_min_score =
       missing_set.MinScore(original, tree.diagonal());
   bool exceeded = false;
-  StatusOr<uint32_t> initial_rank = RankFromIndex(
-      tree, original, initial_min_score, /*limit=*/0, &exceeded, nullptr);
+  StatusOr<uint32_t> initial_rank =
+      RankFromIndex(tree, original, initial_min_score, /*limit=*/0, &exceeded,
+                    nullptr, options.cancel);
   if (!initial_rank.ok()) return initial_rank.status();
   result.stats.initial_rank = initial_rank.value();
 
@@ -406,6 +411,9 @@ StatusOr<WhyNotResult> AnswerWhyNotKcr(const Dataset& dataset,
   // set goes through one traversal (the Section V-D strawman).
   size_t start = 0;
   while (start < candidates.size()) {
+    if (options.cancel != nullptr) {
+      WSK_RETURN_IF_ERROR(options.cancel->Check());
+    }
     size_t end = start + 1;
     if (options.kcr_single_batch) {
       end = candidates.size();
@@ -435,7 +443,7 @@ StatusOr<WhyNotResult> AnswerWhyNotKcr(const Dataset& dataset,
           start + (chunk + 1) * batch_size / num_chunks;
       if (chunk_begin >= chunk_end) return;
       KcrBatchRunner runner(dataset, tree, original, missing_set, pm,
-                            &chunk_stats[chunk]);
+                            &chunk_stats[chunk], options.cancel);
       chunk_status[chunk] = runner.RunBatch(candidates.data() + chunk_begin,
                                             candidates.data() + chunk_end,
                                             &tracker);

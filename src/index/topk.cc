@@ -2,8 +2,9 @@
 
 namespace wsk {
 
-TopKIterator::TopKIterator(const TopKSource* source, SpatialKeywordQuery query)
-    : source_(source), query_(std::move(query)) {
+TopKIterator::TopKIterator(const TopKSource* source, SpatialKeywordQuery query,
+                           const CancelToken* cancel)
+    : source_(source), query_(std::move(query)), cancel_(cancel) {
   const PageId root = source_->SearchRoot();
   if (root != kInvalidPageId) {
     // The root has no parent entry to bound it; expand it unconditionally.
@@ -24,6 +25,7 @@ Status TopKIterator::Next(std::optional<ScoredObject>* out) {
       *out = ScoredObject{top.object, top.bound};
       return Status::Ok();
     }
+    if (cancel_ != nullptr) WSK_RETURN_IF_ERROR(cancel_->Check());
     scratch_.clear();
     WSK_RETURN_IF_ERROR(source_->ExpandNode(top.node, query_, &scratch_));
     for (const SearchEntry& child : scratch_) heap_.push(child);
@@ -32,8 +34,9 @@ Status TopKIterator::Next(std::optional<ScoredObject>* out) {
 }
 
 StatusOr<std::vector<ScoredObject>> IndexTopK(
-    const TopKSource& source, const SpatialKeywordQuery& query) {
-  TopKIterator it(&source, query);
+    const TopKSource& source, const SpatialKeywordQuery& query,
+    const CancelToken* cancel) {
+  TopKIterator it(&source, query, cancel);
   std::vector<ScoredObject> result;
   result.reserve(query.k);
   std::optional<ScoredObject> next;
@@ -49,9 +52,10 @@ StatusOr<uint32_t> IndexRankOfScore(const TopKSource& source,
                                     const SpatialKeywordQuery& query,
                                     double target_score,
                                     int64_t give_up_after_rank,
-                                    bool* exceeded) {
+                                    bool* exceeded,
+                                    const CancelToken* cancel) {
   *exceeded = false;
-  TopKIterator it(&source, query);
+  TopKIterator it(&source, query, cancel);
   uint32_t strictly_better = 0;
   std::optional<ScoredObject> next;
   for (;;) {

@@ -14,6 +14,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "data/query.h"
 #include "storage/pager.h"
@@ -58,9 +59,14 @@ class TopKSource {
 //   while (it.Next(&next).ok() && next) { ... }
 class TopKIterator {
  public:
-  TopKIterator(const TopKSource* source, SpatialKeywordQuery query);
+  // `cancel` (optional, borrowed; must outlive the iterator) is consulted
+  // before every node expansion — the traversal's unit of I/O — so a
+  // cancelled or timed-out search unwinds within one page visit.
+  TopKIterator(const TopKSource* source, SpatialKeywordQuery query,
+               const CancelToken* cancel = nullptr);
 
   // Sets *out to the next object, or nullopt when the index is exhausted.
+  // Returns kCancelled / kDeadlineExceeded when the cancel token fired.
   Status Next(std::optional<ScoredObject>* out);
 
   // Objects emitted so far.
@@ -69,6 +75,7 @@ class TopKIterator {
  private:
   const TopKSource* source_;
   SpatialKeywordQuery query_;
+  const CancelToken* cancel_ = nullptr;
   std::priority_queue<SearchEntry, std::vector<SearchEntry>, SearchEntryLess>
       heap_;
   std::vector<SearchEntry> scratch_;
@@ -78,8 +85,9 @@ class TopKIterator {
 // Convenience wrappers over the iterator.
 
 // The k best objects.
-StatusOr<std::vector<ScoredObject>> IndexTopK(const TopKSource& source,
-                                              const SpatialKeywordQuery& query);
+StatusOr<std::vector<ScoredObject>> IndexTopK(
+    const TopKSource& source, const SpatialKeywordQuery& query,
+    const CancelToken* cancel = nullptr);
 
 // Rank (Eqn 3) of an object whose exact score is `target_score`: emits
 // objects until the stream drops to or below `target_score` and counts the
@@ -90,7 +98,8 @@ StatusOr<uint32_t> IndexRankOfScore(const TopKSource& source,
                                     const SpatialKeywordQuery& query,
                                     double target_score,
                                     int64_t give_up_after_rank,
-                                    bool* exceeded);
+                                    bool* exceeded,
+                                    const CancelToken* cancel = nullptr);
 
 }  // namespace wsk
 

@@ -1,0 +1,105 @@
+#include "service/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace wsk {
+
+size_t LatencyHistogram::BucketFor(double ms) {
+  if (!(ms > 0.0)) return 0;  // negatives and NaN land in the first bucket
+  const double us = ms * 1000.0;
+  if (us <= 1.0) return 0;
+  // Bucket i covers (2^(i-1), 2^i] us.
+  const uint64_t ceil_us = static_cast<uint64_t>(std::ceil(us));
+  size_t bucket = 0;
+  uint64_t bound = 1;
+  while (bound < ceil_us && bucket + 1 < kNumBuckets) {
+    bound <<= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+double LatencyHistogram::BucketBoundMs(size_t i) {
+  return static_cast<double>(uint64_t{1} << i) / 1000.0;
+}
+
+void LatencyHistogram::Record(double ms) {
+  buckets_[BucketFor(ms)].fetch_add(1, std::memory_order_relaxed);
+  const double us = ms > 0.0 ? ms * 1000.0 : 0.0;
+  sum_us_.fetch_add(static_cast<uint64_t>(us), std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::TakeSnapshot() const {
+  uint64_t counts[kNumBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  Snapshot snap;
+  snap.count = total;
+  snap.sum_ms =
+      static_cast<double>(sum_us_.load(std::memory_order_relaxed)) / 1000.0;
+  if (total == 0) return snap;
+  snap.mean_ms = snap.sum_ms / static_cast<double>(total);
+
+  const auto percentile = [&](double q) {
+    // Smallest bucket bound below which at least q of the samples fall.
+    const uint64_t want = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      seen += counts[i];
+      if (seen >= want) return BucketBoundMs(i);
+    }
+    return BucketBoundMs(kNumBuckets - 1);
+  };
+  snap.p50_ms = percentile(0.50);
+  snap.p95_ms = percentile(0.95);
+  snap.p99_ms = percentile(0.99);
+  for (size_t i = kNumBuckets; i-- > 0;) {
+    if (counts[i] > 0) {
+      snap.max_ms = BucketBoundMs(i);
+      break;
+    }
+  }
+  return snap;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<LatencyHistogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::Report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char line[256];
+  for (const auto& [name, counter] : counters_) {
+    std::snprintf(line, sizeof(line), "counter   %-32s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(counter->value()));
+    out += line;
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const LatencyHistogram::Snapshot s = histogram->TakeSnapshot();
+    std::snprintf(line, sizeof(line),
+                  "histogram %-32s count %llu mean %.3f ms p50 %.3f ms "
+                  "p95 %.3f ms p99 %.3f ms max %.3f ms\n",
+                  name.c_str(), static_cast<unsigned long long>(s.count),
+                  s.mean_ms, s.p50_ms, s.p95_ms, s.p99_ms, s.max_ms);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace wsk

@@ -1,0 +1,281 @@
+#include "service/query_service.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/timer.h"
+
+namespace wsk {
+
+QueryService::QueryService(const WhyNotEngine* engine,
+                           const QueryServiceConfig& config)
+    : engine_(engine),
+      config_(config),
+      cache_(config.cache_capacity),
+      requests_total_(metrics_.counter("requests.total")),
+      requests_topk_(metrics_.counter("requests.topk")),
+      requests_whynot_(metrics_.counter("requests.whynot")),
+      responses_ok_(metrics_.counter("responses.ok")),
+      responses_rejected_(metrics_.counter("responses.rejected_overload")),
+      responses_cancelled_(metrics_.counter("responses.cancelled")),
+      responses_deadline_(metrics_.counter("responses.deadline_exceeded")),
+      responses_error_(metrics_.counter("responses.error")),
+      io_setr_physical_(metrics_.counter("io.setr.physical_reads")),
+      io_kcr_physical_(metrics_.counter("io.kcr.physical_reads")),
+      io_setr_logical_(metrics_.counter("io.setr.logical_reads")),
+      io_kcr_logical_(metrics_.counter("io.kcr.logical_reads")),
+      latency_topk_(metrics_.histogram("latency.topk.ms")),
+      latency_whynot_(metrics_.histogram("latency.whynot.ms")) {
+  WSK_CHECK_MSG(engine_ != nullptr, "QueryService requires an engine");
+  WSK_CHECK_MSG(config_.num_workers >= 1,
+                "QueryService requires at least one worker (got %d)",
+                config_.num_workers);
+  WSK_CHECK(config_.cache_location_quantum > 0.0);
+  pool_ = std::make_unique<ThreadPool>(config_.num_workers, config_.max_queue);
+}
+
+QueryService::~QueryService() {
+  // ThreadPool's destructor drains the queue and joins, so every admitted
+  // request fulfils its promise before the service's members go away.
+  pool_.reset();
+}
+
+bool QueryService::Admit() {
+  requests_total_.Increment();
+  const int64_t admitted = inflight_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.max_inflight > 0 &&
+      admitted >= static_cast<int64_t>(config_.max_inflight)) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    responses_rejected_.Increment();
+    return false;
+  }
+  return true;
+}
+
+CancelToken QueryService::EffectiveToken(const RequestOptions& opts) const {
+  const double timeout_ms =
+      opts.timeout_ms < 0.0 ? config_.default_timeout_ms : opts.timeout_ms;
+  if (timeout_ms > 0.0) {
+    // Observes the client's token (if any) AND the deadline. A null client
+    // token derives into a plain deadline token.
+    return opts.cancel.DeriveWithTimeout(timeout_ms);
+  }
+  return opts.cancel;
+}
+
+void QueryService::AccountStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      responses_ok_.Increment();
+      return;
+    case StatusCode::kCancelled:
+      responses_cancelled_.Increment();
+      return;
+    case StatusCode::kDeadlineExceeded:
+      responses_deadline_.Increment();
+      return;
+    default:
+      responses_error_.Increment();
+      return;
+  }
+}
+
+QueryService::IoSnapshot QueryService::TakeIoSnapshot() const {
+  IoSnapshot snap;
+  snap.setr_physical = engine_->setr_io().physical_reads();
+  snap.kcr_physical = engine_->kcr_io().physical_reads();
+  snap.setr_logical = engine_->setr_io().logical_reads();
+  snap.kcr_logical = engine_->kcr_io().logical_reads();
+  return snap;
+}
+
+void QueryService::AccountIo(const IoSnapshot& before) {
+  const IoSnapshot after = TakeIoSnapshot();
+  io_setr_physical_.Increment(after.setr_physical - before.setr_physical);
+  io_kcr_physical_.Increment(after.kcr_physical - before.kcr_physical);
+  io_setr_logical_.Increment(after.setr_logical - before.setr_logical);
+  io_kcr_logical_.Increment(after.kcr_logical - before.kcr_logical);
+}
+
+std::future<StatusOr<QueryService::TopKResponse>> QueryService::SubmitTopK(
+    const SpatialKeywordQuery& query, const RequestOptions& opts) {
+  requests_topk_.Increment();
+  auto promise = std::make_shared<std::promise<StatusOr<TopKResponse>>>();
+  std::future<StatusOr<TopKResponse>> future = promise->get_future();
+
+  if (!Admit()) {
+    promise->set_value(Status::ResourceExhausted(
+        "query service overloaded: max_inflight reached"));
+    return future;
+  }
+
+  CancelToken token = EffectiveToken(opts);
+  const std::string key =
+      opts.bypass_cache
+          ? std::string()
+          : FingerprintTopK(query, config_.cache_location_quantum);
+
+  auto task = [this, promise, query, token = std::move(token), key,
+               bypass_cache = opts.bypass_cache, timer = Timer()]() {
+    StatusOr<TopKResponse> outcome =
+        Status::Internal("query task did not produce a result");
+    try {
+      outcome = [&]() -> StatusOr<TopKResponse> {
+        // Fail fast: a request that was cancelled, or sat in the queue past
+        // its deadline, is rejected before any work — including the cache
+        // lookup, since its client is no longer waiting for an answer.
+        WSK_RETURN_IF_ERROR(token.Check());
+        TopKResponse response;
+        if (!bypass_cache) {
+          if (std::shared_ptr<const ResultCache::Entry> hit =
+                  cache_.Lookup(key)) {
+            response.results = hit->topk;
+            response.cache_hit = true;
+            return response;
+          }
+        }
+        const IoSnapshot io_before = TakeIoSnapshot();
+        StatusOr<std::vector<ScoredObject>> results =
+            engine_->TopK(query, &token);
+        if (!results.ok()) return results.status();
+        response.results = std::move(results).value();
+        AccountIo(io_before);
+        if (!bypass_cache) {
+          auto entry = std::make_shared<ResultCache::Entry>();
+          entry->is_whynot = false;
+          entry->topk = response.results;
+          cache_.Insert(key, std::move(entry));
+        }
+        return response;
+      }();
+    } catch (const std::exception& e) {
+      outcome = Status::Internal(std::string("top-k task threw: ") + e.what());
+    } catch (...) {
+      outcome = Status::Internal("top-k task threw a non-std exception");
+    }
+    const double latency_ms = timer.ElapsedMillis();
+    if (outcome.ok()) outcome.value().latency_ms = latency_ms;
+    AccountStatus(outcome.status());
+    latency_topk_.Record(latency_ms);
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    promise->set_value(std::move(outcome));
+  };
+
+  if (!pool_->TrySubmit(std::move(task))) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    responses_rejected_.Increment();
+    promise->set_value(Status::ResourceExhausted(
+        "query service overloaded: worker queue full"));
+  }
+  return future;
+}
+
+std::future<StatusOr<QueryService::WhyNotResponse>> QueryService::SubmitWhyNot(
+    WhyNotAlgorithm algorithm, const SpatialKeywordQuery& query,
+    const std::vector<ObjectId>& missing, const WhyNotOptions& options,
+    const RequestOptions& opts) {
+  requests_whynot_.Increment();
+  auto promise = std::make_shared<std::promise<StatusOr<WhyNotResponse>>>();
+  std::future<StatusOr<WhyNotResponse>> future = promise->get_future();
+
+  if (!Admit()) {
+    promise->set_value(Status::ResourceExhausted(
+        "query service overloaded: max_inflight reached"));
+    return future;
+  }
+
+  CancelToken token = EffectiveToken(opts);
+  const std::string key =
+      opts.bypass_cache
+          ? std::string()
+          : FingerprintWhyNot(algorithm, query, missing, options,
+                              config_.cache_location_quantum);
+
+  auto task = [this, promise, algorithm, query, missing, options,
+               token = std::move(token), key,
+               bypass_cache = opts.bypass_cache, timer = Timer()]() {
+    StatusOr<WhyNotResponse> outcome =
+        Status::Internal("query task did not produce a result");
+    try {
+      outcome = [&]() -> StatusOr<WhyNotResponse> {
+        WSK_RETURN_IF_ERROR(token.Check());  // fail fast, as in SubmitTopK
+        WhyNotResponse response;
+        if (!bypass_cache) {
+          if (std::shared_ptr<const ResultCache::Entry> hit =
+                  cache_.Lookup(key)) {
+            response.result = hit->whynot;
+            response.cache_hit = true;
+            return response;
+          }
+        }
+        WhyNotOptions effective = options;
+        effective.cancel = &token;
+        const IoSnapshot io_before = TakeIoSnapshot();
+        StatusOr<WhyNotResult> result =
+            engine_->Answer(algorithm, query, missing, effective);
+        if (!result.ok()) return result.status();
+        response.result = std::move(result).value();
+        AccountIo(io_before);
+        if (!bypass_cache) {
+          auto entry = std::make_shared<ResultCache::Entry>();
+          entry->is_whynot = true;
+          entry->whynot = response.result;
+          cache_.Insert(key, std::move(entry));
+        }
+        return response;
+      }();
+    } catch (const std::exception& e) {
+      outcome =
+          Status::Internal(std::string("why-not task threw: ") + e.what());
+    } catch (...) {
+      outcome = Status::Internal("why-not task threw a non-std exception");
+    }
+    const double latency_ms = timer.ElapsedMillis();
+    if (outcome.ok()) outcome.value().latency_ms = latency_ms;
+    AccountStatus(outcome.status());
+    latency_whynot_.Record(latency_ms);
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    promise->set_value(std::move(outcome));
+  };
+
+  if (!pool_->TrySubmit(std::move(task))) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    responses_rejected_.Increment();
+    promise->set_value(Status::ResourceExhausted(
+        "query service overloaded: worker queue full"));
+  }
+  return future;
+}
+
+std::string QueryService::MetricsReport() const {
+  std::string out = metrics_.Report();
+  char line[256];
+  const ResultCache::Stats cs = cache_.stats();
+  std::snprintf(line, sizeof(line),
+                "cache     hits %llu misses %llu insertions %llu "
+                "evictions %llu size %zu capacity %zu\n",
+                static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.misses),
+                static_cast<unsigned long long>(cs.insertions),
+                static_cast<unsigned long long>(cs.evictions), cache_.size(),
+                cache_.capacity());
+  out += line;
+  const IoSnapshot io = TakeIoSnapshot();
+  std::snprintf(line, sizeof(line),
+                "engine_io setr physical %llu logical %llu | kcr physical "
+                "%llu logical %llu\n",
+                static_cast<unsigned long long>(io.setr_physical),
+                static_cast<unsigned long long>(io.setr_logical),
+                static_cast<unsigned long long>(io.kcr_physical),
+                static_cast<unsigned long long>(io.kcr_logical));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "pool      workers %d queue_depth %zu task_exceptions %llu\n",
+                config_.num_workers, pool_->queue_depth(),
+                static_cast<unsigned long long>(pool_->num_task_exceptions()));
+  out += line;
+  return out;
+}
+
+}  // namespace wsk

@@ -1,0 +1,173 @@
+// QueryService: the concurrent, servable front end over WhyNotEngine.
+//
+// Request lifecycle (see docs/SERVICE.md):
+//
+//   admission -> result cache -> execute (with deadline/cancel) -> metrics
+//
+// Admission control bounds load two ways: `max_inflight` caps admitted
+// requests (queued + executing) and the worker pool's `max_queue` bounds
+// the pending backlog; either limit rejects new work immediately with
+// kResourceExhausted so an overloaded service degrades by shedding load
+// instead of queueing unboundedly. Admitted requests execute on a shared
+// ThreadPool, each under a CancelToken that combines the client's token
+// with the request deadline; the engine's algorithms observe the token at
+// node-visit / candidate granularity, so a timed-out query returns
+// kDeadlineExceeded within one unit of work. Successful answers land in a
+// shared LRU ResultCache keyed on a canonical query fingerprint, and every
+// request is accounted in the MetricsRegistry (status counters, latency
+// histograms, and I/O counter deltas from storage/io_stats.h).
+//
+// Thread safety: all public methods may be called concurrently. The
+// service relies on WhyNotEngine's documented contract that const query
+// methods are concurrency-safe; do not call engine->DropCaches() /
+// ResetIoStats() while the service has requests in flight.
+#ifndef WSK_SERVICE_QUERY_SERVICE_H_
+#define WSK_SERVICE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "service/metrics.h"
+#include "service/result_cache.h"
+
+namespace wsk {
+
+struct QueryServiceConfig {
+  int num_workers = 4;       // worker threads executing queries (>= 1)
+  size_t max_queue = 128;    // pending tasks the pool accepts (0 = unbounded)
+  size_t max_inflight = 256;  // admitted (queued + executing); 0 = unlimited
+  double default_timeout_ms = 0.0;  // per-request deadline; 0 = none
+  size_t cache_capacity = 1024;     // result cache entries; 0 disables
+  double cache_location_quantum = 1e-6;  // fingerprint grid cell size
+};
+
+// Per-request knobs.
+struct RequestOptions {
+  // Overrides the service default deadline; < 0 uses the default, 0
+  // disables the deadline for this request.
+  double timeout_ms = -1.0;
+  // Optional client-side cancellation; combined with the deadline.
+  CancelToken cancel;
+  // Skip cache lookup AND insertion (measurement / debugging).
+  bool bypass_cache = false;
+};
+
+class QueryService {
+ public:
+  struct TopKResponse {
+    std::vector<ScoredObject> results;
+    bool cache_hit = false;
+    double latency_ms = 0.0;  // admission to completion
+  };
+
+  struct WhyNotResponse {
+    WhyNotResult result;
+    bool cache_hit = false;
+    double latency_ms = 0.0;
+  };
+
+  // `engine` is borrowed and must outlive the service.
+  QueryService(const WhyNotEngine* engine, const QueryServiceConfig& config);
+
+  // Drains: blocks until every admitted request has completed.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // Asynchronous entry points. The returned future is always fulfilled —
+  // with kResourceExhausted immediately when admission rejects the
+  // request, with kCancelled / kDeadlineExceeded when its token fires, or
+  // with the answer.
+  std::future<StatusOr<TopKResponse>> SubmitTopK(
+      const SpatialKeywordQuery& query, const RequestOptions& opts = {});
+  std::future<StatusOr<WhyNotResponse>> SubmitWhyNot(
+      WhyNotAlgorithm algorithm, const SpatialKeywordQuery& query,
+      const std::vector<ObjectId>& missing, const WhyNotOptions& options,
+      const RequestOptions& opts = {});
+
+  // Blocking conveniences.
+  StatusOr<TopKResponse> TopK(const SpatialKeywordQuery& query,
+                              const RequestOptions& opts = {}) {
+    return SubmitTopK(query, opts).get();
+  }
+  StatusOr<WhyNotResponse> WhyNot(WhyNotAlgorithm algorithm,
+                                  const SpatialKeywordQuery& query,
+                                  const std::vector<ObjectId>& missing,
+                                  const WhyNotOptions& options,
+                                  const RequestOptions& opts = {}) {
+    return SubmitWhyNot(algorithm, query, missing, options, opts).get();
+  }
+
+  // Admitted requests not yet completed (racy diagnostic).
+  size_t inflight() const {
+    return static_cast<size_t>(inflight_.load(std::memory_order_relaxed));
+  }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const ResultCache& cache() const { return cache_; }
+  const QueryServiceConfig& config() const { return config_; }
+
+  // The metrics registry dump plus cache statistics, engine I/O counters,
+  // and worker-pool health — the service's full observability snapshot.
+  std::string MetricsReport() const;
+
+ private:
+  struct IoSnapshot {
+    uint64_t setr_physical = 0;
+    uint64_t kcr_physical = 0;
+    uint64_t setr_logical = 0;
+    uint64_t kcr_logical = 0;
+  };
+
+  // Combines admission bookkeeping shared by both Submit paths. Returns
+  // false (after accounting) when the request must be rejected.
+  bool Admit();
+  // Builds the effective token for one request.
+  CancelToken EffectiveToken(const RequestOptions& opts) const;
+  // Classifies a terminal status into the response counters.
+  void AccountStatus(const Status& status);
+  IoSnapshot TakeIoSnapshot() const;
+  // Adds the request's I/O delta to the io.* counters. Attribution is
+  // approximate under concurrency (the counters are shared; overlapping
+  // queries see each other's reads) — the aggregate engine snapshot in
+  // MetricsReport() is the exact total.
+  void AccountIo(const IoSnapshot& before);
+
+  const WhyNotEngine* const engine_;
+  const QueryServiceConfig config_;
+  MetricsRegistry metrics_;
+  ResultCache cache_;
+  std::atomic<int64_t> inflight_{0};
+
+  // Hot-path metrics, interned once at construction (registry lookups take
+  // the registry mutex; the request path must not).
+  Counter& requests_total_;
+  Counter& requests_topk_;
+  Counter& requests_whynot_;
+  Counter& responses_ok_;
+  Counter& responses_rejected_;
+  Counter& responses_cancelled_;
+  Counter& responses_deadline_;
+  Counter& responses_error_;
+  Counter& io_setr_physical_;
+  Counter& io_kcr_physical_;
+  Counter& io_setr_logical_;
+  Counter& io_kcr_logical_;
+  LatencyHistogram& latency_topk_;
+  LatencyHistogram& latency_whynot_;
+  // Declared last so teardown destroys it first: workers drain while the
+  // metrics/cache members their tasks touch are still alive.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace wsk
+
+#endif  // WSK_SERVICE_QUERY_SERVICE_H_

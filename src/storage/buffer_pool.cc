@@ -36,138 +36,166 @@ BufferPool::BufferPool(Pager* pager, size_t capacity_bytes) : pager_(pager) {
   WSK_CHECK(pager != nullptr);
   size_t n = capacity_bytes / pager->page_size();
   if (n == 0) n = 1;
+  num_shards_ = n >= kShardThreshold ? kNumShards : 1;
   frames_.resize(n);
-  free_frames_.reserve(n);
+  shards_ = std::make_unique<Shard[]>(num_shards_);
+  // Hand out low frame indexes first within each shard (as the unsharded
+  // pool did globally).
   for (size_t i = 0; i < n; ++i) {
     frames_[i].data.resize(pager->page_size());
-    free_frames_.push_back(n - 1 - i);  // hand out low indexes first
+    const size_t f = n - 1 - i;
+    ShardForFrame(f).free_frames.push_back(f);
   }
 }
 
-StatusOr<size_t> BufferPool::GrabFrameLocked() {
-  if (!free_frames_.empty()) {
-    const size_t f = free_frames_.back();
-    free_frames_.pop_back();
+StatusOr<size_t> BufferPool::GrabFrameLocked(Shard& shard) {
+  if (!shard.free_frames.empty()) {
+    const size_t f = shard.free_frames.back();
+    shard.free_frames.pop_back();
     return f;
   }
-  if (lru_.empty()) {
+  if (shard.lru.empty()) {
     return Status::FailedPrecondition("buffer pool exhausted: all pinned");
   }
-  const size_t f = lru_.front();
-  lru_.pop_front();
+  const size_t f = shard.lru.front();
+  shard.lru.pop_front();
   Frame& frame = frames_[f];
   frame.in_lru = false;
   if (frame.dirty) {
     WSK_RETURN_IF_ERROR(pager_->WritePage(frame.page_id, frame.data.data()));
     frame.dirty = false;
   }
-  page_to_frame_.erase(frame.page_id);
+  shard.page_to_frame.erase(frame.page_id);
   frame.valid = false;
   return f;
 }
 
 StatusOr<PageHandle> BufferPool::Fetch(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
   pager_->io_stats().RecordLogicalRead();
-  auto it = page_to_frame_.find(id);
-  if (it != page_to_frame_.end()) {
-    ++hits_;
+  Shard& shard = ShardForPage(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.page_to_frame.find(id);
+  if (it != shard.page_to_frame.end()) {
+    ++shard.hits;
     Frame& frame = frames_[it->second];
     if (frame.in_lru) {
-      lru_.erase(frame.lru_it);
+      shard.lru.erase(frame.lru_it);
       frame.in_lru = false;
     }
     ++frame.pin_count;
     return PageHandle(this, it->second, id, frame.data.data());
   }
-  ++misses_;
-  StatusOr<size_t> grabbed = GrabFrameLocked();
+  ++shard.misses;
+  StatusOr<size_t> grabbed = GrabFrameLocked(shard);
   if (!grabbed.ok()) return grabbed.status();
   const size_t f = grabbed.value();
   Frame& frame = frames_[f];
   Status read = pager_->ReadPage(id, frame.data.data());
   if (!read.ok()) {
-    free_frames_.push_back(f);
+    shard.free_frames.push_back(f);
     return read;
   }
   frame.page_id = id;
   frame.pin_count = 1;
   frame.dirty = false;
   frame.valid = true;
-  page_to_frame_[id] = f;
+  shard.page_to_frame[id] = f;
   return PageHandle(this, f, id, frame.data.data());
 }
 
 StatusOr<PageHandle> BufferPool::NewPage() {
-  std::lock_guard<std::mutex> lock(mu_);
-  StatusOr<size_t> grabbed = GrabFrameLocked();
+  // The page id must be known before picking a shard. If the shard then
+  // has no free frame the freshly allocated id is abandoned — harmless for
+  // an append-only pager, and the caller treats the failure as fatal.
+  const PageId id = pager_->AllocatePages(1);
+  Shard& shard = ShardForPage(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  StatusOr<size_t> grabbed = GrabFrameLocked(shard);
   if (!grabbed.ok()) return grabbed.status();
   const size_t f = grabbed.value();
-  const PageId id = pager_->AllocatePages(1);
   Frame& frame = frames_[f];
   std::memset(frame.data.data(), 0, frame.data.size());
   frame.page_id = id;
   frame.pin_count = 1;
   frame.dirty = true;
   frame.valid = true;
-  page_to_frame_[id] = f;
+  shard.page_to_frame[id] = f;
   return PageHandle(this, f, id, frame.data.data());
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (Frame& frame : frames_) {
-    if (frame.valid && frame.dirty) {
-      WSK_RETURN_IF_ERROR(pager_->WritePage(frame.page_id, frame.data.data()));
-      frame.dirty = false;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t f = s; f < frames_.size(); f += num_shards_) {
+      Frame& frame = frames_[f];
+      if (frame.valid && frame.dirty) {
+        WSK_RETURN_IF_ERROR(
+            pager_->WritePage(frame.page_id, frame.data.data()));
+        frame.dirty = false;
+      }
     }
   }
   return Status::Ok();
 }
 
 Status BufferPool::InvalidateAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (size_t f = 0; f < frames_.size(); ++f) {
-    Frame& frame = frames_[f];
-    if (!frame.valid || frame.pin_count > 0) continue;
-    if (frame.dirty) {
-      WSK_RETURN_IF_ERROR(pager_->WritePage(frame.page_id, frame.data.data()));
-      frame.dirty = false;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t f = s; f < frames_.size(); f += num_shards_) {
+      Frame& frame = frames_[f];
+      if (!frame.valid || frame.pin_count > 0) continue;
+      if (frame.dirty) {
+        WSK_RETURN_IF_ERROR(
+            pager_->WritePage(frame.page_id, frame.data.data()));
+        frame.dirty = false;
+      }
+      if (frame.in_lru) {
+        shard.lru.erase(frame.lru_it);
+        frame.in_lru = false;
+      }
+      shard.page_to_frame.erase(frame.page_id);
+      frame.valid = false;
+      shard.free_frames.push_back(f);
     }
-    if (frame.in_lru) {
-      lru_.erase(frame.lru_it);
-      frame.in_lru = false;
-    }
-    page_to_frame_.erase(frame.page_id);
-    frame.valid = false;
-    free_frames_.push_back(f);
   }
   return Status::Ok();
 }
 
 uint64_t BufferPool::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return hits_;
+  uint64_t total = 0;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    total += shards_[s].hits;
+  }
+  return total;
 }
 
 uint64_t BufferPool::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return misses_;
+  uint64_t total = 0;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    total += shards_[s].misses;
+  }
+  return total;
 }
 
 void BufferPool::Unpin(size_t frame_index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  Shard& shard = ShardForFrame(frame_index);
+  std::lock_guard<std::mutex> lock(shard.mu);
   Frame& frame = frames_[frame_index];
   WSK_CHECK(frame.pin_count > 0);
   if (--frame.pin_count == 0) {
-    lru_.push_back(frame_index);
-    frame.lru_it = std::prev(lru_.end());
+    shard.lru.push_back(frame_index);
+    frame.lru_it = std::prev(shard.lru.end());
     frame.in_lru = true;
   }
 }
 
 void BufferPool::MarkFrameDirty(size_t frame_index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  Shard& shard = ShardForFrame(frame_index);
+  std::lock_guard<std::mutex> lock(shard.mu);
   frames_[frame_index].dirty = true;
 }
 

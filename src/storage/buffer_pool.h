@@ -5,13 +5,22 @@
 // default capacity used by the experiments is 4 MiB, as in Section VII-A1.
 //
 // Thread safety: all operations are internally synchronized; a pinned page's
-// bytes may be read without holding the pool lock because pinned frames are
+// bytes may be read without holding any pool lock because pinned frames are
 // never evicted or recycled.
+//
+// Concurrency: pools with at least kShardThreshold frames are partitioned
+// into kNumShards independent shards (pages hash to a shard by id, frames
+// are statically divided among shards), so concurrent queries from the
+// service layer don't serialize on one global mutex. Each shard runs its
+// own LRU — a slight approximation of global LRU that does not change hit
+// behavior for uniformly spread page ids. Small pools keep a single shard
+// and therefore exact global LRU order.
 #ifndef WSK_STORAGE_BUFFER_POOL_H_
 #define WSK_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -91,6 +100,10 @@ class BufferPool {
  private:
   friend class PageHandle;
 
+  // Pools with fewer frames than this keep one shard (exact global LRU).
+  static constexpr size_t kShardThreshold = 64;
+  static constexpr size_t kNumShards = 8;
+
   struct Frame {
     PageId page_id = kInvalidPageId;
     int pin_count = 0;
@@ -101,22 +114,33 @@ class BufferPool {
     std::vector<uint8_t> data;
   };
 
+  // One independently locked partition: frame f belongs to shard
+  // f % num_shards_, page id p to shard p % num_shards_, and frames only
+  // ever cache pages of their own shard.
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<size_t> free_frames;
+    std::list<size_t> lru;  // front = coldest
+    std::unordered_map<PageId, size_t> page_to_frame;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
+  Shard& ShardForPage(PageId id) { return shards_[id % num_shards_]; }
+  Shard& ShardForFrame(size_t frame) { return shards_[frame % num_shards_]; }
+
   void Unpin(size_t frame);
   void MarkFrameDirty(size_t frame);
 
-  // Returns a usable frame index (from the free list or by evicting the
-  // coldest unpinned frame), or an error if all frames are pinned.
-  // Requires mu_ held.
-  StatusOr<size_t> GrabFrameLocked();
+  // Returns a usable frame index of `shard` (from its free list or by
+  // evicting its coldest unpinned frame), or an error if all of the
+  // shard's frames are pinned. Requires shard.mu held.
+  StatusOr<size_t> GrabFrameLocked(Shard& shard);
 
   Pager* const pager_;
-  mutable std::mutex mu_;
+  size_t num_shards_ = 1;
   std::vector<Frame> frames_;
-  std::vector<size_t> free_frames_;
-  std::list<size_t> lru_;  // front = coldest
-  std::unordered_map<PageId, size_t> page_to_frame_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  std::unique_ptr<Shard[]> shards_;
 };
 
 }  // namespace wsk

@@ -12,6 +12,14 @@ namespace wsk {
 
 // Thread-safe counters. Snapshot() gives a consistent-enough view for
 // experiment reporting (counters are monotone between Reset() calls).
+//
+// These counters sit on the query hot path (one logical read per page
+// fetch) and are shared by every query running against an engine, so they
+// are atomics with relaxed ordering: each increment is an independent
+// event count that synchronizes nothing — sequential consistency here
+// would buy no correctness and cost a fence per page access. Reset() must
+// not race with in-flight queries (see WhyNotEngine's thread-safety
+// contract); the relaxed stores keep even a misuse data-race-free.
 class IoStats {
  public:
   struct Snapshot {
@@ -20,22 +28,34 @@ class IoStats {
     uint64_t logical_reads = 0;
   };
 
-  void RecordPhysicalRead() { physical_reads_.fetch_add(1); }
-  void RecordPhysicalWrite() { physical_writes_.fetch_add(1); }
-  void RecordLogicalRead() { logical_reads_.fetch_add(1); }
+  void RecordPhysicalRead() {
+    physical_reads_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordPhysicalWrite() {
+    physical_writes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordLogicalRead() {
+    logical_reads_.fetch_add(1, std::memory_order_relaxed);
+  }
 
-  uint64_t physical_reads() const { return physical_reads_.load(); }
-  uint64_t physical_writes() const { return physical_writes_.load(); }
-  uint64_t logical_reads() const { return logical_reads_.load(); }
+  uint64_t physical_reads() const {
+    return physical_reads_.load(std::memory_order_relaxed);
+  }
+  uint64_t physical_writes() const {
+    return physical_writes_.load(std::memory_order_relaxed);
+  }
+  uint64_t logical_reads() const {
+    return logical_reads_.load(std::memory_order_relaxed);
+  }
 
   Snapshot TakeSnapshot() const {
     return Snapshot{physical_reads(), physical_writes(), logical_reads()};
   }
 
   void Reset() {
-    physical_reads_.store(0);
-    physical_writes_.store(0);
-    logical_reads_.store(0);
+    physical_reads_.store(0, std::memory_order_relaxed);
+    physical_writes_.store(0, std::memory_order_relaxed);
+    logical_reads_.store(0, std::memory_order_relaxed);
   }
 
  private:

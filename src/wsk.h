@@ -12,6 +12,7 @@
 #ifndef WSK_WSK_H_
 #define WSK_WSK_H_
 
+#include "common/cancel.h"        // cooperative cancellation / deadlines
 #include "common/geometry.h"      // Point, Rect, distances
 #include "common/status.h"        // Status, StatusOr
 #include "core/alpha_refinement.h"     // preference adaption ([8])
@@ -30,6 +31,9 @@
 #include "index/setr_tree.h"      // Section IV index
 #include "index/topk.h"           // incremental top-k
 #include "index/verify.h"         // index fsck
+#include "service/metrics.h"        // counters + latency histograms
+#include "service/query_service.h"  // concurrent service front end
+#include "service/result_cache.h"   // shared LRU result cache
 #include "text/keyword_set.h"     // keyword-set algebra
 #include "text/similarity.h"      // Jaccard / Dice / Overlap
 #include "text/vocabulary.h"      // term dictionary + particularity

@@ -1,0 +1,108 @@
+#include "common/cancel.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace wsk {
+namespace {
+
+void SleepMs(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+TEST(CancelTokenTest, NullTokenNeverCancels) {
+  CancelToken token;
+  EXPECT_FALSE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.Check().ok());
+  token.Cancel();  // no-op, not a crash
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.Check().ok());
+}
+
+TEST(CancelTokenTest, CreateThenCancel) {
+  CancelToken token = CancelToken::Create();
+  EXPECT_TRUE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.Check().ok());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelTokenTest, CopiesShareState) {
+  CancelToken a = CancelToken::Create();
+  CancelToken b = a;
+  b.Cancel();
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_EQ(a.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelTokenTest, DeadlineExpires) {
+  CancelToken token = CancelToken::WithTimeout(1.0);
+  SleepMs(10);
+  EXPECT_EQ(token.Check().code(), StatusCode::kDeadlineExceeded);
+  // A deadline is not a cancellation request.
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelTokenTest, GenerousDeadlineStaysOk) {
+  CancelToken token = CancelToken::WithTimeout(60 * 1000.0);
+  EXPECT_TRUE(token.Check().ok());
+}
+
+TEST(CancelTokenTest, DerivedObservesParentCancellation) {
+  CancelToken parent = CancelToken::Create();
+  CancelToken derived = parent.DeriveWithTimeout(60 * 1000.0);
+  EXPECT_TRUE(derived.Check().ok());
+  parent.Cancel();
+  EXPECT_TRUE(derived.cancelled());
+  EXPECT_EQ(derived.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelTokenTest, DerivedCancellationDoesNotPropagateUp) {
+  CancelToken parent = CancelToken::Create();
+  CancelToken derived = parent.DeriveWithTimeout(60 * 1000.0);
+  derived.Cancel();
+  EXPECT_FALSE(parent.cancelled());
+  EXPECT_TRUE(parent.Check().ok());
+  EXPECT_EQ(derived.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelTokenTest, DerivedDeadlineExpiresIndependently) {
+  CancelToken parent = CancelToken::Create();
+  CancelToken derived = parent.DeriveWithTimeout(1.0);
+  SleepMs(10);
+  EXPECT_EQ(derived.Check().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(parent.Check().ok());
+}
+
+TEST(CancelTokenTest, DeriveFromNullIsDeadlineOnly) {
+  CancelToken null_token;
+  CancelToken derived = null_token.DeriveWithTimeout(1.0);
+  EXPECT_TRUE(derived.valid());
+  SleepMs(10);
+  EXPECT_EQ(derived.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancelTokenTest, CancellationWinsOverExpiredDeadline) {
+  CancelToken token = CancelToken::WithTimeout(1.0);
+  token.Cancel();
+  SleepMs(10);  // deadline also expired by now
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelTokenTest, ConcurrentCancelIsSafe) {
+  CancelToken token = CancelToken::Create();
+  std::thread canceller([token]() mutable { token.Cancel(); });
+  while (!token.cancelled()) {
+    // spin until the other thread's request becomes visible
+  }
+  canceller.join();
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace wsk

@@ -1,4 +1,4 @@
-# Drives wsk_cli through generate -> topk -> whynot -> explain.
+# Drives wsk_cli through generate -> topk -> whynot -> explain -> serve.
 set(csv "${WORK_DIR}/cli_e2e.csv")
 execute_process(COMMAND ${CLI} generate --out ${csv} --objects 2000
                 RESULT_VARIABLE rc OUTPUT_VARIABLE out)
@@ -23,5 +23,11 @@ execute_process(COMMAND ${CLI} explain --data ${csv} --x 0.5 --y 0.5
                 RESULT_VARIABLE rc OUTPUT_VARIABLE out)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "explain failed: ${out}")
+endif()
+execute_process(COMMAND ${CLI} serve --data ${csv} --random 30 --workers 4
+                        --repeat 2 --seed 7
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "served" OR NOT out MATCHES "cache")
+  message(FATAL_ERROR "serve failed: ${out}")
 endif()
 file(REMOVE ${csv})

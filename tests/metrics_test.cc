@@ -1,0 +1,123 @@
+#include "service/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace wsk {
+namespace {
+
+TEST(CounterTest, IncrementsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(LatencyHistogramTest, EmptySnapshot) {
+  LatencyHistogram h;
+  const auto s = h.TakeSnapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p50_ms, 0.0);
+  EXPECT_EQ(s.p99_ms, 0.0);
+  EXPECT_EQ(s.max_ms, 0.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesFromBucketBounds) {
+  LatencyHistogram h;
+  // 95 fast samples (1 ms) and 5 slow ones (1000 ms).
+  for (int i = 0; i < 95; ++i) h.Record(1.0);
+  for (int i = 0; i < 5; ++i) h.Record(1000.0);
+  const auto s = h.TakeSnapshot();
+  EXPECT_EQ(s.count, 100u);
+  // 1 ms = 1000 us lands in the (512, 1024] us bucket: bound 1.024 ms.
+  EXPECT_DOUBLE_EQ(s.p50_ms, 1.024);
+  EXPECT_DOUBLE_EQ(s.p95_ms, 1.024);
+  // 1000 ms lands in the (2^19, 2^20] us bucket: bound 1048.576 ms.
+  EXPECT_DOUBLE_EQ(s.p99_ms, 1048.576);
+  EXPECT_DOUBLE_EQ(s.max_ms, 1048.576);
+  EXPECT_NEAR(s.mean_ms, (95.0 * 1.0 + 5.0 * 1000.0) / 100.0, 0.01);
+}
+
+TEST(LatencyHistogramTest, DegenerateSamplesLandInFirstBucket) {
+  LatencyHistogram h;
+  h.Record(0.0);
+  h.Record(-5.0);
+  h.Record(0.0005);  // 0.5 us: within the first bucket's (0, 1] us range
+  const auto s = h.TakeSnapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.p50_ms, 0.001);
+  EXPECT_DOUBLE_EQ(s.max_ms, 0.001);
+}
+
+TEST(LatencyHistogramTest, HugeSampleClampsToLastBucket) {
+  LatencyHistogram h;
+  h.Record(1e12);
+  const auto s = h.TakeSnapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_GT(s.max_ms, 0.0);
+}
+
+TEST(MetricsRegistryTest, InterningReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("requests.total");
+  Counter& b = registry.counter("requests.total");
+  EXPECT_EQ(&a, &b);
+  LatencyHistogram& ha = registry.histogram("latency.ms");
+  LatencyHistogram& hb = registry.histogram("latency.ms");
+  EXPECT_EQ(&ha, &hb);
+}
+
+TEST(MetricsRegistryTest, ReportListsAllMetrics) {
+  MetricsRegistry registry;
+  registry.counter("zeta").Increment(7);
+  registry.counter("alpha").Increment(3);
+  registry.histogram("lat").Record(2.0);
+  const std::string report = registry.Report();
+  EXPECT_NE(report.find("alpha"), std::string::npos);
+  EXPECT_NE(report.find("zeta"), std::string::npos);
+  EXPECT_NE(report.find("lat"), std::string::npos);
+  EXPECT_NE(report.find("p99"), std::string::npos);
+  // std::map ordering: counters come out sorted.
+  EXPECT_LT(report.find("alpha"), report.find("zeta"));
+}
+
+TEST(MetricsRegistryTest, ConcurrentInterningAndRecording) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&registry, t] {
+      const std::string name = "metric." + std::to_string(t % 4);
+      for (int i = 0; i < 1000; ++i) {
+        registry.counter(name).Increment();
+        registry.histogram("shared").Record(0.5);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  uint64_t total = 0;
+  for (int m = 0; m < 4; ++m) {
+    total += registry.counter("metric." + std::to_string(m)).value();
+  }
+  EXPECT_EQ(total, 8000u);
+  EXPECT_EQ(registry.histogram("shared").TakeSnapshot().count, 8000u);
+}
+
+}  // namespace
+}  // namespace wsk

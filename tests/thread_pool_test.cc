@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <set>
+#include <stdexcept>
 
 namespace wsk {
 namespace {
@@ -74,6 +76,78 @@ TEST(ThreadPoolTest, DestructionJoinsCleanly) {
     pool.Wait();
   }
   EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskIsSwallowedAndCounted) {
+  ThreadPool pool(2);
+  std::atomic<int> after{0};
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  pool.Submit([] { throw 42; });  // non-std exceptions are caught too
+  pool.Submit([&] { after.fetch_add(1); });
+  pool.Wait();
+  // The pool survives both throws: workers keep running later tasks and
+  // the failures are surfaced through the counter.
+  EXPECT_EQ(after.load(), 1);
+  EXPECT_EQ(pool.num_task_exceptions(), 2u);
+}
+
+TEST(ThreadPoolTest, InlineModeAlsoCountsExceptions) {
+  ThreadPool pool(0);
+  pool.Submit([] { throw std::runtime_error("inline boom"); });
+  EXPECT_EQ(pool.num_task_exceptions(), 1u);
+}
+
+TEST(ThreadPoolTest, TrySubmitHonorsQueueLimit) {
+  ThreadPool pool(1, /*queue_limit=*/2);
+  // Block the only worker so queued tasks cannot drain.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<int> ran{0};
+  pool.Submit([gate, &ran] {
+    gate.wait();
+    ran.fetch_add(1);
+  });
+  // Wait until the worker has dequeued the blocker (queue drains to 0).
+  while (pool.queue_depth() != 0) std::this_thread::yield();
+
+  EXPECT_TRUE(pool.TrySubmit([gate, &ran] { gate.wait(); ran.fetch_add(1); }));
+  EXPECT_TRUE(pool.TrySubmit([gate, &ran] { gate.wait(); ran.fetch_add(1); }));
+  // Queue is now at its limit of 2: bounded submission is refused...
+  EXPECT_FALSE(pool.TrySubmit([&ran] { ran.fetch_add(1); }));
+  EXPECT_EQ(pool.queue_depth(), 2u);
+  // ...while unbounded Submit still accepts (algorithm-internal fan-out
+  // must never be shed by the service's admission bound).
+  pool.Submit([gate, &ran] { gate.wait(); ran.fetch_add(1); });
+  EXPECT_EQ(pool.queue_depth(), 3u);
+
+  release.set_value();
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 4);  // everything accepted eventually ran
+}
+
+TEST(ThreadPoolTest, TrySubmitUnlimitedWhenNoQueueLimit) {
+  ThreadPool pool(1);  // queue_limit = 0: unbounded
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(pool.TrySubmit([gate, &ran] {
+      gate.wait();
+      ran.fetch_add(1);
+    }));
+  }
+  release.set_value();
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolTest, InlineModeTrySubmitAlwaysAccepts) {
+  ThreadPool pool(0, /*queue_limit=*/1);
+  int counter = 0;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(pool.TrySubmit([&] { ++counter; }));
+  }
+  EXPECT_EQ(counter, 5);  // nothing ever queues inline
 }
 
 }  // namespace

@@ -12,6 +12,16 @@
 //   explain   --data FILE --x X --y Y --keywords "a b c" --missing ID
 //             [--k K] [--alpha A]
 //       Explain why an object is (not) in the result.
+//   serve     --data FILE (--queries FILE | --random N) [--workers W]
+//             [--queue Q] [--inflight I] [--timeout-ms T] [--cache N]
+//             [--repeat R] [--seed S]
+//       Replay a query workload through the concurrent QueryService and
+//       print per-status counts, throughput, and the metrics report.
+//       Query file lines:
+//         topk <x> <y> <k> <alpha> <keywords...>
+//         whynot <bs|advanced|kcr> <x> <y> <k> <alpha> <lambda> \
+//                <missing-id[,id...]> <keywords...>
+//       Blank lines and lines starting with '#' are skipped.
 //
 // Example:
 //   wsk_cli generate --out /tmp/pois.csv --objects 5000
@@ -21,15 +31,20 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <future>
 #include <map>
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/timer.h"
 #include "core/engine.h"
 #include "core/explain.h"
 #include "data/dataset_io.h"
 #include "data/generator.h"
+#include "service/query_service.h"
 
 namespace {
 
@@ -85,7 +100,7 @@ class Args {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: wsk_cli <generate|topk|whynot|explain> [--flags]\n"
+               "usage: wsk_cli <generate|topk|whynot|explain|serve> [--flags]\n"
                "see the header of tools/wsk_cli.cc for details\n");
   return 2;
 }
@@ -285,6 +300,221 @@ int Explain(const Args& args) {
   return 0;
 }
 
+// One parsed workload request for the serve subcommand.
+struct ServeRequest {
+  bool is_whynot = false;
+  SpatialKeywordQuery query;
+  WhyNotAlgorithm algorithm = WhyNotAlgorithm::kKcrBased;
+  std::vector<ObjectId> missing;
+  WhyNotOptions options;
+};
+
+bool ParseAlgorithmName(const std::string& name, WhyNotAlgorithm* algorithm) {
+  if (name == "bs") {
+    *algorithm = WhyNotAlgorithm::kBasic;
+  } else if (name == "advanced") {
+    *algorithm = WhyNotAlgorithm::kAdvanced;
+  } else if (name == "kcr") {
+    *algorithm = WhyNotAlgorithm::kKcrBased;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Resolves whitespace-separated keyword strings (the rest of `line_in`)
+// against the dataset vocabulary; unknown words are skipped.
+KeywordSet ReadKeywords(std::istringstream* line_in, const Dataset& dataset) {
+  std::vector<TermId> terms;
+  std::string word;
+  while (*line_in >> word) {
+    const TermId t = dataset.vocabulary().Find(word);
+    if (t != Vocabulary::kInvalidTermId) terms.push_back(t);
+  }
+  return KeywordSet(std::move(terms));
+}
+
+bool LoadQueryFile(const char* path, const Dataset& dataset,
+                   std::vector<ServeRequest>* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open query file %s\n", path);
+    return false;
+  }
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream line_in(line);
+    std::string kind;
+    line_in >> kind;
+    ServeRequest req;
+    if (kind == "topk") {
+      line_in >> req.query.loc.x >> req.query.loc.y >> req.query.k >>
+          req.query.alpha;
+    } else if (kind == "whynot") {
+      req.is_whynot = true;
+      std::string algo, missing_csv;
+      line_in >> algo >> req.query.loc.x >> req.query.loc.y >> req.query.k >>
+          req.query.alpha >> req.options.lambda >> missing_csv;
+      if (!ParseAlgorithmName(algo, &req.algorithm)) {
+        std::fprintf(stderr, "%s:%d: unknown algorithm %s\n", path, line_no,
+                     algo.c_str());
+        return false;
+      }
+      std::istringstream ids(missing_csv);
+      std::string id;
+      while (std::getline(ids, id, ',')) {
+        req.missing.push_back(
+            static_cast<ObjectId>(std::strtoul(id.c_str(), nullptr, 10)));
+      }
+      if (req.missing.empty()) {
+        std::fprintf(stderr, "%s:%d: whynot line without missing ids\n", path,
+                     line_no);
+        return false;
+      }
+    } else {
+      std::fprintf(stderr, "%s:%d: unknown request kind %s\n", path, line_no,
+                   kind.c_str());
+      return false;
+    }
+    if (!line_in && !line_in.eof()) {
+      std::fprintf(stderr, "%s:%d: malformed request line\n", path, line_no);
+      return false;
+    }
+    req.query.doc = ReadKeywords(&line_in, dataset);
+    if (req.query.doc.empty()) {
+      std::fprintf(stderr, "%s:%d: no usable keywords\n", path, line_no);
+      return false;
+    }
+    out->push_back(std::move(req));
+  }
+  return true;
+}
+
+// Synthesizes a mixed workload (~2/3 top-k, 1/3 why-not cycling through the
+// three algorithms) anchored at real objects so queries hit data. Query
+// docs are trimmed to 4 terms and missing objects drawn from small-doc
+// objects to keep the candidate universe |doc0 ∪ M.doc| small — the BS
+// baseline is exponential in it.
+std::vector<ServeRequest> RandomWorkload(size_t count, const Dataset& dataset,
+                                         uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<size_t> pick_object(0, dataset.size() - 1);
+  std::uniform_real_distribution<double> jitter(-0.05, 0.05);
+  const auto pick_small_doc = [&](size_t max_terms) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const ObjectId id = static_cast<ObjectId>(pick_object(rng));
+      if (dataset.object(id).doc.size() <= max_terms) return id;
+    }
+    return static_cast<ObjectId>(pick_object(rng));
+  };
+  std::vector<ServeRequest> requests;
+  requests.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const SpatialObject& anchor = dataset.object(pick_small_doc(6));
+    ServeRequest req;
+    req.query.loc = Point{anchor.loc.x + jitter(rng), anchor.loc.y + jitter(rng)};
+    req.query.k = 5;
+    req.query.alpha = 0.5;
+    std::vector<TermId> terms(anchor.doc.begin(), anchor.doc.end());
+    if (terms.size() > 4) terms.resize(4);
+    req.query.doc = KeywordSet(std::move(terms));
+    if (i % 3 == 2) {
+      req.is_whynot = true;
+      const WhyNotAlgorithm algorithms[] = {WhyNotAlgorithm::kBasic,
+                                            WhyNotAlgorithm::kAdvanced,
+                                            WhyNotAlgorithm::kKcrBased};
+      req.algorithm = algorithms[(i / 3) % 3];
+      req.missing.push_back(pick_small_doc(3));
+      req.options.lambda = 0.5;
+    }
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
+int Serve(const Args& args) {
+  std::unique_ptr<Dataset> dataset = LoadData(args);
+  if (dataset == nullptr) return 1;
+
+  std::vector<ServeRequest> requests;
+  if (const char* queries = args.Get("queries")) {
+    if (!LoadQueryFile(queries, *dataset, &requests)) return 2;
+  } else if (args.Has("random")) {
+    const long n = args.GetLong("random", 100);
+    if (n <= 0) {
+      std::fprintf(stderr, "--random requires a positive count\n");
+      return 2;
+    }
+    requests = RandomWorkload(static_cast<size_t>(n), *dataset,
+                              static_cast<uint64_t>(args.GetLong("seed", 42)));
+  } else {
+    std::fprintf(stderr, "serve requires --queries FILE or --random N\n");
+    return 2;
+  }
+  if (requests.empty()) {
+    std::fprintf(stderr, "empty workload\n");
+    return 2;
+  }
+
+  auto engine_or = WhyNotEngine::Build(dataset.get(), {});
+  if (!engine_or.ok()) return Fail(engine_or.status());
+  auto engine = std::move(engine_or).value();
+
+  QueryServiceConfig config;
+  config.num_workers = static_cast<int>(args.GetLong("workers", 4));
+  config.max_queue = static_cast<size_t>(args.GetLong("queue", 0));
+  config.max_inflight = static_cast<size_t>(args.GetLong("inflight", 0));
+  config.default_timeout_ms = args.GetDouble("timeout-ms", 0.0);
+  config.cache_capacity = static_cast<size_t>(args.GetLong("cache", 1024));
+  QueryService service(engine.get(), config);
+
+  const long repeat = args.GetLong("repeat", 1);
+  std::vector<std::future<StatusOr<QueryService::TopKResponse>>> topk_futures;
+  std::vector<std::future<StatusOr<QueryService::WhyNotResponse>>>
+      whynot_futures;
+  Timer wall;
+  for (long r = 0; r < repeat; ++r) {
+    for (const ServeRequest& req : requests) {
+      if (req.is_whynot) {
+        whynot_futures.push_back(service.SubmitWhyNot(
+            req.algorithm, req.query, req.missing, req.options));
+      } else {
+        topk_futures.push_back(service.SubmitTopK(req.query));
+      }
+    }
+  }
+
+  std::map<StatusCode, uint64_t> by_code;
+  uint64_t cache_hits = 0;
+  for (auto& f : topk_futures) {
+    const StatusOr<QueryService::TopKResponse> r = f.get();
+    ++by_code[r.status().code()];
+    if (r.ok() && r.value().cache_hit) ++cache_hits;
+  }
+  for (auto& f : whynot_futures) {
+    const StatusOr<QueryService::WhyNotResponse> r = f.get();
+    ++by_code[r.status().code()];
+    if (r.ok() && r.value().cache_hit) ++cache_hits;
+  }
+  const double wall_s = wall.ElapsedSeconds();
+
+  const size_t total = topk_futures.size() + whynot_futures.size();
+  std::printf("served %zu requests (%zu topk, %zu whynot) in %.3f s — "
+              "throughput %.1f qps, %llu cache hits\n",
+              total, topk_futures.size(), whynot_futures.size(), wall_s,
+              total / (wall_s > 0.0 ? wall_s : 1e-9),
+              static_cast<unsigned long long>(cache_hits));
+  for (const auto& [code, count] : by_code) {
+    std::printf("  %-20s %llu\n", StatusCodeName(code),
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("%s", service.MetricsReport().c_str());
+  return by_code.size() == 1 && by_code.count(StatusCode::kOk) == 1 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -296,5 +526,6 @@ int main(int argc, char** argv) {
   if (command == "topk") return TopK(args);
   if (command == "whynot") return WhyNot(args);
   if (command == "explain") return Explain(args);
+  if (command == "serve") return Serve(args);
   return Usage();
 }
