@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/macros.h"
 #include "common/rng.h"
@@ -216,10 +219,107 @@ void RegisterAllAlgorithms(const std::string& label, const WorkloadSpec& spec,
   }
 }
 
+namespace {
+
+// Tees console output while keeping a copy of every run for the JSON dump.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    return benchmark::ConsoleReporter::ReportContext(context);
+  }
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      runs_.push_back(run);
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
+void JsonEscape(const std::string& in, std::string* out) {
+  for (char c : in) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void WriteJson(const std::string& path, const std::vector<
+                   benchmark::BenchmarkReporter::Run>& runs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  WSK_CHECK_MSG(f != nullptr, "cannot open --json file %s", path.c_str());
+  std::fprintf(f, "{\n  \"context\": {\n");
+  std::fprintf(f, "    \"objects\": %u,\n", EnvObjects());
+  std::fprintf(f, "    \"queries_per_point\": %u\n", EnvQueriesPerPoint());
+  std::fprintf(f, "  },\n  \"benchmarks\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const auto& run = runs[i];
+    std::string name;
+    JsonEscape(run.benchmark_name(), &name);
+    const double iterations = static_cast<double>(run.iterations);
+    const double ns_per_op =
+        iterations > 0 ? run.real_accumulated_time * 1e9 / iterations : 0.0;
+    std::fprintf(f, "    {\n      \"name\": \"%s\",\n", name.c_str());
+    std::fprintf(f, "      \"iterations\": %llu,\n",
+                 static_cast<unsigned long long>(run.iterations));
+    std::fprintf(f, "      \"ns_per_op\": %.17g,\n", ns_per_op);
+    std::fprintf(f, "      \"counters\": {");
+    bool first = true;
+    for (const auto& [counter_name, counter] : run.counters) {
+      std::string escaped;
+      JsonEscape(counter_name, &escaped);
+      std::fprintf(f, "%s\n        \"%s\": %.17g", first ? "" : ",",
+                   escaped.c_str(), static_cast<double>(counter.value));
+      first = false;
+    }
+    std::fprintf(f, "%s      }\n    }%s\n", first ? "" : "\n      ",
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[wsk-bench] wrote %zu benchmark results to %s\n",
+               runs.size(), path.c_str());
+}
+
+}  // namespace
+
 int RunRegisteredBenchmarks(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  // Strip --json before Google Benchmark sees the argument list.
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  if (json_path.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    JsonTeeReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    WriteJson(json_path, reporter.runs());
+  }
   benchmark::Shutdown();
   return 0;
 }

@@ -85,6 +85,13 @@ void RegisterOne(const std::string& label, WhyNotAlgorithm algorithm,
                  const WorkloadSpec& spec, const WhyNotOptions& options);
 
 // Standard bench main body: initialize, run, shut down.
+//
+// Recognizes `--json <path>` / `--json=<path>` (stripped before the flags
+// reach Google Benchmark): on top of the normal console output, writes a
+// machine-readable summary of every run — name, iterations, ns/op, and all
+// user counters (avg_ms, avg_io, avg_penalty, cand_eval, speedup, ...) —
+// plus the dataset-scale context (WSK_BENCH_OBJECTS / WSK_BENCH_QUERIES),
+// for tools/check_bench_regression.py.
 int RunRegisteredBenchmarks(int argc, char** argv);
 
 }  // namespace wsk::bench

@@ -1,0 +1,292 @@
+// Candidate-scoring kernel microbenchmarks (docs/PERF.md).
+//
+// Two layers:
+//   1. Synthetic kernels — multi-candidate scoring (scalar TextualSimilarity
+//      per candidate vs. footprint + ScoreAllCandidates) and the sorted-set
+//      intersection paths (scalar merge / galloping / SIMD block). The
+//      BM_KernelSpeedup points time both paths in the same process and emit
+//      a `speedup` counter (scalar ns / kernel ns) — a machine-relative
+//      ratio that tools/check_bench_regression.py can gate on without
+//      caring about absolute CPU speed.
+//   2. End-to-end — AdvancedBS and KcR with use_score_kernel on vs. off on
+//      the shared bench dataset, for BENCH_BASELINE.json.
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/macros.h"
+#include "common/rng.h"
+#include "text/keyword_set.h"
+#include "text/score_kernel.h"
+#include "text/similarity.h"
+
+namespace {
+
+using wsk::CandidateMask;
+using wsk::CandidateUniverse;
+using wsk::Footprint;
+using wsk::KeywordSet;
+using wsk::Rng;
+using wsk::SimilarityModel;
+using wsk::TermId;
+
+constexpr uint32_t kVocab = 4096;
+
+KeywordSet MakeDoc(Rng& rng, size_t len) {
+  std::vector<TermId> terms;
+  terms.reserve(len);
+  while (terms.size() < len) {
+    const TermId t = static_cast<TermId>(rng.NextUint64(kVocab));
+    if (std::find(terms.begin(), terms.end(), t) == terms.end()) {
+      terms.push_back(t);
+    }
+  }
+  return KeywordSet(std::move(terms));
+}
+
+// Fixture shared by the scalar/kernel multi-candidate benchmarks: one
+// universe of `universe_size` terms, `num_cands` random non-empty subsets of
+// it, and `num_docs` documents that overlap the universe about half the
+// time (the realistic why-not mix: some terms shared with doc0 ∪ M.doc,
+// some not).
+struct ScoringFixture {
+  KeywordSet universe_set;
+  CandidateUniverse universe;
+  std::vector<KeywordSet> cand_sets;
+  std::vector<CandidateMask> cand_masks;
+  std::vector<KeywordSet> docs;
+  std::vector<Footprint> fps;  // memoized, as WhyNotScorer does per query
+
+  ScoringFixture(size_t universe_size, size_t num_cands, size_t num_docs,
+                 uint64_t seed) {
+    Rng rng(seed);
+    universe_set = MakeDoc(rng, universe_size);
+    universe = CandidateUniverse::Build(universe_set);
+    WSK_CHECK(universe.valid());
+    for (size_t c = 0; c < num_cands; ++c) {
+      std::vector<TermId> terms;
+      for (size_t i = 0; i < universe_size; ++i) {
+        if (rng.NextBool(0.4)) terms.push_back(universe.term(i));
+      }
+      if (terms.empty()) terms.push_back(universe.term(0));
+      cand_sets.emplace_back(std::move(terms));
+      cand_masks.push_back(universe.MaskOf(cand_sets.back()));
+    }
+    for (size_t d = 0; d < num_docs; ++d) {
+      std::vector<TermId> terms;
+      const size_t len = 4 + rng.NextUint64(24);
+      while (terms.size() < len) {
+        const TermId t = rng.NextBool(0.5)
+                             ? universe.term(rng.NextUint64(universe.size()))
+                             : static_cast<TermId>(rng.NextUint64(kVocab));
+        if (std::find(terms.begin(), terms.end(), t) == terms.end()) {
+          terms.push_back(t);
+        }
+      }
+      docs.emplace_back(std::move(terms));
+      fps.push_back(universe.FootprintOf(docs.back()));
+    }
+  }
+
+  // Each path consumes every score through DoNotOptimize — no artificial
+  // reduction chain on either side, and nothing gets dead-code-eliminated.
+  int RunScalar() const {
+    for (const KeywordSet& doc : docs) {
+      for (const KeywordSet& cand : cand_sets) {
+        benchmark::DoNotOptimize(
+            wsk::TextualSimilarity(doc, cand, SimilarityModel::kJaccard));
+      }
+    }
+    return 0;
+  }
+
+  // Footprints already memoized — the steady state of a why-not run, where
+  // WhyNotScorer computes each object's footprint once per invocation and
+  // every candidate batch after that reuses it.
+  int RunKernel(std::vector<double>* out) const {
+    for (const Footprint& fp : fps) {
+      ScoreAllCandidates(fp, cand_masks, SimilarityModel::kJaccard, out);
+      benchmark::DoNotOptimize(out->data());
+      benchmark::ClobberMemory();
+    }
+    return 0;
+  }
+
+  // Worst case: the footprint is rebuilt for every (doc, batch) pair, i.e.
+  // the batch is the only consumer (KcR leaf scoring against one batch).
+  int RunKernelCold(std::vector<double>* out) const {
+    for (const KeywordSet& doc : docs) {
+      const Footprint fp = universe.FootprintOf(doc);
+      ScoreAllCandidates(fp, cand_masks, SimilarityModel::kJaccard, out);
+      benchmark::DoNotOptimize(out->data());
+      benchmark::ClobberMemory();
+    }
+    return 0;
+  }
+};
+
+void BM_ScoreCandidates_Scalar(benchmark::State& state) {
+  const ScoringFixture fx(state.range(0), state.range(1), 32, 991);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.RunScalar());
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * state.range(1));
+}
+
+void BM_ScoreCandidates_Kernel(benchmark::State& state) {
+  const ScoringFixture fx(state.range(0), state.range(1), 32, 991);
+  std::vector<double> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.RunKernel(&out));
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * state.range(1));
+}
+
+void BM_ScoreCandidates_KernelCold(benchmark::State& state) {
+  const ScoringFixture fx(state.range(0), state.range(1), 32, 991);
+  std::vector<double> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.RunKernelCold(&out));
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * state.range(1));
+}
+
+// Times both paths back-to-back and reports the ratio. The acceptance
+// criterion for the kernel layer is speedup >= 3 at (universe <= 64,
+// >= 8 candidates); the regression checker enforces it via this counter.
+void BM_KernelSpeedup(benchmark::State& state) {
+  const ScoringFixture fx(state.range(0), state.range(1), 32, 991);
+  std::vector<double> out;
+  // Self-calibrating rep count: long enough for a stable ratio everywhere.
+  auto time_ns = [](auto&& fn) {
+    using Clock = std::chrono::steady_clock;
+    uint64_t reps = 1;
+    for (;;) {
+      const auto start = Clock::now();
+      for (uint64_t r = 0; r < reps; ++r) benchmark::DoNotOptimize(fn());
+      const double ns = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               start)
+              .count());
+      if (ns > 2e7) return ns / static_cast<double>(reps);
+      reps *= 4;
+    }
+  };
+  double scalar_ns = 0.0;
+  double kernel_ns = 0.0;
+  for (auto _ : state) {
+    scalar_ns = time_ns([&fx] { return fx.RunScalar(); });
+    kernel_ns = time_ns([&fx, &out] { return fx.RunKernel(&out); });
+  }
+  state.counters["scalar_ns"] = scalar_ns;
+  state.counters["kernel_ns"] = kernel_ns;
+  state.counters["speedup"] = scalar_ns / kernel_ns;
+}
+
+// Sorted-set intersection paths at representative (small, large) shapes.
+void MakePair(size_t na, size_t nb, std::vector<TermId>* a,
+              std::vector<TermId>* b) {
+  Rng rng(7 * na + nb);
+  const KeywordSet sa = MakeDoc(rng, na);
+  const KeywordSet sb = MakeDoc(rng, nb);
+  a->assign(sa.begin(), sa.end());
+  b->assign(sb.begin(), sb.end());
+}
+
+void BM_Intersect_Scalar(benchmark::State& state) {
+  std::vector<TermId> a, b;
+  MakePair(state.range(0), state.range(1), &a, &b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wsk::internal::IntersectionSizeScalar(
+        a.data(), a.size(), b.data(), b.size()));
+  }
+}
+
+void BM_Intersect_Galloping(benchmark::State& state) {
+  std::vector<TermId> a, b;
+  MakePair(state.range(0), state.range(1), &a, &b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wsk::internal::IntersectionSizeGalloping(
+        a.data(), a.size(), b.data(), b.size()));
+  }
+}
+
+void BM_Intersect_Block(benchmark::State& state) {
+  std::vector<TermId> a, b;
+  MakePair(state.range(0), state.range(1), &a, &b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wsk::internal::IntersectionSizeBlock(
+        a.data(), a.size(), b.data(), b.size()));
+  }
+}
+
+void BM_Intersect_Dispatch(benchmark::State& state) {
+  Rng rng(7 * state.range(0) + state.range(1));
+  const KeywordSet a = MakeDoc(rng, state.range(0));
+  const KeywordSet b = MakeDoc(rng, state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.IntersectionSize(b));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using wsk::WhyNotAlgorithm;
+  using wsk::WhyNotOptions;
+  using namespace wsk::bench;
+
+  // Multi-candidate scoring: universe x candidate-batch sweep.
+  for (const auto& [u, c] : {std::pair<int64_t, int64_t>{12, 8},
+                             {20, 64},
+                             {40, 256},
+                             {64, 512}}) {
+    benchmark::RegisterBenchmark("ScoreCandidates/scalar", //
+                                 BM_ScoreCandidates_Scalar)
+        ->Args({u, c});
+    benchmark::RegisterBenchmark("ScoreCandidates/kernel",
+                                 BM_ScoreCandidates_Kernel)
+        ->Args({u, c});
+    benchmark::RegisterBenchmark("ScoreCandidates/kernel_cold",
+                                 BM_ScoreCandidates_KernelCold)
+        ->Args({u, c});
+    benchmark::RegisterBenchmark("KernelSpeedup", BM_KernelSpeedup)
+        ->Args({u, c})
+        ->Iterations(1);
+  }
+
+  // Intersection paths: balanced, moderately skewed, heavily skewed.
+  for (const auto& [na, nb] : {std::pair<int64_t, int64_t>{16, 16},
+                               {32, 256},
+                               {8, 2048}}) {
+    benchmark::RegisterBenchmark("Intersect/scalar", BM_Intersect_Scalar)
+        ->Args({na, nb});
+    benchmark::RegisterBenchmark("Intersect/galloping",
+                                 BM_Intersect_Galloping)
+        ->Args({na, nb});
+    benchmark::RegisterBenchmark("Intersect/block", BM_Intersect_Block)
+        ->Args({na, nb});
+    benchmark::RegisterBenchmark("Intersect/dispatch", BM_Intersect_Dispatch)
+        ->Args({na, nb});
+  }
+
+  // End-to-end: kernel on vs. off for the two advanced algorithms. A
+  // 6-keyword workload with a wider universe cap, so the candidate space is
+  // large enough for per-candidate scoring to matter.
+  for (const bool kernel : {true, false}) {
+    for (WhyNotAlgorithm algorithm :
+         {WhyNotAlgorithm::kAdvanced, WhyNotAlgorithm::kKcrBased}) {
+      WorkloadSpec spec;
+      spec.num_keywords = 6;
+      spec.max_universe = 18;
+      spec.seed = 17001;
+      WhyNotOptions options;
+      options.use_score_kernel = kernel;
+      RegisterOne(std::string("kernel=") + (kernel ? "on" : "off"), algorithm,
+                  spec, options);
+    }
+  }
+  return RunRegisteredBenchmarks(argc, argv);
+}

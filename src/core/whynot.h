@@ -47,6 +47,13 @@ struct WhyNotOptions {
   // candidates with the highest particularity benefit. 0 = exact.
   uint32_t sample_size = 0;
 
+  // Candidate-scoring kernel (docs/PERF.md): represent candidates as bit
+  // masks over doc0 ∪ M.doc and score via footprint popcounts instead of
+  // sorted merges. Results are bit-identical either way (the differential
+  // tests compare the two paths); false forces the scalar reference path.
+  // The kernel also disables itself when the universe exceeds 64 terms.
+  bool use_score_kernel = true;
+
   // Optional cooperative cancellation (borrowed; must outlive the query).
   // All three algorithms check it at candidate / node-visit granularity and
   // return kCancelled or kDeadlineExceeded instead of running to

@@ -16,6 +16,7 @@ namespace {
 
 using internal::MissingSet;
 using internal::RankFromIndex;
+using internal::WhyNotScorer;
 
 // Search state shared between candidate-evaluation workers (Section IV-C4:
 // p_c and the rank bounds must be synchronized across threads).
@@ -46,7 +47,8 @@ struct SharedState {
 // shared state. Returns non-OK only on I/O failure.
 Status EvaluateCandidate(const Dataset& dataset, const SetRTree& tree,
                          const SpatialKeywordQuery& original,
-                         const MissingSet& missing, const PenaltyModel& pm,
+                         const MissingSet& missing,
+                         const WhyNotScorer& scorer, const PenaltyModel& pm,
                          const WhyNotOptions& options, const Candidate& cand,
                          uint64_t order, SharedState* state) {
   // Cancellation check per candidate; the rank query below re-checks at
@@ -94,7 +96,14 @@ Status EvaluateCandidate(const Dataset& dataset, const SetRTree& tree,
 
   SpatialKeywordQuery refined = original;
   refined.doc = cand.doc;
-  const double min_score = missing.MinScore(refined, tree.diagonal());
+  // Kernel path: the candidate becomes a mask over doc0 ∪ M.doc; the
+  // missing objects' footprints and distances were computed once up front.
+  const bool kernel = scorer.kernel_enabled();
+  const CandidateMask cand_mask =
+      kernel ? scorer.universe().MaskOf(cand.doc) : 0;
+  const double min_score = kernel
+                               ? scorer.MinScore(cand_mask)
+                               : missing.MinScore(refined, tree.diagonal());
 
   // Opt3: prune the candidate before running its query — immediately when
   // no rank can beat p_c, otherwise by counting cached dominators that
@@ -112,9 +121,10 @@ Status EvaluateCandidate(const Dataset& dataset, const SetRTree& tree,
     }
     int64_t still_dominating = 0;
     for (ObjectId id : snapshot) {
-      if (Score(dataset.object(id), refined, tree.diagonal()) > min_score) {
-        ++still_dominating;
-      }
+      const double score =
+          kernel ? scorer.ObjectScore(id, cand_mask)
+                 : Score(dataset.object(id), refined, tree.diagonal());
+      if (score > min_score) ++still_dominating;
       if (still_dominating >= rank_bound) break;
     }
     if (still_dominating >= rank_bound) {
@@ -199,6 +209,8 @@ StatusOr<WhyNotResult> AnswerWhyNotBasic(const Dataset& dataset,
                                  dataset.vocabulary());
   const PenaltyModel pm(options.lambda, original.k, initial_rank.value(),
                         enumerator.universe_size());
+  const WhyNotScorer scorer(dataset, missing_set, original, tree.diagonal(),
+                            enumerator.universe(), options.use_score_kernel);
 
   SharedState state;
   state.best_penalty = options.lambda;
@@ -227,8 +239,9 @@ StatusOr<WhyNotResult> AnswerWhyNotBasic(const Dataset& dataset,
         std::lock_guard<std::mutex> lock(state.mu);
         if (i >= state.stop_order) return;
       }
-      Status s = EvaluateCandidate(dataset, tree, original, missing_set, pm,
-                                   options, candidates[i], i, &state);
+      Status s = EvaluateCandidate(dataset, tree, original, missing_set,
+                                   scorer, pm, options, candidates[i], i,
+                                   &state);
       if (!s.ok()) {
         std::lock_guard<std::mutex> lock(status_mu);
         if (worker_status.ok()) worker_status = s;

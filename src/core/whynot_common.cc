@@ -39,6 +39,64 @@ double MissingSet::MinScore(const SpatialKeywordQuery& query,
   return min_score;
 }
 
+WhyNotScorer::WhyNotScorer(const Dataset& dataset, const MissingSet& missing,
+                           const SpatialKeywordQuery& original,
+                           double diagonal, const KeywordSet& universe,
+                           bool enable_kernel)
+    : dataset_(dataset),
+      query_loc_(original.loc),
+      diagonal_(diagonal),
+      alpha_(original.alpha),
+      model_(original.model) {
+  if (!enable_kernel) return;  // universe_ stays invalid: scalar path
+  universe_ = CandidateUniverse::Build(universe);
+  if (!universe_.valid()) return;
+  missing_fp_.reserve(missing.size());
+  missing_sdist_.reserve(missing.size());
+  for (size_t i = 0; i < missing.size(); ++i) {
+    missing_fp_.push_back(universe_.FootprintOf(*missing.docs[i]));
+    // Same expression as MissingSet::MinScore so the doubles match bit for
+    // bit.
+    missing_sdist_.push_back(Distance(missing.locs[i], query_loc_) /
+                             diagonal);
+  }
+}
+
+double WhyNotScorer::MinScore(CandidateMask cand) const {
+  double min_score = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < missing_fp_.size(); ++i) {
+    const double sdist = missing_sdist_[i];
+    const double tsim = ScoreCandidate(missing_fp_[i], cand, model_);
+    const double score = alpha_ * (1.0 - sdist) + (1.0 - alpha_) * tsim;
+    min_score = std::min(min_score, score);
+  }
+  return min_score;
+}
+
+double WhyNotScorer::ObjectScore(ObjectId id, CandidateMask cand) const {
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    auto it = memo_.find(id);
+    if (it != memo_.end()) {
+      const double tsim = ScoreCandidate(it->second.fp, cand, model_);
+      return alpha_ * (1.0 - it->second.sdist) + (1.0 - alpha_) * tsim;
+    }
+  }
+  const SpatialObject& o = dataset_.object(id);
+  ObjectEntry entry;
+  entry.fp = universe_.FootprintOf(o.doc);
+  // Mirrors Score(): sdist normalized against the same diagonal.
+  entry.sdist = Distance(o.loc, query_loc_) / diagonal_;
+  const double tsim = ScoreCandidate(entry.fp, cand, model_);
+  const double score =
+      alpha_ * (1.0 - entry.sdist) + (1.0 - alpha_) * tsim;
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    memo_.emplace(id, entry);
+  }
+  return score;
+}
+
 Status ValidateWhyNotInput(const SpatialKeywordQuery& original,
                            const std::vector<ObjectId>& missing,
                            const WhyNotOptions& options, size_t dataset_size) {

@@ -2,6 +2,8 @@
 #ifndef WSK_CORE_WHYNOT_COMMON_H_
 #define WSK_CORE_WHYNOT_COMMON_H_
 
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -9,6 +11,7 @@
 #include "data/dataset.h"
 #include "data/query.h"
 #include "index/topk.h"
+#include "text/score_kernel.h"
 
 namespace wsk::internal {
 
@@ -27,6 +30,63 @@ struct MissingSet {
   // min_i ST(m_i, query): the score threshold above which an object counts
   // toward R(M, query).
   double MinScore(const SpatialKeywordQuery& query, double diagonal) const;
+};
+
+// Per-invocation candidate scorer (docs/PERF.md): freezes the candidate
+// universe doc0 ∪ M.doc into a bit index, footprints every missing object's
+// doc once (instead of re-scoring it per candidate), and memoizes
+// dataset-object footprints for the Opt3 dominator re-checks. All scores
+// are bit-identical to the scalar expressions they replace; when the kernel
+// is disabled (options or a > 64-term universe) kernel_enabled() is false
+// and callers take the scalar reference path.
+class WhyNotScorer {
+ public:
+  // `universe` is the enumerator's doc0 ∪ M.doc: every candidate mask
+  // passed to the scoring methods must be a subset of it.
+  WhyNotScorer(const Dataset& dataset, const MissingSet& missing,
+               const SpatialKeywordQuery& original, double diagonal,
+               const KeywordSet& universe, bool enable_kernel);
+
+  bool kernel_enabled() const { return universe_.valid(); }
+  const CandidateUniverse& universe() const { return universe_; }
+
+  size_t num_missing() const { return missing_fp_.size(); }
+  const Footprint& missing_footprint(size_t i) const {
+    return missing_fp_[i];
+  }
+  // SDist(m_i, q), normalized — precomputed once per invocation.
+  double missing_sdist(size_t i) const { return missing_sdist_[i]; }
+
+  // TSim(m_i, cand): bit-identical to TextualSimilarity(m_i.doc, cand.doc).
+  double MissingTsim(size_t i, CandidateMask cand) const {
+    return ScoreCandidate(missing_fp_[i], cand, model_);
+  }
+
+  // min_i ST(m_i, q') for the candidate with mask `cand`; bit-identical to
+  // MissingSet::MinScore of the equivalent refined query.
+  double MinScore(CandidateMask cand) const;
+
+  // ST(o, q') for the candidate with mask `cand`; bit-identical to
+  // Score(o, refined, diagonal). The object's footprint and normalized
+  // distance are memoized across candidates (thread-safe).
+  double ObjectScore(ObjectId id, CandidateMask cand) const;
+
+ private:
+  struct ObjectEntry {
+    Footprint fp;
+    double sdist = 0.0;
+  };
+
+  const Dataset& dataset_;
+  CandidateUniverse universe_;
+  Point query_loc_;
+  double diagonal_ = 1.0;
+  double alpha_ = 0.5;
+  SimilarityModel model_ = SimilarityModel::kJaccard;
+  std::vector<Footprint> missing_fp_;
+  std::vector<double> missing_sdist_;
+  mutable std::mutex memo_mu_;
+  mutable std::unordered_map<ObjectId, ObjectEntry> memo_;
 };
 
 // Validates the original query + options; returns a non-OK status for

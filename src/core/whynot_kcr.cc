@@ -1,6 +1,7 @@
 #include "core/whynot_kcr.h"
 
 #include <algorithm>
+#include <bit>
 #include <mutex>
 #include <queue>
 
@@ -17,12 +18,15 @@ namespace {
 
 using internal::MissingSet;
 using internal::RankFromIndex;
+using internal::WhyNotScorer;
 
 // Per-candidate search state during one Algorithm 3 batch. The frontier
 // dominator sums are kept per missing object; the rank bound of the set M
 // is the max over the per-object bounds (Section VI-A).
 struct CandState {
   const Candidate* cand = nullptr;
+  CandidateMask mask = 0;      // kernel path: bits over doc0 ∪ M.doc
+  uint32_t cand_size = 0;      // popcount(mask)
   std::vector<double> tsim;           // TSim(m_i, S)
   std::vector<double> missing_score;  // ST(m_i, q_S)
   std::vector<int64_t> sum_hi;        // Σ_frontier MaxDom per missing
@@ -120,12 +124,14 @@ class KcrBatchRunner {
  public:
   KcrBatchRunner(const Dataset& dataset, const KcrTree& tree,
                  const SpatialKeywordQuery& original,
-                 const MissingSet& missing, const PenaltyModel& pm,
-                 WhyNotStats* stats, const CancelToken* cancel)
+                 const MissingSet& missing, const WhyNotScorer& scorer,
+                 const PenaltyModel& pm, WhyNotStats* stats,
+                 const CancelToken* cancel)
       : dataset_(dataset),
         tree_(tree),
         original_(original),
         missing_(missing),
+        scorer_(scorer),
         pm_(pm),
         stats_(stats),
         cancel_(cancel) {
@@ -148,8 +154,18 @@ class KcrBatchRunner {
 
  private:
   // Evaluates the node-level bounds for one candidate, one missing object.
-  void NodeBounds(const NodeDomStats& stats, const CandState& cand, size_t i,
-                  int64_t* hi, int64_t* lo) const {
+  // `uc` carries the node's universe-term counts when the kernel is on
+  // (nullptr selects the scalar count-map path).
+  void NodeBounds(const NodeDomStats& stats, const NodeUniverseCounts* uc,
+                  const CandState& cand, size_t i, int64_t* hi,
+                  int64_t* lo) const {
+    if (uc != nullptr) {
+      *hi = MaxDom(stats, *uc, cand.mask, cand.cand_size, cand.tsim[i],
+                   dom_ctx_[i]);
+      *lo = MinDom(stats, *uc, cand.mask, cand.cand_size, cand.tsim[i],
+                   dom_ctx_[i]);
+      return;
+    }
     *hi = MaxDom(stats, cand.cand->doc, cand.tsim[i], dom_ctx_[i]);
     *lo = MinDom(stats, cand.cand->doc, cand.tsim[i], dom_ctx_[i]);
   }
@@ -177,6 +193,7 @@ class KcrBatchRunner {
   const KcrTree& tree_;
   const SpatialKeywordQuery& original_;
   const MissingSet& missing_;
+  const WhyNotScorer& scorer_;
   const PenaltyModel& pm_;
   WhyNotStats* stats_;
   const CancelToken* cancel_;
@@ -190,8 +207,13 @@ Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
   if (num_cands == 0) return Status::Ok();
 
   // Per-candidate precomputation: textual similarity and exact score of
-  // each missing object under the candidate keywords.
+  // each missing object under the candidate keywords. With the kernel on,
+  // each candidate is frozen into a mask once and every TSim is a popcount
+  // against the precomputed missing-object footprints.
+  const bool kernel = scorer_.kernel_enabled();
   std::vector<CandState> cands(num_cands);
+  std::vector<CandidateMask> batch_masks;
+  if (kernel) batch_masks.resize(num_cands);
   for (size_t c = 0; c < num_cands; ++c) {
     CandState& state = cands[c];
     state.cand = begin + c;
@@ -199,9 +221,17 @@ Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
     state.missing_score.resize(num_missing);
     state.sum_hi.assign(num_missing, 0);
     state.sum_lo.assign(num_missing, 0);
+    if (kernel) {
+      state.mask = scorer_.universe().MaskOf(state.cand->doc);
+      state.cand_size = static_cast<uint32_t>(std::popcount(state.mask));
+      batch_masks[c] = state.mask;
+    }
     for (size_t i = 0; i < num_missing; ++i) {
-      state.tsim[i] = TextualSimilarity(*missing_.docs[i], state.cand->doc,
-                                        original_.model);
+      state.tsim[i] = kernel
+                          ? scorer_.MissingTsim(i, state.mask)
+                          : TextualSimilarity(*missing_.docs[i],
+                                              state.cand->doc,
+                                              original_.model);
       state.missing_score[i] =
           original_.alpha * (1.0 - dom_ctx_[i].missing_sdist) +
           (1.0 - original_.alpha) * state.tsim[i];
@@ -213,6 +243,9 @@ Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
   if (!root_kcm.ok()) return root_kcm.status();
   const NodeDomStats root_stats(&root_kcm.value(), tree_.root_cnt(),
                                 tree_.root_mbr());
+  NodeUniverseCounts root_uc;
+  if (kernel) root_uc = NodeUniverseCounts::Build(root_stats,
+                                                  scorer_.universe());
   QueueNode root_entry;
   root_entry.page = tree_.SearchRoot();
   root_entry.hi.assign(num_cands * num_missing, 0);
@@ -221,7 +254,8 @@ Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
   for (size_t c = 0; c < num_cands; ++c) {
     for (size_t i = 0; i < num_missing; ++i) {
       int64_t hi, lo;
-      NodeBounds(root_stats, cands[c], i, &hi, &lo);
+      NodeBounds(root_stats, kernel ? &root_uc : nullptr, cands[c], i, &hi,
+                 &lo);
       root_entry.hi[c * num_missing + i] = hi;
       root_entry.lo[c * num_missing + i] = lo;
       cands[c].sum_hi[i] = hi;
@@ -252,20 +286,29 @@ Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
     std::vector<std::vector<int64_t>> child_lo(num_children);
 
     if (node.is_leaf) {
-      // Children are objects: evaluate domination exactly.
+      // Children are objects: evaluate domination exactly. One footprint
+      // per object scores the whole candidate batch (ScoreAllCandidates)
+      // instead of one sorted merge per (object, candidate) pair.
+      std::vector<double> batch_tsim;
       for (size_t j = 0; j < num_children; ++j) {
         const KcrTree::LeafEntry& e = node.leaf_entries[j];
         StatusOr<KeywordSet> doc = tree_.ReadKeywordSet(e.keywords);
         if (!doc.ok()) return doc.status();
         const double sdist =
             Distance(e.loc, original_.loc) / tree_.diagonal();
+        if (kernel) {
+          const Footprint fp = scorer_.universe().FootprintOf(doc.value());
+          ScoreAllCandidates(fp, batch_masks, original_.model, &batch_tsim);
+        }
         child_hi[j].assign(num_cands * num_missing, 0);
         child_lo[j].assign(num_cands * num_missing, 0);
         for (size_t c = 0; c < num_cands; ++c) {
           if (!cands[c].alive) continue;
-          const double tsim = TextualSimilarity(doc.value(),
-                                                cands[c].cand->doc,
-                                                original_.model);
+          const double tsim = kernel
+                                  ? batch_tsim[c]
+                                  : TextualSimilarity(doc.value(),
+                                                      cands[c].cand->doc,
+                                                      original_.model);
           const double score = original_.alpha * (1.0 - sdist) +
                                (1.0 - original_.alpha) * tsim;
           for (size_t i = 0; i < num_missing; ++i) {
@@ -284,13 +327,21 @@ Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
         if (!kcm.ok()) return kcm.status();
         kcms[j] = std::move(kcm).value();
         const NodeDomStats child_stats(&kcms[j], e.cnt, e.mbr);
+        // Universe counts once per child; every candidate then reads its
+        // relevant counts by mask bit instead of probing the count map.
+        NodeUniverseCounts child_uc;
+        if (kernel) {
+          child_uc = NodeUniverseCounts::Build(child_stats,
+                                               scorer_.universe());
+        }
         child_hi[j].assign(num_cands * num_missing, 0);
         child_lo[j].assign(num_cands * num_missing, 0);
         for (size_t c = 0; c < num_cands; ++c) {
           if (!cands[c].alive) continue;
           for (size_t i = 0; i < num_missing; ++i) {
             int64_t hi, lo;
-            NodeBounds(child_stats, cands[c], i, &hi, &lo);
+            NodeBounds(child_stats, kernel ? &child_uc : nullptr, cands[c],
+                       i, &hi, &lo);
             child_hi[j][c * num_missing + i] = hi;
             child_lo[j][c * num_missing + i] = lo;
           }
@@ -395,6 +446,8 @@ StatusOr<WhyNotResult> AnswerWhyNotKcr(const Dataset& dataset,
                                  dataset.vocabulary());
   const PenaltyModel pm(options.lambda, original.k, initial_rank.value(),
                         enumerator.universe_size());
+  const WhyNotScorer scorer(dataset, missing_set, original, tree.diagonal(),
+                            enumerator.universe(), options.use_score_kernel);
 
   BestTracker tracker;
   tracker.SeedBasic(original.doc, initial_rank.value(), options.lambda);
@@ -442,8 +495,8 @@ StatusOr<WhyNotResult> AnswerWhyNotKcr(const Dataset& dataset,
       const size_t chunk_end =
           start + (chunk + 1) * batch_size / num_chunks;
       if (chunk_begin >= chunk_end) return;
-      KcrBatchRunner runner(dataset, tree, original, missing_set, pm,
-                            &chunk_stats[chunk], options.cancel);
+      KcrBatchRunner runner(dataset, tree, original, missing_set, scorer,
+                            pm, &chunk_stats[chunk], options.cancel);
       chunk_status[chunk] = runner.RunBatch(candidates.data() + chunk_begin,
                                             candidates.data() + chunk_end,
                                             &tracker);

@@ -1,6 +1,7 @@
 #include "index/dom_bounds.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/macros.h"
 
@@ -21,6 +22,22 @@ std::vector<uint32_t> RelevantCounts(const NodeDomStats& stats,
   return rel;
 }
 
+// Same, but selecting precomputed universe counts by mask bit. Bits are
+// consumed in ascending position = ascending term id, so the vector is
+// identical to RelevantCounts over the equivalent KeywordSet.
+std::vector<uint32_t> RelevantCountsFromMask(const NodeUniverseCounts& uc,
+                                             CandidateMask mask) {
+  std::vector<uint32_t> rel;
+  rel.reserve(static_cast<size_t>(std::popcount(mask)));
+  while (mask != 0) {
+    const int i = std::countr_zero(mask);
+    mask &= mask - 1;
+    const uint32_t c = uc.counts[static_cast<size_t>(i)];
+    if (c > 0) rel.push_back(c);
+  }
+  return rel;
+}
+
 uint32_t CountGe(const std::vector<uint32_t>& values, uint32_t threshold) {
   uint32_t n = 0;
   for (uint32_t v : values) {
@@ -29,53 +46,12 @@ uint32_t CountGe(const std::vector<uint32_t>& values, uint32_t threshold) {
   return n;
 }
 
-}  // namespace
-
-NodeDomStats::NodeDomStats(const KeywordCountMap* kcm, uint32_t cnt,
-                           const Rect& mbr)
-    : kcm_(kcm), cnt_(cnt), mbr_(mbr) {
-  uint32_t max_count = 0;
-  for (const auto& [term, count] : kcm->pairs()) {
-    total_ += count;
-    max_count = std::max(max_count, count);
-  }
-  // Histogram, then suffix-accumulate: ge_[c] = #terms with count >= c.
-  ge_.assign(max_count + 1, 0);
-  for (const auto& [term, count] : kcm->pairs()) ++ge_[count];
-  for (uint32_t c = max_count; c >= 1; --c) ge_[c - 1] += ge_[c];
-}
-
-double DominatorThresholdLow(const Rect& node_mbr, const DomContext& ctx,
-                             double tsim_missing) {
-  WSK_CHECK(ctx.alpha > 0.0 && ctx.alpha < 1.0);
-  const double min_sdist = MinDist(ctx.query_loc, node_mbr) / ctx.diagonal;
-  return ctx.alpha / (1.0 - ctx.alpha) * (min_sdist - ctx.missing_sdist) +
-         tsim_missing;
-}
-
-double DominatorThresholdHigh(const Rect& node_mbr, const DomContext& ctx,
-                              double tsim_missing) {
-  WSK_CHECK(ctx.alpha > 0.0 && ctx.alpha < 1.0);
-  const double max_sdist = MaxDist(ctx.query_loc, node_mbr) / ctx.diagonal;
-  return ctx.alpha / (1.0 - ctx.alpha) * (max_sdist - ctx.missing_sdist) +
-         tsim_missing;
-}
-
-uint32_t MaxDom(const NodeDomStats& stats, const KeywordSet& candidate,
-                double tsim_missing, const DomContext& ctx) {
+uint32_t MaxDomCore(const NodeDomStats& stats,
+                    const std::vector<uint32_t>& rel, double query_size,
+                    double threshold) {
   const uint32_t cnt = stats.cnt();
-  if (cnt == 0) return 0;
-  const double threshold = DominatorThresholdLow(stats.mbr(), ctx,
-                                                 tsim_missing);
-  // A dominator needs TSim > threshold; TSim ranges over [0, 1].
-  if (threshold < 0.0) return cnt;  // every object clears the bar
-  if (threshold >= 1.0) return 0;   // nothing can
-  if (candidate.empty()) return 0;  // TSim == 0 for every object
-
-  const std::vector<uint32_t> rel = RelevantCounts(stats, candidate);
   uint64_t rel_total = 0;
   for (uint32_t c : rel) rel_total += c;
-  const double query_size = static_cast<double>(candidate.size());
 
   // Walk ans from cnt downward, maintaining
   //   c_rel  = Σ_{t ∈ S∩N} min(count(t), ans)        (max relevant mass on
@@ -103,20 +79,12 @@ uint32_t MaxDom(const NodeDomStats& stats, const KeywordSet& candidate,
   return 0;
 }
 
-uint32_t MinDom(const NodeDomStats& stats, const KeywordSet& candidate,
-                double tsim_missing, const DomContext& ctx) {
+uint32_t MinDomCore(const NodeDomStats& stats,
+                    const std::vector<uint32_t>& rel, double query_size,
+                    double threshold) {
   const uint32_t cnt = stats.cnt();
-  if (cnt == 0) return 0;
-  const double threshold = DominatorThresholdHigh(stats.mbr(), ctx,
-                                                  tsim_missing);
-  if (threshold < 0.0) return cnt;  // TSim >= 0 > U: all surely dominate
-  if (threshold >= 1.0) return 0;
-  if (candidate.empty()) return 0;
-
-  const std::vector<uint32_t> rel = RelevantCounts(stats, candidate);
   uint64_t rel_total = 0;
   for (uint32_t c : rel) rel_total += c;
-  const double query_size = static_cast<double>(candidate.size());
 
   // Walk ans upward, maintaining
   //   lhs     = Σ_{t ∈ S∩N} max(0, count(t) − ans)   (relevant mass that
@@ -145,6 +113,103 @@ uint32_t MinDom(const NodeDomStats& stats, const KeywordSet& candidate,
     if (lhs <= rhs) return ans;
   }
   return cnt;
+}
+
+}  // namespace
+
+NodeDomStats::NodeDomStats(const KeywordCountMap* kcm, uint32_t cnt,
+                           const Rect& mbr)
+    : kcm_(kcm), cnt_(cnt), mbr_(mbr) {
+  uint32_t max_count = 0;
+  for (const auto& [term, count] : kcm->pairs()) {
+    total_ += count;
+    max_count = std::max(max_count, count);
+  }
+  // Histogram, then suffix-accumulate: ge_[c] = #terms with count >= c.
+  ge_.assign(max_count + 1, 0);
+  for (const auto& [term, count] : kcm->pairs()) ++ge_[count];
+  for (uint32_t c = max_count; c >= 1; --c) ge_[c - 1] += ge_[c];
+}
+
+NodeUniverseCounts NodeUniverseCounts::Build(
+    const NodeDomStats& stats, const CandidateUniverse& universe) {
+  NodeUniverseCounts uc;
+  uc.counts.resize(universe.size());
+  for (size_t i = 0; i < universe.size(); ++i) {
+    uc.counts[i] = stats.CountOf(universe.term(i));
+  }
+  return uc;
+}
+
+double DominatorThresholdLow(const Rect& node_mbr, const DomContext& ctx,
+                             double tsim_missing) {
+  WSK_CHECK(ctx.alpha > 0.0 && ctx.alpha < 1.0);
+  const double min_sdist = MinDist(ctx.query_loc, node_mbr) / ctx.diagonal;
+  return ctx.alpha / (1.0 - ctx.alpha) * (min_sdist - ctx.missing_sdist) +
+         tsim_missing;
+}
+
+double DominatorThresholdHigh(const Rect& node_mbr, const DomContext& ctx,
+                              double tsim_missing) {
+  WSK_CHECK(ctx.alpha > 0.0 && ctx.alpha < 1.0);
+  const double max_sdist = MaxDist(ctx.query_loc, node_mbr) / ctx.diagonal;
+  return ctx.alpha / (1.0 - ctx.alpha) * (max_sdist - ctx.missing_sdist) +
+         tsim_missing;
+}
+
+uint32_t MaxDom(const NodeDomStats& stats, const KeywordSet& candidate,
+                double tsim_missing, const DomContext& ctx) {
+  const uint32_t cnt = stats.cnt();
+  if (cnt == 0) return 0;
+  const double threshold = DominatorThresholdLow(stats.mbr(), ctx,
+                                                 tsim_missing);
+  // A dominator needs TSim > threshold; TSim ranges over [0, 1].
+  if (threshold < 0.0) return cnt;  // every object clears the bar
+  if (threshold >= 1.0) return 0;   // nothing can
+  if (candidate.empty()) return 0;  // TSim == 0 for every object
+  return MaxDomCore(stats, RelevantCounts(stats, candidate),
+                    static_cast<double>(candidate.size()), threshold);
+}
+
+uint32_t MinDom(const NodeDomStats& stats, const KeywordSet& candidate,
+                double tsim_missing, const DomContext& ctx) {
+  const uint32_t cnt = stats.cnt();
+  if (cnt == 0) return 0;
+  const double threshold = DominatorThresholdHigh(stats.mbr(), ctx,
+                                                  tsim_missing);
+  if (threshold < 0.0) return cnt;  // TSim >= 0 > U: all surely dominate
+  if (threshold >= 1.0) return 0;
+  if (candidate.empty()) return 0;
+  return MinDomCore(stats, RelevantCounts(stats, candidate),
+                    static_cast<double>(candidate.size()), threshold);
+}
+
+uint32_t MaxDom(const NodeDomStats& stats, const NodeUniverseCounts& uc,
+                CandidateMask candidate, uint32_t cand_size,
+                double tsim_missing, const DomContext& ctx) {
+  const uint32_t cnt = stats.cnt();
+  if (cnt == 0) return 0;
+  const double threshold = DominatorThresholdLow(stats.mbr(), ctx,
+                                                 tsim_missing);
+  if (threshold < 0.0) return cnt;
+  if (threshold >= 1.0) return 0;
+  if (candidate == 0) return 0;
+  return MaxDomCore(stats, RelevantCountsFromMask(uc, candidate),
+                    static_cast<double>(cand_size), threshold);
+}
+
+uint32_t MinDom(const NodeDomStats& stats, const NodeUniverseCounts& uc,
+                CandidateMask candidate, uint32_t cand_size,
+                double tsim_missing, const DomContext& ctx) {
+  const uint32_t cnt = stats.cnt();
+  if (cnt == 0) return 0;
+  const double threshold = DominatorThresholdHigh(stats.mbr(), ctx,
+                                                  tsim_missing);
+  if (threshold < 0.0) return cnt;
+  if (threshold >= 1.0) return 0;
+  if (candidate == 0) return 0;
+  return MinDomCore(stats, RelevantCountsFromMask(uc, candidate),
+                    static_cast<double>(cand_size), threshold);
 }
 
 }  // namespace wsk

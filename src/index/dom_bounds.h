@@ -25,6 +25,7 @@
 #include "common/geometry.h"
 #include "index/keyword_count_map.h"
 #include "text/keyword_set.h"
+#include "text/score_kernel.h"
 
 namespace wsk {
 
@@ -64,6 +65,17 @@ class NodeDomStats {
   std::vector<uint32_t> ge_;  // ge_[c] = #terms with count >= c
 };
 
+// The counts of one candidate universe's terms inside one node, gathered
+// once per (node, batch). The per-candidate kernel overloads of MaxDom /
+// MinDom below select a candidate's counts from here by mask bit instead of
+// probing the keyword-count map per term per candidate.
+struct NodeUniverseCounts {
+  std::vector<uint32_t> counts;  // counts[i] = node count of universe term i
+
+  static NodeUniverseCounts Build(const NodeDomStats& stats,
+                                  const CandidateUniverse& universe);
+};
+
 // Theorem 2 threshold with MinDist (objects can dominate only if above it).
 double DominatorThresholdLow(const Rect& node_mbr, const DomContext& ctx,
                              double tsim_missing);
@@ -80,6 +92,16 @@ uint32_t MaxDom(const NodeDomStats& stats, const KeywordSet& candidate,
 
 // Lower bound (guaranteed dominators).
 uint32_t MinDom(const NodeDomStats& stats, const KeywordSet& candidate,
+                double tsim_missing, const DomContext& ctx);
+
+// Kernel overloads: identical results for the candidate whose universe mask
+// is `candidate` (bit-for-bit — the same count vector feeds the same
+// arithmetic). `cand_size` is popcount(candidate).
+uint32_t MaxDom(const NodeDomStats& stats, const NodeUniverseCounts& uc,
+                CandidateMask candidate, uint32_t cand_size,
+                double tsim_missing, const DomContext& ctx);
+uint32_t MinDom(const NodeDomStats& stats, const NodeUniverseCounts& uc,
+                CandidateMask candidate, uint32_t cand_size,
                 double tsim_missing, const DomContext& ctx);
 
 }  // namespace wsk

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "index/node_codec.h"
+#include "text/score_kernel.h"
 
 namespace wsk {
 
@@ -236,6 +237,10 @@ Status InvertedGridIndex::ScoreTextualCandidates(
     const SpatialKeywordQuery& query, std::vector<ScoredObject>* scored,
     std::vector<bool>* seen) const {
   seen->assign(num_objects_, false);
+  // Scoring kernel: the query doc is the universe; each candidate object is
+  // footprinted once (bit-identical to TextualSimilarity; docs/PERF.md).
+  const CandidateUniverse qu = CandidateUniverse::Build(query.doc);
+  const CandidateMask qmask = qu.valid() ? qu.FullMask() : 0;
   for (TermId t : query.doc) {
     if (t >= num_terms_) continue;  // unknown term: empty posting
     StatusOr<std::vector<ObjectId>> posting = ReadPosting(term_directory_, t);
@@ -251,7 +256,10 @@ Status InvertedGridIndex::ScoreTextualCandidates(
           KeywordSet::Deserialize(doc_bytes.data(), doc_bytes.size());
       const double sdist =
           Distance(entry.value().loc, query.loc) / diagonal_;
-      const double tsim = TextualSimilarity(doc, query.doc, options_.model);
+      const double tsim =
+          qu.valid() ? ScoreCandidate(qu.FootprintOf(doc), qmask,
+                                      options_.model)
+                     : TextualSimilarity(doc, query.doc, options_.model);
       scored->push_back(ScoredObject{
           id, query.alpha * (1.0 - sdist) + (1.0 - query.alpha) * tsim});
     }

@@ -6,6 +6,7 @@
 
 #include "index/node_codec.h"
 #include "index/str_pack.h"
+#include "text/score_kernel.h"
 
 namespace wsk {
 
@@ -325,12 +326,20 @@ Status SetRTree::ExpandNode(PageId page, const SpatialKeywordQuery& query,
   const Node node = std::move(read).value();
   const double alpha = query.alpha;
   if (node.is_leaf) {
+    // Scoring kernel: freeze the (small) query doc as the universe once per
+    // node, then each object's similarity is one footprint + popcount
+    // (bit-identical to TextualSimilarity; docs/PERF.md).
+    const CandidateUniverse qu = CandidateUniverse::Build(query.doc);
+    const CandidateMask qmask = qu.valid() ? qu.FullMask() : 0;
     for (const LeafEntry& e : node.leaf_entries) {
       StatusOr<KeywordSet> doc = ReadKeywordSet(e.keywords);
       if (!doc.ok()) return doc.status();
       const double sdist = Distance(e.loc, query.loc) / diagonal_;
       const double tsim =
-          TextualSimilarity(doc.value(), query.doc, query.model);
+          qu.valid()
+              ? ScoreCandidate(qu.FootprintOf(doc.value()), qmask,
+                               query.model)
+              : TextualSimilarity(doc.value(), query.doc, query.model);
       SearchEntry entry;
       entry.bound = alpha * (1.0 - sdist) + (1.0 - alpha) * tsim;
       entry.is_object = true;

@@ -71,6 +71,29 @@ class KeywordSet {
 // (= |from \ to| + |to \ from|); the paper's ED(doc0, doc').
 size_t EditDistance(const KeywordSet& from, const KeywordSet& to);
 
+namespace internal {
+
+// The individual intersection paths behind KeywordSet::IntersectionSize,
+// exposed so tests and benches can pin each against the others. All inputs
+// are sorted and duplicate-free.
+
+// Linear two-pointer merge (the reference).
+size_t IntersectionSizeScalar(const TermId* a, size_t na, const TermId* b,
+                              size_t nb);
+
+// Exponential (galloping) search of the larger array per element of the
+// smaller; wins when the sizes are heavily skewed. Requires ns <= nl.
+size_t IntersectionSizeGalloping(const TermId* s, size_t ns, const TermId* l,
+                                 size_t nl);
+
+// Block compare over 4-wide (SSE2) / 8-wide (AVX2, when compiled in)
+// chunks; portable scalar fallback on other targets. Wins for comparable
+// sizes.
+size_t IntersectionSizeBlock(const TermId* a, size_t na, const TermId* b,
+                             size_t nb);
+
+}  // namespace internal
+
 }  // namespace wsk
 
 #endif  // WSK_TEXT_KEYWORD_SET_H_

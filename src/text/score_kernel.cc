@@ -1,0 +1,67 @@
+#include "text/score_kernel.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/macros.h"
+
+namespace wsk {
+
+CandidateUniverse CandidateUniverse::Build(const KeywordSet& universe) {
+  CandidateUniverse u;
+  if (universe.size() > kMaxUniverseTerms) return u;  // invalid: fallback
+  u.terms_ = universe.terms();
+  u.valid_ = true;
+  return u;
+}
+
+CandidateMask CandidateUniverse::MaskOf(const KeywordSet& candidate) const {
+  WSK_CHECK(valid_);
+  CandidateMask mask = 0;
+  size_t i = 0;
+  for (TermId t : candidate) {
+    while (i < terms_.size() && terms_[i] < t) ++i;
+    WSK_CHECK_MSG(i < terms_.size() && terms_[i] == t,
+                  "candidate term %u outside the universe", t);
+    mask |= uint64_t{1} << i;
+    ++i;
+  }
+  return mask;
+}
+
+Footprint CandidateUniverse::FootprintOf(const KeywordSet& doc) const {
+  WSK_CHECK(valid_);
+  Footprint fp;
+  fp.doc_size = static_cast<uint32_t>(doc.size());
+  const std::vector<TermId>& d = doc.terms();
+  // The universe is tiny; documents can be long. Gallop through the
+  // document when it dwarfs the universe, otherwise merge linearly.
+  if (d.size() > 8 * terms_.size()) {
+    auto it = d.begin();
+    for (size_t i = 0; i < terms_.size(); ++i) {
+      it = std::lower_bound(it, d.end(), terms_[i]);
+      if (it == d.end()) break;
+      if (*it == terms_[i]) {
+        fp.mask |= uint64_t{1} << i;
+        ++it;
+      }
+    }
+    return fp;
+  }
+  size_t i = 0;
+  size_t j = 0;
+  while (i < terms_.size() && j < d.size()) {
+    if (terms_[i] < d[j]) {
+      ++i;
+    } else if (d[j] < terms_[i]) {
+      ++j;
+    } else {
+      fp.mask |= uint64_t{1} << i;
+      ++i;
+      ++j;
+    }
+  }
+  return fp;
+}
+
+}  // namespace wsk

@@ -1,0 +1,81 @@
+// Kernel-vs-scalar differential (docs/PERF.md): every why-not algorithm
+// must return the *identical* refined query with the score kernel enabled
+// and disabled — same keywords, k, rank, edit distance, and penalty. The
+// kernel's contract is bit-identical scoring, so even tie-breaks must not
+// drift. Runs over seeded randomized instances (same generator as the
+// oracle suite); failures print the seed-bearing scenario description.
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/whynot.h"
+#include "testing/scenario_gen.h"
+
+namespace wsk {
+namespace {
+
+constexpr uint64_t kFirstSeed = 1;
+constexpr uint64_t kLastSeed = 120;
+
+constexpr WhyNotAlgorithm kAlgorithms[] = {
+    WhyNotAlgorithm::kBasic,
+    WhyNotAlgorithm::kAdvanced,
+    WhyNotAlgorithm::kKcrBased,
+};
+
+class KernelDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KernelDifferentialTest, KernelOnOffIdentical) {
+  const uint64_t seed = GetParam();
+  testing::ScenarioOptions opts;
+  opts.vary_threads = true;  // cover the parallel BS path under TSan
+  std::optional<testing::WhyNotScenario> scenario =
+      testing::MakeScenario(seed, opts);
+  if (!scenario.has_value()) {
+    GTEST_SKIP() << "seed " << seed << " yields no usable instance";
+  }
+  SCOPED_TRACE(scenario->Describe());
+
+  WhyNotEngine::Config config;
+  config.node_capacity = 16;
+  StatusOr<std::unique_ptr<WhyNotEngine>> built =
+      WhyNotEngine::Build(&scenario->dataset, config);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const std::unique_ptr<WhyNotEngine>& engine = built.value();
+
+  for (WhyNotAlgorithm algorithm : kAlgorithms) {
+    SCOPED_TRACE(WhyNotAlgorithmName(algorithm));
+    WhyNotOptions with_kernel = scenario->options;
+    with_kernel.use_score_kernel = true;
+    WhyNotOptions without_kernel = scenario->options;
+    without_kernel.use_score_kernel = false;
+
+    StatusOr<WhyNotResult> on =
+        engine->Answer(algorithm, scenario->query, scenario->missing,
+                       with_kernel);
+    ASSERT_TRUE(on.ok()) << on.status().ToString();
+    StatusOr<WhyNotResult> off =
+        engine->Answer(algorithm, scenario->query, scenario->missing,
+                       without_kernel);
+    ASSERT_TRUE(off.ok()) << off.status().ToString();
+
+    EXPECT_EQ(on.value().already_in_result, off.value().already_in_result);
+    const RefinedQuery& a = on.value().refined;
+    const RefinedQuery& b = off.value().refined;
+    EXPECT_EQ(a.doc, b.doc) << a.doc.ToString() << " vs " << b.doc.ToString();
+    EXPECT_EQ(a.k, b.k);
+    EXPECT_EQ(a.rank, b.rank);
+    EXPECT_EQ(a.edit_distance, b.edit_distance);
+    // Bit-identical scoring implies bit-identical penalties — exact double
+    // equality, no tolerance.
+    EXPECT_EQ(a.penalty, b.penalty);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelDifferentialTest,
+                         ::testing::Range(kFirstSeed, kLastSeed + 1));
+
+}  // namespace
+}  // namespace wsk

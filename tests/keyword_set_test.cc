@@ -97,5 +97,74 @@ TEST(KeywordSetTest, AlgebraPropertiesRandom) {
   }
 }
 
+// The three intersection paths (scalar merge, galloping, SIMD/portable
+// block) and the size-based dispatcher must agree on every input,
+// including the block-boundary sizes (multiples of the 4/8-wide chunks,
+// plus/minus one) and heavily skewed pairs that trip the galloping cutoff.
+TEST(KeywordSetTest, IntersectionPathsAgree) {
+  Rng rng(20213);
+  const size_t sizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17,
+                          24, 31, 32, 33, 64, 100, 333, 1000};
+  for (const size_t na : sizes) {
+    for (const size_t nb : sizes) {
+      // Densities chosen so overlap varies from near-empty to near-total.
+      const double density = rng.NextDouble(0.05, 0.9);
+      std::vector<TermId> va, vb;
+      TermId t = 0;
+      while (va.size() < na) {
+        t += 1 + static_cast<TermId>(rng.NextUint64(6));
+        if (rng.NextBool(density)) va.push_back(t);
+      }
+      t = 0;
+      while (vb.size() < nb) {
+        t += 1 + static_cast<TermId>(rng.NextUint64(6));
+        if (rng.NextBool(density)) vb.push_back(t);
+      }
+      const KeywordSet a = KeywordSet::FromSorted(std::move(va));
+      const KeywordSet b = KeywordSet::FromSorted(std::move(vb));
+
+      const size_t expected = internal::IntersectionSizeScalar(
+          a.terms().data(), a.size(), b.terms().data(), b.size());
+      EXPECT_EQ(internal::IntersectionSizeBlock(a.terms().data(), a.size(),
+                                                b.terms().data(), b.size()),
+                expected)
+          << "block na=" << na << " nb=" << nb;
+      // Galloping requires the smaller set first.
+      const KeywordSet& s = a.size() <= b.size() ? a : b;
+      const KeywordSet& l = a.size() <= b.size() ? b : a;
+      EXPECT_EQ(internal::IntersectionSizeGalloping(
+                    s.terms().data(), s.size(), l.terms().data(), l.size()),
+                expected)
+          << "gallop na=" << na << " nb=" << nb;
+      EXPECT_EQ(a.IntersectionSize(b), expected)
+          << "dispatch na=" << na << " nb=" << nb;
+      EXPECT_EQ(b.IntersectionSize(a), expected)
+          << "dispatch(swapped) na=" << na << " nb=" << nb;
+    }
+  }
+}
+
+TEST(KeywordSetTest, IntersectionIdenticalSetsAndSharedTails) {
+  // Equal arrays maximize the block path's all-equal compares; a shared
+  // tail after a disjoint prefix exercises the advance-on-tie logic.
+  std::vector<TermId> v;
+  for (TermId t = 0; t < 50; ++t) v.push_back(t * 3);
+  const KeywordSet a = KeywordSet::FromSorted(v);
+  EXPECT_EQ(a.IntersectionSize(a), a.size());
+
+  std::vector<TermId> prefix_a, prefix_b;
+  for (TermId t = 0; t < 20; ++t) {
+    prefix_a.push_back(t * 2);       // evens
+    prefix_b.push_back(t * 2 + 1);   // odds
+  }
+  for (TermId t = 1000; t < 1040; ++t) {
+    prefix_a.push_back(t);
+    prefix_b.push_back(t);
+  }
+  const KeywordSet sa = KeywordSet::FromSorted(std::move(prefix_a));
+  const KeywordSet sb = KeywordSet::FromSorted(std::move(prefix_b));
+  EXPECT_EQ(sa.IntersectionSize(sb), 40u);
+}
+
 }  // namespace
 }  // namespace wsk

@@ -93,5 +93,39 @@ INSTANTIATE_TEST_SUITE_P(AllModels, NodeBoundProperty,
                                            SimilarityModel::kDice,
                                            SimilarityModel::kOverlap));
 
+// Regression: the Dice and Overlap node bounds used to exceed 1.0 when the
+// node's union set intersected the query in more terms than the raw
+// denominator — e.g. Overlap with |N_u ∩ q| = 4, |N_i| = 1, |q| = 4 gave
+// 4/1 = 4.0. Similarity is capped at 1, so a bound above 1 is pure slack
+// (and breaks callers that treat bounds as similarities, e.g. score
+// composition against 1 - sdist). All models must stay within [0, 1].
+TEST(NodeSimilarityUpperBoundTest, NeverExceedsOne) {
+  for (size_t union_inter_query = 0; union_inter_query <= 12;
+       ++union_inter_query) {
+    for (size_t inter_union_query = 1; inter_union_query <= 12;
+         ++inter_union_query) {
+      for (size_t inter_size = 0; inter_size <= 6; ++inter_size) {
+        for (size_t query_size = 0; query_size <= 6; ++query_size) {
+          for (const SimilarityModel model :
+               {SimilarityModel::kJaccard, SimilarityModel::kDice,
+                SimilarityModel::kOverlap}) {
+            const double bound = NodeSimilarityUpperBound(
+                union_inter_query, inter_union_query, inter_size, query_size,
+                model);
+            EXPECT_GE(bound, 0.0);
+            EXPECT_LE(bound, 1.0)
+                << SimilarityModelName(model) << " u∩q=" << union_inter_query
+                << " i∪q=" << inter_union_query << " |i|=" << inter_size
+                << " |q|=" << query_size;
+          }
+        }
+      }
+    }
+  }
+  // The concrete case from the bug report: Overlap bound 4/1 before the fix.
+  EXPECT_EQ(NodeSimilarityUpperBound(4, 5, 1, 4, SimilarityModel::kOverlap),
+            1.0);
+}
+
 }  // namespace
 }  // namespace wsk

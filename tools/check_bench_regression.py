@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Compares a --json benchmark run against the checked-in baseline.
+
+Usage:
+    build/bench/bench_kernels --json kernels.json
+    build/bench/bench_optimizations --json opts.json
+    tools/check_bench_regression.py BENCH_BASELINE.json kernels.json opts.json
+
+Several current files are merged by benchmark name before the comparison
+(the baseline covers more than one bench binary).
+
+Gating policy (docs/PERF.md):
+  * Deterministic counters (avg_io, cand_eval) are hard-gated: the run FAILS
+    when the current value exceeds baseline by more than --tolerance
+    (default 25%). These depend only on algorithm + dataset seed, not on
+    machine speed, so CI can gate on them reliably.
+  * `speedup` counters (scalar time / kernel time, measured back-to-back in
+    one process) are hard-gated on the absolute floor --min-speedup
+    (default 3): the kernel must beat the scalar path by that factor on
+    any machine. Drift relative to the baseline's ratio only warns — the
+    exact ratio depends on the host's divide/popcount throughput.
+  * Wall-clock metrics (ns_per_op, avg_ms, scalar_ns, kernel_ns) vary with
+    the machine; they only WARN unless --strict-time is given.
+  * A benchmark present in the baseline but missing from the current run
+    FAILS (lost coverage); extra benchmarks in the current run are fine.
+  * Mismatched dataset-scale context (objects / queries_per_point) FAILS
+    unless --ignore-context: counters are only comparable at equal scale.
+
+Refreshing the baseline after an intentional change: re-run the benches at
+the scale documented in docs/PERF.md, overwrite BENCH_BASELINE.json, and
+commit it together with the change. In CI the perf-smoke job is skipped for
+pull requests carrying the `perf-baseline-override` label.
+
+Exit status: 0 clean (warnings allowed), 1 on any failure.
+"""
+
+import argparse
+import json
+import sys
+
+HARD_LOWER_IS_BETTER = ("avg_io", "cand_eval")
+TIME_METRICS = ("ns_per_op", "avg_ms", "scalar_ns", "kernel_ns")
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    benchmarks = {b["name"]: b for b in data.get("benchmarks", [])}
+    return data.get("context", {}), benchmarks
+
+
+def metric_values(bench):
+    """Flattens one benchmark entry into {metric_name: value}."""
+    values = {"ns_per_op": bench.get("ns_per_op")}
+    values.update(bench.get("counters", {}))
+    return {k: v for k, v in values.items() if isinstance(v, (int, float))}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("baseline")
+    parser.add_argument("current", nargs="+")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative worsening vs baseline (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help="absolute floor for every `speedup` counter (default 3)",
+    )
+    parser.add_argument(
+        "--strict-time",
+        action="store_true",
+        help="treat wall-clock regressions as failures, not warnings",
+    )
+    parser.add_argument(
+        "--ignore-context",
+        action="store_true",
+        help="skip the dataset-scale context comparison",
+    )
+    args = parser.parse_args()
+
+    base_ctx, base = load(args.baseline)
+    cur = {}
+    failures = []
+    warnings = []
+    for path in args.current:
+        cur_ctx, cur_part = load(path)
+        cur.update(cur_part)
+        if not args.ignore_context and base_ctx != cur_ctx:
+            failures.append(
+                f"{path}: context mismatch: baseline {base_ctx} vs "
+                f"{cur_ctx} (set WSK_BENCH_OBJECTS / WSK_BENCH_QUERIES to "
+                "the baseline's scale, or pass --ignore-context)"
+            )
+
+    for name, base_bench in sorted(base.items()):
+        if name not in cur:
+            failures.append(f"{name}: present in baseline but not in current run")
+            continue
+        base_vals = metric_values(base_bench)
+        cur_vals = metric_values(cur[name])
+        for metric, base_val in sorted(base_vals.items()):
+            if metric not in cur_vals:
+                failures.append(f"{name}: counter `{metric}` disappeared")
+                continue
+            cur_val = cur_vals[metric]
+            if metric == "speedup":
+                floor = base_val / (1.0 + args.tolerance)
+                if cur_val < args.min_speedup:
+                    failures.append(
+                        f"{name}: speedup {cur_val:.2f}x below the absolute "
+                        f"floor {args.min_speedup:.2f}x"
+                    )
+                elif cur_val < floor:
+                    warnings.append(
+                        f"{name}: speedup fell {cur_val:.2f}x < {floor:.2f}x "
+                        f"(baseline {base_val:.2f}x - {args.tolerance:.0%}; "
+                        "machine-dependent ratio)"
+                    )
+            elif metric in HARD_LOWER_IS_BETTER:
+                ceiling = base_val * (1.0 + args.tolerance)
+                if cur_val > ceiling and cur_val - base_val > 1e-9:
+                    failures.append(
+                        f"{name}: {metric} regressed {base_val:g} -> {cur_val:g} "
+                        f"(> {args.tolerance:.0%} over baseline)"
+                    )
+            elif metric in TIME_METRICS:
+                ceiling = base_val * (1.0 + args.tolerance)
+                if cur_val > ceiling:
+                    msg = (
+                        f"{name}: {metric} {base_val:g} -> {cur_val:g} "
+                        f"(> {args.tolerance:.0%} over baseline; wall-clock)"
+                    )
+                    (failures if args.strict_time else warnings).append(msg)
+
+    for msg in warnings:
+        print(f"WARN  {msg}")
+    for msg in failures:
+        print(f"FAIL  {msg}")
+    if not failures:
+        print(
+            f"OK    {len(base)} baseline benchmarks within tolerance "
+            f"({len(warnings)} warnings)"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
