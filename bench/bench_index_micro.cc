@@ -6,17 +6,17 @@
 
 #include <unistd.h>
 
+#include <chrono>
+
 #include "common/rng.h"
 #include "index/inverted_grid_index.h"
 #include "index/topk.h"
 
 namespace {
 
-void RunTopK(benchmark::State& state, const wsk::TopKSource& tree,
-             wsk::IoStats& io, uint32_t k) {
+std::vector<wsk::SpatialKeywordQuery> MakeQueries(const wsk::Dataset& dataset,
+                                                  uint32_t k) {
   using namespace wsk;
-  WhyNotEngine& engine = wsk::bench::SharedEngine();
-  const Dataset& dataset = engine.dataset();
   Rng rng(k * 31 + 7);
   std::vector<SpatialKeywordQuery> queries;
   for (int i = 0; i < 20; ++i) {
@@ -29,6 +29,15 @@ void RunTopK(benchmark::State& state, const wsk::TopKSource& tree,
     q.alpha = 0.5;
     queries.push_back(q);
   }
+  return queries;
+}
+
+void RunTopK(benchmark::State& state, const wsk::TopKSource& tree,
+             wsk::IoStats& io, uint32_t k) {
+  using namespace wsk;
+  WhyNotEngine& engine = wsk::bench::SharedEngine();
+  const std::vector<SpatialKeywordQuery> queries =
+      MakeQueries(engine.dataset(), k);
   double total_io = 0;
   uint64_t runs = 0;
   for (auto _ : state) {
@@ -41,6 +50,56 @@ void RunTopK(benchmark::State& state, const wsk::TopKSource& tree,
   }
   state.counters["avg_io"] = runs == 0 ? 0.0 : total_io / runs;
   state.counters["queries"] = static_cast<double>(runs);
+}
+
+// Repeated-traversal node access with the decoded-node cache on vs off,
+// timed back-to-back over the identical warm workload. The acceptance
+// criterion for the cache layer is cache_speedup >= 2 (docs/PERF.md); the
+// regression checker enforces it via the `cache_speedup` counter
+// (--min-cache-speedup). Both legs run against a warm buffer pool, so the
+// ratio isolates what the cache saves: page fetches, node decoding, blob
+// reads, and per-node artifact construction.
+void RunNodeAccess(benchmark::State& state, const wsk::TopKSource& tree,
+                   uint32_t k) {
+  using namespace wsk;
+  WhyNotEngine& engine = wsk::bench::SharedEngine();
+  const std::vector<SpatialKeywordQuery> queries =
+      MakeQueries(engine.dataset(), k);
+  auto sweep = [&](bool use_cache) {
+    uint64_t total = 0;
+    for (const SpatialKeywordQuery& q : queries) {
+      total += IndexTopK(tree, q, /*cancel=*/nullptr, use_cache).value().size();
+    }
+    return total;
+  };
+  // Warm both the buffer pool and the node cache before timing.
+  benchmark::DoNotOptimize(sweep(false));
+  benchmark::DoNotOptimize(sweep(true));
+  // Self-calibrating rep count (same scheme as bench_kernels): long enough
+  // for a stable ratio everywhere.
+  auto time_ns = [](auto&& fn) {
+    using Clock = std::chrono::steady_clock;
+    uint64_t reps = 1;
+    for (;;) {
+      const auto start = Clock::now();
+      for (uint64_t r = 0; r < reps; ++r) benchmark::DoNotOptimize(fn());
+      const double ns = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               start)
+              .count());
+      if (ns > 2e7) return ns / static_cast<double>(reps);
+      reps *= 4;
+    }
+  };
+  double off_ns = 0.0;
+  double on_ns = 0.0;
+  for (auto _ : state) {
+    off_ns = time_ns([&sweep] { return sweep(false); });
+    on_ns = time_ns([&sweep] { return sweep(true); });
+  }
+  state.counters["cache_off_ns"] = off_ns;
+  state.counters["cache_on_ns"] = on_ns;
+  state.counters["cache_speedup"] = off_ns / on_ns;
 }
 
 // The inverted-file + grid baseline (related-work architecture) against
@@ -72,19 +131,9 @@ InvertedBundle& SharedInverted() {
 void RunInvertedTopK(benchmark::State& state, uint32_t k) {
   using namespace wsk;
   InvertedBundle& bundle = SharedInverted();
-  const Dataset& dataset = wsk::bench::SharedEngine().dataset();
-  Rng rng(k * 31 + 7);  // identical workload to the tree benchmarks
-  std::vector<SpatialKeywordQuery> queries;
-  for (int i = 0; i < 20; ++i) {
-    SpatialKeywordQuery q;
-    q.loc = Point{rng.NextDouble(), rng.NextDouble()};
-    q.doc = dataset
-                .object(static_cast<ObjectId>(rng.NextUint64(dataset.size())))
-                .doc;
-    q.k = k;
-    q.alpha = 0.5;
-    queries.push_back(q);
-  }
+  // Identical workload to the tree benchmarks.
+  const std::vector<SpatialKeywordQuery> queries =
+      MakeQueries(wsk::bench::SharedEngine().dataset(), k);
   double total_io = 0;
   uint64_t runs = 0;
   for (auto _ : state) {
@@ -127,6 +176,22 @@ int main(int argc, char** argv) {
         ->Iterations(1)
         ->Unit(benchmark::kMillisecond);
   }
+  // Decoded-node cache on/off over the warm k=10 workload (one datapoint
+  // per tree; the ratio is what the regression gate cares about).
+  benchmark::RegisterBenchmark("node_access/SetR/k=10",
+                               [](benchmark::State& state) {
+                                 auto& engine = SharedEngine();
+                                 RunNodeAccess(state, engine.setr_tree(), 10);
+                               })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("node_access/KcR/k=10",
+                               [](benchmark::State& state) {
+                                 auto& engine = SharedEngine();
+                                 RunNodeAccess(state, engine.kcr_tree(), 10);
+                               })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
   const int rc = RunRegisteredBenchmarks(argc, argv);
   std::remove(SharedInverted().path.c_str());
   return rc;

@@ -75,6 +75,12 @@ StatusOr<std::unique_ptr<WhyNotEngine>> WhyNotEngine::Build(
   if (!kcr.ok()) return kcr.status();
   engine->kcr_tree_ = std::move(kcr).value();
 
+  if (config.node_cache_bytes > 0) {
+    engine->node_cache_ = std::make_unique<NodeCache>(config.node_cache_bytes);
+    engine->setr_tree_->AttachNodeCache(engine->node_cache_.get());
+    engine->kcr_tree_->AttachNodeCache(engine->node_cache_.get());
+  }
+
   engine->ResetIoStats();
   return engine;
 }
@@ -175,6 +181,7 @@ Status WhyNotEngine::DropCaches() const {
   WSK_CHECK_MSG(inflight_queries() == 0,
                 "DropCaches requires exclusive access (%d queries in flight)",
                 inflight_queries());
+  if (node_cache_ != nullptr) node_cache_->Clear();
   WSK_RETURN_IF_ERROR(setr_pool_->InvalidateAll());
   return kcr_pool_->InvalidateAll();
 }

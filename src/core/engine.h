@@ -22,6 +22,7 @@
 #include "index/kcr_tree.h"
 #include "index/setr_tree.h"
 #include "storage/buffer_pool.h"
+#include "storage/node_cache.h"
 #include "storage/pager.h"
 
 namespace wsk {
@@ -42,6 +43,10 @@ class WhyNotEngine {
     size_t buffer_bytes = 4u << 20;         // 4 MiB per index
     uint32_t node_capacity = 100;
     SimilarityModel model = SimilarityModel::kJaccard;
+    // Byte budget of the shared decoded-node cache both trees use after
+    // bulk load (docs/STORAGE.md "Node cache"). 0 disables the cache
+    // entirely (every node access re-reads and re-decodes pages).
+    size_t node_cache_bytes = 8u << 20;  // 8 MiB
   };
 
   // Bulk-loads both indexes over `dataset`. The dataset must outlive the
@@ -102,9 +107,14 @@ class WhyNotEngine {
     return inflight_queries_.load(std::memory_order_relaxed);
   }
 
-  // Drops both buffer pools (cold-cache experiments). Requires no query in
-  // flight (see the thread-safety contract above).
+  // Drops both buffer pools and the decoded-node cache (cold-cache
+  // experiments). Requires no query in flight (see the thread-safety
+  // contract above).
   Status DropCaches() const;
+
+  // The shared decoded-node cache, or nullptr when disabled
+  // (config.node_cache_bytes == 0).
+  NodeCache* node_cache() const { return node_cache_.get(); }
 
   const Dataset& dataset() const { return *dataset_; }
   const SetRTree& setr_tree() const { return *setr_tree_; }
@@ -147,6 +157,7 @@ class WhyNotEngine {
   std::unique_ptr<BufferPool> kcr_pool_;
   std::unique_ptr<SetRTree> setr_tree_;
   std::unique_ptr<KcrTree> kcr_tree_;
+  std::unique_ptr<NodeCache> node_cache_;
   mutable std::atomic<int> inflight_queries_{0};
 };
 

@@ -54,6 +54,14 @@ struct WhyNotOptions {
   // The kernel also disables itself when the universe exceeds 64 terms.
   bool use_score_kernel = true;
 
+  // Decoded-node cache (docs/STORAGE.md "Node cache"): serve tree node
+  // accesses from the engine's shared cache of materialized nodes instead
+  // of re-reading and re-decoding pages per visit. Results are bit-identical
+  // either way (the cache stores exactly what a fresh decode produces; the
+  // differential tests replay both paths); false forces the uncached reads.
+  // No effect when the engine has no cache attached.
+  bool use_node_cache = true;
+
   // Optional cooperative cancellation (borrowed; must outlive the query).
   // All three algorithms check it at candidate / node-visit granularity and
   // return kCancelled or kDeadlineExceeded instead of running to

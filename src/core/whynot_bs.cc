@@ -138,7 +138,8 @@ Status EvaluateCandidate(const Dataset& dataset, const SetRTree& tree,
   std::vector<ObjectId> dominators;
   StatusOr<uint32_t> rank = RankFromIndex(
       tree, refined, min_score, rank_limit, &exceeded,
-      options.opt_keyword_filtering ? &dominators : nullptr, options.cancel);
+      options.opt_keyword_filtering ? &dominators : nullptr, options.cancel,
+      options.use_node_cache);
   if (!rank.ok()) return rank.status();
 
   std::lock_guard<std::mutex> lock(state->mu);
@@ -190,7 +191,7 @@ StatusOr<WhyNotResult> AnswerWhyNotBasic(const Dataset& dataset,
   bool exceeded = false;
   StatusOr<uint32_t> initial_rank =
       RankFromIndex(tree, original, initial_min_score, /*limit=*/0, &exceeded,
-                    nullptr, options.cancel);
+                    nullptr, options.cancel, options.use_node_cache);
   if (!initial_rank.ok()) return initial_rank.status();
   result.stats.initial_rank = initial_rank.value();
 

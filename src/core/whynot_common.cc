@@ -129,9 +129,9 @@ StatusOr<uint32_t> RankFromIndex(const TopKSource& tree,
                                  double min_score, int64_t limit,
                                  bool* exceeded,
                                  std::vector<ObjectId>* dominators,
-                                 const CancelToken* cancel) {
+                                 const CancelToken* cancel, bool use_cache) {
   *exceeded = false;
-  TopKIterator it(&tree, query, cancel);
+  TopKIterator it(&tree, query, cancel, use_cache);
   uint32_t strictly_better = 0;
   std::optional<ScoredObject> next;
   for (;;) {

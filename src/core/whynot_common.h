@@ -105,7 +105,8 @@ StatusOr<uint32_t> RankFromIndex(const TopKSource& tree,
                                  double min_score, int64_t limit,
                                  bool* exceeded,
                                  std::vector<ObjectId>* dominators,
-                                 const CancelToken* cancel = nullptr);
+                                 const CancelToken* cancel = nullptr,
+                                 bool use_cache = true);
 
 }  // namespace wsk::internal
 

@@ -126,7 +126,7 @@ class KcrBatchRunner {
                  const SpatialKeywordQuery& original,
                  const MissingSet& missing, const WhyNotScorer& scorer,
                  const PenaltyModel& pm, WhyNotStats* stats,
-                 const CancelToken* cancel)
+                 const CancelToken* cancel, bool use_node_cache)
       : dataset_(dataset),
         tree_(tree),
         original_(original),
@@ -134,7 +134,8 @@ class KcrBatchRunner {
         scorer_(scorer),
         pm_(pm),
         stats_(stats),
-        cancel_(cancel) {
+        cancel_(cancel),
+        use_node_cache_(use_node_cache) {
     const double diagonal = tree.diagonal();
     dom_ctx_.reserve(missing.size());
     for (size_t i = 0; i < missing.size(); ++i) {
@@ -197,6 +198,7 @@ class KcrBatchRunner {
   const PenaltyModel& pm_;
   WhyNotStats* stats_;
   const CancelToken* cancel_;
+  const bool use_node_cache_;
   std::vector<DomContext> dom_ctx_;
 };
 
@@ -275,9 +277,14 @@ Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
     if (cancel_ != nullptr) WSK_RETURN_IF_ERROR(cancel_->Check());
     const QueueNode entry = queue.top();
     queue.pop();
-    StatusOr<KcrTree::Node> read = tree_.ReadNode(entry.page);
+    // Decoded read: entry payloads are already materialized (and, for
+    // inner nodes, the per-child NodeDomStats precomputed) — either shared
+    // from the engine cache or built fresh for this visit.
+    StatusOr<std::shared_ptr<const KcrTree::DecodedNode>> read =
+        tree_.ReadDecodedNode(entry.page, use_node_cache_);
     if (!read.ok()) return read.status();
-    const KcrTree::Node node = std::move(read).value();
+    const KcrTree::DecodedNode& decoded = *read.value();
+    const KcrTree::Node& node = decoded.node;
     ++stats_->nodes_expanded;
 
     // Child bound matrices (flattened like QueueNode::hi/lo).
@@ -292,12 +299,11 @@ Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
       std::vector<double> batch_tsim;
       for (size_t j = 0; j < num_children; ++j) {
         const KcrTree::LeafEntry& e = node.leaf_entries[j];
-        StatusOr<KeywordSet> doc = tree_.ReadKeywordSet(e.keywords);
-        if (!doc.ok()) return doc.status();
+        const KeywordSet& doc = decoded.leaf_docs[j];
         const double sdist =
             Distance(e.loc, original_.loc) / tree_.diagonal();
         if (kernel) {
-          const Footprint fp = scorer_.universe().FootprintOf(doc.value());
+          const Footprint fp = scorer_.universe().FootprintOf(doc);
           ScoreAllCandidates(fp, batch_masks, original_.model, &batch_tsim);
         }
         child_hi[j].assign(num_cands * num_missing, 0);
@@ -306,7 +312,7 @@ Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
           if (!cands[c].alive) continue;
           const double tsim = kernel
                                   ? batch_tsim[c]
-                                  : TextualSimilarity(doc.value(),
+                                  : TextualSimilarity(doc,
                                                       cands[c].cand->doc,
                                                       original_.model);
           const double score = original_.alpha * (1.0 - sdist) +
@@ -320,15 +326,12 @@ Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
         }
       }
     } else {
-      std::vector<KeywordCountMap> kcms(num_children);
       for (size_t j = 0; j < num_children; ++j) {
-        const KcrTree::InnerEntry& e = node.inner_entries[j];
-        StatusOr<KeywordCountMap> kcm = tree_.ReadKcm(e.kcm);
-        if (!kcm.ok()) return kcm.status();
-        kcms[j] = std::move(kcm).value();
-        const NodeDomStats child_stats(&kcms[j], e.cnt, e.mbr);
-        // Universe counts once per child; every candidate then reads its
-        // relevant counts by mask bit instead of probing the count map.
+        // The suffix-histogram stats are query-independent, so they ride
+        // along with the decoded node (precomputed once at materialization
+        // instead of once per visit). The universe counts are
+        // query-dependent and stay per batch.
+        const NodeDomStats& child_stats = decoded.child_stats[j];
         NodeUniverseCounts child_uc;
         if (kernel) {
           child_uc = NodeUniverseCounts::Build(child_stats,
@@ -429,7 +432,7 @@ StatusOr<WhyNotResult> AnswerWhyNotKcr(const Dataset& dataset,
   bool exceeded = false;
   StatusOr<uint32_t> initial_rank =
       RankFromIndex(tree, original, initial_min_score, /*limit=*/0, &exceeded,
-                    nullptr, options.cancel);
+                    nullptr, options.cancel, options.use_node_cache);
   if (!initial_rank.ok()) return initial_rank.status();
   result.stats.initial_rank = initial_rank.value();
 
@@ -496,7 +499,8 @@ StatusOr<WhyNotResult> AnswerWhyNotKcr(const Dataset& dataset,
           start + (chunk + 1) * batch_size / num_chunks;
       if (chunk_begin >= chunk_end) return;
       KcrBatchRunner runner(dataset, tree, original, missing_set, scorer,
-                            pm, &chunk_stats[chunk], options.cancel);
+                            pm, &chunk_stats[chunk], options.cancel,
+                            options.use_node_cache);
       chunk_status[chunk] = runner.RunBatch(candidates.data() + chunk_begin,
                                             candidates.data() + chunk_end,
                                             &tracker);

@@ -57,6 +57,12 @@ class NodeDomStats {
     return ge_[c];
   }
 
+  // Approximate heap footprint, for node-cache byte budgeting (the
+  // referenced KeywordCountMap is charged by its owner).
+  size_t MemoryBytes() const {
+    return sizeof(*this) + ge_.capacity() * sizeof(uint32_t);
+  }
+
  private:
   const KeywordCountMap* kcm_;
   uint32_t cnt_;

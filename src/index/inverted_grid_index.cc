@@ -172,9 +172,10 @@ Status InvertedGridIndex::WriteMeta() {
 }
 
 Status InvertedGridIndex::ReadMeta() {
-  std::vector<uint8_t> bytes;
-  WSK_RETURN_IF_ERROR(ReadNodeBytes(pool_, meta_page_, 1, &bytes));
-  ByteReader reader(bytes.data(), bytes.size());
+  // Meta pages are single-page by construction: zero-copy view.
+  StatusOr<NodeView> view = NodeView::Read(pool_, meta_page_, 1);
+  if (!view.ok()) return view.status();
+  ByteReader reader(view.value().data(), view.value().size());
   if (reader.GetU32() != kMagic) {
     return Status::Corruption("not an inverted-grid index file");
   }
@@ -210,8 +211,41 @@ StatusOr<InvertedGridIndex::ObjectEntry> InvertedGridIndex::ReadObjectEntry(
   return entry;
 }
 
-StatusOr<std::vector<ObjectId>> InvertedGridIndex::ReadPosting(
-    const BlobRef& directory, uint32_t slot) const {
+void InvertedGridIndex::AttachNodeCache(NodeCache* cache) {
+  cache_ = cache;
+  if (cache != nullptr && term_cache_ns_ == 0) {
+    term_cache_ns_ = NodeCache::NextTreeId();
+    cell_cache_ns_ = NodeCache::NextTreeId();
+  }
+}
+
+namespace {
+
+// Digest of a cached posting list, for the cache's no-mutation check.
+uint64_t FingerprintPosting(const void* value) {
+  const auto* ids = static_cast<const std::vector<ObjectId>*>(value);
+  FingerprintHasher hasher;
+  hasher.MixU64(ids->size());
+  hasher.Mix(ids->data(), ids->size() * sizeof(ObjectId));
+  return hasher.digest();
+}
+
+}  // namespace
+
+StatusOr<std::shared_ptr<const std::vector<ObjectId>>>
+InvertedGridIndex::ReadPosting(const BlobRef& directory, uint32_t slot,
+                               uint32_t cache_ns) const {
+  if (cache_ != nullptr) {
+    std::shared_ptr<const std::vector<ObjectId>> hit =
+        cache_->LookupAs<std::vector<ObjectId>>(cache_ns, slot);
+    IoStats& io = pool_->pager()->io_stats();
+    if (hit != nullptr) {
+      io.RecordNodeCacheHit();
+      return StatusOr<std::shared_ptr<const std::vector<ObjectId>>>(
+          std::move(hit));
+    }
+    io.RecordNodeCacheMiss();
+  }
   std::vector<uint8_t> ref_bytes;
   WSK_RETURN_IF_ERROR(blobs_.ReadRange(directory,
                                        slot * BlobRef::kSerializedSize,
@@ -219,7 +253,15 @@ StatusOr<std::vector<ObjectId>> InvertedGridIndex::ReadPosting(
   const BlobRef ref = BlobRef::Deserialize(ref_bytes.data());
   std::vector<uint8_t> bytes;
   WSK_RETURN_IF_ERROR(blobs_.Read(ref, &bytes));
-  return DecodeIds(bytes);
+  auto ids = std::make_shared<std::vector<ObjectId>>(DecodeIds(bytes));
+  if (cache_ != nullptr) {
+    cache_->Insert(cache_ns, slot, ids,
+                   sizeof(std::vector<ObjectId>) +
+                       ids->size() * sizeof(ObjectId),
+                   &FingerprintPosting);
+  }
+  return StatusOr<std::shared_ptr<const std::vector<ObjectId>>>(
+      std::move(ids));
 }
 
 Rect InvertedGridIndex::CellRect(uint32_t cx, uint32_t cy) const {
@@ -243,9 +285,10 @@ Status InvertedGridIndex::ScoreTextualCandidates(
   const CandidateMask qmask = qu.valid() ? qu.FullMask() : 0;
   for (TermId t : query.doc) {
     if (t >= num_terms_) continue;  // unknown term: empty posting
-    StatusOr<std::vector<ObjectId>> posting = ReadPosting(term_directory_, t);
+    StatusOr<std::shared_ptr<const std::vector<ObjectId>>> posting =
+        ReadPosting(term_directory_, t, term_cache_ns_);
     if (!posting.ok()) return posting.status();
-    for (ObjectId id : posting.value()) {
+    for (ObjectId id : *posting.value()) {
       if ((*seen)[id]) continue;
       (*seen)[id] = true;
       StatusOr<ObjectEntry> entry = ReadObjectEntry(id);
@@ -315,11 +358,11 @@ StatusOr<std::vector<ScoredObject>> InvertedGridIndex::TopK(
   for (const CellDist& cell : order) {
     const double bound = query.alpha * (1.0 - cell.min_dist / diagonal_);
     if (bound <= gate) break;
-    StatusOr<std::vector<ObjectId>> posting =
-        ReadPosting(cell_directory_, cell.slot);
+    StatusOr<std::shared_ptr<const std::vector<ObjectId>>> posting =
+        ReadPosting(cell_directory_, cell.slot, cell_cache_ns_);
     if (!posting.ok()) return posting.status();
     bool added = false;
-    for (ObjectId id : posting.value()) {
+    for (ObjectId id : *posting.value()) {
       if (seen[id]) continue;
       seen[id] = true;
       StatusOr<ObjectEntry> entry = ReadObjectEntry(id);
@@ -354,10 +397,10 @@ StatusOr<uint32_t> InvertedGridIndex::RankOfScore(
           query.alpha *
           (1.0 - MinDist(query.loc, CellRect(cx, cy)) / diagonal_);
       if (bound <= target_score) continue;
-      StatusOr<std::vector<ObjectId>> posting =
-          ReadPosting(cell_directory_, cy * grid_ + cx);
+      StatusOr<std::shared_ptr<const std::vector<ObjectId>>> posting =
+          ReadPosting(cell_directory_, cy * grid_ + cx, cell_cache_ns_);
       if (!posting.ok()) return posting.status();
-      for (ObjectId id : posting.value()) {
+      for (ObjectId id : *posting.value()) {
         if (seen[id]) continue;
         StatusOr<ObjectEntry> entry = ReadObjectEntry(id);
         if (!entry.ok()) return entry.status();

@@ -26,6 +26,7 @@
 #include "data/query.h"
 #include "storage/blob_store.h"
 #include "storage/buffer_pool.h"
+#include "storage/node_cache.h"
 #include "text/similarity.h"
 
 namespace wsk {
@@ -55,6 +56,11 @@ class InvertedGridIndex {
   uint64_t num_objects() const { return num_objects_; }
   uint32_t grid_resolution() const { return grid_; }
 
+  // Attaches a shared decoded-node cache (not owned) for posting lists;
+  // term and cell postings register disjoint cache namespaces. Pass
+  // nullptr to detach.
+  void AttachNodeCache(NodeCache* cache);
+
  private:
   explicit InvertedGridIndex(BufferPool* pool);
 
@@ -67,8 +73,10 @@ class InvertedGridIndex {
   Status ReadMeta();
 
   StatusOr<ObjectEntry> ReadObjectEntry(ObjectId id) const;
-  StatusOr<std::vector<ObjectId>> ReadPosting(const BlobRef& directory,
-                                              uint32_t slot) const;
+  // Decodes the posting list at `slot`; served from the attached cache
+  // (namespace `cache_ns`: term or cell postings) when possible.
+  StatusOr<std::shared_ptr<const std::vector<ObjectId>>> ReadPosting(
+      const BlobRef& directory, uint32_t slot, uint32_t cache_ns) const;
   Rect CellRect(uint32_t cx, uint32_t cy) const;
 
   // Scores every object that shares a term with the query (exact) and
@@ -78,6 +86,9 @@ class InvertedGridIndex {
                                 std::vector<bool>* seen) const;
 
   BufferPool* const pool_;
+  NodeCache* cache_ = nullptr;  // not owned; see AttachNodeCache
+  uint32_t term_cache_ns_ = 0;
+  uint32_t cell_cache_ns_ = 0;
   mutable BlobStore blobs_;
   Options options_;
   PageId meta_page_ = kInvalidPageId;

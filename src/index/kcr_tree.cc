@@ -54,10 +54,12 @@ void SerializeNode(const KcrTree::Node& node, std::vector<uint8_t>* out) {
 }
 
 // Validates the header before decoding: a corrupted kind byte or entry
-// count must surface as Corruption, not as a decode overrun.
-StatusOr<KcrTree::Node> DeserializeNode(PageId page,
-                                        const std::vector<uint8_t>& bytes) {
-  ByteReader reader(bytes.data(), bytes.size());
+// count must surface as Corruption, not as a decode overrun. Parses in
+// place over whatever span the caller holds (typically a zero-copy
+// NodeView over the pinned page).
+StatusOr<KcrTree::Node> DeserializeNode(PageId page, const uint8_t* data,
+                                        size_t size) {
+  ByteReader reader(data, size);
   KcrTree::Node node;
   const uint8_t kind = reader.GetU8();
   if (kind > 1) {
@@ -71,7 +73,7 @@ StatusOr<KcrTree::Node> DeserializeNode(PageId page,
   const uint32_t count = reader.GetU32();
   const size_t entry_bytes =
       node.is_leaf ? kLeafEntryBytes : kInnerEntryBytes;
-  if (count > (bytes.size() - kHeaderBytes) / entry_bytes) {
+  if (count > (size - kHeaderBytes) / entry_bytes) {
     return Status::Corruption("node " + std::to_string(page) +
                               ": entry count overflows the node");
   }
@@ -98,6 +100,34 @@ StatusOr<KcrTree::Node> DeserializeNode(PageId page,
     }
   }
   return node;
+}
+
+// Digest of a decoded node's primary payload, used by the cache's
+// no-mutation check (debug builds / sanitizer tests).
+uint64_t FingerprintDecodedNode(const void* value) {
+  const auto* decoded = static_cast<const KcrTree::DecodedNode*>(value);
+  FingerprintHasher hasher;
+  hasher.MixU64(decoded->node.is_leaf ? 1 : 0);
+  hasher.MixU64(decoded->node.size());
+  if (decoded->node.is_leaf) {
+    for (size_t i = 0; i < decoded->node.leaf_entries.size(); ++i) {
+      const KcrTree::LeafEntry& e = decoded->node.leaf_entries[i];
+      hasher.MixU64(e.object);
+      hasher.Mix(&e.loc, sizeof(e.loc));
+      const std::vector<TermId>& terms = decoded->leaf_docs[i].terms();
+      hasher.Mix(terms.data(), terms.size() * sizeof(TermId));
+    }
+  } else {
+    for (size_t i = 0; i < decoded->node.inner_entries.size(); ++i) {
+      const KcrTree::InnerEntry& e = decoded->node.inner_entries[i];
+      hasher.MixU64(e.child);
+      hasher.Mix(&e.mbr, sizeof(e.mbr));
+      hasher.MixU64(e.cnt);
+      const auto& pairs = decoded->child_kcms[i].pairs();
+      hasher.Mix(pairs.data(), pairs.size() * sizeof(pairs[0]));
+    }
+  }
+  return hasher.digest();
 }
 
 }  // namespace
@@ -243,13 +273,91 @@ Status KcrTree::WriteNode(PageId page, const Node& node) {
   bytes.resize(static_cast<size_t>(pages_per_node_) *
                    pool_->pager()->page_size(),
                0);
+  // Invalidate before the write lands so no reader can re-cache the stale
+  // decoding between the store and the erase.
+  if (cache_ != nullptr) cache_->Erase(cache_tree_id_, page);
   return WriteNodeBytes(pool_, page, pages_per_node_, bytes.data());
 }
 
 StatusOr<KcrTree::Node> KcrTree::ReadNode(PageId page) const {
-  std::vector<uint8_t> bytes;
-  WSK_RETURN_IF_ERROR(ReadNodeBytes(pool_, page, pages_per_node_, &bytes));
-  return DeserializeNode(page, bytes);
+  StatusOr<NodeView> view = NodeView::Read(pool_, page, pages_per_node_);
+  if (!view.ok()) return view.status();
+  return DeserializeNode(page, view.value().data(), view.value().size());
+}
+
+void KcrTree::AttachNodeCache(NodeCache* cache) {
+  cache_ = cache;
+  if (cache != nullptr && cache_tree_id_ == 0) {
+    cache_tree_id_ = NodeCache::NextTreeId();
+  }
+}
+
+StatusOr<std::shared_ptr<const KcrTree::DecodedNode>> KcrTree::MaterializeNode(
+    PageId page) const {
+  auto decoded = std::make_shared<DecodedNode>();
+  {
+    StatusOr<NodeView> view = NodeView::Read(pool_, page, pages_per_node_);
+    if (!view.ok()) return view.status();
+    StatusOr<Node> node =
+        DeserializeNode(page, view.value().data(), view.value().size());
+    if (!node.ok()) return node.status();
+    decoded->node = std::move(node).value();
+  }  // drop the page pin before the blob reads below
+  const Node& node = decoded->node;
+  size_t bytes = sizeof(DecodedNode);
+  if (node.is_leaf) {
+    bytes += node.leaf_entries.size() * sizeof(LeafEntry);
+    decoded->leaf_docs.reserve(node.leaf_entries.size());
+    for (const LeafEntry& e : node.leaf_entries) {
+      StatusOr<KeywordSet> doc = ReadKeywordSet(e.keywords);
+      if (!doc.ok()) return doc.status();
+      bytes += sizeof(KeywordSet) + doc.value().SerializedSize();
+      decoded->leaf_docs.push_back(std::move(doc).value());
+    }
+  } else {
+    bytes += node.inner_entries.size() * sizeof(InnerEntry);
+    // Fill child_kcms completely before building child_stats: NodeDomStats
+    // keeps a pointer to its map, so the vector must never reallocate
+    // afterwards.
+    decoded->child_kcms.reserve(node.inner_entries.size());
+    for (const InnerEntry& e : node.inner_entries) {
+      StatusOr<KeywordCountMap> kcm = ReadKcm(e.kcm);
+      if (!kcm.ok()) return kcm.status();
+      bytes += sizeof(KeywordCountMap) + kcm.value().SerializedSize();
+      decoded->child_kcms.push_back(std::move(kcm).value());
+    }
+    decoded->child_stats.reserve(node.inner_entries.size());
+    for (size_t i = 0; i < node.inner_entries.size(); ++i) {
+      const InnerEntry& e = node.inner_entries[i];
+      decoded->child_stats.emplace_back(&decoded->child_kcms[i], e.cnt,
+                                        e.mbr);
+      bytes += decoded->child_stats.back().MemoryBytes();
+    }
+  }
+  decoded->memory_bytes = bytes;
+  return StatusOr<std::shared_ptr<const DecodedNode>>(std::move(decoded));
+}
+
+StatusOr<std::shared_ptr<const KcrTree::DecodedNode>> KcrTree::ReadDecodedNode(
+    PageId page, bool use_cache) const {
+  NodeCache* cache = use_cache ? cache_ : nullptr;
+  if (cache != nullptr) {
+    std::shared_ptr<const DecodedNode> hit =
+        cache->LookupAs<DecodedNode>(cache_tree_id_, page);
+    IoStats& io = pool_->pager()->io_stats();
+    if (hit != nullptr) {
+      io.RecordNodeCacheHit();
+      return StatusOr<std::shared_ptr<const DecodedNode>>(std::move(hit));
+    }
+    io.RecordNodeCacheMiss();
+  }
+  StatusOr<std::shared_ptr<const DecodedNode>> decoded = MaterializeNode(page);
+  if (!decoded.ok()) return decoded.status();
+  if (cache != nullptr) {
+    cache->Insert(cache_tree_id_, page, decoded.value(),
+                  decoded.value()->memory_bytes, &FingerprintDecodedNode);
+  }
+  return decoded;
 }
 
 StatusOr<BlobRef> KcrTree::WriteKeywordSet(const KeywordSet& set) {
@@ -303,9 +411,10 @@ Status KcrTree::WriteMeta() {
 }
 
 Status KcrTree::ReadMeta() {
-  std::vector<uint8_t> bytes;
-  WSK_RETURN_IF_ERROR(ReadNodeBytes(pool_, meta_page_, 1, &bytes));
-  ByteReader reader(bytes.data(), bytes.size());
+  // Meta pages are single-page by construction: zero-copy view.
+  StatusOr<NodeView> view = NodeView::Read(pool_, meta_page_, 1);
+  if (!view.ok()) return view.status();
+  ByteReader reader(view.value().data(), view.value().size());
   if (reader.GetU32() != kMagic) {
     return Status::Corruption("not a KcR-tree file");
   }
@@ -336,25 +445,26 @@ PageId KcrTree::SearchRoot() const {
 }
 
 Status KcrTree::ExpandNode(PageId page, const SpatialKeywordQuery& query,
-                           std::vector<SearchEntry>* out) const {
-  StatusOr<Node> read = ReadNode(page);
+                           bool use_cache, std::vector<SearchEntry>* out)
+    const {
+  StatusOr<std::shared_ptr<const DecodedNode>> read =
+      ReadDecodedNode(page, use_cache);
   if (!read.ok()) return read.status();
-  const Node node = std::move(read).value();
+  const DecodedNode& decoded = *read.value();
+  const Node& node = decoded.node;
   const double alpha = query.alpha;
   if (node.is_leaf) {
     // Same kernel shortcut as SetRTree::ExpandNode: one universe per node
     // visit, one footprint + popcount per object (bit-identical scores).
     const CandidateUniverse qu = CandidateUniverse::Build(query.doc);
     const CandidateMask qmask = qu.valid() ? qu.FullMask() : 0;
-    for (const LeafEntry& e : node.leaf_entries) {
-      StatusOr<KeywordSet> doc = ReadKeywordSet(e.keywords);
-      if (!doc.ok()) return doc.status();
+    for (size_t i = 0; i < node.leaf_entries.size(); ++i) {
+      const LeafEntry& e = node.leaf_entries[i];
+      const KeywordSet& doc = decoded.leaf_docs[i];
       const double sdist = Distance(e.loc, query.loc) / diagonal_;
       const double tsim =
-          qu.valid()
-              ? ScoreCandidate(qu.FootprintOf(doc.value()), qmask,
-                               query.model)
-              : TextualSimilarity(doc.value(), query.doc, query.model);
+          qu.valid() ? ScoreCandidate(qu.FootprintOf(doc), qmask, query.model)
+                     : TextualSimilarity(doc, query.doc, query.model);
       SearchEntry entry;
       entry.bound = alpha * (1.0 - sdist) + (1.0 - alpha) * tsim;
       entry.is_object = true;
@@ -363,14 +473,14 @@ Status KcrTree::ExpandNode(PageId page, const SpatialKeywordQuery& query,
     }
     return Status::Ok();
   }
-  for (const InnerEntry& e : node.inner_entries) {
-    StatusOr<KeywordCountMap> kcm = ReadKcm(e.kcm);
-    if (!kcm.ok()) return kcm.status();
+  for (size_t i = 0; i < node.inner_entries.size(); ++i) {
+    const InnerEntry& e = node.inner_entries[i];
+    const KeywordCountMap& kcm = decoded.child_kcms[i];
     // Textual bound from the count map: an object below the child can share
     // at most the number of query terms present in the subtree.
     size_t present = 0;
     for (TermId t : query.doc) {
-      if (kcm.value().CountOf(t) > 0) ++present;
+      if (kcm.CountOf(t) > 0) ++present;
     }
     double tsim_bound;
     switch (query.model) {

@@ -20,10 +20,12 @@
 #include "common/status.h"
 #include "data/dataset.h"
 #include "data/query.h"
+#include "index/dom_bounds.h"
 #include "index/keyword_count_map.h"
 #include "index/topk.h"
 #include "storage/blob_store.h"
 #include "storage/buffer_pool.h"
+#include "storage/node_cache.h"
 #include "text/similarity.h"
 
 namespace wsk {
@@ -78,7 +80,36 @@ class KcrTree : public TopKSource {
   // TopKSource (used to determine R(m, q), Algorithm 4 line 1):
   PageId SearchRoot() const override;
   Status ExpandNode(PageId node, const SpatialKeywordQuery& query,
-                    std::vector<SearchEntry>* out) const override;
+                    bool use_cache, std::vector<SearchEntry>* out)
+      const override;
+
+  // A node decoded all the way down: the structural entries plus every
+  // entry payload materialized from the blob store, and the
+  // query-independent dominator statistics precomputed per child. Immutable
+  // once built — this is the unit the NodeCache shares across queries.
+  struct DecodedNode {
+    Node node;
+    // Leaf nodes: decoded keyword set per leaf entry (same index).
+    std::vector<KeywordSet> leaf_docs;
+    // Inner nodes: decoded count map + suffix-histogram stats per child
+    // (same index). child_stats[i] points into child_kcms[i], which is why
+    // both live together inside one shared, immutable allocation.
+    std::vector<KeywordCountMap> child_kcms;
+    std::vector<NodeDomStats> child_stats;
+    size_t memory_bytes = 0;  // cache charge estimate
+  };
+
+  // Attaches a shared decoded-node cache (not owned). Call after bulk load;
+  // the tree registers itself under a fresh cache tree-id. Pass nullptr to
+  // detach.
+  void AttachNodeCache(NodeCache* cache);
+
+  // Reads a fully materialized node, through the cache when one is attached
+  // and `use_cache` is true. With `use_cache` false the read behaves
+  // exactly like the uncached path (no lookup, no insert, no counters), so
+  // differential runs can replay both paths.
+  StatusOr<std::shared_ptr<const DecodedNode>> ReadDecodedNode(
+      PageId page, bool use_cache = true) const;
 
   double diagonal() const { return diagonal_; }
   uint32_t height() const { return height_; }
@@ -112,6 +143,8 @@ class KcrTree : public TopKSource {
   };
 
   PageId AllocateNodeSlot();
+  StatusOr<std::shared_ptr<const DecodedNode>> MaterializeNode(
+      PageId page) const;
   Status WriteNode(PageId page, const Node& node);
   StatusOr<BlobRef> WriteKeywordSet(const KeywordSet& set);
   StatusOr<BlobRef> WriteKcm(const KeywordCountMap& map);
@@ -132,6 +165,8 @@ class KcrTree : public TopKSource {
   void QuadraticSplit(Node* node, Node* sibling) const;
 
   BufferPool* const pool_;
+  NodeCache* cache_ = nullptr;  // not owned; see AttachNodeCache
+  uint32_t cache_tree_id_ = 0;
   mutable BlobStore blobs_;
   Options options_;
   uint32_t pages_per_node_ = 0;

@@ -2,6 +2,25 @@
 
 namespace wsk {
 
+StatusOr<NodeView> NodeView::Read(BufferPool* pool, PageId first,
+                                  uint32_t num_pages) {
+  const uint32_t page_size = pool->pager()->page_size();
+  NodeView view;
+  if (num_pages == 1) {
+    // Zero-copy fast path: borrow the pinned frame's span directly.
+    StatusOr<PageHandle> handle = pool->Fetch(first);
+    if (!handle.ok()) return handle.status();
+    view.pin_ = std::move(handle).value();
+    view.data_ = view.pin_.data();
+    view.size_ = page_size;
+    return StatusOr<NodeView>(std::move(view));
+  }
+  WSK_RETURN_IF_ERROR(ReadNodeBytes(pool, first, num_pages, &view.scratch_));
+  view.data_ = view.scratch_.data();
+  view.size_ = view.scratch_.size();
+  return StatusOr<NodeView>(std::move(view));
+}
+
 Status ReadNodeBytes(BufferPool* pool, PageId first, uint32_t num_pages,
                      std::vector<uint8_t>* out) {
   const uint32_t page_size = pool->pager()->page_size();

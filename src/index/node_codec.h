@@ -88,8 +88,45 @@ class ByteReader {
   size_t pos_ = 0;
 };
 
+// Zero-copy view over a node's serialized bytes.
+//
+// For a single-page node (the common case: every meta page, and any tree
+// built with a small enough capacity) the view *borrows* the pinned page
+// span directly — no scratch buffer, no memcpy; the PageHandle held inside
+// the view keeps the frame pinned (and its data() stable) for the view's
+// lifetime. Multi-page nodes fall back to one gathered copy into an owned
+// scratch buffer, since buffer-pool frames are not physically contiguous.
+//
+// The bytes are read-only; decode them in place with ByteReader. Keep the
+// view alive until decoding finishes, and drop it promptly afterwards —
+// it may be pinning a buffer-pool frame.
+class NodeView {
+ public:
+  NodeView() = default;  // empty view (data() == nullptr); see Read
+  NodeView(NodeView&&) = default;
+  NodeView& operator=(NodeView&&) = default;
+  NodeView(const NodeView&) = delete;
+  NodeView& operator=(const NodeView&) = delete;
+
+  // Reads the `num_pages` consecutive pages starting at `first`.
+  static StatusOr<NodeView> Read(BufferPool* pool, PageId first,
+                                 uint32_t num_pages);
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  // True when the view borrows a pinned page instead of owning a copy.
+  bool zero_copy() const { return pin_.valid(); }
+
+ private:
+  PageHandle pin_;                // single-page path: keeps the span alive
+  std::vector<uint8_t> scratch_;  // multi-page path: gathered copy
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
 // Reads the `num_pages` consecutive pages starting at `first` into `out`
-// (resized to num_pages * page_size).
+// (resized to num_pages * page_size). Prefer NodeView::Read, which skips
+// the copy entirely for single-page nodes.
 Status ReadNodeBytes(BufferPool* pool, PageId first, uint32_t num_pages,
                      std::vector<uint8_t>* out);
 

@@ -55,10 +55,12 @@ void SerializeNode(const SetRTree::Node& node, std::vector<uint8_t>* out) {
 }
 
 // Validates the header before decoding: a corrupted kind byte or entry
-// count must surface as Corruption, not as a decode overrun.
-StatusOr<SetRTree::Node> DeserializeNode(PageId page,
-                                         const std::vector<uint8_t>& bytes) {
-  ByteReader reader(bytes.data(), bytes.size());
+// count must surface as Corruption, not as a decode overrun. Parses in
+// place over whatever span the caller holds (typically a zero-copy
+// NodeView over the pinned page).
+StatusOr<SetRTree::Node> DeserializeNode(PageId page, const uint8_t* data,
+                                         size_t size) {
+  ByteReader reader(data, size);
   SetRTree::Node node;
   const uint8_t kind = reader.GetU8();
   if (kind > 1) {
@@ -72,7 +74,7 @@ StatusOr<SetRTree::Node> DeserializeNode(PageId page,
   const uint32_t count = reader.GetU32();
   const size_t entry_bytes =
       node.is_leaf ? kLeafEntryBytes : kInnerEntryBytes;
-  if (count > (bytes.size() - kHeaderBytes) / entry_bytes) {
+  if (count > (size - kHeaderBytes) / entry_bytes) {
     return Status::Corruption("node " + std::to_string(page) +
                               ": entry count overflows the node");
   }
@@ -101,6 +103,36 @@ StatusOr<SetRTree::Node> DeserializeNode(PageId page,
     }
   }
   return node;
+}
+
+// Digest of a decoded node's primary payload, used by the cache's
+// no-mutation check (debug builds / sanitizer tests).
+uint64_t FingerprintDecodedNode(const void* value) {
+  const auto* decoded = static_cast<const SetRTree::DecodedNode*>(value);
+  FingerprintHasher hasher;
+  hasher.MixU64(decoded->node.is_leaf ? 1 : 0);
+  hasher.MixU64(decoded->node.size());
+  auto mix_set = [&hasher](const KeywordSet& set) {
+    const std::vector<TermId>& terms = set.terms();
+    hasher.Mix(terms.data(), terms.size() * sizeof(TermId));
+  };
+  if (decoded->node.is_leaf) {
+    for (size_t i = 0; i < decoded->node.leaf_entries.size(); ++i) {
+      const SetRTree::LeafEntry& e = decoded->node.leaf_entries[i];
+      hasher.MixU64(e.object);
+      hasher.Mix(&e.loc, sizeof(e.loc));
+      mix_set(decoded->leaf_docs[i]);
+    }
+  } else {
+    for (size_t i = 0; i < decoded->node.inner_entries.size(); ++i) {
+      const SetRTree::InnerEntry& e = decoded->node.inner_entries[i];
+      hasher.MixU64(e.child);
+      hasher.Mix(&e.mbr, sizeof(e.mbr));
+      mix_set(decoded->child_union[i]);
+      mix_set(decoded->child_inter[i]);
+    }
+  }
+  return hasher.digest();
 }
 
 }  // namespace
@@ -252,13 +284,86 @@ Status SetRTree::WriteNode(PageId page, const Node& node) {
   bytes.resize(static_cast<size_t>(pages_per_node_) *
                    pool_->pager()->page_size(),
                0);
+  // Invalidate before the write lands so no reader can re-cache the stale
+  // decoding between the store and the erase.
+  if (cache_ != nullptr) cache_->Erase(cache_tree_id_, page);
   return WriteNodeBytes(pool_, page, pages_per_node_, bytes.data());
 }
 
 StatusOr<SetRTree::Node> SetRTree::ReadNode(PageId page) const {
-  std::vector<uint8_t> bytes;
-  WSK_RETURN_IF_ERROR(ReadNodeBytes(pool_, page, pages_per_node_, &bytes));
-  return DeserializeNode(page, bytes);
+  StatusOr<NodeView> view = NodeView::Read(pool_, page, pages_per_node_);
+  if (!view.ok()) return view.status();
+  return DeserializeNode(page, view.value().data(), view.value().size());
+}
+
+void SetRTree::AttachNodeCache(NodeCache* cache) {
+  cache_ = cache;
+  if (cache != nullptr && cache_tree_id_ == 0) {
+    cache_tree_id_ = NodeCache::NextTreeId();
+  }
+}
+
+StatusOr<std::shared_ptr<const SetRTree::DecodedNode>>
+SetRTree::MaterializeNode(PageId page) const {
+  auto decoded = std::make_shared<DecodedNode>();
+  {
+    StatusOr<NodeView> view = NodeView::Read(pool_, page, pages_per_node_);
+    if (!view.ok()) return view.status();
+    StatusOr<Node> node =
+        DeserializeNode(page, view.value().data(), view.value().size());
+    if (!node.ok()) return node.status();
+    decoded->node = std::move(node).value();
+  }  // drop the page pin before the blob reads below
+  const Node& node = decoded->node;
+  size_t bytes = sizeof(DecodedNode);
+  if (node.is_leaf) {
+    bytes += node.leaf_entries.size() * sizeof(LeafEntry);
+    decoded->leaf_docs.reserve(node.leaf_entries.size());
+    for (const LeafEntry& e : node.leaf_entries) {
+      StatusOr<KeywordSet> doc = ReadKeywordSet(e.keywords);
+      if (!doc.ok()) return doc.status();
+      bytes += sizeof(KeywordSet) + doc.value().SerializedSize();
+      decoded->leaf_docs.push_back(std::move(doc).value());
+    }
+  } else {
+    bytes += node.inner_entries.size() * sizeof(InnerEntry);
+    decoded->child_union.reserve(node.inner_entries.size());
+    decoded->child_inter.reserve(node.inner_entries.size());
+    for (const InnerEntry& e : node.inner_entries) {
+      StatusOr<KeywordSet> uni = ReadKeywordSet(e.union_set);
+      if (!uni.ok()) return uni.status();
+      StatusOr<KeywordSet> inter = ReadKeywordSet(e.inter_set);
+      if (!inter.ok()) return inter.status();
+      bytes += 2 * sizeof(KeywordSet) + uni.value().SerializedSize() +
+               inter.value().SerializedSize();
+      decoded->child_union.push_back(std::move(uni).value());
+      decoded->child_inter.push_back(std::move(inter).value());
+    }
+  }
+  decoded->memory_bytes = bytes;
+  return StatusOr<std::shared_ptr<const DecodedNode>>(std::move(decoded));
+}
+
+StatusOr<std::shared_ptr<const SetRTree::DecodedNode>>
+SetRTree::ReadDecodedNode(PageId page, bool use_cache) const {
+  NodeCache* cache = use_cache ? cache_ : nullptr;
+  if (cache != nullptr) {
+    std::shared_ptr<const DecodedNode> hit =
+        cache->LookupAs<DecodedNode>(cache_tree_id_, page);
+    IoStats& io = pool_->pager()->io_stats();
+    if (hit != nullptr) {
+      io.RecordNodeCacheHit();
+      return StatusOr<std::shared_ptr<const DecodedNode>>(std::move(hit));
+    }
+    io.RecordNodeCacheMiss();
+  }
+  StatusOr<std::shared_ptr<const DecodedNode>> decoded = MaterializeNode(page);
+  if (!decoded.ok()) return decoded.status();
+  if (cache != nullptr) {
+    cache->Insert(cache_tree_id_, page, decoded.value(),
+                  decoded.value()->memory_bytes, &FingerprintDecodedNode);
+  }
+  return decoded;
 }
 
 StatusOr<BlobRef> SetRTree::WriteKeywordSet(const KeywordSet& set) {
@@ -290,9 +395,10 @@ Status SetRTree::WriteMeta() {
 }
 
 Status SetRTree::ReadMeta() {
-  std::vector<uint8_t> bytes;
-  WSK_RETURN_IF_ERROR(ReadNodeBytes(pool_, meta_page_, 1, &bytes));
-  ByteReader reader(bytes.data(), bytes.size());
+  // Meta pages are single-page by construction: zero-copy view.
+  StatusOr<NodeView> view = NodeView::Read(pool_, meta_page_, 1);
+  if (!view.ok()) return view.status();
+  ByteReader reader(view.value().data(), view.value().size());
   if (reader.GetU32() != kMagic) {
     return Status::Corruption("not a SetR-tree file");
   }
@@ -320,10 +426,13 @@ PageId SetRTree::SearchRoot() const {
 }
 
 Status SetRTree::ExpandNode(PageId page, const SpatialKeywordQuery& query,
-                            std::vector<SearchEntry>* out) const {
-  StatusOr<Node> read = ReadNode(page);
+                            bool use_cache, std::vector<SearchEntry>* out)
+    const {
+  StatusOr<std::shared_ptr<const DecodedNode>> read =
+      ReadDecodedNode(page, use_cache);
   if (!read.ok()) return read.status();
-  const Node node = std::move(read).value();
+  const DecodedNode& decoded = *read.value();
+  const Node& node = decoded.node;
   const double alpha = query.alpha;
   if (node.is_leaf) {
     // Scoring kernel: freeze the (small) query doc as the universe once per
@@ -331,15 +440,13 @@ Status SetRTree::ExpandNode(PageId page, const SpatialKeywordQuery& query,
     // (bit-identical to TextualSimilarity; docs/PERF.md).
     const CandidateUniverse qu = CandidateUniverse::Build(query.doc);
     const CandidateMask qmask = qu.valid() ? qu.FullMask() : 0;
-    for (const LeafEntry& e : node.leaf_entries) {
-      StatusOr<KeywordSet> doc = ReadKeywordSet(e.keywords);
-      if (!doc.ok()) return doc.status();
+    for (size_t i = 0; i < node.leaf_entries.size(); ++i) {
+      const LeafEntry& e = node.leaf_entries[i];
+      const KeywordSet& doc = decoded.leaf_docs[i];
       const double sdist = Distance(e.loc, query.loc) / diagonal_;
       const double tsim =
-          qu.valid()
-              ? ScoreCandidate(qu.FootprintOf(doc.value()), qmask,
-                               query.model)
-              : TextualSimilarity(doc.value(), query.doc, query.model);
+          qu.valid() ? ScoreCandidate(qu.FootprintOf(doc), qmask, query.model)
+                     : TextualSimilarity(doc, query.doc, query.model);
       SearchEntry entry;
       entry.bound = alpha * (1.0 - sdist) + (1.0 - alpha) * tsim;
       entry.is_object = true;
@@ -347,18 +454,16 @@ Status SetRTree::ExpandNode(PageId page, const SpatialKeywordQuery& query,
       out->push_back(entry);
     }
   } else {
-    for (const InnerEntry& e : node.inner_entries) {
-      StatusOr<KeywordSet> uni = ReadKeywordSet(e.union_set);
-      if (!uni.ok()) return uni.status();
-      StatusOr<KeywordSet> inter = ReadKeywordSet(e.inter_set);
-      if (!inter.ok()) return inter.status();
+    for (size_t i = 0; i < node.inner_entries.size(); ++i) {
+      const InnerEntry& e = node.inner_entries[i];
+      const KeywordSet& uni = decoded.child_union[i];
+      const KeywordSet& inter = decoded.child_inter[i];
       // Theorem 1: ST(o, q) <= alpha (1 - MinDist(q, N.mbr)) +
       //            (1 - alpha) |N_u ∩ q| / |N_i ∪ q| for every o under N.
       const double min_sdist = MinDist(query.loc, e.mbr) / diagonal_;
       const double tsim_bound = NodeSimilarityUpperBound(
-          uni.value().IntersectionSize(query.doc),
-          inter.value().UnionSize(query.doc), inter.value().size(),
-          query.doc.size(), query.model);
+          uni.IntersectionSize(query.doc), inter.UnionSize(query.doc),
+          inter.size(), query.doc.size(), query.model);
       SearchEntry entry;
       entry.bound = alpha * (1.0 - min_sdist) + (1.0 - alpha) * tsim_bound;
       entry.node = e.child;

@@ -25,6 +25,7 @@
 #include "index/topk.h"
 #include "storage/blob_store.h"
 #include "storage/buffer_pool.h"
+#include "storage/node_cache.h"
 #include "text/keyword_set.h"
 #include "text/similarity.h"
 
@@ -92,7 +93,30 @@ class SetRTree : public TopKSource {
   // TopKSource:
   PageId SearchRoot() const override;
   Status ExpandNode(PageId node, const SpatialKeywordQuery& query,
-                    std::vector<SearchEntry>* out) const override;
+                    bool use_cache, std::vector<SearchEntry>* out)
+      const override;
+
+  // A node decoded all the way down: structural entries plus every keyword
+  // payload materialized from the blob store (object docs for leaves,
+  // union/intersection summaries for inner nodes). Immutable once built —
+  // the unit the NodeCache shares across queries.
+  struct DecodedNode {
+    Node node;
+    std::vector<KeywordSet> leaf_docs;     // leaves: per-entry doc
+    std::vector<KeywordSet> child_union;   // inner: per-entry pku
+    std::vector<KeywordSet> child_inter;   // inner: per-entry pki
+    size_t memory_bytes = 0;               // cache charge estimate
+  };
+
+  // Attaches a shared decoded-node cache (not owned). Call after bulk load;
+  // pass nullptr to detach.
+  void AttachNodeCache(NodeCache* cache);
+
+  // Reads a fully materialized node, through the cache when attached and
+  // `use_cache` is true; with `use_cache` false the read is byte-identical
+  // to the uncached path (no lookup/insert/counters).
+  StatusOr<std::shared_ptr<const DecodedNode>> ReadDecodedNode(
+      PageId page, bool use_cache = true) const;
 
   double diagonal() const { return diagonal_; }
   uint32_t height() const { return height_; }  // 0 = empty, 1 = leaf root
@@ -123,6 +147,8 @@ class SetRTree : public TopKSource {
   };
 
   PageId AllocateNodeSlot();
+  StatusOr<std::shared_ptr<const DecodedNode>> MaterializeNode(
+      PageId page) const;
   Status WriteNode(PageId page, const Node& node);
   StatusOr<BlobRef> WriteKeywordSet(const KeywordSet& set);
   Status WriteMeta();
@@ -149,6 +175,8 @@ class SetRTree : public TopKSource {
   void QuadraticSplit(Node* node, Node* sibling) const;
 
   BufferPool* const pool_;
+  NodeCache* cache_ = nullptr;  // not owned; see AttachNodeCache
+  uint32_t cache_tree_id_ = 0;
   mutable BlobStore blobs_;
   Options options_;
   uint32_t pages_per_node_ = 0;

@@ -3,8 +3,11 @@
 namespace wsk {
 
 TopKIterator::TopKIterator(const TopKSource* source, SpatialKeywordQuery query,
-                           const CancelToken* cancel)
-    : source_(source), query_(std::move(query)), cancel_(cancel) {
+                           const CancelToken* cancel, bool use_cache)
+    : source_(source),
+      query_(std::move(query)),
+      cancel_(cancel),
+      use_cache_(use_cache) {
   const PageId root = source_->SearchRoot();
   if (root != kInvalidPageId) {
     // The root has no parent entry to bound it; expand it unconditionally.
@@ -27,7 +30,8 @@ Status TopKIterator::Next(std::optional<ScoredObject>* out) {
     }
     if (cancel_ != nullptr) WSK_RETURN_IF_ERROR(cancel_->Check());
     scratch_.clear();
-    WSK_RETURN_IF_ERROR(source_->ExpandNode(top.node, query_, &scratch_));
+    WSK_RETURN_IF_ERROR(
+        source_->ExpandNode(top.node, query_, use_cache_, &scratch_));
     for (const SearchEntry& child : scratch_) heap_.push(child);
   }
   return Status::Ok();
@@ -35,8 +39,8 @@ Status TopKIterator::Next(std::optional<ScoredObject>* out) {
 
 StatusOr<std::vector<ScoredObject>> IndexTopK(
     const TopKSource& source, const SpatialKeywordQuery& query,
-    const CancelToken* cancel) {
-  TopKIterator it(&source, query, cancel);
+    const CancelToken* cancel, bool use_cache) {
+  TopKIterator it(&source, query, cancel, use_cache);
   std::vector<ScoredObject> result;
   result.reserve(query.k);
   std::optional<ScoredObject> next;
@@ -53,9 +57,10 @@ StatusOr<uint32_t> IndexRankOfScore(const TopKSource& source,
                                     double target_score,
                                     int64_t give_up_after_rank,
                                     bool* exceeded,
-                                    const CancelToken* cancel) {
+                                    const CancelToken* cancel,
+                                    bool use_cache) {
   *exceeded = false;
-  TopKIterator it(&source, query, cancel);
+  TopKIterator it(&source, query, cancel, use_cache);
   uint32_t strictly_better = 0;
   std::optional<ScoredObject> next;
   for (;;) {

@@ -47,8 +47,11 @@ class TopKSource {
   // Root node slot, or kInvalidPageId for an empty index.
   virtual PageId SearchRoot() const = 0;
 
-  // Appends one SearchEntry per child of `node` to `out`.
+  // Appends one SearchEntry per child of `node` to `out`. `use_cache`
+  // selects whether an attached decoded-node cache may serve the node;
+  // with false the expansion behaves exactly like the uncached read path.
   virtual Status ExpandNode(PageId node, const SpatialKeywordQuery& query,
+                            bool use_cache,
                             std::vector<SearchEntry>* out) const = 0;
 };
 
@@ -63,7 +66,7 @@ class TopKIterator {
   // before every node expansion — the traversal's unit of I/O — so a
   // cancelled or timed-out search unwinds within one page visit.
   TopKIterator(const TopKSource* source, SpatialKeywordQuery query,
-               const CancelToken* cancel = nullptr);
+               const CancelToken* cancel = nullptr, bool use_cache = true);
 
   // Sets *out to the next object, or nullopt when the index is exhausted.
   // Returns kCancelled / kDeadlineExceeded when the cancel token fired.
@@ -76,6 +79,7 @@ class TopKIterator {
   const TopKSource* source_;
   SpatialKeywordQuery query_;
   const CancelToken* cancel_ = nullptr;
+  bool use_cache_ = true;
   std::priority_queue<SearchEntry, std::vector<SearchEntry>, SearchEntryLess>
       heap_;
   std::vector<SearchEntry> scratch_;
@@ -87,7 +91,7 @@ class TopKIterator {
 // The k best objects.
 StatusOr<std::vector<ScoredObject>> IndexTopK(
     const TopKSource& source, const SpatialKeywordQuery& query,
-    const CancelToken* cancel = nullptr);
+    const CancelToken* cancel = nullptr, bool use_cache = true);
 
 // Rank (Eqn 3) of an object whose exact score is `target_score`: emits
 // objects until the stream drops to or below `target_score` and counts the
@@ -99,7 +103,8 @@ StatusOr<uint32_t> IndexRankOfScore(const TopKSource& source,
                                     double target_score,
                                     int64_t give_up_after_rank,
                                     bool* exceeded,
-                                    const CancelToken* cancel = nullptr);
+                                    const CancelToken* cancel = nullptr,
+                                    bool use_cache = true);
 
 }  // namespace wsk
 

@@ -25,6 +25,11 @@ QueryService::QueryService(const WhyNotEngine* engine,
       io_kcr_physical_(metrics_.counter("io.kcr.physical_reads")),
       io_setr_logical_(metrics_.counter("io.setr.logical_reads")),
       io_kcr_logical_(metrics_.counter("io.kcr.logical_reads")),
+      io_setr_node_cache_hits_(metrics_.counter("io.setr.node_cache_hits")),
+      io_kcr_node_cache_hits_(metrics_.counter("io.kcr.node_cache_hits")),
+      io_setr_node_cache_misses_(
+          metrics_.counter("io.setr.node_cache_misses")),
+      io_kcr_node_cache_misses_(metrics_.counter("io.kcr.node_cache_misses")),
       latency_topk_(metrics_.histogram("latency.topk.ms")),
       latency_whynot_(metrics_.histogram("latency.whynot.ms")) {
   WSK_CHECK_MSG(engine_ != nullptr, "QueryService requires an engine");
@@ -87,6 +92,10 @@ QueryService::IoSnapshot QueryService::TakeIoSnapshot() const {
   snap.kcr_physical = engine_->kcr_io().physical_reads();
   snap.setr_logical = engine_->setr_io().logical_reads();
   snap.kcr_logical = engine_->kcr_io().logical_reads();
+  snap.setr_cache_hits = engine_->setr_io().node_cache_hits();
+  snap.kcr_cache_hits = engine_->kcr_io().node_cache_hits();
+  snap.setr_cache_misses = engine_->setr_io().node_cache_misses();
+  snap.kcr_cache_misses = engine_->kcr_io().node_cache_misses();
   return snap;
 }
 
@@ -96,6 +105,14 @@ void QueryService::AccountIo(const IoSnapshot& before) {
   io_kcr_physical_.Increment(after.kcr_physical - before.kcr_physical);
   io_setr_logical_.Increment(after.setr_logical - before.setr_logical);
   io_kcr_logical_.Increment(after.kcr_logical - before.kcr_logical);
+  io_setr_node_cache_hits_.Increment(after.setr_cache_hits -
+                                     before.setr_cache_hits);
+  io_kcr_node_cache_hits_.Increment(after.kcr_cache_hits -
+                                    before.kcr_cache_hits);
+  io_setr_node_cache_misses_.Increment(after.setr_cache_misses -
+                                       before.setr_cache_misses);
+  io_kcr_node_cache_misses_.Increment(after.kcr_cache_misses -
+                                      before.kcr_cache_misses);
 }
 
 std::future<StatusOr<QueryService::TopKResponse>> QueryService::SubmitTopK(
@@ -270,6 +287,19 @@ std::string QueryService::MetricsReport() const {
                 static_cast<unsigned long long>(io.kcr_physical),
                 static_cast<unsigned long long>(io.kcr_logical));
   out += line;
+  if (const NodeCache* nc = engine_->node_cache()) {
+    const NodeCache::Stats ns = nc->GetStats();
+    std::snprintf(line, sizeof(line),
+                  "node_cache hits %llu misses %llu evictions %llu "
+                  "entries %llu bytes %llu capacity %llu\n",
+                  static_cast<unsigned long long>(ns.hits),
+                  static_cast<unsigned long long>(ns.misses),
+                  static_cast<unsigned long long>(ns.evictions),
+                  static_cast<unsigned long long>(ns.entries),
+                  static_cast<unsigned long long>(ns.bytes_in_use),
+                  static_cast<unsigned long long>(ns.capacity_bytes));
+    out += line;
+  }
   std::snprintf(line, sizeof(line),
                 "pool      workers %d queue_depth %zu task_exceptions %llu\n",
                 config_.num_workers, pool_->queue_depth(),

@@ -125,6 +125,10 @@ class QueryService {
     uint64_t kcr_physical = 0;
     uint64_t setr_logical = 0;
     uint64_t kcr_logical = 0;
+    uint64_t setr_cache_hits = 0;
+    uint64_t kcr_cache_hits = 0;
+    uint64_t setr_cache_misses = 0;
+    uint64_t kcr_cache_misses = 0;
   };
 
   // Combines admission bookkeeping shared by both Submit paths. Returns
@@ -161,6 +165,10 @@ class QueryService {
   Counter& io_kcr_physical_;
   Counter& io_setr_logical_;
   Counter& io_kcr_logical_;
+  Counter& io_setr_node_cache_hits_;
+  Counter& io_kcr_node_cache_hits_;
+  Counter& io_setr_node_cache_misses_;
+  Counter& io_kcr_node_cache_misses_;
   LatencyHistogram& latency_topk_;
   LatencyHistogram& latency_whynot_;
   // Declared last so teardown destroys it first: workers drain while the

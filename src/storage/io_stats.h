@@ -26,6 +26,8 @@ class IoStats {
     uint64_t physical_reads = 0;
     uint64_t physical_writes = 0;
     uint64_t logical_reads = 0;
+    uint64_t node_cache_hits = 0;
+    uint64_t node_cache_misses = 0;
   };
 
   void RecordPhysicalRead() {
@@ -37,6 +39,15 @@ class IoStats {
   void RecordLogicalRead() {
     logical_reads_.fetch_add(1, std::memory_order_relaxed);
   }
+  // Decoded-node cache accesses. A hit serves the node without touching
+  // the buffer pool, so it records neither a logical nor a physical read —
+  // the cache is accounted separately, never double-counted as page I/O.
+  void RecordNodeCacheHit() {
+    node_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordNodeCacheMiss() {
+    node_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   uint64_t physical_reads() const {
     return physical_reads_.load(std::memory_order_relaxed);
@@ -47,21 +58,32 @@ class IoStats {
   uint64_t logical_reads() const {
     return logical_reads_.load(std::memory_order_relaxed);
   }
+  uint64_t node_cache_hits() const {
+    return node_cache_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t node_cache_misses() const {
+    return node_cache_misses_.load(std::memory_order_relaxed);
+  }
 
   Snapshot TakeSnapshot() const {
-    return Snapshot{physical_reads(), physical_writes(), logical_reads()};
+    return Snapshot{physical_reads(), physical_writes(), logical_reads(),
+                    node_cache_hits(), node_cache_misses()};
   }
 
   void Reset() {
     physical_reads_.store(0, std::memory_order_relaxed);
     physical_writes_.store(0, std::memory_order_relaxed);
     logical_reads_.store(0, std::memory_order_relaxed);
+    node_cache_hits_.store(0, std::memory_order_relaxed);
+    node_cache_misses_.store(0, std::memory_order_relaxed);
   }
 
  private:
   std::atomic<uint64_t> physical_reads_{0};
   std::atomic<uint64_t> physical_writes_{0};
   std::atomic<uint64_t> logical_reads_{0};
+  std::atomic<uint64_t> node_cache_hits_{0};
+  std::atomic<uint64_t> node_cache_misses_{0};
 };
 
 }  // namespace wsk

@@ -1,0 +1,173 @@
+#include "storage/node_cache.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace wsk {
+namespace {
+
+bool DefaultVerifyFingerprints() {
+#ifndef NDEBUG
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+NodeCache::NodeCache(size_t capacity_bytes, size_t num_shards)
+    : capacity_bytes_(capacity_bytes),
+      num_shards_(num_shards == 0 ? 1 : num_shards),
+      shard_capacity_(capacity_bytes_ / (num_shards == 0 ? 1 : num_shards)),
+      verify_fingerprints_(DefaultVerifyFingerprints()) {
+  shards_.reserve(num_shards_);
+  for (size_t i = 0; i < num_shards_; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<const void> NodeCache::Lookup(uint32_t tree_id, uint32_t key) {
+  const uint64_t full_key = MakeKey(tree_id, key);
+  Shard& shard = ShardFor(full_key);
+  std::shared_ptr<const void> value;
+  Fingerprint fingerprint = nullptr;
+  uint64_t expected = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(full_key);
+    if (it == shard.index.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    value = it->second->value;
+    fingerprint = it->second->fingerprint;
+    expected = it->second->fingerprint_value;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (fingerprint != nullptr && verify_fingerprints()) {
+    // Payloads are immutable: a digest mismatch means someone mutated a
+    // cached node after insertion. Abort loudly rather than serve it.
+    WSK_CHECK_MSG(fingerprint(value.get()) == expected,
+                  "NodeCache: cached node mutated after insertion");
+  }
+  return value;
+}
+
+bool NodeCache::Insert(uint32_t tree_id, uint32_t key,
+                       std::shared_ptr<const void> value, size_t charge,
+                       Fingerprint fingerprint) {
+  if (charge > shard_capacity_ || value == nullptr) {
+    return false;
+  }
+  const uint64_t full_key = MakeKey(tree_id, key);
+  Shard& shard = ShardFor(full_key);
+  // Destroy displaced payloads after the lock is released.
+  std::vector<std::shared_ptr<const void>> doomed;
+  size_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.index.find(full_key) != shard.index.end()) {
+      return false;  // first decoder won; payloads are identical anyway
+    }
+    Entry entry;
+    entry.key = full_key;
+    entry.value = std::move(value);
+    entry.charge = charge;
+    entry.fingerprint = fingerprint;
+    if (fingerprint != nullptr) {
+      entry.fingerprint_value = fingerprint(entry.value.get());
+    }
+    shard.lru.push_front(std::move(entry));
+    shard.index.emplace(full_key, shard.lru.begin());
+    shard.bytes += charge;
+    while (shard.bytes > shard_capacity_ && shard.lru.size() > 1) {
+      Entry& victim = shard.lru.back();
+      shard.bytes -= victim.charge;
+      shard.index.erase(victim.key);
+      doomed.push_back(std::move(victim.value));
+      shard.lru.pop_back();
+      ++evicted;
+    }
+  }
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  bytes_inserted_.fetch_add(charge, std::memory_order_relaxed);
+  if (evicted != 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void NodeCache::Erase(uint32_t tree_id, uint32_t key) {
+  const uint64_t full_key = MakeKey(tree_id, key);
+  Shard& shard = ShardFor(full_key);
+  std::shared_ptr<const void> doomed;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(full_key);
+    if (it == shard.index.end()) {
+      return;
+    }
+    shard.bytes -= it->second->charge;
+    doomed = std::move(it->second->value);
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+}
+
+void NodeCache::EraseTree(uint32_t tree_id) {
+  for (size_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = *shards_[i];
+    std::vector<std::shared_ptr<const void>> doomed;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if ((it->key >> 32) == tree_id) {
+        shard.bytes -= it->charge;
+        shard.index.erase(it->key);
+        doomed.push_back(std::move(it->value));
+        it = shard.lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void NodeCache::Clear() {
+  for (size_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = *shards_[i];
+    std::list<Entry> doomed;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      doomed.swap(shard.lru);
+      shard.index.clear();
+      shard.bytes = 0;
+    }
+  }
+}
+
+NodeCache::Stats NodeCache::GetStats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.inserts = inserts_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.bytes_inserted = bytes_inserted_.load(std::memory_order_relaxed);
+  stats.capacity_bytes = capacity_bytes_;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    const Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.bytes_in_use += shard.bytes;
+    stats.entries += shard.lru.size();
+  }
+  return stats;
+}
+
+uint32_t NodeCache::NextTreeId() {
+  static std::atomic<uint32_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace wsk

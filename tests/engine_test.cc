@@ -107,6 +107,71 @@ TEST_F(EngineTest, WarmCacheReducesIo) {
   EXPECT_LT(warm, cold);
 }
 
+TEST_F(EngineTest, NodeCacheHitsAreNotCountedAsReads) {
+  // io_stats audit (docs/STORAGE.md): a node-cache hit skips the buffer
+  // pool entirely, so it must record NEITHER a logical nor a physical read
+  // — only the node_cache_hits counter moves. A warm-up run populates the
+  // cache; an identical second run must then be read-free.
+  ASSERT_NE(engine_->node_cache(), nullptr);
+  ASSERT_TRUE(engine_->TopK(Query()).ok());
+
+  const IoStats::Snapshot before = engine_->setr_io().TakeSnapshot();
+  ASSERT_TRUE(engine_->TopK(Query()).ok());
+  const IoStats::Snapshot after = engine_->setr_io().TakeSnapshot();
+
+  EXPECT_EQ(after.logical_reads, before.logical_reads);
+  EXPECT_EQ(after.physical_reads, before.physical_reads);
+  EXPECT_GT(after.node_cache_hits, before.node_cache_hits);
+  EXPECT_EQ(after.node_cache_misses, before.node_cache_misses);
+}
+
+TEST_F(EngineTest, CacheOffEngineRereadsEveryNode) {
+  // The cache-off control for the audit above: with node_cache_bytes == 0
+  // there is no cache, every traversal re-reads its nodes through the
+  // buffer pool, and the cache counters never move.
+  WhyNotEngine::Config config;
+  config.node_capacity = 8;
+  config.node_cache_bytes = 0;
+  auto engine = WhyNotEngine::Build(&dataset_, config).value();
+  EXPECT_EQ(engine->node_cache(), nullptr);
+  ASSERT_TRUE(engine->TopK(Query()).ok());
+
+  const IoStats::Snapshot before = engine->setr_io().TakeSnapshot();
+  ASSERT_TRUE(engine->TopK(Query()).ok());
+  const IoStats::Snapshot after = engine->setr_io().TakeSnapshot();
+
+  EXPECT_GT(after.logical_reads, before.logical_reads);
+  EXPECT_EQ(after.node_cache_hits, 0u);
+  EXPECT_EQ(after.node_cache_misses, 0u);
+}
+
+TEST_F(EngineTest, CachedTopKMatchesUncached) {
+  WhyNotEngine::Config config;
+  config.node_capacity = 8;
+  config.node_cache_bytes = 0;
+  auto uncached = WhyNotEngine::Build(&dataset_, config).value();
+  const auto expected = uncached->TopK(Query()).value();
+  const auto actual = engine_->TopK(Query()).value();  // cache on (default)
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].id, expected[i].id);
+    EXPECT_EQ(actual[i].score, expected[i].score);  // bit-identical
+  }
+}
+
+TEST_F(EngineTest, DropCachesClearsNodeCache) {
+  ASSERT_NE(engine_->node_cache(), nullptr);
+  ASSERT_TRUE(engine_->TopK(Query()).ok());
+  EXPECT_GT(engine_->node_cache()->GetStats().entries, 0u);
+  ASSERT_TRUE(engine_->DropCaches().ok());
+  EXPECT_EQ(engine_->node_cache()->GetStats().entries, 0u);
+  EXPECT_EQ(engine_->node_cache()->GetStats().bytes_in_use, 0u);
+  // Cold again: the next traversal re-reads physically.
+  const uint64_t physical_before = engine_->setr_io().physical_reads();
+  ASSERT_TRUE(engine_->TopK(Query()).ok());
+  EXPECT_GT(engine_->setr_io().physical_reads(), physical_before);
+}
+
 TEST_F(EngineTest, IndexFilesRemovedOnDestruction) {
   std::string setr_path, kcr_path;
   {

@@ -1,0 +1,88 @@
+// Concurrent hit/evict stress for NodeCache (run under TSan via the
+// `stress` label). Many threads hammer a cache far smaller than the key
+// space, so lookups, inserts, capacity evictions, and invalidations all
+// interleave; fingerprint verification is forced on so any payload
+// corruption aborts the run.
+#include "storage/node_cache.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace wsk {
+namespace {
+
+uint64_t FingerprintPayload(const void* value) {
+  const auto* v = static_cast<const std::vector<uint64_t>*>(value);
+  FingerprintHasher hasher;
+  hasher.MixU64(v->size());
+  hasher.Mix(v->data(), v->size() * sizeof(uint64_t));
+  return hasher.digest();
+}
+
+TEST(NodeCacheStressTest, ConcurrentHitEvictInvalidate) {
+  // 4 shards x ~6 resident entries vs 256 keys: constant eviction churn.
+  constexpr size_t kCapacity = 24 * 100;
+  constexpr uint32_t kKeys = 256;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 20000;
+
+  NodeCache cache(kCapacity, /*num_shards=*/4);
+  cache.set_verify_fingerprints(true);
+
+  std::atomic<uint64_t> observed_hits{0};
+  auto worker = [&](uint32_t thread_id) {
+    uint64_t rng = 0x9e3779b97f4a7c15ull * (thread_id + 1);
+    auto next = [&rng]() {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      return rng;
+    };
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      const uint32_t key = static_cast<uint32_t>(next() % kKeys);
+      const uint64_t op = next() % 100;
+      if (op < 70) {  // lookup, decode-on-miss
+        auto hit = cache.LookupAs<std::vector<uint64_t>>(1, key);
+        if (hit != nullptr) {
+          // The payload a reader holds is immutable and keyed by content.
+          ASSERT_EQ(hit->size(), 8u);
+          ASSERT_EQ((*hit)[0], key);
+          observed_hits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          auto payload = std::make_shared<std::vector<uint64_t>>(8, key);
+          cache.Insert(1, key, payload, 100, &FingerprintPayload);
+        }
+      } else if (op < 95) {  // plain insert race
+        auto payload = std::make_shared<std::vector<uint64_t>>(8, key);
+        cache.Insert(1, key, payload, 100, &FingerprintPayload);
+      } else if (op < 99) {
+        cache.Erase(1, key);
+      } else {
+        cache.EraseTree(1);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(worker, static_cast<uint32_t>(t));
+  }
+  for (std::thread& t : threads) t.join();
+
+  const NodeCache::Stats stats = cache.GetStats();
+  // The byte budget must hold after arbitrary interleaving.
+  EXPECT_LE(stats.bytes_in_use, cache.capacity_bytes());
+  EXPECT_EQ(stats.bytes_in_use, stats.entries * 100);
+  // The workload is designed to actually exercise hits and evictions.
+  EXPECT_GT(observed_hits.load(), 0u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GE(stats.hits, observed_hits.load());
+}
+
+}  // namespace
+}  // namespace wsk

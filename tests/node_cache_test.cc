@@ -1,0 +1,171 @@
+#include "storage/node_cache.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace wsk {
+namespace {
+
+// A payload with a visible byte footprint and a trivial fingerprint.
+std::shared_ptr<const std::vector<uint64_t>> MakePayload(uint64_t tag,
+                                                         size_t words = 4) {
+  auto v = std::make_shared<std::vector<uint64_t>>(words, tag);
+  return v;
+}
+
+uint64_t FingerprintPayload(const void* value) {
+  const auto* v = static_cast<const std::vector<uint64_t>*>(value);
+  FingerprintHasher hasher;
+  hasher.MixU64(v->size());
+  hasher.Mix(v->data(), v->size() * sizeof(uint64_t));
+  return hasher.digest();
+}
+
+TEST(NodeCacheTest, LookupMissThenHit) {
+  NodeCache cache(/*capacity_bytes=*/1024, /*num_shards=*/1);
+  EXPECT_EQ(cache.Lookup(1, 7), nullptr);
+  auto payload = MakePayload(42);
+  EXPECT_TRUE(cache.Insert(1, 7, payload, 100));
+  auto hit = cache.LookupAs<std::vector<uint64_t>>(1, 7);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), payload.get());
+
+  const NodeCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes_in_use, 100u);
+  EXPECT_EQ(stats.bytes_inserted, 100u);
+  EXPECT_EQ(stats.capacity_bytes, 1024u);
+}
+
+TEST(NodeCacheTest, KeysArePerTree) {
+  NodeCache cache(1024, 1);
+  ASSERT_TRUE(cache.Insert(1, 7, MakePayload(1), 10));
+  EXPECT_EQ(cache.Lookup(2, 7), nullptr);  // same page, other tree
+  EXPECT_NE(cache.Lookup(1, 7), nullptr);
+}
+
+TEST(NodeCacheTest, EvictsLeastRecentlyUsedWithinByteBudget) {
+  // One shard so the LRU order is deterministic. Budget holds two 100-byte
+  // entries, not three.
+  NodeCache cache(/*capacity_bytes=*/250, /*num_shards=*/1);
+  ASSERT_TRUE(cache.Insert(1, 1, MakePayload(1), 100));
+  ASSERT_TRUE(cache.Insert(1, 2, MakePayload(2), 100));
+  // Touch key 1 so key 2 becomes LRU.
+  ASSERT_NE(cache.Lookup(1, 1), nullptr);
+  ASSERT_TRUE(cache.Insert(1, 3, MakePayload(3), 100));
+
+  EXPECT_EQ(cache.Lookup(1, 2), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup(1, 1), nullptr);
+  EXPECT_NE(cache.Lookup(1, 3), nullptr);
+
+  const NodeCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  // Byte budget holds exactly the two residents; the cumulative insert
+  // counter keeps all three.
+  EXPECT_EQ(stats.bytes_in_use, 200u);
+  EXPECT_EQ(stats.bytes_inserted, 300u);
+  EXPECT_LE(stats.bytes_in_use, cache.capacity_bytes());
+}
+
+TEST(NodeCacheTest, OversizedInsertIsRejected) {
+  NodeCache cache(/*capacity_bytes=*/200, /*num_shards=*/1);
+  ASSERT_TRUE(cache.Insert(1, 1, MakePayload(1), 150));
+  // A charge above the shard budget must not flush the shard.
+  EXPECT_FALSE(cache.Insert(1, 2, MakePayload(2), 500));
+  EXPECT_NE(cache.Lookup(1, 1), nullptr);
+  const NodeCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.bytes_in_use, 150u);
+}
+
+TEST(NodeCacheTest, DuplicateInsertKeepsExistingEntry) {
+  NodeCache cache(1024, 1);
+  auto first = MakePayload(1);
+  ASSERT_TRUE(cache.Insert(1, 1, first, 100));
+  EXPECT_FALSE(cache.Insert(1, 1, MakePayload(2), 100));
+  auto hit = cache.LookupAs<std::vector<uint64_t>>(1, 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), first.get());
+  EXPECT_EQ(cache.GetStats().bytes_in_use, 100u);
+}
+
+TEST(NodeCacheTest, ZeroCapacityDisablesInsertion) {
+  NodeCache cache(0, 1);
+  EXPECT_FALSE(cache.Insert(1, 1, MakePayload(1), 1));
+  EXPECT_EQ(cache.Lookup(1, 1), nullptr);
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+}
+
+TEST(NodeCacheTest, EraseAndEraseTreeAndClear) {
+  NodeCache cache(4096, 1);
+  ASSERT_TRUE(cache.Insert(1, 1, MakePayload(1), 10));
+  ASSERT_TRUE(cache.Insert(1, 2, MakePayload(2), 10));
+  ASSERT_TRUE(cache.Insert(2, 1, MakePayload(3), 10));
+
+  cache.Erase(1, 1);
+  EXPECT_EQ(cache.Lookup(1, 1), nullptr);
+  EXPECT_NE(cache.Lookup(1, 2), nullptr);
+  EXPECT_EQ(cache.GetStats().bytes_in_use, 20u);
+
+  cache.EraseTree(1);
+  EXPECT_EQ(cache.Lookup(1, 2), nullptr);
+  EXPECT_NE(cache.Lookup(2, 1), nullptr);
+  EXPECT_EQ(cache.GetStats().bytes_in_use, 10u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.Lookup(2, 1), nullptr);
+  const NodeCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes_in_use, 0u);
+  // Erase/EraseTree/Clear are invalidations, not capacity evictions.
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(NodeCacheTest, EvictedValueStaysAliveForOutstandingReaders) {
+  NodeCache cache(/*capacity_bytes=*/150, /*num_shards=*/1);
+  ASSERT_TRUE(cache.Insert(1, 1, MakePayload(7), 100));
+  auto held = cache.LookupAs<std::vector<uint64_t>>(1, 1);
+  ASSERT_NE(held, nullptr);
+  ASSERT_TRUE(cache.Insert(1, 2, MakePayload(8), 100));  // evicts key 1
+  EXPECT_EQ(cache.Lookup(1, 1), nullptr);
+  // The reader's shared_ptr keeps the payload valid after eviction.
+  EXPECT_EQ((*held)[0], 7u);
+}
+
+TEST(NodeCacheTest, FingerprintVerificationPassesForImmutableValue) {
+  NodeCache cache(1024, 1);
+  cache.set_verify_fingerprints(true);
+  ASSERT_TRUE(cache.Insert(1, 1, MakePayload(5), 64, &FingerprintPayload));
+  // Repeated lookups recompute and re-check the fingerprint.
+  EXPECT_NE(cache.Lookup(1, 1), nullptr);
+  EXPECT_NE(cache.Lookup(1, 1), nullptr);
+}
+
+TEST(NodeCacheDeathTest, FingerprintVerificationCatchesMutation) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  NodeCache cache(1024, 1);
+  cache.set_verify_fingerprints(true);
+  auto payload = std::make_shared<std::vector<uint64_t>>(4, 9u);
+  ASSERT_TRUE(cache.Insert(1, 1, payload, 64, &FingerprintPayload));
+  // Mutating a cached payload violates the immutability contract; the next
+  // lookup must abort.
+  (*payload)[0] = 123;
+  EXPECT_DEATH(cache.Lookup(1, 1), "mutated after insertion");
+}
+
+TEST(NodeCacheTest, NextTreeIdIsUniqueAndNonZero) {
+  const uint32_t a = NodeCache::NextTreeId();
+  const uint32_t b = NodeCache::NextTreeId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace wsk

@@ -1,5 +1,8 @@
 #include "index/node_codec.h"
 
+#include <cstring>
+#include <utility>
+
 #include <gtest/gtest.h>
 
 #include "test_util.h"
@@ -77,6 +80,68 @@ TEST(NodeBytesTest, ReadCostsOneFetchPerPage) {
   // Cached second read: no physical I/O.
   ASSERT_TRUE(ReadNodeBytes(&pool, first, 4, &back).ok());
   EXPECT_EQ(pager->io_stats().physical_reads(), 4u);
+}
+
+TEST(NodeViewTest, SinglePageIsZeroCopy) {
+  TempFile file("node_view_single");
+  auto pager = Pager::Create(file.path(), 128).value();
+  BufferPool pool(pager.get(), 128 * 8);
+  const PageId page = pager->AllocatePages(1);
+  std::vector<uint8_t> data(128);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i);
+  }
+  ASSERT_TRUE(WriteNodeBytes(&pool, page, 1, data.data()).ok());
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE(pool.InvalidateAll().ok());
+
+  StatusOr<NodeView> view = NodeView::Read(&pool, page, 1);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  // The single-page path borrows the pinned frame: no scratch copy.
+  EXPECT_TRUE(view.value().zero_copy());
+  ASSERT_EQ(view.value().size(), 128u);
+  EXPECT_EQ(std::memcmp(view.value().data(), data.data(), data.size()), 0);
+
+  // The borrowed span IS the buffer-pool frame, not a copy.
+  PageHandle pinned = pool.Fetch(page).value();
+  EXPECT_EQ(view.value().data(), pinned.data());
+}
+
+TEST(NodeViewTest, MultiPageGathersIntoOwnedCopy) {
+  TempFile file("node_view_multi");
+  auto pager = Pager::Create(file.path(), 128).value();
+  BufferPool pool(pager.get(), 128 * 8);
+  const uint32_t pages = 3;
+  const PageId first = pager->AllocatePages(pages);
+  std::vector<uint8_t> data(128 * pages);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 13);
+  }
+  ASSERT_TRUE(WriteNodeBytes(&pool, first, pages, data.data()).ok());
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE(pool.InvalidateAll().ok());
+
+  StatusOr<NodeView> view = NodeView::Read(&pool, first, pages);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_FALSE(view.value().zero_copy());
+  ASSERT_EQ(view.value().size(), data.size());
+  EXPECT_EQ(std::memcmp(view.value().data(), data.data(), data.size()), 0);
+}
+
+TEST(NodeViewTest, MoveKeepsSpanValid) {
+  TempFile file("node_view_move");
+  auto pager = Pager::Create(file.path(), 128).value();
+  BufferPool pool(pager.get(), 128 * 8);
+  const PageId page = pager->AllocatePages(1);
+  std::vector<uint8_t> data(128, 0x3e);
+  ASSERT_TRUE(WriteNodeBytes(&pool, page, 1, data.data()).ok());
+
+  NodeView view = NodeView::Read(&pool, page, 1).value();
+  const uint8_t* span = view.data();
+  NodeView moved = std::move(view);
+  EXPECT_TRUE(moved.zero_copy());
+  EXPECT_EQ(moved.data(), span);  // the pin moved with the view
+  EXPECT_EQ(moved.data()[0], 0x3e);
 }
 
 TEST(NodeBytesTest, ReadErrorPropagates) {

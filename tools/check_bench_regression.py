@@ -4,7 +4,9 @@
 Usage:
     build/bench/bench_kernels --json kernels.json
     build/bench/bench_optimizations --json opts.json
-    tools/check_bench_regression.py BENCH_BASELINE.json kernels.json opts.json
+    build/bench/bench_index_micro --json micro.json
+    tools/check_bench_regression.py BENCH_BASELINE.json \
+        kernels.json opts.json micro.json
 
 Several current files are merged by benchmark name before the comparison
 (the baseline covers more than one bench binary).
@@ -19,6 +21,10 @@ Gating policy (docs/PERF.md):
     (default 3): the kernel must beat the scalar path by that factor on
     any machine. Drift relative to the baseline's ratio only warns — the
     exact ratio depends on the host's divide/popcount throughput.
+  * `cache_speedup` counters (node access with the decoded-node cache off /
+    on, measured back-to-back in one process) are gated the same way on
+    --min-cache-speedup (default 2): repeated traversals must be at least
+    2x faster with the cache (docs/STORAGE.md "Node cache").
   * Wall-clock metrics (ns_per_op, avg_ms, scalar_ns, kernel_ns) vary with
     the machine; they only WARN unless --strict-time is given.
   * A benchmark present in the baseline but missing from the current run
@@ -39,7 +45,14 @@ import json
 import sys
 
 HARD_LOWER_IS_BETTER = ("avg_io", "cand_eval")
-TIME_METRICS = ("ns_per_op", "avg_ms", "scalar_ns", "kernel_ns")
+TIME_METRICS = (
+    "ns_per_op",
+    "avg_ms",
+    "scalar_ns",
+    "kernel_ns",
+    "cache_on_ns",
+    "cache_off_ns",
+)
 
 
 def load(path):
@@ -73,6 +86,12 @@ def main():
         type=float,
         default=3.0,
         help="absolute floor for every `speedup` counter (default 3)",
+    )
+    parser.add_argument(
+        "--min-cache-speedup",
+        type=float,
+        default=2.0,
+        help="absolute floor for every `cache_speedup` counter (default 2)",
     )
     parser.add_argument(
         "--strict-time",
@@ -111,16 +130,21 @@ def main():
                 failures.append(f"{name}: counter `{metric}` disappeared")
                 continue
             cur_val = cur_vals[metric]
-            if metric == "speedup":
+            if metric in ("speedup", "cache_speedup"):
+                min_ratio = (
+                    args.min_speedup
+                    if metric == "speedup"
+                    else args.min_cache_speedup
+                )
                 floor = base_val / (1.0 + args.tolerance)
-                if cur_val < args.min_speedup:
+                if cur_val < min_ratio:
                     failures.append(
-                        f"{name}: speedup {cur_val:.2f}x below the absolute "
-                        f"floor {args.min_speedup:.2f}x"
+                        f"{name}: {metric} {cur_val:.2f}x below the absolute "
+                        f"floor {min_ratio:.2f}x"
                     )
                 elif cur_val < floor:
                     warnings.append(
-                        f"{name}: speedup fell {cur_val:.2f}x < {floor:.2f}x "
+                        f"{name}: {metric} fell {cur_val:.2f}x < {floor:.2f}x "
                         f"(baseline {base_val:.2f}x - {args.tolerance:.0%}; "
                         "machine-dependent ratio)"
                     )
