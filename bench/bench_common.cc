@@ -177,6 +177,10 @@ void RunWhyNot(benchmark::State& state, WhyNotEngine& engine,
   double total_io = 0.0;
   double total_penalty = 0.0;
   double total_evaluated = 0.0;
+  double total_filtered = 0.0;
+  double total_skipped = 0.0;
+  double total_pruned = 0.0;
+  double total_nodes = 0.0;
   uint64_t runs = 0;
   for (auto _ : state) {
     for (const WhyNotCase& c : cases) {
@@ -188,6 +192,12 @@ void RunWhyNot(benchmark::State& state, WhyNotEngine& engine,
       total_io += static_cast<double>(r.stats.io_reads);
       total_penalty += r.refined.penalty;
       total_evaluated += static_cast<double>(r.stats.candidates_evaluated);
+      total_filtered += static_cast<double>(r.stats.candidates_filtered);
+      total_skipped +=
+          static_cast<double>(r.stats.candidates_skipped_order);
+      total_pruned +=
+          static_cast<double>(r.stats.candidates_pruned_bounds);
+      total_nodes += static_cast<double>(r.stats.nodes_expanded);
       ++runs;
     }
   }
@@ -195,6 +205,12 @@ void RunWhyNot(benchmark::State& state, WhyNotEngine& engine,
   state.counters["avg_io"] = total_io / runs;
   state.counters["avg_penalty"] = total_penalty / runs;
   state.counters["cand_eval"] = total_evaluated / runs;
+  // Pruning-effectiveness columns (docs/OBSERVABILITY.md): together with
+  // cand_eval these partition the enumerated candidate set.
+  state.counters["cand_filtered"] = total_filtered / runs;
+  state.counters["cand_skipped"] = total_skipped / runs;
+  state.counters["cand_pruned"] = total_pruned / runs;
+  state.counters["nodes_expanded"] = total_nodes / runs;
 }
 
 void RegisterOne(const std::string& label, WhyNotAlgorithm algorithm,

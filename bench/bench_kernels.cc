@@ -12,12 +12,14 @@
 //      the shared bench dataset, for BENCH_BASELINE.json.
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "common/macros.h"
 #include "common/rng.h"
+#include "observability/trace.h"
 #include "text/keyword_set.h"
 #include "text/score_kernel.h"
 #include "text/similarity.h"
@@ -185,6 +187,63 @@ void BM_KernelSpeedup(benchmark::State& state) {
   state.counters["speedup"] = scalar_ns / kernel_ns;
 }
 
+// Tracing on vs. off over the same end-to-end why-not workload, timed
+// back-to-back like BM_KernelSpeedup. `trace_overhead` (traced time /
+// untraced time) is a machine-relative ratio that the regression checker
+// caps hard (--max-trace-overhead): attaching a full-capacity recorder
+// must stay cheap. The default nullptr path is covered by the ordinary
+// avg_ms / avg_io envelope of every other end-to-end benchmark, which all
+// run untraced.
+void BM_TraceOverhead(benchmark::State& state,
+                      wsk::WhyNotAlgorithm algorithm) {
+  using namespace wsk::bench;
+  WorkloadSpec spec;
+  spec.num_keywords = 6;
+  spec.max_universe = 18;
+  spec.seed = 17001;
+  wsk::WhyNotEngine& engine = SharedEngine();
+  const std::vector<WhyNotCase> cases =
+      MakeCases(engine, spec, EnvQueriesPerPoint());
+  // One recorder per pass, as wsk_cli trace uses one per invocation; the
+  // event-buffer allocation is part of the cost being measured.
+  auto run = [&](bool traced) {
+    std::unique_ptr<wsk::TraceRecorder> recorder;
+    if (traced) recorder = std::make_unique<wsk::TraceRecorder>();
+    uint64_t sink = 0;
+    for (const WhyNotCase& c : cases) {
+      wsk::WhyNotOptions options;
+      options.trace = recorder.get();
+      auto got = engine.Answer(algorithm, c.query, c.missing, options);
+      WSK_CHECK(got.ok());
+      sink += got.value().stats.candidates_total;
+    }
+    return sink;
+  };
+  auto time_ns = [](auto&& fn) {
+    using Clock = std::chrono::steady_clock;
+    uint64_t reps = 1;
+    for (;;) {
+      const auto start = Clock::now();
+      for (uint64_t r = 0; r < reps; ++r) benchmark::DoNotOptimize(fn());
+      const double ns = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               start)
+              .count());
+      if (ns > 5e7) return ns / static_cast<double>(reps);
+      reps *= 4;
+    }
+  };
+  double untraced_ns = 0.0;
+  double traced_ns = 0.0;
+  for (auto _ : state) {
+    untraced_ns = time_ns([&run] { return run(false); });
+    traced_ns = time_ns([&run] { return run(true); });
+  }
+  state.counters["untraced_ms"] = untraced_ns / 1e6;
+  state.counters["traced_ms"] = traced_ns / 1e6;
+  state.counters["trace_overhead"] = traced_ns / untraced_ns;
+}
+
 // Sorted-set intersection paths at representative (small, large) shapes.
 void MakePair(size_t na, size_t nb, std::vector<TermId>* a,
               std::vector<TermId>* b) {
@@ -288,5 +347,13 @@ int main(int argc, char** argv) {
                   spec, options);
     }
   }
+  // Tracing overhead: full-capacity recorder vs. nullptr on the same
+  // workload (docs/OBSERVABILITY.md; gated by --max-trace-overhead).
+  benchmark::RegisterBenchmark("TraceOverhead/AdvancedBS", BM_TraceOverhead,
+                               WhyNotAlgorithm::kAdvanced)
+      ->Iterations(1);
+  benchmark::RegisterBenchmark("TraceOverhead/KcRBased", BM_TraceOverhead,
+                               WhyNotAlgorithm::kKcrBased)
+      ->Iterations(1);
   return RunRegisteredBenchmarks(argc, argv);
 }

@@ -8,6 +8,7 @@
 #include "core/whynot_bs.h"
 #include "core/whynot_kcr.h"
 #include "index/topk.h"
+#include "observability/trace.h"
 
 namespace wsk {
 
@@ -104,6 +105,9 @@ StatusOr<WhyNotResult> WhyNotEngine::Answer(
   if (options.cancel != nullptr) {
     WSK_RETURN_IF_ERROR(options.cancel->Check());
   }
+  // Root span: encloses the whole invocation so every stage span nests
+  // inside it (the coverage property the trace tests assert).
+  TraceSpan root_span(options.trace, TraceStage::kQuery);
   const IoStats& io = algorithm == WhyNotAlgorithm::kKcrBased
                           ? kcr_pager_->io_stats()
                           : setr_pager_->io_stats();
@@ -136,9 +140,11 @@ StatusOr<WhyNotResult> WhyNotEngine::Answer(
 }
 
 StatusOr<std::vector<ScoredObject>> WhyNotEngine::TopK(
-    const SpatialKeywordQuery& query, const CancelToken* cancel) const {
+    const SpatialKeywordQuery& query, const CancelToken* cancel,
+    TraceRecorder* trace) const {
   QueryScope scope(this);
-  return IndexTopK(*setr_tree_, query, cancel);
+  TraceSpan root_span(trace, TraceStage::kQuery);
+  return IndexTopK(*setr_tree_, query, cancel, /*use_cache=*/true, trace);
 }
 
 StatusOr<uint32_t> WhyNotEngine::Rank(const SpatialKeywordQuery& query,

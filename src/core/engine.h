@@ -88,10 +88,11 @@ class WhyNotEngine {
                                 const WhyNotOptions& options) const;
 
   // Spatial keyword top-k over the SetR-tree. `cancel` (optional,
-  // borrowed) aborts the traversal at node-visit granularity.
+  // borrowed) aborts the traversal at node-visit granularity; `trace`
+  // (optional, borrowed) records the traversal span and node counters.
   StatusOr<std::vector<ScoredObject>> TopK(
-      const SpatialKeywordQuery& query,
-      const CancelToken* cancel = nullptr) const;
+      const SpatialKeywordQuery& query, const CancelToken* cancel = nullptr,
+      TraceRecorder* trace = nullptr) const;
 
   // R(object, query) per Eqn 3.
   StatusOr<uint32_t> Rank(const SpatialKeywordQuery& query,

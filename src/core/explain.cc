@@ -25,13 +25,14 @@ std::string MissExplanation::ToString() const {
 
 StatusOr<MissExplanation> ExplainMiss(const WhyNotEngine& engine,
                                       const SpatialKeywordQuery& query,
-                                      ObjectId object) {
+                                      ObjectId object, TraceRecorder* trace) {
   if (object >= engine.dataset().size()) {
     return Status::InvalidArgument("object id out of range");
   }
   if (query.k == 0) {
     return Status::InvalidArgument("k must be at least 1");
   }
+  TraceSpan span(trace, TraceStage::kExplain);
   MissExplanation out;
   out.k = query.k;
 
@@ -51,12 +52,17 @@ StatusOr<MissExplanation> ExplainMiss(const WhyNotEngine& engine,
   out.rank = rank.value();
   out.in_result = out.rank <= query.k;
 
-  StatusOr<std::vector<ScoredObject>> top = engine.TopK(query);
+  StatusOr<std::vector<ScoredObject>> top =
+      engine.TopK(query, /*cancel=*/nullptr, trace);
   if (!top.ok()) return top.status();
   if (!top.value().empty()) {
     const std::vector<ScoredObject>& hits = top.value();
     out.kth_score = hits.back().score;
     out.deficit = out.in_result ? 0.0 : out.kth_score - out.missing_score;
+  }
+  if (trace != nullptr) {
+    trace->Annotate(TraceStage::kExplain, out.ToString(),
+                    static_cast<int64_t>(object));
   }
   return out;
 }

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "core/engine.h"
 #include "data/query.h"
+#include "observability/trace.h"
 
 namespace wsk {
 
@@ -36,10 +37,13 @@ struct MissExplanation {
 };
 
 // Explains the standing of `object` under `query` using the engine's
-// indexes for the ranking.
+// indexes for the ranking. `trace` (optional, borrowed) records the
+// explain span and one annotation per explained object — the why-not CLI
+// attaches these to the exported Chrome trace.
 StatusOr<MissExplanation> ExplainMiss(const WhyNotEngine& engine,
                                       const SpatialKeywordQuery& query,
-                                      ObjectId object);
+                                      ObjectId object,
+                                      TraceRecorder* trace = nullptr);
 
 }  // namespace wsk
 

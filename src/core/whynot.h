@@ -12,6 +12,8 @@
 
 namespace wsk {
 
+class TraceRecorder;  // observability/trace.h
+
 // Tuning knobs for the why-not algorithms. The three opt_* switches map to
 // the Section IV-C optimizations (Fig. 11's Opt1/Opt2/Opt3); all of them
 // only affect the basic/advanced algorithm family.
@@ -67,6 +69,13 @@ struct WhyNotOptions {
   // return kCancelled or kDeadlineExceeded instead of running to
   // completion. nullptr = never cancelled.
   const CancelToken* cancel = nullptr;
+
+  // Optional per-query trace sink (borrowed; must outlive the query). The
+  // algorithms record stage spans and pruning counters into it
+  // (docs/OBSERVABILITY.md). nullptr — the default — disables tracing;
+  // every instrumentation site then reduces to a pointer test, which the
+  // CI trace-overhead gate holds to the untraced baseline.
+  TraceRecorder* trace = nullptr;
 };
 
 // The answer: the refined query q' = (loc, doc', k', alpha). loc and alpha
@@ -79,14 +88,29 @@ struct RefinedQuery {
   double penalty = 0.0;     // Eqn 4
 };
 
+// Per-query work accounting. All three algorithms populate every
+// applicable field with the same meaning, and every enumerated candidate
+// lands in exactly one disposition bucket:
+//
+//   candidates_total = candidates_evaluated + candidates_filtered
+//                    + candidates_skipped_order + candidates_pruned_bounds
+//
+// (asserted against the brute-force oracle by the differential tests).
 struct WhyNotStats {
   uint32_t initial_rank = 0;  // R(M, q)
   uint64_t candidates_total = 0;
-  uint64_t candidates_evaluated = 0;      // spatial keyword queries run
+  // BS/AdvancedBS: spatial keyword queries run (including Opt1-capped
+  // ones). KcRBased: candidates whose rank bounds converged to an exact
+  // penalty.
+  uint64_t candidates_evaluated = 0;
   uint64_t candidates_filtered = 0;       // pruned by the dominator cache
-  uint64_t candidates_skipped_order = 0;  // unvisited after the order stop
-  uint64_t candidates_pruned_bounds = 0;  // pruned by KcR penalty bounds
-  uint64_t nodes_expanded = 0;            // KcR traversal node unfoldings
+  uint64_t candidates_skipped_order = 0;  // skipped by the Opt2 order stop
+  // Pruned by a rank/penalty bound before any exact evaluation: the Eqn 6
+  // bound in BS/AdvancedBS, the MaxDom/MinDom penalty bounds in KcRBased.
+  uint64_t candidates_pruned_bounds = 0;
+  // Index nodes materialized: KcR Algorithm 3 unfoldings plus every node
+  // expanded by the rank traversals (initial rank and per candidate).
+  uint64_t nodes_expanded = 0;
   double elapsed_ms = 0.0;
   uint64_t io_reads = 0;  // physical page reads during the query
 };

@@ -9,6 +9,7 @@
 #include "core/candidates.h"
 #include "core/penalty.h"
 #include "core/whynot_common.h"
+#include "observability/trace.h"
 
 namespace wsk {
 
@@ -38,9 +39,16 @@ struct SharedState {
   std::unordered_set<ObjectId> dominator_cache;
   std::vector<ObjectId> dominator_list;  // stable snapshot source
 
-  // Counters (guarded by mu).
-  uint64_t evaluated = 0;
-  uint64_t filtered = 0;
+  // Counters (guarded by mu). Every candidate fetched by a worker lands in
+  // exactly one of the first four (the unfetched tail is folded into the
+  // skipped total afterwards), which keeps
+  //   total = evaluated + filtered + skipped + pruned_bounds
+  // exact — the invariant the differential tests check per algorithm.
+  uint64_t evaluated = 0;      // rank queries run (including capped ones)
+  uint64_t filtered = 0;       // Opt3 dominator-cache prunes
+  uint64_t skipped = 0;        // Opt2 order-stop skips, fetched candidates
+  uint64_t pruned_bounds = 0;  // Eqn 6 rank bound < 1
+  uint64_t nodes_expanded = 0;  // nodes materialized by the rank queries
 };
 
 // Evaluates candidate `cand` (enumeration position `order`) and updates the
@@ -56,10 +64,14 @@ Status EvaluateCandidate(const Dataset& dataset, const SetRTree& tree,
   if (options.cancel != nullptr) {
     WSK_RETURN_IF_ERROR(options.cancel->Check());
   }
+  TraceSpan eval_span(options.trace, TraceStage::kCandidateEval);
   double p_c;
   {
     std::lock_guard<std::mutex> lock(state->mu);
-    if (order >= state->stop_order) return Status::Ok();
+    if (order >= state->stop_order) {
+      ++state->skipped;
+      return Status::Ok();
+    }
     p_c = state->best_penalty;
   }
 
@@ -79,6 +91,7 @@ Status EvaluateCandidate(const Dataset& dataset, const SetRTree& tree,
                           CanonicalOrderLess(cand, state->best_cand);
     if (!wins_tie) {
       state->stop_order = std::min(state->stop_order, order);
+      ++state->skipped;  // the triggering candidate is skipped, not run
       return Status::Ok();
     }
   }
@@ -90,7 +103,11 @@ Status EvaluateCandidate(const Dataset& dataset, const SetRTree& tree,
   // Opt1: abort hopeless candidates outright and cap query processing.
   int64_t rank_limit = 0;  // 0 = run the query to completion (plain BS)
   if (options.opt_early_stop) {
-    if (rank_bound < 1) return Status::Ok();  // cannot win at any rank
+    if (rank_bound < 1) {  // cannot win at any rank
+      std::lock_guard<std::mutex> lock(state->mu);
+      ++state->pruned_bounds;
+      return Status::Ok();
+    }
     rank_limit = rank_bound;
   }
 
@@ -106,26 +123,36 @@ Status EvaluateCandidate(const Dataset& dataset, const SetRTree& tree,
                                : missing.MinScore(refined, tree.diagonal());
 
   // Opt3: prune the candidate before running its query — immediately when
-  // no rank can beat p_c, otherwise by counting cached dominators that
-  // still dominate under the new keywords against the rank bound.
+  // no rank can beat p_c (the Eqn 6 bound again, so it counts as a bound
+  // prune), otherwise by counting cached dominators that still dominate
+  // under the new keywords against the rank bound.
   if (options.opt_keyword_filtering && rank_bound < 1) {
     std::lock_guard<std::mutex> lock(state->mu);
-    ++state->filtered;
+    ++state->pruned_bounds;
     return Status::Ok();
   }
   if (options.opt_keyword_filtering) {
+    TraceSpan probe_span(options.trace, TraceStage::kDominatorProbe);
     std::vector<ObjectId> snapshot;
     {
       std::lock_guard<std::mutex> lock(state->mu);
       snapshot = state->dominator_list;
     }
     int64_t still_dominating = 0;
+    uint64_t probes = 0;
     for (ObjectId id : snapshot) {
       const double score =
           kernel ? scorer.ObjectScore(id, cand_mask)
                  : Score(dataset.object(id), refined, tree.diagonal());
+      ++probes;
       if (score > min_score) ++still_dominating;
       if (still_dominating >= rank_bound) break;
+    }
+    if (options.trace != nullptr) {
+      options.trace->Add(TraceCounter::kDominatorCacheProbes, probes);
+      if (kernel) {
+        options.trace->Add(TraceCounter::kKernelInvocations, probes);
+      }
     }
     if (still_dominating >= rank_bound) {
       std::lock_guard<std::mutex> lock(state->mu);
@@ -133,17 +160,23 @@ Status EvaluateCandidate(const Dataset& dataset, const SetRTree& tree,
       return Status::Ok();
     }
   }
+  if (options.trace != nullptr && kernel) {
+    // MaskOf + MinScore above dispatched one kernel scoring pass.
+    options.trace->Add(TraceCounter::kKernelInvocations);
+  }
 
   bool exceeded = false;
   std::vector<ObjectId> dominators;
+  uint64_t rank_nodes = 0;
   StatusOr<uint32_t> rank = RankFromIndex(
       tree, refined, min_score, rank_limit, &exceeded,
       options.opt_keyword_filtering ? &dominators : nullptr, options.cancel,
-      options.use_node_cache);
+      options.use_node_cache, options.trace, &rank_nodes);
   if (!rank.ok()) return rank.status();
 
   std::lock_guard<std::mutex> lock(state->mu);
   ++state->evaluated;
+  state->nodes_expanded += rank_nodes;
   if (options.opt_keyword_filtering) {
     for (ObjectId id : dominators) {
       if (state->dominator_cache.insert(id).second) {
@@ -189,9 +222,15 @@ StatusOr<WhyNotResult> AnswerWhyNotBasic(const Dataset& dataset,
   const double initial_min_score =
       missing_set.MinScore(original, tree.diagonal());
   bool exceeded = false;
-  StatusOr<uint32_t> initial_rank =
-      RankFromIndex(tree, original, initial_min_score, /*limit=*/0, &exceeded,
-                    nullptr, options.cancel, options.use_node_cache);
+  StatusOr<uint32_t> initial_rank = Status::Internal("unreachable");
+  {
+    TraceSpan span(options.trace, TraceStage::kInitialRank);
+    initial_rank = RankFromIndex(tree, original, initial_min_score,
+                                 /*limit=*/0, &exceeded, nullptr,
+                                 options.cancel, options.use_node_cache,
+                                 options.trace,
+                                 &result.stats.nodes_expanded);
+  }
   if (!initial_rank.ok()) return initial_rank.status();
   result.stats.initial_rank = initial_rank.value();
 
@@ -206,6 +245,8 @@ StatusOr<WhyNotResult> AnswerWhyNotBasic(const Dataset& dataset,
 
   // Step 2: enumerate candidates and seed the best refined query with the
   // "basic" refinement (keep doc0, enlarge k to R), whose penalty is lambda.
+  const uint64_t enum_start_us =
+      options.trace != nullptr ? options.trace->NowUs() : 0;
   CandidateEnumerator enumerator(original.doc, missing_set.docs,
                                  dataset.vocabulary());
   const PenaltyModel pm(options.lambda, original.k, initial_rank.value(),
@@ -227,6 +268,10 @@ StatusOr<WhyNotResult> AnswerWhyNotBasic(const Dataset& dataset,
           : (options.opt_enumeration_order ? enumerator.ordered()
                                            : enumerator.UnorderedCopy());
   result.stats.candidates_total = candidates.size();
+  if (options.trace != nullptr) {
+    options.trace->RecordSpan(TraceStage::kEnumeration, enum_start_us,
+                              options.trace->NowUs());
+  }
 
   Status worker_status;  // first error, guarded by status_mu
   std::mutex status_mu;
@@ -238,7 +283,10 @@ StatusOr<WhyNotResult> AnswerWhyNotBasic(const Dataset& dataset,
       if (i >= candidates.size()) return;
       {
         std::lock_guard<std::mutex> lock(state.mu);
-        if (i >= state.stop_order) return;
+        if (i >= state.stop_order) {
+          ++state.skipped;  // this index was fetched; the rest are tail
+          return;
+        }
       }
       Status s = EvaluateCandidate(dataset, tree, original, missing_set,
                                    scorer, pm, options, candidates[i], i,
@@ -263,10 +311,24 @@ StatusOr<WhyNotResult> AnswerWhyNotBasic(const Dataset& dataset,
   result.refined = state.best;
   result.stats.candidates_evaluated = state.evaluated;
   result.stats.candidates_filtered = state.filtered;
+  result.stats.candidates_pruned_bounds = state.pruned_bounds;
+  // Fetched candidates were counted where they were dispatched; the
+  // unfetched tail behind the order stop is skipped wholesale.
   result.stats.candidates_skipped_order =
-      candidates.size() -
+      state.skipped + candidates.size() -
       std::min<uint64_t>(next_index.load(), candidates.size());
+  result.stats.nodes_expanded += state.nodes_expanded;
   result.stats.elapsed_ms = timer.ElapsedMillis();
+  if (options.trace != nullptr) {
+    TraceRecorder& t = *options.trace;
+    t.Add(TraceCounter::kCandidatesEnumerated, result.stats.candidates_total);
+    t.Add(TraceCounter::kCandidatesKept, result.stats.candidates_evaluated);
+    t.Add(TraceCounter::kCandidatesPrunedEarlyStop,
+          result.stats.candidates_pruned_bounds +
+              result.stats.candidates_skipped_order);
+    t.Add(TraceCounter::kCandidatesPrunedDominator,
+          result.stats.candidates_filtered);
+  }
   return result;
 }
 

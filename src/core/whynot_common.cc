@@ -129,13 +129,20 @@ StatusOr<uint32_t> RankFromIndex(const TopKSource& tree,
                                  double min_score, int64_t limit,
                                  bool* exceeded,
                                  std::vector<ObjectId>* dominators,
-                                 const CancelToken* cancel, bool use_cache) {
+                                 const CancelToken* cancel, bool use_cache,
+                                 TraceRecorder* trace,
+                                 uint64_t* nodes_expanded) {
   *exceeded = false;
-  TopKIterator it(&tree, query, cancel, use_cache);
+  TraceSpan span(trace, TraceStage::kRankQuery);
+  TopKIterator it(&tree, query, cancel, use_cache, trace);
   uint32_t strictly_better = 0;
   std::optional<ScoredObject> next;
   for (;;) {
-    WSK_RETURN_IF_ERROR(it.Next(&next));
+    Status s = it.Next(&next);
+    if (!s.ok()) {
+      if (nodes_expanded != nullptr) *nodes_expanded += it.num_expanded();
+      return s;
+    }
     if (!next || next->score <= min_score) break;
     ++strictly_better;
     if (dominators != nullptr) dominators->push_back(next->id);
@@ -144,6 +151,7 @@ StatusOr<uint32_t> RankFromIndex(const TopKSource& tree,
       break;
     }
   }
+  if (nodes_expanded != nullptr) *nodes_expanded += it.num_expanded();
   return strictly_better + 1;
 }
 

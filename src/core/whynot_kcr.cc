@@ -11,6 +11,7 @@
 #include "core/penalty.h"
 #include "core/whynot_common.h"
 #include "index/dom_bounds.h"
+#include "observability/trace.h"
 
 namespace wsk {
 
@@ -126,7 +127,8 @@ class KcrBatchRunner {
                  const SpatialKeywordQuery& original,
                  const MissingSet& missing, const WhyNotScorer& scorer,
                  const PenaltyModel& pm, WhyNotStats* stats,
-                 const CancelToken* cancel, bool use_node_cache)
+                 const CancelToken* cancel, bool use_node_cache,
+                 TraceRecorder* trace)
       : dataset_(dataset),
         tree_(tree),
         original_(original),
@@ -135,7 +137,8 @@ class KcrBatchRunner {
         pm_(pm),
         stats_(stats),
         cancel_(cancel),
-        use_node_cache_(use_node_cache) {
+        use_node_cache_(use_node_cache),
+        trace_(trace) {
     const double diagonal = tree.diagonal();
     dom_ctx_.reserve(missing.size());
     for (size_t i = 0; i < missing.size(); ++i) {
@@ -199,6 +202,7 @@ class KcrBatchRunner {
   WhyNotStats* stats_;
   const CancelToken* cancel_;
   const bool use_node_cache_;
+  TraceRecorder* const trace_;
   std::vector<DomContext> dom_ctx_;
 };
 
@@ -207,6 +211,16 @@ Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
   const size_t num_cands = static_cast<size_t>(end - begin);
   const size_t num_missing = missing_.size();
   if (num_cands == 0) return Status::Ok();
+  TraceSpan batch_span(trace_, TraceStage::kBatch);
+  // Node accounting for this traversal; the invariant
+  // seen = visited + pruned is flushed to the trace at the end.
+  uint64_t nodes_seen = 0;
+  uint64_t nodes_visited = 0;
+  uint64_t leaf_objects_scored = 0;
+  if (trace_ != nullptr) {
+    trace_->Add(TraceCounter::kBatches);
+    trace_->Add(TraceCounter::kBatchCandidates, num_cands);
+  }
 
   // Per-candidate precomputation: textual similarity and exact score of
   // each missing object under the candidate keywords. With the kernel on,
@@ -227,6 +241,9 @@ Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
       state.mask = scorer_.universe().MaskOf(state.cand->doc);
       state.cand_size = static_cast<uint32_t>(std::popcount(state.mask));
       batch_masks[c] = state.mask;
+      if (trace_ != nullptr) {
+        trace_->Add(TraceCounter::kKernelInvocations);
+      }
     }
     for (size_t i = 0; i < num_missing; ++i) {
       state.tsim[i] = kernel
@@ -250,6 +267,7 @@ Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
                                                   scorer_.universe());
   QueueNode root_entry;
   root_entry.page = tree_.SearchRoot();
+  ++nodes_seen;  // the root was bounded even if never expanded
   root_entry.hi.assign(num_cands * num_missing, 0);
   root_entry.lo.assign(num_cands * num_missing, 0);
   size_t num_alive = 0;
@@ -286,6 +304,7 @@ Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
     const KcrTree::DecodedNode& decoded = *read.value();
     const KcrTree::Node& node = decoded.node;
     ++stats_->nodes_expanded;
+    ++nodes_visited;
 
     // Child bound matrices (flattened like QueueNode::hi/lo).
     const size_t num_children = node.size();
@@ -296,6 +315,11 @@ Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
       // Children are objects: evaluate domination exactly. One footprint
       // per object scores the whole candidate batch (ScoreAllCandidates)
       // instead of one sorted merge per (object, candidate) pair.
+      TraceSpan leaf_span(trace_, TraceStage::kLeafScoring);
+      leaf_objects_scored += num_children;
+      if (trace_ != nullptr && kernel) {
+        trace_->Add(TraceCounter::kKernelInvocations, num_children);
+      }
       std::vector<double> batch_tsim;
       for (size_t j = 0; j < num_children; ++j) {
         const KcrTree::LeafEntry& e = node.leaf_entries[j];
@@ -326,6 +350,8 @@ Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
         }
       }
     } else {
+      TraceSpan bounds_span(trace_, TraceStage::kBoundTightening);
+      nodes_seen += num_children;
       for (size_t j = 0; j < num_children; ++j) {
         // The suffix-histogram stats are query-independent, so they ride
         // along with the decoded node (precomputed once at materialization
@@ -399,9 +425,16 @@ Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
     if (!cand.alive) continue;
     WSK_CHECK_MSG(cand.Converged(),
                   "KcR batch ended with unconverged candidate bounds");
+    ++stats_->candidates_evaluated;
     const uint32_t rank = static_cast<uint32_t>(cand.RankHi());
     const double penalty = pm_.Penalty(rank, cand.cand->edit_distance);
     tracker->OfferExact(*cand.cand, rank, original_.k, penalty);
+  }
+  if (trace_ != nullptr) {
+    trace_->Add(TraceCounter::kNodesSeen, nodes_seen);
+    trace_->Add(TraceCounter::kNodesVisited, nodes_visited);
+    trace_->Add(TraceCounter::kNodesPruned, nodes_seen - nodes_visited);
+    trace_->Add(TraceCounter::kLeafObjectsScored, leaf_objects_scored);
   }
   return Status::Ok();
 }
@@ -430,9 +463,15 @@ StatusOr<WhyNotResult> AnswerWhyNotKcr(const Dataset& dataset,
   const double initial_min_score =
       missing_set.MinScore(original, tree.diagonal());
   bool exceeded = false;
-  StatusOr<uint32_t> initial_rank =
-      RankFromIndex(tree, original, initial_min_score, /*limit=*/0, &exceeded,
-                    nullptr, options.cancel, options.use_node_cache);
+  StatusOr<uint32_t> initial_rank = Status::Internal("unreachable");
+  {
+    TraceSpan span(options.trace, TraceStage::kInitialRank);
+    initial_rank = RankFromIndex(tree, original, initial_min_score,
+                                 /*limit=*/0, &exceeded, nullptr,
+                                 options.cancel, options.use_node_cache,
+                                 options.trace,
+                                 &result.stats.nodes_expanded);
+  }
   if (!initial_rank.ok()) return initial_rank.status();
   result.stats.initial_rank = initial_rank.value();
 
@@ -445,6 +484,8 @@ StatusOr<WhyNotResult> AnswerWhyNotKcr(const Dataset& dataset,
     return result;
   }
 
+  const uint64_t enum_start_us =
+      options.trace != nullptr ? options.trace->NowUs() : 0;
   CandidateEnumerator enumerator(original.doc, missing_set.docs,
                                  dataset.vocabulary());
   const PenaltyModel pm(options.lambda, original.k, initial_rank.value(),
@@ -459,6 +500,10 @@ StatusOr<WhyNotResult> AnswerWhyNotKcr(const Dataset& dataset,
       options.sample_size > 0 ? enumerator.SampleByBenefit(options.sample_size)
                               : enumerator.ordered();
   result.stats.candidates_total = candidates.size();
+  if (options.trace != nullptr) {
+    options.trace->RecordSpan(TraceStage::kEnumeration, enum_start_us,
+                              options.trace->NowUs());
+  }
 
   // Algorithm 4 lines 3-7: batches in ascending edit distance, stopping
   // when the keyword penalty alone reaches the best penalty. With
@@ -500,7 +545,7 @@ StatusOr<WhyNotResult> AnswerWhyNotKcr(const Dataset& dataset,
       if (chunk_begin >= chunk_end) return;
       KcrBatchRunner runner(dataset, tree, original, missing_set, scorer,
                             pm, &chunk_stats[chunk], options.cancel,
-                            options.use_node_cache);
+                            options.use_node_cache, options.trace);
       chunk_status[chunk] = runner.RunBatch(candidates.data() + chunk_begin,
                                             candidates.data() + chunk_end,
                                             &tracker);
@@ -519,13 +564,27 @@ StatusOr<WhyNotResult> AnswerWhyNotKcr(const Dataset& dataset,
       result.stats.nodes_expanded += chunk_stats[chunk].nodes_expanded;
       result.stats.candidates_pruned_bounds +=
           chunk_stats[chunk].candidates_pruned_bounds;
+      // Evaluated = converged to an exact penalty; batch candidates pruned
+      // by the penalty bounds are accounted separately, so the candidate
+      // dispositions partition the batch.
+      result.stats.candidates_evaluated +=
+          chunk_stats[chunk].candidates_evaluated;
     }
-    result.stats.candidates_evaluated += batch_size;
     start = end;
   }
 
   result.refined = tracker.best();
   result.stats.elapsed_ms = timer.ElapsedMillis();
+  if (options.trace != nullptr) {
+    TraceRecorder& t = *options.trace;
+    t.Add(TraceCounter::kCandidatesEnumerated, result.stats.candidates_total);
+    t.Add(TraceCounter::kCandidatesKept, result.stats.candidates_evaluated);
+    t.Add(TraceCounter::kCandidatesPrunedEarlyStop,
+          result.stats.candidates_pruned_bounds +
+              result.stats.candidates_skipped_order);
+    t.Add(TraceCounter::kCandidatesPrunedDominator,
+          result.stats.candidates_filtered);
+  }
   return result;
 }
 

@@ -277,17 +277,24 @@ Rect InvertedGridIndex::CellRect(uint32_t cx, uint32_t cy) const {
 
 Status InvertedGridIndex::ScoreTextualCandidates(
     const SpatialKeywordQuery& query, std::vector<ScoredObject>* scored,
-    std::vector<bool>* seen) const {
+    std::vector<bool>* seen, TraceRecorder* trace) const {
+  TraceSpan span(trace, TraceStage::kLeafScoring);
   seen->assign(num_objects_, false);
   // Scoring kernel: the query doc is the universe; each candidate object is
   // footprinted once (bit-identical to TextualSimilarity; docs/PERF.md).
   const CandidateUniverse qu = CandidateUniverse::Build(query.doc);
   const CandidateMask qmask = qu.valid() ? qu.FullMask() : 0;
+  if (trace != nullptr && qu.valid()) {
+    trace->Add(TraceCounter::kKernelInvocations);
+  }
   for (TermId t : query.doc) {
     if (t >= num_terms_) continue;  // unknown term: empty posting
     StatusOr<std::shared_ptr<const std::vector<ObjectId>>> posting =
         ReadPosting(term_directory_, t, term_cache_ns_);
     if (!posting.ok()) return posting.status();
+    if (trace != nullptr) {
+      trace->Add(TraceCounter::kPostingsScanned);
+    }
     for (ObjectId id : *posting.value()) {
       if ((*seen)[id]) continue;
       (*seen)[id] = true;
@@ -305,20 +312,24 @@ Status InvertedGridIndex::ScoreTextualCandidates(
                      : TextualSimilarity(doc, query.doc, options_.model);
       scored->push_back(ScoredObject{
           id, query.alpha * (1.0 - sdist) + (1.0 - query.alpha) * tsim});
+      if (trace != nullptr) {
+        trace->Add(TraceCounter::kLeafObjectsScored);
+      }
     }
   }
   return Status::Ok();
 }
 
 StatusOr<std::vector<ScoredObject>> InvertedGridIndex::TopK(
-    const SpatialKeywordQuery& query) const {
+    const SpatialKeywordQuery& query, TraceRecorder* trace) const {
   if (query.alpha <= 0.0 || query.alpha >= 1.0) {
     return Status::InvalidArgument("alpha must lie strictly inside (0, 1)");
   }
+  TraceSpan span(trace, TraceStage::kTopK);
   std::vector<ScoredObject> scored;
   std::vector<bool> seen;
   if (num_objects_ == 0) return scored;
-  WSK_RETURN_IF_ERROR(ScoreTextualCandidates(query, &scored, &seen));
+  WSK_RETURN_IF_ERROR(ScoreTextualCandidates(query, &scored, &seen, trace));
 
   // Spatial phase: every object not sharing a term has TSim = 0, so its
   // score is alpha (1 - SDist). Visit grid cells in MinDist order while
@@ -361,6 +372,10 @@ StatusOr<std::vector<ScoredObject>> InvertedGridIndex::TopK(
     StatusOr<std::shared_ptr<const std::vector<ObjectId>>> posting =
         ReadPosting(cell_directory_, cell.slot, cell_cache_ns_);
     if (!posting.ok()) return posting.status();
+    if (trace != nullptr) {
+      trace->Add(TraceCounter::kCellsVisited);
+      trace->Add(TraceCounter::kPostingsScanned);
+    }
     bool added = false;
     for (ObjectId id : *posting.value()) {
       if (seen[id]) continue;
@@ -380,11 +395,13 @@ StatusOr<std::vector<ScoredObject>> InvertedGridIndex::TopK(
 }
 
 StatusOr<uint32_t> InvertedGridIndex::RankOfScore(
-    const SpatialKeywordQuery& query, double target_score) const {
+    const SpatialKeywordQuery& query, double target_score,
+    TraceRecorder* trace) const {
+  TraceSpan span(trace, TraceStage::kRankQuery);
   std::vector<ScoredObject> scored;
   std::vector<bool> seen;
   if (num_objects_ == 0) return 1;
-  WSK_RETURN_IF_ERROR(ScoreTextualCandidates(query, &scored, &seen));
+  WSK_RETURN_IF_ERROR(ScoreTextualCandidates(query, &scored, &seen, trace));
   uint32_t better = 0;
   for (const ScoredObject& s : scored) {
     if (s.score > target_score) ++better;
@@ -400,6 +417,10 @@ StatusOr<uint32_t> InvertedGridIndex::RankOfScore(
       StatusOr<std::shared_ptr<const std::vector<ObjectId>>> posting =
           ReadPosting(cell_directory_, cy * grid_ + cx, cell_cache_ns_);
       if (!posting.ok()) return posting.status();
+      if (trace != nullptr) {
+        trace->Add(TraceCounter::kCellsVisited);
+        trace->Add(TraceCounter::kPostingsScanned);
+      }
       for (ObjectId id : *posting.value()) {
         if (seen[id]) continue;
         StatusOr<ObjectEntry> entry = ReadObjectEntry(id);

@@ -24,6 +24,7 @@
 #include "common/status.h"
 #include "data/dataset.h"
 #include "data/query.h"
+#include "observability/trace.h"
 #include "storage/blob_store.h"
 #include "storage/buffer_pool.h"
 #include "storage/node_cache.h"
@@ -44,13 +45,16 @@ class InvertedGridIndex {
       const Dataset& dataset, BufferPool* pool, const Options& options);
   static StatusOr<std::unique_ptr<InvertedGridIndex>> Open(BufferPool* pool);
 
-  // Exact spatial keyword top-k, ordered (score desc, id asc).
-  StatusOr<std::vector<ScoredObject>> TopK(
-      const SpatialKeywordQuery& query) const;
+  // Exact spatial keyword top-k, ordered (score desc, id asc). `trace`
+  // (optional, borrowed) records a topk span plus posting/cell counters.
+  StatusOr<std::vector<ScoredObject>> TopK(const SpatialKeywordQuery& query,
+                                           TraceRecorder* trace = nullptr)
+      const;
 
   // 1 + number of objects scoring strictly above `target_score`.
   StatusOr<uint32_t> RankOfScore(const SpatialKeywordQuery& query,
-                                 double target_score) const;
+                                 double target_score,
+                                 TraceRecorder* trace = nullptr) const;
 
   double diagonal() const { return diagonal_; }
   uint64_t num_objects() const { return num_objects_; }
@@ -83,7 +87,8 @@ class InvertedGridIndex {
   // returns them; `seen` marks their ids for the spatial phase.
   Status ScoreTextualCandidates(const SpatialKeywordQuery& query,
                                 std::vector<ScoredObject>* scored,
-                                std::vector<bool>* seen) const;
+                                std::vector<bool>* seen,
+                                TraceRecorder* trace) const;
 
   BufferPool* const pool_;
   NodeCache* cache_ = nullptr;  // not owned; see AttachNodeCache

@@ -3,11 +3,13 @@
 namespace wsk {
 
 TopKIterator::TopKIterator(const TopKSource* source, SpatialKeywordQuery query,
-                           const CancelToken* cancel, bool use_cache)
+                           const CancelToken* cancel, bool use_cache,
+                           TraceRecorder* trace)
     : source_(source),
       query_(std::move(query)),
       cancel_(cancel),
-      use_cache_(use_cache) {
+      use_cache_(use_cache),
+      trace_(trace) {
   const PageId root = source_->SearchRoot();
   if (root != kInvalidPageId) {
     // The root has no parent entry to bound it; expand it unconditionally.
@@ -15,7 +17,18 @@ TopKIterator::TopKIterator(const TopKSource* source, SpatialKeywordQuery query,
     entry.bound = std::numeric_limits<double>::infinity();
     entry.node = root;
     heap_.push(entry);
+    ++nodes_seen_;
   }
+}
+
+TopKIterator::~TopKIterator() {
+  if (trace_ == nullptr) return;
+  // nodes_pruned is derived (seen - visited): heap leftovers at early
+  // termination plus nothing else, since every enqueued node was seen.
+  trace_->Add(TraceCounter::kNodesSeen, nodes_seen_);
+  trace_->Add(TraceCounter::kNodesVisited, nodes_visited_);
+  trace_->Add(TraceCounter::kNodesPruned, nodes_seen_ - nodes_visited_);
+  trace_->Add(TraceCounter::kLeafObjectsScored, objects_scored_);
 }
 
 Status TopKIterator::Next(std::optional<ScoredObject>* out) {
@@ -32,15 +45,24 @@ Status TopKIterator::Next(std::optional<ScoredObject>* out) {
     scratch_.clear();
     WSK_RETURN_IF_ERROR(
         source_->ExpandNode(top.node, query_, use_cache_, &scratch_));
-    for (const SearchEntry& child : scratch_) heap_.push(child);
+    ++nodes_visited_;
+    for (const SearchEntry& child : scratch_) {
+      if (child.is_object) {
+        ++objects_scored_;
+      } else {
+        ++nodes_seen_;
+      }
+      heap_.push(child);
+    }
   }
   return Status::Ok();
 }
 
 StatusOr<std::vector<ScoredObject>> IndexTopK(
     const TopKSource& source, const SpatialKeywordQuery& query,
-    const CancelToken* cancel, bool use_cache) {
-  TopKIterator it(&source, query, cancel, use_cache);
+    const CancelToken* cancel, bool use_cache, TraceRecorder* trace) {
+  TraceSpan span(trace, TraceStage::kTopK);
+  TopKIterator it(&source, query, cancel, use_cache, trace);
   std::vector<ScoredObject> result;
   result.reserve(query.k);
   std::optional<ScoredObject> next;
@@ -58,9 +80,10 @@ StatusOr<uint32_t> IndexRankOfScore(const TopKSource& source,
                                     int64_t give_up_after_rank,
                                     bool* exceeded,
                                     const CancelToken* cancel,
-                                    bool use_cache) {
+                                    bool use_cache, TraceRecorder* trace) {
   *exceeded = false;
-  TopKIterator it(&source, query, cancel, use_cache);
+  TraceSpan span(trace, TraceStage::kRankQuery);
+  TopKIterator it(&source, query, cancel, use_cache, trace);
   uint32_t strictly_better = 0;
   std::optional<ScoredObject> next;
   for (;;) {

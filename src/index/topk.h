@@ -17,6 +17,7 @@
 #include "common/cancel.h"
 #include "common/status.h"
 #include "data/query.h"
+#include "observability/trace.h"
 #include "storage/pager.h"
 
 namespace wsk {
@@ -64,9 +65,16 @@ class TopKIterator {
  public:
   // `cancel` (optional, borrowed; must outlive the iterator) is consulted
   // before every node expansion — the traversal's unit of I/O — so a
-  // cancelled or timed-out search unwinds within one page visit.
+  // cancelled or timed-out search unwinds within one page visit. `trace`
+  // (optional, borrowed) receives the traversal's node/object counters
+  // when the iterator is destroyed.
   TopKIterator(const TopKSource* source, SpatialKeywordQuery query,
-               const CancelToken* cancel = nullptr, bool use_cache = true);
+               const CancelToken* cancel = nullptr, bool use_cache = true,
+               TraceRecorder* trace = nullptr);
+  ~TopKIterator();
+
+  TopKIterator(const TopKIterator&) = delete;
+  TopKIterator& operator=(const TopKIterator&) = delete;
 
   // Sets *out to the next object, or nullopt when the index is exhausted.
   // Returns kCancelled / kDeadlineExceeded when the cancel token fired.
@@ -75,15 +83,25 @@ class TopKIterator {
   // Objects emitted so far.
   size_t num_emitted() const { return num_emitted_; }
 
+  // Nodes expanded so far (pages/cached nodes materialized). Counted even
+  // without a trace recorder — the why-not stats report it per query.
+  uint64_t num_expanded() const { return nodes_visited_; }
+
  private:
   const TopKSource* source_;
   SpatialKeywordQuery query_;
   const CancelToken* cancel_ = nullptr;
   bool use_cache_ = true;
+  TraceRecorder* trace_ = nullptr;
   std::priority_queue<SearchEntry, std::vector<SearchEntry>, SearchEntryLess>
       heap_;
   std::vector<SearchEntry> scratch_;
   size_t num_emitted_ = 0;
+  // Plain members (one iterator is single-threaded); flushed to the trace
+  // recorder in one batch by the destructor.
+  uint64_t nodes_seen_ = 0;
+  uint64_t nodes_visited_ = 0;
+  uint64_t objects_scored_ = 0;
 };
 
 // Convenience wrappers over the iterator.
@@ -91,7 +109,8 @@ class TopKIterator {
 // The k best objects.
 StatusOr<std::vector<ScoredObject>> IndexTopK(
     const TopKSource& source, const SpatialKeywordQuery& query,
-    const CancelToken* cancel = nullptr, bool use_cache = true);
+    const CancelToken* cancel = nullptr, bool use_cache = true,
+    TraceRecorder* trace = nullptr);
 
 // Rank (Eqn 3) of an object whose exact score is `target_score`: emits
 // objects until the stream drops to or below `target_score` and counts the
@@ -104,7 +123,8 @@ StatusOr<uint32_t> IndexRankOfScore(const TopKSource& source,
                                     int64_t give_up_after_rank,
                                     bool* exceeded,
                                     const CancelToken* cancel = nullptr,
-                                    bool use_cache = true);
+                                    bool use_cache = true,
+                                    TraceRecorder* trace = nullptr);
 
 }  // namespace wsk
 

@@ -5,6 +5,22 @@
 
 namespace wsk {
 
+namespace {
+
+// Prometheus metric names admit [a-zA-Z0-9_:]; our dotted registry names
+// map dots (and anything else) to underscores, prefixed with wsk_.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "wsk_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
 size_t LatencyHistogram::BucketFor(double ms) {
   if (!(ms > 0.0)) return 0;  // negatives and NaN land in the first bucket
   const double us = ms * 1000.0;
@@ -28,6 +44,14 @@ void LatencyHistogram::Record(double ms) {
   buckets_[BucketFor(ms)].fetch_add(1, std::memory_order_relaxed);
   const double us = ms > 0.0 ? ms * 1000.0 : 0.0;
   sum_us_.fetch_add(static_cast<uint64_t>(us), std::memory_order_relaxed);
+  // Keep the true maximum (not the bucket bound). Lost CAS races only
+  // happen when another writer installed a value at least as large.
+  double seen = max_ms_.load(std::memory_order_relaxed);
+  const double sample = ms > 0.0 ? ms : 0.0;
+  while (sample > seen &&
+         !max_ms_.compare_exchange_weak(seen, sample,
+                                        std::memory_order_relaxed)) {
+  }
 }
 
 LatencyHistogram::Snapshot LatencyHistogram::TakeSnapshot() const {
@@ -41,6 +65,7 @@ LatencyHistogram::Snapshot LatencyHistogram::TakeSnapshot() const {
   snap.count = total;
   snap.sum_ms =
       static_cast<double>(sum_us_.load(std::memory_order_relaxed)) / 1000.0;
+  for (size_t i = 0; i < kNumBuckets; ++i) snap.bucket_counts[i] = counts[i];
   if (total == 0) return snap;
   snap.mean_ms = snap.sum_ms / static_cast<double>(total);
 
@@ -58,12 +83,7 @@ LatencyHistogram::Snapshot LatencyHistogram::TakeSnapshot() const {
   snap.p50_ms = percentile(0.50);
   snap.p95_ms = percentile(0.95);
   snap.p99_ms = percentile(0.99);
-  for (size_t i = kNumBuckets; i-- > 0;) {
-    if (counts[i] > 0) {
-      snap.max_ms = BucketBoundMs(i);
-      break;
-    }
-  }
+  snap.max_ms = max_ms_.load(std::memory_order_relaxed);
   return snap;
 }
 
@@ -97,6 +117,48 @@ std::string MetricsRegistry::Report() const {
                   "p95 %.3f ms p99 %.3f ms max %.3f ms\n",
                   name.c_str(), static_cast<unsigned long long>(s.count),
                   s.mean_ms, s.p50_ms, s.p95_ms, s.p99_ms, s.max_ms);
+    out += line;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char line[256];
+  for (const auto& [name, counter] : counters_) {
+    const std::string pname = PrometheusName(name) + "_total";
+    out += "# TYPE " + pname + " counter\n";
+    std::snprintf(line, sizeof(line), "%s %llu\n", pname.c_str(),
+                  static_cast<unsigned long long>(counter->value()));
+    out += line;
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const LatencyHistogram::Snapshot s = histogram->TakeSnapshot();
+    const std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+      cumulative += s.bucket_counts[i];
+      // Bucket bounds are milliseconds internally; Prometheus convention
+      // for *_seconds-style latencies is seconds, so convert.
+      std::snprintf(line, sizeof(line), "%s_bucket{le=\"%.9g\"} %llu\n",
+                    pname.c_str(), LatencyHistogram::BucketBoundMs(i) / 1000.0,
+                    static_cast<unsigned long long>(cumulative));
+      out += line;
+    }
+    std::snprintf(line, sizeof(line), "%s_bucket{le=\"+Inf\"} %llu\n",
+                  pname.c_str(), static_cast<unsigned long long>(s.count));
+    out += line;
+    std::snprintf(line, sizeof(line), "%s_sum %.9g\n", pname.c_str(),
+                  s.sum_ms / 1000.0);
+    out += line;
+    std::snprintf(line, sizeof(line), "%s_count %llu\n", pname.c_str(),
+                  static_cast<unsigned long long>(s.count));
+    out += line;
+    out += "# TYPE " + pname + "_max gauge\n";
+    std::snprintf(line, sizeof(line), "%s_max %.9g\n", pname.c_str(),
+                  s.max_ms / 1000.0);
     out += line;
   }
   return out;

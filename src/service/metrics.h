@@ -11,6 +11,7 @@
 #define WSK_SERVICE_METRICS_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -48,19 +49,26 @@ class LatencyHistogram {
     double p50_ms = 0.0;
     double p95_ms = 0.0;
     double p99_ms = 0.0;
-    double max_ms = 0.0;  // upper bound of the hottest non-empty bucket
+    double max_ms = 0.0;  // largest sample observed (exact, not a bucket bound)
+    uint64_t bucket_counts[kNumBuckets] = {};  // per-bucket sample counts
   };
 
   void Record(double ms);
   Snapshot TakeSnapshot() const;
 
+  // Upper bound of bucket `i` in milliseconds (bucket i covers
+  // (2^(i-1), 2^i] microseconds). Exposed for exporters that need the
+  // boundary values, e.g. Prometheus `le` labels.
+  static double BucketBoundMs(size_t i);
+
  private:
   static size_t BucketFor(double ms);
-  // Upper bound of bucket `i` in milliseconds.
-  static double BucketBoundMs(size_t i);
 
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
   std::atomic<uint64_t> sum_us_{0};
+  // True observed maximum, maintained with a relaxed CAS loop; a bucket
+  // bound would overstate the max by up to 2x.
+  std::atomic<double> max_ms_{0.0};
 };
 
 // Name -> metric registry. counter()/histogram() intern the name on first
@@ -78,6 +86,12 @@ class MetricsRegistry {
 
   // Human-readable dump, one metric per line, sorted by name.
   std::string Report() const;
+
+  // Prometheus text exposition (version 0.0.4) of every registered metric.
+  // Counter `a.b.c` becomes `wsk_a_b_c_total`; histogram `a.b.ms` becomes
+  // `wsk_a_b_ms` with cumulative `_bucket{le=...}` series (seconds),
+  // `_sum`/`_count`, and a `wsk_..._max` gauge for the observed maximum.
+  std::string PrometheusText() const;
 
  private:
   mutable std::mutex mu_;  // guards the maps, not the metrics themselves

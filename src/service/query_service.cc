@@ -37,6 +37,18 @@ QueryService::QueryService(const WhyNotEngine* engine,
                 "QueryService requires at least one worker (got %d)",
                 config_.num_workers);
   WSK_CHECK(config_.cache_location_quantum > 0.0);
+  if (config_.collect_stage_metrics) {
+    for (size_t i = 0; i < kNumTraceStages; ++i) {
+      stage_hist_[i] = &metrics_.histogram(
+          std::string("stage.") +
+          TraceStageName(static_cast<TraceStage>(i)) + ".ms");
+    }
+    for (size_t i = 0; i < kNumTraceCounters; ++i) {
+      prune_counter_[i] = &metrics_.counter(
+          std::string("prune.") +
+          TraceCounterName(static_cast<TraceCounter>(i)));
+    }
+  }
   pool_ = std::make_unique<ThreadPool>(config_.num_workers, config_.max_queue);
 }
 
@@ -115,6 +127,19 @@ void QueryService::AccountIo(const IoSnapshot& before) {
                                       before.kcr_cache_misses);
 }
 
+void QueryService::AbsorbTrace(const TraceRecorder& trace) {
+  for (size_t i = 0; i < kNumTraceStages; ++i) {
+    if (trace.StageCount(static_cast<TraceStage>(i)) == 0) continue;
+    stage_hist_[i]->Record(
+        static_cast<double>(trace.StageTotalUs(static_cast<TraceStage>(i))) /
+        1000.0);
+  }
+  for (size_t i = 0; i < kNumTraceCounters; ++i) {
+    const uint64_t v = trace.counter(static_cast<TraceCounter>(i));
+    if (v > 0) prune_counter_[i]->Increment(v);
+  }
+}
+
 std::future<StatusOr<QueryService::TopKResponse>> QueryService::SubmitTopK(
     const SpatialKeywordQuery& query, const RequestOptions& opts) {
   requests_topk_.Increment();
@@ -153,8 +178,14 @@ std::future<StatusOr<QueryService::TopKResponse>> QueryService::SubmitTopK(
           }
         }
         const IoSnapshot io_before = TakeIoSnapshot();
+        // Capacity-0 recorder: no event buffer, just stage totals and
+        // pruning counters, folded into the registry after the call.
+        TraceRecorder stage_trace(0);
+        TraceRecorder* const trace =
+            config_.collect_stage_metrics ? &stage_trace : nullptr;
         StatusOr<std::vector<ScoredObject>> results =
-            engine_->TopK(query, &token);
+            engine_->TopK(query, &token, trace);
+        if (trace != nullptr) AbsorbTrace(stage_trace);
         if (!results.ok()) return results.status();
         response.results = std::move(results).value();
         AccountIo(io_before);
@@ -228,9 +259,17 @@ std::future<StatusOr<QueryService::WhyNotResponse>> QueryService::SubmitWhyNot(
         }
         WhyNotOptions effective = options;
         effective.cancel = &token;
+        // Install a capacity-0 recorder unless the client brought their
+        // own (a client recorder may span several requests, so it is
+        // never folded into the per-request stage metrics).
+        TraceRecorder stage_trace(0);
+        const bool own_trace =
+            config_.collect_stage_metrics && effective.trace == nullptr;
+        if (own_trace) effective.trace = &stage_trace;
         const IoSnapshot io_before = TakeIoSnapshot();
         StatusOr<WhyNotResult> result =
             engine_->Answer(algorithm, query, missing, effective);
+        if (own_trace) AbsorbTrace(stage_trace);
         if (!result.ok()) return result.status();
         response.result = std::move(result).value();
         AccountIo(io_before);
@@ -305,6 +344,45 @@ std::string QueryService::MetricsReport() const {
                 config_.num_workers, pool_->queue_depth(),
                 static_cast<unsigned long long>(pool_->num_task_exceptions()));
   out += line;
+  return out;
+}
+
+std::string QueryService::PrometheusReport() const {
+  std::string out = metrics_.PrometheusText();
+  char line[128];
+  const auto counter_line = [&](const char* name, uint64_t value) {
+    out += std::string("# TYPE ") + name + " counter\n";
+    std::snprintf(line, sizeof(line), "%s %llu\n", name,
+                  static_cast<unsigned long long>(value));
+    out += line;
+  };
+  const auto gauge_line = [&](const char* name, uint64_t value) {
+    out += std::string("# TYPE ") + name + " gauge\n";
+    std::snprintf(line, sizeof(line), "%s %llu\n", name,
+                  static_cast<unsigned long long>(value));
+    out += line;
+  };
+  const ResultCache::Stats cs = cache_.stats();
+  counter_line("wsk_result_cache_hits_total", cs.hits);
+  counter_line("wsk_result_cache_misses_total", cs.misses);
+  counter_line("wsk_result_cache_insertions_total", cs.insertions);
+  counter_line("wsk_result_cache_evictions_total", cs.evictions);
+  gauge_line("wsk_result_cache_size", cache_.size());
+  const IoSnapshot io = TakeIoSnapshot();
+  counter_line("wsk_engine_setr_physical_reads_total", io.setr_physical);
+  counter_line("wsk_engine_setr_logical_reads_total", io.setr_logical);
+  counter_line("wsk_engine_kcr_physical_reads_total", io.kcr_physical);
+  counter_line("wsk_engine_kcr_logical_reads_total", io.kcr_logical);
+  if (const NodeCache* nc = engine_->node_cache()) {
+    const NodeCache::Stats ns = nc->GetStats();
+    counter_line("wsk_node_cache_hits_total", ns.hits);
+    counter_line("wsk_node_cache_misses_total", ns.misses);
+    counter_line("wsk_node_cache_evictions_total", ns.evictions);
+    gauge_line("wsk_node_cache_bytes", ns.bytes_in_use);
+  }
+  gauge_line("wsk_inflight_requests", inflight());
+  gauge_line("wsk_pool_queue_depth", pool_->queue_depth());
+  counter_line("wsk_pool_task_exceptions_total", pool_->num_task_exceptions());
   return out;
 }
 

@@ -34,6 +34,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
+#include "observability/trace.h"
 #include "service/metrics.h"
 #include "service/result_cache.h"
 
@@ -46,6 +47,11 @@ struct QueryServiceConfig {
   double default_timeout_ms = 0.0;  // per-request deadline; 0 = none
   size_t cache_capacity = 1024;     // result cache entries; 0 disables
   double cache_location_quantum = 1e-6;  // fingerprint grid cell size
+  // Attach a capacity-0 TraceRecorder (counters and stage totals only, no
+  // event buffer) to each executed request and fold the aggregates into
+  // the registry: per-stage wall time into `stage.<name>.ms` histograms,
+  // pruning counters into `prune.<name>` counters (docs/OBSERVABILITY.md).
+  bool collect_stage_metrics = true;
 };
 
 // Per-request knobs.
@@ -119,6 +125,11 @@ class QueryService {
   // and worker-pool health — the service's full observability snapshot.
   std::string MetricsReport() const;
 
+  // The same snapshot in Prometheus text exposition format: every
+  // registered counter/histogram via MetricsRegistry::PrometheusText()
+  // plus result-cache, node-cache, pool, and inflight gauges.
+  std::string PrometheusReport() const;
+
  private:
   struct IoSnapshot {
     uint64_t setr_physical = 0;
@@ -144,6 +155,9 @@ class QueryService {
   // queries see each other's reads) — the aggregate engine snapshot in
   // MetricsReport() is the exact total.
   void AccountIo(const IoSnapshot& before);
+  // Folds a finished request's stage totals and pruning counters into the
+  // interned stage.* histograms / prune.* counters.
+  void AbsorbTrace(const TraceRecorder& trace);
 
   const WhyNotEngine* const engine_;
   const QueryServiceConfig config_;
@@ -171,6 +185,11 @@ class QueryService {
   Counter& io_kcr_node_cache_misses_;
   LatencyHistogram& latency_topk_;
   LatencyHistogram& latency_whynot_;
+  // Per-stage wall-time histograms and pruning counters, interned at
+  // construction (indexed by TraceStage / TraceCounter) so AbsorbTrace
+  // never takes the registry mutex.
+  LatencyHistogram* stage_hist_[kNumTraceStages] = {};
+  Counter* prune_counter_[kNumTraceCounters] = {};
   // Declared last so teardown destroys it first: workers drain while the
   // metrics/cache members their tasks touch are still alive.
   std::unique_ptr<ThreadPool> pool_;

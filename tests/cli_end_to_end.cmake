@@ -1,4 +1,5 @@
-# Drives wsk_cli through generate -> topk -> whynot -> explain -> serve.
+# Drives wsk_cli through generate -> topk -> whynot -> explain -> trace ->
+# statsz -> serve.
 set(csv "${WORK_DIR}/cli_e2e.csv")
 execute_process(COMMAND ${CLI} generate --out ${csv} --objects 2000
                 RESULT_VARIABLE rc OUTPUT_VARIABLE out)
@@ -23,6 +24,31 @@ execute_process(COMMAND ${CLI} explain --data ${csv} --x 0.5 --y 0.5
                 RESULT_VARIABLE rc OUTPUT_VARIABLE out)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "explain failed: ${out}")
+endif()
+# trace: exported profile must be Chrome trace-event JSON with the root
+# query span, and the console summary must show the stage table.
+set(trace_json "${WORK_DIR}/cli_e2e_trace.json")
+execute_process(COMMAND ${CLI} trace --data ${csv} --x 0.5 --y 0.5
+                        --keywords "term1 term3" --k 3 --missing 42
+                        --algorithm advanced --out ${trace_json}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "trace:")
+  message(FATAL_ERROR "trace failed: ${out}")
+endif()
+file(READ ${trace_json} trace_content)
+if(NOT trace_content MATCHES "\"traceEvents\":\\[" OR
+   NOT trace_content MATCHES "\"name\":\"query\"")
+  message(FATAL_ERROR "trace output is not a Chrome trace profile")
+endif()
+file(REMOVE ${trace_json})
+# statsz: Prometheus text exposition with request counters and at least
+# one per-stage histogram absorbed from the per-query traces.
+execute_process(COMMAND ${CLI} statsz --data ${csv} --random 20 --repeat 2
+                        --seed 7
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "wsk_requests_total" OR
+   NOT out MATCHES "wsk_stage_query_ms_bucket")
+  message(FATAL_ERROR "statsz failed: ${out}")
 endif()
 execute_process(COMMAND ${CLI} serve --data ${csv} --random 30 --workers 4
                         --repeat 2 --seed 7

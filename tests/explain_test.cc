@@ -1,0 +1,120 @@
+#include "core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.h"
+#include "data/generator.h"
+#include "observability/trace.h"
+
+namespace wsk {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneratorConfig config;
+    config.num_objects = 300;
+    config.vocab_size = 40;
+    config.seed = 17;
+    dataset_ = GenerateDataset(config);
+    WhyNotEngine::Config engine_config;
+    engine_config.node_capacity = 16;
+    auto built = WhyNotEngine::Build(&dataset_, engine_config);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    engine_ = std::move(built).value();
+
+    query_.loc = Point{0.5, 0.5};
+    query_.doc = dataset_.object(7).doc;
+    query_.k = 5;
+    query_.alpha = 0.5;
+  }
+
+  ObjectId ObjectAt(uint32_t position) {
+    auto id = engine_->ObjectAtPosition(query_, position);
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    return id.value();
+  }
+
+  Dataset dataset_;
+  std::unique_ptr<WhyNotEngine> engine_;
+  SpatialKeywordQuery query_;
+};
+
+TEST_F(ExplainTest, MissingObjectIsDecomposed) {
+  const ObjectId missing = ObjectAt(20);
+  auto got = ExplainMiss(*engine_, query_, missing);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  const MissExplanation& e = got.value();
+
+  EXPECT_FALSE(e.in_result);
+  EXPECT_EQ(e.rank, 20u);
+  EXPECT_EQ(e.k, query_.k);
+  // The decomposition is exact: ST = spatial + textual (Eqn 1).
+  EXPECT_NEAR(e.missing_score, e.spatial_term + e.textual_term, 1e-12);
+  // A missing object scores below the k-th result.
+  EXPECT_GT(e.kth_score, e.missing_score);
+  EXPECT_NEAR(e.deficit, e.kth_score - e.missing_score, 1e-12);
+  EXPECT_GT(e.deficit, 0.0);
+  EXPECT_EQ(e.query_keywords, query_.doc.size());
+  EXPECT_LE(e.matched_keywords, e.query_keywords);
+
+  const std::string text = e.ToString();
+  EXPECT_NE(text.find("ranks 20"), std::string::npos);
+  EXPECT_NE(text.find("deficit"), std::string::npos);
+}
+
+TEST_F(ExplainTest, InResultObjectIsReported) {
+  const ObjectId present = ObjectAt(1);
+  auto got = ExplainMiss(*engine_, query_, present);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  const MissExplanation& e = got.value();
+  EXPECT_TRUE(e.in_result);
+  EXPECT_EQ(e.rank, 1u);
+  EXPECT_EQ(e.deficit, 0.0);
+  EXPECT_NE(e.ToString().find("inside the top-5"), std::string::npos);
+}
+
+TEST_F(ExplainTest, MatchedKeywordsCountIntersection) {
+  // The query doc is object 7's doc, so object 7 matches every keyword.
+  auto got = ExplainMiss(*engine_, query_, 7);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value().matched_keywords, got.value().query_keywords);
+}
+
+TEST_F(ExplainTest, RejectsBadArguments) {
+  EXPECT_FALSE(
+      ExplainMiss(*engine_, query_, static_cast<ObjectId>(dataset_.size()))
+          .ok());
+  SpatialKeywordQuery zero_k = query_;
+  zero_k.k = 0;
+  EXPECT_FALSE(ExplainMiss(*engine_, zero_k, 0).ok());
+}
+
+TEST_F(ExplainTest, TraceReceivesSpanAndAnnotation) {
+  const ObjectId missing = ObjectAt(20);
+  TraceRecorder recorder;
+  auto got = ExplainMiss(*engine_, query_, missing, &recorder);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+
+  // One explain span plus one annotation carrying the explanation.
+  EXPECT_EQ(recorder.StageCount(TraceStage::kExplain), 2u);
+  bool found_annotation = false;
+  for (const TraceEvent& e : recorder.Events()) {
+    if (e.stage == TraceStage::kExplain && e.instant) {
+      found_annotation = true;
+      EXPECT_EQ(e.arg, static_cast<int64_t>(missing));
+      EXPECT_EQ(e.detail, got.value().ToString());
+    }
+  }
+  EXPECT_TRUE(found_annotation);
+  // The inner ranking traversals report through the same recorder.
+  EXPECT_GT(recorder.counter(TraceCounter::kNodesVisited), 0u);
+  // The annotation lands in the exported JSON.
+  EXPECT_NE(recorder.ToChromeTraceJson().find("\"name\":\"explain\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsk

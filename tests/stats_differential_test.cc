@@ -1,0 +1,87 @@
+// Differential check of WhyNotStats against the brute-force oracle: the
+// shared accounting fields must mean the same thing in all three
+// algorithms, and every enumerated candidate must land in exactly one
+// disposition bucket (the partition documented in core/whynot.h).
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/whynot.h"
+#include "testing/oracle.h"
+#include "testing/scenario_gen.h"
+
+namespace wsk {
+namespace {
+
+constexpr WhyNotAlgorithm kAlgorithms[] = {
+    WhyNotAlgorithm::kBasic,
+    WhyNotAlgorithm::kAdvanced,
+    WhyNotAlgorithm::kKcrBased,
+};
+
+class StatsDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StatsDifferentialTest, StatsAgreeWithOracleCounts) {
+  const uint64_t seed = GetParam();
+  std::optional<testing::WhyNotScenario> scenario =
+      testing::MakeScenario(seed, testing::ScenarioOptions{});
+  if (!scenario.has_value()) {
+    GTEST_SKIP() << "seed " << seed << " yields no usable instance";
+  }
+  SCOPED_TRACE(scenario->Describe());
+
+  const testing::OracleResult oracle = testing::SolveWhyNotOracle(
+      scenario->dataset, scenario->query, scenario->missing,
+      scenario->options.lambda);
+
+  WhyNotEngine::Config config;
+  config.node_capacity = 16;
+  auto built = WhyNotEngine::Build(&scenario->dataset, config);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const std::unique_ptr<WhyNotEngine>& engine = built.value();
+
+  for (WhyNotAlgorithm algorithm : kAlgorithms) {
+    SCOPED_TRACE(WhyNotAlgorithmName(algorithm));
+    auto got = engine->Answer(algorithm, scenario->query, scenario->missing,
+                              scenario->options);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    const WhyNotStats& stats = got.value().stats;
+
+    EXPECT_EQ(stats.initial_rank, oracle.initial_rank);
+    if (got.value().already_in_result) continue;
+
+    // The candidate universe is fixed by (doc0, M): every algorithm
+    // enumerates the same non-empty subsets of doc0 ∪ M.doc minus doc0
+    // itself, which the oracle counts including doc0.
+    EXPECT_EQ(stats.candidates_total, oracle.refinements_enumerated - 1);
+
+    // The disposition partition is exact, not approximate.
+    EXPECT_EQ(stats.candidates_total,
+              stats.candidates_evaluated + stats.candidates_filtered +
+                  stats.candidates_skipped_order +
+                  stats.candidates_pruned_bounds);
+
+    EXPECT_GT(stats.nodes_expanded, 0u);
+  }
+
+  // The unoptimized baseline evaluates every candidate: nothing may be
+  // filtered, skipped, or bound-pruned when the optimizations are off.
+  auto basic = engine->Answer(WhyNotAlgorithm::kBasic, scenario->query,
+                              scenario->missing, scenario->options);
+  ASSERT_TRUE(basic.ok()) << basic.status().ToString();
+  if (!basic.value().already_in_result) {
+    const WhyNotStats& stats = basic.value().stats;
+    EXPECT_EQ(stats.candidates_evaluated, stats.candidates_total);
+    EXPECT_EQ(stats.candidates_filtered, 0u);
+    EXPECT_EQ(stats.candidates_skipped_order, 0u);
+    EXPECT_EQ(stats.candidates_pruned_bounds, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsDifferentialTest,
+                         ::testing::Range(uint64_t{300}, uint64_t{330}));
+
+}  // namespace
+}  // namespace wsk

@@ -1,0 +1,195 @@
+// End-to-end tracing acceptance (docs/OBSERVABILITY.md): each why-not
+// algorithm runs with a TraceRecorder attached and the exported profile
+// must (a) be well-formed Chrome trace JSON whose stage spans nest inside
+// a root `query` span covering the query's wall time, and (b) satisfy the
+// pruning-counter partition invariants exactly.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/whynot.h"
+#include "data/generator.h"
+#include "observability/trace.h"
+
+namespace wsk {
+namespace {
+
+constexpr WhyNotAlgorithm kAlgorithms[] = {
+    WhyNotAlgorithm::kBasic,
+    WhyNotAlgorithm::kAdvanced,
+    WhyNotAlgorithm::kKcrBased,
+};
+
+class TraceE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneratorConfig config;
+    config.num_objects = 400;
+    config.vocab_size = 40;
+    config.seed = 97;
+    dataset_ = GenerateDataset(config);
+    WhyNotEngine::Config engine_config;
+    engine_config.node_capacity = 16;
+    auto built = WhyNotEngine::Build(&dataset_, engine_config);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    engine_ = std::move(built).value();
+
+    query_.loc = Point{0.4, 0.6};
+    query_.doc = dataset_.object(11).doc;
+    query_.k = 5;
+    query_.alpha = 0.5;
+    auto missing = engine_->ObjectAtPosition(query_, 26);
+    ASSERT_TRUE(missing.ok()) << missing.status().ToString();
+    missing_ = {missing.value()};
+  }
+
+  Dataset dataset_;
+  std::unique_ptr<WhyNotEngine> engine_;
+  SpatialKeywordQuery query_;
+  std::vector<ObjectId> missing_;
+};
+
+TEST_F(TraceE2eTest, EveryAlgorithmSatisfiesSpanAndCounterContracts) {
+  for (WhyNotAlgorithm algorithm : kAlgorithms) {
+    SCOPED_TRACE(WhyNotAlgorithmName(algorithm));
+    TraceRecorder recorder;
+    WhyNotOptions options;
+    options.trace = &recorder;
+    auto got = engine_->Answer(algorithm, query_, missing_, options);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    const WhyNotStats& stats = got.value().stats;
+    ASSERT_FALSE(got.value().already_in_result);
+
+    // --- (a) span structure ---
+    const std::vector<TraceEvent> events = recorder.Events();
+    ASSERT_FALSE(events.empty());
+    EXPECT_EQ(recorder.dropped_events(), 0u);
+    // Exactly one root span, recorded last (RAII destruction order).
+    ASSERT_EQ(recorder.StageCount(TraceStage::kQuery), 1u);
+    const TraceEvent* root = nullptr;
+    for (const TraceEvent& e : events) {
+      if (e.stage == TraceStage::kQuery && !e.instant) root = &e;
+    }
+    ASSERT_NE(root, nullptr);
+    // The root encloses the algorithm's own wall-clock measurement: spans
+    // cover at least 95% of the query's elapsed time by construction.
+    EXPECT_GE(static_cast<double>(root->dur_us),
+              0.95 * stats.elapsed_ms * 1000.0);
+    // Every other event nests inside the root interval.
+    const uint64_t root_begin = root->start_us;
+    const uint64_t root_end = root->start_us + root->dur_us;
+    for (const TraceEvent& e : events) {
+      EXPECT_GE(e.start_us, root_begin);
+      EXPECT_LE(e.start_us + e.dur_us, root_end);
+    }
+    // The stage pipeline ran: initial rank and enumeration exactly once.
+    EXPECT_EQ(recorder.StageCount(TraceStage::kInitialRank), 1u);
+    EXPECT_EQ(recorder.StageCount(TraceStage::kEnumeration), 1u);
+
+    // --- (a) export well-formedness (spot checks; structural balance is
+    // covered by trace_test's shared helper over the same exporter) ---
+    const std::string json = recorder.ToChromeTraceJson();
+    EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\"", 0), 0u);
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"query\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"counters\""), std::string::npos);
+    EXPECT_EQ(json.back(), '}');
+
+    // --- (b) counter invariants ---
+    const uint64_t enumerated =
+        recorder.counter(TraceCounter::kCandidatesEnumerated);
+    const uint64_t kept = recorder.counter(TraceCounter::kCandidatesKept);
+    const uint64_t pruned_early =
+        recorder.counter(TraceCounter::kCandidatesPrunedEarlyStop);
+    const uint64_t pruned_dom =
+        recorder.counter(TraceCounter::kCandidatesPrunedDominator);
+    EXPECT_EQ(enumerated, kept + pruned_early + pruned_dom);
+    EXPECT_GT(enumerated, 0u);
+
+    const uint64_t seen = recorder.counter(TraceCounter::kNodesSeen);
+    const uint64_t visited = recorder.counter(TraceCounter::kNodesVisited);
+    const uint64_t pruned = recorder.counter(TraceCounter::kNodesPruned);
+    EXPECT_EQ(seen, visited + pruned);
+    EXPECT_GT(visited, 0u);
+
+    // The trace counters and WhyNotStats tell the same story.
+    EXPECT_EQ(enumerated, stats.candidates_total);
+    EXPECT_EQ(kept, stats.candidates_evaluated);
+    EXPECT_EQ(pruned_dom, stats.candidates_filtered);
+    EXPECT_EQ(pruned_early, stats.candidates_pruned_bounds +
+                                stats.candidates_skipped_order);
+  }
+}
+
+TEST_F(TraceE2eTest, AlgorithmSpecificStagesAppear) {
+  {
+    TraceRecorder recorder;
+    WhyNotOptions options;
+    options.trace = &recorder;
+    ASSERT_TRUE(engine_
+                    ->Answer(WhyNotAlgorithm::kAdvanced, query_, missing_,
+                             options)
+                    .ok());
+    // AdvancedBS evaluates candidates through rank queries, with the Opt3
+    // dominator cache probed along the way.
+    EXPECT_GT(recorder.StageCount(TraceStage::kCandidateEval), 0u);
+    EXPECT_GT(recorder.StageCount(TraceStage::kRankQuery), 0u);
+    EXPECT_GT(recorder.counter(TraceCounter::kDominatorCacheProbes), 0u);
+    EXPECT_GT(recorder.counter(TraceCounter::kKernelInvocations), 0u);
+  }
+  {
+    TraceRecorder recorder;
+    WhyNotOptions options;
+    options.trace = &recorder;
+    ASSERT_TRUE(engine_
+                    ->Answer(WhyNotAlgorithm::kKcrBased, query_, missing_,
+                             options)
+                    .ok());
+    // KcRBased runs batched Algorithm 3 traversals over the KcR-tree.
+    const uint64_t batches = recorder.counter(TraceCounter::kBatches);
+    EXPECT_GT(batches, 0u);
+    EXPECT_EQ(recorder.StageCount(TraceStage::kBatch), batches);
+    EXPECT_GT(recorder.counter(TraceCounter::kBatchCandidates), 0u);
+    EXPECT_GT(recorder.StageCount(TraceStage::kLeafScoring), 0u);
+    EXPECT_GT(recorder.StageCount(TraceStage::kBoundTightening), 0u);
+    EXPECT_GT(recorder.counter(TraceCounter::kLeafObjectsScored), 0u);
+  }
+}
+
+TEST_F(TraceE2eTest, ParallelEvaluationKeepsInvariants) {
+  for (WhyNotAlgorithm algorithm :
+       {WhyNotAlgorithm::kAdvanced, WhyNotAlgorithm::kKcrBased}) {
+    SCOPED_TRACE(WhyNotAlgorithmName(algorithm));
+    TraceRecorder recorder;
+    WhyNotOptions options;
+    options.trace = &recorder;
+    options.num_threads = 4;
+    auto got = engine_->Answer(algorithm, query_, missing_, options);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(recorder.counter(TraceCounter::kCandidatesEnumerated),
+              recorder.counter(TraceCounter::kCandidatesKept) +
+                  recorder.counter(TraceCounter::kCandidatesPrunedEarlyStop) +
+                  recorder.counter(TraceCounter::kCandidatesPrunedDominator));
+    EXPECT_EQ(recorder.counter(TraceCounter::kNodesSeen),
+              recorder.counter(TraceCounter::kNodesVisited) +
+                  recorder.counter(TraceCounter::kNodesPruned));
+  }
+}
+
+TEST_F(TraceE2eTest, TopKTraversalRecordsNodeCounters) {
+  TraceRecorder recorder;
+  auto top = engine_->TopK(query_, /*cancel=*/nullptr, &recorder);
+  ASSERT_TRUE(top.ok()) << top.status().ToString();
+  EXPECT_EQ(recorder.StageCount(TraceStage::kQuery), 1u);
+  EXPECT_EQ(recorder.StageCount(TraceStage::kTopK), 1u);
+  EXPECT_GT(recorder.counter(TraceCounter::kNodesVisited), 0u);
+  EXPECT_GT(recorder.counter(TraceCounter::kLeafObjectsScored), 0u);
+  EXPECT_EQ(recorder.counter(TraceCounter::kNodesSeen),
+            recorder.counter(TraceCounter::kNodesVisited) +
+                recorder.counter(TraceCounter::kNodesPruned));
+}
+
+}  // namespace
+}  // namespace wsk

@@ -1,35 +1,74 @@
 #!/usr/bin/env python3
-"""Converts the benchmark suite's console output into per-figure CSV tables.
+"""Converts the benchmark suite's output into per-figure CSV tables.
 
 Usage:
     for b in build/bench/*; do $b; done 2>&1 | tee bench_output.txt
     tools/bench_to_csv.py bench_output.txt out_dir/
 
-Each bench binary prints rows named `<Algorithm>/<param>=<value>/...` with
-counters avg_ms / avg_io / avg_penalty; this script groups rows by the swept
-parameter and emits one CSV per parameter with one line per value and one
-column group per algorithm — the exact series of the paper's figures.
+    build/bench/bench_optimizations --json opts.json
+    tools/bench_to_csv.py opts.json out_dir/
+
+Accepts either the console text of the bench binaries or the
+machine-readable file written by their --json flag (auto-detected by the
+leading '{'). Each why-not row is named `<Algorithm>/<param>=<value>`;
+rows are grouped by the swept parameter and one CSV per parameter is
+emitted, with one line per value and one column group per algorithm — the
+exact series of the paper's figures. Beyond the paper's avg_ms / avg_io /
+avg_penalty, each group carries the pruning-effectiveness counters
+(cand_eval, cand_filtered, cand_skipped, cand_pruned, nodes_expanded)
+whenever the run reports them (docs/OBSERVABILITY.md).
 """
 
 import collections
 import csv
+import json
 import os
 import re
 import sys
 
-ROW = re.compile(
-    r"^(?P<name>\S+)/iterations:1\s.*?"
-    r"avg_io=(?P<io>[\d.]+[kMG]?)\s+"
-    r"avg_ms=(?P<ms>[\d.]+[kMG]?)\s+"
-    r"avg_penalty=(?P<penalty>[\d.]+[kMG]?)")
+ROW = re.compile(r"^(?P<name>\S+)/iterations:1\s")
+COUNTER = re.compile(r"([A-Za-z_][\w]*)=(-?[\d.]+(?:e[+-]?\d+)?[kMG]?)")
 
 SUFFIX = {"k": 1e3, "M": 1e6, "G": 1e9}
+# Column order within one algorithm's group; the paper metrics always
+# appear, the pruning counters only when at least one row reports them.
+BASE_COLUMNS = ("avg_ms", "avg_io", "avg_penalty")
+PRUNE_COLUMNS = ("cand_eval", "cand_filtered", "cand_skipped",
+                 "cand_pruned", "nodes_expanded")
 
 
 def parse_number(text: str) -> float:
     if text and text[-1] in SUFFIX:
         return float(text[:-1]) * SUFFIX[text[-1]]
     return float(text)
+
+
+def load_rows(source):
+    """Yields (benchmark_name, {counter: value}) from either input kind."""
+    with open(source) as f:
+        head = f.read(1)
+    if head == "{":
+        with open(source) as f:
+            data = json.load(f)
+        for bench in data.get("benchmarks", []):
+            name = bench.get("name", "")
+            name = name.removesuffix("/iterations:1")
+            counters = {
+                k: float(v)
+                for k, v in bench.get("counters", {}).items()
+                if isinstance(v, (int, float))
+            }
+            yield name, counters
+        return
+    with open(source) as lines:
+        for line in lines:
+            match = ROW.match(line.strip())
+            if not match:
+                continue
+            counters = {
+                k: parse_number(v) for k, v in COUNTER.findall(line)
+            }
+            yield match.group("name"), counters
 
 
 def main() -> int:
@@ -39,38 +78,42 @@ def main() -> int:
     source, out_dir = sys.argv[1], sys.argv[2]
     os.makedirs(out_dir, exist_ok=True)
 
-    # tables[param][value][algorithm] = (ms, io, penalty)
+    # tables[param][value][algorithm] = {counter: value}
     tables = collections.defaultdict(dict)
-    with open(source) as lines:
-        for line in lines:
-            match = ROW.match(line.strip())
-            if not match:
-                continue
-            parts = match.group("name").split("/")
-            if len(parts) < 2 or "=" not in parts[-1]:
-                continue
-            algorithm = "/".join(parts[:-1])
-            param, _, value = parts[-1].partition("=")
-            cell = (parse_number(match.group("ms")),
-                    parse_number(match.group("io")),
-                    parse_number(match.group("penalty")))
-            tables[param].setdefault(value, {})[algorithm] = cell
+    for name, counters in load_rows(source):
+        if "avg_ms" not in counters:
+            continue  # microbenchmark rows have no figure to land in
+        parts = name.split("/")
+        if len(parts) < 2 or "=" not in parts[-1]:
+            continue
+        algorithm = "/".join(parts[:-1])
+        param, _, value = parts[-1].partition("=")
+        tables[param].setdefault(value, {})[algorithm] = counters
 
     for param, values in tables.items():
         algorithms = sorted({a for row in values.values() for a in row})
+        present = {
+            c for row in values.values() for cell in row.values()
+            for c in cell
+        }
+        columns = list(BASE_COLUMNS) + [
+            c for c in PRUNE_COLUMNS if c in present
+        ]
         path = os.path.join(out_dir, f"{param}.csv")
         with open(path, "w", newline="") as out:
             writer = csv.writer(out)
             header = [param]
             for algorithm in algorithms:
                 safe = algorithm.replace("/", "_")
-                header += [f"{safe}_ms", f"{safe}_io", f"{safe}_penalty"]
+                header += [
+                    f"{safe}_{c.removeprefix('avg_')}" for c in columns
+                ]
             writer.writerow(header)
             for value, row in values.items():
                 line = [value]
                 for algorithm in algorithms:
-                    cell = row.get(algorithm)
-                    line += list(cell) if cell else ["", "", ""]
+                    cell = row.get(algorithm, {})
+                    line += [cell.get(c, "") for c in columns]
                 writer.writerow(line)
         print(f"wrote {path} ({len(values)} rows x {len(algorithms)} series)")
     return 0

@@ -1,23 +1,29 @@
 #!/usr/bin/env python3
 """Renders benchmark suite output as the markdown tables EXPERIMENTS.md uses.
 
-Usage: tools/bench_to_markdown.py bench_output.txt
+Usage:
+    tools/bench_to_markdown.py bench_output.txt
+    tools/bench_to_markdown.py opts.json        # from `bench_* --json`
+
+Accepts either the console text of the bench binaries or the file written
+by their --json flag (auto-detected by the leading '{'). Each sweep gets
+the paper's ms / I/O / penalty table; when a run reports the
+pruning-effectiveness counters (docs/OBSERVABILITY.md), a second table
+per sweep breaks the candidate dispositions down by algorithm.
 """
 
 import collections
+import json
 import re
 import sys
 
-ROW = re.compile(
-    r"^(?P<name>\S+)/iterations:1\s.*?"
-    r"avg_io=(?P<io>[\d.]+[kMG]?)\s+"
-    r"avg_ms=(?P<ms>[\d.]+[kMG]?)\s+"
-    r"avg_penalty=(?P<penalty>[\d.]+[kMG]?)")
-MICRO = re.compile(
-    r"^(?P<name>topk/\S+)/iterations:1\s+(?P<ms>[\d.]+) ms\s.*?"
-    r"avg_io=(?P<io>[\d.]+[kMG]?)")
+ROW = re.compile(r"^(?P<name>\S+)/iterations:1\s")
+MICRO = re.compile(r"^(?P<name>topk/\S+)/iterations:1\s+(?P<ms>[\d.]+) ms\s")
+COUNTER = re.compile(r"([A-Za-z_][\w]*)=(-?[\d.]+(?:e[+-]?\d+)?[kMG]?)")
 
 SUFFIX = {"k": 1e3, "M": 1e6, "G": 1e9}
+PRUNE_COLUMNS = ("cand_eval", "cand_filtered", "cand_skipped",
+                 "cand_pruned", "nodes_expanded")
 
 
 def num(text):
@@ -32,31 +38,56 @@ def fmt(value, digits=1):
     return f"{value:.{digits}f}"
 
 
-def main():
-    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
-    # tables[param] -> ordered {value: {algorithm: (ms, io, penalty)}}
-    tables = collections.defaultdict(lambda: collections.OrderedDict())
-    micro = collections.OrderedDict()
+def load_rows(path):
+    """Yields (benchmark_name, {counter: value}); console ms rides along as
+    the pseudo-counter `_console_ms` for the micro table."""
+    with open(path) as f:
+        head = f.read(1)
+    if head == "{":
+        with open(path) as f:
+            data = json.load(f)
+        for bench in data.get("benchmarks", []):
+            name = bench.get("name", "").removesuffix("/iterations:1")
+            counters = {
+                k: float(v)
+                for k, v in bench.get("counters", {}).items()
+                if isinstance(v, (int, float))
+            }
+            counters["_console_ms"] = bench.get("ns_per_op", 0.0) / 1e6
+            yield name, counters
+        return
     with open(path) as lines:
         for line in lines:
             line = line.strip()
-            m = MICRO.match(line)
-            if m and "avg_penalty" not in line:
-                micro[m.group("name")] = (float(m.group("ms")) / 20.0,
-                                          num(m.group("io")))
+            match = ROW.match(line)
+            if not match:
                 continue
-            m = ROW.match(line)
-            if not m:
-                continue
-            parts = m.group("name").split("/")
-            if "=" not in parts[-1]:
-                continue
-            algorithm = "/".join(parts[:-1])
-            param, _, value = parts[-1].partition("=")
-            cell = (num(m.group("ms")), num(m.group("io")),
-                    num(m.group("penalty")))
-            tables[param].setdefault(value, collections.OrderedDict())
-            tables[param][value][algorithm] = cell
+            counters = {k: num(v) for k, v in COUNTER.findall(line)}
+            micro = MICRO.match(line)
+            if micro:
+                counters["_console_ms"] = float(micro.group("ms"))
+            yield match.group("name"), counters
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    # tables[param] -> ordered {value: {algorithm: {counter: value}}}
+    tables = collections.defaultdict(collections.OrderedDict)
+    micro = collections.OrderedDict()
+    for name, counters in load_rows(path):
+        if name.startswith("topk/") and "avg_penalty" not in counters:
+            micro[name] = (counters.get("_console_ms", 0.0) / 20.0,
+                           counters.get("avg_io", 0.0))
+            continue
+        if "avg_ms" not in counters:
+            continue
+        parts = name.split("/")
+        if "=" not in parts[-1]:
+            continue
+        algorithm = "/".join(parts[:-1])
+        param, _, value = parts[-1].partition("=")
+        tables[param].setdefault(value, collections.OrderedDict())
+        tables[param][value][algorithm] = counters
 
     for param, values in tables.items():
         algorithms = []
@@ -80,12 +111,36 @@ def main():
             for a in algorithms:
                 cell = row.get(a)
                 if cell:
-                    line += f" {fmt(cell[0])} | {fmt(cell[1], 0)} |"
-                    penalty = f"{cell[2]:.3f}"
+                    line += f" {fmt(cell['avg_ms'])} |"
+                    line += f" {fmt(cell.get('avg_io', 0.0), 0)} |"
+                    penalty = f"{cell.get('avg_penalty', 0.0):.3f}"
                 else:
                     line += " — | — |"
             line += f" {penalty} |"
             print(line)
+        print()
+
+        # Candidate dispositions, one row per (value, algorithm), only when
+        # the run carries the counters (older logs simply skip the table).
+        has_prune = any(
+            c in cell
+            for row in values.values()
+            for cell in row.values()
+            for c in PRUNE_COLUMNS
+        )
+        if not has_prune:
+            continue
+        print(f"### pruning: {param}\n")
+        print("| " + param + " | algorithm | " +
+              " | ".join(PRUNE_COLUMNS) + " |")
+        print("|---|---|" + "---|" * len(PRUNE_COLUMNS))
+        for value, row in values.items():
+            for a, cell in row.items():
+                if not any(c in cell for c in PRUNE_COLUMNS):
+                    continue
+                cols = " | ".join(
+                    fmt(cell.get(c, 0.0), 0) for c in PRUNE_COLUMNS)
+                print(f"| {value} | {a} | {cols} |")
         print()
 
     if micro:
@@ -94,7 +149,6 @@ def main():
         print("|---|---|---|")
         for name, (ms, io) in micro.items():
             print(f"| {name} | {ms:.2f} | {fmt(io, 1)} |")
-        print()
 
 
 if __name__ == "__main__":

@@ -25,6 +25,13 @@ Gating policy (docs/PERF.md):
     on, measured back-to-back in one process) are gated the same way on
     --min-cache-speedup (default 2): repeated traversals must be at least
     2x faster with the cache (docs/STORAGE.md "Node cache").
+  * `trace_overhead` counters (same why-not workload timed with a
+    full-capacity TraceRecorder attached / with options.trace = nullptr,
+    back-to-back in one process) are hard-capped at --max-trace-overhead
+    (default 1.5): enabling tracing may never cost more than 50% on any
+    machine (docs/OBSERVABILITY.md). The cap applies to every
+    trace_overhead counter in the *current* run, whether or not the
+    baseline has the benchmark yet.
   * Wall-clock metrics (ns_per_op, avg_ms, scalar_ns, kernel_ns) vary with
     the machine; they only WARN unless --strict-time is given.
   * A benchmark present in the baseline but missing from the current run
@@ -52,6 +59,8 @@ TIME_METRICS = (
     "kernel_ns",
     "cache_on_ns",
     "cache_off_ns",
+    "untraced_ms",
+    "traced_ms",
 )
 
 
@@ -92,6 +101,12 @@ def main():
         type=float,
         default=2.0,
         help="absolute floor for every `cache_speedup` counter (default 2)",
+    )
+    parser.add_argument(
+        "--max-trace-overhead",
+        type=float,
+        default=1.5,
+        help="absolute cap for every `trace_overhead` counter (default 1.5)",
     )
     parser.add_argument(
         "--strict-time",
@@ -163,6 +178,17 @@ def main():
                         f"(> {args.tolerance:.0%} over baseline; wall-clock)"
                     )
                     (failures if args.strict_time else warnings).append(msg)
+
+    # Trace overhead is an absolute property of the build, not a drift from
+    # the baseline: cap it for every current benchmark that reports it, even
+    # before the baseline file has caught up.
+    for name, bench in sorted(cur.items()):
+        overhead = metric_values(bench).get("trace_overhead")
+        if overhead is not None and overhead > args.max_trace_overhead:
+            failures.append(
+                f"{name}: trace_overhead {overhead:.2f}x exceeds the cap "
+                f"{args.max_trace_overhead:.2f}x (tracing must stay cheap)"
+            )
 
     for msg in warnings:
         print(f"WARN  {msg}")

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Checks for the benchmark post-processing tools (stdlib unittest only).
+
+Covers the two report generators (bench_to_csv, bench_to_markdown) on both
+input kinds — bench console text and the `--json` machine format — with
+the pruning-effectiveness counters of docs/OBSERVABILITY.md, plus the
+trace-overhead cap in check_bench_regression.
+
+Run directly (tools/test_bench_tools.py) or through ctest
+(`ctest -R bench_tools_py`).
+"""
+
+import csv
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, TOOLS_DIR)
+
+import bench_to_csv  # noqa: E402
+
+CONSOLE_SAMPLE = """\
+Run on (8 X 4800 MHz CPU s)
+-------------------------------------------------------------------
+Benchmark                         Time             CPU   Iterations
+-------------------------------------------------------------------
+AdvancedBS/k0=10/iterations:1  12.1 ms     12.0 ms     1 avg_io=118 \
+avg_ms=6.05 avg_penalty=0.012 cand_eval=31 cand_filtered=12 \
+cand_pruned=140 cand_skipped=72 nodes_expanded=1.2k
+KcRBased/k0=10/iterations:1    8.4 ms      8.3 ms      1 avg_io=90 \
+avg_ms=4.2 avg_penalty=0.012 cand_eval=18 cand_filtered=0 \
+cand_pruned=165 cand_skipped=72 nodes_expanded=800
+BS/k0=10/iterations:1          80 ms       79 ms       1 avg_io=300 \
+avg_ms=40 avg_penalty=0.012 cand_eval=255 cand_filtered=0 \
+cand_pruned=0 cand_skipped=0 nodes_expanded=5k
+"""
+
+JSON_SAMPLE = {
+    "context": {"objects": 6000, "queries_per_point": 2},
+    "benchmarks": [
+        {
+            "name": "AdvancedBS/k0=10/iterations:1",
+            "iterations": 1,
+            "ns_per_op": 1.21e7,
+            "counters": {
+                "avg_io": 118.0,
+                "avg_ms": 6.05,
+                "avg_penalty": 0.012,
+                "cand_eval": 31.0,
+                "cand_filtered": 12.0,
+                "cand_pruned": 140.0,
+                "cand_skipped": 72.0,
+                "nodes_expanded": 1200.0,
+            },
+        },
+        {
+            "name": "TraceOverhead/AdvancedBS/iterations:1",
+            "iterations": 1,
+            "ns_per_op": 2.0e8,
+            "counters": {
+                "untraced_ms": 95.0,
+                "traced_ms": 100.0,
+                "trace_overhead": 1.05,
+            },
+        },
+    ],
+}
+
+
+def run_tool(script, *argv, expect_rc=0):
+    proc = subprocess.run(
+        [sys.executable, os.path.join(TOOLS_DIR, script), *argv],
+        capture_output=True,
+        text=True,
+    )
+    if expect_rc is not None and proc.returncode != expect_rc:
+        raise AssertionError(
+            f"{script} {' '.join(argv)} exited {proc.returncode}:\n"
+            f"{proc.stdout}{proc.stderr}"
+        )
+    return proc
+
+
+class LoadRowsTest(unittest.TestCase):
+    def test_console_rows_carry_all_counters(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = os.path.join(tmp, "bench_output.txt")
+            with open(src, "w") as f:
+                f.write(CONSOLE_SAMPLE)
+            rows = dict(bench_to_csv.load_rows(src))
+        self.assertIn("AdvancedBS/k0=10", rows)
+        adv = rows["AdvancedBS/k0=10"]
+        self.assertEqual(adv["cand_filtered"], 12.0)
+        self.assertEqual(adv["nodes_expanded"], 1200.0)  # k suffix
+        self.assertEqual(adv["avg_ms"], 6.05)
+
+    def test_json_rows_match_console_rows(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = os.path.join(tmp, "bench.json")
+            with open(src, "w") as f:
+                json.dump(JSON_SAMPLE, f)
+            rows = dict(bench_to_csv.load_rows(src))
+        self.assertEqual(rows["AdvancedBS/k0=10"]["cand_pruned"], 140.0)
+        self.assertEqual(
+            rows["TraceOverhead/AdvancedBS"]["trace_overhead"], 1.05
+        )
+
+
+class BenchToCsvTest(unittest.TestCase):
+    def test_emits_pruning_columns(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = os.path.join(tmp, "bench_output.txt")
+            with open(src, "w") as f:
+                f.write(CONSOLE_SAMPLE)
+            out_dir = os.path.join(tmp, "csv")
+            run_tool("bench_to_csv.py", src, out_dir)
+            with open(os.path.join(out_dir, "k0.csv")) as f:
+                table = list(csv.reader(f))
+        header, row = table[0], table[1]
+        # Paper metrics stay first in each algorithm group...
+        self.assertIn("AdvancedBS_ms", header)
+        self.assertIn("AdvancedBS_io", header)
+        self.assertIn("AdvancedBS_penalty", header)
+        # ...and the disposition partition rides along per algorithm.
+        for counter in ("cand_eval", "cand_filtered", "cand_skipped",
+                        "cand_pruned", "nodes_expanded"):
+            self.assertIn(f"AdvancedBS_{counter}", header)
+        self.assertEqual(row[header.index("k0")], "10")
+        self.assertEqual(
+            float(row[header.index("KcRBased_cand_pruned")]), 165.0
+        )
+
+    def test_json_input_produces_same_table(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = os.path.join(tmp, "bench.json")
+            with open(src, "w") as f:
+                json.dump(JSON_SAMPLE, f)
+            out_dir = os.path.join(tmp, "csv")
+            run_tool("bench_to_csv.py", src, out_dir)
+            with open(os.path.join(out_dir, "k0.csv")) as f:
+                table = list(csv.reader(f))
+        header = table[0]
+        self.assertIn("AdvancedBS_cand_filtered", header)
+        self.assertEqual(
+            float(table[1][header.index("AdvancedBS_cand_filtered")]), 12.0
+        )
+
+
+class BenchToMarkdownTest(unittest.TestCase):
+    def test_renders_pruning_table(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = os.path.join(tmp, "bench_output.txt")
+            with open(src, "w") as f:
+                f.write(CONSOLE_SAMPLE)
+            out = run_tool("bench_to_markdown.py", src).stdout
+        self.assertIn("### sweep: k0", out)
+        self.assertIn("### pruning: k0", out)
+        self.assertIn("cand_filtered", out)
+        # The unoptimized baseline row shows everything evaluated.
+        self.assertIn("| 10 | BS | 255 | 0 | 0 | 0 |", out)
+
+
+class TraceOverheadGateTest(unittest.TestCase):
+    def _check(self, overhead, expect_rc):
+        sample = json.loads(json.dumps(JSON_SAMPLE))
+        sample["benchmarks"][1]["counters"]["trace_overhead"] = overhead
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "kernels.json")
+            with open(path, "w") as f:
+                json.dump(sample, f)
+            # Self-comparison applies only the absolute gates, exactly as
+            # the CI trace-overhead step invokes the checker.
+            return run_tool(
+                "check_bench_regression.py", path, path,
+                expect_rc=expect_rc,
+            )
+
+    def test_overhead_below_cap_passes(self):
+        self._check(1.2, expect_rc=0)
+
+    def test_overhead_above_cap_fails(self):
+        proc = self._check(2.1, expect_rc=1)
+        self.assertIn("trace_overhead", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

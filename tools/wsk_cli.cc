@@ -12,6 +12,18 @@
 //   explain   --data FILE --x X --y Y --keywords "a b c" --missing ID
 //             [--k K] [--alpha A]
 //       Explain why an object is (not) in the result.
+//   trace     --data FILE --x X --y Y --keywords "a b c" --missing ID
+//             [--missing ID ...] [--k K] [--alpha A] [--lambda L]
+//             [--algorithm bs|advanced|kcr] [--threads T] [--out FILE]
+//       Run a why-not query with tracing enabled, write a Chrome
+//       trace-event JSON profile (load it at https://ui.perfetto.dev),
+//       explain each missing object into the trace, and print the
+//       per-stage/per-counter summary (docs/OBSERVABILITY.md).
+//   statsz    --data FILE (--queries FILE | --random N) [--workers W]
+//             [--queue Q] [--inflight I] [--timeout-ms T] [--cache N]
+//             [--repeat R] [--seed S]
+//       Replay a workload through the QueryService and print the
+//       Prometheus text exposition of its metrics registry.
 //   serve     --data FILE (--queries FILE | --random N) [--workers W]
 //             [--queue Q] [--inflight I] [--timeout-ms T] [--cache N]
 //             [--repeat R] [--seed S]
@@ -44,6 +56,7 @@
 #include "core/explain.h"
 #include "data/dataset_io.h"
 #include "data/generator.h"
+#include "observability/trace.h"
 #include "service/query_service.h"
 
 namespace {
@@ -99,9 +112,11 @@ class Args {
 };
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: wsk_cli <generate|topk|whynot|explain|serve> [--flags]\n"
-               "see the header of tools/wsk_cli.cc for details\n");
+  std::fprintf(
+      stderr,
+      "usage: wsk_cli <generate|topk|whynot|explain|trace|statsz|serve> "
+      "[--flags]\n"
+      "see the header of tools/wsk_cli.cc for details\n");
   return 2;
 }
 
@@ -300,15 +315,6 @@ int Explain(const Args& args) {
   return 0;
 }
 
-// One parsed workload request for the serve subcommand.
-struct ServeRequest {
-  bool is_whynot = false;
-  SpatialKeywordQuery query;
-  WhyNotAlgorithm algorithm = WhyNotAlgorithm::kKcrBased;
-  std::vector<ObjectId> missing;
-  WhyNotOptions options;
-};
-
 bool ParseAlgorithmName(const std::string& name, WhyNotAlgorithm* algorithm) {
   if (name == "bs") {
     *algorithm = WhyNotAlgorithm::kBasic;
@@ -321,6 +327,74 @@ bool ParseAlgorithmName(const std::string& name, WhyNotAlgorithm* algorithm) {
   }
   return true;
 }
+
+int Trace(const Args& args) {
+  std::unique_ptr<Dataset> dataset = LoadData(args);
+  if (dataset == nullptr) return 1;
+  SpatialKeywordQuery query;
+  if (!ParseQuery(args, *dataset, &query)) return 2;
+
+  std::vector<ObjectId> missing;
+  for (const std::string& v : args.GetAll("missing")) {
+    missing.push_back(
+        static_cast<ObjectId>(std::strtoul(v.c_str(), nullptr, 10)));
+  }
+  if (missing.empty()) {
+    std::fprintf(stderr, "trace requires at least one --missing ID\n");
+    return 2;
+  }
+
+  WhyNotAlgorithm algorithm = WhyNotAlgorithm::kKcrBased;
+  if (!ParseAlgorithmName(args.Get("algorithm", "kcr"), &algorithm)) {
+    std::fprintf(stderr, "unknown --algorithm %s (bs|advanced|kcr)\n",
+                 args.Get("algorithm", "kcr"));
+    return 2;
+  }
+
+  WhyNotOptions options;
+  options.lambda = args.GetDouble("lambda", 0.5);
+  options.num_threads = static_cast<int>(args.GetLong("threads", 0));
+  options.sample_size = static_cast<uint32_t>(args.GetLong("sample", 0));
+  TraceRecorder recorder;
+  options.trace = &recorder;
+
+  auto engine_or = WhyNotEngine::Build(dataset.get(), {});
+  if (!engine_or.ok()) return Fail(engine_or.status());
+  auto engine = std::move(engine_or).value();
+
+  auto result_or = engine->Answer(algorithm, query, missing, options);
+  if (!result_or.ok()) return Fail(result_or.status());
+  const WhyNotResult& result = result_or.value();
+
+  // One annotation per missing object explaining its standing.
+  for (ObjectId id : missing) {
+    auto explanation = ExplainMiss(*engine, query, id, &recorder);
+    if (!explanation.ok()) return Fail(explanation.status());
+  }
+
+  const char* out = args.Get("out", "trace.json");
+  const Status written = recorder.WriteChromeTrace(out);
+  if (!written.ok()) return Fail(written);
+
+  std::printf("algorithm:    %s\n", WhyNotAlgorithmName(algorithm));
+  std::printf("refined doc': %s, k' = %u (penalty %.4f)\n",
+              FormatDoc(*dataset, result.refined.doc).c_str(),
+              result.refined.k, result.refined.penalty);
+  std::printf("trace:        %zu events (%llu dropped) -> %s\n",
+              recorder.num_events(),
+              static_cast<unsigned long long>(recorder.dropped_events()), out);
+  std::printf("%s", recorder.Summary().c_str());
+  return 0;
+}
+
+// One parsed workload request for the serve subcommand.
+struct ServeRequest {
+  bool is_whynot = false;
+  SpatialKeywordQuery query;
+  WhyNotAlgorithm algorithm = WhyNotAlgorithm::kKcrBased;
+  std::vector<ObjectId> missing;
+  WhyNotOptions options;
+};
 
 // Resolves whitespace-separated keyword strings (the rest of `line_in`)
 // against the dataset vocabulary; unknown words are skipped.
@@ -435,41 +509,54 @@ std::vector<ServeRequest> RandomWorkload(size_t count, const Dataset& dataset,
   return requests;
 }
 
-int Serve(const Args& args) {
-  std::unique_ptr<Dataset> dataset = LoadData(args);
-  if (dataset == nullptr) return 1;
-
-  std::vector<ServeRequest> requests;
+// Builds the serve/statsz workload from --queries or --random. Returns
+// false on a usage error (after printing it).
+bool BuildWorkload(const Args& args, const Dataset& dataset, const char* cmd,
+                   std::vector<ServeRequest>* requests) {
   if (const char* queries = args.Get("queries")) {
-    if (!LoadQueryFile(queries, *dataset, &requests)) return 2;
+    if (!LoadQueryFile(queries, dataset, requests)) return false;
   } else if (args.Has("random")) {
     const long n = args.GetLong("random", 100);
     if (n <= 0) {
       std::fprintf(stderr, "--random requires a positive count\n");
-      return 2;
+      return false;
     }
-    requests = RandomWorkload(static_cast<size_t>(n), *dataset,
-                              static_cast<uint64_t>(args.GetLong("seed", 42)));
+    *requests =
+        RandomWorkload(static_cast<size_t>(n), dataset,
+                       static_cast<uint64_t>(args.GetLong("seed", 42)));
   } else {
-    std::fprintf(stderr, "serve requires --queries FILE or --random N\n");
-    return 2;
+    std::fprintf(stderr, "%s requires --queries FILE or --random N\n", cmd);
+    return false;
   }
-  if (requests.empty()) {
+  if (requests->empty()) {
     std::fprintf(stderr, "empty workload\n");
-    return 2;
+    return false;
   }
+  return true;
+}
 
-  auto engine_or = WhyNotEngine::Build(dataset.get(), {});
-  if (!engine_or.ok()) return Fail(engine_or.status());
-  auto engine = std::move(engine_or).value();
-
+QueryServiceConfig ServiceConfigFromArgs(const Args& args) {
   QueryServiceConfig config;
   config.num_workers = static_cast<int>(args.GetLong("workers", 4));
   config.max_queue = static_cast<size_t>(args.GetLong("queue", 0));
   config.max_inflight = static_cast<size_t>(args.GetLong("inflight", 0));
   config.default_timeout_ms = args.GetDouble("timeout-ms", 0.0);
   config.cache_capacity = static_cast<size_t>(args.GetLong("cache", 1024));
-  QueryService service(engine.get(), config);
+  return config;
+}
+
+int Serve(const Args& args) {
+  std::unique_ptr<Dataset> dataset = LoadData(args);
+  if (dataset == nullptr) return 1;
+
+  std::vector<ServeRequest> requests;
+  if (!BuildWorkload(args, *dataset, "serve", &requests)) return 2;
+
+  auto engine_or = WhyNotEngine::Build(dataset.get(), {});
+  if (!engine_or.ok()) return Fail(engine_or.status());
+  auto engine = std::move(engine_or).value();
+
+  QueryService service(engine.get(), ServiceConfigFromArgs(args));
 
   const long repeat = args.GetLong("repeat", 1);
   std::vector<std::future<StatusOr<QueryService::TopKResponse>>> topk_futures;
@@ -515,6 +602,37 @@ int Serve(const Args& args) {
   return by_code.size() == 1 && by_code.count(StatusCode::kOk) == 1 ? 0 : 1;
 }
 
+int Statsz(const Args& args) {
+  std::unique_ptr<Dataset> dataset = LoadData(args);
+  if (dataset == nullptr) return 1;
+
+  std::vector<ServeRequest> requests;
+  if (!BuildWorkload(args, *dataset, "statsz", &requests)) return 2;
+
+  auto engine_or = WhyNotEngine::Build(dataset.get(), {});
+  if (!engine_or.ok()) return Fail(engine_or.status());
+  auto engine = std::move(engine_or).value();
+
+  QueryService service(engine.get(), ServiceConfigFromArgs(args));
+
+  const long repeat = args.GetLong("repeat", 1);
+  bool all_ok = true;
+  for (long r = 0; r < repeat; ++r) {
+    for (const ServeRequest& req : requests) {
+      if (req.is_whynot) {
+        all_ok &= service
+                      .WhyNot(req.algorithm, req.query, req.missing,
+                              req.options)
+                      .ok();
+      } else {
+        all_ok &= service.TopK(req.query).ok();
+      }
+    }
+  }
+  std::printf("%s", service.PrometheusReport().c_str());
+  return all_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -526,6 +644,8 @@ int main(int argc, char** argv) {
   if (command == "topk") return TopK(args);
   if (command == "whynot") return WhyNot(args);
   if (command == "explain") return Explain(args);
+  if (command == "trace") return Trace(args);
+  if (command == "statsz") return Statsz(args);
   if (command == "serve") return Serve(args);
   return Usage();
 }
