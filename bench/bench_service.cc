@@ -13,12 +13,22 @@
 // Wall-clock scaling beyond the machine's core count is not expected; on a
 // single-core container the series stays flat (EXPERIMENTS.md discusses
 // this hardware substitution).
+//
+// The streaming-ingest series (service/ingest/...) measures the live
+// backend (docs/SEGMENTS.md): a SegmentedEngine absorbing a stream of
+// inserts through the service while top-k queries run against it, with
+// background compaction on and off. Counters:
+//   insert_rate     mutations / wall second
+//   p99_ms          service-side top-k latency under ingest
+//   merges          background compactions completed during the run
 #include <algorithm>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "common/rng.h"
 #include "common/timer.h"
+#include "segment/segmented_engine.h"
 #include "service/query_service.h"
 
 namespace {
@@ -112,6 +122,74 @@ void RunService(benchmark::State& state, int workers) {
   }
 }
 
+// Streaming ingest against the live backend. Inserts stream through the
+// service's mutation path on the bench thread (the backend serializes
+// writers anyway) with a top-k query submitted every few inserts, so the
+// latency histogram reflects queries racing rotations and merges.
+void RunIngest(benchmark::State& state, bool auto_merge) {
+  const Dataset& seed = SharedEngine().dataset();
+  const MixedWorkload& workload = SharedWorkload();
+  // Keyword strings drawn from the seed vocabulary so inserted objects
+  // interact with the query terms.
+  std::vector<std::string> terms;
+  for (TermId t = 0; t < std::min(seed.vocabulary().num_terms(), 256u); ++t) {
+    terms.push_back(seed.vocabulary().TermString(t));
+  }
+  const uint32_t num_inserts =
+      std::max(500u, EnvObjects() / 8);  // scale with the dataset knob
+
+  for (auto _ : state) {
+    SegmentedEngine::Config engine_config;
+    // Size the delta so the stream forces ~8 rotations regardless of the
+    // WSK_BENCH_OBJECTS knob — otherwise merge:on never actually merges.
+    engine_config.delta_capacity = std::max(64u, num_inserts / 8);
+    engine_config.auto_merge = auto_merge;
+    auto engine = SegmentedEngine::Build(seed, engine_config).value();
+
+    QueryServiceConfig config;
+    config.num_workers = 2;
+    config.max_queue = 0;
+    config.max_inflight = 0;
+    config.cache_capacity = 0;  // every query hits the engine
+    QueryService service(engine.get(), config);
+
+    std::vector<std::future<StatusOr<QueryService::TopKResponse>>> qf;
+    Rng rng(0x1236e57);
+    Timer wall;
+    for (uint32_t i = 0; i < num_inserts; ++i) {
+      const uint64_t r = rng.Next();
+      const auto inserted = service.Insert(
+          Point{rng.NextDouble(), rng.NextDouble()},
+          {terms[r % terms.size()], terms[(r >> 20) % terms.size()]});
+      WSK_CHECK_MSG(inserted.ok(), "%s",
+                    inserted.status().ToString().c_str());
+      if (i % 8 == 0) {
+        qf.push_back(service.SubmitTopK(
+            workload.topk[(i / 8) % workload.topk.size()]));
+      }
+    }
+    for (auto& f : qf) {
+      const auto r = f.get();
+      WSK_CHECK_MSG(r.ok(), "%s", r.status().ToString().c_str());
+    }
+    const double wall_s = wall.ElapsedSeconds();
+    if (auto_merge) {
+      // Join any in-flight background merge (outside the timed window) so
+      // the merges counter reflects completed compactions, not a race with
+      // the worker; this adds at most one final catch-up pass.
+      WSK_CHECK(engine->ForceMerge().ok());
+    }
+
+    const LatencyHistogram::Snapshot topk_lat =
+        service.metrics().histogram("latency.topk.ms").TakeSnapshot();
+    const SegmentCountersSnapshot seg = engine->segment_counters();
+    state.counters["insert_rate"] = static_cast<double>(num_inserts) /
+                                    (wall_s > 0.0 ? wall_s : 1e-9);
+    state.counters["p99_ms"] = topk_lat.p99_ms;
+    state.counters["merges"] = static_cast<double>(seg.merges);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -120,6 +198,15 @@ int main(int argc, char** argv) {
     benchmark::RegisterBenchmark(
         name.c_str(),
         [workers](benchmark::State& state) { RunService(state, workers); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  for (bool merge : {true, false}) {
+    const std::string name =
+        std::string("service/ingest/merge:") + (merge ? "on" : "off");
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [merge](benchmark::State& state) { RunIngest(state, merge); })
         ->Iterations(1)
         ->Unit(benchmark::kMillisecond);
   }

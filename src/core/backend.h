@@ -1,0 +1,111 @@
+// QueryBackend: the servable surface the service layer runs against.
+//
+// Two implementations exist: WhyNotEngine (a frozen dataset, bulk-loaded
+// trees, no mutations) and SegmentedEngine (src/segment/: a live dataset
+// with a mutable delta segment and background merge). QueryService talks
+// only to this interface, so the same front end serves both
+// (docs/SERVICE.md, docs/SEGMENTS.md).
+#ifndef WSK_CORE_BACKEND_H_
+#define WSK_CORE_BACKEND_H_
+
+#include <string>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/status.h"
+#include "core/whynot.h"
+#include "data/dataset.h"
+#include "data/query.h"
+#include "observability/trace.h"
+#include "storage/node_cache.h"
+
+namespace wsk {
+
+enum class WhyNotAlgorithm {
+  kBasic,     // BS
+  kAdvanced,  // AdvancedBS
+  kKcrBased,  // KcRBased
+};
+
+const char* WhyNotAlgorithmName(WhyNotAlgorithm algorithm);
+
+// Point-in-time view of the backend's cumulative I/O counters, split by
+// index family. Monotonic across the backend's lifetime — a segmented
+// backend folds retired segments' totals into these numbers so counters
+// never run backwards across a merge.
+struct BackendIoSnapshot {
+  uint64_t setr_physical = 0;
+  uint64_t kcr_physical = 0;
+  uint64_t setr_logical = 0;
+  uint64_t kcr_logical = 0;
+  uint64_t setr_cache_hits = 0;
+  uint64_t kcr_cache_hits = 0;
+  uint64_t setr_cache_misses = 0;
+  uint64_t kcr_cache_misses = 0;
+};
+
+// Live-dataset counters for the segment subsystem; `valid` is false on
+// frozen backends (the segment.* metrics lines are omitted).
+struct SegmentCountersSnapshot {
+  bool valid = false;
+  uint64_t inserts = 0;
+  uint64_t updates = 0;
+  uint64_t deletes = 0;
+  uint64_t merges = 0;
+  uint64_t rotations = 0;
+  uint64_t segments_retired = 0;
+  uint64_t frozen_segments = 0;  // gauge
+  uint64_t delta_objects = 0;    // gauge (active + sealed deltas)
+  uint64_t live_objects = 0;     // gauge
+};
+
+class QueryBackend {
+ public:
+  virtual ~QueryBackend() = default;
+
+  // Query surface; const methods are safe for concurrent callers.
+  virtual StatusOr<std::vector<ScoredObject>> TopK(
+      const SpatialKeywordQuery& query, const CancelToken* cancel = nullptr,
+      TraceRecorder* trace = nullptr) const = 0;
+  virtual StatusOr<WhyNotResult> Answer(
+      WhyNotAlgorithm algorithm, const SpatialKeywordQuery& query,
+      const std::vector<ObjectId>& missing,
+      const WhyNotOptions& options) const = 0;
+
+  virtual BackendIoSnapshot io_snapshot() const = 0;
+
+  // The shared decoded-node cache, or nullptr when disabled.
+  virtual NodeCache* node_cache() const { return nullptr; }
+
+  // Strictly increases with every applied mutation. Result-cache
+  // fingerprints mix this in, so a cached answer can never be served after
+  // the dataset changed (the invalidation contract, docs/SERVICE.md).
+  // Frozen backends return a constant.
+  virtual uint64_t dataset_version() const { return 0; }
+
+  // Dataset lifecycle. Mutations are const like the query surface (the
+  // "const = thread-safe" convention); read-only backends reject them.
+  virtual StatusOr<ObjectId> Insert(
+      Point loc, const std::vector<std::string>& keywords) const {
+    (void)loc;
+    (void)keywords;
+    return Status::FailedPrecondition("backend is read-only");
+  }
+  virtual Status Update(ObjectId id, Point loc,
+                        const std::vector<std::string>& keywords) const {
+    (void)id;
+    (void)loc;
+    (void)keywords;
+    return Status::FailedPrecondition("backend is read-only");
+  }
+  virtual Status Delete(ObjectId id) const {
+    (void)id;
+    return Status::FailedPrecondition("backend is read-only");
+  }
+
+  virtual SegmentCountersSnapshot segment_counters() const { return {}; }
+};
+
+}  // namespace wsk
+
+#endif  // WSK_CORE_BACKEND_H_

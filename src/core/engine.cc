@@ -183,6 +183,21 @@ StatusOr<ObjectId> WhyNotEngine::ObjectAtPosition(
   return next->id;
 }
 
+BackendIoSnapshot WhyNotEngine::io_snapshot() const {
+  const IoStats& setr = setr_pager_->io_stats();
+  const IoStats& kcr = kcr_pager_->io_stats();
+  BackendIoSnapshot snap;
+  snap.setr_physical = setr.physical_reads();
+  snap.kcr_physical = kcr.physical_reads();
+  snap.setr_logical = setr.logical_reads();
+  snap.kcr_logical = kcr.logical_reads();
+  snap.setr_cache_hits = setr.node_cache_hits();
+  snap.kcr_cache_hits = kcr.node_cache_hits();
+  snap.setr_cache_misses = setr.node_cache_misses();
+  snap.kcr_cache_misses = kcr.node_cache_misses();
+  return snap;
+}
+
 Status WhyNotEngine::DropCaches() const {
   WSK_CHECK_MSG(inflight_queries() == 0,
                 "DropCaches requires exclusive access (%d queries in flight)",

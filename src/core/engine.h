@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/cancel.h"
+#include "core/backend.h"
 #include "core/whynot.h"
 #include "data/dataset.h"
 #include "data/query.h"
@@ -27,15 +28,7 @@
 
 namespace wsk {
 
-enum class WhyNotAlgorithm {
-  kBasic,     // BS
-  kAdvanced,  // AdvancedBS
-  kKcrBased,  // KcRBased
-};
-
-const char* WhyNotAlgorithmName(WhyNotAlgorithm algorithm);
-
-class WhyNotEngine {
+class WhyNotEngine : public QueryBackend {
  public:
   struct Config {
     std::string work_dir = "/tmp";        // index files land here
@@ -85,14 +78,14 @@ class WhyNotEngine {
   StatusOr<WhyNotResult> Answer(WhyNotAlgorithm algorithm,
                                 const SpatialKeywordQuery& query,
                                 const std::vector<ObjectId>& missing,
-                                const WhyNotOptions& options) const;
+                                const WhyNotOptions& options) const override;
 
   // Spatial keyword top-k over the SetR-tree. `cancel` (optional,
   // borrowed) aborts the traversal at node-visit granularity; `trace`
   // (optional, borrowed) records the traversal span and node counters.
   StatusOr<std::vector<ScoredObject>> TopK(
       const SpatialKeywordQuery& query, const CancelToken* cancel = nullptr,
-      TraceRecorder* trace = nullptr) const;
+      TraceRecorder* trace = nullptr) const override;
 
   // R(object, query) per Eqn 3.
   StatusOr<uint32_t> Rank(const SpatialKeywordQuery& query,
@@ -115,7 +108,10 @@ class WhyNotEngine {
 
   // The shared decoded-node cache, or nullptr when disabled
   // (config.node_cache_bytes == 0).
-  NodeCache* node_cache() const { return node_cache_.get(); }
+  NodeCache* node_cache() const override { return node_cache_.get(); }
+
+  // QueryBackend I/O view: the two pagers' cumulative counters.
+  BackendIoSnapshot io_snapshot() const override;
 
   const Dataset& dataset() const { return *dataset_; }
   const SetRTree& setr_tree() const { return *setr_tree_; }

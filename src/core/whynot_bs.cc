@@ -53,7 +53,8 @@ struct SharedState {
 
 // Evaluates candidate `cand` (enumeration position `order`) and updates the
 // shared state. Returns non-OK only on I/O failure.
-Status EvaluateCandidate(const Dataset& dataset, const SetRTree& tree,
+Status EvaluateCandidate(const ObjectStore& store, const TopKSource& source,
+                         double diagonal,
                          const SpatialKeywordQuery& original,
                          const MissingSet& missing,
                          const WhyNotScorer& scorer, const PenaltyModel& pm,
@@ -118,9 +119,8 @@ Status EvaluateCandidate(const Dataset& dataset, const SetRTree& tree,
   const bool kernel = scorer.kernel_enabled();
   const CandidateMask cand_mask =
       kernel ? scorer.universe().MaskOf(cand.doc) : 0;
-  const double min_score = kernel
-                               ? scorer.MinScore(cand_mask)
-                               : missing.MinScore(refined, tree.diagonal());
+  const double min_score = kernel ? scorer.MinScore(cand_mask)
+                                  : missing.MinScore(refined, diagonal);
 
   // Opt3: prune the candidate before running its query — immediately when
   // no rank can beat p_c (the Eqn 6 bound again, so it counts as a bound
@@ -141,9 +141,10 @@ Status EvaluateCandidate(const Dataset& dataset, const SetRTree& tree,
     int64_t still_dominating = 0;
     uint64_t probes = 0;
     for (ObjectId id : snapshot) {
-      const double score =
-          kernel ? scorer.ObjectScore(id, cand_mask)
-                 : Score(dataset.object(id), refined, tree.diagonal());
+      const double score = kernel
+                               ? scorer.ObjectScore(id, cand_mask)
+                               : Score(*store.FindObject(id), refined,
+                                       diagonal);
       ++probes;
       if (score > min_score) ++still_dominating;
       if (still_dominating >= rank_bound) break;
@@ -169,7 +170,7 @@ Status EvaluateCandidate(const Dataset& dataset, const SetRTree& tree,
   std::vector<ObjectId> dominators;
   uint64_t rank_nodes = 0;
   StatusOr<uint32_t> rank = RankFromIndex(
-      tree, refined, min_score, rank_limit, &exceeded,
+      source, refined, min_score, rank_limit, &exceeded,
       options.opt_keyword_filtering ? &dominators : nullptr, options.cancel,
       options.use_node_cache, options.trace, &rank_nodes);
   if (!rank.ok()) return rank.status();
@@ -204,28 +205,28 @@ Status EvaluateCandidate(const Dataset& dataset, const SetRTree& tree,
 
 }  // namespace
 
-StatusOr<WhyNotResult> AnswerWhyNotBasic(const Dataset& dataset,
-                                         const SetRTree& tree,
+StatusOr<WhyNotResult> AnswerWhyNotBasic(const ObjectStore& store,
+                                         const TopKSource& source,
+                                         double diagonal,
                                          const SpatialKeywordQuery& original,
                                          const std::vector<ObjectId>& missing,
                                          const WhyNotOptions& options) {
   Timer timer;
   WSK_RETURN_IF_ERROR(internal::ValidateWhyNotInput(original, missing, options,
-                                                    dataset.size()));
-  StatusOr<MissingSet> built = MissingSet::Build(dataset, missing);
+                                                    store.num_objects()));
+  StatusOr<MissingSet> built = MissingSet::Build(store, missing);
   if (!built.ok()) return built.status();
   const MissingSet missing_set = std::move(built).value();
 
   WhyNotResult result;
 
   // Step 1: R(M, q) under the original query.
-  const double initial_min_score =
-      missing_set.MinScore(original, tree.diagonal());
+  const double initial_min_score = missing_set.MinScore(original, diagonal);
   bool exceeded = false;
   StatusOr<uint32_t> initial_rank = Status::Internal("unreachable");
   {
     TraceSpan span(options.trace, TraceStage::kInitialRank);
-    initial_rank = RankFromIndex(tree, original, initial_min_score,
+    initial_rank = RankFromIndex(source, original, initial_min_score,
                                  /*limit=*/0, &exceeded, nullptr,
                                  options.cancel, options.use_node_cache,
                                  options.trace,
@@ -248,10 +249,10 @@ StatusOr<WhyNotResult> AnswerWhyNotBasic(const Dataset& dataset,
   const uint64_t enum_start_us =
       options.trace != nullptr ? options.trace->NowUs() : 0;
   CandidateEnumerator enumerator(original.doc, missing_set.docs,
-                                 dataset.vocabulary());
+                                 store.vocabulary());
   const PenaltyModel pm(options.lambda, original.k, initial_rank.value(),
                         enumerator.universe_size());
-  const WhyNotScorer scorer(dataset, missing_set, original, tree.diagonal(),
+  const WhyNotScorer scorer(store, missing_set, original, diagonal,
                             enumerator.universe(), options.use_score_kernel);
 
   SharedState state;
@@ -288,9 +289,9 @@ StatusOr<WhyNotResult> AnswerWhyNotBasic(const Dataset& dataset,
           return;
         }
       }
-      Status s = EvaluateCandidate(dataset, tree, original, missing_set,
-                                   scorer, pm, options, candidates[i], i,
-                                   &state);
+      Status s = EvaluateCandidate(store, source, diagonal, original,
+                                   missing_set, scorer, pm, options,
+                                   candidates[i], i, &state);
       if (!s.ok()) {
         std::lock_guard<std::mutex> lock(status_mu);
         if (worker_status.ok()) worker_status = s;

@@ -19,15 +19,29 @@
 namespace wsk {
 
 // Answers the keyword-adapted why-not query (Definition 2) by candidate
-// enumeration over the SetR-tree. `missing` must be non-empty; the missing
-// objects must not already rank within the original top-k (if they do, the
-// result reports already_in_result). The original query's doc must be
-// non-empty and alpha strictly inside (0, 1).
-StatusOr<WhyNotResult> AnswerWhyNotBasic(const Dataset& dataset,
-                                         const SetRTree& tree,
+// enumeration over any best-first top-k source. `missing` must be
+// non-empty; the missing objects must not already rank within the original
+// top-k (if they do, the result reports already_in_result). The original
+// query's doc must be non-empty and alpha strictly inside (0, 1).
+//
+// The generalized form runs over (object store, top-k source, diagonal) so
+// the same implementation serves a single frozen SetR-tree and a live
+// multi-segment snapshot (docs/SEGMENTS.md).
+StatusOr<WhyNotResult> AnswerWhyNotBasic(const ObjectStore& store,
+                                         const TopKSource& source,
+                                         double diagonal,
                                          const SpatialKeywordQuery& original,
                                          const std::vector<ObjectId>& missing,
                                          const WhyNotOptions& options);
+
+// Single-tree convenience used by the frozen-dataset engine and tests.
+inline StatusOr<WhyNotResult> AnswerWhyNotBasic(
+    const Dataset& dataset, const SetRTree& tree,
+    const SpatialKeywordQuery& original, const std::vector<ObjectId>& missing,
+    const WhyNotOptions& options) {
+  return AnswerWhyNotBasic(dataset, tree, tree.diagonal(), original, missing,
+                           options);
+}
 
 }  // namespace wsk
 

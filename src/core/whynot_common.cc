@@ -2,23 +2,25 @@
 
 #include <algorithm>
 
+#include "common/macros.h"
+
 namespace wsk::internal {
 
-StatusOr<MissingSet> MissingSet::Build(const Dataset& dataset,
+StatusOr<MissingSet> MissingSet::Build(const ObjectStore& store,
                                        const std::vector<ObjectId>& missing) {
   MissingSet set;
   for (ObjectId id : missing) {
-    if (id >= dataset.size()) {
+    const SpatialObject* o = store.FindObject(id);
+    if (o == nullptr) {
       return Status::InvalidArgument("missing object id out of range");
     }
     if (std::find(set.ids.begin(), set.ids.end(), id) != set.ids.end()) {
       continue;  // ignore duplicates
     }
-    const SpatialObject& o = dataset.object(id);
     set.ids.push_back(id);
-    set.locs.push_back(o.loc);
-    set.docs.push_back(&o.doc);
-    set.union_doc = set.union_doc.Union(o.doc);
+    set.locs.push_back(o->loc);
+    set.docs.push_back(&o->doc);
+    set.union_doc = set.union_doc.Union(o->doc);
   }
   if (set.ids.empty()) {
     return Status::InvalidArgument("missing object set is empty");
@@ -39,11 +41,11 @@ double MissingSet::MinScore(const SpatialKeywordQuery& query,
   return min_score;
 }
 
-WhyNotScorer::WhyNotScorer(const Dataset& dataset, const MissingSet& missing,
+WhyNotScorer::WhyNotScorer(const ObjectStore& store, const MissingSet& missing,
                            const SpatialKeywordQuery& original,
                            double diagonal, const KeywordSet& universe,
                            bool enable_kernel)
-    : dataset_(dataset),
+    : store_(store),
       query_loc_(original.loc),
       diagonal_(diagonal),
       alpha_(original.alpha),
@@ -82,11 +84,12 @@ double WhyNotScorer::ObjectScore(ObjectId id, CandidateMask cand) const {
       return alpha_ * (1.0 - it->second.sdist) + (1.0 - alpha_) * tsim;
     }
   }
-  const SpatialObject& o = dataset_.object(id);
+  const SpatialObject* o = store_.FindObject(id);
+  WSK_CHECK(o != nullptr);
   ObjectEntry entry;
-  entry.fp = universe_.FootprintOf(o.doc);
+  entry.fp = universe_.FootprintOf(o->doc);
   // Mirrors Score(): sdist normalized against the same diagonal.
-  entry.sdist = Distance(o.loc, query_loc_) / diagonal_;
+  entry.sdist = Distance(o->loc, query_loc_) / diagonal_;
   const double tsim = ScoreCandidate(entry.fp, cand, model_);
   const double score =
       alpha_ * (1.0 - entry.sdist) + (1.0 - alpha_) * tsim;

@@ -19,10 +19,10 @@ namespace wsk::internal {
 struct MissingSet {
   std::vector<ObjectId> ids;
   std::vector<Point> locs;
-  std::vector<const KeywordSet*> docs;  // borrowed from the dataset
+  std::vector<const KeywordSet*> docs;  // borrowed from the store
   KeywordSet union_doc;                 // M.doc
 
-  static StatusOr<MissingSet> Build(const Dataset& dataset,
+  static StatusOr<MissingSet> Build(const ObjectStore& store,
                                     const std::vector<ObjectId>& missing);
 
   size_t size() const { return ids.size(); }
@@ -43,7 +43,7 @@ class WhyNotScorer {
  public:
   // `universe` is the enumerator's doc0 ∪ M.doc: every candidate mask
   // passed to the scoring methods must be a subset of it.
-  WhyNotScorer(const Dataset& dataset, const MissingSet& missing,
+  WhyNotScorer(const ObjectStore& store, const MissingSet& missing,
                const SpatialKeywordQuery& original, double diagonal,
                const KeywordSet& universe, bool enable_kernel);
 
@@ -77,7 +77,7 @@ class WhyNotScorer {
     double sdist = 0.0;
   };
 
-  const Dataset& dataset_;
+  const ObjectStore& store_;
   CandidateUniverse universe_;
   Point query_loc_;
   double diagonal_ = 1.0;

@@ -49,8 +49,10 @@ struct CandState {
 
 // A frontier node awaiting expansion, with the dominator bounds it
 // currently contributes to every candidate (flattened [cand][missing]).
+// `source` indexes the segment the page belongs to.
 struct QueueNode {
   PageId page = kInvalidPageId;
+  uint32_t source = 0;
   double priority = 0.0;  // total hi-lo gap at enqueue time
   std::vector<int64_t> hi;
   std::vector<int64_t> lo;
@@ -59,9 +61,18 @@ struct QueueNode {
 struct QueueNodeLess {
   bool operator()(const QueueNode& a, const QueueNode& b) const {
     if (a.priority != b.priority) return a.priority < b.priority;
-    return a.page > b.page;  // deterministic
+    if (a.source != b.source) return a.source > b.source;  // deterministic
+    return a.page > b.page;
   }
 };
+
+// MinDom slack for tombstones: any of the segment's `shadow` hidden objects
+// might lie below this node, so the certain-dominator count can only be
+// trusted down to lo - shadow (clamped at zero). Never applied to MaxDom —
+// hiding objects cannot create dominators.
+int64_t ClampLo(int64_t lo, uint32_t shadow) {
+  return std::max<int64_t>(0, lo - static_cast<int64_t>(shadow));
+}
 
 // The currently best refined query and pruning threshold p_c, shared (and
 // synchronized) across parallel batch workers as in Section VII-B7.
@@ -123,14 +134,13 @@ class BestTracker {
 
 class KcrBatchRunner {
  public:
-  KcrBatchRunner(const Dataset& dataset, const KcrTree& tree,
+  KcrBatchRunner(const KcrMultiSource& src,
                  const SpatialKeywordQuery& original,
                  const MissingSet& missing, const WhyNotScorer& scorer,
                  const PenaltyModel& pm, WhyNotStats* stats,
                  const CancelToken* cancel, bool use_node_cache,
                  TraceRecorder* trace)
-      : dataset_(dataset),
-        tree_(tree),
+      : src_(src),
         original_(original),
         missing_(missing),
         scorer_(scorer),
@@ -139,14 +149,14 @@ class KcrBatchRunner {
         cancel_(cancel),
         use_node_cache_(use_node_cache),
         trace_(trace) {
-    const double diagonal = tree.diagonal();
     dom_ctx_.reserve(missing.size());
     for (size_t i = 0; i < missing.size(); ++i) {
       DomContext ctx;
       ctx.query_loc = original.loc;
       ctx.alpha = original.alpha;
-      ctx.diagonal = diagonal;
-      ctx.missing_sdist = Distance(missing.locs[i], original.loc) / diagonal;
+      ctx.diagonal = src.diagonal;
+      ctx.missing_sdist =
+          Distance(missing.locs[i], original.loc) / src.diagonal;
       dom_ctx_.push_back(ctx);
     }
   }
@@ -159,19 +169,22 @@ class KcrBatchRunner {
  private:
   // Evaluates the node-level bounds for one candidate, one missing object.
   // `uc` carries the node's universe-term counts when the kernel is on
-  // (nullptr selects the scalar count-map path).
+  // (nullptr selects the scalar count-map path). `shadow` is the owning
+  // segment's tombstone count (MinDom slack).
   void NodeBounds(const NodeDomStats& stats, const NodeUniverseCounts* uc,
-                  const CandState& cand, size_t i, int64_t* hi,
-                  int64_t* lo) const {
+                  const CandState& cand, size_t i, uint32_t shadow,
+                  int64_t* hi, int64_t* lo) const {
     if (uc != nullptr) {
       *hi = MaxDom(stats, *uc, cand.mask, cand.cand_size, cand.tsim[i],
                    dom_ctx_[i]);
-      *lo = MinDom(stats, *uc, cand.mask, cand.cand_size, cand.tsim[i],
-                   dom_ctx_[i]);
+      *lo = ClampLo(MinDom(stats, *uc, cand.mask, cand.cand_size,
+                           cand.tsim[i], dom_ctx_[i]),
+                    shadow);
       return;
     }
     *hi = MaxDom(stats, cand.cand->doc, cand.tsim[i], dom_ctx_[i]);
-    *lo = MinDom(stats, cand.cand->doc, cand.tsim[i], dom_ctx_[i]);
+    *lo = ClampLo(MinDom(stats, cand.cand->doc, cand.tsim[i], dom_ctx_[i]),
+                  shadow);
   }
 
   // Re-derives penalty bounds for `cand` and applies pruning / threshold
@@ -193,8 +206,7 @@ class KcrBatchRunner {
     return true;
   }
 
-  const Dataset& dataset_;
-  const KcrTree& tree_;
+  const KcrMultiSource& src_;
   const SpatialKeywordQuery& original_;
   const MissingSet& missing_;
   const WhyNotScorer& scorer_;
@@ -257,37 +269,83 @@ Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
     }
   }
 
-  // Algorithm 3 lines 2-6: bound every candidate using the root summary.
-  StatusOr<KeywordCountMap> root_kcm = tree_.ReadRootKcm();
-  if (!root_kcm.ok()) return root_kcm.status();
-  const NodeDomStats root_stats(&root_kcm.value(), tree_.root_cnt(),
-                                tree_.root_mbr());
-  NodeUniverseCounts root_uc;
-  if (kernel) root_uc = NodeUniverseCounts::Build(root_stats,
-                                                  scorer_.universe());
-  QueueNode root_entry;
-  root_entry.page = tree_.SearchRoot();
-  ++nodes_seen;  // the root was bounded even if never expanded
-  root_entry.hi.assign(num_cands * num_missing, 0);
-  root_entry.lo.assign(num_cands * num_missing, 0);
+  // Delta extras: exactly-scored objects outside any tree. Their dominate
+  // counts are final, so they enter both bound sums up front and never
+  // appear in the frontier.
+  if (!src_.extras.empty()) {
+    TraceSpan extras_span(trace_, TraceStage::kLeafScoring);
+    leaf_objects_scored += src_.extras.size();
+    if (trace_ != nullptr && kernel) {
+      trace_->Add(TraceCounter::kKernelInvocations, src_.extras.size());
+    }
+    std::vector<double> batch_tsim;
+    for (const SpatialObject* o : src_.extras) {
+      const double sdist = Distance(o->loc, original_.loc) / src_.diagonal;
+      if (kernel) {
+        const Footprint fp = scorer_.universe().FootprintOf(o->doc);
+        ScoreAllCandidates(fp, batch_masks, original_.model, &batch_tsim);
+      }
+      for (size_t c = 0; c < num_cands; ++c) {
+        const double tsim = kernel ? batch_tsim[c]
+                                   : TextualSimilarity(o->doc,
+                                                       cands[c].cand->doc,
+                                                       original_.model);
+        const double score = original_.alpha * (1.0 - sdist) +
+                             (1.0 - original_.alpha) * tsim;
+        for (size_t i = 0; i < num_missing; ++i) {
+          const int64_t dominates =
+              score > cands[c].missing_score[i] ? 1 : 0;
+          cands[c].sum_hi[i] += dominates;
+          cands[c].sum_lo[i] += dominates;
+        }
+      }
+    }
+  }
+
+  // Algorithm 3 lines 2-6: bound every candidate using each segment's root
+  // summary; the per-object sums accumulate across segments (and extras).
+  std::vector<QueueNode> root_entries;
+  root_entries.reserve(src_.segments.size());
+  for (uint32_t s = 0; s < src_.segments.size(); ++s) {
+    const KcrSegmentSource& seg = src_.segments[s];
+    StatusOr<KeywordCountMap> root_kcm = seg.tree->ReadRootKcm();
+    if (!root_kcm.ok()) return root_kcm.status();
+    const NodeDomStats root_stats(&root_kcm.value(), seg.tree->root_cnt(),
+                                  seg.tree->root_mbr());
+    NodeUniverseCounts root_uc;
+    if (kernel) {
+      root_uc = NodeUniverseCounts::Build(root_stats, scorer_.universe());
+    }
+    QueueNode root_entry;
+    root_entry.page = seg.tree->SearchRoot();
+    root_entry.source = s;
+    ++nodes_seen;  // the root was bounded even if never expanded
+    root_entry.hi.assign(num_cands * num_missing, 0);
+    root_entry.lo.assign(num_cands * num_missing, 0);
+    for (size_t c = 0; c < num_cands; ++c) {
+      for (size_t i = 0; i < num_missing; ++i) {
+        int64_t hi, lo;
+        NodeBounds(root_stats, kernel ? &root_uc : nullptr, cands[c], i,
+                   seg.shadow_count, &hi, &lo);
+        root_entry.hi[c * num_missing + i] = hi;
+        root_entry.lo[c * num_missing + i] = lo;
+        cands[c].sum_hi[i] += hi;
+        cands[c].sum_lo[i] += lo;
+        root_entry.priority += static_cast<double>(hi - lo);
+      }
+    }
+    root_entries.push_back(std::move(root_entry));
+  }
   size_t num_alive = 0;
   for (size_t c = 0; c < num_cands; ++c) {
-    for (size_t i = 0; i < num_missing; ++i) {
-      int64_t hi, lo;
-      NodeBounds(root_stats, kernel ? &root_uc : nullptr, cands[c], i, &hi,
-                 &lo);
-      root_entry.hi[c * num_missing + i] = hi;
-      root_entry.lo[c * num_missing + i] = lo;
-      cands[c].sum_hi[i] = hi;
-      cands[c].sum_lo[i] = lo;
-      root_entry.priority += static_cast<double>(hi - lo);
-    }
     if (Reassess(&cands[c], tracker)) ++num_alive;
   }
 
   std::priority_queue<QueueNode, std::vector<QueueNode>, QueueNodeLess> queue;
-  if (num_alive > 0 && root_entry.priority > 0.0) {
-    queue.push(std::move(root_entry));
+  for (QueueNode& root_entry : root_entries) {
+    if (num_alive > 0 && root_entry.priority > 0.0) {
+      queue.push(std::move(root_entry));
+    }
   }
 
   while (!queue.empty() && num_alive > 0) {
@@ -295,11 +353,12 @@ Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
     if (cancel_ != nullptr) WSK_RETURN_IF_ERROR(cancel_->Check());
     const QueueNode entry = queue.top();
     queue.pop();
+    const KcrSegmentSource& seg = src_.segments[entry.source];
     // Decoded read: entry payloads are already materialized (and, for
     // inner nodes, the per-child NodeDomStats precomputed) — either shared
     // from the engine cache or built fresh for this visit.
     StatusOr<std::shared_ptr<const KcrTree::DecodedNode>> read =
-        tree_.ReadDecodedNode(entry.page, use_node_cache_);
+        seg.tree->ReadDecodedNode(entry.page, use_node_cache_);
     if (!read.ok()) return read.status();
     const KcrTree::DecodedNode& decoded = *read.value();
     const KcrTree::Node& node = decoded.node;
@@ -315,23 +374,26 @@ Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
       // Children are objects: evaluate domination exactly. One footprint
       // per object scores the whole candidate batch (ScoreAllCandidates)
       // instead of one sorted merge per (object, candidate) pair.
+      // Tombstoned objects contribute nothing (their zero row is exact).
       TraceSpan leaf_span(trace_, TraceStage::kLeafScoring);
-      leaf_objects_scored += num_children;
-      if (trace_ != nullptr && kernel) {
-        trace_->Add(TraceCounter::kKernelInvocations, num_children);
-      }
       std::vector<double> batch_tsim;
       for (size_t j = 0; j < num_children; ++j) {
         const KcrTree::LeafEntry& e = node.leaf_entries[j];
+        child_hi[j].assign(num_cands * num_missing, 0);
+        child_lo[j].assign(num_cands * num_missing, 0);
+        if (seg.visibility != nullptr && !seg.visibility->IsVisible(e.object)) {
+          continue;
+        }
+        ++leaf_objects_scored;
         const KeywordSet& doc = decoded.leaf_docs[j];
-        const double sdist =
-            Distance(e.loc, original_.loc) / tree_.diagonal();
+        const double sdist = Distance(e.loc, original_.loc) / src_.diagonal;
         if (kernel) {
           const Footprint fp = scorer_.universe().FootprintOf(doc);
           ScoreAllCandidates(fp, batch_masks, original_.model, &batch_tsim);
+          if (trace_ != nullptr) {
+            trace_->Add(TraceCounter::kKernelInvocations);
+          }
         }
-        child_hi[j].assign(num_cands * num_missing, 0);
-        child_lo[j].assign(num_cands * num_missing, 0);
         for (size_t c = 0; c < num_cands; ++c) {
           if (!cands[c].alive) continue;
           const double tsim = kernel
@@ -370,7 +432,7 @@ Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
           for (size_t i = 0; i < num_missing; ++i) {
             int64_t hi, lo;
             NodeBounds(child_stats, kernel ? &child_uc : nullptr, cands[c],
-                       i, &hi, &lo);
+                       i, seg.shadow_count, &hi, &lo);
             child_hi[j][c * num_missing + i] = hi;
             child_lo[j][c * num_missing + i] = lo;
           }
@@ -411,6 +473,7 @@ Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
         if (gap > 0.0) {
           QueueNode child_entry;
           child_entry.page = node.inner_entries[j].child;
+          child_entry.source = entry.source;
           child_entry.priority = gap;
           child_entry.hi = std::move(child_hi[j]);
           child_entry.lo = std::move(child_lo[j]);
@@ -441,19 +504,27 @@ Status KcrBatchRunner::RunBatch(const Candidate* begin, const Candidate* end,
 
 }  // namespace
 
-StatusOr<WhyNotResult> AnswerWhyNotKcr(const Dataset& dataset,
-                                       const KcrTree& tree,
+StatusOr<WhyNotResult> AnswerWhyNotKcr(const ObjectStore& store,
+                                       const KcrMultiSource& source,
                                        const SpatialKeywordQuery& original,
                                        const std::vector<ObjectId>& missing,
                                        const WhyNotOptions& options) {
   Timer timer;
   WSK_RETURN_IF_ERROR(internal::ValidateWhyNotInput(original, missing, options,
-                                                    dataset.size()));
+                                                    store.num_objects()));
   if (original.model != SimilarityModel::kJaccard) {
     return Status::InvalidArgument(
         "the KcR-based algorithm requires the Jaccard similarity model");
   }
-  StatusOr<MissingSet> built = MissingSet::Build(dataset, missing);
+  if (source.rank_source == nullptr || source.segments.empty()) {
+    return Status::InvalidArgument("KcR source has no segments");
+  }
+  for (const KcrSegmentSource& seg : source.segments) {
+    if (seg.tree == nullptr) {
+      return Status::InvalidArgument("KcR segment has no tree");
+    }
+  }
+  StatusOr<MissingSet> built = MissingSet::Build(store, missing);
   if (!built.ok()) return built.status();
   const MissingSet missing_set = std::move(built).value();
 
@@ -461,12 +532,13 @@ StatusOr<WhyNotResult> AnswerWhyNotKcr(const Dataset& dataset,
 
   // Algorithm 4 line 1: R(M, q).
   const double initial_min_score =
-      missing_set.MinScore(original, tree.diagonal());
+      missing_set.MinScore(original, source.diagonal);
   bool exceeded = false;
   StatusOr<uint32_t> initial_rank = Status::Internal("unreachable");
   {
     TraceSpan span(options.trace, TraceStage::kInitialRank);
-    initial_rank = RankFromIndex(tree, original, initial_min_score,
+    initial_rank = RankFromIndex(*source.rank_source, original,
+                                 initial_min_score,
                                  /*limit=*/0, &exceeded, nullptr,
                                  options.cancel, options.use_node_cache,
                                  options.trace,
@@ -487,10 +559,10 @@ StatusOr<WhyNotResult> AnswerWhyNotKcr(const Dataset& dataset,
   const uint64_t enum_start_us =
       options.trace != nullptr ? options.trace->NowUs() : 0;
   CandidateEnumerator enumerator(original.doc, missing_set.docs,
-                                 dataset.vocabulary());
+                                 store.vocabulary());
   const PenaltyModel pm(options.lambda, original.k, initial_rank.value(),
                         enumerator.universe_size());
-  const WhyNotScorer scorer(dataset, missing_set, original, tree.diagonal(),
+  const WhyNotScorer scorer(store, missing_set, original, source.diagonal,
                             enumerator.universe(), options.use_score_kernel);
 
   BestTracker tracker;
@@ -543,7 +615,7 @@ StatusOr<WhyNotResult> AnswerWhyNotKcr(const Dataset& dataset,
       const size_t chunk_end =
           start + (chunk + 1) * batch_size / num_chunks;
       if (chunk_begin >= chunk_end) return;
-      KcrBatchRunner runner(dataset, tree, original, missing_set, scorer,
+      KcrBatchRunner runner(source, original, missing_set, scorer,
                             pm, &chunk_stats[chunk], options.cancel,
                             options.use_node_cache, options.trace);
       chunk_status[chunk] = runner.RunBatch(candidates.data() + chunk_begin,

@@ -1,27 +1,51 @@
 #include "data/dataset.h"
 
+#include <algorithm>
+
 #include "common/macros.h"
 
 namespace wsk {
 
 ObjectId Dataset::Add(Point loc, KeywordSet doc) {
-  const ObjectId id = static_cast<ObjectId>(objects_.size());
-  vocabulary_.RecordDocument(doc);
-  bounds_.Extend(loc);
-  objects_.push_back(SpatialObject{id, loc, std::move(doc)});
-  return id;
+  return AddWithId(next_id_, loc, std::move(doc));
 }
 
 ObjectId Dataset::Add(Point loc, const std::vector<std::string>& keywords) {
   return Add(loc, vocabulary_.InternAll(keywords));
 }
 
+ObjectId Dataset::AddWithId(ObjectId id, Point loc, KeywordSet doc) {
+  WSK_CHECK_MSG(FindObject(id) == nullptr, "duplicate object id");
+  vocabulary_.RecordDocument(doc);
+  bounds_.Extend(loc);
+  const uint32_t position = static_cast<uint32_t>(objects_.size());
+  if (dense_ && id != position) {
+    // Backfill the map for every object appended while still dense.
+    dense_ = false;
+    for (uint32_t i = 0; i < position; ++i) index_.emplace(objects_[i].id, i);
+  }
+  if (!dense_) index_.emplace(id, position);
+  objects_.push_back(SpatialObject{id, loc, std::move(doc)});
+  next_id_ = std::max(next_id_, id + 1);
+  return id;
+}
+
+const SpatialObject* Dataset::FindObject(ObjectId id) const {
+  if (dense_) {
+    return id < objects_.size() ? &objects_[id] : nullptr;
+  }
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &objects_[it->second];
+}
+
 const SpatialObject& Dataset::object(ObjectId id) const {
-  WSK_CHECK(id < objects_.size());
-  return objects_[id];
+  const SpatialObject* found = FindObject(id);
+  WSK_CHECK(found != nullptr);
+  return *found;
 }
 
 double Dataset::diagonal() const {
+  if (diagonal_override_ > 0.0) return diagonal_override_;
   if (bounds_.Empty()) return 1.0;
   const double d = Distance(Point{bounds_.min_x, bounds_.min_y},
                             Point{bounds_.max_x, bounds_.max_y});

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/geometry.h"
@@ -27,7 +28,25 @@ struct SpatialObject {
   KeywordSet doc;
 };
 
-class Dataset {
+// Read-only lookup surface shared by Dataset and live segment snapshots.
+// The why-not algorithms only need point lookups by id, the visible object
+// count, and the vocabulary, so they are written against this interface and
+// run unchanged over a frozen Dataset or a mutable multi-segment snapshot
+// (docs/SEGMENTS.md).
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  // The (visible) object with `id`, or nullptr when no such object exists.
+  virtual const SpatialObject* FindObject(ObjectId id) const = 0;
+
+  // Number of (visible) objects.
+  virtual size_t num_objects() const = 0;
+
+  virtual const Vocabulary& vocabulary() const = 0;
+};
+
+class Dataset : public ObjectStore {
  public:
   Dataset() = default;
 
@@ -44,19 +63,32 @@ class Dataset {
   // Convenience: interns keyword strings through the vocabulary.
   ObjectId Add(Point loc, const std::vector<std::string>& keywords);
 
+  // Appends an object under an explicit id (ids need not be dense or
+  // ordered — used to rebuild reference datasets that mirror a mutated
+  // engine, where deletions leave holes in the id space). The id must be
+  // unused. Storage stays dense in insertion order; `object(id)` falls back
+  // to an id -> index map once ids diverge from positions.
+  ObjectId AddWithId(ObjectId id, Point loc, KeywordSet doc);
+
   const SpatialObject& object(ObjectId id) const;
+  const SpatialObject* FindObject(ObjectId id) const override;
   size_t size() const { return objects_.size(); }
+  size_t num_objects() const override { return objects_.size(); }
   const std::vector<SpatialObject>& objects() const { return objects_; }
 
   Vocabulary& vocabulary() { return vocabulary_; }
-  const Vocabulary& vocabulary() const { return vocabulary_; }
+  const Vocabulary& vocabulary() const override { return vocabulary_; }
 
   const Rect& bounding_rect() const { return bounds_; }
 
   // Maximum possible distance between two points of D (the SDist
   // normalizer of Eqn 1): the diagonal of the bounding rectangle. Returns 1
   // for datasets with fewer than two distinct points so division is safe.
+  // An override pins the value regardless of the bounding rectangle, so a
+  // rebuilt reference dataset can score with the same normalizer as the
+  // live engine it mirrors.
   double diagonal() const;
+  void OverrideDiagonal(double diagonal) { diagonal_override_ = diagonal; }
 
   // Union of the keyword sets of the given objects (the paper's M.doc).
   KeywordSet UnionDocs(const std::vector<ObjectId>& ids) const;
@@ -65,6 +97,12 @@ class Dataset {
   std::vector<SpatialObject> objects_;
   Vocabulary vocabulary_;
   Rect bounds_;
+  // Lookup support for sparse ids: `dense_` stays true while every object's
+  // id equals its position (the common bulk-load case, no map overhead).
+  std::unordered_map<ObjectId, uint32_t> index_;
+  bool dense_ = true;
+  ObjectId next_id_ = 0;
+  double diagonal_override_ = 0.0;
 };
 
 }  // namespace wsk

@@ -170,11 +170,17 @@ StatusOr<std::unique_ptr<KcrTree>> KcrTree::CreateEmpty(
 StatusOr<std::unique_ptr<KcrTree>> KcrTree::BulkLoad(const Dataset& dataset,
                                                      BufferPool* pool,
                                                      const Options& options) {
+  return BulkLoadObjects(dataset.objects(), dataset.diagonal(), pool, options);
+}
+
+StatusOr<std::unique_ptr<KcrTree>> KcrTree::BulkLoadObjects(
+    const std::vector<SpatialObject>& objects, double diagonal,
+    BufferPool* pool, const Options& options) {
   StatusOr<std::unique_ptr<KcrTree>> created =
-      CreateEmpty(pool, dataset.diagonal(), options);
+      CreateEmpty(pool, diagonal, options);
   if (!created.ok()) return created.status();
   std::unique_ptr<KcrTree> tree = std::move(created).value();
-  if (dataset.size() == 0) {
+  if (objects.empty()) {
     WSK_RETURN_IF_ERROR(tree->Finalize());
     return tree;
   }
@@ -186,8 +192,8 @@ StatusOr<std::unique_ptr<KcrTree>> KcrTree::BulkLoad(const Dataset& dataset,
   };
 
   std::vector<Point> centers;
-  centers.reserve(dataset.size());
-  for (const SpatialObject& o : dataset.objects()) centers.push_back(o.loc);
+  centers.reserve(objects.size());
+  for (const SpatialObject& o : objects) centers.push_back(o.loc);
   std::vector<std::vector<uint32_t>> groups =
       StrPack(centers, options.capacity);
 
@@ -198,7 +204,7 @@ StatusOr<std::unique_ptr<KcrTree>> KcrTree::BulkLoad(const Dataset& dataset,
     node.is_leaf = true;
     Summary summary;
     for (uint32_t idx : group) {
-      const SpatialObject& o = dataset.object(idx);
+      const SpatialObject& o = objects[idx];
       StatusOr<BlobRef> ref = tree->WriteKeywordSet(o.doc);
       if (!ref.ok()) return ref.status();
       node.leaf_entries.push_back(LeafEntry{o.id, o.loc, ref.value()});
@@ -213,7 +219,7 @@ StatusOr<std::unique_ptr<KcrTree>> KcrTree::BulkLoad(const Dataset& dataset,
     level.push_back(Pending{page, std::move(summary), center});
   }
   tree->height_ = 1;
-  tree->num_objects_ = dataset.size();
+  tree->num_objects_ = objects.size();
 
   while (level.size() > 1) {
     centers.clear();

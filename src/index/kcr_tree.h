@@ -63,6 +63,11 @@ class KcrTree : public TopKSource {
 
   static StatusOr<std::unique_ptr<KcrTree>> BulkLoad(
       const Dataset& dataset, BufferPool* pool, const Options& options);
+  // Explicit object list + pinned diagonal (segment build path); ids are
+  // preserved as given and need not be dense.
+  static StatusOr<std::unique_ptr<KcrTree>> BulkLoadObjects(
+      const std::vector<SpatialObject>& objects, double diagonal,
+      BufferPool* pool, const Options& options);
   static StatusOr<std::unique_ptr<KcrTree>> CreateEmpty(
       BufferPool* pool, double diagonal, const Options& options);
   static StatusOr<std::unique_ptr<KcrTree>> Open(BufferPool* pool);
@@ -103,6 +108,10 @@ class KcrTree : public TopKSource {
   // the tree registers itself under a fresh cache tree-id. Pass nullptr to
   // detach.
   void AttachNodeCache(NodeCache* cache);
+
+  // This tree's key namespace in the attached cache (0 = never attached).
+  // Segment retirement uses it to drop the tree's entries (EraseTree).
+  uint32_t cache_tree_id() const { return cache_tree_id_; }
 
   // Reads a fully materialized node, through the cache when one is attached
   // and `use_cache` is true. With `use_cache` false the read behaves

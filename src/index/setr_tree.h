@@ -68,6 +68,13 @@ class SetRTree : public TopKSource {
   static StatusOr<std::unique_ptr<SetRTree>> BulkLoad(
       const Dataset& dataset, BufferPool* pool, const Options& options);
 
+  // STR-packs an explicit object list (ids are preserved as given, need not
+  // be dense) with a pinned SDist normalizer — the segment build path,
+  // where every tree of a live dataset must share one diagonal.
+  static StatusOr<std::unique_ptr<SetRTree>> BulkLoadObjects(
+      const std::vector<SpatialObject>& objects, double diagonal,
+      BufferPool* pool, const Options& options);
+
   // An empty tree ready for Insert(); `diagonal` is the SDist normalizer.
   static StatusOr<std::unique_ptr<SetRTree>> CreateEmpty(
       BufferPool* pool, double diagonal, const Options& options);
@@ -111,6 +118,10 @@ class SetRTree : public TopKSource {
   // Attaches a shared decoded-node cache (not owned). Call after bulk load;
   // pass nullptr to detach.
   void AttachNodeCache(NodeCache* cache);
+
+  // This tree's key namespace in the attached cache (0 = never attached).
+  // Segment retirement uses it to drop the tree's entries (EraseTree).
+  uint32_t cache_tree_id() const { return cache_tree_id_; }
 
   // Reads a fully materialized node, through the cache when attached and
   // `use_cache` is true; with `use_cache` false the read is byte-identical

@@ -13,7 +13,7 @@ namespace {
 constexpr const char* kStageNames[kNumTraceStages] = {
     "query",           "initial_rank",  "enumeration",      "candidate_eval",
     "dominator_probe", "rank_query",    "batch",            "leaf_scoring",
-    "bound_tightening", "topk",         "explain",
+    "bound_tightening", "topk",         "explain",          "delta_scan",
 };
 
 constexpr const char* kCounterNames[kNumTraceCounters] = {
@@ -31,6 +31,8 @@ constexpr const char* kCounterNames[kNumTraceCounters] = {
     "batch_candidates",
     "postings_scanned",
     "cells_visited",
+    "delta_objects_scanned",
+    "segments_visited",
 };
 
 void AppendJsonEscaped(const std::string& s, std::string* out) {

@@ -47,8 +47,9 @@ enum class TraceStage : uint8_t {
   kBoundTightening,  // KcR child MaxDom/MinDom bounds + reassessment
   kTopK,             // stand-alone top-k traversal (service / CLI)
   kExplain,          // ExplainMiss annotation scope
+  kDeltaScan,        // linear scan of in-memory delta segments (live path)
 };
-inline constexpr size_t kNumTraceStages = 11;
+inline constexpr size_t kNumTraceStages = 12;
 const char* TraceStageName(TraceStage stage);
 
 // Pruning-effectiveness counters. The candidate family satisfies
@@ -71,8 +72,10 @@ enum class TraceCounter : uint8_t {
   kBatchCandidates,       // candidates entering those traversals
   kPostingsScanned,       // inverted-grid posting lists decoded
   kCellsVisited,          // inverted-grid cells swept spatially
+  kDeltaObjectsScanned,   // delta-segment objects scored by a live query
+  kSegmentsVisited,       // segments consulted by a live query
 };
-inline constexpr size_t kNumTraceCounters = 14;
+inline constexpr size_t kNumTraceCounters = 16;
 const char* TraceCounterName(TraceCounter counter);
 
 struct TraceEvent {

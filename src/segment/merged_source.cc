@@ -1,0 +1,85 @@
+#include "segment/merged_source.h"
+
+#include <limits>
+
+#include "common/macros.h"
+
+namespace wsk {
+
+MergedTopKSource::MergedTopKSource(std::vector<MergedSegment> segments,
+                                   std::vector<const SpatialObject*> extras,
+                                   double diagonal, TraceRecorder* trace)
+    : segments_(std::move(segments)),
+      extras_(std::move(extras)),
+      diagonal_(diagonal),
+      trace_(trace) {
+  WSK_CHECK_MSG(segments_.size() < 64, "too many segments for one snapshot");
+  for (const MergedSegment& seg : segments_) WSK_CHECK(seg.source != nullptr);
+}
+
+PageId MergedTopKSource::SearchRoot() const {
+  if (!extras_.empty()) return kVirtualRoot;
+  for (const MergedSegment& seg : segments_) {
+    if (seg.source->SearchRoot() != kInvalidPageId) return kVirtualRoot;
+  }
+  return kInvalidPageId;
+}
+
+Status MergedTopKSource::ExpandNode(PageId node,
+                                    const SpatialKeywordQuery& query,
+                                    bool use_cache,
+                                    std::vector<SearchEntry>* out) const {
+  if (node == kVirtualRoot) {
+    // Segment roots at +inf: they are expanded before any object emits, so
+    // each segment's own bounds gate the traversal from the first level.
+    for (size_t i = 0; i < segments_.size(); ++i) {
+      const PageId root = segments_[i].source->SearchRoot();
+      if (root == kInvalidPageId) continue;
+      WSK_CHECK_MSG(root <= kLocalMask, "segment root outside namespace");
+      SearchEntry entry;
+      entry.bound = std::numeric_limits<double>::infinity();
+      entry.node = static_cast<PageId>((i + 1) << kSegmentShift) | root;
+      out->push_back(entry);
+    }
+    // Delta objects: exact scores, emitted straight into the frontier.
+    {
+      TraceSpan span(trace_, TraceStage::kDeltaScan);
+      for (const SpatialObject* object : extras_) {
+        SearchEntry entry;
+        entry.bound = Score(*object, query, diagonal_);
+        entry.is_object = true;
+        entry.object = object->id;
+        out->push_back(entry);
+      }
+    }
+    if (trace_ != nullptr) {
+      trace_->Add(TraceCounter::kSegmentsVisited,
+                  segments_.size() + (extras_.empty() ? 0 : 1));
+      trace_->Add(TraceCounter::kDeltaObjectsScanned, extras_.size());
+    }
+    return Status::Ok();
+  }
+
+  const size_t seg_index = (node >> kSegmentShift) - 1;
+  WSK_CHECK_MSG(seg_index < segments_.size(), "page outside any segment");
+  const MergedSegment& seg = segments_[seg_index];
+  std::vector<SearchEntry> scratch;
+  WSK_RETURN_IF_ERROR(
+      seg.source->ExpandNode(node & kLocalMask, query, use_cache, &scratch));
+  for (SearchEntry& entry : scratch) {
+    if (entry.is_object) {
+      if (seg.visibility != nullptr &&
+          !seg.visibility->IsVisible(entry.object)) {
+        continue;  // tombstoned at this snapshot
+      }
+    } else {
+      WSK_CHECK_MSG(entry.node <= kLocalMask, "child page outside namespace");
+      entry.node =
+          static_cast<PageId>((seg_index + 1) << kSegmentShift) | entry.node;
+    }
+    out->push_back(entry);
+  }
+  return Status::Ok();
+}
+
+}  // namespace wsk

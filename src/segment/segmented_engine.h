@@ -1,0 +1,136 @@
+// SegmentedEngine: the live-dataset QueryBackend (docs/SEGMENTS.md).
+//
+// Wraps a SegmentManager and answers the full query surface over
+// point-in-time snapshots: top-k and the BS/AdvancedBS rank traversals run
+// on a MergedTopKSource over the frozen SetR-trees plus the delta objects;
+// the KcR-based algorithm traverses every frozen KcR-tree at once with
+// per-segment tombstone masks and the delta objects as exactly-scored
+// extras (whynot_kcr.h). The SDist normalizer is pinned to the seed
+// dataset's diagonal at build time, so scores stay comparable across
+// segments and across the dataset's whole lifetime.
+//
+// Unlike WhyNotEngine, the engine owns its vocabulary (a copy of the
+// seed's, so term ids keep matching the seed) and does not reference the
+// seed dataset after Build returns.
+#ifndef WSK_SEGMENT_SEGMENTED_ENGINE_H_
+#define WSK_SEGMENT_SEGMENTED_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/backend.h"
+#include "segment/merged_source.h"
+#include "segment/segment_manager.h"
+
+namespace wsk {
+
+// ObjectStore over one snapshot: id lookups resolve newest-first across
+// active / sealed / frozen segments under the snapshot's visibility rule.
+// The snapshot's shared_ptr keeps every segment alive, so returned object
+// pointers stay valid for the store's lifetime.
+class SnapshotStore : public ObjectStore {
+ public:
+  SnapshotStore(const Vocabulary* vocabulary,
+                SegmentManager::Snapshot snapshot);
+
+  const SpatialObject* FindObject(ObjectId id) const override;
+  size_t num_objects() const override { return num_objects_; }
+  const Vocabulary& vocabulary() const override { return *vocabulary_; }
+
+  const SegmentManager::Snapshot& snapshot() const { return snapshot_; }
+
+ private:
+  const Vocabulary* vocabulary_;
+  SegmentManager::Snapshot snapshot_;
+  size_t num_objects_ = 0;
+};
+
+class SegmentedEngine : public QueryBackend {
+ public:
+  struct Config {
+    std::string work_dir = "/tmp";
+    uint32_t page_size = kDefaultPageSize;
+    size_t buffer_bytes = 4u << 20;  // per index file, per segment
+    uint32_t node_capacity = 100;
+    SimilarityModel model = SimilarityModel::kJaccard;
+    size_t node_cache_bytes = 8u << 20;  // shared across all segments
+    // Merge policy knobs (docs/SEGMENTS.md "Merge policy").
+    uint32_t delta_capacity = 4096;
+    bool auto_merge = true;
+  };
+
+  // Seeds the engine with `seed`'s objects as the initial frozen segment
+  // and a copy of its vocabulary; `seed` is not referenced afterwards.
+  static StatusOr<std::unique_ptr<SegmentedEngine>> Build(const Dataset& seed,
+                                                          const Config& config);
+
+  ~SegmentedEngine() override;
+  SegmentedEngine(const SegmentedEngine&) = delete;
+  SegmentedEngine& operator=(const SegmentedEngine&) = delete;
+
+  // --- QueryBackend query surface (thread-safe) ---
+
+  StatusOr<std::vector<ScoredObject>> TopK(
+      const SpatialKeywordQuery& query, const CancelToken* cancel = nullptr,
+      TraceRecorder* trace = nullptr) const override;
+  StatusOr<WhyNotResult> Answer(WhyNotAlgorithm algorithm,
+                                const SpatialKeywordQuery& query,
+                                const std::vector<ObjectId>& missing,
+                                const WhyNotOptions& options) const override;
+
+  BackendIoSnapshot io_snapshot() const override;
+  NodeCache* node_cache() const override { return node_cache_.get(); }
+  uint64_t dataset_version() const override;
+  SegmentCountersSnapshot segment_counters() const override;
+
+  // --- QueryBackend mutation surface (thread-safe, serialized) ---
+
+  StatusOr<ObjectId> Insert(
+      Point loc, const std::vector<std::string>& keywords) const override;
+  Status Update(ObjectId id, Point loc,
+                const std::vector<std::string>& keywords) const override;
+  Status Delete(ObjectId id) const override;
+
+  // --- live-dataset extras ---
+
+  // Synchronous compaction (tests, CLI, benchmarks).
+  Status ForceMerge() const { return manager_->ForceMerge(); }
+
+  // R(object, query) over the current snapshot (Eqn 3).
+  StatusOr<uint32_t> Rank(const SpatialKeywordQuery& query,
+                          ObjectId object) const;
+
+  SegmentManager::Snapshot GetSnapshot() const {
+    return manager_->GetSnapshot();
+  }
+  SegmentManager* manager() const { return manager_.get(); }
+  const Vocabulary& vocabulary() const { return *vocabulary_; }
+  double diagonal() const { return manager_->diagonal(); }
+  const Config& config() const { return config_; }
+
+ private:
+  SegmentedEngine() = default;
+
+  // Per-query traversal state: visibility filters must outlive the merged
+  // sources that point at them.
+  struct QueryPlan {
+    SegmentManager::Snapshot snapshot;
+    std::vector<std::unique_ptr<FrozenVisibility>> visibility;
+    std::vector<const SpatialObject*> extras;
+    std::vector<MergedSegment> setr_segments;
+    KcrMultiSource kcr;
+  };
+  QueryPlan MakePlan(bool want_kcr) const;
+
+  Config config_;
+  std::unique_ptr<Vocabulary> vocabulary_;
+  std::unique_ptr<NodeCache> node_cache_;
+  std::unique_ptr<ThreadPool> merge_pool_;
+  std::unique_ptr<SegmentManager> manager_;  // declared last: drains merges
+};
+
+}  // namespace wsk
+
+#endif  // WSK_SEGMENT_SEGMENTED_ENGINE_H_

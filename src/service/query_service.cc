@@ -8,9 +8,9 @@
 
 namespace wsk {
 
-QueryService::QueryService(const WhyNotEngine* engine,
+QueryService::QueryService(const QueryBackend* backend,
                            const QueryServiceConfig& config)
-    : engine_(engine),
+    : backend_(backend),
       config_(config),
       cache_(config.cache_capacity),
       requests_total_(metrics_.counter("requests.total")),
@@ -31,8 +31,13 @@ QueryService::QueryService(const WhyNotEngine* engine,
           metrics_.counter("io.setr.node_cache_misses")),
       io_kcr_node_cache_misses_(metrics_.counter("io.kcr.node_cache_misses")),
       latency_topk_(metrics_.histogram("latency.topk.ms")),
-      latency_whynot_(metrics_.histogram("latency.whynot.ms")) {
-  WSK_CHECK_MSG(engine_ != nullptr, "QueryService requires an engine");
+      latency_whynot_(metrics_.histogram("latency.whynot.ms")),
+      mutations_insert_(metrics_.counter("mutations.insert")),
+      mutations_update_(metrics_.counter("mutations.update")),
+      mutations_delete_(metrics_.counter("mutations.delete")),
+      mutations_failed_(metrics_.counter("mutations.failed")),
+      latency_mutation_(metrics_.histogram("latency.mutation.ms")) {
+  WSK_CHECK_MSG(backend_ != nullptr, "QueryService requires a backend");
   WSK_CHECK_MSG(config_.num_workers >= 1,
                 "QueryService requires at least one worker (got %d)",
                 config_.num_workers);
@@ -99,16 +104,7 @@ void QueryService::AccountStatus(const Status& status) {
 }
 
 QueryService::IoSnapshot QueryService::TakeIoSnapshot() const {
-  IoSnapshot snap;
-  snap.setr_physical = engine_->setr_io().physical_reads();
-  snap.kcr_physical = engine_->kcr_io().physical_reads();
-  snap.setr_logical = engine_->setr_io().logical_reads();
-  snap.kcr_logical = engine_->kcr_io().logical_reads();
-  snap.setr_cache_hits = engine_->setr_io().node_cache_hits();
-  snap.kcr_cache_hits = engine_->kcr_io().node_cache_hits();
-  snap.setr_cache_misses = engine_->setr_io().node_cache_misses();
-  snap.kcr_cache_misses = engine_->kcr_io().node_cache_misses();
-  return snap;
+  return backend_->io_snapshot();
 }
 
 void QueryService::AccountIo(const IoSnapshot& before) {
@@ -156,7 +152,8 @@ std::future<StatusOr<QueryService::TopKResponse>> QueryService::SubmitTopK(
   const std::string key =
       opts.bypass_cache
           ? std::string()
-          : FingerprintTopK(query, config_.cache_location_quantum);
+          : FingerprintTopK(query, config_.cache_location_quantum,
+                            backend_->dataset_version());
 
   auto task = [this, promise, query, token = std::move(token), key,
                bypass_cache = opts.bypass_cache, timer = Timer()]() {
@@ -184,7 +181,7 @@ std::future<StatusOr<QueryService::TopKResponse>> QueryService::SubmitTopK(
         TraceRecorder* const trace =
             config_.collect_stage_metrics ? &stage_trace : nullptr;
         StatusOr<std::vector<ScoredObject>> results =
-            engine_->TopK(query, &token, trace);
+            backend_->TopK(query, &token, trace);
         if (trace != nullptr) AbsorbTrace(stage_trace);
         if (!results.ok()) return results.status();
         response.results = std::move(results).value();
@@ -238,7 +235,8 @@ std::future<StatusOr<QueryService::WhyNotResponse>> QueryService::SubmitWhyNot(
       opts.bypass_cache
           ? std::string()
           : FingerprintWhyNot(algorithm, query, missing, options,
-                              config_.cache_location_quantum);
+                              config_.cache_location_quantum,
+                              backend_->dataset_version());
 
   auto task = [this, promise, algorithm, query, missing, options,
                token = std::move(token), key,
@@ -268,7 +266,7 @@ std::future<StatusOr<QueryService::WhyNotResponse>> QueryService::SubmitWhyNot(
         if (own_trace) effective.trace = &stage_trace;
         const IoSnapshot io_before = TakeIoSnapshot();
         StatusOr<WhyNotResult> result =
-            engine_->Answer(algorithm, query, missing, effective);
+            backend_->Answer(algorithm, query, missing, effective);
         if (own_trace) AbsorbTrace(stage_trace);
         if (!result.ok()) return result.status();
         response.result = std::move(result).value();
@@ -304,6 +302,50 @@ std::future<StatusOr<QueryService::WhyNotResponse>> QueryService::SubmitWhyNot(
   return future;
 }
 
+StatusOr<QueryService::MutationResponse> QueryService::FinishMutation(
+    StatusOr<ObjectId> outcome, Counter& kind_counter, double latency_ms) {
+  latency_mutation_.Record(latency_ms);
+  if (!outcome.ok()) {
+    mutations_failed_.Increment();
+    return outcome.status();
+  }
+  kind_counter.Increment();
+  MutationResponse response;
+  response.id = outcome.value();
+  response.dataset_version = backend_->dataset_version();
+  response.latency_ms = latency_ms;
+  return response;
+}
+
+StatusOr<QueryService::MutationResponse> QueryService::Insert(
+    Point location, const std::vector<std::string>& keywords) {
+  const Timer timer;
+  StatusOr<ObjectId> id = backend_->Insert(location, keywords);
+  return FinishMutation(std::move(id), mutations_insert_,
+                        timer.ElapsedMillis());
+}
+
+StatusOr<QueryService::MutationResponse> QueryService::Update(
+    ObjectId id, Point location, const std::vector<std::string>& keywords) {
+  const Timer timer;
+  StatusOr<ObjectId> outcome = id;
+  if (Status status = backend_->Update(id, location, keywords); !status.ok()) {
+    outcome = status;
+  }
+  return FinishMutation(std::move(outcome), mutations_update_,
+                        timer.ElapsedMillis());
+}
+
+StatusOr<QueryService::MutationResponse> QueryService::Delete(ObjectId id) {
+  const Timer timer;
+  StatusOr<ObjectId> outcome = id;
+  if (Status status = backend_->Delete(id); !status.ok()) {
+    outcome = status;
+  }
+  return FinishMutation(std::move(outcome), mutations_delete_,
+                        timer.ElapsedMillis());
+}
+
 std::string QueryService::MetricsReport() const {
   std::string out = metrics_.Report();
   char line[256];
@@ -326,7 +368,26 @@ std::string QueryService::MetricsReport() const {
                 static_cast<unsigned long long>(io.kcr_physical),
                 static_cast<unsigned long long>(io.kcr_logical));
   out += line;
-  if (const NodeCache* nc = engine_->node_cache()) {
+  if (const SegmentCountersSnapshot seg = backend_->segment_counters();
+      seg.valid) {
+    std::snprintf(line, sizeof(line),
+                  "segments  frozen %llu delta_objects %llu live %llu | "
+                  "inserts %llu updates %llu deletes %llu\n",
+                  static_cast<unsigned long long>(seg.frozen_segments),
+                  static_cast<unsigned long long>(seg.delta_objects),
+                  static_cast<unsigned long long>(seg.live_objects),
+                  static_cast<unsigned long long>(seg.inserts),
+                  static_cast<unsigned long long>(seg.updates),
+                  static_cast<unsigned long long>(seg.deletes));
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "compaction merges %llu rotations %llu retired %llu\n",
+                  static_cast<unsigned long long>(seg.merges),
+                  static_cast<unsigned long long>(seg.rotations),
+                  static_cast<unsigned long long>(seg.segments_retired));
+    out += line;
+  }
+  if (const NodeCache* nc = backend_->node_cache()) {
     const NodeCache::Stats ns = nc->GetStats();
     std::snprintf(line, sizeof(line),
                   "node_cache hits %llu misses %llu evictions %llu "
@@ -373,7 +434,20 @@ std::string QueryService::PrometheusReport() const {
   counter_line("wsk_engine_setr_logical_reads_total", io.setr_logical);
   counter_line("wsk_engine_kcr_physical_reads_total", io.kcr_physical);
   counter_line("wsk_engine_kcr_logical_reads_total", io.kcr_logical);
-  if (const NodeCache* nc = engine_->node_cache()) {
+  if (const SegmentCountersSnapshot seg = backend_->segment_counters();
+      seg.valid) {
+    counter_line("wsk_segment_inserts_total", seg.inserts);
+    counter_line("wsk_segment_updates_total", seg.updates);
+    counter_line("wsk_segment_deletes_total", seg.deletes);
+    counter_line("wsk_segment_merges_total", seg.merges);
+    counter_line("wsk_segment_rotations_total", seg.rotations);
+    counter_line("wsk_segment_retired_total", seg.segments_retired);
+    gauge_line("wsk_segment_frozen_segments", seg.frozen_segments);
+    gauge_line("wsk_segment_delta_objects", seg.delta_objects);
+    gauge_line("wsk_segment_live_objects", seg.live_objects);
+    gauge_line("wsk_segment_dataset_version", backend_->dataset_version());
+  }
+  if (const NodeCache* nc = backend_->node_cache()) {
     const NodeCache::Stats ns = nc->GetStats();
     counter_line("wsk_node_cache_hits_total", ns.hits);
     counter_line("wsk_node_cache_misses_total", ns.misses);

@@ -1,8 +1,17 @@
-// QueryService: the concurrent, servable front end over WhyNotEngine.
+// QueryService: the concurrent, servable front end over a QueryBackend
+// (the static WhyNotEngine or the live SegmentedEngine).
 //
 // Request lifecycle (see docs/SERVICE.md):
 //
 //   admission -> result cache -> execute (with deadline/cancel) -> metrics
+//
+// Mutations (Insert/Update/Delete) run synchronously on the caller's
+// thread — the backend serializes writers internally, and a mutation's
+// latency is the write path itself, not queueing. Every cache key embeds
+// the backend's dataset version, so a mutation implicitly invalidates all
+// cached answers: post-mutation lookups carry a new version and miss
+// (docs/SERVICE.md "Mutations and cache invalidation"). Read-only backends
+// report version 0 and keep the pre-mutation behavior bit for bit.
 //
 // Admission control bounds load two ways: `max_inflight` caps admitted
 // requests (queued + executing) and the worker pool's `max_queue` bounds
@@ -18,9 +27,10 @@
 // histograms, and I/O counter deltas from storage/io_stats.h).
 //
 // Thread safety: all public methods may be called concurrently. The
-// service relies on WhyNotEngine's documented contract that const query
-// methods are concurrency-safe; do not call engine->DropCaches() /
-// ResetIoStats() while the service has requests in flight.
+// service relies on the backend's documented contract that const query
+// methods are concurrency-safe; for WhyNotEngine, do not call
+// engine->DropCaches() / ResetIoStats() while the service has requests in
+// flight.
 #ifndef WSK_SERVICE_QUERY_SERVICE_H_
 #define WSK_SERVICE_QUERY_SERVICE_H_
 
@@ -33,6 +43,7 @@
 #include "common/cancel.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "core/backend.h"
 #include "core/engine.h"
 #include "observability/trace.h"
 #include "service/metrics.h"
@@ -79,8 +90,18 @@ class QueryService {
     double latency_ms = 0.0;
   };
 
-  // `engine` is borrowed and must outlive the service.
-  QueryService(const WhyNotEngine* engine, const QueryServiceConfig& config);
+  struct MutationResponse {
+    ObjectId id = 0;                // assigned (insert) or targeted id
+    uint64_t dataset_version = 0;   // backend version after the mutation
+    double latency_ms = 0.0;
+  };
+
+  // `backend` is borrowed and must outlive the service.
+  QueryService(const QueryBackend* backend, const QueryServiceConfig& config);
+  // Convenience for the common static-engine case (WhyNotEngine is a
+  // QueryBackend; mutations will return kFailedPrecondition).
+  QueryService(const WhyNotEngine* engine, const QueryServiceConfig& config)
+      : QueryService(static_cast<const QueryBackend*>(engine), config) {}
 
   // Drains: blocks until every admitted request has completed.
   ~QueryService();
@@ -112,6 +133,16 @@ class QueryService {
     return SubmitWhyNot(algorithm, query, missing, options, opts).get();
   }
 
+  // Synchronous mutation entry points. kFailedPrecondition on read-only
+  // backends. A successful mutation bumps the backend's dataset version,
+  // which every cache key embeds — cached pre-mutation answers become
+  // unreachable immediately (and age out of the LRU).
+  StatusOr<MutationResponse> Insert(Point location,
+                                    const std::vector<std::string>& keywords);
+  StatusOr<MutationResponse> Update(ObjectId id, Point location,
+                                    const std::vector<std::string>& keywords);
+  StatusOr<MutationResponse> Delete(ObjectId id);
+
   // Admitted requests not yet completed (racy diagnostic).
   size_t inflight() const {
     return static_cast<size_t>(inflight_.load(std::memory_order_relaxed));
@@ -131,16 +162,7 @@ class QueryService {
   std::string PrometheusReport() const;
 
  private:
-  struct IoSnapshot {
-    uint64_t setr_physical = 0;
-    uint64_t kcr_physical = 0;
-    uint64_t setr_logical = 0;
-    uint64_t kcr_logical = 0;
-    uint64_t setr_cache_hits = 0;
-    uint64_t kcr_cache_hits = 0;
-    uint64_t setr_cache_misses = 0;
-    uint64_t kcr_cache_misses = 0;
-  };
+  using IoSnapshot = BackendIoSnapshot;
 
   // Combines admission bookkeeping shared by both Submit paths. Returns
   // false (after accounting) when the request must be rejected.
@@ -158,8 +180,12 @@ class QueryService {
   // Folds a finished request's stage totals and pruning counters into the
   // interned stage.* histograms / prune.* counters.
   void AbsorbTrace(const TraceRecorder& trace);
+  // Shared tail of the three mutation entry points.
+  StatusOr<MutationResponse> FinishMutation(StatusOr<ObjectId> outcome,
+                                            Counter& kind_counter,
+                                            double latency_ms);
 
-  const WhyNotEngine* const engine_;
+  const QueryBackend* const backend_;
   const QueryServiceConfig config_;
   MetricsRegistry metrics_;
   ResultCache cache_;
@@ -185,6 +211,11 @@ class QueryService {
   Counter& io_kcr_node_cache_misses_;
   LatencyHistogram& latency_topk_;
   LatencyHistogram& latency_whynot_;
+  Counter& mutations_insert_;
+  Counter& mutations_update_;
+  Counter& mutations_delete_;
+  Counter& mutations_failed_;
+  LatencyHistogram& latency_mutation_;
   // Per-stage wall-time histograms and pruning counters, interned at
   // construction (indexed by TraceStage / TraceCounter) so AbsorbTrace
   // never takes the registry mutex.

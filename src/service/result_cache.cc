@@ -40,9 +40,11 @@ void AppendQueryCore(std::string* out, const SpatialKeywordQuery& query,
 }  // namespace
 
 std::string FingerprintTopK(const SpatialKeywordQuery& query,
-                            double location_quantum) {
+                            double location_quantum,
+                            uint64_t dataset_version) {
   std::string key;
   key.push_back('T');
+  AppendU64(&key, dataset_version);
   AppendQueryCore(&key, query, location_quantum);
   return key;
 }
@@ -51,10 +53,12 @@ std::string FingerprintWhyNot(WhyNotAlgorithm algorithm,
                               const SpatialKeywordQuery& query,
                               const std::vector<ObjectId>& missing,
                               const WhyNotOptions& options,
-                              double location_quantum) {
+                              double location_quantum,
+                              uint64_t dataset_version) {
   std::string key;
   key.push_back('W');
   key.push_back(static_cast<char>(algorithm));
+  AppendU64(&key, dataset_version);
   AppendQueryCore(&key, query, location_quantum);
   std::vector<ObjectId> sorted = missing;
   std::sort(sorted.begin(), sorted.end());

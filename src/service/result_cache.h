@@ -14,7 +14,11 @@
 //   - the why-not algorithm and sample_size are part of the key (they can
 //     change the answer); pure optimization switches (opt_*, num_threads,
 //     kcr_single_batch) are NOT — the differential suite guarantees they
-//     do not change results.
+//     do not change results,
+//   - the backend's dataset version (QueryBackend::dataset_version(), the
+//     mutation sequence number) is part of every key, so an answer computed
+//     before a mutation can never be served afterwards: the post-mutation
+//     key differs and misses. Read-only backends pass the default 0.
 //
 // Entries are immutable and shared via shared_ptr, so a hit never copies
 // the payload and eviction never invalidates a response already handed to
@@ -39,12 +43,14 @@ namespace wsk {
 // Canonical cache keys. The returned string is an opaque byte sequence;
 // equal requests (in the sense above) produce equal strings.
 std::string FingerprintTopK(const SpatialKeywordQuery& query,
-                            double location_quantum);
+                            double location_quantum,
+                            uint64_t dataset_version = 0);
 std::string FingerprintWhyNot(WhyNotAlgorithm algorithm,
                               const SpatialKeywordQuery& query,
                               const std::vector<ObjectId>& missing,
                               const WhyNotOptions& options,
-                              double location_quantum);
+                              double location_quantum,
+                              uint64_t dataset_version = 0);
 
 class ResultCache {
  public:

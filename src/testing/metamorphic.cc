@@ -237,4 +237,177 @@ InvariantOutcome CheckZeroPenaltyIff(const Dataset& dataset,
   return InvariantOutcome{};
 }
 
+namespace {
+
+// Bit-exact comparison; returns an empty string on equality, else a
+// diagnostic naming the first divergence.
+std::string DiffTopK(const std::vector<ScoredObject>& a,
+                     const std::vector<ScoredObject>& b) {
+  if (a.size() != b.size()) {
+    return "result sizes differ: " + std::to_string(a.size()) + " vs " +
+           std::to_string(b.size());
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || a[i].score != b[i].score) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "position %zu: (%u, %.17g) vs (%u, %.17g)", i, a[i].id,
+                    a[i].score, b[i].id, b[i].score);
+      return buf;
+    }
+  }
+  return {};
+}
+
+std::string DiffWhyNot(const WhyNotResult& a, const WhyNotResult& b) {
+  if (a.already_in_result != b.already_in_result) {
+    return "already_in_result flipped";
+  }
+  if (a.refined.penalty != b.refined.penalty) {
+    return FormatPenalties(a.refined.penalty, b.refined.penalty);
+  }
+  if (!(a.refined.doc == b.refined.doc) || a.refined.k != b.refined.k ||
+      a.refined.rank != b.refined.rank ||
+      a.refined.edit_distance != b.refined.edit_distance) {
+    return "refined query changed: " + a.refined.doc.ToString() + " k=" +
+           std::to_string(a.refined.k) + " vs " + b.refined.doc.ToString() +
+           " k=" + std::to_string(b.refined.k);
+  }
+  return {};
+}
+
+}  // namespace
+
+InvariantOutcome CheckInsertThenDeleteIdentity(
+    const MutationHarness& harness, const SpatialKeywordQuery& query,
+    Point loc, const std::vector<std::string>& keywords) {
+  StatusOr<std::vector<ScoredObject>> before = harness.topk(query);
+  if (!before.ok()) return Fail("baseline: " + before.status().ToString());
+  StatusOr<WhyNotResult> whynot_before = Status::Internal("unset");
+  if (harness.whynot) {
+    whynot_before = harness.whynot();
+    if (!whynot_before.ok()) {
+      return Fail("baseline why-not: " + whynot_before.status().ToString());
+    }
+  }
+
+  StatusOr<ObjectId> id = harness.insert(loc, keywords);
+  if (!id.ok()) return Fail("insert: " + id.status().ToString());
+  if (Status status = harness.remove(id.value()); !status.ok()) {
+    return Fail("delete: " + status.ToString());
+  }
+
+  StatusOr<std::vector<ScoredObject>> after = harness.topk(query);
+  if (!after.ok()) return Fail("after: " + after.status().ToString());
+  if (std::string diff = DiffTopK(before.value(), after.value());
+      !diff.empty()) {
+    return Fail("insert-then-delete changed the top-k: " + diff);
+  }
+  if (harness.whynot) {
+    StatusOr<WhyNotResult> whynot_after = harness.whynot();
+    if (!whynot_after.ok()) {
+      return Fail("after why-not: " + whynot_after.status().ToString());
+    }
+    if (std::string diff =
+            DiffWhyNot(whynot_before.value(), whynot_after.value());
+        !diff.empty()) {
+      return Fail("insert-then-delete changed the why-not answer: " + diff);
+    }
+  }
+  return InvariantOutcome{};
+}
+
+InvariantOutcome CheckDominatedInsertUnchangedTopK(
+    const MutationHarness& harness, const SpatialKeywordQuery& query,
+    const Rect& bounds, double diagonal) {
+  if (bounds.Empty() || !(diagonal > 0.0)) return Skip("empty dataset");
+
+  StatusOr<std::vector<ScoredObject>> before = harness.topk(query);
+  if (!before.ok()) return Fail("baseline: " + before.status().ToString());
+  if (before.value().size() < query.k) {
+    return Skip("fewer than k results: any insert may enter the top-k");
+  }
+  const double kth_score = before.value().back().score;
+
+  // A fresh keyword no query or document contains makes the textual term 0
+  // (set-overlap models score disjoint sets 0), so the decoy's score is
+  // pure spatial: alpha * (1 - dist / diagonal). Pick the corner with the
+  // lowest such score; dominance requires it strictly below the kth score.
+  const Point corners[4] = {Point{bounds.min_x, bounds.min_y},
+                            Point{bounds.min_x, bounds.max_y},
+                            Point{bounds.max_x, bounds.min_y},
+                            Point{bounds.max_x, bounds.max_y}};
+  const Point* decoy_loc = nullptr;
+  double decoy_score = kth_score;
+  for (const Point& corner : corners) {
+    const double score =
+        query.alpha * (1.0 - Distance(corner, query.loc) / diagonal);
+    if (score < decoy_score) {
+      decoy_score = score;
+      decoy_loc = &corner;
+    }
+  }
+  if (decoy_loc == nullptr) {
+    return Skip("no bounding-box corner scores below the kth result");
+  }
+
+  StatusOr<ObjectId> id =
+      harness.insert(*decoy_loc, {"__metamorphic_dominated_decoy__"});
+  if (!id.ok()) return Fail("insert: " + id.status().ToString());
+
+  StatusOr<std::vector<ScoredObject>> with_decoy = harness.topk(query);
+  std::string diff;
+  if (!with_decoy.ok()) {
+    diff = "query: " + with_decoy.status().ToString();
+  } else {
+    diff = DiffTopK(before.value(), with_decoy.value());
+  }
+  // Restore the dataset before reporting either way.
+  if (Status status = harness.remove(id.value()); !status.ok()) {
+    return Fail("delete: " + status.ToString());
+  }
+  if (!diff.empty()) {
+    return Fail("dominated insert changed the top-k: " + diff);
+  }
+  return InvariantOutcome{};
+}
+
+InvariantOutcome CheckMergeInvariance(const MutationHarness& harness,
+                                      const SpatialKeywordQuery& query) {
+  if (!harness.merge) return Skip("backend has no merge operation");
+
+  StatusOr<std::vector<ScoredObject>> before = harness.topk(query);
+  if (!before.ok()) return Fail("baseline: " + before.status().ToString());
+  StatusOr<WhyNotResult> whynot_before = Status::Internal("unset");
+  if (harness.whynot) {
+    whynot_before = harness.whynot();
+    if (!whynot_before.ok()) {
+      return Fail("baseline why-not: " + whynot_before.status().ToString());
+    }
+  }
+
+  if (Status status = harness.merge(); !status.ok()) {
+    return Fail("merge: " + status.ToString());
+  }
+
+  StatusOr<std::vector<ScoredObject>> after = harness.topk(query);
+  if (!after.ok()) return Fail("after: " + after.status().ToString());
+  if (std::string diff = DiffTopK(before.value(), after.value());
+      !diff.empty()) {
+    return Fail("merge changed the top-k: " + diff);
+  }
+  if (harness.whynot) {
+    StatusOr<WhyNotResult> whynot_after = harness.whynot();
+    if (!whynot_after.ok()) {
+      return Fail("after why-not: " + whynot_after.status().ToString());
+    }
+    if (std::string diff =
+            DiffWhyNot(whynot_before.value(), whynot_after.value());
+        !diff.empty()) {
+      return Fail("merge changed the why-not answer: " + diff);
+    }
+  }
+  return InvariantOutcome{};
+}
+
 }  // namespace wsk::testing

@@ -15,6 +15,15 @@
 //   * ZeroPenaltyIff — for lambda in (0, 1), Penalty(q, q') == 0 holds iff
 //     the missing objects already rank within the original top-k.
 //
+// Mutation invariants (for live backends, docs/SEGMENTS.md) work the same
+// way but over a MutationHarness of callbacks instead of a Dataset:
+//   * InsertThenDeleteIdentity — inserting an object and deleting it again
+//     is a logical no-op: every answer afterwards is bit-identical;
+//   * DominatedInsertUnchangedTopK — an object whose score is provably
+//     below the current kth score cannot enter the top-k;
+//   * MergeInvariance — compaction reorganizes storage, never answers:
+//     top-k and why-not results are bit-identical across a forced merge.
+//
 // Checks are solver-agnostic: pass a callback that runs BS, AdvancedBS,
 // KcRBased, or any future algorithm against the dataset it is handed.
 #ifndef WSK_TESTING_METAMORPHIC_H_
@@ -83,6 +92,47 @@ InvariantOutcome CheckZeroPenaltyIff(const Dataset& dataset,
                                      const std::vector<ObjectId>& missing,
                                      const WhyNotOptions& options,
                                      const WhyNotSolver& solver);
+
+// Callback surface over a live, mutable backend (e.g. SegmentedEngine).
+// The checks never see the backend type, so they run against any future
+// live implementation. `merge` and `whynot` may be null: merge-dependent
+// checks report inapplicable, and why-not comparisons are skipped.
+struct MutationHarness {
+  std::function<StatusOr<std::vector<ScoredObject>>(
+      const SpatialKeywordQuery&)>
+      topk;
+  std::function<StatusOr<ObjectId>(Point,
+                                   const std::vector<std::string>&)>
+      insert;
+  std::function<Status(ObjectId)> remove;
+  std::function<Status()> merge;  // synchronous forced compaction
+  // One fixed why-not instance, bound by the caller (algorithm, missing
+  // set, and options baked in).
+  std::function<StatusOr<WhyNotResult>()> whynot;
+};
+
+// Insert `loc`/`keywords`, delete the returned id, and assert the top-k
+// (and the why-not answer, when bound) is bit-identical to before. The
+// round trip must also restore document frequencies, so a subsequent
+// why-not sees identical particularity weights.
+InvariantOutcome CheckInsertThenDeleteIdentity(
+    const MutationHarness& harness, const SpatialKeywordQuery& query,
+    Point loc, const std::vector<std::string>& keywords);
+
+// Insert an object that provably cannot enter the query's top-k — a fresh
+// keyword (textual similarity 0 against the query) at the bounding-box
+// corner spatially scored below the current kth score — and assert the
+// top-k is bit-identical. The object is deleted again before returning.
+// Inapplicable when the result holds fewer than k objects (any insert may
+// then enter) or when no corner scores strictly below the kth score.
+InvariantOutcome CheckDominatedInsertUnchangedTopK(
+    const MutationHarness& harness, const SpatialKeywordQuery& query,
+    const Rect& bounds, double diagonal);
+
+// Force a compaction and assert the top-k (and the why-not answer, when
+// bound) is bit-identical across it.
+InvariantOutcome CheckMergeInvariance(const MutationHarness& harness,
+                                      const SpatialKeywordQuery& query);
 
 }  // namespace wsk::testing
 

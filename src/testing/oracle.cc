@@ -47,7 +47,9 @@ OracleResult SolveWhyNotOracle(const Dataset& dataset,
   WSK_CHECK(!original.doc.empty());
   WSK_CHECK(!missing.empty());
   WSK_CHECK(lambda >= 0.0 && lambda <= 1.0);
-  for (ObjectId id : missing) WSK_CHECK(id < dataset.size());
+  // Ids may be sparse (a reference dataset mirroring a mutated engine has
+  // holes where deletions happened), so membership is the only valid check.
+  for (ObjectId id : missing) WSK_CHECK(dataset.FindObject(id) != nullptr);
 
   OracleResult out;
   out.initial_rank = OracleRank(dataset, original, missing);
@@ -79,12 +81,17 @@ OracleResult SolveWhyNotOracle(const Dataset& dataset,
   const PenaltyModel pm(lambda, original.k, out.initial_rank, n);
 
   // Per-object spatial part of Eqn 1, precomputed once; the per-candidate
-  // score reproduces Score()'s arithmetic exactly.
+  // score reproduces Score()'s arithmetic exactly. Indexed by storage
+  // position, not id, so sparse-id reference datasets work.
   const double diagonal = dataset.diagonal();
-  std::vector<double> sdist(dataset.size());
-  for (const SpatialObject& o : dataset.objects()) {
-    sdist[o.id] = Distance(o.loc, original.loc) / diagonal;
+  const std::vector<SpatialObject>& objects = dataset.objects();
+  std::vector<double> sdist(objects.size());
+  for (size_t i = 0; i < objects.size(); ++i) {
+    sdist[i] = Distance(objects[i].loc, original.loc) / diagonal;
   }
+  const auto sdist_of = [&](const SpatialObject& o) {
+    return Distance(o.loc, original.loc) / diagonal;
+  };
 
   double min_penalty = std::numeric_limits<double>::infinity();
   std::vector<OracleRefinement> co_optimal;
@@ -137,16 +144,17 @@ OracleResult SolveWhyNotOracle(const Dataset& dataset,
     // R(M, q') by linear scan, mirroring Score (Eqn 1) exactly.
     double min_score = std::numeric_limits<double>::infinity();
     for (ObjectId id : missing) {
-      const double tsim =
-          TextualSimilarity(dataset.object(id).doc, doc, original.model);
-      const double score = original.alpha * (1.0 - sdist[id]) +
+      const SpatialObject& m = dataset.object(id);
+      const double tsim = TextualSimilarity(m.doc, doc, original.model);
+      const double score = original.alpha * (1.0 - sdist_of(m)) +
                            (1.0 - original.alpha) * tsim;
       min_score = std::min(min_score, score);
     }
     uint32_t better = 0;
-    for (const SpatialObject& o : dataset.objects()) {
-      const double tsim = TextualSimilarity(o.doc, doc, original.model);
-      const double score = original.alpha * (1.0 - sdist[o.id]) +
+    for (size_t i = 0; i < objects.size(); ++i) {
+      const double tsim =
+          TextualSimilarity(objects[i].doc, doc, original.model);
+      const double score = original.alpha * (1.0 - sdist[i]) +
                            (1.0 - original.alpha) * tsim;
       if (score > min_score) ++better;
     }

@@ -1,12 +1,52 @@
 #include "text/vocabulary.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/macros.h"
 
 namespace wsk {
 
+Vocabulary::Vocabulary(const Vocabulary& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  index_ = other.index_;
+  terms_ = other.terms_;
+  doc_frequency_ = other.doc_frequency_;
+  num_documents_ = other.num_documents_;
+}
+
+Vocabulary& Vocabulary::operator=(const Vocabulary& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  index_ = other.index_;
+  terms_ = other.terms_;
+  doc_frequency_ = other.doc_frequency_;
+  num_documents_ = other.num_documents_;
+  return *this;
+}
+
+Vocabulary::Vocabulary(Vocabulary&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  index_ = std::move(other.index_);
+  terms_ = std::move(other.terms_);
+  doc_frequency_ = std::move(other.doc_frequency_);
+  num_documents_ = other.num_documents_;
+  other.num_documents_ = 0;
+}
+
+Vocabulary& Vocabulary::operator=(Vocabulary&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  index_ = std::move(other.index_);
+  terms_ = std::move(other.terms_);
+  doc_frequency_ = std::move(other.doc_frequency_);
+  num_documents_ = other.num_documents_;
+  other.num_documents_ = 0;
+  return *this;
+}
+
 TermId Vocabulary::Intern(const std::string& term) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(term);
   if (it != index_.end()) return it->second;
   const TermId id = static_cast<TermId>(terms_.size());
@@ -17,6 +57,7 @@ TermId Vocabulary::Intern(const std::string& term) {
 }
 
 TermId Vocabulary::Find(const std::string& term) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(term);
   return it == index_.end() ? kInvalidTermId : it->second;
 }
@@ -29,11 +70,13 @@ KeywordSet Vocabulary::InternAll(const std::vector<std::string>& terms) {
 }
 
 const std::string& Vocabulary::TermString(TermId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   WSK_CHECK(id < terms_.size());
-  return terms_[id];
+  return terms_[id];  // deque storage: reference stays valid after unlock
 }
 
 void Vocabulary::RecordDocument(const KeywordSet& doc) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++num_documents_;
   for (TermId t : doc) {
     if (t >= doc_frequency_.size()) doc_frequency_.resize(t + 1, 0);
@@ -41,19 +84,65 @@ void Vocabulary::RecordDocument(const KeywordSet& doc) {
   }
 }
 
-uint32_t Vocabulary::DocumentFrequency(TermId id) const {
+void Vocabulary::UnrecordDocument(const KeywordSet& doc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WSK_CHECK(num_documents_ > 0);
+  --num_documents_;
+  for (TermId t : doc) {
+    WSK_CHECK(t < doc_frequency_.size() && doc_frequency_[t] > 0);
+    --doc_frequency_[t];
+  }
+}
+
+uint32_t Vocabulary::DocumentFrequencyLocked(TermId id) const {
   if (id >= doc_frequency_.size()) return 0;
   return doc_frequency_[id];
 }
 
-double Vocabulary::Idf(TermId t) const {
-  const double n_t = DocumentFrequency(t);
+uint32_t Vocabulary::DocumentFrequency(TermId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DocumentFrequencyLocked(id);
+}
+
+uint32_t Vocabulary::num_documents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_documents_;
+}
+
+uint32_t Vocabulary::num_terms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<uint32_t>(terms_.size());
+}
+
+Vocabulary Vocabulary::CloneDictionary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Vocabulary out;
+  out.index_ = index_;
+  out.terms_ = terms_;
+  out.doc_frequency_.assign(doc_frequency_.size(), 0);
+  out.num_documents_ = 0;
+  return out;
+}
+
+std::vector<uint32_t> Vocabulary::DocumentFrequencies() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return doc_frequency_;
+}
+
+double Vocabulary::IdfLocked(TermId t) const {
+  const double n_t = DocumentFrequencyLocked(t);
   const double d = num_documents_;
   return std::log((d - n_t + 0.5) / (n_t + 0.5));
 }
 
+double Vocabulary::Idf(TermId t) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return IdfLocked(t);
+}
+
 double Vocabulary::Particularity(const KeywordSet& doc, TermId t) const {
-  const double idf = Idf(t);
+  std::lock_guard<std::mutex> lock(mu_);
+  const double idf = IdfLocked(t);
   return doc.Contains(t) ? idf : -idf;
 }
 

@@ -4,10 +4,18 @@
 // frequencies n_t, and computes the IDF-style "particularity" weight of
 // Eqn 7, which drives the candidate enumeration order (Section IV-C2) and
 // the approximate algorithm's greedy sampling (Section VI-B).
+//
+// The dictionary is internally synchronized so a live engine can intern
+// terms and maintain document frequencies while queries read
+// particularities concurrently (docs/SEGMENTS.md). Term strings live in a
+// deque, so references returned by TermString stay valid across later
+// Intern calls.
 #ifndef WSK_TEXT_VOCABULARY_H_
 #define WSK_TEXT_VOCABULARY_H_
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -18,6 +26,16 @@ namespace wsk {
 
 class Vocabulary {
  public:
+  Vocabulary() = default;
+
+  // Copy/move must be user-provided: the mutex is not copyable. Neither is
+  // safe against concurrent mutation of the *destination*; the source is
+  // locked while read.
+  Vocabulary(const Vocabulary& other);
+  Vocabulary& operator=(const Vocabulary& other);
+  Vocabulary(Vocabulary&& other) noexcept;
+  Vocabulary& operator=(Vocabulary&& other) noexcept;
+
   // Returns the id of `term`, creating it on first sight.
   TermId Intern(const std::string& term);
 
@@ -30,12 +48,27 @@ class Vocabulary {
 
   const std::string& TermString(TermId id) const;
 
-  // Corpus statistics: call once per object document at load time.
+  // Corpus statistics: call once per object document at load time (and on
+  // live insert).
   void RecordDocument(const KeywordSet& doc);
 
+  // Inverse of RecordDocument, called when an object is deleted or its
+  // document replaced, so Eqn 7 particularities track the logically-current
+  // corpus exactly (a from-scratch rebuild must see identical n_t).
+  void UnrecordDocument(const KeywordSet& doc);
+
   uint32_t DocumentFrequency(TermId id) const;
-  uint32_t num_documents() const { return num_documents_; }
-  uint32_t num_terms() const { return static_cast<uint32_t>(terms_.size()); }
+  uint32_t num_documents() const;
+  uint32_t num_terms() const;
+
+  // A copy sharing this dictionary's term <-> id mapping but with all
+  // document frequencies zeroed. Used to rebuild a reference dataset whose
+  // term ids line up with a live engine's, so keyword sets and document
+  // frequencies compare bit-for-bit after re-recording.
+  Vocabulary CloneDictionary() const;
+
+  // Snapshot of every term's document frequency, indexed by TermId.
+  std::vector<uint32_t> DocumentFrequencies() const;
 
   // The particularity of term `t` to an object with keyword set `doc`
   // (Eqn 7): +idf(t) when t ∈ doc, -idf(t) otherwise, where
@@ -47,8 +80,12 @@ class Vocabulary {
   double Idf(TermId t) const;
 
  private:
+  double IdfLocked(TermId t) const;
+  uint32_t DocumentFrequencyLocked(TermId id) const;
+
+  mutable std::mutex mu_;
   std::unordered_map<std::string, TermId> index_;
-  std::vector<std::string> terms_;
+  std::deque<std::string> terms_;
   std::vector<uint32_t> doc_frequency_;
   uint32_t num_documents_ = 0;
 };

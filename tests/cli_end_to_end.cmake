@@ -1,5 +1,5 @@
 # Drives wsk_cli through generate -> topk -> whynot -> explain -> trace ->
-# statsz -> serve.
+# statsz -> serve -> live.
 set(csv "${WORK_DIR}/cli_e2e.csv")
 execute_process(COMMAND ${CLI} generate --out ${csv} --objects 2000
                 RESULT_VARIABLE rc OUTPUT_VARIABLE out)
@@ -55,5 +55,14 @@ execute_process(COMMAND ${CLI} serve --data ${csv} --random 30 --workers 4
                 RESULT_VARIABLE rc OUTPUT_VARIABLE out)
 if(NOT rc EQUAL 0 OR NOT out MATCHES "served" OR NOT out MATCHES "cache")
   message(FATAL_ERROR "serve failed: ${out}")
+endif()
+# live: mutations stream through the segmented backend while queries run;
+# the final report must carry the segment counters and a dataset version.
+execute_process(COMMAND ${CLI} live --data ${csv} --random 30 --workers 2
+                        --mutations 150 --delta 64 --seed 7
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "dataset version" OR
+   NOT out MATCHES "segments")
+  message(FATAL_ERROR "live failed: ${out}")
 endif()
 file(REMOVE ${csv})

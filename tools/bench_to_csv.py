@@ -17,6 +17,11 @@ exact series of the paper's figures. Beyond the paper's avg_ms / avg_io /
 avg_penalty, each group carries the pruning-effectiveness counters
 (cand_eval, cand_filtered, cand_skipped, cand_pruned, nodes_expanded)
 whenever the run reports them (docs/OBSERVABILITY.md).
+
+Service-layer rows (bench_service) are named `service/<series>/<key>:<value>`
+and carry throughput counters instead of per-query figures; each series
+lands in its own `service_<series>.csv` with whichever of qps / p50_ms /
+p99_ms / cache_hit_rate / insert_rate / merges the run reports.
 """
 
 import collections
@@ -35,6 +40,10 @@ SUFFIX = {"k": 1e3, "M": 1e6, "G": 1e9}
 BASE_COLUMNS = ("avg_ms", "avg_io", "avg_penalty")
 PRUNE_COLUMNS = ("cand_eval", "cand_filtered", "cand_skipped",
                  "cand_pruned", "nodes_expanded")
+# Service-series columns (bench_service), in report order; only the ones a
+# run actually carries are emitted.
+SERVICE_COLUMNS = ("qps", "p50_ms", "p99_ms", "cache_hit_rate",
+                   "insert_rate", "merges")
 
 
 def parse_number(text: str) -> float:
@@ -80,10 +89,19 @@ def main() -> int:
 
     # tables[param][value][algorithm] = {counter: value}
     tables = collections.defaultdict(dict)
+    # service[series] = (key, {value: {counter: value}}) for
+    # `service/<series>/<key>:<value>` rows.
+    service = collections.OrderedDict()
     for name, counters in load_rows(source):
+        parts = name.split("/")
+        if name.startswith("service/") and ":" in parts[-1]:
+            series = "/".join(parts[1:-1]) or "service"
+            key, _, value = parts[-1].partition(":")
+            service.setdefault(series, (key, collections.OrderedDict()))
+            service[series][1][value] = counters
+            continue
         if "avg_ms" not in counters:
             continue  # microbenchmark rows have no figure to land in
-        parts = name.split("/")
         if len(parts) < 2 or "=" not in parts[-1]:
             continue
         algorithm = "/".join(parts[:-1])
@@ -116,6 +134,18 @@ def main() -> int:
                     line += [cell.get(c, "") for c in columns]
                 writer.writerow(line)
         print(f"wrote {path} ({len(values)} rows x {len(algorithms)} series)")
+
+    for series, (key, rows) in service.items():
+        present = {c for cell in rows.values() for c in cell}
+        columns = [c for c in SERVICE_COLUMNS if c in present]
+        safe = series.replace("/", "_")
+        path = os.path.join(out_dir, f"service_{safe}.csv")
+        with open(path, "w", newline="") as out:
+            writer = csv.writer(out)
+            writer.writerow([key] + columns)
+            for value, cell in rows.items():
+                writer.writerow([value] + [cell.get(c, "") for c in columns])
+        print(f"wrote {path} ({len(rows)} rows)")
     return 0
 
 

@@ -10,6 +10,10 @@ by their --json flag (auto-detected by the leading '{'). Each sweep gets
 the paper's ms / I/O / penalty table; when a run reports the
 pruning-effectiveness counters (docs/OBSERVABILITY.md), a second table
 per sweep breaks the candidate dispositions down by algorithm.
+
+Service-layer rows (bench_service, `service/<series>/<key>:<value>`) get
+one table per series with whichever of qps / p50_ms / p99_ms /
+cache_hit_rate / insert_rate / merges the run carries.
 """
 
 import collections
@@ -24,6 +28,8 @@ COUNTER = re.compile(r"([A-Za-z_][\w]*)=(-?[\d.]+(?:e[+-]?\d+)?[kMG]?)")
 SUFFIX = {"k": 1e3, "M": 1e6, "G": 1e9}
 PRUNE_COLUMNS = ("cand_eval", "cand_filtered", "cand_skipped",
                  "cand_pruned", "nodes_expanded")
+SERVICE_COLUMNS = ("qps", "p50_ms", "p99_ms", "cache_hit_rate",
+                   "insert_rate", "merges")
 
 
 def num(text):
@@ -74,10 +80,19 @@ def main():
     # tables[param] -> ordered {value: {algorithm: {counter: value}}}
     tables = collections.defaultdict(collections.OrderedDict)
     micro = collections.OrderedDict()
+    # service[series] = (key, {value: counters})
+    service = collections.OrderedDict()
     for name, counters in load_rows(path):
         if name.startswith("topk/") and "avg_penalty" not in counters:
             micro[name] = (counters.get("_console_ms", 0.0) / 20.0,
                            counters.get("avg_io", 0.0))
+            continue
+        if name.startswith("service/") and ":" in name.split("/")[-1]:
+            parts = name.split("/")
+            series = "/".join(parts[1:-1]) or "service"
+            key, _, value = parts[-1].partition(":")
+            service.setdefault(series, (key, collections.OrderedDict()))
+            service[series][1][value] = counters
             continue
         if "avg_ms" not in counters:
             continue
@@ -141,6 +156,27 @@ def main():
                 cols = " | ".join(
                     fmt(cell.get(c, 0.0), 0) for c in PRUNE_COLUMNS)
                 print(f"| {value} | {a} | {cols} |")
+        print()
+
+    for series, (key, rows) in service.items():
+        present = {c for cell in rows.values() for c in cell}
+        columns = [c for c in SERVICE_COLUMNS if c in present]
+        if not columns:
+            continue
+        print(f"### service: {series}\n")
+        print("| " + key + " | " + " | ".join(columns) + " |")
+        print("|---|" + "---|" * len(columns))
+        for value, cell in rows.items():
+            cols = []
+            for c in columns:
+                v = cell.get(c, 0.0)
+                if c == "cache_hit_rate":
+                    cols.append(f"{v:.2f}")
+                elif c == "merges":
+                    cols.append(fmt(v, 0))
+                else:
+                    cols.append(fmt(v))
+            print(f"| {value} | " + " | ".join(cols) + " |")
         print()
 
     if micro:

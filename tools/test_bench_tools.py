@@ -37,6 +37,12 @@ cand_pruned=165 cand_skipped=72 nodes_expanded=800
 BS/k0=10/iterations:1          80 ms       79 ms       1 avg_io=300 \
 avg_ms=40 avg_penalty=0.012 cand_eval=255 cand_filtered=0 \
 cand_pruned=0 cand_skipped=0 nodes_expanded=5k
+service/mixed/workers:2/iterations:1  17.4 ms  0.38 ms  1 \
+cache_hit_rate=0.5 p50_ms=16.384 p99_ms=32.768 qps=4.66718k
+service/ingest/merge:on/iterations:1  50.3 ms  7.96 ms  1 \
+insert_rate=19.5094k merges=3 p99_ms=32.768
+service/ingest/merge:off/iterations:1 17.4 ms  5.52 ms  1 \
+insert_rate=41.2772k merges=0 p99_ms=16.384
 """
 
 JSON_SAMPLE = {
@@ -65,6 +71,16 @@ JSON_SAMPLE = {
                 "untraced_ms": 95.0,
                 "traced_ms": 100.0,
                 "trace_overhead": 1.05,
+            },
+        },
+        {
+            "name": "service/ingest/merge:on/iterations:1",
+            "iterations": 1,
+            "ns_per_op": 5.03e7,
+            "counters": {
+                "insert_rate": 19509.4,
+                "merges": 3.0,
+                "p99_ms": 32.768,
             },
         },
     ],
@@ -134,6 +150,29 @@ class BenchToCsvTest(unittest.TestCase):
             float(row[header.index("KcRBased_cand_pruned")]), 165.0
         )
 
+    def test_emits_service_series_csvs(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = os.path.join(tmp, "bench_output.txt")
+            with open(src, "w") as f:
+                f.write(CONSOLE_SAMPLE)
+            out_dir = os.path.join(tmp, "csv")
+            run_tool("bench_to_csv.py", src, out_dir)
+            with open(os.path.join(out_dir, "service_mixed.csv")) as f:
+                mixed = list(csv.reader(f))
+            with open(os.path.join(out_dir, "service_ingest.csv")) as f:
+                ingest = list(csv.reader(f))
+        self.assertEqual(
+            mixed[0], ["workers", "qps", "p50_ms", "p99_ms",
+                       "cache_hit_rate"])
+        self.assertEqual(mixed[1][0], "2")
+        self.assertEqual(float(mixed[1][1]), 4667.18)
+        header, on_row, off_row = ingest[0], ingest[1], ingest[2]
+        self.assertEqual(header, ["merge", "p99_ms", "insert_rate",
+                                  "merges"])
+        self.assertEqual(on_row[0], "on")
+        self.assertEqual(float(on_row[header.index("merges")]), 3.0)
+        self.assertEqual(float(off_row[header.index("merges")]), 0.0)
+
     def test_json_input_produces_same_table(self):
         with tempfile.TemporaryDirectory() as tmp:
             src = os.path.join(tmp, "bench.json")
@@ -162,6 +201,29 @@ class BenchToMarkdownTest(unittest.TestCase):
         self.assertIn("cand_filtered", out)
         # The unoptimized baseline row shows everything evaluated.
         self.assertIn("| 10 | BS | 255 | 0 | 0 | 0 |", out)
+
+    def test_renders_service_tables(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = os.path.join(tmp, "bench_output.txt")
+            with open(src, "w") as f:
+                f.write(CONSOLE_SAMPLE)
+            out = run_tool("bench_to_markdown.py", src).stdout
+        self.assertIn("### service: mixed", out)
+        self.assertIn("### service: ingest", out)
+        self.assertIn("| workers | qps | p50_ms | p99_ms |"
+                      " cache_hit_rate |", out)
+        self.assertIn("| merge | p99_ms | insert_rate | merges |", out)
+        self.assertIn("| on | 32.8 | 19,509 | 3 |", out)
+        self.assertIn("| off | 16.4 | 41,277 | 0 |", out)
+
+    def test_json_service_rows_render(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = os.path.join(tmp, "bench.json")
+            with open(src, "w") as f:
+                json.dump(JSON_SAMPLE, f)
+            out = run_tool("bench_to_markdown.py", src).stdout
+        self.assertIn("### service: ingest", out)
+        self.assertIn("| on | 32.8 | 19,509 | 3 |", out)
 
 
 class TraceOverheadGateTest(unittest.TestCase):

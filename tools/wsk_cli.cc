@@ -29,6 +29,14 @@
 //             [--repeat R] [--seed S]
 //       Replay a query workload through the concurrent QueryService and
 //       print per-status counts, throughput, and the metrics report.
+//   live      --data FILE (--queries FILE | --random N) [--mutations M]
+//             [--delta CAP] [--no-merge] [--workers W] [--cache N]
+//             [--seed S]
+//       Serve the workload on the live (segmented) backend while
+//       streaming M random insert/update/delete mutations through the
+//       service, force a final compaction, and print the mutation
+//       counts, dataset version, and segment counters
+//       (docs/SEGMENTS.md).
 //       Query file lines:
 //         topk <x> <y> <k> <alpha> <keywords...>
 //         whynot <bs|advanced|kcr> <x> <y> <k> <alpha> <lambda> \
@@ -57,6 +65,7 @@
 #include "data/dataset_io.h"
 #include "data/generator.h"
 #include "observability/trace.h"
+#include "segment/segmented_engine.h"
 #include "service/query_service.h"
 
 namespace {
@@ -114,7 +123,7 @@ class Args {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: wsk_cli <generate|topk|whynot|explain|trace|statsz|serve> "
+      "usage: wsk_cli <generate|topk|whynot|explain|trace|statsz|serve|live> "
       "[--flags]\n"
       "see the header of tools/wsk_cli.cc for details\n");
   return 2;
@@ -602,6 +611,121 @@ int Serve(const Args& args) {
   return by_code.size() == 1 && by_code.count(StatusCode::kOk) == 1 ? 0 : 1;
 }
 
+// Serves the workload on the live (segmented) backend while a stream of
+// random mutations flows through the service, then forces a compaction.
+// Demonstrates that queries keep answering — and the result cache never
+// serves stale data — while the dataset changes underneath them.
+int Live(const Args& args) {
+  std::unique_ptr<Dataset> dataset = LoadData(args);
+  if (dataset == nullptr) return 1;
+
+  std::vector<ServeRequest> requests;
+  if (!BuildWorkload(args, *dataset, "live", &requests)) return 2;
+
+  SegmentedEngine::Config engine_config;
+  engine_config.delta_capacity =
+      static_cast<uint32_t>(args.GetLong("delta", 4096));
+  engine_config.auto_merge = !args.Has("no-merge");
+  auto engine_or = SegmentedEngine::Build(*dataset, engine_config);
+  if (!engine_or.ok()) return Fail(engine_or.status());
+  auto engine = std::move(engine_or).value();
+
+  QueryService service(engine.get(), ServiceConfigFromArgs(args));
+
+  // Mutation stream: keywords drawn from the seed vocabulary so mutated
+  // objects interact with the workload's query terms.
+  const Vocabulary& vocabulary = engine->vocabulary();
+  std::vector<std::string> terms;
+  for (TermId t = 0; t < std::min(vocabulary.num_terms(), 64u); ++t) {
+    terms.push_back(vocabulary.TermString(t));
+  }
+  std::vector<ObjectId> live_ids(dataset->size());
+  for (size_t i = 0; i < live_ids.size(); ++i) {
+    live_ids[i] = static_cast<ObjectId>(i);
+  }
+  std::mt19937_64 rng(static_cast<uint64_t>(args.GetLong("seed", 42)));
+  std::uniform_real_distribution<double> coord(0.0, 1.0);
+  const auto random_keywords = [&] {
+    return std::vector<std::string>{terms[rng() % terms.size()],
+                                    terms[rng() % terms.size()]};
+  };
+
+  const long mutations = args.GetLong("mutations", 200);
+  uint64_t inserts = 0, updates = 0, deletes = 0;
+  uint64_t version = engine->dataset_version();
+  std::vector<std::future<StatusOr<QueryService::TopKResponse>>> topk_futures;
+  std::vector<std::future<StatusOr<QueryService::WhyNotResponse>>>
+      whynot_futures;
+  size_t next_request = 0;
+  Timer wall;
+  for (long i = 0; i < mutations; ++i) {
+    const uint64_t r = rng();
+    StatusOr<QueryService::MutationResponse> response =
+        Status::Internal("unset");
+    if (r % 4 < 2 || live_ids.empty()) {
+      response = service.Insert(Point{coord(rng), coord(rng)},
+                                random_keywords());
+      if (response.ok()) {
+        live_ids.push_back(response.value().id);
+        ++inserts;
+      }
+    } else {
+      const size_t victim = r % live_ids.size();
+      if (r % 4 == 2) {
+        response = service.Update(live_ids[victim],
+                                  Point{coord(rng), coord(rng)},
+                                  random_keywords());
+        if (response.ok()) ++updates;
+      } else {
+        response = service.Delete(live_ids[victim]);
+        if (response.ok()) {
+          live_ids[victim] = live_ids.back();
+          live_ids.pop_back();
+          ++deletes;
+        }
+      }
+    }
+    if (!response.ok()) return Fail(response.status());
+    version = response.value().dataset_version;
+    // A query every few mutations so reads race rotations and merges.
+    if (i % 4 == 0) {
+      const ServeRequest& req = requests[next_request++ % requests.size()];
+      if (req.is_whynot) {
+        whynot_futures.push_back(service.SubmitWhyNot(
+            req.algorithm, req.query, req.missing, req.options));
+      } else {
+        topk_futures.push_back(service.SubmitTopK(req.query));
+      }
+    }
+  }
+
+  std::map<StatusCode, uint64_t> by_code;
+  for (auto& f : topk_futures) ++by_code[f.get().status().code()];
+  for (auto& f : whynot_futures) ++by_code[f.get().status().code()];
+  const double wall_s = wall.ElapsedSeconds();
+
+  const Status merged = engine->ForceMerge();
+  if (!merged.ok()) return Fail(merged);
+
+  const size_t queries = topk_futures.size() + whynot_futures.size();
+  std::printf("applied %llu inserts, %llu updates, %llu deletes and served "
+              "%zu queries in %.3f s — dataset version %llu, %zu live "
+              "objects\n",
+              static_cast<unsigned long long>(inserts),
+              static_cast<unsigned long long>(updates),
+              static_cast<unsigned long long>(deletes), queries, wall_s,
+              static_cast<unsigned long long>(version), live_ids.size());
+  for (const auto& [code, count] : by_code) {
+    std::printf("  %-20s %llu\n", StatusCodeName(code),
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("%s", service.MetricsReport().c_str());
+  return by_code.empty() ||
+                 (by_code.size() == 1 && by_code.count(StatusCode::kOk) == 1)
+             ? 0
+             : 1;
+}
+
 int Statsz(const Args& args) {
   std::unique_ptr<Dataset> dataset = LoadData(args);
   if (dataset == nullptr) return 1;
@@ -647,5 +771,6 @@ int main(int argc, char** argv) {
   if (command == "trace") return Trace(args);
   if (command == "statsz") return Statsz(args);
   if (command == "serve") return Serve(args);
+  if (command == "live") return Live(args);
   return Usage();
 }
