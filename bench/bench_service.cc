@@ -21,6 +21,15 @@
 //   insert_rate     mutations / wall second
 //   p99_ms          service-side top-k latency under ingest
 //   merges          background compactions completed during the run
+//
+// The shard-count series (service/shards/n:{1,2,4,8}) measures the
+// scatter-gather ShardCoordinator (docs/SHARDING.md) on a *clustered*
+// dataset with localized queries — the workload where the per-shard
+// MaxScore bound should let the coordinator skip most tiles. Counters:
+//   qps, p50_ms, p99_ms   as for service/mixed
+//   shards_visited        shard top-k probes actually executed
+//   shards_pruned         shards skipped by the cross-shard bound
+//   pruned_rate           shards_pruned / (visited + pruned)
 #include <algorithm>
 #include <string>
 #include <vector>
@@ -28,8 +37,10 @@
 #include "bench_common.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "data/generator.h"
 #include "segment/segmented_engine.h"
 #include "service/query_service.h"
+#include "shard/shard_coordinator.h"
 
 namespace {
 
@@ -190,6 +201,93 @@ void RunIngest(benchmark::State& state, bool auto_merge) {
   }
 }
 
+// Clustered dataset + query-at-an-object workload shared by every shard
+// count, so the series varies only the topology. Tight clusters and a
+// near-zero uniform background make the STR tiles spatially disjoint,
+// which is what gives the per-shard bound its pruning power.
+struct ShardWorkload {
+  Dataset dataset;
+  std::vector<SpatialKeywordQuery> queries;
+};
+
+const ShardWorkload& SharedShardWorkload() {
+  static const ShardWorkload* workload = [] {
+    auto* w = new ShardWorkload();
+    GeneratorConfig gen;
+    gen.num_objects = std::max(2000u, EnvObjects() / 4);
+    gen.vocab_size = std::max(200u, gen.num_objects / 5);
+    gen.num_clusters = 8;
+    gen.cluster_stddev = 0.01;
+    gen.uniform_fraction = 0.02;
+    gen.seed = 0x5ead5;
+    w->dataset = GenerateDataset(gen);
+    // Queries anchored at dataset objects and distance-dominant (high
+    // alpha): a tile's keyword union nearly always covers the query
+    // terms, so the text half of the shard bound saturates — it is the
+    // spatial term that drops far tiles below the running kth score.
+    Rng rng(0x711e5);
+    const uint32_t count = 64 * EnvQueriesPerPoint();
+    for (uint32_t i = 0; i < count; ++i) {
+      const SpatialObject& anchor =
+          w->dataset.objects()[rng.Next() % w->dataset.objects().size()];
+      SpatialKeywordQuery q;
+      q.loc = anchor.loc;
+      q.doc = anchor.doc;
+      q.k = 10;
+      q.alpha = 0.9;
+      w->queries.push_back(q);
+    }
+    return w;
+  }();
+  return *workload;
+}
+
+void RunShards(benchmark::State& state, uint32_t num_shards) {
+  const ShardWorkload& workload = SharedShardWorkload();
+
+  ShardCoordinator::Config shard_config;
+  shard_config.num_shards = num_shards;
+
+  QueryServiceConfig config;
+  config.num_workers = 4;
+  config.max_queue = 0;
+  config.max_inflight = 0;
+  config.cache_capacity = 0;  // every query fans out to the shards
+
+  for (auto _ : state) {
+    auto coordinator =
+        ShardCoordinator::Build(workload.dataset, shard_config).value();
+    QueryService service(coordinator.get(), config);
+
+    std::vector<std::future<StatusOr<QueryService::TopKResponse>>> tf;
+    Timer wall;
+    for (const SpatialKeywordQuery& q : workload.queries) {
+      tf.push_back(service.SubmitTopK(q));
+    }
+    uint64_t ok = 0;
+    for (auto& f : tf) {
+      const auto r = f.get();
+      WSK_CHECK_MSG(r.ok(), "%s", r.status().ToString().c_str());
+      ++ok;
+    }
+    const double wall_s = wall.ElapsedSeconds();
+
+    const LatencyHistogram::Snapshot lat =
+        service.metrics().histogram("latency.topk.ms").TakeSnapshot();
+    const ShardCountersSnapshot sh = coordinator->shard_counters();
+    const double probes =
+        static_cast<double>(sh.shards_visited + sh.shards_pruned);
+    state.counters["qps"] =
+        static_cast<double>(ok) / (wall_s > 0.0 ? wall_s : 1e-9);
+    state.counters["p50_ms"] = lat.p50_ms;
+    state.counters["p99_ms"] = lat.p99_ms;
+    state.counters["shards_visited"] = static_cast<double>(sh.shards_visited);
+    state.counters["shards_pruned"] = static_cast<double>(sh.shards_pruned);
+    state.counters["pruned_rate"] =
+        probes > 0.0 ? static_cast<double>(sh.shards_pruned) / probes : 0.0;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -207,6 +305,14 @@ int main(int argc, char** argv) {
     benchmark::RegisterBenchmark(
         name.c_str(),
         [merge](benchmark::State& state) { RunIngest(state, merge); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    const std::string name = "service/shards/n:" + std::to_string(shards);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [shards](benchmark::State& state) { RunShards(state, shards); })
         ->Iterations(1)
         ->Unit(benchmark::kMillisecond);
   }

@@ -59,6 +59,20 @@ struct SegmentCountersSnapshot {
   uint64_t live_objects = 0;     // gauge
 };
 
+// Scatter-gather counters for sharded backends; `valid` is false on
+// unsharded backends (the shard.* metrics lines are omitted).
+struct ShardCountersSnapshot {
+  bool valid = false;
+  uint64_t num_shards = 0;       // gauge
+  uint64_t queries = 0;          // scatter-gather top-k invocations
+  uint64_t shards_visited = 0;   // shard top-k calls actually executed
+  uint64_t shards_pruned = 0;    // shards skipped by the MaxScore bound
+  std::vector<uint64_t> per_shard_visited;
+  std::vector<uint64_t> per_shard_pruned;
+  std::vector<uint64_t> per_shard_mutations;
+  std::vector<uint64_t> per_shard_objects;  // gauge: owned live objects
+};
+
 class QueryBackend {
  public:
   virtual ~QueryBackend() = default;
@@ -83,6 +97,36 @@ class QueryBackend {
   // Frozen backends return a constant.
   virtual uint64_t dataset_version() const { return 0; }
 
+  // Identifies the backend's structural layout (shard count + tile
+  // boundaries for a sharded backend). Result-cache fingerprints embed
+  // this instead of the scalar dataset version; data freshness is covered
+  // separately by `version_vector()` + the *CacheValid hooks below, so a
+  // mutation no longer has to orphan every cached entry (docs/SHARDING.md
+  // "Cache versioning"). Unsharded backends return a constant.
+  virtual uint64_t topology_fingerprint() const { return 0; }
+
+  // Per-partition dataset versions, captured by the service layer before
+  // a query executes and stored with the cached result. Unsharded
+  // backends degenerate to the single dataset version.
+  virtual std::vector<uint64_t> version_vector() const {
+    return {dataset_version()};
+  }
+
+  // Whether a result cached at `versions` may still be served. The default
+  // (exact version-vector equality) reproduces the pre-sharding contract:
+  // any mutation invalidates. A sharded backend may keep a top-k entry
+  // alive when only shards that provably cannot affect it have changed.
+  virtual bool TopKCacheValid(const std::vector<uint64_t>& versions,
+                              const SpatialKeywordQuery& query,
+                              const std::vector<ScoredObject>& results) const {
+    (void)query;
+    (void)results;
+    return versions == version_vector();
+  }
+  virtual bool WhyNotCacheValid(const std::vector<uint64_t>& versions) const {
+    return versions == version_vector();
+  }
+
   // Dataset lifecycle. Mutations are const like the query surface (the
   // "const = thread-safe" convention); read-only backends reject them.
   virtual StatusOr<ObjectId> Insert(
@@ -104,6 +148,7 @@ class QueryBackend {
   }
 
   virtual SegmentCountersSnapshot segment_counters() const { return {}; }
+  virtual ShardCountersSnapshot shard_counters() const { return {}; }
 };
 
 }  // namespace wsk

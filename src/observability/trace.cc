@@ -14,6 +14,7 @@ constexpr const char* kStageNames[kNumTraceStages] = {
     "query",           "initial_rank",  "enumeration",      "candidate_eval",
     "dominator_probe", "rank_query",    "batch",            "leaf_scoring",
     "bound_tightening", "topk",         "explain",          "delta_scan",
+    "shard_visit",
 };
 
 constexpr const char* kCounterNames[kNumTraceCounters] = {
@@ -33,6 +34,8 @@ constexpr const char* kCounterNames[kNumTraceCounters] = {
     "cells_visited",
     "delta_objects_scanned",
     "segments_visited",
+    "shards_visited",
+    "shards_pruned",
 };
 
 void AppendJsonEscaped(const std::string& s, std::string* out) {

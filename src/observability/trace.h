@@ -48,8 +48,9 @@ enum class TraceStage : uint8_t {
   kTopK,             // stand-alone top-k traversal (service / CLI)
   kExplain,          // ExplainMiss annotation scope
   kDeltaScan,        // linear scan of in-memory delta segments (live path)
+  kShardVisit,       // one shard's top-k under the scatter-gather fan-out
 };
-inline constexpr size_t kNumTraceStages = 12;
+inline constexpr size_t kNumTraceStages = 13;
 const char* TraceStageName(TraceStage stage);
 
 // Pruning-effectiveness counters. The candidate family satisfies
@@ -74,8 +75,10 @@ enum class TraceCounter : uint8_t {
   kCellsVisited,          // inverted-grid cells swept spatially
   kDeltaObjectsScanned,   // delta-segment objects scored by a live query
   kSegmentsVisited,       // segments consulted by a live query
+  kShardsVisited,         // shards whose top-k actually ran (scatter-gather)
+  kShardsPruned,          // shards skipped by the cross-shard MaxScore bound
 };
-inline constexpr size_t kNumTraceCounters = 16;
+inline constexpr size_t kNumTraceCounters = 18;
 const char* TraceCounterName(TraceCounter counter);
 
 struct TraceEvent {

@@ -66,12 +66,22 @@ SegmentManager::Snapshot SegmentManager::GetSnapshot() const {
 
 uint64_t SegmentManager::current_seq() const { return GetSnapshot().seq; }
 
-StatusOr<ObjectId> SegmentManager::Insert(Point loc, KeywordSet doc) {
+StatusOr<ObjectId> SegmentManager::Insert(Point loc, KeywordSet doc,
+                                          ObjectId forced_id) {
   std::lock_guard<std::mutex> lock(writer_mu_);
+  ObjectId id;
+  if (forced_id != kInvalidObjectId) {
+    if (LocateCurrentLocked(forced_id, next_seq_).object != nullptr) {
+      return Status::InvalidArgument("forced insert id is already live");
+    }
+    id = forced_id;
+    next_id_ = std::max(next_id_, forced_id + 1);
+  } else {
+    id = next_id_++;
+  }
   const uint64_t seq = next_seq_ + 1;
   EnsureActiveSpaceLocked();
   vocabulary_->RecordDocument(doc);
-  const ObjectId id = next_id_++;
   current_->active->Add(SpatialObject{id, loc, std::move(doc)}, seq);
   next_seq_ = seq;
   current_->seq.store(seq, std::memory_order_release);

@@ -100,7 +100,13 @@ class SegmentManager {
   // Mutations (thread-safe; serialized internally). Documents arrive with
   // terms already interned through the shared vocabulary; the manager
   // maintains the vocabulary's document frequencies.
-  StatusOr<ObjectId> Insert(Point loc, KeywordSet doc);
+  //
+  // Insert normally assigns the next sequential id. A caller that owns id
+  // allocation (the shard coordinator hands out globally sequential ids
+  // across per-shard managers) passes `forced_id`; it must not collide
+  // with a live object, and future automatic ids continue above it.
+  StatusOr<ObjectId> Insert(Point loc, KeywordSet doc,
+                            ObjectId forced_id = kInvalidObjectId);
   Status Update(ObjectId id, Point loc, KeywordSet doc);
   Status Delete(ObjectId id);
 

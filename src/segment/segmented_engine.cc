@@ -41,7 +41,11 @@ StatusOr<std::unique_ptr<SegmentedEngine>> SegmentedEngine::Build(
     const Dataset& seed, const Config& config) {
   std::unique_ptr<SegmentedEngine> engine(new SegmentedEngine());
   engine->config_ = config;
-  engine->vocabulary_ = std::make_unique<Vocabulary>(seed.vocabulary());
+  if (config.shared_vocabulary != nullptr) {
+    engine->shared_vocab_ = config.shared_vocabulary;
+  } else {
+    engine->vocabulary_ = std::make_unique<Vocabulary>(seed.vocabulary());
+  }
   if (config.node_cache_bytes > 0) {
     engine->node_cache_ = std::make_unique<NodeCache>(config.node_cache_bytes);
   }
@@ -55,7 +59,7 @@ StatusOr<std::unique_ptr<SegmentedEngine>> SegmentedEngine::Build(
   options.delta_capacity = config.delta_capacity;
   options.auto_merge = config.auto_merge;
   engine->manager_ = std::make_unique<SegmentManager>(
-      options, seed.diagonal(), engine->vocabulary_.get(),
+      options, seed.diagonal(), engine->vocab(),
       engine->node_cache_.get(), engine->merge_pool_.get());
   WSK_RETURN_IF_ERROR(engine->manager_->SeedFrozen(seed.objects()));
   return engine;
@@ -115,7 +119,7 @@ StatusOr<WhyNotResult> SegmentedEngine::Answer(
   TraceSpan root_span(options.trace, TraceStage::kQuery);
   const bool kcr = algorithm == WhyNotAlgorithm::kKcrBased;
   QueryPlan plan = MakePlan(kcr);
-  const SnapshotStore store(vocabulary_.get(), plan.snapshot);
+  const SnapshotStore store(vocab(), plan.snapshot);
   const double diagonal = manager_->diagonal();
   const BackendIoSnapshot before = io_snapshot();
 
@@ -168,7 +172,7 @@ StatusOr<WhyNotResult> SegmentedEngine::Answer(
 StatusOr<uint32_t> SegmentedEngine::Rank(const SpatialKeywordQuery& query,
                                          ObjectId object) const {
   const QueryPlan plan = MakePlan(/*want_kcr=*/false);
-  const SnapshotStore store(vocabulary_.get(), plan.snapshot);
+  const SnapshotStore store(vocab(), plan.snapshot);
   const SpatialObject* o = store.FindObject(object);
   if (o == nullptr) {
     return Status::InvalidArgument("object id not visible in this snapshot");
@@ -201,12 +205,17 @@ SegmentCountersSnapshot SegmentedEngine::segment_counters() const {
 
 StatusOr<ObjectId> SegmentedEngine::Insert(
     Point loc, const std::vector<std::string>& keywords) const {
-  return manager_->Insert(loc, vocabulary_->InternAll(keywords));
+  return manager_->Insert(loc, vocab()->InternAll(keywords));
+}
+
+StatusOr<ObjectId> SegmentedEngine::InsertWithId(
+    ObjectId id, Point loc, const std::vector<std::string>& keywords) const {
+  return manager_->Insert(loc, vocab()->InternAll(keywords), id);
 }
 
 Status SegmentedEngine::Update(
     ObjectId id, Point loc, const std::vector<std::string>& keywords) const {
-  return manager_->Update(id, loc, vocabulary_->InternAll(keywords));
+  return manager_->Update(id, loc, vocab()->InternAll(keywords));
 }
 
 Status SegmentedEngine::Delete(ObjectId id) const {

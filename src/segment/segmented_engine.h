@@ -59,6 +59,12 @@ class SegmentedEngine : public QueryBackend {
     // Merge policy knobs (docs/SEGMENTS.md "Merge policy").
     uint32_t delta_capacity = 4096;
     bool auto_merge = true;
+    // When set, the engine interns and records document frequencies
+    // through this externally owned vocabulary instead of copying the
+    // seed's. The shard coordinator points every shard engine at one
+    // global vocabulary so term ids and corpus-wide df stay identical to
+    // an unsharded engine (docs/SHARDING.md). Must outlive the engine.
+    Vocabulary* shared_vocabulary = nullptr;
   };
 
   // Seeds the engine with `seed`'s objects as the initial frozen segment
@@ -93,6 +99,12 @@ class SegmentedEngine : public QueryBackend {
                 const std::vector<std::string>& keywords) const override;
   Status Delete(ObjectId id) const override;
 
+  // Insert under a caller-chosen id (the shard coordinator allocates ids
+  // globally so sharded and unsharded runs assign identical ids).
+  StatusOr<ObjectId> InsertWithId(
+      ObjectId id, Point loc,
+      const std::vector<std::string>& keywords) const;
+
   // --- live-dataset extras ---
 
   // Synchronous compaction (tests, CLI, benchmarks).
@@ -106,15 +118,13 @@ class SegmentedEngine : public QueryBackend {
     return manager_->GetSnapshot();
   }
   SegmentManager* manager() const { return manager_.get(); }
-  const Vocabulary& vocabulary() const { return *vocabulary_; }
+  const Vocabulary& vocabulary() const { return *vocab(); }
   double diagonal() const { return manager_->diagonal(); }
   const Config& config() const { return config_; }
 
- private:
-  SegmentedEngine() = default;
-
   // Per-query traversal state: visibility filters must outlive the merged
-  // sources that point at them.
+  // sources that point at them. Public so the shard coordinator can
+  // concatenate per-shard plans into one cross-shard merged source.
   struct QueryPlan {
     SegmentManager::Snapshot snapshot;
     std::vector<std::unique_ptr<FrozenVisibility>> visibility;
@@ -122,9 +132,21 @@ class SegmentedEngine : public QueryBackend {
     std::vector<MergedSegment> setr_segments;
     KcrMultiSource kcr;
   };
+  QueryPlan CollectPlan(bool want_kcr) const { return MakePlan(want_kcr); }
+
+ private:
+  SegmentedEngine() = default;
+
   QueryPlan MakePlan(bool want_kcr) const;
 
+  // The interning vocabulary: shared (coordinator-owned) or this engine's
+  // own copy of the seed's.
+  Vocabulary* vocab() const {
+    return shared_vocab_ != nullptr ? shared_vocab_ : vocabulary_.get();
+  }
+
   Config config_;
+  Vocabulary* shared_vocab_ = nullptr;
   std::unique_ptr<Vocabulary> vocabulary_;
   std::unique_ptr<NodeCache> node_cache_;
   std::unique_ptr<ThreadPool> merge_pool_;

@@ -153,7 +153,7 @@ std::future<StatusOr<QueryService::TopKResponse>> QueryService::SubmitTopK(
       opts.bypass_cache
           ? std::string()
           : FingerprintTopK(query, config_.cache_location_quantum,
-                            backend_->dataset_version());
+                            backend_->topology_fingerprint());
 
   auto task = [this, promise, query, token = std::move(token), key,
                bypass_cache = opts.bypass_cache, timer = Timer()]() {
@@ -166,13 +166,20 @@ std::future<StatusOr<QueryService::TopKResponse>> QueryService::SubmitTopK(
         // lookup, since its client is no longer waiting for an answer.
         WSK_RETURN_IF_ERROR(token.Check());
         TopKResponse response;
+        std::vector<uint64_t> versions;
         if (!bypass_cache) {
-          if (std::shared_ptr<const ResultCache::Entry> hit =
-                  cache_.Lookup(key)) {
+          if (std::shared_ptr<const ResultCache::Entry> hit = cache_.Lookup(
+                  key, [this, &query](const ResultCache::Entry& e) {
+                    return backend_->TopKCacheValid(e.versions, query, e.topk);
+                  })) {
             response.results = hit->topk;
             response.cache_hit = true;
             return response;
           }
+          // Captured before the query runs: a mutation racing the
+          // computation makes the entry look staler than it is, never
+          // fresher.
+          versions = backend_->version_vector();
         }
         const IoSnapshot io_before = TakeIoSnapshot();
         // Capacity-0 recorder: no event buffer, just stage totals and
@@ -190,6 +197,7 @@ std::future<StatusOr<QueryService::TopKResponse>> QueryService::SubmitTopK(
           auto entry = std::make_shared<ResultCache::Entry>();
           entry->is_whynot = false;
           entry->topk = response.results;
+          entry->versions = std::move(versions);
           cache_.Insert(key, std::move(entry));
         }
         return response;
@@ -236,7 +244,7 @@ std::future<StatusOr<QueryService::WhyNotResponse>> QueryService::SubmitWhyNot(
           ? std::string()
           : FingerprintWhyNot(algorithm, query, missing, options,
                               config_.cache_location_quantum,
-                              backend_->dataset_version());
+                              backend_->topology_fingerprint());
 
   auto task = [this, promise, algorithm, query, missing, options,
                token = std::move(token), key,
@@ -247,13 +255,17 @@ std::future<StatusOr<QueryService::WhyNotResponse>> QueryService::SubmitWhyNot(
       outcome = [&]() -> StatusOr<WhyNotResponse> {
         WSK_RETURN_IF_ERROR(token.Check());  // fail fast, as in SubmitTopK
         WhyNotResponse response;
+        std::vector<uint64_t> versions;
         if (!bypass_cache) {
-          if (std::shared_ptr<const ResultCache::Entry> hit =
-                  cache_.Lookup(key)) {
+          if (std::shared_ptr<const ResultCache::Entry> hit = cache_.Lookup(
+                  key, [this](const ResultCache::Entry& e) {
+                    return backend_->WhyNotCacheValid(e.versions);
+                  })) {
             response.result = hit->whynot;
             response.cache_hit = true;
             return response;
           }
+          versions = backend_->version_vector();  // before the query runs
         }
         WhyNotOptions effective = options;
         effective.cancel = &token;
@@ -275,6 +287,7 @@ std::future<StatusOr<QueryService::WhyNotResponse>> QueryService::SubmitWhyNot(
           auto entry = std::make_shared<ResultCache::Entry>();
           entry->is_whynot = true;
           entry->whynot = response.result;
+          entry->versions = std::move(versions);
           cache_.Insert(key, std::move(entry));
         }
         return response;
@@ -351,10 +364,11 @@ std::string QueryService::MetricsReport() const {
   char line[256];
   const ResultCache::Stats cs = cache_.stats();
   std::snprintf(line, sizeof(line),
-                "cache     hits %llu misses %llu insertions %llu "
+                "cache     hits %llu misses %llu stale %llu insertions %llu "
                 "evictions %llu size %zu capacity %zu\n",
                 static_cast<unsigned long long>(cs.hits),
                 static_cast<unsigned long long>(cs.misses),
+                static_cast<unsigned long long>(cs.stale),
                 static_cast<unsigned long long>(cs.insertions),
                 static_cast<unsigned long long>(cs.evictions), cache_.size(),
                 cache_.capacity());
@@ -386,6 +400,27 @@ std::string QueryService::MetricsReport() const {
                   static_cast<unsigned long long>(seg.rotations),
                   static_cast<unsigned long long>(seg.segments_retired));
     out += line;
+  }
+  if (const ShardCountersSnapshot sh = backend_->shard_counters(); sh.valid) {
+    std::snprintf(line, sizeof(line),
+                  "shards    count %llu queries %llu visited %llu "
+                  "pruned %llu\n",
+                  static_cast<unsigned long long>(sh.num_shards),
+                  static_cast<unsigned long long>(sh.queries),
+                  static_cast<unsigned long long>(sh.shards_visited),
+                  static_cast<unsigned long long>(sh.shards_pruned));
+    out += line;
+    for (size_t i = 0; i < sh.per_shard_visited.size(); ++i) {
+      std::snprintf(
+          line, sizeof(line),
+          "shard.%zu   visited %llu pruned %llu mutations %llu objects "
+          "%llu\n",
+          i, static_cast<unsigned long long>(sh.per_shard_visited[i]),
+          static_cast<unsigned long long>(sh.per_shard_pruned[i]),
+          static_cast<unsigned long long>(sh.per_shard_mutations[i]),
+          static_cast<unsigned long long>(sh.per_shard_objects[i]));
+      out += line;
+    }
   }
   if (const NodeCache* nc = backend_->node_cache()) {
     const NodeCache::Stats ns = nc->GetStats();
@@ -426,6 +461,7 @@ std::string QueryService::PrometheusReport() const {
   const ResultCache::Stats cs = cache_.stats();
   counter_line("wsk_result_cache_hits_total", cs.hits);
   counter_line("wsk_result_cache_misses_total", cs.misses);
+  counter_line("wsk_result_cache_stale_total", cs.stale);
   counter_line("wsk_result_cache_insertions_total", cs.insertions);
   counter_line("wsk_result_cache_evictions_total", cs.evictions);
   gauge_line("wsk_result_cache_size", cache_.size());
@@ -446,6 +482,12 @@ std::string QueryService::PrometheusReport() const {
     gauge_line("wsk_segment_delta_objects", seg.delta_objects);
     gauge_line("wsk_segment_live_objects", seg.live_objects);
     gauge_line("wsk_segment_dataset_version", backend_->dataset_version());
+  }
+  if (const ShardCountersSnapshot sh = backend_->shard_counters(); sh.valid) {
+    gauge_line("wsk_shards", sh.num_shards);
+    counter_line("wsk_shard_queries_total", sh.queries);
+    counter_line("wsk_shards_visited_total", sh.shards_visited);
+    counter_line("wsk_shards_pruned_total", sh.shards_pruned);
   }
   if (const NodeCache* nc = backend_->node_cache()) {
     const NodeCache::Stats ns = nc->GetStats();

@@ -7,11 +7,15 @@
 //
 // Mutations (Insert/Update/Delete) run synchronously on the caller's
 // thread — the backend serializes writers internally, and a mutation's
-// latency is the write path itself, not queueing. Every cache key embeds
-// the backend's dataset version, so a mutation implicitly invalidates all
-// cached answers: post-mutation lookups carry a new version and miss
-// (docs/SERVICE.md "Mutations and cache invalidation"). Read-only backends
-// report version 0 and keep the pre-mutation behavior bit for bit.
+// latency is the write path itself, not queueing. Cache keys embed the
+// backend's topology fingerprint, and every cached entry stores the
+// backend's version vector from before its answer was computed; lookups
+// re-validate through QueryBackend::TopKCacheValid / WhyNotCacheValid, so
+// a stale answer is structurally unservable. For unsharded backends the
+// default validators require exact version equality (any mutation
+// invalidates, exactly the pre-sharding contract); a sharded backend keeps
+// top-k entries whose changed shards provably cannot affect them
+// (docs/SERVICE.md "Mutations and cache invalidation", docs/SHARDING.md).
 //
 // Admission control bounds load two ways: `max_inflight` caps admitted
 // requests (queued + executing) and the worker pool's `max_queue` bounds

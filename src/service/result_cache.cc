@@ -71,11 +71,18 @@ std::string FingerprintWhyNot(WhyNotAlgorithm algorithm,
 }
 
 std::shared_ptr<const ResultCache::Entry> ResultCache::Lookup(
-    const std::string& key) {
+    const std::string& key, const Validator& validator) {
   if (capacity_ == 0) return nullptr;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (validator != nullptr && !validator(*it->second.entry)) {
+    lru_.erase(it->second.lru_it);
+    map_.erase(it);
+    ++stats_.stale;
     ++stats_.misses;
     return nullptr;
   }

@@ -15,10 +15,18 @@
 //     change the answer); pure optimization switches (opt_*, num_threads,
 //     kcr_single_batch) are NOT — the differential suite guarantees they
 //     do not change results,
-//   - the backend's dataset version (QueryBackend::dataset_version(), the
-//     mutation sequence number) is part of every key, so an answer computed
-//     before a mutation can never be served afterwards: the post-mutation
-//     key differs and misses. Read-only backends pass the default 0.
+//   - the backend's topology fingerprint
+//     (QueryBackend::topology_fingerprint(): shard count + tile layout;
+//     constant 0 on unsharded backends) is part of every key, so entries
+//     never survive a re-partitioning. Data *freshness* is handled by
+//     validation instead of the key: each entry stores the backend's
+//     version vector captured before the answer was computed, and Lookup
+//     re-checks it through a caller-supplied validator
+//     (QueryBackend::TopKCacheValid / WhyNotCacheValid). The default
+//     validators require exact version equality — the pre-sharding
+//     "any mutation invalidates" contract — while a sharded backend keeps
+//     top-k entries alive when only provably irrelevant shards changed
+//     (docs/SHARDING.md "Cache versioning").
 //
 // Entries are immutable and shared via shared_ptr, so a hit never copies
 // the payload and eviction never invalidates a response already handed to
@@ -27,6 +35,7 @@
 #define WSK_SERVICE_RESULT_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -41,7 +50,9 @@
 namespace wsk {
 
 // Canonical cache keys. The returned string is an opaque byte sequence;
-// equal requests (in the sense above) produce equal strings.
+// equal requests (in the sense above) produce equal strings. The version
+// argument is whatever structural stamp the caller wants baked into the
+// key — QueryService passes the backend's topology fingerprint.
 std::string FingerprintTopK(const SpatialKeywordQuery& query,
                             double location_quantum,
                             uint64_t dataset_version = 0);
@@ -55,10 +66,14 @@ std::string FingerprintWhyNot(WhyNotAlgorithm algorithm,
 class ResultCache {
  public:
   // One cached answer; `is_whynot` selects which payload is meaningful.
+  // `versions` is the backend version vector captured *before* the answer
+  // was computed (conservative: a mutation racing the computation makes
+  // the entry look staler than it is, never fresher).
   struct Entry {
     bool is_whynot = false;
     std::vector<ScoredObject> topk;
     WhyNotResult whynot;
+    std::vector<uint64_t> versions;
   };
 
   struct Stats {
@@ -66,7 +81,12 @@ class ResultCache {
     uint64_t misses = 0;
     uint64_t insertions = 0;
     uint64_t evictions = 0;
+    uint64_t stale = 0;  // hits rejected by the validator (counted as misses)
   };
+
+  // Freshness check applied on lookup; false evicts the entry and turns
+  // the hit into a miss.
+  using Validator = std::function<bool(const Entry&)>;
 
   // `capacity` is a number of entries; 0 disables the cache (Lookup always
   // misses, Insert is a no-op).
@@ -75,8 +95,11 @@ class ResultCache {
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
 
-  // nullptr on miss; promotes the entry to most-recently-used on hit.
-  std::shared_ptr<const Entry> Lookup(const std::string& key);
+  // nullptr on miss; promotes the entry to most-recently-used on hit. A
+  // non-null `validator` vets the entry first — stale entries are erased
+  // and reported as misses.
+  std::shared_ptr<const Entry> Lookup(const std::string& key,
+                                      const Validator& validator = nullptr);
 
   // Inserts (or refreshes) the entry, evicting the coldest on overflow.
   void Insert(const std::string& key, std::shared_ptr<const Entry> entry);

@@ -1,0 +1,503 @@
+#include "shard/shard_coordinator.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "common/macros.h"
+#include "core/whynot_bs.h"
+#include "core/whynot_kcr.h"
+#include "segment/merged_source.h"
+#include "shard/shard_partition.h"
+
+namespace wsk {
+
+namespace {
+
+// Cross-shard ObjectStore: id lookups fan out over the per-shard stores,
+// the vocabulary is the coordinator's global one (corpus-wide document
+// frequencies, identical to an unsharded engine's).
+class ShardedStore : public ObjectStore {
+ public:
+  ShardedStore(const Vocabulary* vocabulary,
+               std::vector<const ObjectStore*> stores)
+      : vocabulary_(vocabulary), stores_(std::move(stores)) {
+    for (const ObjectStore* store : stores_) count_ += store->num_objects();
+  }
+
+  const SpatialObject* FindObject(ObjectId id) const override {
+    for (const ObjectStore* store : stores_) {
+      if (const SpatialObject* o = store->FindObject(id)) return o;
+    }
+    return nullptr;
+  }
+  size_t num_objects() const override { return count_; }
+  const Vocabulary& vocabulary() const override { return *vocabulary_; }
+
+ private:
+  const Vocabulary* vocabulary_;
+  std::vector<const ObjectStore*> stores_;
+  size_t count_ = 0;
+};
+
+uint64_t FnvMix(uint64_t hash, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xffu;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+uint64_t FnvMixDouble(uint64_t hash, double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return FnvMix(hash, bits);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ShardCoordinator>> ShardCoordinator::Build(
+    const Dataset& seed, const Config& config) {
+  WSK_CHECK_MSG(config.num_shards >= 1, "num_shards must be at least 1");
+  std::unique_ptr<ShardCoordinator> c(new ShardCoordinator());
+  c->config_ = config;
+  c->diagonal_ = seed.diagonal();
+  c->vocabulary_ = std::make_unique<Vocabulary>(seed.vocabulary());
+
+  ShardPartition partition = PartitionDataset(seed, config.num_shards);
+  ObjectId max_id = 0;
+  uint64_t topology = 1469598103934665603ull;  // FNV-1a offset basis
+  topology = FnvMix(topology, partition.tiles.size());
+  for (size_t i = 0; i < partition.tiles.size(); ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->tile = std::move(partition.tiles[i]);
+    for (const SpatialObject& o : shard->tile.objects()) {
+      AbsorbObject(&shard->summary, o.loc, o.doc);
+      c->owner_[o.id] = static_cast<uint32_t>(i);
+      max_id = std::max(max_id, o.id + 1);
+    }
+    topology = FnvMix(topology, shard->tile.size());
+    topology = FnvMixDouble(topology, shard->summary.mbr.min_x);
+    topology = FnvMixDouble(topology, shard->summary.mbr.min_y);
+    topology = FnvMixDouble(topology, shard->summary.mbr.max_x);
+    topology = FnvMixDouble(topology, shard->summary.mbr.max_y);
+    if (config.live) {
+      SegmentedEngine::Config ec;
+      ec.work_dir = config.work_dir;
+      ec.page_size = config.page_size;
+      ec.buffer_bytes = config.buffer_bytes;
+      ec.node_capacity = config.node_capacity;
+      ec.model = config.model;
+      ec.node_cache_bytes = config.node_cache_bytes;
+      ec.delta_capacity = config.delta_capacity;
+      ec.auto_merge = config.auto_merge;
+      ec.shared_vocabulary = c->vocabulary_.get();
+      StatusOr<std::unique_ptr<SegmentedEngine>> built =
+          SegmentedEngine::Build(shard->tile, ec);
+      if (!built.ok()) return built.status();
+      shard->engine = std::move(built).value();
+      // The engine owns the seeded objects now; drop the tile copy.
+      shard->tile = Dataset();
+    } else {
+      WhyNotEngine::Config ec;
+      ec.work_dir = config.work_dir;
+      ec.page_size = config.page_size;
+      ec.buffer_bytes = config.buffer_bytes;
+      ec.node_capacity = config.node_capacity;
+      ec.model = config.model;
+      ec.node_cache_bytes = config.node_cache_bytes;
+      StatusOr<std::unique_ptr<WhyNotEngine>> built =
+          WhyNotEngine::Build(&shard->tile, ec);
+      if (!built.ok()) return built.status();
+      shard->frozen = std::move(built).value();
+    }
+    c->shards_.push_back(std::move(shard));
+  }
+  c->next_insert_id_ = max_id;
+  c->topology_ = topology;
+  return c;
+}
+
+ShardCoordinator::~ShardCoordinator() = default;
+
+double ShardCoordinator::ShardBound(size_t shard,
+                                    const SpatialKeywordQuery& query) const {
+  const Shard& s = *shards_[shard];
+  std::lock_guard<std::mutex> lock(s.summary_mu);
+  return ShardUpperBound(s.summary, query, diagonal_);
+}
+
+std::vector<ShardCoordinator::RankedShard> ShardCoordinator::RankShards(
+    const SpatialKeywordQuery& query) const {
+  std::vector<RankedShard> order;
+  order.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    order.push_back(RankedShard{ShardBound(i, query),
+                                static_cast<uint32_t>(i)});
+  }
+  std::sort(order.begin(), order.end(),
+            [](const RankedShard& a, const RankedShard& b) {
+              if (a.bound != b.bound) return a.bound > b.bound;
+              return a.shard < b.shard;
+            });
+  return order;
+}
+
+StatusOr<std::vector<ScoredObject>> ShardCoordinator::TopK(
+    const SpatialKeywordQuery& query, const CancelToken* cancel,
+    TraceRecorder* trace) const {
+  TraceSpan root_span(trace, TraceStage::kQuery);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const std::vector<RankedShard> order = RankShards(query);
+
+  std::vector<ScoredObject> merged;
+  size_t next = 0;
+  for (; next < order.size(); ++next) {
+    const RankedShard& entry = order[next];
+    // Theorem 1 shard pruning: once k results are gathered, a shard whose
+    // upper bound is strictly below the global kth score cannot contribute
+    // (ties cannot displace either: an equal-score object loses only on
+    // id, and id-tie objects are unique). Bounds are sorted descending, so
+    // every remaining shard is pruned with it.
+    if (merged.size() >= query.k && entry.bound < merged.back().score) break;
+    if (cancel != nullptr) WSK_RETURN_IF_ERROR(cancel->Check());
+    const Shard& shard = *shards_[entry.shard];
+    shard.visited.fetch_add(1, std::memory_order_relaxed);
+    if (trace != nullptr) {
+      trace->Add(TraceCounter::kShardsVisited);
+      trace->Annotate(TraceStage::kShardVisit,
+                      "shard." + std::to_string(entry.shard),
+                      static_cast<int64_t>(entry.shard));
+    }
+    TraceSpan visit_span(trace, TraceStage::kShardVisit);
+    const QueryBackend* backend =
+        shard.frozen != nullptr
+            ? static_cast<const QueryBackend*>(shard.frozen.get())
+            : shard.engine.get();
+    StatusOr<std::vector<ScoredObject>> partial =
+        backend->TopK(query, cancel, trace);
+    if (!partial.ok()) return partial.status();
+    std::vector<ScoredObject>& found = partial.value();
+    merged.insert(merged.end(), found.begin(), found.end());
+    std::sort(merged.begin(), merged.end(), ScoreGreater{});
+    if (merged.size() > query.k) merged.resize(query.k);
+  }
+  for (size_t i = next; i < order.size(); ++i) {
+    shards_[order[i].shard]->pruned.fetch_add(1, std::memory_order_relaxed);
+    if (trace != nullptr) trace->Add(TraceCounter::kShardsPruned);
+  }
+  return merged;
+}
+
+StatusOr<WhyNotResult> ShardCoordinator::Answer(
+    WhyNotAlgorithm algorithm, const SpatialKeywordQuery& query,
+    const std::vector<ObjectId>& missing, const WhyNotOptions& options) const {
+  if (options.cancel != nullptr) {
+    WSK_RETURN_IF_ERROR(options.cancel->Check());
+  }
+  TraceSpan root_span(options.trace, TraceStage::kQuery);
+  const bool kcr = algorithm == WhyNotAlgorithm::kKcrBased;
+
+  // Concatenate every shard's sources into one cross-shard plan. Live
+  // plans (snapshots + visibility filters) and snapshot stores must stay
+  // alive for the whole query.
+  std::vector<SegmentedEngine::QueryPlan> live_plans;
+  std::vector<std::unique_ptr<SnapshotStore>> live_stores;
+  live_plans.reserve(shards_.size());
+  std::vector<MergedSegment> setr_segments;
+  std::vector<const SpatialObject*> extras;
+  KcrMultiSource kcr_source;
+  std::vector<const ObjectStore*> stores;
+  stores.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->frozen != nullptr) {
+      setr_segments.push_back(
+          MergedSegment{&shard->frozen->setr_tree(), nullptr});
+      if (kcr) {
+        kcr_source.segments.push_back(
+            KcrSegmentSource{&shard->frozen->kcr_tree(), nullptr, 0});
+      }
+      stores.push_back(&shard->tile);
+    } else {
+      live_plans.push_back(shard->engine->CollectPlan(kcr));
+      SegmentedEngine::QueryPlan& plan = live_plans.back();
+      setr_segments.insert(setr_segments.end(), plan.setr_segments.begin(),
+                           plan.setr_segments.end());
+      extras.insert(extras.end(), plan.extras.begin(), plan.extras.end());
+      if (kcr) {
+        kcr_source.segments.insert(kcr_source.segments.end(),
+                                   plan.kcr.segments.begin(),
+                                   plan.kcr.segments.end());
+      }
+      live_stores.push_back(
+          std::make_unique<SnapshotStore>(vocabulary_.get(), plan.snapshot));
+      stores.push_back(live_stores.back().get());
+    }
+  }
+  const ShardedStore store(vocabulary_.get(), std::move(stores));
+  const BackendIoSnapshot before = io_snapshot();
+
+  StatusOr<WhyNotResult> result = Status::Internal("unreachable");
+  switch (algorithm) {
+    case WhyNotAlgorithm::kBasic: {
+      WhyNotOptions plain = options;
+      plain.opt_early_stop = false;
+      plain.opt_enumeration_order = false;
+      plain.opt_keyword_filtering = false;
+      MergedTopKSource source(setr_segments, extras, diagonal_,
+                              options.trace);
+      result = AnswerWhyNotBasic(store, source, diagonal_, query, missing,
+                                 plain);
+      break;
+    }
+    case WhyNotAlgorithm::kAdvanced: {
+      MergedTopKSource source(setr_segments, extras, diagonal_,
+                              options.trace);
+      result = AnswerWhyNotBasic(store, source, diagonal_, query, missing,
+                                 options);
+      break;
+    }
+    case WhyNotAlgorithm::kKcrBased: {
+      // The rank source mirrors the traversal's segment set, so R(M, q')
+      // and the dominator bounds agree on what exists (the same contract
+      // SegmentedEngine::Answer keeps for its own segments).
+      std::vector<MergedSegment> kcr_segments;
+      kcr_segments.reserve(kcr_source.segments.size());
+      for (const KcrSegmentSource& seg : kcr_source.segments) {
+        kcr_segments.push_back(MergedSegment{seg.tree, seg.visibility});
+      }
+      MergedTopKSource rank_source(std::move(kcr_segments), extras,
+                                   diagonal_, options.trace);
+      kcr_source.extras = extras;
+      kcr_source.diagonal = diagonal_;
+      kcr_source.rank_source = &rank_source;
+      result = AnswerWhyNotKcr(store, kcr_source, query, missing, options);
+      break;
+    }
+  }
+  if (result.ok()) {
+    const BackendIoSnapshot after = io_snapshot();
+    result.value().stats.io_reads =
+        kcr ? after.kcr_physical - before.kcr_physical
+            : after.setr_physical - before.setr_physical;
+  }
+  return result;
+}
+
+BackendIoSnapshot ShardCoordinator::io_snapshot() const {
+  BackendIoSnapshot total;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const QueryBackend* backend =
+        shard->frozen != nullptr
+            ? static_cast<const QueryBackend*>(shard->frozen.get())
+            : shard->engine.get();
+    const BackendIoSnapshot s = backend->io_snapshot();
+    total.setr_physical += s.setr_physical;
+    total.kcr_physical += s.kcr_physical;
+    total.setr_logical += s.setr_logical;
+    total.kcr_logical += s.kcr_logical;
+    total.setr_cache_hits += s.setr_cache_hits;
+    total.kcr_cache_hits += s.kcr_cache_hits;
+    total.setr_cache_misses += s.setr_cache_misses;
+    total.kcr_cache_misses += s.kcr_cache_misses;
+  }
+  return total;
+}
+
+uint64_t ShardCoordinator::dataset_version() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->engine != nullptr) total += shard->engine->dataset_version();
+  }
+  return total;
+}
+
+std::vector<uint64_t> ShardCoordinator::version_vector() const {
+  std::vector<uint64_t> versions;
+  versions.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    versions.push_back(shard->engine != nullptr
+                           ? shard->engine->dataset_version()
+                           : 0);
+  }
+  return versions;
+}
+
+bool ShardCoordinator::TopKCacheValid(
+    const std::vector<uint64_t>& versions, const SpatialKeywordQuery& query,
+    const std::vector<ScoredObject>& results) const {
+  const std::vector<uint64_t> current = version_vector();
+  if (versions.size() != current.size()) return false;
+  if (versions == current) return true;
+  // A changed shard invalidates unless it provably cannot alter the cached
+  // top-k: the result is full, the shard owns none of its objects (a
+  // missing owner means a result object was deleted), and the shard's
+  // current bound is strictly below the cached kth score.
+  if (results.size() < query.k) return false;
+  std::vector<int> result_owner;
+  result_owner.reserve(results.size());
+  {
+    std::lock_guard<std::mutex> lock(owner_mu_);
+    for (const ScoredObject& r : results) {
+      auto it = owner_.find(r.id);
+      result_owner.push_back(it == owner_.end() ? -1
+                                                : static_cast<int>(it->second));
+    }
+  }
+  const double kth = results.back().score;
+  for (size_t i = 0; i < current.size(); ++i) {
+    if (versions[i] == current[i]) continue;
+    for (int owner : result_owner) {
+      if (owner < 0 || static_cast<size_t>(owner) == i) return false;
+    }
+    if (!(ShardBound(i, query) < kth)) return false;
+  }
+  return true;
+}
+
+bool ShardCoordinator::WhyNotCacheValid(
+    const std::vector<uint64_t>& versions) const {
+  return versions == version_vector();
+}
+
+SegmentCountersSnapshot ShardCoordinator::segment_counters() const {
+  SegmentCountersSnapshot total;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->engine == nullptr) continue;
+    const SegmentCountersSnapshot s = shard->engine->segment_counters();
+    total.valid = total.valid || s.valid;
+    total.inserts += s.inserts;
+    total.updates += s.updates;
+    total.deletes += s.deletes;
+    total.merges += s.merges;
+    total.rotations += s.rotations;
+    total.segments_retired += s.segments_retired;
+    total.frozen_segments += s.frozen_segments;
+    total.delta_objects += s.delta_objects;
+    total.live_objects += s.live_objects;
+  }
+  return total;
+}
+
+ShardCountersSnapshot ShardCoordinator::shard_counters() const {
+  ShardCountersSnapshot snap;
+  snap.valid = true;
+  snap.num_shards = shards_.size();
+  snap.queries = queries_.load(std::memory_order_relaxed);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const uint64_t visited = shard->visited.load(std::memory_order_relaxed);
+    const uint64_t pruned = shard->pruned.load(std::memory_order_relaxed);
+    snap.shards_visited += visited;
+    snap.shards_pruned += pruned;
+    snap.per_shard_visited.push_back(visited);
+    snap.per_shard_pruned.push_back(pruned);
+    snap.per_shard_mutations.push_back(
+        shard->mutations.load(std::memory_order_relaxed));
+    snap.per_shard_objects.push_back(
+        shard->engine != nullptr ? shard->engine->manager()->live_objects()
+                                 : shard->tile.size());
+  }
+  return snap;
+}
+
+int ShardCoordinator::OwnerShard(ObjectId id) const {
+  std::lock_guard<std::mutex> lock(owner_mu_);
+  auto it = owner_.find(id);
+  return it == owner_.end() ? -1 : static_cast<int>(it->second);
+}
+
+uint32_t ShardCoordinator::RouteInsert(Point loc) const {
+  uint32_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = *shards_[i];
+    double dist;
+    {
+      std::lock_guard<std::mutex> lock(shard.summary_mu);
+      dist = shard.summary.has_objects
+                 ? MinDist(loc, shard.summary.mbr)
+                 : std::numeric_limits<double>::infinity();
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = static_cast<uint32_t>(i);
+    }
+  }
+  return best;
+}
+
+void ShardCoordinator::AbsorbMutation(Shard* shard, Point loc,
+                                      const KeywordSet& doc) const {
+  std::lock_guard<std::mutex> lock(shard->summary_mu);
+  AbsorbObject(&shard->summary, loc, doc);
+}
+
+StatusOr<ObjectId> ShardCoordinator::Insert(
+    Point loc, const std::vector<std::string>& keywords) const {
+  if (!config_.live) {
+    return Status::FailedPrecondition("backend is read-only");
+  }
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  const uint32_t target = RouteInsert(loc);
+  Shard& shard = *shards_[target];
+  const ObjectId id = next_insert_id_;
+  StatusOr<ObjectId> inserted = shard.engine->InsertWithId(id, loc, keywords);
+  if (!inserted.ok()) return inserted;
+  ++next_insert_id_;
+  {
+    std::lock_guard<std::mutex> owners(owner_mu_);
+    owner_[id] = target;
+  }
+  AbsorbMutation(&shard, loc, vocabulary_->InternAll(keywords));
+  shard.mutations.fetch_add(1, std::memory_order_relaxed);
+  return inserted;
+}
+
+Status ShardCoordinator::Update(ObjectId id, Point loc,
+                                const std::vector<std::string>& keywords) const {
+  if (!config_.live) {
+    return Status::FailedPrecondition("backend is read-only");
+  }
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  uint32_t target;
+  {
+    std::lock_guard<std::mutex> owners(owner_mu_);
+    auto it = owner_.find(id);
+    if (it == owner_.end()) {
+      return Status::NotFound("no live object with this id");
+    }
+    target = it->second;
+  }
+  Shard& shard = *shards_[target];
+  WSK_RETURN_IF_ERROR(shard.engine->Update(id, loc, keywords));
+  AbsorbMutation(&shard, loc, vocabulary_->InternAll(keywords));
+  shard.mutations.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status ShardCoordinator::Delete(ObjectId id) const {
+  if (!config_.live) {
+    return Status::FailedPrecondition("backend is read-only");
+  }
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  uint32_t target;
+  {
+    std::lock_guard<std::mutex> owners(owner_mu_);
+    auto it = owner_.find(id);
+    if (it == owner_.end()) {
+      return Status::NotFound("no live object with this id");
+    }
+    target = it->second;
+  }
+  Shard& shard = *shards_[target];
+  WSK_RETURN_IF_ERROR(shard.engine->Delete(id));
+  {
+    std::lock_guard<std::mutex> owners(owner_mu_);
+    owner_.erase(id);
+  }
+  shard.mutations.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+}  // namespace wsk

@@ -1,0 +1,163 @@
+// ShardCoordinator: scatter-gather top-k and why-not over spatial tiles
+// (docs/SHARDING.md).
+//
+// The seed dataset is STR-packed into `num_shards` tiles
+// (shard_partition.h); each tile gets its own backend — a frozen
+// WhyNotEngine, or a live SegmentedEngine when Config::live is set. The
+// coordinator implements QueryBackend, so QueryService fronts it unchanged
+// and composes admission control, deadlines, the result cache, and
+// metrics on top.
+//
+// Top-k visits shards best-first by their Theorem 1 MaxScore upper bound
+// (shard_summary.h) and stops as soon as the next bound cannot beat the
+// running global kth score — the skipped shards are the shards_pruned
+// counter. Why-not never re-implements the algorithms: it concatenates the
+// shards' index sources into one cross-shard MergedTopKSource /
+// KcrMultiSource (exactly how SegmentedEngine merges its own segments), so
+// per-shard MaxDom/MinDom bounds aggregate inside the one keyword-adaption
+// search and answers are bit-identical to an unsharded engine.
+//
+// Mutations route by ownership: inserts to the shard whose summary MBR is
+// nearest, updates/deletes to the owning shard. The coordinator allocates
+// globally sequential object ids (SegmentManager's forced-id insert), so a
+// sharded run assigns the same ids as an unsharded one. All shard engines
+// intern through one coordinator-owned vocabulary, keeping term ids and
+// corpus-wide document frequencies identical to the unsharded engine.
+#ifndef WSK_SHARD_SHARD_COORDINATOR_H_
+#define WSK_SHARD_SHARD_COORDINATOR_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/engine.h"
+#include "segment/segmented_engine.h"
+#include "shard/shard_summary.h"
+#include "storage/pager.h"
+#include "text/vocabulary.h"
+
+namespace wsk {
+
+class ShardCoordinator : public QueryBackend {
+ public:
+  struct Config {
+    uint32_t num_shards = 2;
+    // false: one frozen WhyNotEngine per shard (read-only).
+    // true: one live SegmentedEngine per shard (routed mutations).
+    bool live = false;
+    std::string work_dir = "/tmp";
+    uint32_t page_size = kDefaultPageSize;
+    size_t buffer_bytes = 4u << 20;  // per index file, per shard
+    uint32_t node_capacity = 100;
+    SimilarityModel model = SimilarityModel::kJaccard;
+    size_t node_cache_bytes = 8u << 20;  // per shard
+    // Live-shard merge policy (forwarded to SegmentedEngine).
+    uint32_t delta_capacity = 4096;
+    bool auto_merge = true;
+  };
+
+  // Tiles `seed` and builds one backend per tile. The actual shard count
+  // is min(num_shards, populated tiles) — see shard_counters().num_shards.
+  static StatusOr<std::unique_ptr<ShardCoordinator>> Build(
+      const Dataset& seed, const Config& config);
+
+  ~ShardCoordinator() override;
+  ShardCoordinator(const ShardCoordinator&) = delete;
+  ShardCoordinator& operator=(const ShardCoordinator&) = delete;
+
+  // --- QueryBackend query surface (thread-safe) ---
+
+  StatusOr<std::vector<ScoredObject>> TopK(
+      const SpatialKeywordQuery& query, const CancelToken* cancel = nullptr,
+      TraceRecorder* trace = nullptr) const override;
+  StatusOr<WhyNotResult> Answer(WhyNotAlgorithm algorithm,
+                                const SpatialKeywordQuery& query,
+                                const std::vector<ObjectId>& missing,
+                                const WhyNotOptions& options) const override;
+
+  BackendIoSnapshot io_snapshot() const override;
+  uint64_t dataset_version() const override;
+  uint64_t topology_fingerprint() const override { return topology_; }
+  std::vector<uint64_t> version_vector() const override;
+
+  // A cached top-k survives a mutation when every changed shard provably
+  // cannot alter it: the cached result is full (>= k entries), the changed
+  // shard owns none of the result objects, and the shard's current
+  // MaxScore bound is strictly below the cached kth score (the summary is
+  // monotone-conservative, so the bound covers every object the shard
+  // held or gained since). Why-not entries require exact version equality.
+  bool TopKCacheValid(const std::vector<uint64_t>& versions,
+                      const SpatialKeywordQuery& query,
+                      const std::vector<ScoredObject>& results) const override;
+  bool WhyNotCacheValid(const std::vector<uint64_t>& versions) const override;
+
+  SegmentCountersSnapshot segment_counters() const override;
+  ShardCountersSnapshot shard_counters() const override;
+
+  // --- QueryBackend mutation surface (live mode; serialized) ---
+
+  StatusOr<ObjectId> Insert(
+      Point loc, const std::vector<std::string>& keywords) const override;
+  Status Update(ObjectId id, Point loc,
+                const std::vector<std::string>& keywords) const override;
+  Status Delete(ObjectId id) const override;
+
+  // --- introspection (tests, benchmarks) ---
+
+  size_t num_shards() const { return shards_.size(); }
+  bool live() const { return config_.live; }
+  // The shard currently owning `id`, or -1 when unknown.
+  int OwnerShard(ObjectId id) const;
+  // The shard's current Theorem 1 upper bound for `query`.
+  double ShardBound(size_t shard, const SpatialKeywordQuery& query) const;
+  const Vocabulary& vocabulary() const { return *vocabulary_; }
+  double diagonal() const { return diagonal_; }
+
+ private:
+  struct Shard {
+    Dataset tile;  // frozen mode: the authoritative object store
+    std::unique_ptr<WhyNotEngine> frozen;
+    std::unique_ptr<SegmentedEngine> engine;  // live mode
+    mutable std::mutex summary_mu;
+    ShardSummary summary;
+    mutable std::atomic<uint64_t> visited{0};
+    mutable std::atomic<uint64_t> pruned{0};
+    mutable std::atomic<uint64_t> mutations{0};
+  };
+
+  ShardCoordinator() = default;
+
+  // Shards ordered best-first for `query` by their summary bound.
+  struct RankedShard {
+    double bound;
+    uint32_t shard;
+  };
+  std::vector<RankedShard> RankShards(const SpatialKeywordQuery& query) const;
+
+  // Insert routing: the shard whose summary MBR is nearest to `loc`.
+  uint32_t RouteInsert(Point loc) const;
+  void AbsorbMutation(Shard* shard, Point loc, const KeywordSet& doc) const;
+
+  Config config_;
+  double diagonal_ = 1.0;
+  uint64_t topology_ = 0;
+  std::unique_ptr<Vocabulary> vocabulary_;  // global: shared by live shards
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Mutation state: one writer at a time across the whole coordinator so
+  // id allocation and ownership stay consistent with an unsharded engine.
+  mutable std::mutex mutation_mu_;
+  mutable ObjectId next_insert_id_ = 0;
+  mutable std::mutex owner_mu_;
+  mutable std::unordered_map<ObjectId, uint32_t> owner_;
+
+  mutable std::atomic<uint64_t> queries_{0};
+};
+
+}  // namespace wsk
+
+#endif  // WSK_SHARD_SHARD_COORDINATOR_H_

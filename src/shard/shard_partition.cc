@@ -1,0 +1,58 @@
+#include "shard/shard_partition.h"
+
+#include <algorithm>
+
+#include "index/str_pack.h"
+
+namespace wsk {
+
+ShardPartition PartitionDataset(const Dataset& seed, uint32_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  ShardPartition out;
+  const std::vector<SpatialObject>& objects = seed.objects();
+  const size_t n = objects.size();
+  if (n == 0) {
+    Dataset tile;
+    tile.vocabulary() = seed.vocabulary().CloneDictionary();
+    tile.OverrideDiagonal(seed.diagonal());
+    out.tiles.push_back(std::move(tile));
+    return out;
+  }
+
+  std::vector<Point> centers;
+  centers.reserve(n);
+  for (const SpatialObject& o : objects) centers.push_back(o.loc);
+  const uint32_t capacity = std::max<uint32_t>(
+      2, static_cast<uint32_t>((n + num_shards - 1) / num_shards));
+  std::vector<std::vector<uint32_t>> groups = StrPack(centers, capacity);
+
+  // Per-slab rounding can leave StrPack with more groups than requested
+  // shards; fold the surplus tail into the last shard.
+  if (groups.size() > num_shards) {
+    std::vector<uint32_t>& last = groups[num_shards - 1];
+    for (size_t g = num_shards; g < groups.size(); ++g) {
+      last.insert(last.end(), groups[g].begin(), groups[g].end());
+    }
+    groups.resize(num_shards);
+  }
+
+  out.tiles.reserve(groups.size());
+  for (std::vector<uint32_t>& group : groups) {
+    // Ascending id order inside a tile, matching the merge rebuild
+    // convention so a tile's bulk-loaded trees are reproducible.
+    std::sort(group.begin(), group.end(), [&](uint32_t a, uint32_t b) {
+      return objects[a].id < objects[b].id;
+    });
+    Dataset tile;
+    tile.vocabulary() = seed.vocabulary().CloneDictionary();
+    tile.OverrideDiagonal(seed.diagonal());
+    for (uint32_t index : group) {
+      const SpatialObject& o = objects[index];
+      tile.AddWithId(o.id, o.loc, o.doc);
+    }
+    out.tiles.push_back(std::move(tile));
+  }
+  return out;
+}
+
+}  // namespace wsk

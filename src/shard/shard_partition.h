@@ -1,0 +1,32 @@
+// Spatial tiling for the sharding subsystem (docs/SHARDING.md).
+//
+// PartitionDataset STR-packs the seed's object centers (str_pack.h — the
+// same Sort-Tile-Recursive order both tree bulk loaders use) into
+// `num_shards` contiguous tiles and materializes each tile as a Dataset:
+// original object ids preserved via AddWithId, the vocabulary cloned from
+// the seed so term ids keep matching, and the SDist diagonal pinned to the
+// seed's so per-shard scores are comparable with an unsharded engine.
+#ifndef WSK_SHARD_SHARD_PARTITION_H_
+#define WSK_SHARD_SHARD_PARTITION_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace wsk {
+
+struct ShardPartition {
+  // One non-empty tile per shard (except for an empty seed, which yields a
+  // single empty tile). At most `num_shards` entries; fewer when the seed
+  // has too few objects to populate every tile.
+  std::vector<Dataset> tiles;
+};
+
+// Deterministic: the same seed and shard count always produce the same
+// tiles, with each tile's objects added in ascending id order (the same
+// convention the segment merge uses so rebuilt trees are bit-identical).
+ShardPartition PartitionDataset(const Dataset& seed, uint32_t num_shards);
+
+}  // namespace wsk
+
+#endif  // WSK_SHARD_SHARD_PARTITION_H_

@@ -56,6 +56,16 @@ execute_process(COMMAND ${CLI} serve --data ${csv} --random 30 --workers 4
 if(NOT rc EQUAL 0 OR NOT out MATCHES "served" OR NOT out MATCHES "cache")
   message(FATAL_ERROR "serve failed: ${out}")
 endif()
+# serve --shards: the same workload through the scatter-gather
+# ShardCoordinator (docs/SHARDING.md); the metrics report must carry the
+# aggregate and per-shard counters.
+execute_process(COMMAND ${CLI} serve --data ${csv} --random 30 --workers 4
+                        --repeat 2 --seed 7 --shards 2
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "served" OR
+   NOT out MATCHES "shards    count 2" OR NOT out MATCHES "shard.0")
+  message(FATAL_ERROR "serve --shards failed: ${out}")
+endif()
 # live: mutations stream through the segmented backend while queries run;
 # the final report must carry the segment counters and a dataset version.
 execute_process(COMMAND ${CLI} live --data ${csv} --random 30 --workers 2

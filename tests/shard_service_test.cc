@@ -1,0 +1,211 @@
+// QueryService over a ShardCoordinator backend (docs/SHARDING.md): the
+// service fronts the sharded backend unchanged, the shard counters surface
+// in both report formats, and — the regression the topology-aware version
+// vector exists for — a mutation routed to one shard orphans only that
+// shard's cached entries, while entries whose shards provably cannot be
+// affected keep hitting.
+#include "service/query_service.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "data/generator.h"
+#include "shard/shard_coordinator.h"
+
+namespace wsk {
+namespace {
+
+// Two well-separated, keyword-disjoint clusters; with two shards the STR
+// split puts each in its own tile (see shard_coordinator_test).
+Dataset TwoClusterDataset(int per_cluster = 8) {
+  Dataset dataset;
+  for (int i = 0; i < per_cluster; ++i) {
+    const double off = 0.002 * i;
+    dataset.Add(Point{0.1 + off, 0.1 + off},
+                std::vector<std::string>{"coffee", "wifi",
+                                         "a" + std::to_string(i % 4)});
+  }
+  for (int i = 0; i < per_cluster; ++i) {
+    const double off = 0.002 * i;
+    dataset.Add(Point{0.9 - off, 0.9 - off},
+                std::vector<std::string>{"museum", "art",
+                                         "b" + std::to_string(i % 4)});
+  }
+  return dataset;
+}
+
+SpatialKeywordQuery QueryAt(Dataset& dataset, Point loc,
+                            const std::vector<std::string>& keywords,
+                            uint32_t k = 3) {
+  SpatialKeywordQuery q;
+  q.loc = loc;
+  q.doc = dataset.vocabulary().InternAll(keywords);
+  q.k = k;
+  q.alpha = 0.5;
+  return q;
+}
+
+TEST(ShardServiceTest, CoordinatorServesQueriesThroughService) {
+  GeneratorConfig gen;
+  gen.num_objects = 300;
+  gen.vocab_size = 50;
+  gen.seed = 31337;
+  Dataset dataset = GenerateDataset(gen);
+
+  ShardCoordinator::Config config;
+  config.num_shards = 3;
+  config.node_capacity = 16;
+  auto coordinator = ShardCoordinator::Build(dataset, config).value();
+  QueryService service(coordinator.get(), {});
+
+  const SpatialKeywordQuery query = QueryAt(
+      dataset, dataset.objects()[11].loc,
+      {dataset.vocabulary().TermString(*dataset.objects()[11].doc.begin())},
+      5);
+  const auto via_service = service.TopK(query);
+  ASSERT_TRUE(via_service.ok()) << via_service.status().ToString();
+  const auto direct = coordinator->TopK(query);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(via_service.value().results.size(), direct.value().size());
+  for (size_t i = 0; i < direct.value().size(); ++i) {
+    EXPECT_EQ(via_service.value().results[i].id, direct.value()[i].id);
+  }
+
+  // Why-not rides through the same front end.
+  ASSERT_FALSE(direct.value().empty());
+  const ObjectId beyond = direct.value().back().id;
+  const auto whynot = service.WhyNot(WhyNotAlgorithm::kAdvanced, query,
+                                     {beyond}, WhyNotOptions{});
+  ASSERT_TRUE(whynot.ok()) << whynot.status().ToString();
+
+  // Frozen coordinator: mutations are rejected through the service.
+  EXPECT_EQ(service.Insert(Point{0.5, 0.5}, {"x"}).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Shard counters surface in both report formats.
+  const std::string report = service.MetricsReport();
+  EXPECT_NE(report.find("shards    count 3"), std::string::npos) << report;
+  EXPECT_NE(report.find("shard.0"), std::string::npos) << report;
+  const std::string prom = service.PrometheusReport();
+  EXPECT_NE(prom.find("wsk_shards 3"), std::string::npos);
+  EXPECT_NE(prom.find("wsk_shards_visited_total"), std::string::npos);
+  EXPECT_NE(prom.find("wsk_shards_pruned_total"), std::string::npos);
+}
+
+TEST(ShardServiceTest, UnshardedBackendsReportNoShardSection) {
+  GeneratorConfig gen;
+  gen.num_objects = 120;
+  gen.vocab_size = 30;
+  gen.seed = 5150;
+  Dataset dataset = GenerateDataset(gen);
+  auto engine = WhyNotEngine::Build(&dataset, {}).value();
+  QueryService service(engine.get(), {});
+  EXPECT_EQ(service.MetricsReport().find("shards    count"),
+            std::string::npos);
+  EXPECT_EQ(service.PrometheusReport().find("wsk_shards"),
+            std::string::npos);
+}
+
+// The version-vector regression test: cache two queries answered by
+// different shards, mutate one shard, and only that shard's entry may go
+// stale. Before the topology-aware vector, ANY mutation bumped the single
+// dataset version embedded in every key and orphaned both entries.
+TEST(ShardServiceTest, MutationOrphansOnlyTheRoutedShardsCachedEntries) {
+  Dataset dataset = TwoClusterDataset();
+  ShardCoordinator::Config config;
+  config.num_shards = 2;
+  config.live = true;
+  config.node_capacity = 16;
+  config.auto_merge = false;
+  auto coordinator = ShardCoordinator::Build(dataset, config).value();
+  ASSERT_EQ(coordinator->num_shards(), 2u);
+  QueryService service(coordinator.get(), {});
+
+  const SpatialKeywordQuery query_a =
+      QueryAt(dataset, Point{0.1, 0.1}, {"coffee", "wifi"});
+  const SpatialKeywordQuery query_b =
+      QueryAt(dataset, Point{0.9, 0.9}, {"museum", "art"});
+
+  // Prime and verify both cache entries.
+  ASSERT_FALSE(service.TopK(query_a).value().cache_hit);
+  ASSERT_FALSE(service.TopK(query_b).value().cache_hit);
+  const auto a_cached = service.TopK(query_a);
+  ASSERT_TRUE(a_cached.value().cache_hit);
+  ASSERT_TRUE(service.TopK(query_b).value().cache_hit);
+
+  // Insert a perfect cluster-B object: routed to B's shard only.
+  const auto inserted =
+      service.Insert(Point{0.9, 0.9}, {"museum", "art"});
+  ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
+
+  // Query A's shard is untouched and cluster B's bound for A stays below
+  // A's kth score — its entry must still hit, with the same answer.
+  const auto a_after = service.TopK(query_a);
+  ASSERT_TRUE(a_after.ok());
+  EXPECT_TRUE(a_after.value().cache_hit) << "cross-shard over-invalidation";
+  ASSERT_EQ(a_after.value().results.size(),
+            a_cached.value().results.size());
+  for (size_t i = 0; i < a_after.value().results.size(); ++i) {
+    EXPECT_EQ(a_after.value().results[i].id,
+              a_cached.value().results[i].id);
+  }
+
+  // Query B's entry is owned by the mutated shard: stale, recomputed, and
+  // the fresh answer surfaces the inserted perfect-score object.
+  const auto b_after = service.TopK(query_b);
+  ASSERT_TRUE(b_after.ok());
+  EXPECT_FALSE(b_after.value().cache_hit);
+  ASSERT_FALSE(b_after.value().results.empty());
+  EXPECT_EQ(b_after.value().results[0].id, inserted.value().id);
+
+  const ResultCache::Stats stats = service.cache().stats();
+  EXPECT_EQ(stats.stale, 1u) << "exactly B's entry went stale";
+}
+
+// Why-not entries keep the strict contract: any version movement anywhere
+// invalidates (the refinement aggregates bounds across every shard).
+TEST(ShardServiceTest, WhyNotCacheInvalidatesOnAnyShardMutation) {
+  Dataset dataset = TwoClusterDataset();
+  ShardCoordinator::Config config;
+  config.num_shards = 2;
+  config.live = true;
+  config.node_capacity = 16;
+  config.auto_merge = false;
+  auto coordinator = ShardCoordinator::Build(dataset, config).value();
+  QueryService service(coordinator.get(), {});
+
+  const SpatialKeywordQuery query_a =
+      QueryAt(dataset, Point{0.1, 0.1}, {"coffee", "wifi"}, 2);
+  const auto topk = service.TopK(query_a);
+  ASSERT_TRUE(topk.ok());
+  ASSERT_GT(topk.value().results.size(), 1u);
+  const ObjectId missing = topk.value().results.back().id;
+
+  SpatialKeywordQuery narrow = query_a;
+  narrow.k = 1;
+  ASSERT_FALSE(service
+                   .WhyNot(WhyNotAlgorithm::kAdvanced, narrow, {missing},
+                           WhyNotOptions{})
+                   .value()
+                   .cache_hit);
+  ASSERT_TRUE(service
+                  .WhyNot(WhyNotAlgorithm::kAdvanced, narrow, {missing},
+                          WhyNotOptions{})
+                  .value()
+                  .cache_hit);
+
+  // A mutation in the *other* cluster still invalidates why-not entries.
+  ASSERT_TRUE(service.Insert(Point{0.9, 0.9}, {"museum"}).ok());
+  EXPECT_FALSE(service
+                   .WhyNot(WhyNotAlgorithm::kAdvanced, narrow, {missing},
+                           WhyNotOptions{})
+                   .value()
+                   .cache_hit);
+}
+
+}  // namespace
+}  // namespace wsk

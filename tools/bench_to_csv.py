@@ -21,7 +21,9 @@ whenever the run reports them (docs/OBSERVABILITY.md).
 Service-layer rows (bench_service) are named `service/<series>/<key>:<value>`
 and carry throughput counters instead of per-query figures; each series
 lands in its own `service_<series>.csv` with whichever of qps / p50_ms /
-p99_ms / cache_hit_rate / insert_rate / merges the run reports.
+p99_ms / cache_hit_rate / insert_rate / merges / shards_visited /
+shards_pruned / pruned_rate the run reports (the shard counters come from
+the service/shards series, docs/SHARDING.md).
 """
 
 import collections
@@ -43,7 +45,8 @@ PRUNE_COLUMNS = ("cand_eval", "cand_filtered", "cand_skipped",
 # Service-series columns (bench_service), in report order; only the ones a
 # run actually carries are emitted.
 SERVICE_COLUMNS = ("qps", "p50_ms", "p99_ms", "cache_hit_rate",
-                   "insert_rate", "merges")
+                   "insert_rate", "merges", "shards_visited",
+                   "shards_pruned", "pruned_rate")
 
 
 def parse_number(text: str) -> float:

@@ -13,7 +13,9 @@ per sweep breaks the candidate dispositions down by algorithm.
 
 Service-layer rows (bench_service, `service/<series>/<key>:<value>`) get
 one table per series with whichever of qps / p50_ms / p99_ms /
-cache_hit_rate / insert_rate / merges the run carries.
+cache_hit_rate / insert_rate / merges / shards_visited / shards_pruned /
+pruned_rate the run carries (the shard counters come from the
+service/shards sharding series, docs/SHARDING.md).
 """
 
 import collections
@@ -29,7 +31,8 @@ SUFFIX = {"k": 1e3, "M": 1e6, "G": 1e9}
 PRUNE_COLUMNS = ("cand_eval", "cand_filtered", "cand_skipped",
                  "cand_pruned", "nodes_expanded")
 SERVICE_COLUMNS = ("qps", "p50_ms", "p99_ms", "cache_hit_rate",
-                   "insert_rate", "merges")
+                   "insert_rate", "merges", "shards_visited",
+                   "shards_pruned", "pruned_rate")
 
 
 def num(text):
@@ -170,9 +173,9 @@ def main():
             cols = []
             for c in columns:
                 v = cell.get(c, 0.0)
-                if c == "cache_hit_rate":
+                if c in ("cache_hit_rate", "pruned_rate"):
                     cols.append(f"{v:.2f}")
-                elif c == "merges":
+                elif c in ("merges", "shards_visited", "shards_pruned"):
                     cols.append(fmt(v, 0))
                 else:
                     cols.append(fmt(v))

@@ -32,6 +32,10 @@ Gating policy (docs/PERF.md):
     machine (docs/OBSERVABILITY.md). The cap applies to every
     trace_overhead counter in the *current* run, whether or not the
     baseline has the benchmark yet.
+  * `shards_pruned` counters on the service/shards/n:N series are floored
+    absolutely for every N > 1: the clustered workload must skip at least
+    one shard over the run, whether or not the baseline has the series
+    (docs/SHARDING.md).
   * Wall-clock metrics (ns_per_op, avg_ms, scalar_ns, kernel_ns) vary with
     the machine; they only WARN unless --strict-time is given.
   * A benchmark present in the baseline but missing from the current run
@@ -188,6 +192,25 @@ def main():
             failures.append(
                 f"{name}: trace_overhead {overhead:.2f}x exceeds the cap "
                 f"{args.max_trace_overhead:.2f}x (tracing must stay cheap)"
+            )
+
+    # Cross-shard bound pruning must actually fire: on the clustered
+    # service/shards workload every multi-shard topology has to skip at
+    # least one shard over the whole run (docs/SHARDING.md), an absolute
+    # floor independent of the baseline, like the trace-overhead cap.
+    for name, bench in sorted(cur.items()):
+        series = name.removesuffix("/iterations:1")
+        if not series.startswith("service/shards/n:"):
+            continue
+        try:
+            num_shards = int(series.rpartition(":")[2])
+        except ValueError:
+            continue
+        pruned = metric_values(bench).get("shards_pruned")
+        if num_shards > 1 and pruned is not None and pruned <= 0:
+            failures.append(
+                f"{name}: shards_pruned = 0 with {num_shards} shards — the "
+                "cross-shard bound never pruned on the clustered workload"
             )
 
     for msg in warnings:

@@ -43,6 +43,12 @@ service/ingest/merge:on/iterations:1  50.3 ms  7.96 ms  1 \
 insert_rate=19.5094k merges=3 p99_ms=32.768
 service/ingest/merge:off/iterations:1 17.4 ms  5.52 ms  1 \
 insert_rate=41.2772k merges=0 p99_ms=16.384
+service/shards/n:1/iterations:1  40.0 ms  1.2 ms  1 \
+p50_ms=4.096 p99_ms=8.192 pruned_rate=0 qps=3.2k shards_pruned=0 \
+shards_visited=128
+service/shards/n:4/iterations:1  25.0 ms  1.1 ms  1 \
+p50_ms=2.048 p99_ms=4.096 pruned_rate=0.75 qps=5.12k shards_pruned=384 \
+shards_visited=128
 """
 
 JSON_SAMPLE = {
@@ -81,6 +87,19 @@ JSON_SAMPLE = {
                 "insert_rate": 19509.4,
                 "merges": 3.0,
                 "p99_ms": 32.768,
+            },
+        },
+        {
+            "name": "service/shards/n:4/iterations:1",
+            "iterations": 1,
+            "ns_per_op": 2.5e7,
+            "counters": {
+                "qps": 5120.0,
+                "p50_ms": 2.048,
+                "p99_ms": 4.096,
+                "shards_visited": 128.0,
+                "shards_pruned": 384.0,
+                "pruned_rate": 0.75,
             },
         },
     ],
@@ -173,6 +192,26 @@ class BenchToCsvTest(unittest.TestCase):
         self.assertEqual(float(on_row[header.index("merges")]), 3.0)
         self.assertEqual(float(off_row[header.index("merges")]), 0.0)
 
+    def test_emits_shard_series_csv(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = os.path.join(tmp, "bench_output.txt")
+            with open(src, "w") as f:
+                f.write(CONSOLE_SAMPLE)
+            out_dir = os.path.join(tmp, "csv")
+            run_tool("bench_to_csv.py", src, out_dir)
+            with open(os.path.join(out_dir, "service_shards.csv")) as f:
+                shards = list(csv.reader(f))
+        header = shards[0]
+        self.assertEqual(header, ["n", "qps", "p50_ms", "p99_ms",
+                                  "shards_visited", "shards_pruned",
+                                  "pruned_rate"])
+        one, four = shards[1], shards[2]
+        self.assertEqual(one[0], "1")
+        self.assertEqual(float(one[header.index("shards_pruned")]), 0.0)
+        self.assertEqual(four[0], "4")
+        self.assertEqual(float(four[header.index("shards_pruned")]), 384.0)
+        self.assertEqual(float(four[header.index("pruned_rate")]), 0.75)
+
     def test_json_input_produces_same_table(self):
         with tempfile.TemporaryDirectory() as tmp:
             src = os.path.join(tmp, "bench.json")
@@ -216,6 +255,19 @@ class BenchToMarkdownTest(unittest.TestCase):
         self.assertIn("| on | 32.8 | 19,509 | 3 |", out)
         self.assertIn("| off | 16.4 | 41,277 | 0 |", out)
 
+    def test_renders_shard_series_table(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = os.path.join(tmp, "bench_output.txt")
+            with open(src, "w") as f:
+                f.write(CONSOLE_SAMPLE)
+            out = run_tool("bench_to_markdown.py", src).stdout
+        self.assertIn("### service: shards", out)
+        self.assertIn("| n | qps | p50_ms | p99_ms | shards_visited |"
+                      " shards_pruned | pruned_rate |", out)
+        # Counts render as integers, pruned_rate like cache_hit_rate.
+        self.assertIn("| 1 | 3,200 | 4.1 | 8.2 | 128 | 0 | 0.00 |", out)
+        self.assertIn("| 4 | 5,120 | 2.0 | 4.1 | 128 | 384 | 0.75 |", out)
+
     def test_json_service_rows_render(self):
         with tempfile.TemporaryDirectory() as tmp:
             src = os.path.join(tmp, "bench.json")
@@ -247,6 +299,36 @@ class TraceOverheadGateTest(unittest.TestCase):
     def test_overhead_above_cap_fails(self):
         proc = self._check(2.1, expect_rc=1)
         self.assertIn("trace_overhead", proc.stdout)
+
+
+class ShardPruningGateTest(unittest.TestCase):
+    """shards_pruned must stay positive on every multi-shard series row —
+    an absolute floor, applied to the current run like the overhead cap."""
+
+    def _check(self, pruned, expect_rc, shards=4):
+        sample = json.loads(json.dumps(JSON_SAMPLE))
+        shard_bench = sample["benchmarks"][3]
+        shard_bench["name"] = f"service/shards/n:{shards}/iterations:1"
+        shard_bench["counters"]["shards_pruned"] = pruned
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "service.json")
+            with open(path, "w") as f:
+                json.dump(sample, f)
+            return run_tool(
+                "check_bench_regression.py", path, path,
+                expect_rc=expect_rc,
+            )
+
+    def test_positive_pruning_passes(self):
+        self._check(384.0, expect_rc=0)
+
+    def test_zero_pruning_fails(self):
+        proc = self._check(0.0, expect_rc=1)
+        self.assertIn("shards_pruned", proc.stdout)
+
+    def test_single_shard_exempt(self):
+        # n:1 has nothing to prune; the floor only applies beyond one shard.
+        self._check(0.0, expect_rc=0, shards=1)
 
 
 if __name__ == "__main__":

@@ -26,9 +26,12 @@
 //       Prometheus text exposition of its metrics registry.
 //   serve     --data FILE (--queries FILE | --random N) [--workers W]
 //             [--queue Q] [--inflight I] [--timeout-ms T] [--cache N]
-//             [--repeat R] [--seed S]
+//             [--repeat R] [--seed S] [--shards N]
 //       Replay a query workload through the concurrent QueryService and
 //       print per-status counts, throughput, and the metrics report.
+//       --shards N > 1 partitions the dataset into N spatial tiles served
+//       by the scatter-gather ShardCoordinator with cross-shard bound
+//       pruning (docs/SHARDING.md); the report gains shard counters.
 //   live      --data FILE (--queries FILE | --random N) [--mutations M]
 //             [--delta CAP] [--no-merge] [--workers W] [--cache N]
 //             [--seed S]
@@ -67,6 +70,7 @@
 #include "observability/trace.h"
 #include "segment/segmented_engine.h"
 #include "service/query_service.h"
+#include "shard/shard_coordinator.h"
 
 namespace {
 
@@ -561,11 +565,28 @@ int Serve(const Args& args) {
   std::vector<ServeRequest> requests;
   if (!BuildWorkload(args, *dataset, "serve", &requests)) return 2;
 
-  auto engine_or = WhyNotEngine::Build(dataset.get(), {});
-  if (!engine_or.ok()) return Fail(engine_or.status());
-  auto engine = std::move(engine_or).value();
+  // --shards N > 1 serves through the scatter-gather coordinator (one
+  // frozen engine per spatial tile, docs/SHARDING.md); the default is the
+  // single frozen engine.
+  const long num_shards = args.GetLong("shards", 1);
+  std::unique_ptr<WhyNotEngine> engine;
+  std::unique_ptr<ShardCoordinator> coordinator;
+  const QueryBackend* backend = nullptr;
+  if (num_shards > 1) {
+    ShardCoordinator::Config config;
+    config.num_shards = static_cast<uint32_t>(num_shards);
+    auto coordinator_or = ShardCoordinator::Build(*dataset, config);
+    if (!coordinator_or.ok()) return Fail(coordinator_or.status());
+    coordinator = std::move(coordinator_or).value();
+    backend = coordinator.get();
+  } else {
+    auto engine_or = WhyNotEngine::Build(dataset.get(), {});
+    if (!engine_or.ok()) return Fail(engine_or.status());
+    engine = std::move(engine_or).value();
+    backend = engine.get();
+  }
 
-  QueryService service(engine.get(), ServiceConfigFromArgs(args));
+  QueryService service(backend, ServiceConfigFromArgs(args));
 
   const long repeat = args.GetLong("repeat", 1);
   std::vector<std::future<StatusOr<QueryService::TopKResponse>>> topk_futures;
