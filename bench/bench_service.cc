@@ -288,6 +288,138 @@ void RunShards(benchmark::State& state, uint32_t num_shards) {
   }
 }
 
+// Batched-execution series (service/batch/n:{1,4,8,16}, docs/BATCHING.md):
+// a keyword-skewed pool — Zipf-duplicated hot query templates with small
+// k / location / alpha variations plus exact duplicates — drives the
+// batch collector at several max sizes, with the result cache OFF so
+// neither run answers from cache (fairness: the comparison is traversal
+// work, not caching). Each iteration first runs the identical workload
+// through a solo (batching-disabled) service in-process. Counters:
+//   qps, p50_ms, p99_ms   as for service/mixed
+//   batch_speedup         solo wall time / batched wall time
+//   decode_amortization   solo-equivalent node openings / physical node
+//                         expansions ((expanded + shared) / expanded) —
+//                         the deterministic witness of the same reduction
+//   dedup                 duplicate requests answered by a shared slot
+struct BatchWorkload {
+  std::vector<SpatialKeywordQuery> queries;
+};
+
+const BatchWorkload& SharedBatchWorkload() {
+  static const BatchWorkload* workload = [] {
+    auto* w = new BatchWorkload();
+    const Dataset& data = SharedEngine().dataset();
+    Rng rng(0xba7c4ed);
+    std::vector<SpatialKeywordQuery> templates;
+    for (int t = 0; t < 8; ++t) {
+      const SpatialObject& anchor =
+          data.objects()[rng.Next() % data.objects().size()];
+      SpatialKeywordQuery q;
+      q.loc = anchor.loc;
+      std::vector<TermId> terms(anchor.doc.begin(), anchor.doc.end());
+      if (terms.size() > 4) terms.resize(4);
+      q.doc = KeywordSet(std::move(terms));
+      q.k = 10;
+      q.alpha = 0.5;
+      templates.push_back(std::move(q));
+    }
+    const uint32_t count = 96 * EnvQueriesPerPoint();
+    for (uint32_t i = 0; i < count; ++i) {
+      // Zipf-like skew via the geometric rank of a uniform draw: template
+      // 0 dominates, so concurrent requests overlap most of their
+      // frontiers — the workload batching is built for.
+      const uint64_t draw = rng.Next();
+      const size_t rank =
+          (draw == 0 ? 0 : static_cast<size_t>(__builtin_ctzll(draw))) %
+          templates.size();
+      SpatialKeywordQuery q = templates[rank];
+      switch (i % 4) {
+        case 0:  // exact duplicate: within-batch dedupe fodder
+          break;
+        case 1:  // pagination-style: same ranking, deeper cutoff — these
+                 // walk the identical node sequence and share every decode
+          q.k = 10 + i % 7;
+          break;
+        case 2:
+          q.k = 5 + i % 11;
+          break;
+        case 3:  // a diverging variant: different alpha reorders the
+                 // frontier, so this slot mostly pays its own decodes
+          q.alpha = 0.6;
+          break;
+      }
+      w->queries.push_back(std::move(q));
+    }
+    return w;
+  }();
+  return *workload;
+}
+
+struct BatchRunStats {
+  double wall_s = 0.0;
+  LatencyHistogram::Snapshot lat;
+  uint64_t expanded = 0;
+  uint64_t shared = 0;
+  uint64_t dedup = 0;
+};
+
+BatchRunStats RunBatchWorkload(const QueryServiceConfig& config) {
+  WhyNotEngine& engine = SharedEngine();
+  const BatchWorkload& workload = SharedBatchWorkload();
+  QueryService service(&engine, config);
+  std::vector<std::future<StatusOr<QueryService::TopKResponse>>> tf;
+  tf.reserve(workload.queries.size());
+  Timer wall;
+  for (const SpatialKeywordQuery& q : workload.queries) {
+    tf.push_back(service.SubmitTopK(q));
+  }
+  for (auto& f : tf) {
+    const auto r = f.get();
+    WSK_CHECK_MSG(r.ok(), "%s", r.status().ToString().c_str());
+  }
+  BatchRunStats stats;
+  stats.wall_s = wall.ElapsedSeconds();
+  stats.lat = service.metrics().histogram("latency.topk.ms").TakeSnapshot();
+  stats.expanded =
+      service.metrics().counter("prune.batch.nodes_expanded").value();
+  stats.shared = service.metrics().counter("prune.batch.nodes_shared").value();
+  stats.dedup = service.metrics().counter("batch.dedup").value();
+  return stats;
+}
+
+void RunBatch(benchmark::State& state, size_t batch_n) {
+  const size_t num_queries = SharedBatchWorkload().queries.size();
+  QueryServiceConfig config;
+  config.num_workers = 4;
+  config.max_queue = 0;
+  config.max_inflight = 0;
+  config.cache_capacity = 0;  // fairness: no run answers from the cache
+
+  for (auto _ : state) {
+    const BatchRunStats solo = RunBatchWorkload(config);  // batching off
+    BatchRunStats batched = solo;
+    if (batch_n > 1) {
+      QueryServiceConfig batch_config = config;
+      batch_config.batch_max_size = batch_n;
+      batch_config.batch_window_ms = 2.0;
+      batched = RunBatchWorkload(batch_config);
+    }
+
+    state.counters["qps"] = static_cast<double>(num_queries) /
+                            (batched.wall_s > 0.0 ? batched.wall_s : 1e-9);
+    state.counters["p50_ms"] = batched.lat.p50_ms;
+    state.counters["p99_ms"] = batched.lat.p99_ms;
+    state.counters["batch_speedup"] =
+        batched.wall_s > 0.0 ? solo.wall_s / batched.wall_s : 1.0;
+    state.counters["decode_amortization"] =
+        batched.expanded > 0
+            ? static_cast<double>(batched.expanded + batched.shared) /
+                  static_cast<double>(batched.expanded)
+            : 1.0;
+    state.counters["dedup"] = static_cast<double>(batched.dedup);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -313,6 +445,13 @@ int main(int argc, char** argv) {
     benchmark::RegisterBenchmark(
         name.c_str(),
         [shards](benchmark::State& state) { RunShards(state, shards); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  for (size_t n : {1u, 4u, 8u, 16u}) {
+    const std::string name = "service/batch/n:" + std::to_string(n);
+    benchmark::RegisterBenchmark(
+        name.c_str(), [n](benchmark::State& state) { RunBatch(state, n); })
         ->Iterations(1)
         ->Unit(benchmark::kMillisecond);
   }

@@ -73,6 +73,18 @@ struct ShardCountersSnapshot {
   std::vector<uint64_t> per_shard_objects;  // gauge: owned live objects
 };
 
+// One query's slot in a backend batch (docs/BATCHING.md). `query` and
+// `cancel` are borrowed and must outlive the call.
+struct BackendBatchItem {
+  const SpatialKeywordQuery* query = nullptr;
+  const CancelToken* cancel = nullptr;
+};
+
+struct BackendBatchResult {
+  Status status;
+  std::vector<ScoredObject> topk;  // valid only when status.ok()
+};
+
 class QueryBackend {
  public:
   virtual ~QueryBackend() = default;
@@ -81,6 +93,28 @@ class QueryBackend {
   virtual StatusOr<std::vector<ScoredObject>> TopK(
       const SpatialKeywordQuery& query, const CancelToken* cancel = nullptr,
       TraceRecorder* trace = nullptr) const = 0;
+
+  // Answers every item over one shared index traversal where the backend
+  // supports it; results[i] corresponds to items[i] and each slot is
+  // bit-identical to TopK(*items[i].query, items[i].cancel). The default
+  // runs the items solo in order, so every backend accepts a batch;
+  // engines override it with the amortized walk (docs/BATCHING.md).
+  // `trace` (optional, borrowed) receives the whole batch's spans/counters.
+  virtual std::vector<BackendBatchResult> TopKBatch(
+      const std::vector<BackendBatchItem>& items,
+      TraceRecorder* trace = nullptr) const {
+    std::vector<BackendBatchResult> results(items.size());
+    for (size_t i = 0; i < items.size(); ++i) {
+      StatusOr<std::vector<ScoredObject>> one =
+          TopK(*items[i].query, items[i].cancel, trace);
+      if (one.ok()) {
+        results[i].topk = std::move(one).value();
+      } else {
+        results[i].status = one.status();
+      }
+    }
+    return results;
+  }
   virtual StatusOr<WhyNotResult> Answer(
       WhyNotAlgorithm algorithm, const SpatialKeywordQuery& query,
       const std::vector<ObjectId>& missing,

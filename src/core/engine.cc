@@ -7,6 +7,7 @@
 
 #include "core/whynot_bs.h"
 #include "core/whynot_kcr.h"
+#include "index/batch_topk.h"
 #include "index/topk.h"
 #include "observability/trace.h"
 
@@ -145,6 +146,25 @@ StatusOr<std::vector<ScoredObject>> WhyNotEngine::TopK(
   QueryScope scope(this);
   TraceSpan root_span(trace, TraceStage::kQuery);
   return IndexTopK(*setr_tree_, query, cancel, /*use_cache=*/true, trace);
+}
+
+std::vector<BackendBatchResult> WhyNotEngine::TopKBatch(
+    const std::vector<BackendBatchItem>& items, TraceRecorder* trace) const {
+  QueryScope scope(this);
+  TraceSpan root_span(trace, TraceStage::kQuery);
+  std::vector<BatchTopKRequest> requests(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    requests[i].query = items[i].query;
+    requests[i].cancel = items[i].cancel;
+  }
+  std::vector<BatchTopKResult> raw =
+      BatchedIndexTopK(*setr_tree_, requests, /*use_cache=*/true, trace);
+  std::vector<BackendBatchResult> results(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    results[i].status = std::move(raw[i].status);
+    results[i].topk = std::move(raw[i].topk);
+  }
+  return results;
 }
 
 StatusOr<uint32_t> WhyNotEngine::Rank(const SpatialKeywordQuery& query,

@@ -87,6 +87,12 @@ class WhyNotEngine : public QueryBackend {
       const SpatialKeywordQuery& query, const CancelToken* cancel = nullptr,
       TraceRecorder* trace = nullptr) const override;
 
+  // One shared SetR-tree walk for all items; per-item results bit-identical
+  // to TopK (docs/BATCHING.md).
+  std::vector<BackendBatchResult> TopKBatch(
+      const std::vector<BackendBatchItem>& items,
+      TraceRecorder* trace = nullptr) const override;
+
   // R(object, query) per Eqn 3.
   StatusOr<uint32_t> Rank(const SpatialKeywordQuery& query,
                           ObjectId object) const;

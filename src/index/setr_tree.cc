@@ -431,6 +431,58 @@ PageId SetRTree::SearchRoot() const {
   return height_ == 0 ? kInvalidPageId : root_;
 }
 
+namespace {
+
+// Solo leaf scoring against an already-decoded node. Scoring kernel: freeze
+// the (small) query doc as the universe once per node, then each object's
+// similarity is one footprint + popcount (bit-identical to
+// TextualSimilarity; docs/PERF.md).
+void AppendLeafEntries(const SetRTree::DecodedNode& decoded, double diagonal,
+                       const SpatialKeywordQuery& query,
+                       std::vector<SearchEntry>* out) {
+  const SetRTree::Node& node = decoded.node;
+  const double alpha = query.alpha;
+  const CandidateUniverse qu = CandidateUniverse::Build(query.doc);
+  const CandidateMask qmask = qu.valid() ? qu.FullMask() : 0;
+  for (size_t i = 0; i < node.leaf_entries.size(); ++i) {
+    const SetRTree::LeafEntry& e = node.leaf_entries[i];
+    const KeywordSet& doc = decoded.leaf_docs[i];
+    const double sdist = Distance(e.loc, query.loc) / diagonal;
+    const double tsim =
+        qu.valid() ? ScoreCandidate(qu.FootprintOf(doc), qmask, query.model)
+                   : TextualSimilarity(doc, query.doc, query.model);
+    SearchEntry entry;
+    entry.bound = alpha * (1.0 - sdist) + (1.0 - alpha) * tsim;
+    entry.is_object = true;
+    entry.object = e.object;
+    out->push_back(entry);
+  }
+}
+
+void AppendInnerEntries(const SetRTree::DecodedNode& decoded, double diagonal,
+                        const SpatialKeywordQuery& query,
+                        std::vector<SearchEntry>* out) {
+  const SetRTree::Node& node = decoded.node;
+  const double alpha = query.alpha;
+  for (size_t i = 0; i < node.inner_entries.size(); ++i) {
+    const SetRTree::InnerEntry& e = node.inner_entries[i];
+    const KeywordSet& uni = decoded.child_union[i];
+    const KeywordSet& inter = decoded.child_inter[i];
+    // Theorem 1: ST(o, q) <= alpha (1 - MinDist(q, N.mbr)) +
+    //            (1 - alpha) |N_u ∩ q| / |N_i ∪ q| for every o under N.
+    const double min_sdist = MinDist(query.loc, e.mbr) / diagonal;
+    const double tsim_bound = NodeSimilarityUpperBound(
+        uni.IntersectionSize(query.doc), inter.UnionSize(query.doc),
+        inter.size(), query.doc.size(), query.model);
+    SearchEntry entry;
+    entry.bound = alpha * (1.0 - min_sdist) + (1.0 - alpha) * tsim_bound;
+    entry.node = e.child;
+    out->push_back(entry);
+  }
+}
+
+}  // namespace
+
 Status SetRTree::ExpandNode(PageId page, const SpatialKeywordQuery& query,
                             bool use_cache, std::vector<SearchEntry>* out)
     const {
@@ -438,42 +490,76 @@ Status SetRTree::ExpandNode(PageId page, const SpatialKeywordQuery& query,
       ReadDecodedNode(page, use_cache);
   if (!read.ok()) return read.status();
   const DecodedNode& decoded = *read.value();
+  if (decoded.node.is_leaf) {
+    AppendLeafEntries(decoded, diagonal_, query, out);
+  } else {
+    AppendInnerEntries(decoded, diagonal_, query, out);
+  }
+  return Status::Ok();
+}
+
+Status SetRTree::ExpandNodeBatch(PageId page,
+                                 const SpatialKeywordQuery* const* queries,
+                                 std::vector<SearchEntry>* const* outs,
+                                 size_t count, bool use_cache) const {
+  if (count == 0) return Status::Ok();
+  StatusOr<std::shared_ptr<const DecodedNode>> read =
+      ReadDecodedNode(page, use_cache);
+  if (!read.ok()) return read.status();
+  const DecodedNode& decoded = *read.value();
   const Node& node = decoded.node;
-  const double alpha = query.alpha;
-  if (node.is_leaf) {
-    // Scoring kernel: freeze the (small) query doc as the universe once per
-    // node, then each object's similarity is one footprint + popcount
-    // (bit-identical to TextualSimilarity; docs/PERF.md).
-    const CandidateUniverse qu = CandidateUniverse::Build(query.doc);
-    const CandidateMask qmask = qu.valid() ? qu.FullMask() : 0;
-    for (size_t i = 0; i < node.leaf_entries.size(); ++i) {
-      const LeafEntry& e = node.leaf_entries[i];
-      const KeywordSet& doc = decoded.leaf_docs[i];
+  if (!node.is_leaf) {
+    // Inner nodes: the decode is the shared cost; the Theorem 1 bound is a
+    // per-query set computation either way.
+    for (size_t qi = 0; qi < count; ++qi) {
+      AppendInnerEntries(decoded, diagonal_, *queries[qi], outs[qi]);
+    }
+    return Status::Ok();
+  }
+  // Leaf: freeze the union of the batch's query docs as one universe, so
+  // each object needs a single footprint for the whole batch. Every query
+  // doc is a subset of the union, so |doc ∩ q| and |q| — the only inputs to
+  // the similarity — are the integers the solo per-query universe produces,
+  // and the scores are bit-identical (tests/batch_topk_test).
+  KeywordSet union_doc = queries[0]->doc;
+  bool mixed_models = false;
+  for (size_t qi = 1; qi < count; ++qi) {
+    union_doc = union_doc.Union(queries[qi]->doc);
+    if (queries[qi]->model != queries[0]->model) mixed_models = true;
+  }
+  const CandidateUniverse qu = CandidateUniverse::Build(union_doc);
+  if (!qu.valid()) {
+    // Union too wide for one mask: per-query universes, shared decode.
+    for (size_t qi = 0; qi < count; ++qi) {
+      AppendLeafEntries(decoded, diagonal_, *queries[qi], outs[qi]);
+    }
+    return Status::Ok();
+  }
+  std::vector<CandidateMask> qmasks(count);
+  for (size_t qi = 0; qi < count; ++qi) {
+    qmasks[qi] = qu.MaskOf(queries[qi]->doc);
+  }
+  std::vector<double> tsims(count);
+  for (size_t i = 0; i < node.leaf_entries.size(); ++i) {
+    const LeafEntry& e = node.leaf_entries[i];
+    const Footprint fp = qu.FootprintOf(decoded.leaf_docs[i]);
+    if (mixed_models) {
+      for (size_t qi = 0; qi < count; ++qi) {
+        tsims[qi] = ScoreCandidate(fp, qmasks[qi], queries[qi]->model);
+      }
+    } else {
+      ScoreAllCandidates(fp, qmasks.data(), count, queries[0]->model,
+                         tsims.data());
+    }
+    for (size_t qi = 0; qi < count; ++qi) {
+      const SpatialKeywordQuery& query = *queries[qi];
       const double sdist = Distance(e.loc, query.loc) / diagonal_;
-      const double tsim =
-          qu.valid() ? ScoreCandidate(qu.FootprintOf(doc), qmask, query.model)
-                     : TextualSimilarity(doc, query.doc, query.model);
       SearchEntry entry;
-      entry.bound = alpha * (1.0 - sdist) + (1.0 - alpha) * tsim;
+      entry.bound = query.alpha * (1.0 - sdist) +
+                    (1.0 - query.alpha) * tsims[qi];
       entry.is_object = true;
       entry.object = e.object;
-      out->push_back(entry);
-    }
-  } else {
-    for (size_t i = 0; i < node.inner_entries.size(); ++i) {
-      const InnerEntry& e = node.inner_entries[i];
-      const KeywordSet& uni = decoded.child_union[i];
-      const KeywordSet& inter = decoded.child_inter[i];
-      // Theorem 1: ST(o, q) <= alpha (1 - MinDist(q, N.mbr)) +
-      //            (1 - alpha) |N_u ∩ q| / |N_i ∪ q| for every o under N.
-      const double min_sdist = MinDist(query.loc, e.mbr) / diagonal_;
-      const double tsim_bound = NodeSimilarityUpperBound(
-          uni.IntersectionSize(query.doc), inter.UnionSize(query.doc),
-          inter.size(), query.doc.size(), query.model);
-      SearchEntry entry;
-      entry.bound = alpha * (1.0 - min_sdist) + (1.0 - alpha) * tsim_bound;
-      entry.node = e.child;
-      out->push_back(entry);
+      outs[qi]->push_back(entry);
     }
   }
   return Status::Ok();

@@ -102,6 +102,12 @@ class SetRTree : public TopKSource {
   Status ExpandNode(PageId node, const SpatialKeywordQuery& query,
                     bool use_cache, std::vector<SearchEntry>* out)
       const override;
+  // One decode + one footprint per object for the whole batch; bit-exact
+  // per-query entries (docs/BATCHING.md).
+  Status ExpandNodeBatch(PageId node,
+                         const SpatialKeywordQuery* const* queries,
+                         std::vector<SearchEntry>* const* outs, size_t count,
+                         bool use_cache) const override;
 
   // A node decoded all the way down: structural entries plus every keyword
   // payload materialized from the blob store (object docs for leaves,

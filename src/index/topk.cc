@@ -2,6 +2,16 @@
 
 namespace wsk {
 
+Status TopKSource::ExpandNodeBatch(PageId node,
+                                   const SpatialKeywordQuery* const* queries,
+                                   std::vector<SearchEntry>* const* outs,
+                                   size_t count, bool use_cache) const {
+  for (size_t i = 0; i < count; ++i) {
+    WSK_RETURN_IF_ERROR(ExpandNode(node, *queries[i], use_cache, outs[i]));
+  }
+  return Status::Ok();
+}
+
 TopKIterator::TopKIterator(const TopKSource* source, SpatialKeywordQuery query,
                            const CancelToken* cancel, bool use_cache,
                            TraceRecorder* trace)

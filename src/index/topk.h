@@ -54,6 +54,17 @@ class TopKSource {
   virtual Status ExpandNode(PageId node, const SpatialKeywordQuery& query,
                             bool use_cache,
                             std::vector<SearchEntry>* out) const = 0;
+
+  // Expands `node` once for `count` queries at a time: outs[i] receives
+  // exactly the entries ExpandNode(node, *queries[i], ...) would append —
+  // bit-identical bounds, same order — so a batched traversal can substitute
+  // one shared expansion for N solo ones (docs/BATCHING.md). The base
+  // implementation loops over ExpandNode; tree sources override it to
+  // decode/pin the node once and score the whole batch against it.
+  virtual Status ExpandNodeBatch(PageId node,
+                                 const SpatialKeywordQuery* const* queries,
+                                 std::vector<SearchEntry>* const* outs,
+                                 size_t count, bool use_cache) const;
 };
 
 // Streams objects in (score desc, id asc) order. Typical use:

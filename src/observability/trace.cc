@@ -14,7 +14,7 @@ constexpr const char* kStageNames[kNumTraceStages] = {
     "query",           "initial_rank",  "enumeration",      "candidate_eval",
     "dominator_probe", "rank_query",    "batch",            "leaf_scoring",
     "bound_tightening", "topk",         "explain",          "delta_scan",
-    "shard_visit",
+    "shard_visit",      "batch.topk",
 };
 
 constexpr const char* kCounterNames[kNumTraceCounters] = {
@@ -36,6 +36,9 @@ constexpr const char* kCounterNames[kNumTraceCounters] = {
     "segments_visited",
     "shards_visited",
     "shards_pruned",
+    "batch.queries",
+    "batch.nodes_expanded",
+    "batch.nodes_shared",
 };
 
 void AppendJsonEscaped(const std::string& s, std::string* out) {

@@ -49,8 +49,9 @@ enum class TraceStage : uint8_t {
   kExplain,          // ExplainMiss annotation scope
   kDeltaScan,        // linear scan of in-memory delta segments (live path)
   kShardVisit,       // one shard's top-k under the scatter-gather fan-out
+  kBatchTopK,        // one multi-query shared traversal (docs/BATCHING.md)
 };
-inline constexpr size_t kNumTraceStages = 13;
+inline constexpr size_t kNumTraceStages = 14;
 const char* TraceStageName(TraceStage stage);
 
 // Pruning-effectiveness counters. The candidate family satisfies
@@ -77,8 +78,12 @@ enum class TraceCounter : uint8_t {
   kSegmentsVisited,       // segments consulted by a live query
   kShardsVisited,         // shards whose top-k actually ran (scatter-gather)
   kShardsPruned,          // shards skipped by the cross-shard MaxScore bound
+  kBatchQueries,          // queries answered by a shared batched traversal
+  kBatchNodesExpanded,    // physical node expansions a batched walk performed
+  kBatchNodesShared,      // per-query node openings served by those
+                          // expansions beyond the first (amortized accesses)
 };
-inline constexpr size_t kNumTraceCounters = 18;
+inline constexpr size_t kNumTraceCounters = 21;
 const char* TraceCounterName(TraceCounter counter);
 
 struct TraceEvent {

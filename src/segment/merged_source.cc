@@ -82,4 +82,43 @@ Status MergedTopKSource::ExpandNode(PageId node,
   return Status::Ok();
 }
 
+Status MergedTopKSource::ExpandNodeBatch(
+    PageId node, const SpatialKeywordQuery* const* queries,
+    std::vector<SearchEntry>* const* outs, size_t count,
+    bool use_cache) const {
+  if (node == kVirtualRoot) {
+    // Per-query fan-out: the root emits exactly-scored delta objects, which
+    // depend on each query individually — nothing physical to amortize.
+    for (size_t qi = 0; qi < count; ++qi) {
+      WSK_RETURN_IF_ERROR(ExpandNode(node, *queries[qi], use_cache, outs[qi]));
+    }
+    return Status::Ok();
+  }
+  const size_t seg_index = (node >> kSegmentShift) - 1;
+  WSK_CHECK_MSG(seg_index < segments_.size(), "page outside any segment");
+  const MergedSegment& seg = segments_[seg_index];
+  std::vector<std::vector<SearchEntry>> scratch(count);
+  std::vector<std::vector<SearchEntry>*> scratch_ptrs(count);
+  for (size_t qi = 0; qi < count; ++qi) scratch_ptrs[qi] = &scratch[qi];
+  WSK_RETURN_IF_ERROR(seg.source->ExpandNodeBatch(
+      node & kLocalMask, queries, scratch_ptrs.data(), count, use_cache));
+  for (size_t qi = 0; qi < count; ++qi) {
+    for (SearchEntry& entry : scratch[qi]) {
+      if (entry.is_object) {
+        if (seg.visibility != nullptr &&
+            !seg.visibility->IsVisible(entry.object)) {
+          continue;  // tombstoned at this snapshot
+        }
+      } else {
+        WSK_CHECK_MSG(entry.node <= kLocalMask,
+                      "child page outside namespace");
+        entry.node =
+            static_cast<PageId>((seg_index + 1) << kSegmentShift) | entry.node;
+      }
+      outs[qi]->push_back(entry);
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace wsk

@@ -62,6 +62,14 @@ class MergedTopKSource : public TopKSource {
   Status ExpandNode(PageId node, const SpatialKeywordQuery& query,
                     bool use_cache, std::vector<SearchEntry>* out)
       const override;
+  // Delegates the shared expansion to the owning segment's source (one
+  // decode for the whole batch), then re-applies the per-segment namespace
+  // and visibility transform per query. The virtual root stays per-query:
+  // delta objects are scored per query anyway (docs/BATCHING.md).
+  Status ExpandNodeBatch(PageId node,
+                         const SpatialKeywordQuery* const* queries,
+                         std::vector<SearchEntry>* const* outs, size_t count,
+                         bool use_cache) const override;
 
  private:
   static constexpr PageId kLocalMask = (1u << kSegmentShift) - 1;

@@ -6,6 +6,7 @@
 #include "common/macros.h"
 #include "core/whynot_bs.h"
 #include "core/whynot_kcr.h"
+#include "index/batch_topk.h"
 #include "index/topk.h"
 #include "observability/trace.h"
 
@@ -108,6 +109,30 @@ StatusOr<std::vector<ScoredObject>> SegmentedEngine::TopK(
   MergedTopKSource source(plan.setr_segments, plan.extras,
                           manager_->diagonal(), trace);
   return IndexTopK(source, query, cancel, /*use_cache=*/true, trace);
+}
+
+std::vector<BackendBatchResult> SegmentedEngine::TopKBatch(
+    const std::vector<BackendBatchItem>& items, TraceRecorder* trace) const {
+  TraceSpan root_span(trace, TraceStage::kQuery);
+  // One snapshot for the whole batch: every item answers against the same
+  // point-in-time view, exactly what solo execution at batch-formation time
+  // would have seen.
+  const QueryPlan plan = MakePlan(/*want_kcr=*/false);
+  MergedTopKSource source(plan.setr_segments, plan.extras,
+                          manager_->diagonal(), trace);
+  std::vector<BatchTopKRequest> requests(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    requests[i].query = items[i].query;
+    requests[i].cancel = items[i].cancel;
+  }
+  std::vector<BatchTopKResult> raw =
+      BatchedIndexTopK(source, requests, /*use_cache=*/true, trace);
+  std::vector<BackendBatchResult> results(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    results[i].status = std::move(raw[i].status);
+    results[i].topk = std::move(raw[i].topk);
+  }
+  return results;
 }
 
 StatusOr<WhyNotResult> SegmentedEngine::Answer(

@@ -81,6 +81,11 @@ class SegmentedEngine : public QueryBackend {
   StatusOr<std::vector<ScoredObject>> TopK(
       const SpatialKeywordQuery& query, const CancelToken* cancel = nullptr,
       TraceRecorder* trace = nullptr) const override;
+  // One snapshot + one shared merged-source walk for all items; per-item
+  // results bit-identical to TopK against that snapshot (docs/BATCHING.md).
+  std::vector<BackendBatchResult> TopKBatch(
+      const std::vector<BackendBatchItem>& items,
+      TraceRecorder* trace = nullptr) const override;
   StatusOr<WhyNotResult> Answer(WhyNotAlgorithm algorithm,
                                 const SpatialKeywordQuery& query,
                                 const std::vector<ObjectId>& missing,

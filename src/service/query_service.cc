@@ -1,6 +1,10 @@
 #include "service/query_service.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <string_view>
+#include <unordered_map>
 #include <utility>
 
 #include "common/macros.h"
@@ -36,7 +40,13 @@ QueryService::QueryService(const QueryBackend* backend,
       mutations_update_(metrics_.counter("mutations.update")),
       mutations_delete_(metrics_.counter("mutations.delete")),
       mutations_failed_(metrics_.counter("mutations.failed")),
-      latency_mutation_(metrics_.histogram("latency.mutation.ms")) {
+      latency_mutation_(metrics_.histogram("latency.mutation.ms")),
+      batch_batches_(metrics_.counter("batch.batches")),
+      batch_queries_(metrics_.counter("batch.queries")),
+      batch_dedup_(metrics_.counter("batch.dedup")),
+      batch_fallback_solo_(metrics_.counter("batch.fallback_solo")),
+      batch_occupancy_(metrics_.histogram("batch.occupancy")),
+      batch_window_wait_(metrics_.histogram("batch.window_wait.ms")) {
   WSK_CHECK_MSG(backend_ != nullptr, "QueryService requires a backend");
   WSK_CHECK_MSG(config_.num_workers >= 1,
                 "QueryService requires at least one worker (got %d)",
@@ -55,9 +65,22 @@ QueryService::QueryService(const QueryBackend* backend,
     }
   }
   pool_ = std::make_unique<ThreadPool>(config_.num_workers, config_.max_queue);
+  if (config_.batch_max_size > 1) {
+    batch_collector_ = std::thread([this] { BatchCollectorLoop(); });
+  }
 }
 
 QueryService::~QueryService() {
+  // Stop the collector first: it flushes whatever is still pending into
+  // the pool on its way out, and must not touch the pool after reset.
+  if (batch_collector_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(batch_mu_);
+      batch_stop_ = true;
+    }
+    batch_cv_.notify_all();
+    batch_collector_.join();
+  }
   // ThreadPool's destructor drains the queue and joins, so every admitted
   // request fulfils its promise before the service's members go away.
   pool_.reset();
@@ -155,6 +178,41 @@ std::future<StatusOr<QueryService::TopKResponse>> QueryService::SubmitTopK(
           : FingerprintTopK(query, config_.cache_location_quantum,
                             backend_->topology_fingerprint());
 
+  if (config_.batch_max_size > 1) {
+    const Timer timer;
+    // Cache lookup happens BEFORE the request enqueues into the
+    // collector: a hit is answered immediately and never waits out the
+    // collection window, and a pending request always needs computing.
+    if (!key.empty()) {
+      if (std::shared_ptr<const ResultCache::Entry> hit = cache_.Lookup(
+              key, [this, &query](const ResultCache::Entry& e) {
+                return backend_->TopKCacheValid(e.versions, query, e.topk);
+              })) {
+        TopKResponse response;
+        response.results = hit->topk;
+        response.cache_hit = true;
+        response.latency_ms = timer.ElapsedMillis();
+        AccountStatus(Status());
+        latency_topk_.Record(response.latency_ms);
+        inflight_.fetch_sub(1, std::memory_order_relaxed);
+        promise->set_value(std::move(response));
+        return future;
+      }
+    }
+    PendingTopK item;
+    item.promise = promise;
+    item.query = query;
+    item.token = std::move(token);
+    item.key = key;
+    item.timer = timer;
+    {
+      std::lock_guard<std::mutex> lock(batch_mu_);
+      batch_queue_.push_back(std::move(item));
+    }
+    batch_cv_.notify_one();
+    return future;
+  }
+
   auto task = [this, promise, query, token = std::move(token), key,
                bypass_cache = opts.bypass_cache, timer = Timer()]() {
     StatusOr<TopKResponse> outcome =
@@ -222,6 +280,204 @@ std::future<StatusOr<QueryService::TopKResponse>> QueryService::SubmitTopK(
         "query service overloaded: worker queue full"));
   }
   return future;
+}
+
+void QueryService::BatchCollectorLoop() {
+  std::unique_lock<std::mutex> lock(batch_mu_);
+  for (;;) {
+    batch_cv_.wait(lock,
+                   [this] { return batch_stop_ || !batch_queue_.empty(); });
+    if (batch_queue_.empty()) return;  // stopping, nothing left to flush
+    // The window opens when the first request of a batch arrives. A full
+    // batch dispatches immediately; shutdown flushes without waiting.
+    const Timer wait_timer;
+    if (!batch_stop_ && config_.batch_window_ms > 0.0 &&
+        batch_queue_.size() < config_.batch_max_size) {
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double, std::milli>(
+                  config_.batch_window_ms));
+      batch_cv_.wait_until(lock, deadline, [this] {
+        return batch_stop_ || batch_queue_.size() >= config_.batch_max_size;
+      });
+    }
+    const size_t take = std::min(batch_queue_.size(), config_.batch_max_size);
+    auto batch = std::make_shared<std::vector<PendingTopK>>();
+    batch->reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch->push_back(std::move(batch_queue_.front()));
+      batch_queue_.pop_front();
+    }
+    lock.unlock();
+    batch_window_wait_.Record(wait_timer.ElapsedMillis());
+    batch_occupancy_.Record(static_cast<double>(batch->size()));
+    // Execution runs on the worker pool so the collector can keep forming
+    // batches while earlier ones are still walking the index. Submit (not
+    // TrySubmit): every request in the batch was already admitted.
+    pool_->Submit([this, batch] { ExecuteTopKBatch(std::move(*batch)); });
+    lock.lock();
+  }
+}
+
+void QueryService::ExecuteTopKBatch(std::vector<PendingTopK> batch) {
+  // Fail fast per request, exactly as the solo task does: one that was
+  // cancelled, or waited out its deadline in the collector, finishes
+  // before any work.
+  std::vector<PendingTopK> live;
+  live.reserve(batch.size());
+  for (PendingTopK& item : batch) {
+    if (Status status = item.token.Check(); !status.ok()) {
+      FinishBatchedTopK(std::move(item), std::move(status));
+    } else {
+      live.push_back(std::move(item));
+    }
+  }
+  if (live.empty()) return;
+
+  // Within-batch dedupe: requests with identical cache fingerprints
+  // execute once and fan the answer out. Bypass-cache requests carry an
+  // empty key and never dedupe.
+  std::vector<size_t> reps;                  // group -> representative
+  std::vector<std::vector<size_t>> members;  // group -> all items (rep first)
+  {
+    std::unordered_map<std::string_view, size_t> by_key;
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (!live[i].key.empty()) {
+        auto [it, inserted] = by_key.emplace(live[i].key, members.size());
+        if (!inserted) {
+          members[it->second].push_back(i);
+          batch_dedup_.Increment();
+          continue;
+        }
+      }
+      reps.push_back(i);
+      members.push_back({i});
+    }
+  }
+
+  bool want_versions = false;
+  for (size_t rep : reps) want_versions |= !live[rep].key.empty();
+
+  std::vector<uint64_t> versions;
+  std::vector<BackendBatchResult> results;
+  try {
+    // Captured before the batch runs, as in the solo path: a racing
+    // mutation makes cached entries look staler than they are, never
+    // fresher.
+    if (want_versions) versions = backend_->version_vector();
+    std::vector<BackendBatchItem> items(reps.size());
+    for (size_t g = 0; g < reps.size(); ++g) {
+      items[g].query = &live[reps[g]].query;
+      items[g].cancel = &live[reps[g]].token;
+    }
+    const IoSnapshot io_before = TakeIoSnapshot();
+    TraceRecorder stage_trace(0);
+    TraceRecorder* const trace =
+        config_.collect_stage_metrics ? &stage_trace : nullptr;
+    results = backend_->TopKBatch(items, trace);
+    if (trace != nullptr) AbsorbTrace(stage_trace);
+    AccountIo(io_before);
+  } catch (const std::exception& e) {
+    results.assign(reps.size(),
+                   BackendBatchResult{Status::Internal(
+                       std::string("batched top-k threw: ") + e.what()), {}});
+  } catch (...) {
+    results.assign(
+        reps.size(),
+        BackendBatchResult{
+            Status::Internal("batched top-k threw a non-std exception"), {}});
+  }
+  while (results.size() < reps.size()) {
+    results.push_back(BackendBatchResult{
+        Status::Internal("backend returned a short batch result"), {}});
+  }
+  batch_batches_.Increment();
+  batch_queries_.Increment(live.size());
+
+  for (size_t g = 0; g < reps.size(); ++g) {
+    BackendBatchResult& r = results[g];
+    const std::string& key = live[reps[g]].key;
+    if (r.status.ok() && !key.empty()) {
+      // One insertion per unique fingerprint per batch, no matter how
+      // many requests the group fanned out to.
+      auto entry = std::make_shared<ResultCache::Entry>();
+      entry->is_whynot = false;
+      entry->topk = r.topk;
+      entry->versions = versions;
+      cache_.Insert(key, std::move(entry));
+    }
+    for (size_t m : members[g]) {
+      PendingTopK& item = live[m];
+      if (r.status.ok()) {
+        TopKResponse response;
+        response.results = r.topk;
+        FinishBatchedTopK(std::move(item), std::move(response));
+      } else if (m != reps[g] &&
+                 (r.status.code() == StatusCode::kCancelled ||
+                  r.status.code() == StatusCode::kDeadlineExceeded) &&
+                 item.token.Check().ok()) {
+        // The representative's token fired mid-walk but this duplicate is
+        // still live: re-run it solo so one client's cancellation never
+        // cancels another client's request.
+        batch_fallback_solo_.Increment();
+        ExecuteSoloTopKFallback(std::move(item), versions);
+      } else {
+        FinishBatchedTopK(std::move(item), r.status);
+      }
+    }
+  }
+}
+
+void QueryService::ExecuteSoloTopKFallback(
+    PendingTopK item, const std::vector<uint64_t>& versions) {
+  StatusOr<TopKResponse> outcome =
+      Status::Internal("solo fallback did not produce a result");
+  try {
+    outcome = [&]() -> StatusOr<TopKResponse> {
+      const IoSnapshot io_before = TakeIoSnapshot();
+      TraceRecorder stage_trace(0);
+      TraceRecorder* const trace =
+          config_.collect_stage_metrics ? &stage_trace : nullptr;
+      StatusOr<std::vector<ScoredObject>> results =
+          backend_->TopK(item.query, &item.token, trace);
+      if (trace != nullptr) AbsorbTrace(stage_trace);
+      if (!results.ok()) return results.status();
+      AccountIo(io_before);
+      TopKResponse response;
+      response.results = std::move(results).value();
+      if (!item.key.empty()) {
+        // The representative failed, so this group made no insertion yet.
+        auto entry = std::make_shared<ResultCache::Entry>();
+        entry->is_whynot = false;
+        entry->topk = response.results;
+        entry->versions = versions;
+        cache_.Insert(item.key, std::move(entry));
+      }
+      return response;
+    }();
+  } catch (const std::exception& e) {
+    outcome =
+        Status::Internal(std::string("solo fallback threw: ") + e.what());
+  } catch (...) {
+    outcome = Status::Internal("solo fallback threw a non-std exception");
+  }
+  FinishBatchedTopK(std::move(item), std::move(outcome));
+}
+
+void QueryService::FinishBatchedTopK(PendingTopK item,
+                                     StatusOr<TopKResponse> outcome) {
+  const double latency_ms = item.timer.ElapsedMillis();
+  if (outcome.ok()) outcome.value().latency_ms = latency_ms;
+  AccountStatus(outcome.status());
+  latency_topk_.Record(latency_ms);
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+  item.promise->set_value(std::move(outcome));
+}
+
+size_t QueryService::BatchQueueDepth() const {
+  std::lock_guard<std::mutex> lock(batch_mu_);
+  return batch_queue_.size();
 }
 
 std::future<StatusOr<QueryService::WhyNotResponse>> QueryService::SubmitWhyNot(
@@ -435,6 +691,13 @@ std::string QueryService::MetricsReport() const {
                   static_cast<unsigned long long>(ns.capacity_bytes));
     out += line;
   }
+  if (config_.batch_max_size > 1) {
+    std::snprintf(line, sizeof(line),
+                  "batching  max_size %zu window_ms %.3f pending %zu\n",
+                  config_.batch_max_size, config_.batch_window_ms,
+                  BatchQueueDepth());
+    out += line;
+  }
   std::snprintf(line, sizeof(line),
                 "pool      workers %d queue_depth %zu task_exceptions %llu\n",
                 config_.num_workers, pool_->queue_depth(),
@@ -497,6 +760,11 @@ std::string QueryService::PrometheusReport() const {
     gauge_line("wsk_node_cache_bytes", ns.bytes_in_use);
   }
   gauge_line("wsk_inflight_requests", inflight());
+  if (config_.batch_max_size > 1) {
+    // wsk_batch_* counters/histograms come from the registry above; the
+    // pending-queue depth is the one live gauge the registry cannot hold.
+    gauge_line("wsk_batch_pending_requests", BatchQueueDepth());
+  }
   gauge_line("wsk_pool_queue_depth", pool_->queue_depth());
   counter_line("wsk_pool_task_exceptions_total", pool_->num_task_exceptions());
   return out;

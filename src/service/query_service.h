@@ -39,14 +39,19 @@
 #define WSK_SERVICE_QUERY_SERVICE_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/cancel.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
 #include "core/backend.h"
 #include "core/engine.h"
 #include "observability/trace.h"
@@ -67,6 +72,17 @@ struct QueryServiceConfig {
   // the registry: per-stage wall time into `stage.<name>.ms` histograms,
   // pruning counters into `prune.<name>` counters (docs/OBSERVABILITY.md).
   bool collect_stage_metrics = true;
+  // Batched top-k execution (docs/BATCHING.md). With batch_max_size > 1 a
+  // collector thread groups admitted top-k requests behind a short
+  // collection window and drives them through QueryBackend::TopKBatch —
+  // one shared index traversal per batch, bit-identical results per query.
+  // 1 disables batching (the default: every request executes solo).
+  // Why-not requests are never batched.
+  size_t batch_max_size = 1;
+  // How long the collector holds an open batch waiting for more requests
+  // once the first one arrives, in milliseconds. A full batch dispatches
+  // immediately; 0 dispatches whatever is queued without waiting.
+  double batch_window_ms = 0.25;
 };
 
 // Per-request knobs.
@@ -189,6 +205,33 @@ class QueryService {
                                             Counter& kind_counter,
                                             double latency_ms);
 
+  // One admitted top-k request waiting in the batch collector. The cache
+  // lookup already happened (and missed) before the request enqueued, so a
+  // pending request always represents real work.
+  struct PendingTopK {
+    std::shared_ptr<std::promise<StatusOr<TopKResponse>>> promise;
+    SpatialKeywordQuery query;
+    CancelToken token;
+    std::string key;  // cache fingerprint; empty = bypass_cache
+    Timer timer;      // started at admission; end-to-end latency
+  };
+
+  // Collector thread body: waits for pending requests, holds the batch
+  // open for up to batch_window_ms (or until batch_max_size), then hands
+  // the batch to the worker pool for execution.
+  void BatchCollectorLoop();
+  // Executes one formed batch: per-item fail-fast, within-batch dedupe by
+  // fingerprint, one QueryBackend::TopKBatch call, cache insertion (one
+  // per unique fingerprint), and promise fan-out.
+  void ExecuteTopKBatch(std::vector<PendingTopK> batch);
+  // Re-runs one request solo; used when a deduped duplicate's
+  // representative was cancelled but the duplicate's own token is live.
+  void ExecuteSoloTopKFallback(PendingTopK item,
+                               const std::vector<uint64_t>& versions);
+  // Accounts a batched request's terminal outcome and fulfils its promise.
+  void FinishBatchedTopK(PendingTopK item, StatusOr<TopKResponse> outcome);
+  size_t BatchQueueDepth() const;
+
   const QueryBackend* const backend_;
   const QueryServiceConfig config_;
   MetricsRegistry metrics_;
@@ -220,14 +263,32 @@ class QueryService {
   Counter& mutations_delete_;
   Counter& mutations_failed_;
   LatencyHistogram& latency_mutation_;
+  // Batched-execution metrics (docs/BATCHING.md): batches dispatched,
+  // requests routed through them, duplicates answered by a shared
+  // execution, solo re-runs after a representative's cancellation, batch
+  // size at dispatch, and how long the collection window held each batch.
+  Counter& batch_batches_;
+  Counter& batch_queries_;
+  Counter& batch_dedup_;
+  Counter& batch_fallback_solo_;
+  LatencyHistogram& batch_occupancy_;
+  LatencyHistogram& batch_window_wait_;
   // Per-stage wall-time histograms and pruning counters, interned at
   // construction (indexed by TraceStage / TraceCounter) so AbsorbTrace
   // never takes the registry mutex.
   LatencyHistogram* stage_hist_[kNumTraceStages] = {};
   Counter* prune_counter_[kNumTraceCounters] = {};
+  // Batch collector state. The queue is bounded indirectly by
+  // max_inflight (only admitted requests enqueue); the collector thread is
+  // joined in the destructor before the pool drains.
+  mutable std::mutex batch_mu_;
+  std::condition_variable batch_cv_;
+  std::deque<PendingTopK> batch_queue_;
+  bool batch_stop_ = false;
   // Declared last so teardown destroys it first: workers drain while the
   // metrics/cache members their tasks touch are still alive.
   std::unique_ptr<ThreadPool> pool_;
+  std::thread batch_collector_;  // joined explicitly before pool_ resets
 };
 
 }  // namespace wsk

@@ -74,6 +74,13 @@ class ShardCoordinator : public QueryBackend {
   StatusOr<std::vector<ScoredObject>> TopK(
       const SpatialKeywordQuery& query, const CancelToken* cancel = nullptr,
       TraceRecorder* trace = nullptr) const override;
+  // Scatter-gather batching: each item replays its own solo shard order
+  // and prune decisions, but items whose next shard coincides are answered
+  // by one sub-batch per visited shard, amortizing the per-shard walk
+  // (docs/BATCHING.md). Per-item results are bit-identical to TopK.
+  std::vector<BackendBatchResult> TopKBatch(
+      const std::vector<BackendBatchItem>& items,
+      TraceRecorder* trace = nullptr) const override;
   StatusOr<WhyNotResult> Answer(WhyNotAlgorithm algorithm,
                                 const SpatialKeywordQuery& query,
                                 const std::vector<ObjectId>& missing,

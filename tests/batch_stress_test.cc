@@ -1,0 +1,140 @@
+// Batch-collector stress test (CTest label: stress; CI reruns it under
+// TSan). Eight client threads fire top-k requests at a batching
+// QueryService — duplicates that dedupe, bypass-cache requests that must
+// not, tiny deadlines that expire inside the collection window, and
+// shared tokens a canceller thread fires mid-flight (exercising the
+// solo-fallback path for deduped duplicates). Every future must resolve
+// with a sane status and every OK answer must be bit-identical to the
+// sequential baseline; the teardown path must drain a collector that
+// still holds pending requests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "data/generator.h"
+#include "service/query_service.h"
+
+namespace wsk {
+namespace {
+
+class BatchStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneratorConfig config;
+    config.num_objects = 400;
+    config.vocab_size = 60;
+    config.seed = 55555;
+    dataset_ = GenerateDataset(config);
+    WhyNotEngine::Config engine_config;
+    engine_config.node_capacity = 8;
+    engine_ = WhyNotEngine::Build(&dataset_, engine_config).value();
+
+    for (int i = 0; i < 6; ++i) {
+      SpatialKeywordQuery q;
+      q.loc = Point{0.15 * i + 0.1, 0.9 - 0.12 * i};
+      std::vector<TermId> terms(dataset_.object(9 * i + 2).doc.begin(),
+                                dataset_.object(9 * i + 2).doc.end());
+      if (terms.size() > 4) terms.resize(4);
+      q.doc = KeywordSet(std::move(terms));
+      q.k = 5 + i;
+      q.alpha = 0.5;
+      queries_.push_back(q);
+      baselines_.push_back(engine_->TopK(q).value());
+    }
+  }
+
+  void ExpectMatchesBaseline(const std::vector<ScoredObject>& got,
+                             size_t which) {
+    const std::vector<ScoredObject>& want = baselines_[which];
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id);
+      EXPECT_EQ(got[i].score, want[i].score);
+    }
+  }
+
+  Dataset dataset_;
+  std::unique_ptr<WhyNotEngine> engine_;
+  std::vector<SpatialKeywordQuery> queries_;
+  std::vector<std::vector<ScoredObject>> baselines_;
+};
+
+TEST_F(BatchStressTest, ConcurrentClientsGetExactAnswers) {
+  QueryServiceConfig config;
+  config.num_workers = 4;
+  config.batch_max_size = 8;
+  config.batch_window_ms = 0.5;
+  QueryService service(engine_.get(), config);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 120;
+  std::atomic<int> bad_status{0};
+
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t]() {
+      // A shared token this thread cancels partway through its run, while
+      // requests carrying it may sit in anyone's batch.
+      CancelToken shared = CancelToken::Create();
+      for (int i = 0; i < kPerThread; ++i) {
+        const size_t which = static_cast<size_t>((t + i) % queries_.size());
+        RequestOptions opts;
+        const int mode = i % 10;
+        if (mode == 7) opts.bypass_cache = true;
+        if (mode == 8) opts.timeout_ms = 0.01;  // expires in the window
+        if (mode == 9) opts.cancel = shared;
+        if (i == kPerThread / 2) shared.Cancel();
+        StatusOr<QueryService::TopKResponse> got =
+            service.TopK(queries_[which], opts);
+        switch (got.status().code()) {
+          case StatusCode::kOk:
+            ExpectMatchesBaseline(got.value().results, which);
+            break;
+          case StatusCode::kCancelled:
+          case StatusCode::kDeadlineExceeded:
+          case StatusCode::kResourceExhausted:
+            break;
+          default:
+            bad_status.fetch_add(1);
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  EXPECT_EQ(bad_status.load(), 0);
+  EXPECT_EQ(service.inflight(), 0u);
+
+  const uint64_t batched = service.metrics().counter("batch.queries").value();
+  EXPECT_GT(batched, 0u);
+  // Reports stay coherent under load.
+  EXPECT_NE(service.MetricsReport().find("batching "), std::string::npos);
+}
+
+TEST_F(BatchStressTest, TeardownDrainsPendingCollector) {
+  // Destroy the service while futures are still pending in the collector:
+  // the destructor must flush every one of them (no hung futures).
+  std::vector<std::future<StatusOr<QueryService::TopKResponse>>> futures;
+  {
+    QueryServiceConfig config;
+    config.num_workers = 2;
+    config.batch_max_size = 16;
+    config.batch_window_ms = 200.0;  // requests will still be pending
+    QueryService service(engine_.get(), config);
+    for (int i = 0; i < 24; ++i) {
+      futures.push_back(
+          service.SubmitTopK(queries_[static_cast<size_t>(i) % queries_.size()]));
+    }
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    StatusOr<QueryService::TopKResponse> got = futures[i].get();
+    ASSERT_TRUE(got.ok()) << "future " << i << ": " << got.status().ToString();
+    ExpectMatchesBaseline(got.value().results, i % queries_.size());
+  }
+}
+
+}  // namespace
+}  // namespace wsk

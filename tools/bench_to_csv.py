@@ -22,8 +22,10 @@ Service-layer rows (bench_service) are named `service/<series>/<key>:<value>`
 and carry throughput counters instead of per-query figures; each series
 lands in its own `service_<series>.csv` with whichever of qps / p50_ms /
 p99_ms / cache_hit_rate / insert_rate / merges / shards_visited /
-shards_pruned / pruned_rate the run reports (the shard counters come from
-the service/shards series, docs/SHARDING.md).
+shards_pruned / pruned_rate / batch_speedup / decode_amortization / dedup
+the run reports (the shard counters come from the service/shards series,
+docs/SHARDING.md; the batch counters from the service/batch batched-
+execution series, docs/BATCHING.md).
 """
 
 import collections
@@ -46,7 +48,8 @@ PRUNE_COLUMNS = ("cand_eval", "cand_filtered", "cand_skipped",
 # run actually carries are emitted.
 SERVICE_COLUMNS = ("qps", "p50_ms", "p99_ms", "cache_hit_rate",
                    "insert_rate", "merges", "shards_visited",
-                   "shards_pruned", "pruned_rate")
+                   "shards_pruned", "pruned_rate", "batch_speedup",
+                   "decode_amortization", "dedup")
 
 
 def parse_number(text: str) -> float:

@@ -14,8 +14,10 @@ per sweep breaks the candidate dispositions down by algorithm.
 Service-layer rows (bench_service, `service/<series>/<key>:<value>`) get
 one table per series with whichever of qps / p50_ms / p99_ms /
 cache_hit_rate / insert_rate / merges / shards_visited / shards_pruned /
-pruned_rate the run carries (the shard counters come from the
-service/shards sharding series, docs/SHARDING.md).
+pruned_rate / batch_speedup / decode_amortization / dedup the run carries
+(the shard counters come from the service/shards sharding series,
+docs/SHARDING.md; the batch counters from the service/batch batched-
+execution series, docs/BATCHING.md).
 """
 
 import collections
@@ -32,7 +34,8 @@ PRUNE_COLUMNS = ("cand_eval", "cand_filtered", "cand_skipped",
                  "cand_pruned", "nodes_expanded")
 SERVICE_COLUMNS = ("qps", "p50_ms", "p99_ms", "cache_hit_rate",
                    "insert_rate", "merges", "shards_visited",
-                   "shards_pruned", "pruned_rate")
+                   "shards_pruned", "pruned_rate", "batch_speedup",
+                   "decode_amortization", "dedup")
 
 
 def num(text):
@@ -173,9 +176,11 @@ def main():
             cols = []
             for c in columns:
                 v = cell.get(c, 0.0)
-                if c in ("cache_hit_rate", "pruned_rate"):
+                if c in ("cache_hit_rate", "pruned_rate", "batch_speedup",
+                         "decode_amortization"):
                     cols.append(f"{v:.2f}")
-                elif c in ("merges", "shards_visited", "shards_pruned"):
+                elif c in ("merges", "shards_visited", "shards_pruned",
+                           "dedup"):
                     cols.append(fmt(v, 0))
                 else:
                     cols.append(fmt(v))

@@ -36,6 +36,15 @@ Gating policy (docs/PERF.md):
     absolutely for every N > 1: the clustered workload must skip at least
     one shard over the run, whether or not the baseline has the series
     (docs/SHARDING.md).
+  * The service/batch/n:N batched-execution series is floored absolutely
+    for every N >= 8 on max(batch_speedup, decode_amortization) >=
+    --min-batch-speedup (default 1.5): batching must either beat solo
+    wall-clock by that factor or amortize the equivalent fraction of node
+    decodes across the batch. decode_amortization ((expanded + shared) /
+    expanded) depends only on workload + batch formation, not machine
+    speed, which is what makes this an absolute gate; wall-clock
+    batch_speedup can satisfy it too on multi-core hosts
+    (docs/BATCHING.md).
   * Wall-clock metrics (ns_per_op, avg_ms, scalar_ns, kernel_ns) vary with
     the machine; they only WARN unless --strict-time is given.
   * A benchmark present in the baseline but missing from the current run
@@ -111,6 +120,13 @@ def main():
         type=float,
         default=1.5,
         help="absolute cap for every `trace_overhead` counter (default 1.5)",
+    )
+    parser.add_argument(
+        "--min-batch-speedup",
+        type=float,
+        default=1.5,
+        help="absolute floor for max(batch_speedup, decode_amortization) "
+        "on service/batch/n:N series with N >= 8 (default 1.5)",
     )
     parser.add_argument(
         "--strict-time",
@@ -211,6 +227,34 @@ def main():
             failures.append(
                 f"{name}: shards_pruned = 0 with {num_shards} shards — the "
                 "cross-shard bound never pruned on the clustered workload"
+            )
+
+    # Batched execution must actually amortize: at batch size >= 8 the
+    # service/batch series has to beat solo by the floor either in wall
+    # clock (batch_speedup) or in node decodes (decode_amortization, the
+    # machine-independent witness of the same reduction) — an absolute
+    # property of the current run, like the trace-overhead cap
+    # (docs/BATCHING.md).
+    for name, bench in sorted(cur.items()):
+        series = name.removesuffix("/iterations:1")
+        if not series.startswith("service/batch/n:"):
+            continue
+        try:
+            batch_n = int(series.rpartition(":")[2])
+        except ValueError:
+            continue
+        vals = metric_values(bench)
+        speedup = vals.get("batch_speedup")
+        amortization = vals.get("decode_amortization")
+        if batch_n < 8 or (speedup is None and amortization is None):
+            continue
+        best = max(v for v in (speedup, amortization) if v is not None)
+        if best < args.min_batch_speedup:
+            failures.append(
+                f"{name}: batch_speedup {speedup or 0:.2f}x and "
+                f"decode_amortization {amortization or 0:.2f}x both below "
+                f"the absolute floor {args.min_batch_speedup:.2f}x at batch "
+                f"size {batch_n}"
             )
 
     for msg in warnings:

@@ -49,6 +49,12 @@ shards_visited=128
 service/shards/n:4/iterations:1  25.0 ms  1.1 ms  1 \
 p50_ms=2.048 p99_ms=4.096 pruned_rate=0.75 qps=5.12k shards_pruned=384 \
 shards_visited=128
+service/batch/n:1/iterations:1  64.3 ms  0.56 ms  1 \
+batch_speedup=1 decode_amortization=1 dedup=0 p50_ms=65.536 \
+p99_ms=65.536 qps=3.0017k
+service/batch/n:8/iterations:1  109 ms  0.9 ms  1 \
+batch_speedup=1.2 decode_amortization=1.83 dedup=23 p50_ms=32.768 \
+p99_ms=65.536 qps=3.91831k
 """
 
 JSON_SAMPLE = {
@@ -100,6 +106,19 @@ JSON_SAMPLE = {
                 "shards_visited": 128.0,
                 "shards_pruned": 384.0,
                 "pruned_rate": 0.75,
+            },
+        },
+        {
+            "name": "service/batch/n:8/iterations:1",
+            "iterations": 1,
+            "ns_per_op": 1.09e8,
+            "counters": {
+                "qps": 3918.31,
+                "p50_ms": 32.768,
+                "p99_ms": 65.536,
+                "batch_speedup": 1.2,
+                "decode_amortization": 1.83,
+                "dedup": 23.0,
             },
         },
     ],
@@ -212,6 +231,27 @@ class BenchToCsvTest(unittest.TestCase):
         self.assertEqual(float(four[header.index("shards_pruned")]), 384.0)
         self.assertEqual(float(four[header.index("pruned_rate")]), 0.75)
 
+    def test_emits_batch_series_csv(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = os.path.join(tmp, "bench_output.txt")
+            with open(src, "w") as f:
+                f.write(CONSOLE_SAMPLE)
+            out_dir = os.path.join(tmp, "csv")
+            run_tool("bench_to_csv.py", src, out_dir)
+            with open(os.path.join(out_dir, "service_batch.csv")) as f:
+                batch = list(csv.reader(f))
+        header = batch[0]
+        self.assertEqual(header, ["n", "qps", "p50_ms", "p99_ms",
+                                  "batch_speedup", "decode_amortization",
+                                  "dedup"])
+        one, eight = batch[1], batch[2]
+        self.assertEqual(one[0], "1")
+        self.assertEqual(float(one[header.index("batch_speedup")]), 1.0)
+        self.assertEqual(eight[0], "8")
+        self.assertEqual(
+            float(eight[header.index("decode_amortization")]), 1.83)
+        self.assertEqual(float(eight[header.index("dedup")]), 23.0)
+
     def test_json_input_produces_same_table(self):
         with tempfile.TemporaryDirectory() as tmp:
             src = os.path.join(tmp, "bench.json")
@@ -267,6 +307,19 @@ class BenchToMarkdownTest(unittest.TestCase):
         # Counts render as integers, pruned_rate like cache_hit_rate.
         self.assertIn("| 1 | 3,200 | 4.1 | 8.2 | 128 | 0 | 0.00 |", out)
         self.assertIn("| 4 | 5,120 | 2.0 | 4.1 | 128 | 384 | 0.75 |", out)
+
+    def test_renders_batch_series_table(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = os.path.join(tmp, "bench_output.txt")
+            with open(src, "w") as f:
+                f.write(CONSOLE_SAMPLE)
+            out = run_tool("bench_to_markdown.py", src).stdout
+        self.assertIn("### service: batch", out)
+        self.assertIn("| n | qps | p50_ms | p99_ms | batch_speedup |"
+                      " decode_amortization | dedup |", out)
+        # Ratios render with two decimals, dedup as an integer count.
+        self.assertIn("| 1 | 3,002 | 65.5 | 65.5 | 1.00 | 1.00 | 0 |", out)
+        self.assertIn("| 8 | 3,918 | 32.8 | 65.5 | 1.20 | 1.83 | 23 |", out)
 
     def test_json_service_rows_render(self):
         with tempfile.TemporaryDirectory() as tmp:
@@ -329,6 +382,43 @@ class ShardPruningGateTest(unittest.TestCase):
     def test_single_shard_exempt(self):
         # n:1 has nothing to prune; the floor only applies beyond one shard.
         self._check(0.0, expect_rc=0, shards=1)
+
+
+class BatchSpeedupGateTest(unittest.TestCase):
+    """max(batch_speedup, decode_amortization) must clear the absolute
+    floor at batch size >= 8 — either wall-clock or the machine-independent
+    node-decode reduction may satisfy it (docs/BATCHING.md)."""
+
+    def _check(self, speedup, amortization, expect_rc, batch_n=8):
+        sample = json.loads(json.dumps(JSON_SAMPLE))
+        batch_bench = sample["benchmarks"][4]
+        batch_bench["name"] = f"service/batch/n:{batch_n}/iterations:1"
+        batch_bench["counters"]["batch_speedup"] = speedup
+        batch_bench["counters"]["decode_amortization"] = amortization
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "service.json")
+            with open(path, "w") as f:
+                json.dump(sample, f)
+            return run_tool(
+                "check_bench_regression.py", path, path,
+                expect_rc=expect_rc,
+            )
+
+    def test_amortization_clears_floor_despite_flat_wall_clock(self):
+        # Single-core CI: wall clock barely moves but decodes amortize.
+        self._check(1.05, 1.83, expect_rc=0)
+
+    def test_wall_clock_clears_floor_despite_flat_amortization(self):
+        self._check(2.1, 1.1, expect_rc=0)
+
+    def test_both_below_floor_fails(self):
+        proc = self._check(1.1, 1.2, expect_rc=1)
+        self.assertIn("decode_amortization", proc.stdout)
+
+    def test_small_batches_exempt(self):
+        # The 1.5x promise is made at batch size 8 (docs/BATCHING.md);
+        # shallow batches amortize less and are not gated.
+        self._check(1.0, 1.1, expect_rc=0, batch_n=4)
 
 
 if __name__ == "__main__":

@@ -21,17 +21,22 @@
 //       per-stage/per-counter summary (docs/OBSERVABILITY.md).
 //   statsz    --data FILE (--queries FILE | --random N) [--workers W]
 //             [--queue Q] [--inflight I] [--timeout-ms T] [--cache N]
-//             [--repeat R] [--seed S]
+//             [--batch N] [--batch-window-ms MS] [--repeat R] [--seed S]
 //       Replay a workload through the QueryService and print the
 //       Prometheus text exposition of its metrics registry.
 //   serve     --data FILE (--queries FILE | --random N) [--workers W]
 //             [--queue Q] [--inflight I] [--timeout-ms T] [--cache N]
-//             [--repeat R] [--seed S] [--shards N]
+//             [--batch N] [--batch-window-ms MS] [--repeat R] [--seed S]
+//             [--shards N]
 //       Replay a query workload through the concurrent QueryService and
 //       print per-status counts, throughput, and the metrics report.
 //       --shards N > 1 partitions the dataset into N spatial tiles served
 //       by the scatter-gather ShardCoordinator with cross-shard bound
 //       pruning (docs/SHARDING.md); the report gains shard counters.
+//       --batch N > 1 groups concurrent top-k requests behind a short
+//       collection window (--batch-window-ms, default 0.25) and answers
+//       each batch with one shared index traversal (docs/BATCHING.md);
+//       the report gains batch occupancy / amortization counters.
 //   live      --data FILE (--queries FILE | --random N) [--mutations M]
 //             [--delta CAP] [--no-merge] [--workers W] [--cache N]
 //             [--seed S]
@@ -555,6 +560,11 @@ QueryServiceConfig ServiceConfigFromArgs(const Args& args) {
   config.max_inflight = static_cast<size_t>(args.GetLong("inflight", 0));
   config.default_timeout_ms = args.GetDouble("timeout-ms", 0.0);
   config.cache_capacity = static_cast<size_t>(args.GetLong("cache", 1024));
+  // --batch N > 1 collects concurrent top-k requests behind a short
+  // window and runs each batch as one shared traversal (docs/BATCHING.md).
+  config.batch_max_size = static_cast<size_t>(args.GetLong("batch", 1));
+  config.batch_window_ms =
+      args.GetDouble("batch-window-ms", config.batch_window_ms);
   return config;
 }
 
