@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "index/inverted_grid_index.h"
 #include "index/topk.h"
+#include "storage/node_codec_v2.h"
 
 namespace {
 
@@ -102,6 +103,120 @@ void RunNodeAccess(benchmark::State& state, const wsk::TopKSource& tree,
   state.counters["cache_speedup"] = off_ns / on_ns;
 }
 
+// v1-vs-v2 node decode (docs/STORAGE.md "v2 node format & mmap"): three
+// sibling engines over the shared dataset — {v1 pread, v2 pread, v2 mmap}
+// — each with the decoded-node cache disabled so every sweep re-decodes
+// every record, timed over a full-tree breadth-first decode of both
+// indexes. The buffered legs run against a warm buffer pool, so the
+// ratios isolate the record format and read path: v1 pays the pool fetch,
+// fixed-layout copy, and per-entry blob-store reads; v2 decodes inline
+// delta-varints, and the mmap leg does so straight from the map with no
+// page copy at all. The regression gates key off `decode_speedup`
+// (v1 / v2+mmap, --min-decode-speedup) and `v2_size_ratio`
+// (--max-v2-size-ratio).
+template <typename Tree>
+std::vector<wsk::PageId> CollectNodePages(const Tree& tree) {
+  using namespace wsk;
+  std::vector<PageId> pages;
+  std::vector<PageId> frontier;
+  if (tree.height() > 0) frontier.push_back(tree.SearchRoot());
+  for (uint32_t level = tree.height(); level >= 1 && !frontier.empty();
+       --level) {
+    std::vector<PageId> next;
+    for (PageId page : frontier) {
+      pages.push_back(page);
+      if (level > 1) {
+        const auto node = tree.ReadNode(page).value();
+        for (const auto& e : node.inner_entries) next.push_back(e.child);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return pages;
+}
+
+void RunNodeDecode(benchmark::State& state) {
+  using namespace wsk;
+  WhyNotEngine& shared = wsk::bench::SharedEngine();
+  struct Leg {
+    uint8_t format = kNodeFormatV2;
+    bool mmap = false;
+    std::unique_ptr<WhyNotEngine> engine;
+    std::vector<PageId> setr_pages;
+    std::vector<PageId> kcr_pages;
+  };
+  Leg legs[3];
+  legs[0].format = kNodeFormatV1;
+  legs[2].mmap = true;
+  for (Leg& leg : legs) {
+    WhyNotEngine::Config config;
+    config.node_format = leg.format;
+    config.mmap_reads = leg.mmap;
+    config.node_cache_bytes = 0;  // raw decode cost, not the cache
+    leg.engine = WhyNotEngine::Build(&shared.dataset(), config).value();
+    leg.setr_pages = CollectNodePages(leg.engine->setr_tree());
+    leg.kcr_pages = CollectNodePages(leg.engine->kcr_tree());
+  }
+  auto sweep = [](const Leg& leg) {
+    size_t decoded = 0;
+    for (PageId page : leg.setr_pages) {
+      decoded += leg.engine->setr_tree()
+                     .ReadDecodedNode(page, /*use_cache=*/false)
+                     .value()
+                     ->node.size();
+    }
+    for (PageId page : leg.kcr_pages) {
+      decoded += leg.engine->kcr_tree()
+                     .ReadDecodedNode(page, /*use_cache=*/false)
+                     .value()
+                     ->node.size();
+    }
+    return decoded;
+  };
+  // Warm the buffered legs' pools (the mapped leg has nothing to warm).
+  for (const Leg& leg : legs) benchmark::DoNotOptimize(sweep(leg));
+  auto time_ns = [](auto&& fn) {
+    using Clock = std::chrono::steady_clock;
+    uint64_t reps = 1;
+    for (;;) {
+      const auto start = Clock::now();
+      for (uint64_t r = 0; r < reps; ++r) benchmark::DoNotOptimize(fn());
+      const double ns = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               start)
+              .count());
+      if (ns > 2e7) return ns / static_cast<double>(reps);
+      reps *= 4;
+    }
+  };
+  double ns[3] = {0.0, 0.0, 0.0};
+  for (auto _ : state) {
+    for (int i = 0; i < 3; ++i) {
+      ns[i] = time_ns([&sweep, &leg = legs[i]] { return sweep(leg); });
+    }
+  }
+  auto file_bytes = [](const WhyNotEngine& engine) {
+    return static_cast<double>(
+        (static_cast<uint64_t>(engine.setr_pager().num_pages()) +
+         engine.kcr_pager().num_pages()) *
+        engine.setr_pager().page_size());
+  };
+  const double v1_bytes = file_bytes(*legs[0].engine);
+  const double v2_bytes = file_bytes(*legs[1].engine);
+  const BackendIoSnapshot mapped_io = legs[2].engine->io_snapshot();
+  state.counters["v1_decode_ns"] = ns[0];
+  state.counters["v2_decode_ns"] = ns[1];
+  state.counters["v2_mmap_decode_ns"] = ns[2];
+  state.counters["v1_bytes"] = v1_bytes;
+  state.counters["v2_bytes"] = v2_bytes;
+  state.counters["v2_size_ratio"] = v2_bytes / v1_bytes;
+  state.counters["decode_speedup"] = ns[0] / ns[2];
+  state.counters["v2_mapped_reads"] =
+      static_cast<double>(mapped_io.setr_mapped + mapped_io.kcr_mapped);
+  state.counters["v2_physical_reads"] =
+      static_cast<double>(mapped_io.setr_physical + mapped_io.kcr_physical);
+}
+
 // The inverted-file + grid baseline (related-work architecture) against
 // the same workload.
 struct InvertedBundle {
@@ -190,6 +305,13 @@ int main(int argc, char** argv) {
                                  auto& engine = SharedEngine();
                                  RunNodeAccess(state, engine.kcr_tree(), 10);
                                })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  // v1 vs v2 record format and read path over both indexes (one datapoint;
+  // the regression gates care about decode_speedup and v2_size_ratio).
+  benchmark::RegisterBenchmark(
+      "node_decode/all",
+      [](benchmark::State& state) { RunNodeDecode(state); })
       ->Iterations(1)
       ->Unit(benchmark::kMillisecond);
   const int rc = RunRegisteredBenchmarks(argc, argv);

@@ -38,6 +38,11 @@ struct BackendIoSnapshot {
   uint64_t kcr_physical = 0;
   uint64_t setr_logical = 0;
   uint64_t kcr_logical = 0;
+  // Pages served from the mmap zero-copy path (frozen segments). Counted
+  // apart from physical reads so the paper's buffered-I/O metric keeps its
+  // meaning when mapping is on.
+  uint64_t setr_mapped = 0;
+  uint64_t kcr_mapped = 0;
   uint64_t setr_cache_hits = 0;
   uint64_t kcr_cache_hits = 0;
   uint64_t setr_cache_misses = 0;

@@ -64,6 +64,7 @@ StatusOr<std::unique_ptr<WhyNotEngine>> WhyNotEngine::Build(
   SetRTree::Options setr_options;
   setr_options.capacity = config.node_capacity;
   setr_options.model = config.model;
+  setr_options.format = config.node_format;
   StatusOr<std::unique_ptr<SetRTree>> setr =
       SetRTree::BulkLoad(*dataset, engine->setr_pool_.get(), setr_options);
   if (!setr.ok()) return setr.status();
@@ -72,10 +73,18 @@ StatusOr<std::unique_ptr<WhyNotEngine>> WhyNotEngine::Build(
   KcrTree::Options kcr_options;
   kcr_options.capacity = config.node_capacity;
   kcr_options.model = config.model;
+  kcr_options.format = config.node_format;
   StatusOr<std::unique_ptr<KcrTree>> kcr =
       KcrTree::BulkLoad(*dataset, engine->kcr_pool_.get(), kcr_options);
   if (!kcr.ok()) return kcr.status();
   engine->kcr_tree_ = std::move(kcr).value();
+
+  if (config.mmap_reads) {
+    // Indexes are finalized by bulk load; map them read-only. A non-OK
+    // result just keeps the buffered pread path — same bytes, more copies.
+    (void)engine->setr_pager_->EnableMappedReads();
+    (void)engine->kcr_pager_->EnableMappedReads();
+  }
 
   if (config.node_cache_bytes > 0) {
     engine->node_cache_ = std::make_unique<NodeCache>(config.node_cache_bytes);
@@ -211,6 +220,8 @@ BackendIoSnapshot WhyNotEngine::io_snapshot() const {
   snap.kcr_physical = kcr.physical_reads();
   snap.setr_logical = setr.logical_reads();
   snap.kcr_logical = kcr.logical_reads();
+  snap.setr_mapped = setr.mapped_reads();
+  snap.kcr_mapped = kcr.mapped_reads();
   snap.setr_cache_hits = setr.node_cache_hits();
   snap.kcr_cache_hits = kcr.node_cache_hits();
   snap.setr_cache_misses = setr.node_cache_misses();

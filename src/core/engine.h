@@ -40,6 +40,13 @@ class WhyNotEngine : public QueryBackend {
     // bulk load (docs/STORAGE.md "Node cache"). 0 disables the cache
     // entirely (every node access re-reads and re-decodes pages).
     size_t node_cache_bytes = 8u << 20;  // 8 MiB
+    // Node format for the built indexes and whether to serve reads from an
+    // mmap of the finalized files. Both default to the paper's setup (v1,
+    // buffered) so physical-read counts keep matching the published I/O
+    // accounting; frozen segments opt into v2+mmap on their own
+    // (docs/STORAGE.md "v2 node format & mmap").
+    uint8_t node_format = kNodeFormatV1;
+    bool mmap_reads = false;
   };
 
   // Bulk-loads both indexes over `dataset`. The dataset must outlive the
@@ -127,6 +134,11 @@ class WhyNotEngine : public QueryBackend {
   // I/O counters of the two index files.
   IoStats& setr_io() const { return setr_pager_->io_stats(); }
   IoStats& kcr_io() const { return kcr_pager_->io_stats(); }
+
+  // The backing pagers (file size / map state introspection, wsk_cli
+  // inspect).
+  const Pager& setr_pager() const { return *setr_pager_; }
+  const Pager& kcr_pager() const { return *kcr_pager_; }
 
   // Requires no query in flight (see the thread-safety contract above).
   void ResetIoStats() const;

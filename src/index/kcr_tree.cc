@@ -13,7 +13,6 @@ namespace wsk {
 namespace {
 
 constexpr uint32_t kMagic = 0x43524b57;  // "WKRC"
-constexpr uint32_t kVersion = 1;
 constexpr size_t kHeaderBytes = 8;
 constexpr size_t kLeafEntryBytes = 4 + 16 + BlobRef::kSerializedSize;  // 32
 constexpr size_t kInnerEntryBytes =
@@ -102,6 +101,67 @@ StatusOr<KcrTree::Node> DeserializeNode(PageId page, const uint8_t* data,
   return node;
 }
 
+// v2 body encoding of one keyword set: varint term count, then the sorted
+// ids delta-coded.
+void PutKeywordSetV2(std::vector<uint8_t>* body, const KeywordSet& set) {
+  const std::vector<TermId>& terms = set.terms();
+  PutVarint(body, terms.size());
+  PutDeltaU32s(body, terms.data(), terms.size());
+}
+
+bool GetKeywordSetV2(CheckedReader* reader, KeywordSet* out) {
+  uint32_t count = 0;
+  if (!reader->GetVarint32(&count)) return false;
+  std::vector<TermId> terms;
+  terms.reserve(std::min<size_t>(count, reader->remaining()));
+  if (!reader->GetDeltaU32s(count, &terms)) return false;
+  *out = KeywordSet::FromSorted(std::move(terms));
+  return true;
+}
+
+// v2 body encoding of a keyword-count map: varint pair count, then per
+// pair the term delta (strictly ascending, like a keyword set) followed by
+// its count as a plain varint.
+void PutKcmV2(std::vector<uint8_t>* body, const KeywordCountMap& map) {
+  const auto& pairs = map.pairs();
+  PutVarint(body, pairs.size());
+  uint32_t prev = 0;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (i == 0) {
+      PutVarint(body, pairs[0].first);
+    } else {
+      WSK_CHECK(pairs[i].first > prev);
+      PutVarint(body, pairs[i].first - prev);
+    }
+    prev = pairs[i].first;
+    PutVarint(body, pairs[i].second);
+  }
+}
+
+bool GetKcmV2(CheckedReader* reader, KeywordCountMap* out) {
+  uint32_t n = 0;
+  if (!reader->GetVarint32(&n)) return false;
+  std::vector<std::pair<TermId, uint32_t>> pairs;
+  pairs.reserve(std::min<size_t>(n, reader->remaining()));
+  uint64_t term = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t step = 0;
+    if (!reader->GetVarint(&step)) return false;
+    if (i == 0) {
+      term = step;
+    } else {
+      if (step == 0) return false;  // terms must be strictly ascending
+      term += step;
+    }
+    if (term > 0xffffffffull) return false;
+    uint32_t count = 0;
+    if (!reader->GetVarint32(&count) || count == 0) return false;
+    pairs.emplace_back(static_cast<TermId>(term), count);
+  }
+  *out = KeywordCountMap::FromSortedPairs(std::move(pairs));
+  return true;
+}
+
 // Digest of a decoded node's primary payload, used by the cache's
 // no-mutation check (debug builds / sanitizer tests).
 uint64_t FingerprintDecodedNode(const void* value) {
@@ -154,6 +214,13 @@ StatusOr<std::unique_ptr<KcrTree>> KcrTree::CreateEmpty(
   if (options.capacity < 2) {
     return Status::InvalidArgument("node capacity must be at least 2");
   }
+  if (options.format != kNodeFormatV1 && options.format != kNodeFormatV2) {
+    return Status::InvalidArgument("unknown node format");
+  }
+  if (options.format == kNodeFormatV2 &&
+      options.capacity > kMaxNodeCountV2) {
+    return Status::InvalidArgument("v2 node capacity exceeds u16");
+  }
   if (pool->pager()->num_pages() != 0) {
     return Status::FailedPrecondition(
         "KcrTree::CreateEmpty requires a fresh pager file");
@@ -197,23 +264,39 @@ StatusOr<std::unique_ptr<KcrTree>> KcrTree::BulkLoadObjects(
   std::vector<std::vector<uint32_t>> groups =
       StrPack(centers, options.capacity);
 
+  const bool v2 = options.format == kNodeFormatV2;
   std::vector<Pending> level;
   level.reserve(groups.size());
   for (const std::vector<uint32_t>& group : groups) {
     Node node;
     node.is_leaf = true;
     Summary summary;
+    std::vector<const KeywordSet*> docs;  // v2: payloads inline in the node
     for (uint32_t idx : group) {
       const SpatialObject& o = objects[idx];
-      StatusOr<BlobRef> ref = tree->WriteKeywordSet(o.doc);
-      if (!ref.ok()) return ref.status();
-      node.leaf_entries.push_back(LeafEntry{o.id, o.loc, ref.value()});
+      BlobRef ref;
+      if (v2) {
+        docs.push_back(&o.doc);
+      } else {
+        StatusOr<BlobRef> written = tree->WriteKeywordSet(o.doc);
+        if (!written.ok()) return written.status();
+        ref = written.value();
+      }
+      node.leaf_entries.push_back(LeafEntry{o.id, o.loc, ref});
       summary.mbr.Extend(o.loc);
       summary.kcm.AddDoc(o.doc);
       ++summary.cnt;
     }
-    const PageId page = tree->AllocateNodeSlot();
-    WSK_RETURN_IF_ERROR(tree->WriteNode(page, node));
+    PageId page;
+    if (v2) {
+      StatusOr<PageId> appended = tree->AppendNodeV2(
+          node, docs, {}, /*children_are_leaves=*/false);
+      if (!appended.ok()) return appended.status();
+      page = appended.value();
+    } else {
+      page = tree->AllocateNodeSlot();
+      WSK_RETURN_IF_ERROR(tree->WriteNode(page, node));
+    }
     const Point center{(summary.mbr.min_x + summary.mbr.max_x) / 2,
                        (summary.mbr.min_y + summary.mbr.max_y) / 2};
     level.push_back(Pending{page, std::move(summary), center});
@@ -221,6 +304,7 @@ StatusOr<std::unique_ptr<KcrTree>> KcrTree::BulkLoadObjects(
   tree->height_ = 1;
   tree->num_objects_ = objects.size();
 
+  bool children_are_leaves = true;
   while (level.size() > 1) {
     centers.clear();
     for (const Pending& p : level) centers.push_back(p.center);
@@ -231,23 +315,39 @@ StatusOr<std::unique_ptr<KcrTree>> KcrTree::BulkLoadObjects(
       Node node;
       node.is_leaf = false;
       Summary summary;
+      std::vector<const KeywordCountMap*> kcms;
       for (uint32_t idx : group) {
         const Pending& child = level[idx];
-        StatusOr<BlobRef> kcm = tree->WriteKcm(child.summary.kcm);
-        if (!kcm.ok()) return kcm.status();
+        BlobRef kcm_ref;
+        if (v2) {
+          kcms.push_back(&child.summary.kcm);
+        } else {
+          StatusOr<BlobRef> kcm = tree->WriteKcm(child.summary.kcm);
+          if (!kcm.ok()) return kcm.status();
+          kcm_ref = kcm.value();
+        }
         node.inner_entries.push_back(InnerEntry{
-            child.page, child.summary.mbr, child.summary.cnt, kcm.value()});
+            child.page, child.summary.mbr, child.summary.cnt, kcm_ref});
         summary.mbr.Extend(child.summary.mbr);
         summary.kcm.Merge(child.summary.kcm);
         summary.cnt += child.summary.cnt;
       }
-      const PageId page = tree->AllocateNodeSlot();
-      WSK_RETURN_IF_ERROR(tree->WriteNode(page, node));
+      PageId page;
+      if (v2) {
+        StatusOr<PageId> appended =
+            tree->AppendNodeV2(node, {}, kcms, children_are_leaves);
+        if (!appended.ok()) return appended.status();
+        page = appended.value();
+      } else {
+        page = tree->AllocateNodeSlot();
+        WSK_RETURN_IF_ERROR(tree->WriteNode(page, node));
+      }
       const Point center{(summary.mbr.min_x + summary.mbr.max_x) / 2,
                          (summary.mbr.min_y + summary.mbr.max_y) / 2};
       next.push_back(Pending{page, std::move(summary), center});
     }
     level = std::move(next);
+    children_are_leaves = false;
     ++tree->height_;
   }
   tree->root_ = level.front().page;
@@ -285,10 +385,143 @@ Status KcrTree::WriteNode(PageId page, const Node& node) {
   return WriteNodeBytes(pool_, page, pages_per_node_, bytes.data());
 }
 
+StatusOr<PageId> KcrTree::AppendNodeV2(
+    const Node& node, const std::vector<const KeywordSet*>& docs,
+    const std::vector<const KeywordCountMap*>& kcms,
+    bool children_are_leaves) {
+  std::vector<uint8_t> body;
+  if (node.is_leaf) {
+    for (size_t i = 0; i < node.leaf_entries.size(); ++i) {
+      const LeafEntry& e = node.leaf_entries[i];
+      PutVarint(&body, e.object);
+      ByteWriter writer(&body);
+      writer.PutDouble(e.loc.x);
+      writer.PutDouble(e.loc.y);
+      PutKeywordSetV2(&body, *docs[i]);
+    }
+  } else {
+    for (size_t i = 0; i < node.inner_entries.size(); ++i) {
+      const InnerEntry& e = node.inner_entries[i];
+      PutVarint(&body, MakeChildRef(e.child, children_are_leaves));
+      ByteWriter writer(&body);
+      writer.PutRect(e.mbr);
+      PutVarint(&body, e.cnt);
+      PutKcmV2(&body, *kcms[i]);
+    }
+  }
+  return AppendNodeRecordV2(pool_, node.is_leaf,
+                            static_cast<uint32_t>(node.size()), body);
+}
+
+StatusOr<std::shared_ptr<const KcrTree::DecodedNode>>
+KcrTree::MaterializeNodeV2(PageId page) const {
+  StatusOr<NodeRecordV2> record = ReadNodeRecordV2(pool_, page, &checksum_ledger_);
+  if (!record.ok()) return record.status();
+  const NodeRecordV2& rec = record.value();
+  auto corrupt = [page](const char* what) {
+    return Status::Corruption("v2 node at page " + std::to_string(page) +
+                              ": " + what);
+  };
+  auto decoded = std::make_shared<DecodedNode>();
+  decoded->node.is_leaf = rec.is_leaf();
+  CheckedReader reader(rec.body(), rec.body_bytes());
+  size_t bytes = sizeof(DecodedNode);
+  if (rec.is_leaf()) {
+    decoded->node.leaf_entries.reserve(rec.count());
+    decoded->leaf_docs.reserve(rec.count());
+    for (uint32_t i = 0; i < rec.count(); ++i) {
+      LeafEntry e;
+      uint64_t object = 0;
+      if (!reader.GetVarint(&object) || object > 0xffffffffull) {
+        return corrupt("bad object id");
+      }
+      e.object = static_cast<ObjectId>(object);
+      if (!reader.GetDouble(&e.loc.x) || !reader.GetDouble(&e.loc.y)) {
+        return corrupt("truncated leaf entry");
+      }
+      KeywordSet doc;
+      if (!GetKeywordSetV2(&reader, &doc)) {
+        return corrupt("malformed leaf keyword set");
+      }
+      bytes += sizeof(LeafEntry) + sizeof(KeywordSet) + doc.SerializedSize();
+      decoded->node.leaf_entries.push_back(e);
+      decoded->leaf_docs.push_back(std::move(doc));
+    }
+  } else {
+    const PageId num_pages = pool_->pager()->num_pages();
+    decoded->node.inner_entries.reserve(rec.count());
+    // Fill child_kcms completely before building child_stats: NodeDomStats
+    // keeps a pointer to its map, so the vector must never reallocate
+    // afterwards.
+    decoded->child_kcms.reserve(rec.count());
+    for (uint32_t i = 0; i < rec.count(); ++i) {
+      InnerEntry e;
+      uint64_t ref = 0;
+      if (!reader.GetVarint(&ref)) return corrupt("bad child reference");
+      const PageId child = ChildRefPage(ref);
+      if (child == 0 || child >= num_pages ||
+          (ref >> 1) > 0xffffffffull) {
+        return corrupt("child reference out of range");
+      }
+      e.child = child;
+      if (!reader.GetRect(&e.mbr)) return corrupt("truncated inner entry");
+      if (!reader.GetVarint32(&e.cnt)) return corrupt("bad subtree count");
+      KeywordCountMap kcm;
+      if (!GetKcmV2(&reader, &kcm)) {
+        return corrupt("malformed keyword-count map");
+      }
+      bytes += sizeof(InnerEntry) + sizeof(KeywordCountMap) +
+               kcm.SerializedSize();
+      decoded->node.inner_entries.push_back(e);
+      decoded->child_kcms.push_back(std::move(kcm));
+    }
+    decoded->child_stats.reserve(rec.count());
+    for (size_t i = 0; i < decoded->node.inner_entries.size(); ++i) {
+      const InnerEntry& e = decoded->node.inner_entries[i];
+      decoded->child_stats.emplace_back(&decoded->child_kcms[i], e.cnt,
+                                        e.mbr);
+      bytes += decoded->child_stats.back().MemoryBytes();
+    }
+  }
+  if (reader.remaining() != 0) {
+    return corrupt("trailing bytes after the last entry");
+  }
+  decoded->memory_bytes = bytes;
+  return StatusOr<std::shared_ptr<const DecodedNode>>(std::move(decoded));
+}
+
 StatusOr<KcrTree::Node> KcrTree::ReadNode(PageId page) const {
+  if (options_.format == kNodeFormatV2) {
+    StatusOr<std::shared_ptr<const DecodedNode>> decoded =
+        MaterializeNodeV2(page);
+    if (!decoded.ok()) return decoded.status();
+    return decoded.value()->node;
+  }
   StatusOr<NodeView> view = NodeView::Read(pool_, page, pages_per_node_);
   if (!view.ok()) return view.status();
   return DeserializeNode(page, view.value().data(), view.value().size());
+}
+
+StatusOr<NodeStat> KcrTree::StatNode(PageId page) const {
+  NodeStat stat;
+  if (options_.format == kNodeFormatV2) {
+    StatusOr<NodeRecordV2> record = ReadNodeRecordV2(pool_, page, &checksum_ledger_);
+    if (!record.ok()) return record.status();
+    stat.is_leaf = record.value().is_leaf();
+    stat.entries = record.value().count();
+    stat.record_bytes = kNodeHeaderBytesV2 + record.value().body_bytes();
+    stat.record_pages = record.value().pages();
+    return stat;
+  }
+  StatusOr<Node> node = ReadNode(page);
+  if (!node.ok()) return node.status();
+  stat.is_leaf = node.value().is_leaf;
+  stat.entries = static_cast<uint32_t>(node.value().size());
+  stat.record_bytes = static_cast<uint32_t>(
+      kHeaderBytes + node.value().size() *
+                         (stat.is_leaf ? kLeafEntryBytes : kInnerEntryBytes));
+  stat.record_pages = pages_per_node_;
+  return stat;
 }
 
 void KcrTree::AttachNodeCache(NodeCache* cache) {
@@ -357,11 +590,20 @@ StatusOr<std::shared_ptr<const KcrTree::DecodedNode>> KcrTree::ReadDecodedNode(
     }
     io.RecordNodeCacheMiss();
   }
-  StatusOr<std::shared_ptr<const DecodedNode>> decoded = MaterializeNode(page);
+  StatusOr<std::shared_ptr<const DecodedNode>> decoded =
+      options_.format == kNodeFormatV2 ? MaterializeNodeV2(page)
+                                       : MaterializeNode(page);
   if (!decoded.ok()) return decoded.status();
   if (cache != nullptr) {
-    cache->Insert(cache_tree_id_, page, decoded.value(),
-                  decoded.value()->memory_bytes, &FingerprintDecodedNode);
+    // Mapped leaves re-decode straight from the OS page cache with no
+    // buffer-pool traffic, so caching them would only evict inner-node
+    // skeletons that are worth far more per byte. Keep inner nodes.
+    const bool cheap_to_redecode =
+        decoded.value()->node.is_leaf && pool_->pager()->mapped();
+    if (!cheap_to_redecode) {
+      cache->Insert(cache_tree_id_, page, decoded.value(),
+                    decoded.value()->memory_bytes, &FingerprintDecodedNode);
+    }
   }
   return decoded;
 }
@@ -399,7 +641,7 @@ Status KcrTree::WriteMeta() {
   std::vector<uint8_t> bytes;
   ByteWriter writer(&bytes);
   writer.PutU32(kMagic);
-  writer.PutU32(kVersion);
+  writer.PutU32(options_.format);  // meta version == node format
   writer.PutU32(options_.capacity);
   writer.PutU32(pages_per_node_);
   writer.PutU32(root_);
@@ -424,9 +666,11 @@ Status KcrTree::ReadMeta() {
   if (reader.GetU32() != kMagic) {
     return Status::Corruption("not a KcR-tree file");
   }
-  if (reader.GetU32() != kVersion) {
+  const uint32_t version = reader.GetU32();
+  if (version != kNodeFormatV1 && version != kNodeFormatV2) {
     return Status::Corruption("unsupported KcR-tree version");
   }
+  options_.format = static_cast<uint8_t>(version);
   options_.capacity = reader.GetU32();
   pages_per_node_ = reader.GetU32();
   root_ = reader.GetU32();
@@ -827,6 +1071,10 @@ Status KcrTree::RemoveFrom(PageId page, uint32_t level, ObjectId object,
 }
 
 Status KcrTree::Remove(ObjectId object, Point loc) {
+  if (options_.format == kNodeFormatV2) {
+    return Status::FailedPrecondition(
+        "v2 KcR-trees are immutable; rebuild instead of removing");
+  }
   if (height_ == 0) return Status::NotFound("tree is empty");
   RemoveUpdate update;
   WSK_RETURN_IF_ERROR(RemoveFrom(root_, height_, object, loc, &update));
@@ -850,6 +1098,10 @@ Status KcrTree::Remove(ObjectId object, Point loc) {
 }
 
 Status KcrTree::Insert(const SpatialObject& object) {
+  if (options_.format == kNodeFormatV2) {
+    return Status::FailedPrecondition(
+        "v2 KcR-trees are immutable; rebuild instead of inserting");
+  }
   StatusOr<BlobRef> keywords = WriteKeywordSet(object.doc);
   if (!keywords.ok()) return keywords.status();
 

@@ -23,9 +23,11 @@
 #include "index/dom_bounds.h"
 #include "index/keyword_count_map.h"
 #include "index/topk.h"
+#include "index/setr_tree.h"  // NodeStat
 #include "storage/blob_store.h"
 #include "storage/buffer_pool.h"
 #include "storage/node_cache.h"
+#include "storage/node_codec_v2.h"
 #include "text/similarity.h"
 
 namespace wsk {
@@ -35,6 +37,10 @@ class KcrTree : public TopKSource {
   struct Options {
     uint32_t capacity = 100;
     SimilarityModel model = SimilarityModel::kJaccard;
+    // Node format for newly built trees; see SetRTree::Options::format.
+    // v2 is bulk-load only and immutable; Open() detects the format from
+    // the meta page. The root kcm stays a blob in both formats.
+    uint8_t format = kNodeFormatV1;
   };
 
   struct LeafEntry {
@@ -137,9 +143,14 @@ class KcrTree : public TopKSource {
   uint32_t root_cnt() const { return root_cnt_; }
   StatusOr<KeywordCountMap> ReadRootKcm() const;
 
+  // For v2 trees the returned entries carry empty BlobRefs — payloads are
+  // inline; use ReadDecodedNode for them.
   StatusOr<Node> ReadNode(PageId page) const;
   StatusOr<KeywordSet> ReadKeywordSet(const BlobRef& ref) const;
   StatusOr<KeywordCountMap> ReadKcm(const BlobRef& ref) const;
+
+  // Layout facts of one node without materializing payloads.
+  StatusOr<NodeStat> StatNode(PageId page) const;
 
  private:
   KcrTree(BufferPool* pool, const Options& options, double diagonal);
@@ -160,6 +171,15 @@ class KcrTree : public TopKSource {
   PageId AllocateNodeSlot();
   StatusOr<std::shared_ptr<const DecodedNode>> MaterializeNode(
       PageId page) const;
+  StatusOr<std::shared_ptr<const DecodedNode>> MaterializeNodeV2(
+      PageId page) const;
+  // v2 write path: encodes the node with its payloads inline (leaves:
+  // per-entry docs; inner: per-entry count maps) and appends it to fresh
+  // pages.
+  StatusOr<PageId> AppendNodeV2(
+      const Node& node, const std::vector<const KeywordSet*>& docs,
+      const std::vector<const KeywordCountMap*>& kcms,
+      bool children_are_leaves);
   Status WriteNode(PageId page, const Node& node);
   StatusOr<BlobRef> WriteKeywordSet(const KeywordSet& set);
   StatusOr<BlobRef> WriteKcm(const KeywordCountMap& map);
@@ -183,6 +203,9 @@ class KcrTree : public TopKSource {
   NodeCache* cache_ = nullptr;  // not owned; see AttachNodeCache
   uint32_t cache_tree_id_ = 0;
   mutable BlobStore blobs_;
+  // First-touch body-checksum ledger for v2 records (v2 trees are
+  // immutable, so one clean verification per record is enough).
+  mutable ChecksumLedger checksum_ledger_;
   Options options_;
   uint32_t pages_per_node_ = 0;
   PageId meta_page_ = kInvalidPageId;

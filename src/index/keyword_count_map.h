@@ -19,6 +19,16 @@ class KeywordCountMap {
   // A single document: every term has count 1.
   static KeywordCountMap FromDoc(const KeywordSet& doc);
 
+  // Adopts pre-sorted (term, count) pairs without re-sorting; the caller
+  // guarantees strictly ascending terms and positive counts (the v2 node
+  // decoder enforces both while reading).
+  static KeywordCountMap FromSortedPairs(
+      std::vector<std::pair<TermId, uint32_t>> pairs) {
+    KeywordCountMap kcm;
+    kcm.pairs_ = std::move(pairs);
+    return kcm;
+  }
+
   // Adds a document's terms (each +1).
   void AddDoc(const KeywordSet& doc);
 

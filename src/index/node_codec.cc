@@ -6,6 +6,19 @@ StatusOr<NodeView> NodeView::Read(BufferPool* pool, PageId first,
                                   uint32_t num_pages) {
   const uint32_t page_size = pool->pager()->page_size();
   NodeView view;
+  if (pool->pager()->mapped()) {
+    // Mapped read mode: borrow the span straight from the OS page cache,
+    // zero-copy at any node size and without touching the buffer pool.
+    StatusOr<const uint8_t*> span = pool->pager()->MappedSpan(
+        first, static_cast<uint64_t>(num_pages) * page_size);
+    if (span.ok()) {
+      view.data_ = span.value();
+      view.size_ = static_cast<size_t>(num_pages) * page_size;
+      view.mapped_ = true;
+      return StatusOr<NodeView>(std::move(view));
+    }
+    // Fall through to the buffered path (e.g. span validation failed).
+  }
   if (num_pages == 1) {
     // Zero-copy fast path: borrow the pinned frame's span directly.
     StatusOr<PageHandle> handle = pool->Fetch(first);

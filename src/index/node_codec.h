@@ -114,14 +114,16 @@ class NodeView {
 
   const uint8_t* data() const { return data_; }
   size_t size() const { return size_; }
-  // True when the view borrows a pinned page instead of owning a copy.
-  bool zero_copy() const { return pin_.valid(); }
+  // True when the view borrows storage-owned bytes (a pinned page or the
+  // pager's read-only mapping) instead of owning a copy.
+  bool zero_copy() const { return pin_.valid() || mapped_; }
 
  private:
   PageHandle pin_;                // single-page path: keeps the span alive
   std::vector<uint8_t> scratch_;  // multi-page path: gathered copy
   const uint8_t* data_ = nullptr;
   size_t size_ = 0;
+  bool mapped_ = false;  // borrowing the pager's mapping (any size)
 };
 
 // Reads the `num_pages` consecutive pages starting at `first` into `out`

@@ -26,16 +26,32 @@
 #include "storage/blob_store.h"
 #include "storage/buffer_pool.h"
 #include "storage/node_cache.h"
+#include "storage/node_codec_v2.h"
 #include "text/keyword_set.h"
 #include "text/similarity.h"
 
 namespace wsk {
+
+// Per-node layout facts for introspection (wsk_cli inspect).
+struct NodeStat {
+  bool is_leaf = true;
+  uint32_t entries = 0;
+  uint32_t record_bytes = 0;  // serialized bytes before page padding
+  uint32_t record_pages = 0;  // pages the record occupies on disk
+};
 
 class SetRTree : public TopKSource {
  public:
   struct Options {
     uint32_t capacity = 100;  // max entries per node (Section VII-A1)
     SimilarityModel model = SimilarityModel::kJaccard;
+    // Node format for newly built trees. v1 (default) is the fixed-slot
+    // dynamic format (Insert/Remove supported, payloads in the blob
+    // store); v2 is the compact static format (varint/delta-packed,
+    // checksummed, payloads inline) — bulk-load only, immutable after
+    // Finalize. Open() reads the format from the meta page, so either
+    // kind of file reopens transparently.
+    uint8_t format = kNodeFormatV1;
   };
 
   struct LeafEntry {
@@ -141,9 +157,14 @@ class SetRTree : public TopKSource {
   uint32_t pages_per_node() const { return pages_per_node_; }
   const Options& options() const { return options_; }
 
-  // Introspection (tests and the why-not algorithms).
+  // Introspection (tests and the why-not algorithms). For v2 trees the
+  // returned entries carry empty BlobRefs — payloads are inline; use
+  // ReadDecodedNode for them.
   StatusOr<Node> ReadNode(PageId page) const;
   StatusOr<KeywordSet> ReadKeywordSet(const BlobRef& ref) const;
+
+  // Layout facts of one node without materializing payloads.
+  StatusOr<NodeStat> StatNode(PageId page) const;
 
  private:
   SetRTree(BufferPool* pool, const Options& options, double diagonal);
@@ -166,6 +187,15 @@ class SetRTree : public TopKSource {
   PageId AllocateNodeSlot();
   StatusOr<std::shared_ptr<const DecodedNode>> MaterializeNode(
       PageId page) const;
+  StatusOr<std::shared_ptr<const DecodedNode>> MaterializeNodeV2(
+      PageId page) const;
+  // v2 write path: encodes the node with its keyword payloads inline
+  // (leaves: `primary` = per-entry docs; inner: `primary` = unions,
+  // `secondary` = intersections) and appends it to fresh pages.
+  StatusOr<PageId> AppendNodeV2(const Node& node,
+                                const std::vector<const KeywordSet*>& primary,
+                                const std::vector<const KeywordSet*>& secondary,
+                                bool children_are_leaves);
   Status WriteNode(PageId page, const Node& node);
   StatusOr<BlobRef> WriteKeywordSet(const KeywordSet& set);
   Status WriteMeta();
@@ -195,6 +225,9 @@ class SetRTree : public TopKSource {
   NodeCache* cache_ = nullptr;  // not owned; see AttachNodeCache
   uint32_t cache_tree_id_ = 0;
   mutable BlobStore blobs_;
+  // First-touch body-checksum ledger for v2 records (v2 trees are
+  // immutable, so one clean verification per record is enough).
+  mutable ChecksumLedger checksum_ledger_;
   Options options_;
   uint32_t pages_per_node_ = 0;
   PageId meta_page_ = kInvalidPageId;

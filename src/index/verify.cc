@@ -17,51 +17,63 @@ struct SetRFacts {
   uint64_t objects = 0;
 };
 
+// Walks over fully materialized nodes (ReadDecodedNode, uncached), which
+// makes the checks format-agnostic: v1 payloads come from the blob store,
+// v2 payloads decode inline, and the invariants are identical. blobs_read
+// counts verified payloads either way, so expectations carry across
+// formats.
 Status WalkSetR(const SetRTree& tree, PageId page, uint32_t level,
                 VerifyStats* stats, SetRFacts* out) {
-  StatusOr<SetRTree::Node> read = tree.ReadNode(page);
-  if (!read.ok()) return read.status();
-  const SetRTree::Node node = std::move(read).value();
+  // Structural checks run on the bare node before any payload is
+  // materialized: a node whose header lies about its kind carries garbage
+  // payload references, and dereferencing them must not happen.
+  StatusOr<SetRTree::Node> head = tree.ReadNode(page);
+  if (!head.ok()) return head.status();
   ++stats->nodes_visited;
 
-  if (node.size() == 0) return CorruptionAt(page, "empty node");
-  if (node.size() > tree.options().capacity) {
+  if (head.value().size() == 0) return CorruptionAt(page, "empty node");
+  if (head.value().size() > tree.options().capacity) {
     return CorruptionAt(page, "fan-out exceeds capacity");
   }
-  if (node.is_leaf != (level == 1)) {
+  if (head.value().is_leaf != (level == 1)) {
     return CorruptionAt(page, "leaf flag inconsistent with depth");
   }
+
+  StatusOr<std::shared_ptr<const SetRTree::DecodedNode>> read =
+      tree.ReadDecodedNode(page, /*use_cache=*/false);
+  if (!read.ok()) return read.status();
+  const SetRTree::DecodedNode& decoded = *read.value();
+  const SetRTree::Node& node = decoded.node;
 
   SetRFacts facts;
   bool first = true;
   if (node.is_leaf) {
-    for (const SetRTree::LeafEntry& e : node.leaf_entries) {
-      StatusOr<KeywordSet> doc = tree.ReadKeywordSet(e.keywords);
-      if (!doc.ok()) return doc.status();
+    for (size_t i = 0; i < node.leaf_entries.size(); ++i) {
+      const SetRTree::LeafEntry& e = node.leaf_entries[i];
+      const KeywordSet& doc = decoded.leaf_docs[i];
       ++stats->blobs_read;
       ++stats->objects_seen;
       facts.mbr.Extend(e.loc);
-      facts.uni = facts.uni.Union(doc.value());
-      facts.inter = first ? doc.value() : facts.inter.Intersect(doc.value());
+      facts.uni = facts.uni.Union(doc);
+      facts.inter = first ? doc : facts.inter.Intersect(doc);
       facts.objects += 1;
       first = false;
     }
   } else {
-    for (const SetRTree::InnerEntry& e : node.inner_entries) {
+    for (size_t i = 0; i < node.inner_entries.size(); ++i) {
+      const SetRTree::InnerEntry& e = node.inner_entries[i];
       SetRFacts child;
       WSK_RETURN_IF_ERROR(WalkSetR(tree, e.child, level - 1, stats, &child));
       if (!e.mbr.ContainsRect(child.mbr)) {
         return CorruptionAt(page, "entry MBR does not contain its subtree");
       }
-      StatusOr<KeywordSet> uni = tree.ReadKeywordSet(e.union_set);
-      if (!uni.ok()) return uni.status();
-      StatusOr<KeywordSet> inter = tree.ReadKeywordSet(e.inter_set);
-      if (!inter.ok()) return inter.status();
+      const KeywordSet& uni = decoded.child_union[i];
+      const KeywordSet& inter = decoded.child_inter[i];
       stats->blobs_read += 2;
-      if (!(uni.value() == child.uni)) {
+      if (!(uni == child.uni)) {
         return CorruptionAt(page, "entry union set differs from subtree");
       }
-      if (!(inter.value() == child.inter)) {
+      if (!(inter == child.inter)) {
         return CorruptionAt(page,
                             "entry intersection set differs from subtree");
       }
@@ -84,32 +96,38 @@ struct KcrFacts {
 
 Status WalkKcr(const KcrTree& tree, PageId page, uint32_t level,
                VerifyStats* stats, KcrFacts* out) {
-  StatusOr<KcrTree::Node> read = tree.ReadNode(page);
-  if (!read.ok()) return read.status();
-  const KcrTree::Node node = std::move(read).value();
+  // Same ordering as WalkSetR: structural checks before payloads.
+  StatusOr<KcrTree::Node> head = tree.ReadNode(page);
+  if (!head.ok()) return head.status();
   ++stats->nodes_visited;
 
-  if (node.size() == 0) return CorruptionAt(page, "empty node");
-  if (node.size() > tree.options().capacity) {
+  if (head.value().size() == 0) return CorruptionAt(page, "empty node");
+  if (head.value().size() > tree.options().capacity) {
     return CorruptionAt(page, "fan-out exceeds capacity");
   }
-  if (node.is_leaf != (level == 1)) {
+  if (head.value().is_leaf != (level == 1)) {
     return CorruptionAt(page, "leaf flag inconsistent with depth");
   }
 
+  StatusOr<std::shared_ptr<const KcrTree::DecodedNode>> read =
+      tree.ReadDecodedNode(page, /*use_cache=*/false);
+  if (!read.ok()) return read.status();
+  const KcrTree::DecodedNode& decoded = *read.value();
+  const KcrTree::Node& node = decoded.node;
+
   KcrFacts facts;
   if (node.is_leaf) {
-    for (const KcrTree::LeafEntry& e : node.leaf_entries) {
-      StatusOr<KeywordSet> doc = tree.ReadKeywordSet(e.keywords);
-      if (!doc.ok()) return doc.status();
+    for (size_t i = 0; i < node.leaf_entries.size(); ++i) {
+      const KcrTree::LeafEntry& e = node.leaf_entries[i];
       ++stats->blobs_read;
       ++stats->objects_seen;
       facts.mbr.Extend(e.loc);
-      facts.kcm.AddDoc(doc.value());
+      facts.kcm.AddDoc(decoded.leaf_docs[i]);
       facts.objects += 1;
     }
   } else {
-    for (const KcrTree::InnerEntry& e : node.inner_entries) {
+    for (size_t i = 0; i < node.inner_entries.size(); ++i) {
+      const KcrTree::InnerEntry& e = node.inner_entries[i];
       KcrFacts child;
       WSK_RETURN_IF_ERROR(WalkKcr(tree, e.child, level - 1, stats, &child));
       if (!e.mbr.ContainsRect(child.mbr)) {
@@ -118,10 +136,8 @@ Status WalkKcr(const KcrTree& tree, PageId page, uint32_t level,
       if (e.cnt != child.objects) {
         return CorruptionAt(page, "entry cnt differs from subtree");
       }
-      StatusOr<KeywordCountMap> kcm = tree.ReadKcm(e.kcm);
-      if (!kcm.ok()) return kcm.status();
       ++stats->blobs_read;
-      if (!(kcm.value() == child.kcm)) {
+      if (!(decoded.child_kcms[i] == child.kcm)) {
         return CorruptionAt(page, "entry keyword-count map differs");
       }
       facts.mbr.Extend(child.mbr);

@@ -63,6 +63,7 @@ StatusOr<std::shared_ptr<FrozenSegment>> FrozenSegment::Build(
   SetRTree::Options setr_options;
   setr_options.capacity = options.node_capacity;
   setr_options.model = options.model;
+  setr_options.format = options.node_format;
   StatusOr<std::unique_ptr<SetRTree>> setr = SetRTree::BulkLoadObjects(
       segment->objects_, diagonal, segment->setr_pool_.get(), setr_options);
   if (!setr.ok()) return setr.status();
@@ -71,10 +72,19 @@ StatusOr<std::shared_ptr<FrozenSegment>> FrozenSegment::Build(
   KcrTree::Options kcr_options;
   kcr_options.capacity = options.node_capacity;
   kcr_options.model = options.model;
+  kcr_options.format = options.node_format;
   StatusOr<std::unique_ptr<KcrTree>> kcr = KcrTree::BulkLoadObjects(
       segment->objects_, diagonal, segment->kcr_pool_.get(), kcr_options);
   if (!kcr.ok()) return kcr.status();
   segment->kcr_tree_ = std::move(kcr).value();
+
+  if (options.mmap_reads) {
+    // The segment is sealed from here on; map both files read-only. A
+    // non-OK result (platform without mmap, empty file) just leaves the
+    // buffered pread path in place — correctness is identical.
+    (void)segment->setr_pager_->EnableMappedReads();
+    (void)segment->kcr_pager_->EnableMappedReads();
+  }
 
   if (node_cache != nullptr) {
     segment->setr_tree_->AttachNodeCache(node_cache);
@@ -139,6 +149,8 @@ void FrozenSegment::FoldIntoRetired() {
       std::memory_order_relaxed);
   retired_->setr_logical.fetch_add(s.logical_reads - folded_setr_.logical_reads,
                                    std::memory_order_relaxed);
+  retired_->setr_mapped.fetch_add(s.mapped_reads - folded_setr_.mapped_reads,
+                                  std::memory_order_relaxed);
   retired_->setr_cache_hits.fetch_add(
       s.node_cache_hits - folded_setr_.node_cache_hits,
       std::memory_order_relaxed);
@@ -149,6 +161,8 @@ void FrozenSegment::FoldIntoRetired() {
       k.physical_reads - folded_kcr_.physical_reads, std::memory_order_relaxed);
   retired_->kcr_logical.fetch_add(k.logical_reads - folded_kcr_.logical_reads,
                                   std::memory_order_relaxed);
+  retired_->kcr_mapped.fetch_add(k.mapped_reads - folded_kcr_.mapped_reads,
+                                 std::memory_order_relaxed);
   retired_->kcr_cache_hits.fetch_add(
       k.node_cache_hits - folded_kcr_.node_cache_hits,
       std::memory_order_relaxed);

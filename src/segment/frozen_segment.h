@@ -42,10 +42,12 @@ namespace wsk {
 struct RetiredIoAccumulator {
   std::atomic<uint64_t> setr_physical{0};
   std::atomic<uint64_t> setr_logical{0};
+  std::atomic<uint64_t> setr_mapped{0};
   std::atomic<uint64_t> setr_cache_hits{0};
   std::atomic<uint64_t> setr_cache_misses{0};
   std::atomic<uint64_t> kcr_physical{0};
   std::atomic<uint64_t> kcr_logical{0};
+  std::atomic<uint64_t> kcr_mapped{0};
   std::atomic<uint64_t> kcr_cache_hits{0};
   std::atomic<uint64_t> kcr_cache_misses{0};
   std::atomic<uint64_t> segments_retired{0};
@@ -59,6 +61,14 @@ class FrozenSegment {
     size_t buffer_bytes = 4u << 20;
     uint32_t node_capacity = 100;
     SimilarityModel model = SimilarityModel::kJaccard;
+    // Frozen segments are immutable by construction, which makes them the
+    // natural home for the compact static node format: smaller files and
+    // zero-copy decode. v1 remains available for differential runs.
+    uint8_t node_format = kNodeFormatV2;
+    // Switch both pagers to mmap-backed reads after the build finalizes.
+    // Falls back silently to the buffered pread path if the platform (or
+    // an empty file) cannot map.
+    bool mmap_reads = true;
   };
 
   // Builds both trees over `objects` (ids preserved, need not be dense).

@@ -185,11 +185,15 @@ StatusOr<WhyNotResult> SegmentedEngine::Answer(
     }
   }
   if (result.ok()) {
+    // Frozen segments serve node reads from the mmap path by default, so a
+    // page access lands in either the physical or the mapped counter —
+    // io_reads stays "pages fetched from the index file" in both modes.
     const BackendIoSnapshot after = io_snapshot();
-    result.value().stats.io_reads = kcr
-                                        ? after.kcr_physical - before.kcr_physical
-                                        : after.setr_physical -
-                                              before.setr_physical;
+    result.value().stats.io_reads =
+        kcr ? (after.kcr_physical - before.kcr_physical) +
+                  (after.kcr_mapped - before.kcr_mapped)
+            : (after.setr_physical - before.setr_physical) +
+                  (after.setr_mapped - before.setr_mapped);
   }
   return result;
 }

@@ -29,6 +29,8 @@ QueryService::QueryService(const QueryBackend* backend,
       io_kcr_physical_(metrics_.counter("io.kcr.physical_reads")),
       io_setr_logical_(metrics_.counter("io.setr.logical_reads")),
       io_kcr_logical_(metrics_.counter("io.kcr.logical_reads")),
+      io_setr_mapped_(metrics_.counter("io.setr.mapped_reads")),
+      io_kcr_mapped_(metrics_.counter("io.kcr.mapped_reads")),
       io_setr_node_cache_hits_(metrics_.counter("io.setr.node_cache_hits")),
       io_kcr_node_cache_hits_(metrics_.counter("io.kcr.node_cache_hits")),
       io_setr_node_cache_misses_(
@@ -136,6 +138,8 @@ void QueryService::AccountIo(const IoSnapshot& before) {
   io_kcr_physical_.Increment(after.kcr_physical - before.kcr_physical);
   io_setr_logical_.Increment(after.setr_logical - before.setr_logical);
   io_kcr_logical_.Increment(after.kcr_logical - before.kcr_logical);
+  io_setr_mapped_.Increment(after.setr_mapped - before.setr_mapped);
+  io_kcr_mapped_.Increment(after.kcr_mapped - before.kcr_mapped);
   io_setr_node_cache_hits_.Increment(after.setr_cache_hits -
                                      before.setr_cache_hits);
   io_kcr_node_cache_hits_.Increment(after.kcr_cache_hits -
@@ -631,12 +635,14 @@ std::string QueryService::MetricsReport() const {
   out += line;
   const IoSnapshot io = TakeIoSnapshot();
   std::snprintf(line, sizeof(line),
-                "engine_io setr physical %llu logical %llu | kcr physical "
-                "%llu logical %llu\n",
+                "engine_io setr physical %llu logical %llu mapped %llu | "
+                "kcr physical %llu logical %llu mapped %llu\n",
                 static_cast<unsigned long long>(io.setr_physical),
                 static_cast<unsigned long long>(io.setr_logical),
+                static_cast<unsigned long long>(io.setr_mapped),
                 static_cast<unsigned long long>(io.kcr_physical),
-                static_cast<unsigned long long>(io.kcr_logical));
+                static_cast<unsigned long long>(io.kcr_logical),
+                static_cast<unsigned long long>(io.kcr_mapped));
   out += line;
   if (const SegmentCountersSnapshot seg = backend_->segment_counters();
       seg.valid) {
@@ -731,8 +737,10 @@ std::string QueryService::PrometheusReport() const {
   const IoSnapshot io = TakeIoSnapshot();
   counter_line("wsk_engine_setr_physical_reads_total", io.setr_physical);
   counter_line("wsk_engine_setr_logical_reads_total", io.setr_logical);
+  counter_line("wsk_engine_setr_mapped_reads_total", io.setr_mapped);
   counter_line("wsk_engine_kcr_physical_reads_total", io.kcr_physical);
   counter_line("wsk_engine_kcr_logical_reads_total", io.kcr_logical);
+  counter_line("wsk_engine_kcr_mapped_reads_total", io.kcr_mapped);
   if (const SegmentCountersSnapshot seg = backend_->segment_counters();
       seg.valid) {
     counter_line("wsk_segment_inserts_total", seg.inserts);

@@ -252,6 +252,8 @@ class QueryService {
   Counter& io_kcr_physical_;
   Counter& io_setr_logical_;
   Counter& io_kcr_logical_;
+  Counter& io_setr_mapped_;
+  Counter& io_kcr_mapped_;
   Counter& io_setr_node_cache_hits_;
   Counter& io_kcr_node_cache_hits_;
   Counter& io_setr_node_cache_misses_;

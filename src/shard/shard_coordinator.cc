@@ -393,10 +393,15 @@ StatusOr<WhyNotResult> ShardCoordinator::Answer(
     }
   }
   if (result.ok()) {
+    // Live shards back onto frozen segments, which serve node reads from
+    // the mmap path by default — count both so io_reads means "pages
+    // fetched from the index file" regardless of read mode.
     const BackendIoSnapshot after = io_snapshot();
     result.value().stats.io_reads =
-        kcr ? after.kcr_physical - before.kcr_physical
-            : after.setr_physical - before.setr_physical;
+        kcr ? (after.kcr_physical - before.kcr_physical) +
+                  (after.kcr_mapped - before.kcr_mapped)
+            : (after.setr_physical - before.setr_physical) +
+                  (after.setr_mapped - before.setr_mapped);
   }
   return result;
 }
@@ -413,6 +418,8 @@ BackendIoSnapshot ShardCoordinator::io_snapshot() const {
     total.kcr_physical += s.kcr_physical;
     total.setr_logical += s.setr_logical;
     total.kcr_logical += s.kcr_logical;
+    total.setr_mapped += s.setr_mapped;
+    total.kcr_mapped += s.kcr_mapped;
     total.setr_cache_hits += s.setr_cache_hits;
     total.kcr_cache_hits += s.kcr_cache_hits;
     total.setr_cache_misses += s.setr_cache_misses;

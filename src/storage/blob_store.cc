@@ -129,6 +129,18 @@ Status BlobStore::Read(const BlobRef& ref, std::vector<uint8_t>* out) const {
     // fetched; a corrupted length field can otherwise demand gigabytes.
     return Status::Corruption("blob reference extends past the file");
   }
+  if (pool_->pager()->mapped()) {
+    // Mapped read mode: copy straight from the OS page cache; the span
+    // was bounds-checked against the file above and again by the pager.
+    StatusOr<const uint8_t*> span = pool_->pager()->MappedSpan(
+        ref.page, static_cast<uint64_t>(ref.offset) + ref.length);
+    if (span.ok()) {
+      out->resize(ref.length);
+      std::memcpy(out->data(), span.value() + ref.offset, ref.length);
+      return Status::Ok();
+    }
+    // Fall through to the buffered path.
+  }
   out->resize(ref.length);
   uint32_t copied = 0;
   uint32_t offset = ref.offset;

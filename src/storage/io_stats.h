@@ -28,6 +28,7 @@ class IoStats {
     uint64_t logical_reads = 0;
     uint64_t node_cache_hits = 0;
     uint64_t node_cache_misses = 0;
+    uint64_t mapped_reads = 0;
   };
 
   void RecordPhysicalRead() {
@@ -48,6 +49,13 @@ class IoStats {
   void RecordNodeCacheMiss() {
     node_cache_misses_.fetch_add(1, std::memory_order_relaxed);
   }
+  // Page spans served from a read-only memory mapping (Pager::MappedSpan),
+  // counted per page spanned. Mapped reads hit the OS page cache directly —
+  // they are neither buffer-pool logical reads nor physical reads, so they
+  // get their own counter and never inflate the paper's I/O metric.
+  void RecordMappedRead(uint64_t pages) {
+    mapped_reads_.fetch_add(pages, std::memory_order_relaxed);
+  }
 
   uint64_t physical_reads() const {
     return physical_reads_.load(std::memory_order_relaxed);
@@ -64,10 +72,14 @@ class IoStats {
   uint64_t node_cache_misses() const {
     return node_cache_misses_.load(std::memory_order_relaxed);
   }
+  uint64_t mapped_reads() const {
+    return mapped_reads_.load(std::memory_order_relaxed);
+  }
 
   Snapshot TakeSnapshot() const {
-    return Snapshot{physical_reads(), physical_writes(), logical_reads(),
-                    node_cache_hits(), node_cache_misses()};
+    return Snapshot{physical_reads(),  physical_writes(),
+                    logical_reads(),   node_cache_hits(),
+                    node_cache_misses(), mapped_reads()};
   }
 
   void Reset() {
@@ -76,6 +88,7 @@ class IoStats {
     logical_reads_.store(0, std::memory_order_relaxed);
     node_cache_hits_.store(0, std::memory_order_relaxed);
     node_cache_misses_.store(0, std::memory_order_relaxed);
+    mapped_reads_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -84,6 +97,7 @@ class IoStats {
   std::atomic<uint64_t> logical_reads_{0};
   std::atomic<uint64_t> node_cache_hits_{0};
   std::atomic<uint64_t> node_cache_misses_{0};
+  std::atomic<uint64_t> mapped_reads_{0};
 };
 
 }  // namespace wsk

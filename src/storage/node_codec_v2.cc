@@ -1,0 +1,269 @@
+#include "storage/node_codec_v2.h"
+
+namespace wsk {
+namespace {
+
+// Header field offsets within the 16-byte v2 header.
+constexpr size_t kOffVersion = 0;
+constexpr size_t kOffKind = 1;
+constexpr size_t kOffCount = 2;
+constexpr size_t kOffBodyBytes = 4;
+constexpr size_t kOffChecksum = 8;
+constexpr size_t kOffReserved = 12;
+
+void PutU16Le(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+
+void PutU32Le(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+uint16_t GetU16Le(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t GetU32Le(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+Status CorruptNode(PageId page, const std::string& what) {
+  return Status::Corruption("v2 node at page " + std::to_string(page) +
+                            ": " + what);
+}
+
+// Parses and validates the 16-byte header at `p`. On success fills the
+// record's header fields (body still unset).
+Status ParseHeader(PageId page, const uint8_t* p, uint32_t page_size,
+                   PageId num_pages, bool* is_leaf, uint32_t* count,
+                   uint32_t* body_bytes, uint32_t* pages) {
+  if (p[kOffVersion] != kNodeFormatV2) {
+    return CorruptNode(page, "bad version byte " +
+                                 std::to_string(p[kOffVersion]));
+  }
+  const uint8_t kind = p[kOffKind];
+  if (kind > 1) {
+    return CorruptNode(page, "bad kind byte " + std::to_string(kind));
+  }
+  *is_leaf = (kind == 0);
+  *count = GetU16Le(p + kOffCount);
+  *body_bytes = GetU32Le(p + kOffBodyBytes);
+  const uint64_t total = kNodeHeaderBytesV2 + static_cast<uint64_t>(
+                                                  *body_bytes);
+  const uint64_t span = (total + page_size - 1) / page_size;
+  if (static_cast<uint64_t>(page) + span > num_pages) {
+    return CorruptNode(page, "record extends past end of file");
+  }
+  *pages = static_cast<uint32_t>(span);
+  return Status::Ok();
+}
+
+}  // namespace
+
+void PutVarint(std::vector<uint8_t>* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+void PutDeltaU32s(std::vector<uint8_t>* out, const uint32_t* ids,
+                  size_t count) {
+  uint32_t prev = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (i == 0) {
+      PutVarint(out, ids[0]);
+    } else {
+      WSK_CHECK(ids[i] > prev);  // encoder input must be strictly ascending
+      PutVarint(out, ids[i] - prev);
+    }
+    prev = ids[i];
+  }
+}
+
+uint32_t Fnv1a32(const uint8_t* data, size_t size) {
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+bool CheckedReader::GetU8(uint8_t* out) {
+  if (!ok_ || data_ == end_) return Fail();
+  *out = *data_++;
+  return true;
+}
+
+bool CheckedReader::GetVarint(uint64_t* out) {
+  if (!ok_) return false;
+  uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (data_ == end_) return Fail();
+    const uint8_t byte = *data_++;
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      // Reject non-canonical padding bytes past the top of u64.
+      if (shift == 63 && byte > 1) return Fail();
+      *out = value;
+      return true;
+    }
+  }
+  return Fail();  // more than 10 continuation bytes
+}
+
+bool CheckedReader::GetVarint32(uint32_t* out) {
+  uint64_t wide = 0;
+  if (!GetVarint(&wide)) return false;
+  if (wide > 0xffffffffull) return Fail();
+  *out = static_cast<uint32_t>(wide);
+  return true;
+}
+
+bool CheckedReader::GetDouble(double* out) {
+  if (!ok_ || remaining() < sizeof(double)) return Fail();
+  std::memcpy(out, data_, sizeof(double));
+  data_ += sizeof(double);
+  return true;
+}
+
+bool CheckedReader::GetRect(Rect* out) {
+  return GetDouble(&out->min_x) && GetDouble(&out->min_y) &&
+         GetDouble(&out->max_x) && GetDouble(&out->max_y);
+}
+
+bool CheckedReader::GetBytes(const uint8_t** out, size_t size) {
+  if (!ok_ || remaining() < size) return Fail();
+  *out = data_;
+  data_ += size;
+  return true;
+}
+
+bool CheckedReader::GetDeltaU32s(size_t count, std::vector<uint32_t>* out) {
+  uint64_t value = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t step = 0;
+    if (!GetVarint(&step)) return false;
+    if (i == 0) {
+      value = step;
+    } else {
+      if (step == 0) return Fail();  // ids must be strictly ascending
+      value += step;
+    }
+    if (value > 0xffffffffull) return Fail();
+    out->push_back(static_cast<uint32_t>(value));
+  }
+  return true;
+}
+
+Status EncodeNodeRecordV2(bool is_leaf, uint32_t count,
+                          const std::vector<uint8_t>& body,
+                          uint32_t page_size, std::vector<uint8_t>* out) {
+  if (count > kMaxNodeCountV2) {
+    return Status::InvalidArgument("v2 node count exceeds u16");
+  }
+  const uint64_t total = kNodeHeaderBytesV2 + body.size();
+  const uint64_t padded =
+      (total + page_size - 1) / page_size * page_size;
+  out->assign(padded, 0);
+  uint8_t* h = out->data();
+  h[kOffVersion] = kNodeFormatV2;
+  h[kOffKind] = is_leaf ? 0 : 1;
+  PutU16Le(h + kOffCount, static_cast<uint16_t>(count));
+  PutU32Le(h + kOffBodyBytes, static_cast<uint32_t>(body.size()));
+  PutU32Le(h + kOffChecksum, Fnv1a32(body.data(), body.size()));
+  PutU32Le(h + kOffReserved, 0);
+  std::memcpy(out->data() + kNodeHeaderBytesV2, body.data(), body.size());
+  return Status::Ok();
+}
+
+StatusOr<PageId> AppendNodeRecordV2(BufferPool* pool, bool is_leaf,
+                                    uint32_t count,
+                                    const std::vector<uint8_t>& body) {
+  const uint32_t page_size = pool->pager()->page_size();
+  std::vector<uint8_t> record;
+  WSK_RETURN_IF_ERROR(
+      EncodeNodeRecordV2(is_leaf, count, body, page_size, &record));
+  const uint32_t pages = static_cast<uint32_t>(record.size() / page_size);
+  const PageId first = pool->pager()->AllocatePages(pages);
+  for (uint32_t i = 0; i < pages; ++i) {
+    auto handle = pool->Fetch(first + i);
+    WSK_RETURN_IF_ERROR(handle.status());
+    std::memcpy(handle.value().data(),
+                record.data() + static_cast<size_t>(i) * page_size,
+                page_size);
+    handle.value().MarkDirty();
+  }
+  return first;
+}
+
+StatusOr<NodeRecordV2> ReadNodeRecordV2(BufferPool* pool, PageId page,
+                                        ChecksumLedger* ledger) {
+  Pager* pager = pool->pager();
+  const uint32_t page_size = pager->page_size();
+  const PageId num_pages = pager->num_pages();
+  if (page >= num_pages) {
+    return CorruptNode(page, "page id past end of file");
+  }
+  NodeRecordV2 rec;
+
+  if (pager->mapped()) {
+    // Peek the header without recording a read, then take the full span —
+    // the record is counted exactly once, per page spanned.
+    auto head = pager->MappedSpan(page, kNodeHeaderBytesV2,
+                                  /*record=*/false);
+    WSK_RETURN_IF_ERROR(head.status());
+    WSK_RETURN_IF_ERROR(ParseHeader(page, head.value(), page_size,
+                                    num_pages, &rec.is_leaf_, &rec.count_,
+                                    &rec.body_bytes_, &rec.pages_));
+    auto span = pager->MappedSpan(
+        page, static_cast<uint64_t>(rec.pages_) * page_size);
+    WSK_RETURN_IF_ERROR(span.status());
+    rec.body_ = span.value() + kNodeHeaderBytesV2;
+    rec.mapped_ = true;
+  } else {
+    auto first = pool->Fetch(page);
+    WSK_RETURN_IF_ERROR(first.status());
+    WSK_RETURN_IF_ERROR(ParseHeader(page, first.value().data(), page_size,
+                                    num_pages, &rec.is_leaf_, &rec.count_,
+                                    &rec.body_bytes_, &rec.pages_));
+    if (rec.pages_ == 1) {
+      rec.body_ = first.value().data() + kNodeHeaderBytesV2;
+      rec.pin_ = std::move(first.value());
+      rec.body_ = rec.pin_.data() + kNodeHeaderBytesV2;
+    } else {
+      // Multi-page record: gather into an owned scratch buffer.
+      rec.scratch_.resize(static_cast<size_t>(rec.pages_) * page_size);
+      std::memcpy(rec.scratch_.data(), first.value().data(), page_size);
+      first.value().Release();
+      for (uint32_t i = 1; i < rec.pages_; ++i) {
+        auto handle = pool->Fetch(page + i);
+        WSK_RETURN_IF_ERROR(handle.status());
+        std::memcpy(rec.scratch_.data() +
+                        static_cast<size_t>(i) * page_size,
+                    handle.value().data(), page_size);
+      }
+      rec.body_ = rec.scratch_.data() + kNodeHeaderBytesV2;
+    }
+  }
+
+  if (ledger == nullptr || !ledger->Verified(page)) {
+    const uint32_t sum = Fnv1a32(rec.body_, rec.body_bytes_);
+    const uint8_t* header = rec.body_ - kNodeHeaderBytesV2;
+    if (sum != GetU32Le(header + kOffChecksum)) {
+      return CorruptNode(page, "body checksum mismatch");
+    }
+    if (ledger != nullptr) ledger->MarkVerified(page, num_pages);
+  }
+  return rec;
+}
+
+}  // namespace wsk

@@ -3,12 +3,26 @@
 #include <cerrno>
 #include <cstring>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define WSK_HAVE_MMAP 1
+#else
+#define WSK_HAVE_MMAP 0
+#endif
+
 namespace wsk {
 
 Pager::Pager(std::FILE* file, uint32_t page_size, PageId num_pages)
     : file_(file), page_size_(page_size), num_pages_(num_pages) {}
 
 Pager::~Pager() {
+#if WSK_HAVE_MMAP
+  const uint8_t* map = map_.load(std::memory_order_acquire);
+  if (map != nullptr) {
+    ::munmap(const_cast<uint8_t*>(map), map_bytes_);
+  }
+#endif
   if (file_ != nullptr) std::fclose(file_);
 }
 
@@ -88,8 +102,67 @@ Status Pager::ReadPage(PageId id, uint8_t* buffer) {
   return Status::Ok();
 }
 
+Status Pager::EnableMappedReads() {
+#if WSK_HAVE_MMAP
+  std::lock_guard<std::mutex> lock(mu_);
+  if (map_.load(std::memory_order_relaxed) != nullptr) {
+    return Status::Ok();
+  }
+  if (num_pages_ == 0) {
+    return Status::FailedPrecondition("cannot map an empty pager file");
+  }
+  const uint64_t bytes = static_cast<uint64_t>(num_pages_) * page_size_;
+  // Flush buffered writes, then extend the file to cover every allocated
+  // page so unwritten tail pages read back as zeros, exactly like ReadPage.
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("flush before mmap failed");
+  }
+  const int fd = ::fileno(file_);
+  if (fd < 0) {
+    return Status::IoError("fileno failed");
+  }
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    return Status::IoError(std::string("ftruncate before mmap failed: ") +
+                           std::strerror(errno));
+  }
+  void* addr = ::mmap(nullptr, bytes, PROT_READ, MAP_SHARED, fd, 0);
+  if (addr == MAP_FAILED) {
+    return Status::IoError(std::string("mmap failed: ") +
+                           std::strerror(errno));
+  }
+  // Node access is random; these hints are best-effort, errors ignored.
+  ::madvise(addr, bytes, MADV_RANDOM);
+  ::madvise(addr, bytes, MADV_WILLNEED);
+  map_bytes_ = bytes;
+  map_.store(static_cast<const uint8_t*>(addr), std::memory_order_release);
+  return Status::Ok();
+#else
+  return Status::FailedPrecondition("mmap unavailable on this platform");
+#endif
+}
+
+StatusOr<const uint8_t*> Pager::MappedSpan(PageId first, uint64_t length,
+                                           bool record) {
+  const uint8_t* map = map_.load(std::memory_order_acquire);
+  if (map == nullptr) {
+    return Status::FailedPrecondition("pager is not in mapped read mode");
+  }
+  const uint64_t offset = static_cast<uint64_t>(first) * page_size_;
+  if (length == 0 || offset >= map_bytes_ || length > map_bytes_ - offset) {
+    return Status::OutOfRange("mapped span past end of pager file");
+  }
+  if (record) {
+    io_stats_.RecordMappedRead((length + page_size_ - 1) / page_size_);
+  }
+  return map + offset;
+}
+
 Status Pager::WritePage(PageId id, const uint8_t* buffer) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (map_.load(std::memory_order_relaxed) != nullptr) {
+    return Status::FailedPrecondition(
+        "pager is in mapped read mode; the file is frozen");
+  }
   if (id >= num_pages_) {
     return Status::OutOfRange("write past end of pager file");
   }

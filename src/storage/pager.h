@@ -8,6 +8,7 @@
 #ifndef WSK_STORAGE_PAGER_H_
 #define WSK_STORAGE_PAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
@@ -49,6 +50,30 @@ class Pager {
   Status ReadPage(PageId id, uint8_t* buffer);
   Status WritePage(PageId id, const uint8_t* buffer);
 
+  // Switches the pager into mapped read mode: the file is extended to
+  // num_pages() * page_size() bytes (allocated-but-unwritten tail pages
+  // read as zeros, matching ReadPage) and mapped read-only, with madvise
+  // hints for random node access. After this succeeds, MappedSpan() serves
+  // borrowed zero-copy views straight from the OS page cache and WritePage
+  // is rejected — the file is frozen. Fails with FailedPrecondition when
+  // the file is empty or the platform has no mmap; callers fall back to the
+  // buffered pread path (ReadPage through the buffer pool), which stays
+  // fully supported.
+  Status EnableMappedReads();
+
+  // True once EnableMappedReads() succeeded.
+  bool mapped() const {
+    return map_.load(std::memory_order_acquire) != nullptr;
+  }
+
+  // A borrowed pointer to `length` contiguous bytes starting at page
+  // `first` of the mapping, valid for the pager's lifetime. Counts one
+  // mapped read per page spanned when `record` is true (a header peek
+  // passes false so a node read is counted exactly once). Fails with
+  // FailedPrecondition when not mapped, OutOfRange past the mapping.
+  StatusOr<const uint8_t*> MappedSpan(PageId first, uint64_t length,
+                                      bool record = true);
+
   uint32_t page_size() const { return page_size_; }
   PageId num_pages() const;
 
@@ -71,6 +96,10 @@ class Pager {
   PageId num_pages_;
   std::function<Status(PageId)> read_fault_hook_;
   IoStats io_stats_;
+  // Read-only mapping; set once under mu_ (release) and read lock-free
+  // (acquire) on the query hot path. map_bytes_ is published before map_.
+  std::atomic<const uint8_t*> map_{nullptr};
+  uint64_t map_bytes_ = 0;
 };
 
 }  // namespace wsk

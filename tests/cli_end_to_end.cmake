@@ -1,5 +1,5 @@
 # Drives wsk_cli through generate -> topk -> whynot -> explain -> trace ->
-# statsz -> serve -> live.
+# statsz -> serve -> live -> inspect.
 set(csv "${WORK_DIR}/cli_e2e.csv")
 execute_process(COMMAND ${CLI} generate --out ${csv} --objects 2000
                 RESULT_VARIABLE rc OUTPUT_VARIABLE out)
@@ -74,5 +74,21 @@ execute_process(COMMAND ${CLI} live --data ${csv} --random 30 --workers 2
 if(NOT rc EQUAL 0 OR NOT out MATCHES "dataset version" OR
    NOT out MATCHES "segments")
   message(FATAL_ERROR "live failed: ${out}")
+endif()
+# inspect: layout histograms for both formats; the v2+mmap run must report
+# the v2 format byte, the map marker, and per-level lines down to the
+# leaves.
+execute_process(COMMAND ${CLI} inspect --data ${csv} --format v2 --mmap 1
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "setr: format v2" OR
+   NOT out MATCHES "kcr: format v2" OR NOT out MATCHES "\\[mmap\\]" OR
+   NOT out MATCHES "\\(leaf\\)")
+  message(FATAL_ERROR "inspect v2 failed: ${out}")
+endif()
+execute_process(COMMAND ${CLI} inspect --data ${csv} --format v1
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "setr: format v1" OR
+   out MATCHES "\\[mmap\\]")
+  message(FATAL_ERROR "inspect v1 failed: ${out}")
 endif()
 file(REMOVE ${csv})

@@ -1,0 +1,112 @@
+// Node-format / read-mode differential (docs/STORAGE.md "v2 node format &
+// mmap"): the four engine configurations {v1, v2} x {pread, mmap} must be
+// observationally identical. The compact v2 records store the same doubles
+// and term ids bit for bit, and the mmap path hands back the same bytes the
+// buffered path copies, so TopK and every why-not algorithm must agree
+// exactly — ids, scores, refined keywords, ranks, and penalties, with no
+// tolerance. Runs over the same seeded scenario generator as the oracle
+// suite; failures print the seed-bearing scenario description.
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/whynot.h"
+#include "storage/node_codec_v2.h"
+#include "testing/scenario_gen.h"
+
+namespace wsk {
+namespace {
+
+constexpr uint64_t kFirstSeed = 1;
+constexpr uint64_t kLastSeed = 120;
+
+constexpr WhyNotAlgorithm kAlgorithms[] = {
+    WhyNotAlgorithm::kBasic,
+    WhyNotAlgorithm::kAdvanced,
+    WhyNotAlgorithm::kKcrBased,
+};
+
+struct FormatConfig {
+  const char* name;
+  uint8_t format;
+  bool mmap;
+};
+
+constexpr FormatConfig kConfigs[] = {
+    {"v1+pread", kNodeFormatV1, false},  // the paper baseline
+    {"v1+mmap", kNodeFormatV1, true},
+    {"v2+pread", kNodeFormatV2, false},
+    {"v2+mmap", kNodeFormatV2, true},  // the frozen-segment default
+};
+
+class FormatDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FormatDifferentialTest, AllFormatsBitIdentical) {
+  const uint64_t seed = GetParam();
+  std::optional<testing::WhyNotScenario> scenario =
+      testing::MakeScenario(seed, {});
+  if (!scenario.has_value()) {
+    GTEST_SKIP() << "seed " << seed << " yields no usable instance";
+  }
+  SCOPED_TRACE(scenario->Describe());
+
+  std::vector<std::unique_ptr<WhyNotEngine>> engines;
+  for (const FormatConfig& fc : kConfigs) {
+    WhyNotEngine::Config config;
+    config.node_capacity = 16;  // multi-level trees at scenario scale
+    config.node_format = fc.format;
+    config.mmap_reads = fc.mmap;
+    StatusOr<std::unique_ptr<WhyNotEngine>> built =
+        WhyNotEngine::Build(&scenario->dataset, config);
+    ASSERT_TRUE(built.ok()) << fc.name << ": " << built.status().ToString();
+    engines.push_back(std::move(built).value());
+  }
+
+  // TopK: the v1+pread stream is the reference.
+  const auto baseline_top =
+      engines[0]->TopK(scenario->query).value();
+  for (size_t c = 1; c < engines.size(); ++c) {
+    SCOPED_TRACE(kConfigs[c].name);
+    const auto top = engines[c]->TopK(scenario->query).value();
+    ASSERT_EQ(top.size(), baseline_top.size());
+    for (size_t i = 0; i < top.size(); ++i) {
+      EXPECT_EQ(top[i].id, baseline_top[i].id);
+      EXPECT_EQ(top[i].score, baseline_top[i].score);  // bit-exact
+    }
+  }
+
+  for (WhyNotAlgorithm algorithm : kAlgorithms) {
+    SCOPED_TRACE(WhyNotAlgorithmName(algorithm));
+    StatusOr<WhyNotResult> baseline = engines[0]->Answer(
+        algorithm, scenario->query, scenario->missing, scenario->options);
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+    for (size_t c = 1; c < engines.size(); ++c) {
+      SCOPED_TRACE(kConfigs[c].name);
+      StatusOr<WhyNotResult> got = engines[c]->Answer(
+          algorithm, scenario->query, scenario->missing, scenario->options);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(got.value().already_in_result,
+                baseline.value().already_in_result);
+      const RefinedQuery& a = got.value().refined;
+      const RefinedQuery& b = baseline.value().refined;
+      EXPECT_EQ(a.doc, b.doc)
+          << a.doc.ToString() << " vs " << b.doc.ToString();
+      EXPECT_EQ(a.k, b.k);
+      EXPECT_EQ(a.rank, b.rank);
+      EXPECT_EQ(a.edit_distance, b.edit_distance);
+      EXPECT_EQ(a.penalty, b.penalty);  // exact, no tolerance
+    }
+  }
+
+  // Mapped engines actually used the map for their reads.
+  EXPECT_EQ(engines[0]->io_snapshot().setr_mapped, 0u);
+  EXPECT_GT(engines[3]->io_snapshot().setr_mapped, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FormatDifferentialTest,
+                         ::testing::Range(kFirstSeed, kLastSeed + 1));
+
+}  // namespace
+}  // namespace wsk

@@ -208,5 +208,120 @@ TEST(KcrTreeTest, EmptyTree) {
   EXPECT_TRUE(bundle.tree->ReadRootKcm().value().empty());
 }
 
+TreeBundle BulkLoadV2(const Dataset& dataset, uint32_t capacity = 8) {
+  TreeBundle bundle;
+  bundle.file = std::make_unique<TempFile>("kcr_v2");
+  bundle.pager = Pager::Create(bundle.file->path()).value();
+  bundle.pool = std::make_unique<BufferPool>(bundle.pager.get(), 4u << 20);
+  KcrTree::Options options;
+  options.capacity = capacity;
+  options.format = kNodeFormatV2;
+  bundle.tree = KcrTree::BulkLoad(dataset, bundle.pool.get(), options).value();
+  return bundle;
+}
+
+TEST(KcrTreeTest, V2BulkLoadMatchesV1AndShrinksFile) {
+  const Dataset dataset = SmallDataset(300, 41);
+  TreeBundle v1 = BulkLoad(dataset);
+  TreeBundle v2 = BulkLoadV2(dataset);
+  ASSERT_TRUE(v1.tree->Finalize().ok());
+  ASSERT_TRUE(v2.tree->Finalize().ok());
+  EXPECT_EQ(v2.tree->options().format, kNodeFormatV2);
+  EXPECT_EQ(v2.tree->num_objects(), v1.tree->num_objects());
+  EXPECT_EQ(v2.tree->height(), v1.tree->height());
+  EXPECT_EQ(v2.tree->root_cnt(), v1.tree->root_cnt());
+  EXPECT_TRUE(v2.tree->ReadRootKcm().value() ==
+              v1.tree->ReadRootKcm().value());
+  EXPECT_LT(v2.pager->num_pages(), v1.pager->num_pages());
+
+  SpatialKeywordQuery q;
+  q.loc = Point{0.4, 0.4};
+  q.doc = dataset.object(3).doc;
+  q.k = 10;
+  q.alpha = 0.5;
+  const auto top_v1 = IndexTopK(*v1.tree, q).value();
+  const auto top_v2 = IndexTopK(*v2.tree, q).value();
+  ASSERT_EQ(top_v1.size(), top_v2.size());
+  for (size_t i = 0; i < top_v1.size(); ++i) {
+    EXPECT_EQ(top_v1[i].id, top_v2[i].id);
+    EXPECT_EQ(top_v1[i].score, top_v2[i].score);  // bit-exact
+  }
+}
+
+TEST(KcrTreeTest, V2IsImmutable) {
+  const Dataset dataset = SmallDataset(60, 43);
+  TreeBundle v2 = BulkLoadV2(dataset);
+  SpatialObject extra;
+  extra.id = 1000;
+  extra.loc = Point{0.5, 0.5};
+  extra.doc = dataset.object(0).doc;
+  EXPECT_EQ(v2.tree->Insert(extra).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(
+      v2.tree->Remove(dataset.object(0).id, dataset.object(0).loc).code(),
+      StatusCode::kFailedPrecondition);
+}
+
+TEST(KcrTreeTest, V2ReopenAndMappedReadsPreserveSummaries) {
+  const Dataset dataset = SmallDataset(250, 47);
+  TempFile file("kcr_v2_reopen");
+  uint32_t want_root_cnt;
+  {
+    auto pager = Pager::Create(file.path()).value();
+    BufferPool pool(pager.get(), 4u << 20);
+    KcrTree::Options options;
+    options.capacity = 8;
+    options.format = kNodeFormatV2;
+    auto tree = KcrTree::BulkLoad(dataset, &pool, options).value();
+    ASSERT_TRUE(tree->Finalize().ok());
+    want_root_cnt = tree->root_cnt();
+  }
+  auto pager = Pager::Open(file.path()).value();
+  BufferPool pool(pager.get(), 4u << 20);
+  auto tree = KcrTree::Open(&pool).value();
+  EXPECT_EQ(tree->options().format, kNodeFormatV2);
+  EXPECT_EQ(tree->root_cnt(), want_root_cnt);
+  ASSERT_TRUE(pager->EnableMappedReads().ok());
+  pager->io_stats().Reset();
+  // Decoded nodes (with their per-child dominator stats) come off the map.
+  const auto decoded =
+      tree->ReadDecodedNode(tree->SearchRoot(), /*use_cache=*/false);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  if (!decoded.value()->node.is_leaf) {
+    EXPECT_EQ(decoded.value()->child_stats.size(),
+              decoded.value()->node.inner_entries.size());
+  }
+  EXPECT_GT(pager->io_stats().mapped_reads(), 0u);
+  EXPECT_EQ(pager->io_stats().physical_reads(), 0u);
+}
+
+TEST(KcrTreeTest, V2DetectsCorruptedNode) {
+  const Dataset dataset = SmallDataset(250, 53);
+  TempFile file("kcr_v2_corrupt");
+  PageId victim;
+  {
+    auto pager = Pager::Create(file.path()).value();
+    BufferPool pool(pager.get(), 4u << 20);
+    KcrTree::Options options;
+    options.capacity = 8;
+    options.format = kNodeFormatV2;
+    auto tree = KcrTree::BulkLoad(dataset, &pool, options).value();
+    ASSERT_TRUE(tree->Finalize().ok());
+    victim = tree->SearchRoot();
+  }
+  {
+    auto pager = Pager::Open(file.path()).value();
+    std::vector<uint8_t> page(pager->page_size());
+    ASSERT_TRUE(pager->ReadPage(victim, page.data()).ok());
+    page[kNodeHeaderBytesV2 + 5] ^= 0x10;
+    ASSERT_TRUE(pager->WritePage(victim, page.data()).ok());
+  }
+  auto pager = Pager::Open(file.path()).value();
+  BufferPool pool(pager.get(), 4u << 20);
+  auto tree = KcrTree::Open(&pool).value();
+  const auto read = tree->ReadDecodedNode(victim, /*use_cache=*/false);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+}
+
 }  // namespace
 }  // namespace wsk

@@ -1,0 +1,365 @@
+#include "storage/node_codec_v2.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+#include "test_util.h"
+
+namespace wsk {
+namespace {
+
+using testing::TempFile;
+
+TEST(NodeCodecV2Test, VarintRoundTrip) {
+  const uint64_t values[] = {0,      1,        127,        128,
+                             16383,  16384,    0xffffffff, 1ull << 40,
+                             ~0ull};
+  std::vector<uint8_t> buf;
+  for (uint64_t v : values) PutVarint(&buf, v);
+  CheckedReader reader(buf.data(), buf.size());
+  for (uint64_t v : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(reader.GetVarint(&got));
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_TRUE(reader.ok());
+}
+
+TEST(NodeCodecV2Test, VarintSmallValuesAreOneByte) {
+  std::vector<uint8_t> buf;
+  PutVarint(&buf, 87);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(NodeCodecV2Test, DeltaU32RoundTrip) {
+  const std::vector<uint32_t> ids = {3, 4, 9, 100, 101, 70000, 0xfffffffe};
+  std::vector<uint8_t> buf;
+  PutDeltaU32s(&buf, ids.data(), ids.size());
+  // Dense ascending ids cost ~1 byte each after the first.
+  EXPECT_LT(buf.size(), ids.size() * 4);
+  CheckedReader reader(buf.data(), buf.size());
+  std::vector<uint32_t> got;
+  ASSERT_TRUE(reader.GetDeltaU32s(ids.size(), &got));
+  EXPECT_EQ(got, ids);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(NodeCodecV2Test, TaggedChildRefs) {
+  EXPECT_EQ(ChildRefPage(MakeChildRef(0, false)), 0u);
+  EXPECT_FALSE(ChildRefIsLeaf(MakeChildRef(0, false)));
+  EXPECT_TRUE(ChildRefIsLeaf(MakeChildRef(0, true)));
+  const PageId page = 0x7fffffffu;
+  const uint64_t ref = MakeChildRef(page, true);
+  EXPECT_EQ(ChildRefPage(ref), page);
+  EXPECT_TRUE(ChildRefIsLeaf(ref));
+}
+
+TEST(NodeCodecV2Test, CheckedReaderOverrunIsStickyAndSafe) {
+  std::vector<uint8_t> buf;
+  PutVarint(&buf, 5);
+  CheckedReader reader(buf.data(), buf.size());
+  uint64_t v = 0;
+  ASSERT_TRUE(reader.GetVarint(&v));
+  EXPECT_EQ(v, 5u);
+  double d = 1.5;
+  EXPECT_FALSE(reader.GetDouble(&d));  // past the end
+  EXPECT_EQ(d, 1.5);                   // output untouched
+  EXPECT_FALSE(reader.ok());
+  uint8_t b = 0;
+  EXPECT_FALSE(reader.GetU8(&b));  // sticky: still failed
+}
+
+TEST(NodeCodecV2Test, CheckedReaderRejectsTruncatedVarint) {
+  const uint8_t bytes[] = {0x80, 0x80};  // continuation bits, no terminator
+  CheckedReader reader(bytes, sizeof(bytes));
+  uint64_t v = 0;
+  EXPECT_FALSE(reader.GetVarint(&v));
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(NodeCodecV2Test, CheckedReaderRejectsNonCanonicalVarint) {
+  // 11 continuation bytes: a u64 varint never needs more than 10.
+  std::vector<uint8_t> bytes(11, 0x80);
+  bytes.back() = 0x01;
+  CheckedReader reader(bytes.data(), bytes.size());
+  uint64_t v = 0;
+  EXPECT_FALSE(reader.GetVarint(&v));
+}
+
+TEST(NodeCodecV2Test, DeltaDecodeRejectsZeroStep) {
+  // first id 7, then delta 0 — ids must be strictly ascending.
+  std::vector<uint8_t> buf;
+  PutVarint(&buf, 7);
+  PutVarint(&buf, 0);
+  CheckedReader reader(buf.data(), buf.size());
+  std::vector<uint32_t> got;
+  EXPECT_FALSE(reader.GetDeltaU32s(2, &got));
+}
+
+TEST(NodeCodecV2Test, DeltaDecodeRejectsU32Overflow) {
+  std::vector<uint8_t> buf;
+  PutVarint(&buf, 0xffffffffull);  // first id = u32 max
+  PutVarint(&buf, 1);              // next would overflow
+  CheckedReader reader(buf.data(), buf.size());
+  std::vector<uint32_t> got;
+  EXPECT_FALSE(reader.GetDeltaU32s(2, &got));
+}
+
+TEST(NodeCodecV2Test, GetVarint32RejectsWideValues) {
+  std::vector<uint8_t> buf;
+  PutVarint(&buf, 1ull << 33);
+  CheckedReader reader(buf.data(), buf.size());
+  uint32_t v = 0;
+  EXPECT_FALSE(reader.GetVarint32(&v));
+}
+
+TEST(NodeCodecV2Test, EncodePadsToWholePages) {
+  std::vector<uint8_t> body(100, 0xaa);
+  std::vector<uint8_t> record;
+  ASSERT_TRUE(
+      EncodeNodeRecordV2(true, 4, body, kDefaultPageSize, &record).ok());
+  EXPECT_EQ(record.size(), kDefaultPageSize);
+  EXPECT_EQ(record[0], kNodeFormatV2);
+
+  std::vector<uint8_t> big(2 * kDefaultPageSize, 0x55);
+  ASSERT_TRUE(EncodeNodeRecordV2(false, 9, big, kDefaultPageSize, &record).ok());
+  EXPECT_EQ(record.size(), 3 * kDefaultPageSize);
+}
+
+TEST(NodeCodecV2Test, EncodeRejectsOversizedCount) {
+  std::vector<uint8_t> body;
+  std::vector<uint8_t> record;
+  const Status status = EncodeNodeRecordV2(true, kMaxNodeCountV2 + 1, body,
+                                           kDefaultPageSize, &record);
+  EXPECT_FALSE(status.ok());
+}
+
+// Appends one record via the pool and returns its first page.
+PageId AppendRecord(BufferPool* pool, bool is_leaf, uint32_t count,
+                    const std::vector<uint8_t>& body) {
+  StatusOr<PageId> page = AppendNodeRecordV2(pool, is_leaf, count, body);
+  EXPECT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_TRUE(pool->FlushAll().ok());
+  return page.value();
+}
+
+TEST(NodeCodecV2Test, AppendReadRoundTripSinglePage) {
+  TempFile file("codec_v2_rt1");
+  auto pager = Pager::Create(file.path()).value();
+  BufferPool pool(pager.get(), 1u << 20);
+  std::vector<uint8_t> body = {1, 2, 3, 4, 5, 6, 7};
+  const PageId page = AppendRecord(&pool, true, 3, body);
+
+  StatusOr<NodeRecordV2> record = ReadNodeRecordV2(&pool, page);
+  ASSERT_TRUE(record.ok()) << record.status().ToString();
+  EXPECT_TRUE(record.value().is_leaf());
+  EXPECT_EQ(record.value().count(), 3u);
+  EXPECT_EQ(record.value().body_bytes(), body.size());
+  EXPECT_EQ(record.value().pages(), 1u);
+  // Single-page records borrow the frame: no copy.
+  EXPECT_TRUE(record.value().zero_copy());
+  EXPECT_EQ(std::memcmp(record.value().body(), body.data(), body.size()), 0);
+}
+
+TEST(NodeCodecV2Test, AppendReadRoundTripMultiPage) {
+  TempFile file("codec_v2_rtn");
+  auto pager = Pager::Create(file.path()).value();
+  BufferPool pool(pager.get(), 1u << 20);
+  std::vector<uint8_t> body(3 * kDefaultPageSize / 2);
+  for (size_t i = 0; i < body.size(); ++i) {
+    body[i] = static_cast<uint8_t>(i * 31);
+  }
+  const PageId page = AppendRecord(&pool, false, 77, body);
+
+  StatusOr<NodeRecordV2> record = ReadNodeRecordV2(&pool, page);
+  ASSERT_TRUE(record.ok()) << record.status().ToString();
+  EXPECT_FALSE(record.value().is_leaf());
+  EXPECT_EQ(record.value().count(), 77u);
+  EXPECT_EQ(record.value().pages(), 2u);
+  // Multi-page pool reads gather into scratch.
+  EXPECT_FALSE(record.value().zero_copy());
+  EXPECT_EQ(std::memcmp(record.value().body(), body.data(), body.size()), 0);
+}
+
+TEST(NodeCodecV2Test, MappedReadIsZeroCopyAndByteIdentical) {
+  TempFile file("codec_v2_map");
+  auto pager = Pager::Create(file.path()).value();
+  BufferPool pool(pager.get(), 1u << 20);
+  std::vector<uint8_t> small = {9, 8, 7};
+  std::vector<uint8_t> large(5 * kDefaultPageSize / 2, 0x3c);
+  const PageId p_small = AppendRecord(&pool, true, 1, small);
+  const PageId p_large = AppendRecord(&pool, false, 2, large);
+
+  ASSERT_TRUE(pager->EnableMappedReads().ok());
+  const uint64_t mapped_before = pager->io_stats().mapped_reads();
+
+  StatusOr<NodeRecordV2> rec_small = ReadNodeRecordV2(&pool, p_small);
+  ASSERT_TRUE(rec_small.ok()) << rec_small.status().ToString();
+  EXPECT_TRUE(rec_small.value().zero_copy());
+  EXPECT_EQ(std::memcmp(rec_small.value().body(), small.data(), small.size()),
+            0);
+
+  // Mapped mode serves multi-page records zero-copy too.
+  StatusOr<NodeRecordV2> rec_large = ReadNodeRecordV2(&pool, p_large);
+  ASSERT_TRUE(rec_large.ok()) << rec_large.status().ToString();
+  EXPECT_TRUE(rec_large.value().zero_copy());
+  EXPECT_EQ(std::memcmp(rec_large.value().body(), large.data(), large.size()),
+            0);
+
+  EXPECT_GT(pager->io_stats().mapped_reads(), mapped_before);
+}
+
+TEST(NodeCodecV2Test, ChecksumLedgerVerifiesFirstTouchOnly) {
+  TempFile file("codec_v2_ledger");
+  auto pager = Pager::Create(file.path()).value();
+  BufferPool pool(pager.get(), 1u << 20);
+  std::vector<uint8_t> body = {4, 5, 6, 7};
+  const PageId page = AppendRecord(&pool, true, 2, body);
+
+  // Corruption present before the first ledgered read is always caught.
+  ChecksumLedger cold;
+  {
+    std::vector<uint8_t> bad(pager->page_size());
+    ASSERT_TRUE(pager->ReadPage(page, bad.data()).ok());
+    bad[kNodeHeaderBytesV2 + 1] ^= 0x40;
+    ASSERT_TRUE(pager->WritePage(page, bad.data()).ok());
+    ASSERT_TRUE(pool.InvalidateAll().ok());
+    EXPECT_EQ(ReadNodeRecordV2(&pool, page, &cold).status().code(),
+              StatusCode::kCorruption);
+    bad[kNodeHeaderBytesV2 + 1] ^= 0x40;  // restore
+    ASSERT_TRUE(pager->WritePage(page, bad.data()).ok());
+    ASSERT_TRUE(pool.InvalidateAll().ok());
+  }
+
+  // A clean first read marks the record; later reads skip the re-hash.
+  // That is the contract the trees rely on: v2 records are write-once, so
+  // one clean verification per ledger lifetime is enough — a byte flipped
+  // *after* that read is deliberately not re-detected through the same
+  // ledger (an unledgered read still hashes every time and catches it).
+  ChecksumLedger ledger;
+  ASSERT_TRUE(ReadNodeRecordV2(&pool, page, &ledger).ok());
+  std::vector<uint8_t> flipped(pager->page_size());
+  ASSERT_TRUE(pager->ReadPage(page, flipped.data()).ok());
+  flipped[kNodeHeaderBytesV2 + 1] ^= 0x40;
+  ASSERT_TRUE(pager->WritePage(page, flipped.data()).ok());
+  ASSERT_TRUE(pool.InvalidateAll().ok());
+  EXPECT_TRUE(ReadNodeRecordV2(&pool, page, &ledger).ok());
+  EXPECT_EQ(ReadNodeRecordV2(&pool, page).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(NodeCodecV2Test, ReadRejectsPagePastEndOfFile) {
+  TempFile file("codec_v2_oor");
+  auto pager = Pager::Create(file.path()).value();
+  BufferPool pool(pager.get(), 1u << 20);
+  AppendRecord(&pool, true, 1, {1});
+  StatusOr<NodeRecordV2> record = ReadNodeRecordV2(&pool, 40);
+  EXPECT_EQ(record.status().code(), StatusCode::kCorruption);
+}
+
+// Writes `record` bytes over the pages starting at `page` and drops cached
+// frames so the next read sees the surgery.
+void OverwriteRecord(Pager* pager, BufferPool* pool, PageId page,
+                     const std::vector<uint8_t>& record) {
+  ASSERT_EQ(record.size() % pager->page_size(), 0u);
+  for (size_t off = 0; off < record.size(); off += pager->page_size()) {
+    ASSERT_TRUE(
+        pager->WritePage(page + off / pager->page_size(), record.data() + off)
+            .ok());
+  }
+  ASSERT_TRUE(pool->InvalidateAll().ok());
+}
+
+class NodeCodecV2CorruptionTest : public ::testing::Test {
+ protected:
+  NodeCodecV2CorruptionTest() : file_("codec_v2_corrupt") {
+    pager_ = Pager::Create(file_.path()).value();
+    pool_ = std::make_unique<BufferPool>(pager_.get(), 1u << 20);
+    body_ = {10, 20, 30, 40, 50};
+    page_ = AppendRecord(pool_.get(), true, 2, body_);
+    EXPECT_TRUE(
+        EncodeNodeRecordV2(true, 2, body_, pager_->page_size(), &record_)
+            .ok());
+  }
+
+  Status ReadBack() {
+    return ReadNodeRecordV2(pool_.get(), page_).status();
+  }
+
+  TempFile file_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  std::vector<uint8_t> body_;
+  std::vector<uint8_t> record_;
+  PageId page_ = 0;
+};
+
+TEST_F(NodeCodecV2CorruptionTest, BadVersionByte) {
+  std::vector<uint8_t> broken = record_;
+  broken[0] = 7;
+  OverwriteRecord(pager_.get(), pool_.get(), page_, broken);
+  const Status status = ReadBack();
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_NE(status.message().find("version"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(NodeCodecV2CorruptionTest, BadKindByte) {
+  std::vector<uint8_t> broken = record_;
+  broken[1] = 9;
+  OverwriteRecord(pager_.get(), pool_.get(), page_, broken);
+  EXPECT_EQ(ReadBack().code(), StatusCode::kCorruption);
+}
+
+TEST_F(NodeCodecV2CorruptionTest, BodyChecksumMismatch) {
+  std::vector<uint8_t> broken = record_;
+  broken[kNodeHeaderBytesV2 + 1] ^= 0xff;  // flip one body byte
+  OverwriteRecord(pager_.get(), pool_.get(), page_, broken);
+  const Status status = ReadBack();
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_NE(status.message().find("checksum"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(NodeCodecV2CorruptionTest, TruncatedRecordExtent) {
+  // body_bytes claims more than the file holds.
+  std::vector<uint8_t> broken = record_;
+  const uint32_t huge = 100 * kDefaultPageSize;
+  std::memcpy(&broken[4], &huge, sizeof(huge));
+  OverwriteRecord(pager_.get(), pool_.get(), page_, broken);
+  const Status status = ReadBack();
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_NE(status.message().find("extends past end"), std::string::npos)
+      << status.ToString();
+}
+
+// Random single-byte flips anywhere in the record must surface as either a
+// clean decode (flips in the padding, or in header bits the checksum does
+// not cover but later validation tolerates) or a Status — never a crash.
+TEST_F(NodeCodecV2CorruptionTest, ByteFlipFuzzNeverCrashes) {
+  std::mt19937 rng(20260808);
+  std::uniform_int_distribution<size_t> pos(0, record_.size() - 1);
+  std::uniform_int_distribution<int> bit(0, 7);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<uint8_t> broken = record_;
+    broken[pos(rng)] ^= static_cast<uint8_t>(1u << bit(rng));
+    OverwriteRecord(pager_.get(), pool_.get(), page_, broken);
+    StatusOr<NodeRecordV2> read = ReadNodeRecordV2(pool_.get(), page_);
+    if (read.ok()) {
+      // Survivable flips must still hand back an in-bounds body.
+      EXPECT_LE(read.value().body_bytes(),
+                read.value().pages() * pager_->page_size());
+    } else {
+      EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wsk

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
 #include <vector>
 
@@ -126,6 +127,128 @@ TEST_P(PagerPageSizeSweep, RoundTripsAtEverySize) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, PagerPageSizeSweep,
                          ::testing::Values(64u, 128u, 512u, 4096u, 16384u));
+
+// Pins the Open() size validation: a file whose length is not a whole
+// number of pages (torn tail write, wrong page_size) must be rejected as
+// Corruption instead of silently truncating to the last full page.
+TEST(PagerTest, OpenRejectsNonPageMultiple) {
+  TempFile file("pager_torn");
+  {
+    auto pager = Pager::Create(file.path()).value();
+    const PageId id = pager->AllocatePages(1);
+    std::vector<uint8_t> page(pager->page_size(), 5);
+    ASSERT_TRUE(pager->WritePage(id, page.data()).ok());
+  }
+  {
+    std::FILE* f = std::fopen(file.path().c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char tail[3] = {1, 2, 3};
+    ASSERT_EQ(std::fwrite(tail, 1, sizeof(tail), f), sizeof(tail));
+    std::fclose(f);
+  }
+  auto pager = Pager::Open(file.path());
+  ASSERT_FALSE(pager.ok());
+  EXPECT_EQ(pager.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(pager.status().message().find("not a multiple"),
+            std::string::npos);
+}
+
+TEST(PagerTest, MappedReadsMatchBufferedReads) {
+  TempFile file("pager_map_eq");
+  auto pager = Pager::Create(file.path()).value();
+  const PageId id = pager->AllocatePages(3);
+  for (uint32_t i = 0; i < 3; ++i) {
+    const auto page = PatternPage(pager->page_size(), static_cast<uint8_t>(i));
+    ASSERT_TRUE(pager->WritePage(id + i, page.data()).ok());
+  }
+  EXPECT_FALSE(pager->mapped());
+  ASSERT_TRUE(pager->EnableMappedReads().ok());
+  EXPECT_TRUE(pager->mapped());
+  // Idempotent.
+  ASSERT_TRUE(pager->EnableMappedReads().ok());
+
+  for (uint32_t i = 0; i < 3; ++i) {
+    auto span = pager->MappedSpan(id + i, pager->page_size());
+    ASSERT_TRUE(span.ok()) << span.status().ToString();
+    const auto want = PatternPage(pager->page_size(), static_cast<uint8_t>(i));
+    EXPECT_EQ(std::memcmp(span.value(), want.data(), want.size()), 0);
+    // ReadPage (the pread path) keeps working under the map and agrees.
+    std::vector<uint8_t> buf(pager->page_size());
+    ASSERT_TRUE(pager->ReadPage(id + i, buf.data()).ok());
+    EXPECT_EQ(buf, want);
+  }
+}
+
+TEST(PagerTest, MappedSpanCountsMappedReadsNotPhysical) {
+  TempFile file("pager_map_io");
+  auto pager = Pager::Create(file.path()).value();
+  const PageId id = pager->AllocatePages(4);
+  std::vector<uint8_t> page(pager->page_size(), 1);
+  ASSERT_TRUE(pager->WritePage(id, page.data()).ok());
+  ASSERT_TRUE(pager->EnableMappedReads().ok());
+  pager->io_stats().Reset();
+
+  ASSERT_TRUE(pager->MappedSpan(0, pager->page_size()).ok());
+  // A span across 3 pages counts 3 mapped reads.
+  ASSERT_TRUE(pager->MappedSpan(1, 3 * pager->page_size()).ok());
+  // record=false peeks without accounting.
+  ASSERT_TRUE(pager->MappedSpan(0, 16, /*record=*/false).ok());
+  EXPECT_EQ(pager->io_stats().mapped_reads(), 4u);
+  EXPECT_EQ(pager->io_stats().physical_reads(), 0u);
+}
+
+TEST(PagerTest, MappedSpanRejectsOutOfRange) {
+  TempFile file("pager_map_oor");
+  auto pager = Pager::Create(file.path()).value();
+  pager->AllocatePages(2);
+  std::vector<uint8_t> page(pager->page_size(), 1);
+  ASSERT_TRUE(pager->WritePage(0, page.data()).ok());
+
+  // Not mapped yet: precondition failure, not a crash.
+  EXPECT_EQ(pager->MappedSpan(0, 8).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(pager->EnableMappedReads().ok());
+  EXPECT_EQ(pager->MappedSpan(2, 8).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(pager->MappedSpan(0, 3 * pager->page_size()).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(pager->MappedSpan(0, 0).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(PagerTest, MappedModeFreezesWrites) {
+  TempFile file("pager_map_frozen");
+  auto pager = Pager::Create(file.path()).value();
+  const PageId id = pager->AllocatePages(1);
+  std::vector<uint8_t> page(pager->page_size(), 1);
+  ASSERT_TRUE(pager->WritePage(id, page.data()).ok());
+  ASSERT_TRUE(pager->EnableMappedReads().ok());
+  EXPECT_EQ(pager->WritePage(id, page.data()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PagerTest, EnableMappedReadsRejectsEmptyFile) {
+  TempFile file("pager_map_empty");
+  auto pager = Pager::Create(file.path()).value();
+  EXPECT_EQ(pager->EnableMappedReads().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(pager->mapped());
+}
+
+// Pages allocated but never written sit past the file's physical end; the
+// map is sized to num_pages, so they must read as zeros, same as ReadPage.
+TEST(PagerTest, MappedSpanOverUnwrittenTailReadsZeros) {
+  TempFile file("pager_map_tail");
+  auto pager = Pager::Create(file.path()).value();
+  const PageId id = pager->AllocatePages(2);
+  std::vector<uint8_t> page(pager->page_size(), 9);
+  ASSERT_TRUE(pager->WritePage(id, page.data()).ok());  // page 1 unwritten
+  ASSERT_TRUE(pager->EnableMappedReads().ok());
+  auto span = pager->MappedSpan(id + 1, pager->page_size());
+  ASSERT_TRUE(span.ok()) << span.status().ToString();
+  for (uint32_t i = 0; i < pager->page_size(); ++i) {
+    ASSERT_EQ(span.value()[i], 0);
+  }
+}
 
 TEST(PagerTest, FaultInjectionHookFiresOnRead) {
   TempFile file("pager_fault");

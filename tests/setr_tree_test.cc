@@ -246,6 +246,140 @@ TEST(SetRTreeTest, CreateRequiresFreshFile) {
   EXPECT_EQ(tree.status().code(), StatusCode::kFailedPrecondition);
 }
 
+TreeBundle BulkLoadV2(const Dataset& dataset, uint32_t capacity = 8) {
+  TreeBundle bundle;
+  bundle.file = std::make_unique<TempFile>("setr_v2");
+  bundle.pager = Pager::Create(bundle.file->path()).value();
+  bundle.pool = std::make_unique<BufferPool>(bundle.pager.get(), 4u << 20);
+  SetRTree::Options options;
+  options.capacity = capacity;
+  options.format = kNodeFormatV2;
+  bundle.tree =
+      SetRTree::BulkLoad(dataset, bundle.pool.get(), options).value();
+  return bundle;
+}
+
+TEST(SetRTreeTest, V2BulkLoadMatchesV1AndShrinksFile) {
+  const Dataset dataset = SmallDataset(300, 17);
+  TreeBundle v1 = BulkLoad(dataset);
+  TreeBundle v2 = BulkLoadV2(dataset);
+  ASSERT_TRUE(v1.tree->Finalize().ok());
+  ASSERT_TRUE(v2.tree->Finalize().ok());
+  EXPECT_EQ(v2.tree->options().format, kNodeFormatV2);
+  EXPECT_EQ(v2.tree->num_objects(), v1.tree->num_objects());
+  EXPECT_EQ(v2.tree->height(), v1.tree->height());
+  // The compact format drops the fixed-slot slack and out-of-line blobs.
+  EXPECT_LT(v2.pager->num_pages(), v1.pager->num_pages());
+
+  SpatialKeywordQuery q;
+  q.loc = Point{0.3, 0.6};
+  q.doc = dataset.object(1).doc;
+  q.k = 10;
+  q.alpha = 0.5;
+  const auto top_v1 = IndexTopK(*v1.tree, q).value();
+  const auto top_v2 = IndexTopK(*v2.tree, q).value();
+  ASSERT_EQ(top_v1.size(), top_v2.size());
+  for (size_t i = 0; i < top_v1.size(); ++i) {
+    EXPECT_EQ(top_v1[i].id, top_v2[i].id);
+    EXPECT_EQ(top_v1[i].score, top_v2[i].score);  // bit-exact
+  }
+}
+
+TEST(SetRTreeTest, V2StatNodeReportsCompactRecords) {
+  const Dataset dataset = SmallDataset(200, 23);
+  TreeBundle v1 = BulkLoad(dataset);
+  TreeBundle v2 = BulkLoadV2(dataset);
+  const NodeStat s1 = v1.tree->StatNode(v1.tree->SearchRoot()).value();
+  const NodeStat s2 = v2.tree->StatNode(v2.tree->SearchRoot()).value();
+  EXPECT_EQ(s1.is_leaf, s2.is_leaf);
+  EXPECT_EQ(s1.entries, s2.entries);
+  EXPECT_GT(s2.record_bytes, 0u);
+  EXPECT_LE(s2.record_pages, s1.record_pages);
+  EXPECT_LE(s2.record_bytes,
+            s2.record_pages * v2.pager->page_size());
+}
+
+TEST(SetRTreeTest, V2IsImmutable) {
+  const Dataset dataset = SmallDataset(60, 29);
+  TreeBundle v2 = BulkLoadV2(dataset);
+  SpatialObject extra;
+  extra.id = 1000;
+  extra.loc = Point{0.5, 0.5};
+  extra.doc = dataset.object(0).doc;
+  EXPECT_EQ(v2.tree->Insert(extra).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(v2.tree->Remove(dataset.object(0).id, dataset.object(0).loc)
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SetRTreeTest, V2ReopenAndMappedReadsServeQueries) {
+  const Dataset dataset = SmallDataset(300, 31);
+  TempFile file("setr_v2_reopen");
+  SpatialKeywordQuery q;
+  q.loc = Point{0.7, 0.2};
+  q.doc = dataset.object(2).doc;
+  q.k = 8;
+  q.alpha = 0.5;
+  std::vector<ScoredObject> want;
+  {
+    auto pager = Pager::Create(file.path()).value();
+    BufferPool pool(pager.get(), 4u << 20);
+    SetRTree::Options options;
+    options.capacity = 8;
+    options.format = kNodeFormatV2;
+    auto tree = SetRTree::BulkLoad(dataset, &pool, options).value();
+    ASSERT_TRUE(tree->Finalize().ok());
+    want = IndexTopK(*tree, q).value();
+  }
+  auto pager = Pager::Open(file.path()).value();
+  BufferPool pool(pager.get(), 4u << 20);
+  auto tree = SetRTree::Open(&pool).value();
+  EXPECT_EQ(tree->options().format, kNodeFormatV2);
+
+  ASSERT_TRUE(pager->EnableMappedReads().ok());
+  pager->io_stats().Reset();
+  const auto got = IndexTopK(*tree, q).value();
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id);
+    EXPECT_EQ(got[i].score, want[i].score);
+  }
+  // Node reads were served from the map, not buffered pread.
+  EXPECT_GT(pager->io_stats().mapped_reads(), 0u);
+  EXPECT_EQ(pager->io_stats().physical_reads(), 0u);
+}
+
+// A v2 node with a flipped body byte must surface as Corruption from the
+// tree read path (checksum), never as UB.
+TEST(SetRTreeTest, V2DetectsCorruptedNode) {
+  const Dataset dataset = SmallDataset(300, 37);
+  TempFile file("setr_v2_corrupt");
+  PageId victim;
+  {
+    auto pager = Pager::Create(file.path()).value();
+    BufferPool pool(pager.get(), 4u << 20);
+    SetRTree::Options options;
+    options.capacity = 8;
+    options.format = kNodeFormatV2;
+    auto tree = SetRTree::BulkLoad(dataset, &pool, options).value();
+    ASSERT_TRUE(tree->Finalize().ok());
+    victim = tree->SearchRoot();
+  }
+  {
+    auto pager = Pager::Open(file.path()).value();
+    std::vector<uint8_t> page(pager->page_size());
+    ASSERT_TRUE(pager->ReadPage(victim, page.data()).ok());
+    page[kNodeHeaderBytesV2 + 3] ^= 0x40;
+    ASSERT_TRUE(pager->WritePage(victim, page.data()).ok());
+  }
+  auto pager = Pager::Open(file.path()).value();
+  BufferPool pool(pager.get(), 4u << 20);
+  auto tree = SetRTree::Open(&pool).value();
+  const auto read = tree->ReadDecodedNode(victim, /*use_cache=*/false);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+}
+
 TEST(SetRTreeTest, NodeAccessesAreCountedAsIo) {
   const Dataset dataset = SmallDataset(300, 53);
   TreeBundle bundle = BulkLoad(dataset);

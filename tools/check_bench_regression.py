@@ -25,6 +25,15 @@ Gating policy (docs/PERF.md):
     on, measured back-to-back in one process) are gated the same way on
     --min-cache-speedup (default 2): repeated traversals must be at least
     2x faster with the cache (docs/STORAGE.md "Node cache").
+  * `decode_speedup` counters (full-tree node decode timed v1-buffered vs
+    v2-mapped, back-to-back in one process) are gated the same way on
+    --min-decode-speedup (default 1.3): the compact v2 records served from
+    the mapping must decode at least 1.3x faster than v1 through the
+    buffer pool (docs/STORAGE.md "v2 node format & mmap").
+  * `v2_size_ratio` counters (v2 file bytes / v1 file bytes for the same
+    dataset) are hard-capped at --max-v2-size-ratio (default 0.75): the
+    compact format must stay at least 25%% smaller. The ratio depends only
+    on dataset + format, so it is also drift-gated like avg_io.
   * `trace_overhead` counters (same why-not workload timed with a
     full-capacity TraceRecorder attached / with options.trace = nullptr,
     back-to-back in one process) are hard-capped at --max-trace-overhead
@@ -64,7 +73,7 @@ import argparse
 import json
 import sys
 
-HARD_LOWER_IS_BETTER = ("avg_io", "cand_eval")
+HARD_LOWER_IS_BETTER = ("avg_io", "cand_eval", "v2_size_ratio")
 TIME_METRICS = (
     "ns_per_op",
     "avg_ms",
@@ -74,6 +83,9 @@ TIME_METRICS = (
     "cache_off_ns",
     "untraced_ms",
     "traced_ms",
+    "v1_decode_ns",
+    "v2_decode_ns",
+    "v2_mmap_decode_ns",
 )
 
 
@@ -114,6 +126,18 @@ def main():
         type=float,
         default=2.0,
         help="absolute floor for every `cache_speedup` counter (default 2)",
+    )
+    parser.add_argument(
+        "--min-decode-speedup",
+        type=float,
+        default=1.3,
+        help="absolute floor for every `decode_speedup` counter (default 1.3)",
+    )
+    parser.add_argument(
+        "--max-v2-size-ratio",
+        type=float,
+        default=0.75,
+        help="absolute cap for every `v2_size_ratio` counter (default 0.75)",
     )
     parser.add_argument(
         "--max-trace-overhead",
@@ -165,12 +189,12 @@ def main():
                 failures.append(f"{name}: counter `{metric}` disappeared")
                 continue
             cur_val = cur_vals[metric]
-            if metric in ("speedup", "cache_speedup"):
-                min_ratio = (
-                    args.min_speedup
-                    if metric == "speedup"
-                    else args.min_cache_speedup
-                )
+            if metric in ("speedup", "cache_speedup", "decode_speedup"):
+                min_ratio = {
+                    "speedup": args.min_speedup,
+                    "cache_speedup": args.min_cache_speedup,
+                    "decode_speedup": args.min_decode_speedup,
+                }[metric]
                 floor = base_val / (1.0 + args.tolerance)
                 if cur_val < min_ratio:
                     failures.append(
@@ -208,6 +232,27 @@ def main():
             failures.append(
                 f"{name}: trace_overhead {overhead:.2f}x exceeds the cap "
                 f"{args.max_trace_overhead:.2f}x (tracing must stay cheap)"
+            )
+
+    # The v2 node format's two acceptance properties are absolute facts of
+    # the current build, capped/floored for every benchmark that reports
+    # them even before the baseline file has caught up (docs/STORAGE.md
+    # "v2 node format & mmap").
+    for name, bench in sorted(cur.items()):
+        vals = metric_values(bench)
+        decode = vals.get("decode_speedup")
+        if decode is not None and decode < args.min_decode_speedup:
+            failures.append(
+                f"{name}: decode_speedup {decode:.2f}x below the absolute "
+                f"floor {args.min_decode_speedup:.2f}x (v2+mmap must beat "
+                "v1 decode)"
+            )
+        ratio = vals.get("v2_size_ratio")
+        if ratio is not None and ratio > args.max_v2_size_ratio:
+            failures.append(
+                f"{name}: v2_size_ratio {ratio:.3f} exceeds the cap "
+                f"{args.max_v2_size_ratio:.2f} (v2 must stay at least "
+                f"{1 - args.max_v2_size_ratio:.0%} smaller than v1)"
             )
 
     # Cross-shard bound pruning must actually fire: on the clustered

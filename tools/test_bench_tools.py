@@ -55,6 +55,10 @@ p99_ms=65.536 qps=3.0017k
 service/batch/n:8/iterations:1  109 ms  0.9 ms  1 \
 batch_speedup=1.2 decode_amortization=1.83 dedup=23 p50_ms=32.768 \
 p99_ms=65.536 qps=3.91831k
+node_decode/all/iterations:1  114 ms  114 ms  1 decode_speedup=1.89 \
+v1_bytes=1.71622M v1_decode_ns=2.23759M v2_bytes=602.112k \
+v2_decode_ns=1.3317M v2_mapped_reads=12.226k v2_mmap_decode_ns=1.18395M \
+v2_physical_reads=0 v2_size_ratio=0.35
 """
 
 JSON_SAMPLE = {
@@ -119,6 +123,22 @@ JSON_SAMPLE = {
                 "batch_speedup": 1.2,
                 "decode_amortization": 1.83,
                 "dedup": 23.0,
+            },
+        },
+        {
+            "name": "node_decode/all/iterations:1",
+            "iterations": 1,
+            "ns_per_op": 1.14e8,
+            "counters": {
+                "v1_decode_ns": 2237590.0,
+                "v2_decode_ns": 1331700.0,
+                "v2_mmap_decode_ns": 1183950.0,
+                "decode_speedup": 1.89,
+                "v1_bytes": 1716220.0,
+                "v2_bytes": 602112.0,
+                "v2_size_ratio": 0.35,
+                "v2_mapped_reads": 12226.0,
+                "v2_physical_reads": 0.0,
             },
         },
     ],
@@ -252,6 +272,25 @@ class BenchToCsvTest(unittest.TestCase):
             float(eight[header.index("decode_amortization")]), 1.83)
         self.assertEqual(float(eight[header.index("dedup")]), 23.0)
 
+    def test_emits_node_format_csv(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = os.path.join(tmp, "bench_output.txt")
+            with open(src, "w") as f:
+                f.write(CONSOLE_SAMPLE)
+            out_dir = os.path.join(tmp, "csv")
+            run_tool("bench_to_csv.py", src, out_dir)
+            with open(os.path.join(out_dir, "node_format.csv")) as f:
+                table = list(csv.reader(f))
+        header, row = table[0], table[1]
+        self.assertEqual(header, ["scope", "v1_decode_ns", "v2_decode_ns",
+                                  "v2_mmap_decode_ns", "decode_speedup",
+                                  "v1_bytes", "v2_bytes", "v2_size_ratio",
+                                  "v2_mapped_reads", "v2_physical_reads"])
+        self.assertEqual(row[0], "all")
+        self.assertEqual(float(row[header.index("decode_speedup")]), 1.89)
+        self.assertEqual(float(row[header.index("v2_size_ratio")]), 0.35)
+        self.assertEqual(float(row[header.index("v2_bytes")]), 602112.0)
+
     def test_json_input_produces_same_table(self):
         with tempfile.TemporaryDirectory() as tmp:
             src = os.path.join(tmp, "bench.json")
@@ -320,6 +359,20 @@ class BenchToMarkdownTest(unittest.TestCase):
         # Ratios render with two decimals, dedup as an integer count.
         self.assertIn("| 1 | 3,002 | 65.5 | 65.5 | 1.00 | 1.00 | 0 |", out)
         self.assertIn("| 8 | 3,918 | 32.8 | 65.5 | 1.20 | 1.83 | 23 |", out)
+
+    def test_renders_node_format_table(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = os.path.join(tmp, "bench_output.txt")
+            with open(src, "w") as f:
+                f.write(CONSOLE_SAMPLE)
+            out = run_tool("bench_to_markdown.py", src).stdout
+        self.assertIn("### node format: v1 vs v2 (full-tree decode)", out)
+        self.assertIn("| scope | v1_decode_ns | v2_decode_ns |"
+                      " v2_mmap_decode_ns | decode_speedup | v1_bytes |"
+                      " v2_bytes | v2_size_ratio |", out)
+        # Ratios render with two decimals, the rest as counts.
+        self.assertIn("| all | 2,237,590 | 1,331,700 | 1,183,950 | 1.89 |"
+                      " 1,716,220 | 602,112 | 0.35 |", out)
 
     def test_json_service_rows_render(self):
         with tempfile.TemporaryDirectory() as tmp:
@@ -419,6 +472,38 @@ class BatchSpeedupGateTest(unittest.TestCase):
         # The 1.5x promise is made at batch size 8 (docs/BATCHING.md);
         # shallow batches amortize less and are not gated.
         self._check(1.0, 1.1, expect_rc=0, batch_n=4)
+
+
+class NodeFormatGateTest(unittest.TestCase):
+    """decode_speedup is floored and v2_size_ratio capped absolutely on
+    the current run (docs/STORAGE.md "v2 node format & mmap"), like the
+    trace-overhead cap."""
+
+    def _check(self, speedup, size_ratio, expect_rc):
+        sample = json.loads(json.dumps(JSON_SAMPLE))
+        decode_bench = sample["benchmarks"][5]
+        assert decode_bench["name"].startswith("node_decode/")
+        decode_bench["counters"]["decode_speedup"] = speedup
+        decode_bench["counters"]["v2_size_ratio"] = size_ratio
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "micro.json")
+            with open(path, "w") as f:
+                json.dump(sample, f)
+            return run_tool(
+                "check_bench_regression.py", path, path,
+                expect_rc=expect_rc,
+            )
+
+    def test_healthy_format_passes(self):
+        self._check(1.89, 0.35, expect_rc=0)
+
+    def test_decode_speedup_below_floor_fails(self):
+        proc = self._check(1.1, 0.35, expect_rc=1)
+        self.assertIn("decode_speedup", proc.stdout)
+
+    def test_size_ratio_above_cap_fails(self):
+        proc = self._check(1.89, 0.85, expect_rc=1)
+        self.assertIn("v2_size_ratio", proc.stdout)
 
 
 if __name__ == "__main__":

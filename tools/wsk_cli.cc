@@ -37,6 +37,14 @@
 //       collection window (--batch-window-ms, default 0.25) and answers
 //       each batch with one shared index traversal (docs/BATCHING.md);
 //       the report gains batch occupancy / amortization counters.
+//   inspect   (--data FILE [--format v1|v2] [--capacity N] [--mmap]
+//              | --index FILE [--mmap])
+//       Print layout facts of the index files: node format version,
+//       height, object/node counts, file size, and a per-level
+//       node/entry/byte histogram (docs/STORAGE.md "v2 node format &
+//       mmap"). --data builds both trees from a CSV dataset; --index
+//       opens one existing finalized index file (the tree kind is
+//       detected from the meta page magic).
 //   live      --data FILE (--queries FILE | --random N) [--mutations M]
 //             [--delta CAP] [--no-merge] [--workers W] [--cache N]
 //             [--seed S]
@@ -132,7 +140,8 @@ class Args {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: wsk_cli <generate|topk|whynot|explain|trace|statsz|serve|live> "
+      "usage: wsk_cli "
+      "<generate|topk|whynot|explain|trace|statsz|serve|live|inspect> "
       "[--flags]\n"
       "see the header of tools/wsk_cli.cc for details\n");
   return 2;
@@ -788,6 +797,125 @@ int Statsz(const Args& args) {
   return all_ok ? 0 : 1;
 }
 
+// Walks one tree breadth-first and prints the per-level layout histogram
+// from StatNode (structure only, no payload materialization).
+template <typename Tree>
+int InspectTree(const char* label, const Tree& tree, const Pager& pager) {
+  std::printf("%s: format v%u  height %u  objects %llu  capacity %u  "
+              "file %llu pages (%llu bytes)%s\n",
+              label, tree.options().format, tree.height(),
+              static_cast<unsigned long long>(tree.num_objects()),
+              tree.options().capacity,
+              static_cast<unsigned long long>(pager.num_pages()),
+              static_cast<unsigned long long>(
+                  static_cast<uint64_t>(pager.num_pages()) *
+                  pager.page_size()),
+              pager.mapped() ? "  [mmap]" : "");
+  std::vector<PageId> frontier;
+  if (tree.height() > 0) frontier.push_back(tree.SearchRoot());
+  uint64_t total_nodes = 0;
+  uint64_t total_bytes = 0;
+  uint64_t total_pages = 0;
+  for (uint32_t level = tree.height(); level >= 1 && !frontier.empty();
+       --level) {
+    uint64_t nodes = 0, entries = 0, bytes = 0, pages = 0;
+    std::vector<PageId> next;
+    for (PageId page : frontier) {
+      const auto stat = tree.StatNode(page);
+      if (!stat.ok()) return Fail(stat.status());
+      ++nodes;
+      entries += stat.value().entries;
+      bytes += stat.value().record_bytes;
+      pages += stat.value().record_pages;
+      if (!stat.value().is_leaf) {
+        const auto node = tree.ReadNode(page);
+        if (!node.ok()) return Fail(node.status());
+        for (const auto& e : node.value().inner_entries) {
+          next.push_back(e.child);
+        }
+      }
+    }
+    const char* kind =
+        level == 1 ? " (leaf)" : (level == tree.height() ? " (root)" : "");
+    std::printf("  level %u%-7s %6llu nodes %8llu entries %12llu bytes "
+                "%8llu pages\n",
+                level, kind, static_cast<unsigned long long>(nodes),
+                static_cast<unsigned long long>(entries),
+                static_cast<unsigned long long>(bytes),
+                static_cast<unsigned long long>(pages));
+    total_nodes += nodes;
+    total_bytes += bytes;
+    total_pages += pages;
+    frontier = std::move(next);
+  }
+  std::printf("  total          %6llu nodes %31llu bytes %8llu pages\n",
+              static_cast<unsigned long long>(total_nodes),
+              static_cast<unsigned long long>(total_bytes),
+              static_cast<unsigned long long>(total_pages));
+  return 0;
+}
+
+int Inspect(const Args& args) {
+  const bool mmap_reads = args.Has("mmap");
+  if (const char* index_path = args.Get("index"); index_path != nullptr) {
+    auto pager_or = Pager::Open(index_path);
+    if (!pager_or.ok()) return Fail(pager_or.status());
+    auto pager = std::move(pager_or).value();
+    // The meta page leads with the tree magic ("WKRS" / "WKRC" LE).
+    std::vector<uint8_t> page0(pager->page_size());
+    const Status head = pager->ReadPage(0, page0.data());
+    if (!head.ok()) return Fail(head);
+    uint32_t magic = 0;
+    std::memcpy(&magic, page0.data(), sizeof(magic));
+    if (mmap_reads) {
+      const Status mapped = pager->EnableMappedReads();
+      if (!mapped.ok()) return Fail(mapped);
+    }
+    BufferPool pool(pager.get(), 4u << 20);
+    if (magic == 0x53524b57) {  // "WKRS": SetR-tree
+      auto tree = SetRTree::Open(&pool);
+      if (!tree.ok()) return Fail(tree.status());
+      return InspectTree("setr", *tree.value(), *pager);
+    }
+    if (magic == 0x43524b57) {  // "WKRC": KcR-tree
+      auto tree = KcrTree::Open(&pool);
+      if (!tree.ok()) return Fail(tree.status());
+      return InspectTree("kcr", *tree.value(), *pager);
+    }
+    std::fprintf(stderr, "%s: unrecognized index magic 0x%08x\n", index_path,
+                 magic);
+    return 1;
+  }
+
+  std::unique_ptr<Dataset> dataset = LoadData(args);
+  if (dataset == nullptr) return 1;
+  uint8_t format = kNodeFormatV2;
+  if (const char* fmt = args.Get("format"); fmt != nullptr) {
+    if (std::strcmp(fmt, "v1") == 0) {
+      format = kNodeFormatV1;
+    } else if (std::strcmp(fmt, "v2") == 0) {
+      format = kNodeFormatV2;
+    } else {
+      std::fprintf(stderr, "--format must be v1 or v2\n");
+      return 2;
+    }
+  }
+  WhyNotEngine::Config config;
+  config.node_capacity =
+      static_cast<uint32_t>(args.GetLong("capacity", config.node_capacity));
+  config.node_format = format;
+  config.mmap_reads = mmap_reads;
+  auto engine_or = WhyNotEngine::Build(dataset.get(), config);
+  if (!engine_or.ok()) return Fail(engine_or.status());
+  auto engine = std::move(engine_or).value();
+  std::printf("dataset: %zu objects, %u terms\n", dataset->size(),
+              dataset->vocabulary().num_terms());
+  const int setr_rc =
+      InspectTree("setr", engine->setr_tree(), engine->setr_pager());
+  if (setr_rc != 0) return setr_rc;
+  return InspectTree("kcr", engine->kcr_tree(), engine->kcr_pager());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -803,5 +931,6 @@ int main(int argc, char** argv) {
   if (command == "statsz") return Statsz(args);
   if (command == "serve") return Serve(args);
   if (command == "live") return Live(args);
+  if (command == "inspect") return Inspect(args);
   return Usage();
 }
