@@ -62,6 +62,13 @@ struct SegmentCountersSnapshot {
   uint64_t frozen_segments = 0;  // gauge
   uint64_t delta_objects = 0;    // gauge (active + sealed deltas)
   uint64_t live_objects = 0;     // gauge
+  // Background-merge visibility (docs/OBSERVABILITY.md "Continuous
+  // telemetry"): total wall time the merge worker spent in completed
+  // passes, the duration of the most recent pass, and how many post-
+  // watermark tombstones swaps replayed onto fresh segments.
+  uint64_t merge_busy_us = 0;
+  uint64_t merge_last_us = 0;        // gauge
+  uint64_t tombstones_replayed = 0;
 };
 
 // Scatter-gather counters for sharded backends; `valid` is false on
@@ -72,6 +79,7 @@ struct ShardCountersSnapshot {
   uint64_t queries = 0;          // scatter-gather top-k invocations
   uint64_t shards_visited = 0;   // shard top-k calls actually executed
   uint64_t shards_pruned = 0;    // shards skipped by the MaxScore bound
+  uint64_t scatter_busy_us = 0;  // wall time inside scatter-gather top-k
   std::vector<uint64_t> per_shard_visited;
   std::vector<uint64_t> per_shard_pruned;
   std::vector<uint64_t> per_shard_mutations;

@@ -1,0 +1,60 @@
+// Shared latency-bucket math for every histogram in the system.
+//
+// Both the cumulative LatencyHistogram (service/metrics.h) and the rolling
+// per-second windows (observability/telemetry.h) bin samples into the same
+// 30 exponential buckets — bucket i covers (2^(i-1), 2^i] microseconds,
+// spanning 1 us .. ~17 min — and read quantiles from the bucket boundaries.
+// Keeping the bucket index, boundary, and quantile computations here means
+// a windowed p99 and a cumulative p99 can never disagree on what a bucket
+// means (the duplication this file replaced was the bug surface).
+#ifndef WSK_OBSERVABILITY_HISTOGRAM_H_
+#define WSK_OBSERVABILITY_HISTOGRAM_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace wsk {
+
+inline constexpr size_t kLatencyBuckets = 30;
+
+// Upper bound of bucket `i` in milliseconds.
+inline double LatencyBucketBoundMs(size_t i) {
+  return static_cast<double>(uint64_t{1} << i) / 1000.0;
+}
+
+// Bucket index for one sample. Negatives and NaN land in the first bucket.
+inline size_t LatencyBucketIndex(double ms) {
+  if (!(ms > 0.0)) return 0;
+  const double us = ms * 1000.0;
+  if (us <= 1.0) return 0;
+  const uint64_t ceil_us = static_cast<uint64_t>(std::ceil(us));
+  size_t bucket = 0;
+  uint64_t bound = 1;
+  while (bound < ceil_us && bucket + 1 < kLatencyBuckets) {
+    bound <<= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+// Smallest bucket bound (ms) below which at least fraction `q` of the
+// `total` samples in `counts` fall. `total` must equal the sum of counts;
+// returns 0 when there are no samples. Resolution is a factor of two —
+// ample for p50/p95/p99 tail reporting.
+inline double LatencyQuantileMs(const uint64_t counts[kLatencyBuckets],
+                                uint64_t total, double q) {
+  if (total == 0) return 0.0;
+  const uint64_t want =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kLatencyBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= want) return LatencyBucketBoundMs(i);
+  }
+  return LatencyBucketBoundMs(kLatencyBuckets - 1);
+}
+
+}  // namespace wsk
+
+#endif  // WSK_OBSERVABILITY_HISTOGRAM_H_

@@ -147,13 +147,15 @@ std::vector<TraceEvent> TraceRecorder::Events() const {
           events_.begin() + static_cast<ptrdiff_t>(num_events())};
 }
 
-std::string TraceRecorder::ToChromeTraceJson() const {
+std::string ChromeTraceJsonFromEvents(
+    const std::vector<TraceEvent>& events,
+    const uint64_t (&counters)[kNumTraceCounters], uint64_t dropped_events) {
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   char buf[192];
   bool first = true;
-  const size_t n = num_events();
+  const size_t n = events.size();
   for (size_t i = 0; i < n; ++i) {
-    const TraceEvent& e = events_[i];
+    const TraceEvent& e = events[i];
     if (!first) out += ",";
     first = false;
     std::snprintf(buf, sizeof(buf),
@@ -187,7 +189,7 @@ std::string TraceRecorder::ToChromeTraceJson() const {
   // clock) so exporting the same recorder twice yields identical bytes.
   uint64_t counters_ts = 0;
   for (size_t i = 0; i < n; ++i) {
-    const uint64_t end = events_[i].start_us + events_[i].dur_us;
+    const uint64_t end = events[i].start_us + events[i].dur_us;
     if (end > counters_ts) counters_ts = end;
   }
   if (!first) out += ",";
@@ -198,16 +200,23 @@ std::string TraceRecorder::ToChromeTraceJson() const {
   out += ",\"pid\":1,\"tid\":0,\"args\":{";
   for (size_t i = 0; i < kNumTraceCounters; ++i) {
     if (i > 0) out += ",";
-    std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64,
-                  kCounterNames[i],
-                  counters_[i].load(std::memory_order_relaxed));
+    std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64, kCounterNames[i],
+                  counters[i]);
     out += buf;
   }
   std::snprintf(buf, sizeof(buf), ",\"dropped_events\":%" PRIu64,
-                dropped_events());
+                dropped_events);
   out += buf;
   out += "}}]}";
   return out;
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  uint64_t counters[kNumTraceCounters];
+  for (size_t i = 0; i < kNumTraceCounters; ++i) {
+    counters[i] = counters_[i].load(std::memory_order_relaxed);
+  }
+  return ChromeTraceJsonFromEvents(Events(), counters, dropped_events());
 }
 
 Status TraceRecorder::WriteChromeTrace(const std::string& path) const {

@@ -96,6 +96,15 @@ struct TraceEvent {
   std::string detail;     // optional annotation text
 };
 
+// Chrome trace-event JSON ({"traceEvents": [...]}) over an event list plus
+// the counter table (appended as one trailing instant event, stamped at the
+// end of the last stored event so identical inputs serialize to identical
+// bytes). Shared by TraceRecorder::ToChromeTraceJson and the telemetry
+// layer's retained QueryProfile exports.
+std::string ChromeTraceJsonFromEvents(const std::vector<TraceEvent>& events,
+                                      const uint64_t (&counters)[kNumTraceCounters],
+                                      uint64_t dropped_events);
+
 class TraceRecorder {
  public:
   static constexpr size_t kDefaultEventCapacity = 1 << 14;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "common/timer.h"
 
 namespace wsk {
 
@@ -224,6 +225,14 @@ Status SegmentManager::ForceMerge() {
 }
 
 void SegmentManager::RunMerge() {
+  // One pass = rotate + build + swap; the busy-time counters make merge
+  // stalls attributable from the service's wsk_bg_* metrics.
+  const Timer merge_timer;
+  const auto account_pass = [&] {
+    const uint64_t us = static_cast<uint64_t>(merge_timer.ElapsedMicros());
+    merge_busy_us_.fetch_add(us, std::memory_order_relaxed);
+    merge_last_us_.store(us, std::memory_order_relaxed);
+  };
   std::vector<std::shared_ptr<FrozenSegment>> in_frozen;
   std::vector<std::shared_ptr<DeltaSegment>> in_sealed;
   uint64_t watermark = 0;
@@ -277,6 +286,7 @@ void SegmentManager::RunMerge() {
       // Failed merges leave the published view untouched; the inputs stay
       // live and a later merge retries.
       std::lock_guard<std::mutex> lock(writer_mu_);
+      account_pass();
       merge_running_ = false;
       merge_pending_ = false;
       merge_cv_.notify_all();
@@ -296,12 +306,14 @@ void SegmentManager::RunMerge() {
     // such object was visible at the watermark (its predecessor versions
     // were already dead), so it is present in the merged table.
     if (merged != nullptr) {
+      uint64_t replayed = 0;
       for (const auto& frozen : in_frozen) {
         const std::vector<SpatialObject>& table = frozen->objects();
         for (uint32_t i = 0; i < table.size(); ++i) {
           const uint64_t del = frozen->shadow_seq(i);
           if (del > watermark) {
             WSK_CHECK(merged->Shadow(table[i].id, del));
+            ++replayed;
           }
         }
       }
@@ -313,9 +325,11 @@ void SegmentManager::RunMerge() {
           if (del > watermark) {
             WSK_CHECK(e.add_seq <= watermark);
             WSK_CHECK(merged->Shadow(e.object.id, del));
+            ++replayed;
           }
         }
       }
+      tombstones_replayed_.fetch_add(replayed, std::memory_order_relaxed);
     }
     auto next = std::make_shared<SegmentView>();
     if (merged != nullptr) next->frozen.push_back(std::move(merged));
@@ -335,6 +349,7 @@ void SegmentManager::RunMerge() {
       current_ = std::move(next);
     }
     merges_.fetch_add(1, std::memory_order_relaxed);
+    account_pass();
     // Drop the merge's own input references before signaling completion:
     // with no snapshots outstanding, ForceMerge callers then observe the
     // inputs fully retired (node-cache entries erased, I/O folded), not
@@ -363,6 +378,10 @@ SegmentCountersSnapshot SegmentManager::counters() const {
   snap.rotations = rotations_.load(std::memory_order_relaxed);
   snap.segments_retired =
       retired_.segments_retired.load(std::memory_order_relaxed);
+  snap.merge_busy_us = merge_busy_us_.load(std::memory_order_relaxed);
+  snap.merge_last_us = merge_last_us_.load(std::memory_order_relaxed);
+  snap.tombstones_replayed =
+      tombstones_replayed_.load(std::memory_order_relaxed);
   const Snapshot s = GetSnapshot();
   snap.frozen_segments = s.view->frozen.size();
   uint64_t delta_objects = s.view->active->size();

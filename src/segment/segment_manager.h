@@ -175,6 +175,12 @@ class SegmentManager {
   std::atomic<uint64_t> deletes_{0};
   std::atomic<uint64_t> merges_{0};
   std::atomic<uint64_t> rotations_{0};
+  // Merge-pass telemetry: cumulative busy wall time, the last pass's
+  // duration, and post-watermark tombstones replayed at swaps
+  // (SegmentCountersSnapshot, docs/OBSERVABILITY.md).
+  std::atomic<uint64_t> merge_busy_us_{0};
+  std::atomic<uint64_t> merge_last_us_{0};
+  std::atomic<uint64_t> tombstones_replayed_{0};
   RetiredIoAccumulator retired_;
 };
 

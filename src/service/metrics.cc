@@ -21,23 +21,10 @@ std::string PrometheusName(const std::string& name) {
 
 }  // namespace
 
-size_t LatencyHistogram::BucketFor(double ms) {
-  if (!(ms > 0.0)) return 0;  // negatives and NaN land in the first bucket
-  const double us = ms * 1000.0;
-  if (us <= 1.0) return 0;
-  // Bucket i covers (2^(i-1), 2^i] us.
-  const uint64_t ceil_us = static_cast<uint64_t>(std::ceil(us));
-  size_t bucket = 0;
-  uint64_t bound = 1;
-  while (bound < ceil_us && bucket + 1 < kNumBuckets) {
-    bound <<= 1;
-    ++bucket;
-  }
-  return bucket;
-}
+size_t LatencyHistogram::BucketFor(double ms) { return LatencyBucketIndex(ms); }
 
 double LatencyHistogram::BucketBoundMs(size_t i) {
-  return static_cast<double>(uint64_t{1} << i) / 1000.0;
+  return LatencyBucketBoundMs(i);
 }
 
 void LatencyHistogram::Record(double ms) {
@@ -68,21 +55,9 @@ LatencyHistogram::Snapshot LatencyHistogram::TakeSnapshot() const {
   for (size_t i = 0; i < kNumBuckets; ++i) snap.bucket_counts[i] = counts[i];
   if (total == 0) return snap;
   snap.mean_ms = snap.sum_ms / static_cast<double>(total);
-
-  const auto percentile = [&](double q) {
-    // Smallest bucket bound below which at least q of the samples fall.
-    const uint64_t want = static_cast<uint64_t>(
-        std::ceil(q * static_cast<double>(total)));
-    uint64_t seen = 0;
-    for (size_t i = 0; i < kNumBuckets; ++i) {
-      seen += counts[i];
-      if (seen >= want) return BucketBoundMs(i);
-    }
-    return BucketBoundMs(kNumBuckets - 1);
-  };
-  snap.p50_ms = percentile(0.50);
-  snap.p95_ms = percentile(0.95);
-  snap.p99_ms = percentile(0.99);
+  snap.p50_ms = LatencyQuantileMs(counts, total, 0.50);
+  snap.p95_ms = LatencyQuantileMs(counts, total, 0.95);
+  snap.p99_ms = LatencyQuantileMs(counts, total, 0.99);
   snap.max_ms = max_ms_.load(std::memory_order_relaxed);
   return snap;
 }
@@ -128,6 +103,7 @@ std::string MetricsRegistry::PrometheusText() const {
   char line[256];
   for (const auto& [name, counter] : counters_) {
     const std::string pname = PrometheusName(name) + "_total";
+    out += "# HELP " + pname + " Cumulative count of " + name + " events.\n";
     out += "# TYPE " + pname + " counter\n";
     std::snprintf(line, sizeof(line), "%s %llu\n", pname.c_str(),
                   static_cast<unsigned long long>(counter->value()));
@@ -136,6 +112,8 @@ std::string MetricsRegistry::PrometheusText() const {
   for (const auto& [name, histogram] : histograms_) {
     const LatencyHistogram::Snapshot s = histogram->TakeSnapshot();
     const std::string pname = PrometheusName(name);
+    out += "# HELP " + pname + " Distribution of " + name +
+           " samples (seconds).\n";
     out += "# TYPE " + pname + " histogram\n";
     uint64_t cumulative = 0;
     for (size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
@@ -156,6 +134,8 @@ std::string MetricsRegistry::PrometheusText() const {
     std::snprintf(line, sizeof(line), "%s_count %llu\n", pname.c_str(),
                   static_cast<unsigned long long>(s.count));
     out += line;
+    out += "# HELP " + pname + "_max Largest observed " + name +
+           " sample (seconds).\n";
     out += "# TYPE " + pname + "_max gauge\n";
     std::snprintf(line, sizeof(line), "%s_max %.9g\n", pname.c_str(),
                   s.max_ms / 1000.0);

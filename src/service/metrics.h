@@ -18,6 +18,8 @@
 #include <mutex>
 #include <string>
 
+#include "observability/histogram.h"
+
 namespace wsk {
 
 // A monotone event counter. Writers never contend on anything but the
@@ -37,10 +39,12 @@ class Counter {
 // in (2^(i-1), 2^i] microseconds, covering 1 us .. ~17 min. Percentiles
 // are read from the bucket boundaries, so their resolution is a factor of
 // two — ample for p50/p95/p99 tail reporting, and in exchange Record() is
-// two relaxed fetch_adds and a handful of bit operations.
+// two relaxed fetch_adds and a handful of bit operations. The bucket and
+// quantile math lives in observability/histogram.h, shared with the rolling
+// telemetry windows so windowed and cumulative quantiles can never diverge.
 class LatencyHistogram {
  public:
-  static constexpr size_t kNumBuckets = 30;
+  static constexpr size_t kNumBuckets = kLatencyBuckets;
 
   struct Snapshot {
     uint64_t count = 0;

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 
 #include "common/macros.h"
 #include "common/timer.h"
+#include "common/version.h"
 
 namespace wsk {
 
@@ -48,7 +50,10 @@ QueryService::QueryService(const QueryBackend* backend,
       batch_dedup_(metrics_.counter("batch.dedup")),
       batch_fallback_solo_(metrics_.counter("batch.fallback_solo")),
       batch_occupancy_(metrics_.histogram("batch.occupancy")),
-      batch_window_wait_(metrics_.histogram("batch.window_wait.ms")) {
+      batch_window_wait_(metrics_.histogram("batch.window_wait.ms")),
+      trace_dropped_(metrics_.counter("trace.dropped_events")),
+      bg_collector_dispatches_(metrics_.counter("bg.collector.dispatches")),
+      bg_collector_exec_(metrics_.histogram("bg.collector.exec.ms")) {
   WSK_CHECK_MSG(backend_ != nullptr, "QueryService requires a backend");
   WSK_CHECK_MSG(config_.num_workers >= 1,
                 "QueryService requires at least one worker (got %d)",
@@ -65,6 +70,9 @@ QueryService::QueryService(const QueryBackend* backend,
           std::string("prune.") +
           TraceCounterName(static_cast<TraceCounter>(i)));
     }
+  }
+  if (config_.telemetry.enabled) {
+    telemetry_ = std::make_unique<TelemetryHub>(config_.telemetry);
   }
   pool_ = std::make_unique<ThreadPool>(config_.num_workers, config_.max_queue);
   if (config_.batch_max_size > 1) {
@@ -95,6 +103,7 @@ bool QueryService::Admit() {
       admitted >= static_cast<int64_t>(config_.max_inflight)) {
     inflight_.fetch_sub(1, std::memory_order_relaxed);
     responses_rejected_.Increment();
+    if (telemetry_ != nullptr) telemetry_->ReportShed();
     return false;
   }
   return true;
@@ -132,7 +141,7 @@ QueryService::IoSnapshot QueryService::TakeIoSnapshot() const {
   return backend_->io_snapshot();
 }
 
-void QueryService::AccountIo(const IoSnapshot& before) {
+QueryService::IoDelta QueryService::AccountIo(const IoSnapshot& before) {
   const IoSnapshot after = TakeIoSnapshot();
   io_setr_physical_.Increment(after.setr_physical - before.setr_physical);
   io_kcr_physical_.Increment(after.kcr_physical - before.kcr_physical);
@@ -148,9 +157,21 @@ void QueryService::AccountIo(const IoSnapshot& before) {
                                        before.setr_cache_misses);
   io_kcr_node_cache_misses_.Increment(after.kcr_cache_misses -
                                       before.kcr_cache_misses);
+  IoDelta delta;
+  delta.physical = (after.setr_physical - before.setr_physical) +
+                   (after.kcr_physical - before.kcr_physical);
+  delta.mapped = (after.setr_mapped - before.setr_mapped) +
+                 (after.kcr_mapped - before.kcr_mapped);
+  delta.cache_hits = (after.setr_cache_hits - before.setr_cache_hits) +
+                     (after.kcr_cache_hits - before.kcr_cache_hits);
+  return delta;
 }
 
 void QueryService::AbsorbTrace(const TraceRecorder& trace) {
+  trace_dropped_.Increment(trace.dropped_events());
+  // Stage/prune interning only happens under collect_stage_metrics; a
+  // telemetry-only recorder still accounts its drops above.
+  if (stage_hist_[0] == nullptr) return;
   for (size_t i = 0; i < kNumTraceStages; ++i) {
     if (trace.StageCount(static_cast<TraceStage>(i)) == 0) continue;
     stage_hist_[i]->Record(
@@ -198,6 +219,17 @@ std::future<StatusOr<QueryService::TopKResponse>> QueryService::SubmitTopK(
         response.latency_ms = timer.ElapsedMillis();
         AccountStatus(Status());
         latency_topk_.Record(response.latency_ms);
+        if (telemetry_ != nullptr) {
+          QueryProfile profile;
+          profile.kind = ProfileKind::kTopK;
+          profile.algorithm = "topk";
+          profile.fingerprint = std::hash<std::string>{}(key);
+          profile.status = StatusCodeName(StatusCode::kOk);
+          profile.ok = true;
+          profile.cache_hit = true;
+          profile.wall_ms = response.latency_ms;
+          telemetry_->Report(std::move(profile), nullptr);
+        }
         inflight_.fetch_sub(1, std::memory_order_relaxed);
         promise->set_value(std::move(response));
         return future;
@@ -221,6 +253,20 @@ std::future<StatusOr<QueryService::TopKResponse>> QueryService::SubmitTopK(
                bypass_cache = opts.bypass_cache, timer = Timer()]() {
     StatusOr<TopKResponse> outcome =
         Status::Internal("query task did not produce a result");
+    // Sampling decision up front: every sample_every'th request gets an
+    // event-capacity recorder; the rest get the capacity-0 aggregation
+    // recorder (stage totals and pruning counters, no event buffer).
+    const size_t event_capacity =
+        telemetry_ != nullptr ? telemetry_->NextEventCapacity() : 0;
+    TraceRecorder stage_trace(event_capacity);
+    TraceRecorder* const trace =
+        (config_.collect_stage_metrics || telemetry_ != nullptr)
+            ? &stage_trace
+            : nullptr;
+    bool executed = false;
+    bool cache_hit = false;
+    double exec_ms = 0.0;
+    IoDelta io;
     try {
       outcome = [&]() -> StatusOr<TopKResponse> {
         // Fail fast: a request that was cancelled, or sat in the queue past
@@ -236,6 +282,7 @@ std::future<StatusOr<QueryService::TopKResponse>> QueryService::SubmitTopK(
                   })) {
             response.results = hit->topk;
             response.cache_hit = true;
+            cache_hit = true;
             return response;
           }
           // Captured before the query runs: a mutation racing the
@@ -244,17 +291,15 @@ std::future<StatusOr<QueryService::TopKResponse>> QueryService::SubmitTopK(
           versions = backend_->version_vector();
         }
         const IoSnapshot io_before = TakeIoSnapshot();
-        // Capacity-0 recorder: no event buffer, just stage totals and
-        // pruning counters, folded into the registry after the call.
-        TraceRecorder stage_trace(0);
-        TraceRecorder* const trace =
-            config_.collect_stage_metrics ? &stage_trace : nullptr;
+        const Timer exec_timer;
+        executed = true;
         StatusOr<std::vector<ScoredObject>> results =
             backend_->TopK(query, &token, trace);
+        exec_ms = exec_timer.ElapsedMillis();
         if (trace != nullptr) AbsorbTrace(stage_trace);
         if (!results.ok()) return results.status();
         response.results = std::move(results).value();
-        AccountIo(io_before);
+        io = AccountIo(io_before);
         if (!bypass_cache) {
           auto entry = std::make_shared<ResultCache::Entry>();
           entry->is_whynot = false;
@@ -273,6 +318,21 @@ std::future<StatusOr<QueryService::TopKResponse>> QueryService::SubmitTopK(
     if (outcome.ok()) outcome.value().latency_ms = latency_ms;
     AccountStatus(outcome.status());
     latency_topk_.Record(latency_ms);
+    if (telemetry_ != nullptr) {
+      QueryProfile profile;
+      profile.kind = ProfileKind::kTopK;
+      profile.algorithm = "topk";
+      profile.fingerprint = key.empty() ? 0 : std::hash<std::string>{}(key);
+      profile.status = StatusCodeName(outcome.status().code());
+      profile.ok = outcome.ok();
+      profile.cache_hit = cache_hit;
+      profile.wall_ms = executed ? exec_ms : latency_ms;
+      profile.queue_ms = executed ? std::max(0.0, latency_ms - exec_ms) : 0.0;
+      profile.io_physical = io.physical;
+      profile.io_mapped = io.mapped;
+      profile.io_cache_hits = io.cache_hits;
+      telemetry_->Report(std::move(profile), executed ? trace : nullptr);
+    }
     inflight_.fetch_sub(1, std::memory_order_relaxed);
     promise->set_value(std::move(outcome));
   };
@@ -280,6 +340,7 @@ std::future<StatusOr<QueryService::TopKResponse>> QueryService::SubmitTopK(
   if (!pool_->TrySubmit(std::move(task))) {
     inflight_.fetch_sub(1, std::memory_order_relaxed);
     responses_rejected_.Increment();
+    if (telemetry_ != nullptr) telemetry_->ReportShed();
     promise->set_value(Status::ResourceExhausted(
         "query service overloaded: worker queue full"));
   }
@@ -320,6 +381,7 @@ void QueryService::BatchCollectorLoop() {
     // batches while earlier ones are still walking the index. Submit (not
     // TrySubmit): every request in the batch was already admitted.
     pool_->Submit([this, batch] { ExecuteTopKBatch(std::move(*batch)); });
+    bg_collector_dispatches_.Increment();
     lock.lock();
   }
 }
@@ -363,6 +425,17 @@ void QueryService::ExecuteTopKBatch(std::vector<PendingTopK> batch) {
   bool want_versions = false;
   for (size_t rep : reps) want_versions |= !live[rep].key.empty();
 
+  // The dispatch itself is background work: one sampled batch profile can
+  // cover the shared traversal, while each member request reports its own
+  // completion through FinishBatchedTopK.
+  const size_t event_capacity =
+      telemetry_ != nullptr ? telemetry_->NextEventCapacity() : 0;
+  TraceRecorder stage_trace(event_capacity);
+  TraceRecorder* const trace =
+      (config_.collect_stage_metrics || telemetry_ != nullptr) ? &stage_trace
+                                                               : nullptr;
+  const Timer exec_timer;
+  IoDelta io;
   std::vector<uint64_t> versions;
   std::vector<BackendBatchResult> results;
   try {
@@ -376,12 +449,9 @@ void QueryService::ExecuteTopKBatch(std::vector<PendingTopK> batch) {
       items[g].cancel = &live[reps[g]].token;
     }
     const IoSnapshot io_before = TakeIoSnapshot();
-    TraceRecorder stage_trace(0);
-    TraceRecorder* const trace =
-        config_.collect_stage_metrics ? &stage_trace : nullptr;
     results = backend_->TopKBatch(items, trace);
     if (trace != nullptr) AbsorbTrace(stage_trace);
-    AccountIo(io_before);
+    io = AccountIo(io_before);
   } catch (const std::exception& e) {
     results.assign(reps.size(),
                    BackendBatchResult{Status::Internal(
@@ -396,8 +466,22 @@ void QueryService::ExecuteTopKBatch(std::vector<PendingTopK> batch) {
     results.push_back(BackendBatchResult{
         Status::Internal("backend returned a short batch result"), {}});
   }
+  const double exec_ms = exec_timer.ElapsedMillis();
+  bg_collector_exec_.Record(exec_ms);
   batch_batches_.Increment();
   batch_queries_.Increment(live.size());
+  if (telemetry_ != nullptr) {
+    QueryProfile profile;
+    profile.kind = ProfileKind::kBatch;
+    profile.algorithm = "batch";
+    profile.status = StatusCodeName(StatusCode::kOk);
+    profile.ok = true;
+    profile.wall_ms = exec_ms;
+    profile.io_physical = io.physical;
+    profile.io_mapped = io.mapped;
+    profile.io_cache_hits = io.cache_hits;
+    telemetry_->Report(std::move(profile), trace);
+  }
 
   for (size_t g = 0; g < reps.size(); ++g) {
     BackendBatchResult& r = results[g];
@@ -475,6 +559,20 @@ void QueryService::FinishBatchedTopK(PendingTopK item,
   if (outcome.ok()) outcome.value().latency_ms = latency_ms;
   AccountStatus(outcome.status());
   latency_topk_.Record(latency_ms);
+  if (telemetry_ != nullptr) {
+    // Windows-only completion: the stage breakdown lives in the shared
+    // batch profile, so a batched request reports its end-to-end latency
+    // without a recorder of its own.
+    QueryProfile profile;
+    profile.kind = ProfileKind::kTopK;
+    profile.algorithm = "topk";
+    profile.fingerprint =
+        item.key.empty() ? 0 : std::hash<std::string>{}(item.key);
+    profile.status = StatusCodeName(outcome.status().code());
+    profile.ok = outcome.ok();
+    profile.wall_ms = latency_ms;
+    telemetry_->Report(std::move(profile), nullptr);
+  }
   inflight_.fetch_sub(1, std::memory_order_relaxed);
   item.promise->set_value(std::move(outcome));
 }
@@ -511,6 +609,20 @@ std::future<StatusOr<QueryService::WhyNotResponse>> QueryService::SubmitWhyNot(
                bypass_cache = opts.bypass_cache, timer = Timer()]() {
     StatusOr<WhyNotResponse> outcome =
         Status::Internal("query task did not produce a result");
+    // Install our own recorder unless the client brought one (a client
+    // recorder may span several requests, so it is never folded into the
+    // per-request stage metrics or sampled into a profile).
+    const bool own_trace =
+        (config_.collect_stage_metrics || telemetry_ != nullptr) &&
+        options.trace == nullptr;
+    const size_t event_capacity = own_trace && telemetry_ != nullptr
+                                      ? telemetry_->NextEventCapacity()
+                                      : 0;
+    TraceRecorder stage_trace(event_capacity);
+    bool executed = false;
+    bool cache_hit = false;
+    double exec_ms = 0.0;
+    IoDelta io;
     try {
       outcome = [&]() -> StatusOr<WhyNotResponse> {
         WSK_RETURN_IF_ERROR(token.Check());  // fail fast, as in SubmitTopK
@@ -523,26 +635,24 @@ std::future<StatusOr<QueryService::WhyNotResponse>> QueryService::SubmitWhyNot(
                   })) {
             response.result = hit->whynot;
             response.cache_hit = true;
+            cache_hit = true;
             return response;
           }
           versions = backend_->version_vector();  // before the query runs
         }
         WhyNotOptions effective = options;
         effective.cancel = &token;
-        // Install a capacity-0 recorder unless the client brought their
-        // own (a client recorder may span several requests, so it is
-        // never folded into the per-request stage metrics).
-        TraceRecorder stage_trace(0);
-        const bool own_trace =
-            config_.collect_stage_metrics && effective.trace == nullptr;
         if (own_trace) effective.trace = &stage_trace;
         const IoSnapshot io_before = TakeIoSnapshot();
+        const Timer exec_timer;
+        executed = true;
         StatusOr<WhyNotResult> result =
             backend_->Answer(algorithm, query, missing, effective);
+        exec_ms = exec_timer.ElapsedMillis();
         if (own_trace) AbsorbTrace(stage_trace);
         if (!result.ok()) return result.status();
         response.result = std::move(result).value();
-        AccountIo(io_before);
+        io = AccountIo(io_before);
         if (!bypass_cache) {
           auto entry = std::make_shared<ResultCache::Entry>();
           entry->is_whynot = true;
@@ -562,6 +672,22 @@ std::future<StatusOr<QueryService::WhyNotResponse>> QueryService::SubmitWhyNot(
     if (outcome.ok()) outcome.value().latency_ms = latency_ms;
     AccountStatus(outcome.status());
     latency_whynot_.Record(latency_ms);
+    if (telemetry_ != nullptr) {
+      QueryProfile profile;
+      profile.kind = ProfileKind::kWhyNot;
+      profile.algorithm = WhyNotAlgorithmName(algorithm);
+      profile.fingerprint = key.empty() ? 0 : std::hash<std::string>{}(key);
+      profile.status = StatusCodeName(outcome.status().code());
+      profile.ok = outcome.ok();
+      profile.cache_hit = cache_hit;
+      profile.wall_ms = executed ? exec_ms : latency_ms;
+      profile.queue_ms = executed ? std::max(0.0, latency_ms - exec_ms) : 0.0;
+      profile.io_physical = io.physical;
+      profile.io_mapped = io.mapped;
+      profile.io_cache_hits = io.cache_hits;
+      telemetry_->Report(std::move(profile),
+                         executed && own_trace ? &stage_trace : nullptr);
+    }
     inflight_.fetch_sub(1, std::memory_order_relaxed);
     promise->set_value(std::move(outcome));
   };
@@ -569,6 +695,7 @@ std::future<StatusOr<QueryService::WhyNotResponse>> QueryService::SubmitWhyNot(
   if (!pool_->TrySubmit(std::move(task))) {
     inflight_.fetch_sub(1, std::memory_order_relaxed);
     responses_rejected_.Increment();
+    if (telemetry_ != nullptr) telemetry_->ReportShed();
     promise->set_value(Status::ResourceExhausted(
         "query service overloaded: worker queue full"));
   }
@@ -657,20 +784,25 @@ std::string QueryService::MetricsReport() const {
                   static_cast<unsigned long long>(seg.deletes));
     out += line;
     std::snprintf(line, sizeof(line),
-                  "compaction merges %llu rotations %llu retired %llu\n",
+                  "compaction merges %llu rotations %llu retired %llu "
+                  "busy_ms %.1f last_ms %.1f tombstones %llu\n",
                   static_cast<unsigned long long>(seg.merges),
                   static_cast<unsigned long long>(seg.rotations),
-                  static_cast<unsigned long long>(seg.segments_retired));
+                  static_cast<unsigned long long>(seg.segments_retired),
+                  static_cast<double>(seg.merge_busy_us) / 1000.0,
+                  static_cast<double>(seg.merge_last_us) / 1000.0,
+                  static_cast<unsigned long long>(seg.tombstones_replayed));
     out += line;
   }
   if (const ShardCountersSnapshot sh = backend_->shard_counters(); sh.valid) {
     std::snprintf(line, sizeof(line),
                   "shards    count %llu queries %llu visited %llu "
-                  "pruned %llu\n",
+                  "pruned %llu scatter_busy_ms %.1f\n",
                   static_cast<unsigned long long>(sh.num_shards),
                   static_cast<unsigned long long>(sh.queries),
                   static_cast<unsigned long long>(sh.shards_visited),
-                  static_cast<unsigned long long>(sh.shards_pruned));
+                  static_cast<unsigned long long>(sh.shards_pruned),
+                  static_cast<double>(sh.scatter_busy_us) / 1000.0);
     out += line;
     for (size_t i = 0; i < sh.per_shard_visited.size(); ++i) {
       std::snprintf(
@@ -704,6 +836,29 @@ std::string QueryService::MetricsReport() const {
                   BatchQueueDepth());
     out += line;
   }
+  if (telemetry_ != nullptr) {
+    const TelemetryStats ts = telemetry_->stats();
+    std::snprintf(line, sizeof(line),
+                  "telemetry observed %llu sampled %llu slow %llu "
+                  "threshold_ms %.3f reservoir %zu slow_ring %zu\n",
+                  static_cast<unsigned long long>(ts.requests_observed),
+                  static_cast<unsigned long long>(ts.profiles_sampled),
+                  static_cast<unsigned long long>(ts.slow_queries),
+                  ts.slow_threshold_ms, ts.reservoir_size, ts.slow_log_size);
+    out += line;
+    for (const uint64_t w : {uint64_t{1}, uint64_t{10}, uint64_t{60}}) {
+      const RollingWindows::Snapshot s = telemetry_->Window(w);
+      char label[16];
+      std::snprintf(label, sizeof(label), "%llus",
+                    static_cast<unsigned long long>(w));
+      std::snprintf(line, sizeof(line),
+                    "window.%-4s requests %llu qps %.1f shed %.2f hit %.2f "
+                    "p50 %.3f p99 %.3f ms\n", label,
+                    static_cast<unsigned long long>(s.requests), s.qps,
+                    s.shed_ratio, s.hit_ratio, s.p50_ms, s.p99_ms);
+      out += line;
+    }
+  }
   std::snprintf(line, sizeof(line),
                 "pool      workers %d queue_depth %zu task_exceptions %llu\n",
                 config_.num_workers, pool_->queue_depth(),
@@ -714,67 +869,185 @@ std::string QueryService::MetricsReport() const {
 
 std::string QueryService::PrometheusReport() const {
   std::string out = metrics_.PrometheusText();
-  char line[128];
-  const auto counter_line = [&](const char* name, uint64_t value) {
-    out += std::string("# TYPE ") + name + " counter\n";
-    std::snprintf(line, sizeof(line), "%s %llu\n", name,
-                  static_cast<unsigned long long>(value));
+  char line[256];
+  const auto sample = [&](const char* name, const char* help,
+                          const char* type, double value) {
+    out += std::string("# HELP ") + name + " " + help + "\n";
+    out += std::string("# TYPE ") + name + " " + type + "\n";
+    std::snprintf(line, sizeof(line), "%s %.17g\n", name, value);
     out += line;
   };
-  const auto gauge_line = [&](const char* name, uint64_t value) {
-    out += std::string("# TYPE ") + name + " gauge\n";
-    std::snprintf(line, sizeof(line), "%s %llu\n", name,
-                  static_cast<unsigned long long>(value));
-    out += line;
+  const auto counter_line = [&](const char* name, const char* help,
+                                uint64_t value) {
+    sample(name, help, "counter", static_cast<double>(value));
+  };
+  const auto gauge_line = [&](const char* name, const char* help,
+                              uint64_t value) {
+    sample(name, help, "gauge", static_cast<double>(value));
   };
   const ResultCache::Stats cs = cache_.stats();
-  counter_line("wsk_result_cache_hits_total", cs.hits);
-  counter_line("wsk_result_cache_misses_total", cs.misses);
-  counter_line("wsk_result_cache_stale_total", cs.stale);
-  counter_line("wsk_result_cache_insertions_total", cs.insertions);
-  counter_line("wsk_result_cache_evictions_total", cs.evictions);
-  gauge_line("wsk_result_cache_size", cache_.size());
+  counter_line("wsk_result_cache_hits_total",
+               "Result-cache lookups answered from cache.", cs.hits);
+  counter_line("wsk_result_cache_misses_total",
+               "Result-cache lookups that missed.", cs.misses);
+  counter_line("wsk_result_cache_stale_total",
+               "Cached entries rejected by version validation.", cs.stale);
+  counter_line("wsk_result_cache_insertions_total",
+               "Entries inserted into the result cache.", cs.insertions);
+  counter_line("wsk_result_cache_evictions_total",
+               "Entries evicted from the result cache.", cs.evictions);
+  gauge_line("wsk_result_cache_size", "Entries currently cached.",
+             cache_.size());
   const IoSnapshot io = TakeIoSnapshot();
-  counter_line("wsk_engine_setr_physical_reads_total", io.setr_physical);
-  counter_line("wsk_engine_setr_logical_reads_total", io.setr_logical);
-  counter_line("wsk_engine_setr_mapped_reads_total", io.setr_mapped);
-  counter_line("wsk_engine_kcr_physical_reads_total", io.kcr_physical);
-  counter_line("wsk_engine_kcr_logical_reads_total", io.kcr_logical);
-  counter_line("wsk_engine_kcr_mapped_reads_total", io.kcr_mapped);
+  counter_line("wsk_engine_setr_physical_reads_total",
+               "SETR tree pages read from disk.", io.setr_physical);
+  counter_line("wsk_engine_setr_logical_reads_total",
+               "SETR tree node accesses.", io.setr_logical);
+  counter_line("wsk_engine_setr_mapped_reads_total",
+               "SETR tree nodes served zero-copy from mmap.", io.setr_mapped);
+  counter_line("wsk_engine_kcr_physical_reads_total",
+               "KcR tree pages read from disk.", io.kcr_physical);
+  counter_line("wsk_engine_kcr_logical_reads_total",
+               "KcR tree node accesses.", io.kcr_logical);
+  counter_line("wsk_engine_kcr_mapped_reads_total",
+               "KcR tree nodes served zero-copy from mmap.", io.kcr_mapped);
   if (const SegmentCountersSnapshot seg = backend_->segment_counters();
       seg.valid) {
-    counter_line("wsk_segment_inserts_total", seg.inserts);
-    counter_line("wsk_segment_updates_total", seg.updates);
-    counter_line("wsk_segment_deletes_total", seg.deletes);
-    counter_line("wsk_segment_merges_total", seg.merges);
-    counter_line("wsk_segment_rotations_total", seg.rotations);
-    counter_line("wsk_segment_retired_total", seg.segments_retired);
-    gauge_line("wsk_segment_frozen_segments", seg.frozen_segments);
-    gauge_line("wsk_segment_delta_objects", seg.delta_objects);
-    gauge_line("wsk_segment_live_objects", seg.live_objects);
-    gauge_line("wsk_segment_dataset_version", backend_->dataset_version());
+    counter_line("wsk_segment_inserts_total", "Objects inserted.",
+                 seg.inserts);
+    counter_line("wsk_segment_updates_total", "Objects updated.",
+                 seg.updates);
+    counter_line("wsk_segment_deletes_total", "Objects deleted.",
+                 seg.deletes);
+    counter_line("wsk_segment_merges_total", "Merge passes completed.",
+                 seg.merges);
+    counter_line("wsk_segment_rotations_total",
+                 "Delta-to-frozen segment rotations.", seg.rotations);
+    counter_line("wsk_segment_retired_total",
+                 "Frozen segments retired after merges.",
+                 seg.segments_retired);
+    gauge_line("wsk_segment_frozen_segments", "Frozen segments live now.",
+               seg.frozen_segments);
+    gauge_line("wsk_segment_delta_objects",
+               "Objects in the mutable delta segment.", seg.delta_objects);
+    gauge_line("wsk_segment_live_objects", "Live objects across segments.",
+               seg.live_objects);
+    gauge_line("wsk_segment_dataset_version",
+               "Backend dataset version (bumped by every mutation).",
+               backend_->dataset_version());
+    // Background-task visibility: compaction work as rates and durations.
+    counter_line("wsk_bg_merge_passes_total",
+                 "Background merge passes started (success or failure).",
+                 seg.merges);
+    sample("wsk_bg_merge_busy_seconds_total",
+           "Wall time spent inside background merge passes.", "counter",
+           static_cast<double>(seg.merge_busy_us) / 1e6);
+    sample("wsk_bg_merge_last_seconds",
+           "Duration of the most recent merge pass.", "gauge",
+           static_cast<double>(seg.merge_last_us) / 1e6);
+    counter_line("wsk_bg_merge_tombstones_total",
+                 "Tombstones replayed onto freshly merged segments.",
+                 seg.tombstones_replayed);
+    counter_line("wsk_bg_segments_retired_total",
+                 "Segments handed to epoch-based reclamation.",
+                 seg.segments_retired);
   }
   if (const ShardCountersSnapshot sh = backend_->shard_counters(); sh.valid) {
-    gauge_line("wsk_shards", sh.num_shards);
-    counter_line("wsk_shard_queries_total", sh.queries);
-    counter_line("wsk_shards_visited_total", sh.shards_visited);
-    counter_line("wsk_shards_pruned_total", sh.shards_pruned);
+    gauge_line("wsk_shards", "Shards the coordinator fans out to.",
+               sh.num_shards);
+    counter_line("wsk_shard_queries_total",
+                 "Queries answered by scatter-gather.", sh.queries);
+    counter_line("wsk_shards_visited_total",
+                 "Per-query shard visits (bound not reached).",
+                 sh.shards_visited);
+    counter_line("wsk_shards_pruned_total",
+                 "Shards skipped by the MaxScore bound.", sh.shards_pruned);
+    sample("wsk_bg_scatter_busy_seconds_total",
+           "Wall time spent inside scatter-gather top-k.", "counter",
+           static_cast<double>(sh.scatter_busy_us) / 1e6);
   }
   if (const NodeCache* nc = backend_->node_cache()) {
     const NodeCache::Stats ns = nc->GetStats();
-    counter_line("wsk_node_cache_hits_total", ns.hits);
-    counter_line("wsk_node_cache_misses_total", ns.misses);
-    counter_line("wsk_node_cache_evictions_total", ns.evictions);
-    gauge_line("wsk_node_cache_bytes", ns.bytes_in_use);
+    counter_line("wsk_node_cache_hits_total", "Node-cache hits.", ns.hits);
+    counter_line("wsk_node_cache_misses_total", "Node-cache misses.",
+                 ns.misses);
+    counter_line("wsk_node_cache_evictions_total", "Node-cache evictions.",
+                 ns.evictions);
+    gauge_line("wsk_node_cache_bytes", "Bytes of cached nodes resident.",
+               ns.bytes_in_use);
   }
-  gauge_line("wsk_inflight_requests", inflight());
+  gauge_line("wsk_inflight_requests",
+             "Admitted requests not yet completed.", inflight());
   if (config_.batch_max_size > 1) {
     // wsk_batch_* counters/histograms come from the registry above; the
     // pending-queue depth is the one live gauge the registry cannot hold.
-    gauge_line("wsk_batch_pending_requests", BatchQueueDepth());
+    gauge_line("wsk_batch_pending_requests",
+               "Requests waiting in the batch collector.", BatchQueueDepth());
   }
-  gauge_line("wsk_pool_queue_depth", pool_->queue_depth());
-  counter_line("wsk_pool_task_exceptions_total", pool_->num_task_exceptions());
+  gauge_line("wsk_pool_queue_depth", "Tasks queued for the worker pool.",
+             pool_->queue_depth());
+  counter_line("wsk_pool_task_exceptions_total",
+               "Worker tasks that escaped with an exception.",
+               pool_->num_task_exceptions());
+  if (telemetry_ != nullptr) {
+    const TelemetryStats ts = telemetry_->stats();
+    counter_line("wsk_telemetry_requests_observed_total",
+                 "Request completions the telemetry hub observed.",
+                 ts.requests_observed);
+    counter_line("wsk_telemetry_profiles_sampled_total",
+                 "Requests that carried an event-capacity profile recorder.",
+                 ts.profiles_sampled);
+    counter_line("wsk_telemetry_slow_queries_total",
+                 "Requests captured by the rolling slow threshold.",
+                 ts.slow_queries);
+    sample("wsk_telemetry_slow_threshold_seconds",
+           "Current slow-query capture threshold.", "gauge",
+           ts.slow_threshold_ms / 1e3);
+    gauge_line("wsk_telemetry_reservoir_profiles",
+               "Sampled profiles retained in the reservoir.",
+               ts.reservoir_size);
+    const RollingWindows::Snapshot w1 = telemetry_->Window(1);
+    const RollingWindows::Snapshot w10 = telemetry_->Window(10);
+    const RollingWindows::Snapshot w60 = telemetry_->Window(60);
+    const auto window_gauge = [&](const char* name, const char* help,
+                                  double v1, double v10, double v60) {
+      out += std::string("# HELP ") + name + " " + help + "\n";
+      out += std::string("# TYPE ") + name + " gauge\n";
+      const char* const windows[3] = {"1s", "10s", "60s"};
+      const double values[3] = {v1, v10, v60};
+      for (int i = 0; i < 3; ++i) {
+        std::snprintf(line, sizeof(line), "%s{window=\"%s\"} %.17g\n", name,
+                      windows[i], values[i]);
+        out += line;
+      }
+    };
+    window_gauge("wsk_window_request_rate",
+                 "Completed requests per second over the window.", w1.qps,
+                 w10.qps, w60.qps);
+    window_gauge("wsk_window_shed_ratio",
+                 "Admission rejections over offered load in the window.",
+                 w1.shed_ratio, w10.shed_ratio, w60.shed_ratio);
+    window_gauge("wsk_window_cache_hit_ratio",
+                 "Result-cache hits over completions in the window.",
+                 w1.hit_ratio, w10.hit_ratio, w60.hit_ratio);
+    window_gauge("wsk_window_latency_p50_seconds",
+                 "Median request execution wall time in the window.",
+                 w1.p50_ms / 1e3, w10.p50_ms / 1e3, w60.p50_ms / 1e3);
+    window_gauge("wsk_window_latency_p99_seconds",
+                 "99th-percentile request execution wall time in the window.",
+                 w1.p99_ms / 1e3, w10.p99_ms / 1e3, w60.p99_ms / 1e3);
+  }
+  out += "# HELP wsk_build_info Build metadata; the value is always 1.\n";
+  out += "# TYPE wsk_build_info gauge\n";
+  std::snprintf(line, sizeof(line),
+                "wsk_build_info{version=\"%s\",isa=\"%s\",node_format=\"%s\"}"
+                " 1\n",
+                kBuildVersion, BuildIsa(), kNodeFormatName);
+  out += line;
+  sample("wsk_process_uptime_seconds", "Seconds since process start.",
+         "gauge", ProcessUptimeSeconds());
+  gauge_line("wsk_process_resident_memory_bytes",
+             "Resident set size of the process.", ProcessResidentBytes());
   return out;
 }
 

@@ -54,6 +54,7 @@
 #include "common/timer.h"
 #include "core/backend.h"
 #include "core/engine.h"
+#include "observability/telemetry.h"
 #include "observability/trace.h"
 #include "service/metrics.h"
 #include "service/result_cache.h"
@@ -83,6 +84,12 @@ struct QueryServiceConfig {
   // once the first one arrives, in milliseconds. A full batch dispatches
   // immediately; 0 dispatches whatever is queued without waiting.
   double batch_window_ms = 0.25;
+  // Continuous telemetry (docs/OBSERVABILITY.md "Continuous telemetry"):
+  // always-on sampled profiling, slow-query capture, and rolling-window
+  // metrics. On by default — the sampling-overhead CI gate holds the
+  // default rate to <= 1.05x of a telemetry-off service. Set
+  // telemetry.enabled = false for measurement runs that must exclude it.
+  TelemetryConfig telemetry;
 };
 
 // Per-request knobs.
@@ -171,6 +178,9 @@ class QueryService {
   MetricsRegistry& metrics() { return metrics_; }
   const ResultCache& cache() const { return cache_; }
   const QueryServiceConfig& config() const { return config_; }
+  // Continuous-telemetry hub: sampled profiles, the slow-query ring, and
+  // rolling-window rates. nullptr when config.telemetry.enabled is false.
+  TelemetryHub* telemetry() const { return telemetry_.get(); }
 
   // The metrics registry dump plus cache statistics, engine I/O counters,
   // and worker-pool health — the service's full observability snapshot.
@@ -192,11 +202,19 @@ class QueryService {
   // Classifies a terminal status into the response counters.
   void AccountStatus(const Status& status);
   IoSnapshot TakeIoSnapshot() const;
-  // Adds the request's I/O delta to the io.* counters. Attribution is
-  // approximate under concurrency (the counters are shared; overlapping
-  // queries see each other's reads) — the aggregate engine snapshot in
-  // MetricsReport() is the exact total.
-  void AccountIo(const IoSnapshot& before);
+  // Per-request read attribution, summed across the SETR and KcR trees.
+  // Returned by AccountIo so query profiles can carry the same numbers the
+  // io.* counters absorb.
+  struct IoDelta {
+    uint64_t physical = 0;
+    uint64_t mapped = 0;
+    uint64_t cache_hits = 0;
+  };
+  // Adds the request's I/O delta to the io.* counters and returns it.
+  // Attribution is approximate under concurrency (the counters are shared;
+  // overlapping queries see each other's reads) — the aggregate engine
+  // snapshot in MetricsReport() is the exact total.
+  IoDelta AccountIo(const IoSnapshot& before);
   // Folds a finished request's stage totals and pruning counters into the
   // interned stage.* histograms / prune.* counters.
   void AbsorbTrace(const TraceRecorder& trace);
@@ -275,11 +293,21 @@ class QueryService {
   Counter& batch_fallback_solo_;
   LatencyHistogram& batch_occupancy_;
   LatencyHistogram& batch_window_wait_;
+  // Events the bounded trace buffers had to discard (satellite of the
+  // telemetry pipeline: sampling must be observable itself).
+  Counter& trace_dropped_;
+  // Background-task visibility for the batch collector: batches handed to
+  // the pool and the wall time each dispatch spent in TopKBatch.
+  Counter& bg_collector_dispatches_;
+  LatencyHistogram& bg_collector_exec_;
   // Per-stage wall-time histograms and pruning counters, interned at
   // construction (indexed by TraceStage / TraceCounter) so AbsorbTrace
   // never takes the registry mutex.
   LatencyHistogram* stage_hist_[kNumTraceStages] = {};
   Counter* prune_counter_[kNumTraceCounters] = {};
+  // Constructed iff config.telemetry.enabled. Declared before pool_ so
+  // draining workers can still report completions during teardown.
+  std::unique_ptr<TelemetryHub> telemetry_;
   // Batch collector state. The queue is bounded indirectly by
   // max_inflight (only admitted requests enqueue); the collector thread is
   // joined in the destructor before the pool drains.

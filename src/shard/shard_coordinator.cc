@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "common/timer.h"
 #include "core/whynot_bs.h"
 #include "core/whynot_kcr.h"
 #include "segment/merged_source.h"
@@ -129,6 +130,21 @@ double ShardCoordinator::ShardBound(size_t shard,
   return ShardUpperBound(s.summary, query, diagonal_);
 }
 
+// Accumulates the enclosing scope's wall time into a relaxed busy-time
+// counter on every exit path (wsk_bg_scatter_busy visibility).
+class ScatterBusyScope {
+ public:
+  explicit ScatterBusyScope(std::atomic<uint64_t>* sink) : sink_(sink) {}
+  ~ScatterBusyScope() {
+    sink_->fetch_add(static_cast<uint64_t>(timer_.ElapsedMicros()),
+                     std::memory_order_relaxed);
+  }
+
+ private:
+  const Timer timer_;
+  std::atomic<uint64_t>* const sink_;
+};
+
 std::vector<ShardCoordinator::RankedShard> ShardCoordinator::RankShards(
     const SpatialKeywordQuery& query) const {
   std::vector<RankedShard> order;
@@ -149,6 +165,7 @@ StatusOr<std::vector<ScoredObject>> ShardCoordinator::TopK(
     const SpatialKeywordQuery& query, const CancelToken* cancel,
     TraceRecorder* trace) const {
   TraceSpan root_span(trace, TraceStage::kQuery);
+  const ScatterBusyScope busy(&scatter_busy_us_);
   queries_.fetch_add(1, std::memory_order_relaxed);
   const std::vector<RankedShard> order = RankShards(query);
 
@@ -194,6 +211,7 @@ StatusOr<std::vector<ScoredObject>> ShardCoordinator::TopK(
 std::vector<BackendBatchResult> ShardCoordinator::TopKBatch(
     const std::vector<BackendBatchItem>& items, TraceRecorder* trace) const {
   TraceSpan root_span(trace, TraceStage::kQuery);
+  const ScatterBusyScope busy(&scatter_busy_us_);
   queries_.fetch_add(items.size(), std::memory_order_relaxed);
 
   // Per-item replay of the solo scatter-gather: the same RankShards order,
@@ -499,6 +517,9 @@ SegmentCountersSnapshot ShardCoordinator::segment_counters() const {
     total.frozen_segments += s.frozen_segments;
     total.delta_objects += s.delta_objects;
     total.live_objects += s.live_objects;
+    total.merge_busy_us += s.merge_busy_us;
+    total.merge_last_us = std::max(total.merge_last_us, s.merge_last_us);
+    total.tombstones_replayed += s.tombstones_replayed;
   }
   return total;
 }
@@ -508,6 +529,7 @@ ShardCountersSnapshot ShardCoordinator::shard_counters() const {
   snap.valid = true;
   snap.num_shards = shards_.size();
   snap.queries = queries_.load(std::memory_order_relaxed);
+  snap.scatter_busy_us = scatter_busy_us_.load(std::memory_order_relaxed);
   for (const std::unique_ptr<Shard>& shard : shards_) {
     const uint64_t visited = shard->visited.load(std::memory_order_relaxed);
     const uint64_t pruned = shard->pruned.load(std::memory_order_relaxed);

@@ -163,6 +163,9 @@ class ShardCoordinator : public QueryBackend {
   mutable std::unordered_map<ObjectId, uint32_t> owner_;
 
   mutable std::atomic<uint64_t> queries_{0};
+  // Wall time spent inside scatter-gather TopK/TopKBatch (all exits),
+  // exported as wsk_bg_scatter_busy_seconds_total.
+  mutable std::atomic<uint64_t> scatter_busy_us_{0};
 };
 
 }  // namespace wsk

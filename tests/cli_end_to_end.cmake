@@ -1,5 +1,5 @@
 # Drives wsk_cli through generate -> topk -> whynot -> explain -> trace ->
-# statsz -> serve -> live -> inspect.
+# statsz -> profiles -> serve -> live -> inspect.
 set(csv "${WORK_DIR}/cli_e2e.csv")
 execute_process(COMMAND ${CLI} generate --out ${csv} --objects 2000
                 RESULT_VARIABLE rc OUTPUT_VARIABLE out)
@@ -47,15 +47,63 @@ execute_process(COMMAND ${CLI} statsz --data ${csv} --random 20 --repeat 2
                         --seed 7
                 RESULT_VARIABLE rc OUTPUT_VARIABLE out)
 if(NOT rc EQUAL 0 OR NOT out MATCHES "wsk_requests_total" OR
-   NOT out MATCHES "wsk_stage_query_ms_bucket")
+   NOT out MATCHES "wsk_stage_query_ms_bucket" OR
+   NOT out MATCHES "wsk_window_request_rate{window=\"60s\"}" OR
+   NOT out MATCHES "wsk_build_info{version=" OR
+   NOT out MATCHES "wsk_trace_dropped_events_total" OR
+   NOT out MATCHES "wsk_process_uptime_seconds")
   message(FATAL_ERROR "statsz failed: ${out}")
 endif()
+# statsz --top: the live dashboard mode over a mutating segmented backend;
+# frames must show per-window rates and the background-merge counters.
+execute_process(COMMAND ${CLI} statsz --data ${csv} --random 10 --seed 7
+                        --live --mutations 150 --delta 32
+                        --top --frames 2 --interval-ms 50
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "frame 2/2" OR
+   NOT out MATCHES "window +requests" OR NOT out MATCHES "bg +merges" OR
+   NOT out MATCHES "telemetry observed")
+  message(FATAL_ERROR "statsz --top failed: ${out}")
+endif()
+# profiles: every request sampled; the listing shows retained profiles and
+# the dump is a loadable Chrome trace.
+set(profile_json "${WORK_DIR}/cli_e2e_profile.json")
+execute_process(COMMAND ${CLI} profiles --data ${csv} --random 8 --seed 7
+                        --dump ${profile_json}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "8 sampled profiles" OR
+   NOT out MATCHES "\\[sampled\\]" OR NOT out MATCHES "wrote profile")
+  message(FATAL_ERROR "profiles failed: ${out}")
+endif()
+file(READ ${profile_json} profile_content)
+if(NOT profile_content MATCHES "\"traceEvents\":\\[")
+  message(FATAL_ERROR "profiles dump is not a Chrome trace profile")
+endif()
+file(REMOVE ${profile_json})
 execute_process(COMMAND ${CLI} serve --data ${csv} --random 30 --workers 4
                         --repeat 2 --seed 7
                 RESULT_VARIABLE rc OUTPUT_VARIABLE out)
 if(NOT rc EQUAL 0 OR NOT out MATCHES "served" OR NOT out MATCHES "cache")
   message(FATAL_ERROR "serve failed: ${out}")
 endif()
+# serve with a forced-slow threshold: every request lands in the slow log;
+# the console lists the records and the JSONL sink holds structured lines
+# whose stage breakdown explains the recorded wall.
+set(slow_jsonl "${WORK_DIR}/cli_e2e_slow.jsonl")
+execute_process(COMMAND ${CLI} serve --data ${csv} --random 10 --workers 2
+                        --seed 7 --slow-min-ms 0.001 --slow-factor 0
+                        --slow-log ${slow_jsonl}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "slow  #")
+  message(FATAL_ERROR "serve --slow-log failed: ${out}")
+endif()
+file(READ ${slow_jsonl} slow_content)
+if(NOT slow_content MATCHES "\"slow\":true" OR
+   NOT slow_content MATCHES "\"wall_ms\":" OR
+   NOT slow_content MATCHES "\"stages\":{")
+  message(FATAL_ERROR "slow-query JSONL malformed: ${slow_content}")
+endif()
+file(REMOVE ${slow_jsonl})
 # serve --shards: the same workload through the scatter-gather
 # ShardCoordinator (docs/SHARDING.md); the metrics report must carry the
 # aggregate and per-shard counters.

@@ -41,6 +41,14 @@ Gating policy (docs/PERF.md):
     machine (docs/OBSERVABILITY.md). The cap applies to every
     trace_overhead counter in the *current* run, whether or not the
     baseline has the benchmark yet.
+  * `sampling_overhead` counters (the same saturated service workload with
+    the telemetry hub at its shipped defaults / disabled, back-to-back in
+    one process) are hard-capped at --max-sampling-overhead (default
+    1.05): always-on sampled profiling, rolling windows, and slow
+    classification may never cost more than 5%% on any machine
+    (docs/OBSERVABILITY.md "Continuous telemetry"). Like trace_overhead,
+    the cap applies to every sampling_overhead counter in the *current*
+    run, whether or not the baseline has the benchmark yet.
   * `shards_pruned` counters on the service/shards/n:N series are floored
     absolutely for every N > 1: the clustered workload must skip at least
     one shard over the run, whether or not the baseline has the series
@@ -83,6 +91,8 @@ TIME_METRICS = (
     "cache_off_ns",
     "untraced_ms",
     "traced_ms",
+    "disabled_ms",
+    "enabled_ms",
     "v1_decode_ns",
     "v2_decode_ns",
     "v2_mmap_decode_ns",
@@ -144,6 +154,13 @@ def main():
         type=float,
         default=1.5,
         help="absolute cap for every `trace_overhead` counter (default 1.5)",
+    )
+    parser.add_argument(
+        "--max-sampling-overhead",
+        type=float,
+        default=1.05,
+        help="absolute cap for every `sampling_overhead` counter "
+        "(default 1.05)",
     )
     parser.add_argument(
         "--min-batch-speedup",
@@ -232,6 +249,18 @@ def main():
             failures.append(
                 f"{name}: trace_overhead {overhead:.2f}x exceeds the cap "
                 f"{args.max_trace_overhead:.2f}x (tracing must stay cheap)"
+            )
+
+    # So is sampling: the always-on telemetry pipeline at its shipped
+    # defaults must stay within a few percent of a telemetry-less service
+    # on any machine (docs/OBSERVABILITY.md "Continuous telemetry").
+    for name, bench in sorted(cur.items()):
+        overhead = metric_values(bench).get("sampling_overhead")
+        if overhead is not None and overhead > args.max_sampling_overhead:
+            failures.append(
+                f"{name}: sampling_overhead {overhead:.3f}x exceeds the cap "
+                f"{args.max_sampling_overhead:.2f}x (always-on telemetry "
+                "must stay affordable)"
             )
 
     # The v2 node format's two acceptance properties are absolute facts of

@@ -141,6 +141,17 @@ JSON_SAMPLE = {
                 "v2_physical_reads": 0.0,
             },
         },
+        {
+            "name": "service/telemetry/sampling/iterations:1",
+            "iterations": 1,
+            "ns_per_op": 9.1e7,
+            "counters": {
+                "disabled_ms": 88.0,
+                "enabled_ms": 90.0,
+                "sampling_overhead": 1.023,
+                "qps": 4100.0,
+            },
+        },
     ],
 }
 
@@ -405,6 +416,33 @@ class TraceOverheadGateTest(unittest.TestCase):
     def test_overhead_above_cap_fails(self):
         proc = self._check(2.1, expect_rc=1)
         self.assertIn("trace_overhead", proc.stdout)
+
+
+class SamplingOverheadGateTest(unittest.TestCase):
+    """sampling_overhead caps the cost of always-on telemetry at the default
+    sampling rate — an absolute gate like trace_overhead, but tighter."""
+
+    def _check(self, overhead, expect_rc, *extra):
+        sample = json.loads(json.dumps(JSON_SAMPLE))
+        sample["benchmarks"][6]["counters"]["sampling_overhead"] = overhead
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "service.json")
+            with open(path, "w") as f:
+                json.dump(sample, f)
+            return run_tool(
+                "check_bench_regression.py", path, path, *extra,
+                expect_rc=expect_rc,
+            )
+
+    def test_overhead_below_cap_passes(self):
+        self._check(1.02, expect_rc=0)
+
+    def test_overhead_above_cap_fails(self):
+        proc = self._check(1.2, expect_rc=1)
+        self.assertIn("sampling_overhead", proc.stdout)
+
+    def test_cap_is_adjustable(self):
+        self._check(1.2, 0, "--max-sampling-overhead", "1.3")
 
 
 class ShardPruningGateTest(unittest.TestCase):

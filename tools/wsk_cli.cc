@@ -22,8 +22,23 @@
 //   statsz    --data FILE (--queries FILE | --random N) [--workers W]
 //             [--queue Q] [--inflight I] [--timeout-ms T] [--cache N]
 //             [--batch N] [--batch-window-ms MS] [--repeat R] [--seed S]
+//             [--top [--frames N] [--interval-ms MS]]
+//             [--live [--mutations M] [--delta CAP]]
 //       Replay a workload through the QueryService and print the
-//       Prometheus text exposition of its metrics registry.
+//       Prometheus text exposition of its metrics registry. --top
+//       switches to a refreshing dashboard: the workload replays once
+//       per frame and each frame prints the 1s/10s/60s rolling-window
+//       rates, latency quantiles, and background-compaction counters
+//       instead of the full exposition. --live serves the segmented
+//       backend and streams M random inserts per frame so rotations and
+//       merges run (and the wsk_bg_* counters move) while windows fill.
+//   profiles  --data FILE (--queries FILE | --random N) [--sample-every N]
+//             [--reservoir N] [--dump FILE] [service flags]
+//       Replay the workload with profile sampling forced on (default:
+//       every request) and list the retained sampled profiles — one
+//       line each with wall/queue/stage times and event counts. --dump
+//       writes the most recent profile as Chrome trace-event JSON
+//       (load it at https://ui.perfetto.dev).
 //   serve     --data FILE (--queries FILE | --random N) [--workers W]
 //             [--queue Q] [--inflight I] [--timeout-ms T] [--cache N]
 //             [--batch N] [--batch-window-ms MS] [--repeat R] [--seed S]
@@ -59,11 +74,21 @@
 //                <missing-id[,id...]> <keywords...>
 //       Blank lines and lines starting with '#' are skipped.
 //
+// Service subcommands (statsz/serve/live/profiles) share the continuous-
+// telemetry flags (docs/OBSERVABILITY.md "Continuous telemetry"):
+//   --sample-every N   profile every Nth request (default 1024)
+//   --slow-min-ms MS   slow-query capture floor (default 50)
+//   --slow-factor F    slow threshold = max(floor, F * rolling p99)
+//   --slow-log FILE    append each slow query as one JSON line
+//   --no-telemetry     disable the hub entirely (overhead measurement)
+//
 // Example:
 //   wsk_cli generate --out /tmp/pois.csv --objects 5000
 //   wsk_cli topk --data /tmp/pois.csv --x 0.5 --y 0.5 --keywords "term1 term7"
 //   wsk_cli whynot --data /tmp/pois.csv --x 0.5 --y 0.5 \
 //       --keywords "term1 term7" --missing 1234 --algorithm kcr
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -73,6 +98,7 @@
 #include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/timer.h"
@@ -94,7 +120,10 @@ class Args {
  public:
   Args(int argc, char** argv) {
     for (int i = 0; i < argc; ++i) {
-      if (std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc) {
+      // A flag followed by another flag is boolean (--live --top ...);
+      // only a non-flag token becomes its value.
+      if (std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc &&
+          std::strncmp(argv[i + 1], "--", 2) != 0) {
         values_[argv[i] + 2].push_back(argv[i + 1]);
         ++i;
       } else if (std::strncmp(argv[i], "--", 2) == 0) {
@@ -141,8 +170,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: wsk_cli "
-      "<generate|topk|whynot|explain|trace|statsz|serve|live|inspect> "
-      "[--flags]\n"
+      "<generate|topk|whynot|explain|trace|statsz|serve|live|inspect"
+      "|profiles> [--flags]\n"
       "see the header of tools/wsk_cli.cc for details\n");
   return 2;
 }
@@ -574,7 +603,37 @@ QueryServiceConfig ServiceConfigFromArgs(const Args& args) {
   config.batch_max_size = static_cast<size_t>(args.GetLong("batch", 1));
   config.batch_window_ms =
       args.GetDouble("batch-window-ms", config.batch_window_ms);
+  // Continuous telemetry (docs/OBSERVABILITY.md): sampling rate, the
+  // slow-query threshold knobs, and the optional JSONL sink.
+  config.telemetry.enabled = !args.Has("no-telemetry");
+  config.telemetry.sample_every = static_cast<uint64_t>(
+      args.GetLong("sample-every",
+                   static_cast<long>(config.telemetry.sample_every)));
+  config.telemetry.slow_min_ms =
+      args.GetDouble("slow-min-ms", config.telemetry.slow_min_ms);
+  config.telemetry.slow_factor =
+      args.GetDouble("slow-factor", config.telemetry.slow_factor);
+  if (const char* slow_log = args.Get("slow-log"); slow_log != nullptr) {
+    config.telemetry.slow_log_path = slow_log;
+  }
   return config;
+}
+
+// Replays the workload once, blocking per request; true when every
+// request succeeded.
+bool ReplayWorkload(QueryService* service,
+                    const std::vector<ServeRequest>& requests) {
+  bool all_ok = true;
+  for (const ServeRequest& req : requests) {
+    if (req.is_whynot) {
+      all_ok &=
+          service->WhyNot(req.algorithm, req.query, req.missing, req.options)
+              .ok();
+    } else {
+      all_ok &= service->TopK(req.query).ok();
+    }
+  }
+  return all_ok;
 }
 
 int Serve(const Args& args) {
@@ -648,6 +707,11 @@ int Serve(const Args& args) {
                 static_cast<unsigned long long>(count));
   }
   std::printf("%s", service.MetricsReport().c_str());
+  if (const TelemetryHub* hub = service.telemetry()) {
+    for (const QueryProfile& p : hub->SlowQueries()) {
+      std::printf("slow  %s\n", p.Summary().c_str());
+    }
+  }
   return by_code.size() == 1 && by_code.count(StatusCode::kOk) == 1 ? 0 : 1;
 }
 
@@ -773,27 +837,166 @@ int Statsz(const Args& args) {
   std::vector<ServeRequest> requests;
   if (!BuildWorkload(args, *dataset, "statsz", &requests)) return 2;
 
+  // --live serves the segmented backend and streams random inserts so
+  // rotations and merges run (moving the wsk_bg_* counters) while the
+  // rolling windows fill; the default is the frozen engine.
+  std::unique_ptr<WhyNotEngine> engine;
+  std::unique_ptr<SegmentedEngine> segmented;
+  const QueryBackend* backend = nullptr;
+  if (args.Has("live")) {
+    SegmentedEngine::Config config;
+    // Small delta by default so the insert stream forces rotations.
+    config.delta_capacity = static_cast<uint32_t>(args.GetLong("delta", 64));
+    auto engine_or = SegmentedEngine::Build(*dataset, config);
+    if (!engine_or.ok()) return Fail(engine_or.status());
+    segmented = std::move(engine_or).value();
+    backend = segmented.get();
+  } else {
+    auto engine_or = WhyNotEngine::Build(dataset.get(), {});
+    if (!engine_or.ok()) return Fail(engine_or.status());
+    engine = std::move(engine_or).value();
+    backend = engine.get();
+  }
+
+  QueryService service(backend, ServiceConfigFromArgs(args));
+
+  std::mt19937_64 rng(static_cast<uint64_t>(args.GetLong("seed", 42)));
+  std::uniform_real_distribution<double> coord(0.0, 1.0);
+  const long mutations = args.GetLong("mutations", 200);
+  const auto stream_mutations = [&]() -> Status {
+    if (segmented == nullptr) return Status();
+    const Vocabulary& vocab = segmented->vocabulary();
+    const uint32_t pool = std::min(vocab.num_terms(), 64u);
+    for (long i = 0; i < mutations; ++i) {
+      const std::vector<std::string> keywords{
+          vocab.TermString(static_cast<TermId>(rng() % pool)),
+          vocab.TermString(static_cast<TermId>(rng() % pool))};
+      const auto response =
+          service.Insert(Point{coord(rng), coord(rng)}, keywords);
+      if (!response.ok()) return response.status();
+    }
+    return Status();
+  };
+
+  const long repeat = args.GetLong("repeat", 1);
+  bool all_ok = true;
+
+  if (args.Has("top")) {
+    // `top`-style refresh: one workload replay per frame, printing the
+    // rolling-window dashboard instead of the full exposition.
+    const TelemetryHub* hub = service.telemetry();
+    if (hub == nullptr) {
+      std::fprintf(stderr, "statsz --top requires telemetry enabled\n");
+      return 2;
+    }
+    const long frames = std::max(1L, args.GetLong("frames", 3));
+    const long interval_ms = args.GetLong("interval-ms", 200);
+    for (long frame = 0; frame < frames; ++frame) {
+      if (Status streamed = stream_mutations(); !streamed.ok()) {
+        return Fail(streamed);
+      }
+      for (long r = 0; r < repeat; ++r) {
+        all_ok &= ReplayWorkload(&service, requests);
+      }
+      std::printf("-- frame %ld/%ld %.*s\n", frame + 1, frames, 44,
+                  "--------------------------------------------");
+      std::printf("%-8s %9s %9s %6s %6s %10s %10s\n", "window", "requests",
+                  "qps", "shed", "hit", "p50_ms", "p99_ms");
+      for (const uint64_t w : {uint64_t{1}, uint64_t{10}, uint64_t{60}}) {
+        const RollingWindows::Snapshot s = hub->Window(w);
+        char label[16];
+        std::snprintf(label, sizeof(label), "%llus",
+                      static_cast<unsigned long long>(w));
+        std::printf("%-8s %9llu %9.1f %6.2f %6.2f %10.3f %10.3f\n", label,
+                    static_cast<unsigned long long>(s.requests), s.qps,
+                    s.shed_ratio, s.hit_ratio, s.p50_ms, s.p99_ms);
+      }
+      const TelemetryStats ts = hub->stats();
+      std::printf("telemetry observed %llu sampled %llu slow %llu "
+                  "threshold_ms %.3f\n",
+                  static_cast<unsigned long long>(ts.requests_observed),
+                  static_cast<unsigned long long>(ts.profiles_sampled),
+                  static_cast<unsigned long long>(ts.slow_queries),
+                  ts.slow_threshold_ms);
+      if (const SegmentCountersSnapshot seg = backend->segment_counters();
+          seg.valid) {
+        std::printf("bg       merges %llu busy_ms %.1f tombstones %llu "
+                    "retired %llu\n",
+                    static_cast<unsigned long long>(seg.merges),
+                    static_cast<double>(seg.merge_busy_us) / 1000.0,
+                    static_cast<unsigned long long>(seg.tombstones_replayed),
+                    static_cast<unsigned long long>(seg.segments_retired));
+      }
+      if (frame + 1 < frames && interval_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      }
+    }
+    return all_ok ? 0 : 1;
+  }
+
+  if (Status streamed = stream_mutations(); !streamed.ok()) {
+    return Fail(streamed);
+  }
+  for (long r = 0; r < repeat; ++r) {
+    all_ok &= ReplayWorkload(&service, requests);
+  }
+  std::printf("%s", service.PrometheusReport().c_str());
+  return all_ok ? 0 : 1;
+}
+
+// profiles: replay the workload with sampling forced on (every request by
+// default) and list the retained sampled profiles.
+int Profiles(const Args& args) {
+  std::unique_ptr<Dataset> dataset = LoadData(args);
+  if (dataset == nullptr) return 1;
+
+  std::vector<ServeRequest> requests;
+  if (!BuildWorkload(args, *dataset, "profiles", &requests)) return 2;
+
   auto engine_or = WhyNotEngine::Build(dataset.get(), {});
   if (!engine_or.ok()) return Fail(engine_or.status());
   auto engine = std::move(engine_or).value();
 
-  QueryService service(engine.get(), ServiceConfigFromArgs(args));
+  QueryServiceConfig config = ServiceConfigFromArgs(args);
+  config.telemetry.enabled = true;
+  config.telemetry.sample_every =
+      static_cast<uint64_t>(args.GetLong("sample-every", 1));
+  config.telemetry.profile_reservoir =
+      static_cast<size_t>(args.GetLong("reservoir", 32));
+  QueryService service(engine.get(), config);
 
   const long repeat = args.GetLong("repeat", 1);
   bool all_ok = true;
   for (long r = 0; r < repeat; ++r) {
-    for (const ServeRequest& req : requests) {
-      if (req.is_whynot) {
-        all_ok &= service
-                      .WhyNot(req.algorithm, req.query, req.missing,
-                              req.options)
-                      .ok();
-      } else {
-        all_ok &= service.TopK(req.query).ok();
-      }
-    }
+    all_ok &= ReplayWorkload(&service, requests);
   }
-  std::printf("%s", service.PrometheusReport().c_str());
+
+  const std::vector<QueryProfile> profiles = service.telemetry()->Profiles();
+  const TelemetryStats stats = service.telemetry()->stats();
+  std::printf("retained %zu of %llu sampled profiles "
+              "(%llu requests observed)\n",
+              profiles.size(),
+              static_cast<unsigned long long>(stats.profiles_sampled),
+              static_cast<unsigned long long>(stats.requests_observed));
+  for (const QueryProfile& p : profiles) {
+    std::printf("%s\n", p.Summary().c_str());
+  }
+  if (const char* dump = args.Get("dump"); dump != nullptr) {
+    if (profiles.empty()) {
+      std::fprintf(stderr, "no profile to dump\n");
+      return 1;
+    }
+    const QueryProfile& last = profiles.back();
+    std::ofstream out(dump);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", dump);
+      return 1;
+    }
+    out << last.ToChromeTraceJson();
+    std::printf("wrote profile #%llu (%zu events) to %s\n",
+                static_cast<unsigned long long>(last.id), last.events.size(),
+                dump);
+  }
   return all_ok ? 0 : 1;
 }
 
@@ -932,5 +1135,6 @@ int main(int argc, char** argv) {
   if (command == "serve") return Serve(args);
   if (command == "live") return Live(args);
   if (command == "inspect") return Inspect(args);
+  if (command == "profiles") return Profiles(args);
   return Usage();
 }
